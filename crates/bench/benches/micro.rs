@@ -1,0 +1,152 @@
+//! Criterion microbenchmarks for the substrate layers and the analyzer.
+//!
+//! One group per subsystem: the prover (validity/satisfiability), the lock
+//! manager (grant/release, predicate intersection), the engine's hot paths
+//! (read, write, commit at each level), and the analyzer end-to-end (the
+//! Section 5 procedure on the Section 6 application).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semcc_core::assign::{assign_levels, default_ladder};
+use semcc_core::theorems::check_at_level;
+use semcc_engine::{Engine, EngineConfig, IsolationLevel};
+use semcc_lock::{LockManager, Mode, Target};
+use semcc_logic::parser::parse_pred;
+use semcc_logic::prover::Prover;
+use semcc_logic::row::RowPred;
+use semcc_workloads::{banking, orders};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn engine() -> Arc<Engine> {
+    Arc::new(Engine::new(EngineConfig {
+        lock_timeout: Duration::from_secs(1),
+        record_history: false,
+    }))
+}
+
+fn bench_prover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prover");
+    let prover = Prover::new();
+    let valid = parse_pred(
+        "sav + ch >= 0 && sav + ch >= :S + :C && :S + :C >= @w ==> sav + ch - @w >= 0",
+    )
+    .expect("parses");
+    let tricky =
+        parse_pred("x >= 0 && y >= 0 && x + y <= 10 && 2 * x + 3 * y >= 37").expect("parses");
+    g.bench_function("implication_valid", |b| {
+        b.iter(|| black_box(prover.valid(black_box(&valid))))
+    });
+    g.bench_function("sat_unsat_arith", |b| {
+        b.iter(|| black_box(prover.sat(black_box(&tricky))))
+    });
+    let wp = parse_pred("sav + ch >= :S + :C && @d >= 0 ==> sav + @d + ch >= :S + :C")
+        .expect("parses");
+    g.bench_function("interference_wp_check", |b| {
+        b.iter(|| black_box(prover.valid(black_box(&wp))))
+    });
+    g.finish();
+}
+
+fn bench_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock_manager");
+    g.bench_function("item_grant_release", |b| {
+        let m = LockManager::default();
+        let mut txn = 0u64;
+        b.iter(|| {
+            txn += 1;
+            m.acquire(txn, Target::item("x"), Mode::X).expect("acquire");
+            m.release_all(txn);
+        })
+    });
+    g.bench_function("shared_readers", |b| {
+        let m = LockManager::default();
+        let mut txn = 0u64;
+        b.iter(|| {
+            txn += 1;
+            m.acquire(txn, Target::item("x"), Mode::S).expect("acquire");
+            m.release(txn, &Target::item("x"));
+        })
+    });
+    g.bench_function("predicate_disjoint_grant", |b| {
+        let m = LockManager::default();
+        m.acquire(1, Target::pred("t", RowPred::field_eq_int("k", 1)), Mode::X)
+            .expect("seed");
+        let mut txn = 1u64;
+        b.iter(|| {
+            txn += 1;
+            m.acquire(txn, Target::pred("t", RowPred::field_eq_int("k", 2)), Mode::X)
+                .expect("disjoint");
+            m.release_all(txn);
+        })
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    for level in [
+        IsolationLevel::ReadUncommitted,
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::RepeatableRead,
+        IsolationLevel::Snapshot,
+        IsolationLevel::Serializable,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("read_commit", format!("{level}")),
+            &level,
+            |b, &level| {
+                let e = engine();
+                e.create_item("x", 0).expect("item");
+                b.iter(|| {
+                    let mut t = e.begin(level);
+                    black_box(t.read("x").expect("read"));
+                    t.commit().expect("commit");
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("rmw_commit", format!("{level}")),
+            &level,
+            |b, &level| {
+                let e = engine();
+                e.create_item("x", 0).expect("item");
+                b.iter(|| {
+                    let mut t = e.begin(level);
+                    let v = t.read("x").expect("read").as_int().expect("int");
+                    t.write("x", v + 1).expect("write");
+                    t.commit().expect("commit");
+                })
+            },
+        );
+    }
+    g.bench_function("select_100_rows", |b| {
+        let e = engine();
+        orders::setup(&e, 100);
+        let mut t = e.begin(IsolationLevel::ReadUncommitted);
+        b.iter(|| black_box(t.select("orders", &RowPred::True).expect("select").len()));
+    });
+    g.finish();
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analyzer");
+    g.sample_size(20);
+    let ord = orders::app(false);
+    let bank = banking::app();
+    g.bench_function("orders_rc_check", |b| {
+        b.iter(|| black_box(check_at_level(&ord, "New_Order", IsolationLevel::ReadCommitted).ok))
+    });
+    g.bench_function("banking_snapshot_check", |b| {
+        b.iter(|| {
+            black_box(check_at_level(&bank, "Withdraw_sav", IsolationLevel::Snapshot).ok)
+        })
+    });
+    g.bench_function("orders_full_assignment", |b| {
+        b.iter(|| black_box(assign_levels(&ord, &default_ladder()).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_prover, bench_locks, bench_engine, bench_analyzer);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! T2 — the Section 5 assignment tables: lowest safe isolation level per
+//! transaction type, for every workload.
+//!
+//! Regenerates the implied table of the paper's Section 6 (plus our
+//! banking, payroll, and TPC-C analyses):
+//!
+//! ```text
+//! cargo run -p semcc-bench --bin table_t2
+//! ```
+
+use semcc_bench::{row, rule, short};
+use semcc_core::assign::{ansi_ladder, assign_levels, default_ladder};
+use semcc_core::App;
+use semcc_workloads::{banking, orders, payroll, tpcc};
+
+fn print_app(name: &str, app: &App) {
+    println!("\n== {name} ==");
+    let widths = [22usize, 18, 12, 14, 14];
+    println!(
+        "{}",
+        row(
+            &[
+                "transaction".into(),
+                "lowest level".into(),
+                "snapshot ok".into(),
+                "ANSI-only".into(),
+                "prover calls".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    let full = assign_levels(app, &default_ladder());
+    let ansi = assign_levels(app, &ansi_ladder());
+    for a in &full {
+        let ansi_level = ansi
+            .iter()
+            .find(|x| x.txn == a.txn)
+            .map(|x| short(x.level))
+            .unwrap_or("?");
+        let calls: usize = a.reports.iter().map(|r| r.prover_calls).sum();
+        println!(
+            "{}",
+            row(
+                &[
+                    a.txn.clone(),
+                    short(a.level).to_string(),
+                    if a.snapshot_ok { "yes".into() } else { "NO".into() },
+                    ansi_level.to_string(),
+                    calls.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+}
+
+fn main() {
+    println!("T2: lowest-safe-isolation-level assignment (Section 5 procedure)");
+    println!("ladder: RU -> RC -> RC+FCW -> RR -> SER; SNAPSHOT reported separately");
+    print_app("banking (Figure 1 / Example 3)", &banking::app());
+    print_app("order processing, no_gaps rule (Section 6)", &orders::app(false));
+    print_app("order processing, one_order_per_day rule", &orders::app(true));
+    print_app("payroll (Example 2)", &payroll::app());
+    print_app("TPC-C style (future-work section)", &tpcc::app());
+    println!("\npaper expectation (Section 6): Mailing_List=RU, New_Order=RC (RC+FCW under");
+    println!("the strict rule), Delivery=RR, Audit=SER; Example 3: withdrawals unsafe under");
+    println!("SNAPSHOT against the opposite account (write skew), deposits safe.");
+}

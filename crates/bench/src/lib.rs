@@ -1,0 +1,67 @@
+//! Shared helpers for the table-generating harness binaries.
+//!
+//! Each binary regenerates one artifact of the reproduction (see
+//! `DESIGN.md`'s per-experiment index):
+//!
+//! * `table_t1` — obligation counts per isolation level (+ K/N sweep),
+//! * `table_t2` — the Section 5 lowest-level assignment tables,
+//! * `table_verdicts` — per-figure/example verdicts with failure reasons,
+//! * `table_p1` — throughput/latency/abort-rate per level policy,
+//! * `table_p2` — anomaly incidence per level, cross-checked against the
+//!   runtime integrity auditors.
+
+use semcc_engine::IsolationLevel;
+
+/// Render one table row with fixed-width columns.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (cell, w) in cells.iter().zip(widths) {
+        out.push_str(&format!("{cell:<w$}  ", w = w));
+    }
+    out.trim_end().to_string()
+}
+
+/// Render a rule (separator) line for the given widths.
+pub fn rule(widths: &[usize]) -> String {
+    widths
+        .iter()
+        .map(|w| "-".repeat(*w))
+        .collect::<Vec<_>>()
+        .join("--")
+}
+
+/// A short tag for a level (for narrow tables).
+pub fn short(level: IsolationLevel) -> &'static str {
+    match level {
+        IsolationLevel::ReadUncommitted => "RU",
+        IsolationLevel::ReadCommitted => "RC",
+        IsolationLevel::ReadCommittedFcw => "RC+FCW",
+        IsolationLevel::RepeatableRead => "RR",
+        IsolationLevel::Snapshot => "SNAP",
+        IsolationLevel::Serializable => "SER",
+    }
+}
+
+/// Parse `--quick` style flags from argv.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_and_rule_align() {
+        let widths = [5, 3];
+        assert_eq!(row(&["ab".into(), "c".into()], &widths), "ab     c");
+        assert_eq!(rule(&widths), "----------");
+        assert_eq!(rule(&widths).len(), 5 + 2 + 3);
+    }
+
+    #[test]
+    fn short_tags() {
+        assert_eq!(short(IsolationLevel::Snapshot), "SNAP");
+        assert_eq!(short(IsolationLevel::ReadCommittedFcw), "RC+FCW");
+    }
+}

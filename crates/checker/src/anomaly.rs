@@ -1,0 +1,382 @@
+//! Anomaly detectors over executed histories.
+//!
+//! Each detector recognizes one of the phenomena of Berenson et al. that
+//! the paper's isolation levels admit or exclude:
+//!
+//! | anomaly | admitted at | excluded from |
+//! |---------|-------------|---------------|
+//! | dirty read | READ UNCOMMITTED | READ COMMITTED+ |
+//! | lost update | READ COMMITTED | RC+FCW, SNAPSHOT |
+//! | non-repeatable read | RC, RC+FCW | REPEATABLE READ+ |
+//! | phantom | REPEATABLE READ | SERIALIZABLE |
+//! | write skew | SNAPSHOT | SERIALIZABLE |
+
+use semcc_engine::{Event, Op, ReadSrc};
+use semcc_mvcc::Key;
+use semcc_storage::TxnId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The kind of anomaly observed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AnomalyKind {
+    /// A transaction read another transaction's uncommitted write.
+    DirtyRead,
+    /// A committed write was based on a read that another transaction
+    /// overwrote (and committed) in between.
+    LostUpdate,
+    /// The same transaction observed two different committed versions of
+    /// one key.
+    NonRepeatableRead,
+    /// The same predicate, re-evaluated inside one transaction, matched a
+    /// different row set.
+    Phantom,
+    /// Two committed transactions with disjoint write sets each read a key
+    /// the other wrote (an rw–rw cycle of length two).
+    WriteSkew,
+}
+
+impl fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AnomalyKind::DirtyRead => "dirty read",
+            AnomalyKind::LostUpdate => "lost update",
+            AnomalyKind::NonRepeatableRead => "non-repeatable read",
+            AnomalyKind::Phantom => "phantom",
+            AnomalyKind::WriteSkew => "write skew",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One detected anomaly.
+#[derive(Clone, Debug)]
+pub struct Anomaly {
+    /// The kind.
+    pub kind: AnomalyKind,
+    /// Transactions involved (victim first).
+    pub txns: Vec<TxnId>,
+    /// Description for reports.
+    pub detail: String,
+}
+
+struct TxnView {
+    reads: Vec<(u64, Key, ReadSrc)>,
+    writes: Vec<(u64, Key)>,
+    pred_reads: Vec<(u64, String, String, Vec<u64>)>, // (seq, table, pred-string, matched)
+    commit_ts: Option<u64>,
+}
+
+fn views(events: &[Event]) -> BTreeMap<TxnId, TxnView> {
+    let mut out: BTreeMap<TxnId, TxnView> = BTreeMap::new();
+    for ev in events {
+        let v = out.entry(ev.txn).or_insert(TxnView {
+            reads: Vec::new(),
+            writes: Vec::new(),
+            pred_reads: Vec::new(),
+            commit_ts: None,
+        });
+        match &ev.op {
+            Op::Read { key, src, .. } => v.reads.push((ev.seq, key.clone(), src.clone())),
+            Op::Write { key, .. } => v.writes.push((ev.seq, key.clone())),
+            Op::RowInsert { table, id, .. } | Op::RowUpdate { table, id, .. } => {
+                v.writes.push((ev.seq, Key::row(table.clone(), *id)));
+            }
+            Op::RowDelete { table, id } => v.writes.push((ev.seq, Key::row(table.clone(), *id))),
+            Op::PredRead { table, pred, matched } => {
+                v.pred_reads.push((ev.seq, table.clone(), format!("{pred}"), matched.clone()));
+            }
+            Op::Commit { ts } => v.commit_ts = Some(*ts),
+            Op::Begin | Op::Abort => {}
+        }
+    }
+    out
+}
+
+/// Run every detector over the history.
+pub fn detect_anomalies(events: &[Event]) -> Vec<Anomaly> {
+    let vs = views(events);
+    let mut out = Vec::new();
+    dirty_reads(&vs, &mut out);
+    lost_updates(&vs, &mut out);
+    non_repeatable_reads(&vs, &mut out);
+    phantoms(&vs, &mut out);
+    write_skews(&vs, &mut out);
+    out
+}
+
+fn dirty_reads(vs: &BTreeMap<TxnId, TxnView>, out: &mut Vec<Anomaly>) {
+    for (txn, v) in vs {
+        for (_, key, src) in &v.reads {
+            if let ReadSrc::Dirty(writer) = src {
+                if writer != txn {
+                    out.push(Anomaly {
+                        kind: AnomalyKind::DirtyRead,
+                        txns: vec![*txn, *writer],
+                        detail: format!("txn {txn} read uncommitted {key} of txn {writer}"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn lost_updates(vs: &BTreeMap<TxnId, TxnView>, out: &mut Vec<Anomaly>) {
+    for (t1, v1) in vs {
+        let Some(c1) = v1.commit_ts else { continue };
+        for (_, key, src) in &v1.reads {
+            // T1 read a committed version and later wrote the same key.
+            let ReadSrc::Committed(read_ts) = src else { continue };
+            if !v1.writes.iter().any(|(_, k)| k == key) {
+                continue;
+            }
+            for (t2, v2) in vs {
+                if t1 == t2 {
+                    continue;
+                }
+                let Some(c2) = v2.commit_ts else { continue };
+                if v2.writes.iter().any(|(_, k)| k == key) && *read_ts < c2 && c2 < c1 {
+                    out.push(Anomaly {
+                        kind: AnomalyKind::LostUpdate,
+                        txns: vec![*t2, *t1],
+                        detail: format!(
+                            "txn {t1} overwrote {key} based on version {read_ts}, losing txn {t2}'s update (ts {c2})"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn non_repeatable_reads(vs: &BTreeMap<TxnId, TxnView>, out: &mut Vec<Anomaly>) {
+    for (txn, v) in vs {
+        for (i, (_, k1, s1)) in v.reads.iter().enumerate() {
+            for (_, k2, s2) in v.reads.iter().skip(i + 1) {
+                if k1 != k2 {
+                    continue;
+                }
+                if let (ReadSrc::Committed(a), ReadSrc::Committed(b)) = (s1, s2) {
+                    if a != b {
+                        out.push(Anomaly {
+                            kind: AnomalyKind::NonRepeatableRead,
+                            txns: vec![*txn],
+                            detail: format!(
+                                "txn {txn} read {k1} at versions {a} and {b}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn phantoms(vs: &BTreeMap<TxnId, TxnView>, out: &mut Vec<Anomaly>) {
+    for (txn, v) in vs {
+        for (i, (_, t1, p1, m1)) in v.pred_reads.iter().enumerate() {
+            for (_, t2, p2, m2) in v.pred_reads.iter().skip(i + 1) {
+                if t1 == t2 && p1 == p2 && m1 != m2 {
+                    out.push(Anomaly {
+                        kind: AnomalyKind::Phantom,
+                        txns: vec![*txn],
+                        detail: format!(
+                            "txn {txn} re-evaluated {p1} on {t1}: {} then {} rows",
+                            m1.len(),
+                            m2.len()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn write_skews(vs: &BTreeMap<TxnId, TxnView>, out: &mut Vec<Anomaly>) {
+    let committed: Vec<(&TxnId, &TxnView)> = vs.iter().filter(|(_, v)| v.commit_ts.is_some()).collect();
+    // A genuine skew needs an rw-antidependency in BOTH directions: each
+    // transaction read a version of some key *older* than the version the
+    // other committed for it. Merely overlapping serialized transactions
+    // (where the later one read the earlier one's output) do not qualify.
+    let anti = |reader: &TxnView, writer: &TxnView| -> bool {
+        let Some(wc) = writer.commit_ts else { return false };
+        reader.reads.iter().any(|(_, k, src)| {
+            let ver = match src {
+                ReadSrc::Committed(ts) | ReadSrc::Snapshot(ts) => *ts,
+                ReadSrc::Dirty(_) => return false,
+            };
+            ver < wc && writer.writes.iter().any(|(_, kw)| kw == k)
+        })
+    };
+    for (i, (t1, v1)) in committed.iter().enumerate() {
+        for (t2, v2) in committed.iter().skip(i + 1) {
+            let disjoint = !v1
+                .writes
+                .iter()
+                .any(|(_, k1)| v2.writes.iter().any(|(_, k2)| k1 == k2));
+            if !disjoint || v1.writes.is_empty() || v2.writes.is_empty() {
+                continue;
+            }
+            if anti(v1, v2) && anti(v2, v1) {
+                out.push(Anomaly {
+                    kind: AnomalyKind::WriteSkew,
+                    txns: vec![**t1, **t2],
+                    detail: format!(
+                        "txns {t1} and {t2} each missed the other's committed write (rw-rw cycle)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcc_engine::{Engine, EngineConfig, IsolationLevel};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn engine() -> Arc<Engine> {
+        Arc::new(Engine::new(EngineConfig {
+            lock_timeout: Duration::from_millis(300),
+            record_history: true,
+        }))
+    }
+
+    fn kinds(events: &[Event]) -> Vec<AnomalyKind> {
+        let mut k: Vec<AnomalyKind> =
+            detect_anomalies(events).into_iter().map(|a| a.kind).collect();
+        k.sort();
+        k.dedup();
+        k
+    }
+
+    #[test]
+    fn clean_serial_run_has_no_anomalies() {
+        let e = engine();
+        e.create_item("x", 0).expect("item");
+        for _ in 0..3 {
+            let mut t = e.begin(IsolationLevel::Serializable);
+            let v = t.read("x").expect("r").as_int().expect("int");
+            t.write("x", v + 1).expect("w");
+            t.commit().expect("c");
+        }
+        assert!(kinds(&e.history().events()).is_empty());
+    }
+
+    #[test]
+    fn dirty_read_detected() {
+        let e = engine();
+        e.create_item("x", 0).expect("item");
+        let mut w = e.begin(IsolationLevel::ReadCommitted);
+        w.write("x", 9).expect("w");
+        let mut r = e.begin(IsolationLevel::ReadUncommitted);
+        r.read("x").expect("r");
+        r.abort();
+        w.abort();
+        assert_eq!(kinds(&e.history().events()), vec![AnomalyKind::DirtyRead]);
+    }
+
+    #[test]
+    fn lost_update_detected() {
+        let e = engine();
+        e.create_item("x", 0).expect("item");
+        let mut t1 = e.begin(IsolationLevel::ReadCommitted);
+        let v1 = t1.read("x").expect("r").as_int().expect("int");
+        let mut t2 = e.begin(IsolationLevel::ReadCommitted);
+        let v2 = t2.read("x").expect("r").as_int().expect("int");
+        t2.write("x", v2 + 10).expect("w");
+        t2.commit().expect("c");
+        t1.write("x", v1 + 5).expect("w");
+        t1.commit().expect("c");
+        let k = kinds(&e.history().events());
+        assert!(k.contains(&AnomalyKind::LostUpdate), "got {k:?}");
+    }
+
+    #[test]
+    fn fcw_prevents_lost_update() {
+        let e = engine();
+        e.create_item("x", 0).expect("item");
+        let mut t1 = e.begin(IsolationLevel::ReadCommittedFcw);
+        let v1 = t1.read("x").expect("r").as_int().expect("int");
+        let mut t2 = e.begin(IsolationLevel::ReadCommittedFcw);
+        let v2 = t2.read("x").expect("r").as_int().expect("int");
+        t2.write("x", v2 + 10).expect("w");
+        t2.commit().expect("c");
+        t1.write("x", v1 + 5).expect("w");
+        assert!(t1.commit().is_err(), "second committer must lose");
+        let k = kinds(&e.history().events());
+        assert!(!k.contains(&AnomalyKind::LostUpdate), "got {k:?}");
+    }
+
+    #[test]
+    fn non_repeatable_read_detected() {
+        let e = engine();
+        e.create_item("x", 0).expect("item");
+        let mut t1 = e.begin(IsolationLevel::ReadCommitted);
+        t1.read("x").expect("r");
+        let mut t2 = e.begin(IsolationLevel::ReadCommitted);
+        t2.write("x", 7).expect("w");
+        t2.commit().expect("c");
+        t1.read("x").expect("r again");
+        t1.commit().expect("c");
+        let k = kinds(&e.history().events());
+        assert!(k.contains(&AnomalyKind::NonRepeatableRead), "got {k:?}");
+    }
+
+    #[test]
+    fn phantom_detected_at_rr() {
+        use semcc_logic::row::RowPred;
+        use semcc_storage::{Schema, Value};
+        let e = engine();
+        e.create_table(Schema::new("t", &["k"], &["k"])).expect("table");
+        e.load_row("t", vec![Value::Int(1)]).expect("row");
+        let pred = RowPred::field_eq_int("k", 1);
+        let mut t1 = e.begin(IsolationLevel::RepeatableRead);
+        t1.count("t", &pred).expect("count");
+        let mut t2 = e.begin(IsolationLevel::ReadCommitted);
+        t2.insert("t", vec![Value::Int(1)]).expect("phantom insert");
+        t2.commit().expect("c");
+        t1.count("t", &pred).expect("recount");
+        t1.commit().expect("c");
+        let k = kinds(&e.history().events());
+        assert!(k.contains(&AnomalyKind::Phantom), "got {k:?}");
+    }
+
+    #[test]
+    fn write_skew_detected_at_snapshot() {
+        let e = engine();
+        e.create_item("sav", 100).expect("item");
+        e.create_item("ch", 100).expect("item");
+        let mut t1 = e.begin(IsolationLevel::Snapshot);
+        let mut t2 = e.begin(IsolationLevel::Snapshot);
+        let s = t1.read("sav").expect("r").as_int().expect("int");
+        t1.read("ch").expect("r");
+        t2.read("sav").expect("r");
+        let c = t2.read("ch").expect("r").as_int().expect("int");
+        t1.write("sav", s - 150).expect("w");
+        t2.write("ch", c - 150).expect("w");
+        t1.commit().expect("c");
+        t2.commit().expect("c");
+        let k = kinds(&e.history().events());
+        assert!(k.contains(&AnomalyKind::WriteSkew), "got {k:?}");
+    }
+
+    #[test]
+    fn snapshot_without_cross_reads_is_not_skew() {
+        let e = engine();
+        e.create_item("a", 100).expect("item");
+        e.create_item("b", 100).expect("item");
+        let mut t1 = e.begin(IsolationLevel::Snapshot);
+        let mut t2 = e.begin(IsolationLevel::Snapshot);
+        let x = t1.read("a").expect("r").as_int().expect("int");
+        let y = t2.read("b").expect("r").as_int().expect("int");
+        t1.write("a", x - 1).expect("w");
+        t2.write("b", y - 1).expect("w");
+        t1.commit().expect("c");
+        t2.commit().expect("c");
+        let k = kinds(&e.history().events());
+        assert!(!k.contains(&AnomalyKind::WriteSkew), "got {k:?}");
+    }
+}

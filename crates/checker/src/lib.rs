@@ -1,0 +1,19 @@
+//! Runtime/offline checking of executed schedules.
+//!
+//! The engine records every operation into a history; this crate consumes
+//! histories to
+//!
+//! * test **conflict-serializability** (the classical criterion the paper
+//!   *relaxes*) via conflict-graph cycle detection ([`conflict`]),
+//! * detect the **anomaly menagerie** — dirty read, lost update,
+//!   non-repeatable read, phantom, write skew ([`anomaly`]), and
+//! * summarize runs for the P2 experiment, cross-checking the analyzer's
+//!   level assignments against observed behavior ([`report`]).
+
+pub mod conflict;
+pub mod anomaly;
+pub mod report;
+
+pub use anomaly::{detect_anomalies, Anomaly, AnomalyKind};
+pub use conflict::{conflict_graph, is_conflict_serializable, ConflictGraph};
+pub use report::AnomalyCounts;

@@ -1,0 +1,83 @@
+//! Aggregate anomaly reporting for the P2 experiment.
+
+use crate::anomaly::{detect_anomalies, AnomalyKind};
+use semcc_engine::Event;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Counts per anomaly kind for one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AnomalyCounts {
+    counts: BTreeMap<AnomalyKind, usize>,
+}
+
+impl AnomalyCounts {
+    /// Detect and count anomalies in a history.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut counts: BTreeMap<AnomalyKind, usize> = BTreeMap::new();
+        for a in detect_anomalies(events) {
+            *counts.entry(a.kind).or_default() += 1;
+        }
+        AnomalyCounts { counts }
+    }
+
+    /// Count for one kind.
+    pub fn get(&self, kind: AnomalyKind) -> usize {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total across all kinds.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Whether the run was anomaly-free.
+    pub fn is_clean(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// All non-zero kinds.
+    pub fn kinds(&self) -> impl Iterator<Item = (&AnomalyKind, &usize)> {
+        self.counts.iter()
+    }
+}
+
+impl fmt::Display for AnomalyCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.counts.is_empty() {
+            return write!(f, "clean");
+        }
+        let parts: Vec<String> =
+            self.counts.iter().map(|(k, n)| format!("{k}: {n}")).collect();
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcc_engine::{Engine, EngineConfig, IsolationLevel};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn counts_and_display() {
+        let e = Arc::new(Engine::new(EngineConfig {
+            lock_timeout: Duration::from_millis(200),
+            record_history: true,
+        }));
+        e.create_item("x", 0).expect("item");
+        let mut w = e.begin(IsolationLevel::ReadCommitted);
+        w.write("x", 1).expect("w");
+        let mut r = e.begin(IsolationLevel::ReadUncommitted);
+        r.read("x").expect("r");
+        r.abort();
+        w.abort();
+        let c = AnomalyCounts::from_events(&e.history().events());
+        assert_eq!(c.get(AnomalyKind::DirtyRead), 1);
+        assert_eq!(c.total(), 1);
+        assert!(!c.is_clean());
+        assert!(c.to_string().contains("dirty read"));
+        assert!(AnomalyCounts::default().is_clean());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the checkers: serial executions are always clean
+//! (conflict-serializable, anomaly-free), and SERIALIZABLE interleavings
+//! never produce anomaly reports.
+
+use proptest::prelude::*;
+use semcc_checker::{detect_anomalies, is_conflict_serializable};
+use semcc_engine::{Engine, EngineConfig, IsolationLevel};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ITEMS: [&str; 3] = ["a", "b", "c"];
+
+#[derive(Clone, Debug)]
+enum Op {
+    Read(u8),
+    Increment(u8),
+    Write(u8, i64),
+}
+
+fn arb_txn() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..3).prop_map(Op::Read),
+            (0u8..3).prop_map(Op::Increment),
+            (0u8..3, -5i64..5).prop_map(|(i, v)| Op::Write(i, v)),
+        ],
+        1..5,
+    )
+}
+
+fn run_txn(e: &Arc<Engine>, level: IsolationLevel, ops: &[Op]) {
+    let mut t = e.begin(level);
+    let all_ok = ops.iter().all(|op| match op {
+        Op::Read(i) => t.read(ITEMS[*i as usize]).is_ok(),
+        Op::Increment(i) => match t.read(ITEMS[*i as usize]) {
+            Ok(v) => t
+                .write(ITEMS[*i as usize], v.as_int().expect("int") + 1)
+                .is_ok(),
+            Err(_) => false,
+        },
+        Op::Write(i, v) => t.write(ITEMS[*i as usize], *v).is_ok(),
+    });
+    if all_ok {
+        let _ = t.commit();
+    } else {
+        t.abort();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serial_executions_are_clean(
+        txns in proptest::collection::vec(arb_txn(), 1..6),
+        levels in proptest::collection::vec(0usize..6, 6),
+    ) {
+        let e = Arc::new(Engine::new(EngineConfig {
+            lock_timeout: Duration::from_millis(50),
+            record_history: true,
+        }));
+        for n in ITEMS {
+            e.create_item(n, 0).expect("item");
+        }
+        for (i, ops) in txns.iter().enumerate() {
+            let level = IsolationLevel::ALL[levels[i % levels.len()]];
+            run_txn(&e, level, ops); // strictly serial: one at a time
+        }
+        let events = e.history().events();
+        prop_assert!(is_conflict_serializable(&events), "serial must be CSR");
+        let anomalies = detect_anomalies(&events);
+        prop_assert!(anomalies.is_empty(), "serial run reported: {anomalies:?}");
+    }
+
+    #[test]
+    fn concurrent_serializable_runs_are_clean(
+        txns in proptest::collection::vec(arb_txn(), 2..5),
+    ) {
+        let e = Arc::new(Engine::new(EngineConfig {
+            lock_timeout: Duration::from_millis(50),
+            record_history: true,
+        }));
+        for n in ITEMS {
+            e.create_item(n, 0).expect("item");
+        }
+        let mut handles = Vec::new();
+        for ops in txns {
+            let e = e.clone();
+            handles.push(std::thread::spawn(move || {
+                run_txn(&e, IsolationLevel::Serializable, &ops)
+            }));
+        }
+        for h in handles {
+            h.join().expect("join");
+        }
+        let events = e.history().events();
+        prop_assert!(is_conflict_serializable(&events));
+        let anomalies = detect_anomalies(&events);
+        prop_assert!(anomalies.is_empty(), "SER run reported: {anomalies:?}");
+    }
+}

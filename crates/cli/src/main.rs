@@ -1,0 +1,231 @@
+//! `semcc` — the command-line face of the analyzer.
+//!
+//! Applications (annotated transaction programs + schemas + lemmas) are
+//! serialized as JSON; the CLI runs the paper's Section 5 procedure, the
+//! per-level theorem checks, the annotation outline validator, and the
+//! obligation cost accounting over them.
+//!
+//! ```text
+//! semcc export banking bank.json       # write a bundled example app
+//! semcc analyze bank.json              # lowest-level assignment table
+//! semcc check bank.json Withdraw_sav SNAPSHOT
+//! semcc verify bank.json               # annotation outline validation
+//! semcc obligations bank.json          # per-level obligation counts
+//! ```
+
+use semcc_core::annotate::{check_app_annotations, Severity};
+use semcc_core::assign::{ansi_ladder, assign_levels, default_ladder};
+use semcc_core::counting::cost_table;
+use semcc_core::theorems::check_at_level;
+use semcc_core::App;
+use semcc_engine::IsolationLevel;
+use semcc_workloads::{banking, orders, payroll, tpcc};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("export") => cmd_export(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("obligations") => cmd_obligations(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `semcc help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!("semcc — semantic conditions for correctness at different isolation levels");
+    println!();
+    println!("USAGE:");
+    println!("  semcc export <banking|orders|orders-strict|payroll|tpcc> <out.json>");
+    println!("  semcc analyze <app.json> [--ansi]");
+    println!("  semcc check <app.json> <transaction> <LEVEL>");
+    println!("  semcc verify <app.json>");
+    println!("  semcc obligations <app.json>");
+    println!();
+    println!("LEVELs: \"READ UNCOMMITTED\", \"READ COMMITTED\", \"READ COMMITTED+FCW\",");
+    println!("        \"REPEATABLE READ\", \"SNAPSHOT\", \"SERIALIZABLE\"");
+}
+
+fn load_app(path: &str) -> Result<App, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    let [which, out] = args else {
+        return Err("usage: semcc export <workload> <out.json>".into());
+    };
+    let app = match which.as_str() {
+        "banking" => banking::app(),
+        "orders" => orders::app(false),
+        "orders-strict" => orders::app(true),
+        "payroll" => payroll::app(),
+        "tpcc" => tpcc::app(),
+        other => return Err(format!("unknown workload `{other}`")),
+    };
+    let json = serde_json::to_string_pretty(&app).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {which} application ({} transaction types) to {out}", app.programs.len());
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: semcc analyze <app.json> [--ansi]")?;
+    let app = load_app(path)?;
+    let ladder = if args.iter().any(|a| a == "--ansi") { ansi_ladder() } else { default_ladder() };
+    println!("{:<24}  {:<20}  {:<12}", "transaction", "lowest level", "snapshot ok");
+    println!("{}", "-".repeat(60));
+    for a in assign_levels(&app, &ladder) {
+        println!(
+            "{:<24}  {:<20}  {:<12}",
+            a.txn,
+            a.level.to_string(),
+            if a.snapshot_ok { "yes" } else { "NO" }
+        );
+        if let Some(rejected) = a.reports.iter().find(|r| !r.ok) {
+            if let Some(reason) = rejected.failures.first() {
+                println!("    {} rejected: {}", rejected.level, reason);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let [path, txn, level_name] = args else {
+        return Err("usage: semcc check <app.json> <transaction> <LEVEL>".into());
+    };
+    let app = load_app(path)?;
+    let level = IsolationLevel::from_name(level_name)
+        .ok_or_else(|| format!("unknown level `{level_name}`"))?;
+    if app.program(txn).is_none() {
+        return Err(format!(
+            "no transaction `{txn}` (have: {})",
+            app.programs.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(", ")
+        ));
+    }
+    let r = check_at_level(&app, txn, level);
+    println!(
+        "{txn} @ {level}: {} ({} obligations, {} prover calls)",
+        if r.ok { "semantically correct" } else { "REJECTED" },
+        r.obligations,
+        r.prover_calls
+    );
+    for f in &r.failures {
+        println!("  {f}");
+    }
+    if r.ok {
+        Ok(())
+    } else {
+        Err("transaction rejected at this level".into())
+    }
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: semcc verify <app.json>")?;
+    let app = load_app(path)?;
+    let issues = check_app_annotations(&app);
+    let mut errors = 0;
+    for i in &issues {
+        let tag = match i.severity {
+            Severity::Error => {
+                errors += 1;
+                "ERROR"
+            }
+            Severity::Unverified => "assumed",
+        };
+        println!("[{tag}] {} @ {}: {}", i.txn, i.location, i.message);
+    }
+    println!(
+        "{} issue(s): {errors} error(s), {} assumed conjunct(s)",
+        issues.len(),
+        issues.len() - errors
+    );
+    if errors == 0 {
+        println!("annotation outlines are valid sequential proofs (within the fragment)");
+        Ok(())
+    } else {
+        Err("annotation outline errors found".into())
+    }
+}
+
+fn cmd_obligations(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: semcc obligations <app.json>")?;
+    let app = load_app(path)?;
+    let t = cost_table(&app);
+    println!(
+        "K = {} transaction types, ΣN = {} statements, naive (ΣN)^2 = {}",
+        t.k, t.total_stmts, t.naive_triples
+    );
+    println!("{:<22}  {:>12}  {:>14}", "level", "obligations", "prover calls");
+    println!("{}", "-".repeat(52));
+    for c in &t.per_level {
+        println!("{:<22}  {:>12}  {:>14}", c.level.to_string(), c.obligations, c.prover_calls);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_roundtrips_through_json() {
+        for (name, app) in [
+            ("banking", banking::app()),
+            ("orders", orders::app(false)),
+            ("orders-strict", orders::app(true)),
+            ("payroll", payroll::app()),
+            ("tpcc", tpcc::app()),
+        ] {
+            let json = serde_json::to_string(&app).expect("serialize");
+            let back: App = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(back.programs.len(), app.programs.len(), "{name}");
+            // Verdicts must be identical after the round trip.
+            let before = assign_levels(&app, &default_ladder());
+            let after = assign_levels(&back, &default_ladder());
+            for (b, a) in before.iter().zip(&after) {
+                assert_eq!(b.txn, a.txn, "{name}");
+                assert_eq!(b.level, a.level, "{name}/{}", b.txn);
+                assert_eq!(b.snapshot_ok, a.snapshot_ok, "{name}/{}", b.txn);
+            }
+        }
+    }
+
+    #[test]
+    fn export_analyze_check_flow() {
+        let dir = std::env::temp_dir().join("semcc_cli_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("bank.json");
+        let path_s = path.to_str().expect("utf8").to_string();
+        cmd_export(&["banking".to_string(), path_s.clone()]).expect("export");
+        cmd_analyze(std::slice::from_ref(&path_s)).expect("analyze");
+        cmd_verify(std::slice::from_ref(&path_s)).expect("verify");
+        cmd_obligations(std::slice::from_ref(&path_s)).expect("obligations");
+        // A passing check:
+        cmd_check(&[path_s.clone(), "Withdraw_sav".into(), "REPEATABLE READ".into()])
+            .expect("check rr");
+        // A failing check returns Err:
+        assert!(cmd_check(&[path_s, "Withdraw_sav".into(), "SNAPSHOT".into()]).is_err());
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        assert!(load_app("/nonexistent/x.json").is_err());
+        assert!(cmd_export(&["nope".to_string(), "/tmp/x.json".to_string()]).is_err());
+        assert!(IsolationLevel::from_name("BOGUS").is_none());
+    }
+}

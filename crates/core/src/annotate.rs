@@ -1,0 +1,390 @@
+//! Sequential validation of program annotations — a mechanized version of
+//! "proving (1) is a theorem" from the paper's Section 2.
+//!
+//! The interference theorems assume each transaction's annotation is a
+//! valid sequential proof outline: every statement's postcondition follows
+//! from its precondition by the Hoare assignment rule, and consecutive
+//! control points agree. This module checks exactly that, within the
+//! prover's fragment:
+//!
+//! * scalar conjuncts are discharged with wp-substitution + the prover;
+//! * conjuncts that *define* a fresh logical constant (`:Sav = ?SAV0`
+//!   where `?SAV0` is new) are definitional captures and skipped;
+//! * opaque/table atoms are carried when they appear verbatim in the
+//!   precondition and reported as `Unverified` otherwise (relational
+//!   postconditions are semantic claims about SELECT results the
+//!   sequential rule cannot discharge).
+//!
+//! A clean workload reports zero [`Severity::Error`] issues — asserted for
+//! every shipped workload in the cross-crate test-suite.
+
+use crate::app::App;
+use semcc_logic::prover::{Outcome, Prover};
+use semcc_logic::subst::Subst;
+use semcc_logic::{Expr, Pred, Var};
+use semcc_txn::stmt::{AStmt, Stmt};
+use semcc_txn::Program;
+
+/// How bad an annotation issue is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// A scalar obligation failed: the outline is not a valid proof.
+    Error,
+    /// The checker's fragment could not discharge the conjunct (e.g. a
+    /// relational postcondition); the obligation is assumed, as the paper
+    /// assumes its hand proofs.
+    Unverified,
+}
+
+/// One annotation finding.
+#[derive(Clone, Debug)]
+pub struct AnnotationIssue {
+    /// Transaction type.
+    pub txn: String,
+    /// Human-readable location.
+    pub location: String,
+    /// Severity.
+    pub severity: Severity,
+    /// Description.
+    pub message: String,
+}
+
+/// Check a program's annotation as a sequential proof outline.
+pub fn check_annotations(program: &Program) -> Vec<AnnotationIssue> {
+    let prover = Prover::new();
+    let mut issues = Vec::new();
+    check_block(program, &program.body, &prover, &mut issues);
+    issues
+}
+
+/// Check every program of an application; returns all issues.
+pub fn check_app_annotations(app: &App) -> Vec<AnnotationIssue> {
+    app.programs.iter().flat_map(check_annotations).collect()
+}
+
+fn check_block(
+    program: &Program,
+    block: &[AStmt],
+    prover: &Prover,
+    issues: &mut Vec<AnnotationIssue>,
+) {
+    for (i, a) in block.iter().enumerate() {
+        let loc = format!("stmt #{i} ({})", stmt_kind(&a.stmt));
+        match &a.stmt {
+            Stmt::ReadItem { item, into } => {
+                let subst =
+                    Subst::single(Var::local(into.clone()), Expr::db(item.base.clone()));
+                check_transition(program, &loc, &a.pre, &a.post, Some(&subst), prover, issues);
+            }
+            Stmt::WriteItem { item, value } => {
+                let subst = Subst::single(Var::db(item.base.clone()), value.clone());
+                check_transition(program, &loc, &a.pre, &a.post, Some(&subst), prover, issues);
+            }
+            Stmt::LocalAssign { local, value } => {
+                let subst = Subst::single(Var::local(local.clone()), value.clone());
+                check_transition(program, &loc, &a.pre, &a.post, Some(&subst), prover, issues);
+            }
+            Stmt::SelectValue { into, .. } | Stmt::SelectCount { into, .. } => {
+                // The target local is havocked by the read; conjuncts
+                // mentioning it are new facts about the database the
+                // sequential rule cannot establish.
+                check_havoc_transition(program, &loc, &a.pre, &a.post, into, prover, issues);
+            }
+            Stmt::Select { .. } => {
+                check_transition(program, &loc, &a.pre, &a.post, None, prover, issues);
+            }
+            Stmt::Update { .. } | Stmt::Insert { .. } | Stmt::Delete { .. } => {
+                // Relational writes: scalar state is unchanged; table atoms
+                // in the post are semantic claims about the write.
+                check_transition(program, &loc, &a.pre, &a.post, None, prover, issues);
+            }
+            Stmt::If { guard, then_branch, else_branch } => {
+                // Entry into each branch under the guard.
+                if let Some(first) = then_branch.first() {
+                    let entry = Pred::and([a.pre.clone(), guard.clone()]);
+                    check_implication(program, &format!("{loc} (then entry)"), &entry, &first.pre, prover, issues);
+                }
+                if let Some(first) = else_branch.first() {
+                    let entry = Pred::and([a.pre.clone(), Pred::not(guard.clone())]);
+                    check_implication(program, &format!("{loc} (else entry)"), &entry, &first.pre, prover, issues);
+                }
+                check_block(program, then_branch, prover, issues);
+                check_block(program, else_branch, prover, issues);
+                // Branch exits re-establish the statement's post.
+                if let Some(last) = then_branch.last() {
+                    check_implication(program, &format!("{loc} (then exit)"), &last.post, &a.post, prover, issues);
+                }
+                match else_branch.last() {
+                    Some(last) => check_implication(program, &format!("{loc} (else exit)"), &last.post, &a.post, prover, issues),
+                    None => {
+                        let fallthrough = Pred::and([a.pre.clone(), Pred::not(guard.clone())]);
+                        check_implication(program, &format!("{loc} (else fallthrough)"), &fallthrough, &a.post, prover, issues);
+                    }
+                }
+            }
+            Stmt::While { body, .. } => {
+                // The annotation's pre acts as the loop invariant: the body
+                // must re-establish it.
+                check_block(program, body, prover, issues);
+                if let Some(last) = body.last() {
+                    check_implication(program, &format!("{loc} (invariant)"), &last.post, &a.pre, prover, issues);
+                }
+            }
+            Stmt::Pause { .. } => {}
+        }
+        // Sequencing: this post must entail the next statement's pre.
+        if let Some(next) = block.get(i + 1) {
+            check_implication(
+                program,
+                &format!("{loc} -> stmt #{}", i + 1),
+                &a.post,
+                &next.pre,
+                prover,
+                issues,
+            );
+        }
+    }
+}
+
+/// Check `{pre} S {post}` where `S`'s scalar effect is `subst` (None = no
+/// scalar effect). Conjuncts of `post` are handled per the module rules.
+fn check_transition(
+    program: &Program,
+    loc: &str,
+    pre: &Pred,
+    post: &Pred,
+    subst: Option<&Subst>,
+    prover: &Prover,
+    issues: &mut Vec<AnnotationIssue>,
+) {
+    let pre_logicals = logicals_of(pre);
+    for conjunct in post.conjuncts() {
+        // Definitional capture of a fresh logical constant.
+        if logicals_of(conjunct).iter().any(|l| !pre_logicals.contains(l)) {
+            continue;
+        }
+        if contains_atoms(conjunct) {
+            if pre.conjuncts().contains(&conjunct) {
+                continue; // carried verbatim
+            }
+            issues.push(AnnotationIssue {
+                txn: program.name.clone(),
+                location: loc.to_string(),
+                severity: Severity::Unverified,
+                message: format!("relational/opaque conjunct assumed: {conjunct}"),
+            });
+            continue;
+        }
+        let goal = match subst {
+            Some(s) => s.apply_pred(conjunct),
+            None => conjunct.clone(),
+        };
+        if prover.implies(pre, &goal) != Outcome::Proven {
+            issues.push(AnnotationIssue {
+                txn: program.name.clone(),
+                location: loc.to_string(),
+                severity: Severity::Error,
+                message: format!("post conjunct does not follow: {conjunct}"),
+            });
+        }
+    }
+}
+
+/// Like [`check_transition`] but the statement havocs `target` (SELECT
+/// INTO / COUNT): conjuncts mentioning the target are new database facts.
+fn check_havoc_transition(
+    program: &Program,
+    loc: &str,
+    pre: &Pred,
+    post: &Pred,
+    target: &str,
+    prover: &Prover,
+    issues: &mut Vec<AnnotationIssue>,
+) {
+    let pre_logicals = logicals_of(pre);
+    for conjunct in post.conjuncts() {
+        if conjunct.vars().contains(&Var::local(target.to_string())) {
+            continue; // established by the read itself
+        }
+        if logicals_of(conjunct).iter().any(|l| !pre_logicals.contains(l)) {
+            continue;
+        }
+        if contains_atoms(conjunct) {
+            if pre.conjuncts().contains(&conjunct) {
+                continue;
+            }
+            issues.push(AnnotationIssue {
+                txn: program.name.clone(),
+                location: loc.to_string(),
+                severity: Severity::Unverified,
+                message: format!("relational/opaque conjunct assumed: {conjunct}"),
+            });
+            continue;
+        }
+        if prover.implies(pre, conjunct) != Outcome::Proven {
+            issues.push(AnnotationIssue {
+                txn: program.name.clone(),
+                location: loc.to_string(),
+                severity: Severity::Error,
+                message: format!("post conjunct does not follow: {conjunct}"),
+            });
+        }
+    }
+}
+
+fn check_implication(
+    program: &Program,
+    loc: &str,
+    from: &Pred,
+    to: &Pred,
+    prover: &Prover,
+    issues: &mut Vec<AnnotationIssue>,
+) {
+    check_transition(program, loc, from, to, None, prover, issues)
+}
+
+fn logicals_of(p: &Pred) -> Vec<Var> {
+    p.vars().into_iter().filter(|v| matches!(v, Var::Logical(_))).collect()
+}
+
+fn contains_atoms(p: &Pred) -> bool {
+    match p {
+        Pred::Opaque(_) | Pred::Table(_) => true,
+        Pred::Not(q) => contains_atoms(q),
+        Pred::And(ps) | Pred::Or(ps) => ps.iter().any(contains_atoms),
+        Pred::Implies(a, b) => contains_atoms(a) || contains_atoms(b),
+        _ => false,
+    }
+}
+
+fn stmt_kind(s: &Stmt) -> &'static str {
+    match s {
+        Stmt::ReadItem { .. } => "read",
+        Stmt::WriteItem { .. } => "write",
+        Stmt::LocalAssign { .. } => "assign",
+        Stmt::If { .. } => "if",
+        Stmt::While { .. } => "while",
+        Stmt::Select { .. } => "select",
+        Stmt::SelectCount { .. } => "count",
+        Stmt::SelectValue { .. } => "select-into",
+        Stmt::Update { .. } => "update",
+        Stmt::Insert { .. } => "insert",
+        Stmt::Delete { .. } => "delete",
+        Stmt::Pause { .. } => "pause",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcc_logic::parser::parse_pred;
+    use semcc_txn::stmt::ItemRef;
+    use semcc_txn::ProgramBuilder;
+
+    fn pp(s: &str) -> Pred {
+        parse_pred(s).expect("parses")
+    }
+
+    fn errors(issues: &[AnnotationIssue]) -> Vec<&AnnotationIssue> {
+        issues.iter().filter(|i| i.severity == Severity::Error).collect()
+    }
+
+    #[test]
+    fn valid_outline_is_clean() {
+        let p = ProgramBuilder::new("T")
+            .param_int("d")
+            .stmt(
+                Stmt::ReadItem { item: ItemRef::plain("x"), into: "X".into() },
+                pp("x >= 0"),
+                pp("x >= 0 && x = :X && :X = ?X0"),
+            )
+            .stmt(
+                Stmt::WriteItem {
+                    item: ItemRef::plain("x"),
+                    value: Expr::local("X").add(Expr::param("d")),
+                },
+                pp("x = :X && @d >= 0 && :X >= 0"),
+                pp("x >= 0"),
+            )
+            .build();
+        // NOTE: the sequencing check post(#0) -> pre(#1) needs @d >= 0,
+        // which the post doesn't carry — so author it properly:
+        let issues = check_annotations(&p);
+        // sequencing obligation fails for @d >= 0 (not carried)…
+        assert!(errors(&issues).iter().any(|i| i.message.contains("@d >= 0")));
+    }
+
+    #[test]
+    fn fixed_outline_is_clean() {
+        let p = ProgramBuilder::new("T")
+            .param_int("d")
+            .param_cond(pp("@d >= 0"))
+            .stmt(
+                Stmt::ReadItem { item: ItemRef::plain("x"), into: "X".into() },
+                pp("x >= 0 && @d >= 0"),
+                pp("x >= 0 && x = :X && :X = ?X0 && @d >= 0"),
+            )
+            .stmt(
+                Stmt::WriteItem {
+                    item: ItemRef::plain("x"),
+                    value: Expr::local("X").add(Expr::param("d")),
+                },
+                pp("x = :X && @d >= 0 && x >= 0"),
+                pp("x >= 0"),
+            )
+            .build();
+        let issues = check_annotations(&p);
+        assert!(errors(&issues).is_empty(), "issues: {issues:?}");
+    }
+
+    #[test]
+    fn broken_outline_is_flagged() {
+        let p = ProgramBuilder::new("T")
+            .stmt(
+                Stmt::WriteItem { item: ItemRef::plain("x"), value: Expr::int(-5) },
+                pp("x >= 0"),
+                pp("x >= 0"), // wrong: x is now -5
+            )
+            .build();
+        let issues = check_annotations(&p);
+        assert_eq!(errors(&issues).len(), 1);
+        assert!(issues[0].message.contains("does not follow"));
+    }
+
+    #[test]
+    fn branch_annotations_checked() {
+        use semcc_txn::stmt::AStmt;
+        let p = ProgramBuilder::new("T")
+            .stmt(
+                Stmt::If {
+                    guard: pp(":X >= 1"),
+                    then_branch: vec![AStmt::new(
+                        Stmt::WriteItem { item: ItemRef::plain("x"), value: Expr::local("X") },
+                        pp(":X >= 1"),
+                        pp("x >= 1"),
+                    )],
+                    else_branch: vec![],
+                },
+                pp("true"),
+                pp("x >= 1"), // wrong on the else path (x unchanged, unknown)
+            )
+            .build();
+        let issues = check_annotations(&p);
+        assert!(
+            errors(&issues).iter().any(|i| i.location.contains("else fallthrough")),
+            "issues: {issues:?}"
+        );
+    }
+
+    #[test]
+    fn definitional_captures_are_skipped() {
+        let p = ProgramBuilder::new("T")
+            .stmt(
+                Stmt::ReadItem { item: ItemRef::plain("x"), into: "X".into() },
+                pp("true"),
+                pp(":X = ?CAPTURED"), // pure capture: fine
+            )
+            .build();
+        assert!(errors(&check_annotations(&p)).is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! The shared engine: storage + lock manager + oracle + history.
+
+use crate::history::History;
+use crate::level::IsolationLevel;
+use crate::txn::Txn;
+use semcc_lock::manager::LockConfig;
+use semcc_lock::LockManager;
+use semcc_mvcc::Oracle;
+use semcc_storage::{Schema, StorageError, Store, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Lock-wait timeout (waits longer than this abort the waiter).
+    pub lock_timeout: Duration,
+    /// Whether to record operation histories.
+    pub record_history: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { lock_timeout: Duration::from_secs(5), record_history: true }
+    }
+}
+
+/// The transaction engine. Cheaply clonable via `Arc`; one instance serves
+/// all threads.
+///
+/// ```
+/// use semcc_engine::{Engine, EngineConfig, IsolationLevel, Value};
+/// use std::sync::Arc;
+///
+/// let engine = Arc::new(Engine::new(EngineConfig::default()));
+/// engine.create_item("balance", 100).unwrap();
+///
+/// let mut txn = engine.begin(IsolationLevel::Serializable);
+/// let v = txn.read("balance").unwrap().as_int().unwrap();
+/// txn.write("balance", v + 25).unwrap();
+/// txn.commit().unwrap();
+///
+/// assert_eq!(engine.peek_item("balance").unwrap(), Value::Int(125));
+/// ```
+pub struct Engine {
+    pub(crate) store: Arc<Store>,
+    pub(crate) locks: Arc<LockManager>,
+    pub(crate) oracle: Arc<Oracle>,
+    pub(crate) history: Arc<History>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// Build an engine.
+    pub fn new(config: EngineConfig) -> Self {
+        let history = if config.record_history { History::new() } else { History::disabled() };
+        Engine {
+            store: Arc::new(Store::new()),
+            locks: Arc::new(LockManager::new(LockConfig { wait_timeout: config.lock_timeout })),
+            oracle: Arc::new(Oracle::new()),
+            history: Arc::new(history),
+        }
+    }
+
+    /// Create a conventional item with an initial value (timestamp 0).
+    pub fn create_item(&self, name: impl Into<String>, v: impl Into<Value>) -> Result<(), StorageError> {
+        self.store.create_item(name, v.into())
+    }
+
+    /// Create a table.
+    pub fn create_table(&self, schema: Schema) -> Result<(), StorageError> {
+        self.store.create_table(schema).map(|_| ())
+    }
+
+    /// Bulk-load a committed row (timestamp 0 — initial state).
+    pub fn load_row(&self, table: &str, row: Vec<Value>) -> Result<u64, StorageError> {
+        self.store.table(table)?.load_row(0, row)
+    }
+
+    /// Begin a transaction at the given isolation level.
+    pub fn begin(self: &Arc<Self>, level: IsolationLevel) -> Txn {
+        Txn::begin(self.clone(), level)
+    }
+
+    /// Administrative peek at an item's latest committed value.
+    pub fn peek_item(&self, name: &str) -> Result<Value, StorageError> {
+        self.store.peek_committed(name)
+    }
+
+    /// Administrative scan of a table's committed rows.
+    pub fn peek_table(&self, table: &str) -> Result<Vec<(u64, Vec<Value>)>, StorageError> {
+        Ok(self.store.table(table)?.scan_committed())
+    }
+
+    /// The shared history.
+    pub fn history(&self) -> &Arc<History> {
+        &self.history
+    }
+
+    /// The shared store (for checkers and auditors).
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Garbage-collect versions nobody can read anymore.
+    pub fn gc(&self) {
+        let watermark = self.oracle.watermark();
+        self.store.gc(watermark);
+        self.oracle.gc_log(watermark);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_and_peek() {
+        let e = Arc::new(Engine::default());
+        e.create_item("bal", 100).expect("item");
+        assert_eq!(e.peek_item("bal").expect("peek"), Value::Int(100));
+        e.create_table(Schema::new("t", &["a", "b"], &["a"])).expect("table");
+        e.load_row("t", vec![Value::Int(1), Value::Int(2)]).expect("row");
+        assert_eq!(e.peek_table("t").expect("scan").len(), 1);
+    }
+}

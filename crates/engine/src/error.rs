@@ -1,0 +1,84 @@
+//! Engine errors.
+
+use semcc_lock::LockError;
+use semcc_mvcc::FcwConflict;
+use semcc_storage::StorageError;
+use std::fmt;
+
+/// Errors surfaced by transaction operations and commit.
+///
+/// [`EngineError::is_abort`] distinguishes errors that are a normal part of
+/// concurrency control (deadlock victims, FCW losers, lock timeouts — retry
+/// the transaction) from programming errors (missing items, arity bugs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// Lock acquisition failed (deadlock victim or timeout).
+    Lock(LockError),
+    /// Storage-level failure.
+    Storage(StorageError),
+    /// First-committer-wins validation failed at commit.
+    Fcw(FcwConflict),
+    /// The transaction has already committed or aborted.
+    TxnFinished,
+    /// A malformed request from a higher layer (unbound parameter, empty
+    /// SELECT INTO, runaway loop) — a programming error, not an abort.
+    Invalid(String),
+}
+
+impl EngineError {
+    /// Whether the error means "this transaction was aborted by concurrency
+    /// control and should be retried" (as opposed to a programming error).
+    pub fn is_abort(&self) -> bool {
+        matches!(self, EngineError::Lock(_) | EngineError::Fcw(_))
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Lock(e) => write!(f, "lock error: {e}"),
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Fcw(e) => write!(f, "commit validation failed: {e}"),
+            EngineError::TxnFinished => write!(f, "transaction already finished"),
+            EngineError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<LockError> for EngineError {
+    fn from(e: LockError) -> Self {
+        EngineError::Lock(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<FcwConflict> for EngineError {
+    fn from(e: FcwConflict) -> Self {
+        EngineError::Fcw(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_classification() {
+        assert!(EngineError::Lock(LockError::Timeout { txn: 1 }).is_abort());
+        assert!(EngineError::Fcw(FcwConflict {
+            key: semcc_mvcc::Key::item("x"),
+            committed_ts: 2,
+            since_ts: 1
+        })
+        .is_abort());
+        assert!(!EngineError::Storage(StorageError::NoSuchItem("x".into())).is_abort());
+        assert!(!EngineError::TxnFinished.is_abort());
+    }
+}

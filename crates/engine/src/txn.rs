@@ -1,0 +1,656 @@
+//! Transaction handles: the per-level read/write/commit disciplines.
+
+use crate::engine::Engine;
+use crate::error::EngineError;
+use crate::history::{Op, ReadSrc};
+use crate::level::IsolationLevel;
+use semcc_lock::{Mode, Target};
+use semcc_mvcc::Key;
+use semcc_storage::eval::{empty_env, row_matches};
+use semcc_storage::{Row, RowId, Schema, StorageError, Ts, TxnId, Value};
+use semcc_logic::row::RowPred;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TxnState {
+    Active,
+    Committed,
+    Aborted,
+}
+
+/// A transaction handle.
+///
+/// Obtained from [`Engine::begin`]; single-threaded (one transaction per
+/// thread, many threads per engine). All relational predicates passed to
+/// transaction operations must be *concrete* — `RowExpr::Outer` terms are
+/// evaluated with an empty environment and therefore never match; callers
+/// (the `semcc-txn` interpreter) bind parameters before calling.
+///
+/// Dropping an active transaction aborts it.
+pub struct Txn {
+    engine: Arc<Engine>,
+    id: TxnId,
+    level: IsolationLevel,
+    state: TxnState,
+    snapshot_ts: Option<Ts>,
+    /// Items with our dirty in-place writes (locking levels).
+    dirty_items: Vec<String>,
+    /// Row slots with our dirty in-place writes (locking levels).
+    dirty_rows: Vec<(String, RowId)>,
+    /// Private item write buffer (SNAPSHOT).
+    buf_items: HashMap<String, Value>,
+    /// Private row write buffer (SNAPSHOT): final state per touched slot.
+    buf_rows: HashMap<String, BTreeMap<RowId, Option<Row>>>,
+    /// Keys written (first-committer-wins bookkeeping; deduplicated).
+    write_set: Vec<Key>,
+    /// First-read timestamps per key (RC-FCW validation).
+    read_ts: HashMap<Key, Ts>,
+}
+
+impl Txn {
+    pub(crate) fn begin(engine: Arc<Engine>, level: IsolationLevel) -> Txn {
+        let id = engine.oracle.next_txn_id();
+        let snapshot_ts =
+            if level.is_snapshot() { Some(engine.oracle.begin_snapshot(id)) } else { None };
+        engine.history.record(id, level, Op::Begin);
+        Txn {
+            engine,
+            id,
+            level,
+            state: TxnState::Active,
+            snapshot_ts,
+            dirty_items: Vec::new(),
+            dirty_rows: Vec::new(),
+            buf_items: HashMap::new(),
+            buf_rows: HashMap::new(),
+            write_set: Vec::new(),
+            read_ts: HashMap::new(),
+        }
+    }
+
+    /// This transaction's id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The engine this transaction belongs to.
+    pub fn engine_ref(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// This transaction's isolation level.
+    pub fn level(&self) -> IsolationLevel {
+        self.level
+    }
+
+    /// The snapshot timestamp, for SNAPSHOT transactions.
+    pub fn snapshot_ts(&self) -> Option<Ts> {
+        self.snapshot_ts
+    }
+
+    fn check_active(&self) -> Result<(), EngineError> {
+        if self.state == TxnState::Active {
+            Ok(())
+        } else {
+            Err(EngineError::TxnFinished)
+        }
+    }
+
+    fn note_write(&mut self, key: Key) {
+        if !self.write_set.contains(&key) {
+            self.write_set.push(key);
+        }
+    }
+
+    /// Record the version timestamp observed by a read (RC-FCW). Using the
+    /// *version's* commit timestamp — not `oracle.current_ts()` — is what
+    /// makes validation race-free: a concurrent committer may already have
+    /// taken a timestamp while its versions are still being installed, and
+    /// a read that missed those versions must conflict with it.
+    fn note_read_ts(&mut self, key: Key, version_ts: Ts) {
+        if self.level == IsolationLevel::ReadCommittedFcw {
+            self.read_ts.entry(key).or_insert(version_ts);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Conventional items
+    // ------------------------------------------------------------------
+
+    /// Read an item under this transaction's isolation discipline.
+    pub fn read(&mut self, name: &str) -> Result<Value, EngineError> {
+        self.check_active()?;
+        let cell = self.engine.store.item(name)?;
+        let (value, src) = match self.level {
+            IsolationLevel::ReadUncommitted => {
+                let c = cell.lock();
+                let src = match c.dirty_writer() {
+                    Some(w) => ReadSrc::Dirty(w),
+                    None => ReadSrc::Committed(c.latest_commit_ts()),
+                };
+                (c.read_latest().clone(), src)
+            }
+            IsolationLevel::ReadCommitted | IsolationLevel::ReadCommittedFcw => {
+                let target = Target::item(name);
+                self.engine.locks.acquire(self.id, target.clone(), Mode::S)?;
+                let (v, src, ver_ts) = {
+                    let c = cell.lock();
+                    let ver_ts = c.latest_commit_ts();
+                    match c.dirty_writer() {
+                        Some(w) if w == self.id => {
+                            (c.read_latest().clone(), ReadSrc::Dirty(self.id), ver_ts)
+                        }
+                        _ => (c.read_committed().clone(), ReadSrc::Committed(ver_ts), ver_ts),
+                    }
+                };
+                self.engine.locks.release(self.id, &target); // short lock
+                self.note_read_ts(Key::item(name), ver_ts);
+                (v, src)
+            }
+            IsolationLevel::RepeatableRead | IsolationLevel::Serializable => {
+                self.engine.locks.acquire(self.id, Target::item(name), Mode::S)?;
+                let c = cell.lock();
+                match c.dirty_writer() {
+                    Some(w) if w == self.id => (c.read_latest().clone(), ReadSrc::Dirty(self.id)),
+                    _ => (c.read_committed().clone(), ReadSrc::Committed(c.latest_commit_ts())),
+                }
+            }
+            IsolationLevel::Snapshot => {
+                let ts = self.snapshot_ts.expect("snapshot txn has ts");
+                match self.buf_items.get(name) {
+                    Some(v) => (v.clone(), ReadSrc::Snapshot(ts)),
+                    None => {
+                        let c = cell.lock();
+                        (c.read_at(ts)?.clone(), ReadSrc::Snapshot(ts))
+                    }
+                }
+            }
+        };
+        self.engine.history.record(
+            self.id,
+            self.level,
+            Op::Read { key: Key::item(name), value: value.clone(), src },
+        );
+        Ok(value)
+    }
+
+    /// Write an item. All locking levels take a long X lock; SNAPSHOT
+    /// buffers privately.
+    pub fn write(&mut self, name: &str, value: impl Into<Value>) -> Result<(), EngineError> {
+        self.check_active()?;
+        let value = value.into();
+        if self.level.is_snapshot() {
+            if !self.engine.store.has_item(name) {
+                return Err(StorageError::NoSuchItem(name.to_string()).into());
+            }
+            self.buf_items.insert(name.to_string(), value.clone());
+        } else {
+            let cell = self.engine.store.item(name)?;
+            self.engine.locks.acquire(self.id, Target::item(name), Mode::X)?;
+            cell.lock().write_dirty(self.id, value.clone())?;
+            if !self.dirty_items.iter().any(|n| n == name) {
+                self.dirty_items.push(name.to_string());
+            }
+        }
+        self.note_write(Key::item(name));
+        self.engine.history.record(
+            self.id,
+            self.level,
+            Op::Write { key: Key::item(name), value: Some(value) },
+        );
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Relational operations
+    // ------------------------------------------------------------------
+
+    /// SELECT: rows matching `pred`, under the level's read discipline.
+    pub fn select(&mut self, table: &str, pred: &RowPred) -> Result<Vec<(RowId, Row)>, EngineError> {
+        self.check_active()?;
+        let t = self.engine.store.table(table)?;
+        let schema = t.schema.clone();
+
+        // SERIALIZABLE: long S predicate lock first — phantels are blocked
+        // before we even look.
+        if self.level.read_predicate_locks() {
+            self.engine
+                .locks
+                .acquire(self.id, Target::pred(table, pred.clone()), Mode::S)?;
+        }
+
+        let mut out: Vec<(RowId, Row)> = Vec::new();
+        match self.level {
+            IsolationLevel::ReadUncommitted => {
+                for (id, row) in t.scan_latest() {
+                    if row_matches(&schema, &row, pred, &empty_env) {
+                        out.push((id, row));
+                    }
+                }
+            }
+            IsolationLevel::ReadCommitted | IsolationLevel::ReadCommittedFcw => {
+                for (id, row) in t.scan_visible(self.id) {
+                    if !row_matches(&schema, &row, pred, &empty_env) {
+                        continue;
+                    }
+                    let target = Target::row(table, id);
+                    self.engine.locks.acquire(self.id, target.clone(), Mode::S)?;
+                    // Re-read: the row may have changed while we waited.
+                    let current = t.read_row_visible(self.id, id);
+                    self.engine.locks.release(self.id, &target); // short lock
+                    if let Some(row) = current {
+                        if row_matches(&schema, &row, pred, &empty_env) {
+                            let ver_ts = t.row_commit_ts(id).unwrap_or(0);
+                            self.note_read_ts(Key::row(table, id), ver_ts);
+                            out.push((id, row));
+                        }
+                    }
+                }
+            }
+            IsolationLevel::RepeatableRead | IsolationLevel::Serializable => {
+                for (id, row) in t.scan_visible(self.id) {
+                    if !row_matches(&schema, &row, pred, &empty_env) {
+                        continue;
+                    }
+                    self.engine.locks.acquire(self.id, Target::row(table, id), Mode::S)?;
+                    if let Some(row) = t.read_row_visible(self.id, id) {
+                        if row_matches(&schema, &row, pred, &empty_env) {
+                            out.push((id, row));
+                        }
+                    }
+                }
+            }
+            IsolationLevel::Snapshot => {
+                let ts = self.snapshot_ts.expect("snapshot txn has ts");
+                for (id, row) in self.overlay_scan(&t, table, ts) {
+                    if row_matches(&schema, &row, pred, &empty_env) {
+                        out.push((id, row));
+                    }
+                }
+            }
+        }
+        self.engine.history.record(
+            self.id,
+            self.level,
+            Op::PredRead {
+                table: table.to_string(),
+                pred: pred.clone(),
+                matched: out.iter().map(|(id, _)| *id).collect(),
+            },
+        );
+        Ok(out)
+    }
+
+    /// SELECT COUNT(*): number of rows matching `pred`.
+    pub fn count(&mut self, table: &str, pred: &RowPred) -> Result<i64, EngineError> {
+        Ok(self.select(table, pred)?.len() as i64)
+    }
+
+    /// Snapshot view of a table: versions at the snapshot ts overlaid with
+    /// this transaction's private buffer.
+    fn overlay_scan(&self, t: &semcc_storage::Table, table: &str, ts: Ts) -> Vec<(RowId, Row)> {
+        let mut rows: BTreeMap<RowId, Row> = t.scan_at(ts).into_iter().collect();
+        if let Some(buf) = self.buf_rows.get(table) {
+            for (id, state) in buf {
+                match state {
+                    Some(row) => {
+                        rows.insert(*id, row.clone());
+                    }
+                    None => {
+                        rows.remove(id);
+                    }
+                }
+            }
+        }
+        rows.into_iter().collect()
+    }
+
+    /// INSERT a row. Writers at locking levels take a long X predicate lock
+    /// on the inserted point (colliding with SERIALIZABLE readers' predicate
+    /// locks) plus a long X lock on the new slot.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<RowId, EngineError> {
+        self.check_active()?;
+        let t = self.engine.store.table(table)?;
+        if row.len() != t.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                table: table.to_string(),
+                expected: t.schema.arity(),
+                got: row.len(),
+            }
+            .into());
+        }
+        let id = if self.level.is_snapshot() {
+            let id = t.reserve_row_id();
+            self.buf_rows
+                .entry(table.to_string())
+                .or_default()
+                .insert(id, Some(row.clone()));
+            id
+        } else {
+            let point = point_pred(&t.schema, &row);
+            self.engine.locks.acquire(self.id, Target::pred(table, point), Mode::X)?;
+            let id = t.insert_dirty(self.id, row.clone())?;
+            self.engine.locks.acquire(self.id, Target::row(table, id), Mode::X)?;
+            self.dirty_rows.push((table.to_string(), id));
+            id
+        };
+        self.note_write(Key::row(table, id));
+        self.engine.history.record(
+            self.id,
+            self.level,
+            Op::RowInsert { table: table.to_string(), id, row },
+        );
+        Ok(id)
+    }
+
+    /// UPDATE ... WHERE: apply `f` to every matching row. Returns the number
+    /// of rows updated. Takes a long X predicate lock on `pred` plus long X
+    /// row locks on the updated rows.
+    pub fn update_where(
+        &mut self,
+        table: &str,
+        pred: &RowPred,
+        f: &dyn Fn(&Row) -> Row,
+    ) -> Result<usize, EngineError> {
+        self.check_active()?;
+        let t = self.engine.store.table(table)?;
+        let schema = t.schema.clone();
+        let mut n = 0;
+        if self.level.is_snapshot() {
+            let ts = self.snapshot_ts.expect("snapshot txn has ts");
+            let targets: Vec<(RowId, Row)> = self
+                .overlay_scan(&t, table, ts)
+                .into_iter()
+                .filter(|(_, row)| row_matches(&schema, row, pred, &empty_env))
+                .collect();
+            for (id, row) in targets {
+                let new = f(&row);
+                self.buf_rows
+                    .entry(table.to_string())
+                    .or_default()
+                    .insert(id, Some(new.clone()));
+                self.note_write(Key::row(table, id));
+                self.engine.history.record(
+                    self.id,
+                    self.level,
+                    Op::RowUpdate { table: table.to_string(), id, row: new },
+                );
+                n += 1;
+            }
+        } else {
+            self.engine
+                .locks
+                .acquire(self.id, Target::pred(table, pred.clone()), Mode::X)?;
+            let candidates: Vec<(RowId, Row)> = t
+                .scan_visible(self.id)
+                .into_iter()
+                .filter(|(_, row)| row_matches(&schema, row, pred, &empty_env))
+                .collect();
+            for (id, _) in candidates {
+                self.engine.locks.acquire(self.id, Target::row(table, id), Mode::X)?;
+                // Re-read after the (possibly waited-for) lock.
+                let Some(row) = t.read_row_visible(self.id, id) else { continue };
+                if !row_matches(&schema, &row, pred, &empty_env) {
+                    continue;
+                }
+                let new = f(&row);
+                t.update_dirty(self.id, id, new.clone())?;
+                if !self.dirty_rows.contains(&(table.to_string(), id)) {
+                    self.dirty_rows.push((table.to_string(), id));
+                }
+                self.note_write(Key::row(table, id));
+                self.engine.history.record(
+                    self.id,
+                    self.level,
+                    Op::RowUpdate { table: table.to_string(), id, row: new },
+                );
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// DELETE ... WHERE. Returns the number of rows deleted. Locking as for
+    /// [`Txn::update_where`].
+    pub fn delete_where(&mut self, table: &str, pred: &RowPred) -> Result<usize, EngineError> {
+        self.check_active()?;
+        let t = self.engine.store.table(table)?;
+        let schema = t.schema.clone();
+        let mut n = 0;
+        if self.level.is_snapshot() {
+            let ts = self.snapshot_ts.expect("snapshot txn has ts");
+            let targets: Vec<RowId> = self
+                .overlay_scan(&t, table, ts)
+                .into_iter()
+                .filter(|(_, row)| row_matches(&schema, row, pred, &empty_env))
+                .map(|(id, _)| id)
+                .collect();
+            for id in targets {
+                self.buf_rows.entry(table.to_string()).or_default().insert(id, None);
+                self.note_write(Key::row(table, id));
+                self.engine.history.record(
+                    self.id,
+                    self.level,
+                    Op::RowDelete { table: table.to_string(), id },
+                );
+                n += 1;
+            }
+        } else {
+            self.engine
+                .locks
+                .acquire(self.id, Target::pred(table, pred.clone()), Mode::X)?;
+            let candidates: Vec<RowId> = t
+                .scan_visible(self.id)
+                .into_iter()
+                .filter(|(_, row)| row_matches(&schema, row, pred, &empty_env))
+                .map(|(id, _)| id)
+                .collect();
+            for id in candidates {
+                self.engine.locks.acquire(self.id, Target::row(table, id), Mode::X)?;
+                let Some(row) = t.read_row_visible(self.id, id) else { continue };
+                if !row_matches(&schema, &row, pred, &empty_env) {
+                    continue;
+                }
+                t.delete_dirty(self.id, id)?;
+                if !self.dirty_rows.contains(&(table.to_string(), id)) {
+                    self.dirty_rows.push((table.to_string(), id));
+                }
+                self.note_write(Key::row(table, id));
+                self.engine.history.record(
+                    self.id,
+                    self.level,
+                    Op::RowDelete { table: table.to_string(), id },
+                );
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    // ------------------------------------------------------------------
+    // Monitor views (lock-free, unrecorded)
+    // ------------------------------------------------------------------
+
+    /// The value this transaction *would* read for `name` right now, with
+    /// no locking, no history recording, and no FCW bookkeeping — used by
+    /// the runtime assertion monitor to evaluate annotations without
+    /// perturbing the schedule.
+    pub fn monitor_item(&self, name: &str) -> Option<Value> {
+        let cell = self.engine.store.item(name).ok()?;
+        match self.level {
+            IsolationLevel::ReadUncommitted => Some(cell.lock().read_latest().clone()),
+            IsolationLevel::Snapshot => {
+                if let Some(v) = self.buf_items.get(name) {
+                    return Some(v.clone());
+                }
+                let ts = self.snapshot_ts?;
+                cell.lock().read_at(ts).ok().cloned()
+            }
+            _ => {
+                let c = cell.lock();
+                match c.dirty_writer() {
+                    Some(w) if w == self.id => Some(c.read_latest().clone()),
+                    _ => Some(c.read_committed().clone()),
+                }
+            }
+        }
+    }
+
+    /// The rows this transaction would see in `table` right now (monitor
+    /// view; see [`Txn::monitor_item`]).
+    pub fn monitor_table(&self, table: &str) -> Option<Vec<(RowId, Row)>> {
+        let t = self.engine.store.table(table).ok()?;
+        Some(match self.level {
+            IsolationLevel::ReadUncommitted => t.scan_latest(),
+            IsolationLevel::Snapshot => {
+                let ts = self.snapshot_ts?;
+                let mut rows: BTreeMap<RowId, Row> = t.scan_at(ts).into_iter().collect();
+                if let Some(buf) = self.buf_rows.get(table) {
+                    for (id, state) in buf {
+                        match state {
+                            Some(row) => {
+                                rows.insert(*id, row.clone());
+                            }
+                            None => {
+                                rows.remove(id);
+                            }
+                        }
+                    }
+                }
+                rows.into_iter().collect()
+            }
+            _ => t.scan_visible(self.id),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / abort
+    // ------------------------------------------------------------------
+
+    /// Commit. Consumes the handle; on a first-committer-wins conflict the
+    /// transaction is rolled back and the error returned.
+    pub fn commit(mut self) -> Result<Ts, EngineError> {
+        self.check_active()?;
+        let result = self.do_commit();
+        match &result {
+            Ok(_) => self.state = TxnState::Committed,
+            Err(_) => self.finish_abort(),
+        }
+        result
+    }
+
+    fn do_commit(&mut self) -> Result<Ts, EngineError> {
+        let engine = self.engine.clone();
+        if self.level.is_snapshot() {
+            let snap = self.snapshot_ts.expect("snapshot txn has ts");
+            let checks: Vec<(Key, Ts)> =
+                self.write_set.iter().map(|k| (k.clone(), snap)).collect();
+            let buf_items = std::mem::take(&mut self.buf_items);
+            let buf_rows = std::mem::take(&mut self.buf_rows);
+            let ts = engine.oracle.validate_and_commit_with(&checks, &self.write_set, |ts| {
+                for (name, v) in &buf_items {
+                    if let Ok(cell) = engine.store.item(name) {
+                        cell.lock().install(ts, v.clone());
+                    }
+                }
+                for (table, rows) in &buf_rows {
+                    if let Ok(t) = engine.store.table(table) {
+                        for (id, state) in rows {
+                            let _ = t.install(ts, *id, state.clone());
+                        }
+                    }
+                }
+            })?;
+            engine.oracle.end_snapshot(self.id);
+            engine.history.record(self.id, self.level, Op::Commit { ts });
+            Ok(ts)
+        } else {
+            let checks: Vec<(Key, Ts)> = if self.level.fcw() {
+                self.write_set
+                    .iter()
+                    .filter_map(|k| self.read_ts.get(k).map(|ts| (k.clone(), *ts)))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let dirty_items = std::mem::take(&mut self.dirty_items);
+            let dirty_rows = std::mem::take(&mut self.dirty_rows);
+            let id = self.id;
+            let res = engine.oracle.validate_and_commit_with(&checks, &self.write_set, |ts| {
+                for name in &dirty_items {
+                    if let Ok(cell) = engine.store.item(name) {
+                        cell.lock().promote(id, ts);
+                    }
+                }
+                for (table, rid) in &dirty_rows {
+                    if let Ok(t) = engine.store.table(table) {
+                        t.promote_row(id, *rid, ts);
+                    }
+                }
+            });
+            match res {
+                Ok(ts) => {
+                    engine.locks.release_all(self.id);
+                    engine.history.record(self.id, self.level, Op::Commit { ts });
+                    Ok(ts)
+                }
+                Err(e) => {
+                    // Validation failed: restore the undo lists so
+                    // finish_abort can roll the dirty writes back.
+                    self.dirty_items = dirty_items;
+                    self.dirty_rows = dirty_rows;
+                    Err(e.into())
+                }
+            }
+        }
+    }
+
+    /// Abort (rollback). Consumes the handle.
+    pub fn abort(mut self) {
+        if self.state == TxnState::Active {
+            self.finish_abort();
+        }
+    }
+
+    fn finish_abort(&mut self) {
+        let engine = self.engine.clone();
+        for name in std::mem::take(&mut self.dirty_items) {
+            if let Ok(cell) = engine.store.item(&name) {
+                cell.lock().discard(self.id);
+            }
+        }
+        for (table, id) in std::mem::take(&mut self.dirty_rows) {
+            if let Ok(t) = engine.store.table(&table) {
+                t.discard_row(self.id, id);
+            }
+        }
+        self.buf_items.clear();
+        self.buf_rows.clear();
+        engine.locks.release_all(self.id);
+        if self.level.is_snapshot() {
+            engine.oracle.end_snapshot(self.id);
+        }
+        engine.history.record(self.id, self.level, Op::Abort);
+        self.state = TxnState::Aborted;
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        if self.state == TxnState::Active {
+            self.finish_abort();
+        }
+    }
+}
+
+/// The point predicate of an inserted row: the conjunction of equalities
+/// pinning every column to the inserted value. An insert taking an X lock
+/// on this predicate collides exactly with readers whose predicate the new
+/// row satisfies — literal phantom prevention.
+pub fn point_pred(schema: &Schema, row: &Row) -> RowPred {
+    RowPred::and(schema.columns.iter().zip(row.iter()).map(|(col, v)| match v {
+        Value::Int(i) => RowPred::field_eq_int(col.clone(), *i),
+        Value::Str(s) => RowPred::field_eq_str(col.clone(), s.clone()),
+    }))
+}

@@ -1,0 +1,229 @@
+//! Property tests for the engine:
+//!
+//! 1. **Model conformance** — a single transaction's reads/writes agree
+//!    with a shadow `BTreeMap` model, and abort restores the pre-state.
+//! 2. **Two-transaction serializability** — every interleaving of two
+//!    scripted read-modify-write transactions executed at SERIALIZABLE
+//!    where both commit must leave the state of one of the two serial
+//!    orders. (At SNAPSHOT the write-skew interleavings are allowed to
+//!    escape this set — asserted separately.)
+//! 3. **Snapshot stability** — no sequence of committed writers changes
+//!    what an open SNAPSHOT transaction reads.
+
+use proptest::prelude::*;
+use semcc_engine::{Engine, EngineConfig, EngineError, IsolationLevel, Txn, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn engine() -> Arc<Engine> {
+    Arc::new(Engine::new(EngineConfig {
+        lock_timeout: Duration::from_millis(30),
+        record_history: false,
+    }))
+}
+
+const ITEMS: [&str; 3] = ["a", "b", "c"];
+
+#[derive(Clone, Debug)]
+enum TxOp {
+    Read(u8),
+    Write(u8, i64),
+    AddTo(u8, u8), // target += source (read source, write target)
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<TxOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..3).prop_map(TxOp::Read),
+            (0u8..3, -9i64..9).prop_map(|(i, v)| TxOp::Write(i, v)),
+            (0u8..3, 0u8..3).prop_map(|(t, s)| TxOp::AddTo(t, s)),
+        ],
+        1..6,
+    )
+}
+
+fn apply_model(model: &mut BTreeMap<&'static str, i64>, ops: &[TxOp]) {
+    for op in ops {
+        match op {
+            TxOp::Read(_) => {}
+            TxOp::Write(i, v) => {
+                model.insert(ITEMS[*i as usize], *v);
+            }
+            TxOp::AddTo(t, s) => {
+                let sv = model[ITEMS[*s as usize]];
+                *model.get_mut(ITEMS[*t as usize]).expect("exists") += sv;
+            }
+        }
+    }
+}
+
+fn apply_engine(t: &mut Txn, ops: &[TxOp]) -> Result<(), EngineError> {
+    for op in ops {
+        match op {
+            TxOp::Read(i) => {
+                t.read(ITEMS[*i as usize])?;
+            }
+            TxOp::Write(i, v) => {
+                t.write(ITEMS[*i as usize], *v)?;
+            }
+            TxOp::AddTo(tg, s) => {
+                let sv = t.read(ITEMS[*s as usize])?.as_int().expect("int");
+                let tv = t.read(ITEMS[*tg as usize])?.as_int().expect("int");
+                t.write(ITEMS[*tg as usize], tv + sv)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn state_of(e: &Engine) -> BTreeMap<&'static str, i64> {
+    ITEMS
+        .iter()
+        .map(|n| (*n, e.peek_item(n).expect("peek").as_int().expect("int")))
+        .collect()
+}
+
+fn setup(e: &Arc<Engine>, init: &[i64; 3]) {
+    for (n, v) in ITEMS.iter().zip(init) {
+        e.create_item(*n, *v).expect("create");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn single_txn_matches_model_and_abort_restores(
+        init in proptest::array::uniform3(-10i64..10),
+        ops in arb_ops(),
+        commit in proptest::bool::ANY,
+        level in proptest::sample::select(&[
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::RepeatableRead,
+            IsolationLevel::Snapshot,
+            IsolationLevel::Serializable,
+        ][..]),
+    ) {
+        let e = engine();
+        setup(&e, &init);
+        let before = state_of(&e);
+        let mut t = e.begin(level);
+        apply_engine(&mut t, &ops).expect("no contention single-threaded");
+        if commit {
+            t.commit().expect("commit");
+            let mut model: BTreeMap<&str, i64> = before;
+            apply_model(&mut model, &ops);
+            prop_assert_eq!(state_of(&e), model);
+        } else {
+            t.abort();
+            prop_assert_eq!(state_of(&e), before, "abort must restore the pre-state");
+        }
+    }
+
+    #[test]
+    fn serializable_interleavings_match_some_serial_order(
+        init in proptest::array::uniform3(0i64..10),
+        ops1 in arb_ops(),
+        ops2 in arb_ops(),
+        schedule in proptest::collection::vec(proptest::bool::ANY, 0..10),
+    ) {
+        // Drive the two op lists step by step under an arbitrary
+        // interleaving at SERIALIZABLE; blocked steps abort that txn.
+        let e = engine();
+        setup(&e, &init);
+
+        let serial = |first: &[TxOp], second: &[TxOp]| {
+            let mut m: BTreeMap<&str, i64> =
+                ITEMS.iter().zip(init).map(|(n, v)| (*n, v)).collect();
+            apply_model(&mut m, first);
+            apply_model(&mut m, second);
+            m
+        };
+        let s12 = serial(&ops1, &ops2);
+        let s21 = serial(&ops2, &ops1);
+        let only1 = {
+            let mut m: BTreeMap<&str, i64> =
+                ITEMS.iter().zip(init).map(|(n, v)| (*n, v)).collect();
+            apply_model(&mut m, &ops1);
+            m
+        };
+        let only2 = {
+            let mut m: BTreeMap<&str, i64> =
+                ITEMS.iter().zip(init).map(|(n, v)| (*n, v)).collect();
+            apply_model(&mut m, &ops2);
+            m
+        };
+        let none: BTreeMap<&str, i64> = ITEMS.iter().zip(init).map(|(n, v)| (*n, v)).collect();
+
+        let mut t1 = Some(e.begin(IsolationLevel::Serializable));
+        let mut t2 = Some(e.begin(IsolationLevel::Serializable));
+        let mut i1 = 0usize;
+        let mut i2 = 0usize;
+        let mut dead1 = false;
+        let mut dead2 = false;
+        let step = |t: &mut Option<Txn>, ops: &[TxOp], idx: &mut usize, dead: &mut bool| {
+            if *dead || *idx >= ops.len() {
+                return;
+            }
+            if let Some(txn) = t.as_mut() {
+                if apply_engine(txn, &ops[*idx..=*idx]).is_err() {
+                    // blocked or deadlock victim: abort this transaction
+                    t.take().expect("present").abort();
+                    *dead = true;
+                } else {
+                    *idx += 1;
+                }
+            }
+        };
+        // interleave per the schedule bits, then drain both
+        for pick1 in schedule {
+            if pick1 {
+                step(&mut t1, &ops1, &mut i1, &mut dead1);
+            } else {
+                step(&mut t2, &ops2, &mut i2, &mut dead2);
+            }
+        }
+        while !dead1 && i1 < ops1.len() {
+            step(&mut t1, &ops1, &mut i1, &mut dead1);
+        }
+        while !dead2 && i2 < ops2.len() {
+            step(&mut t2, &ops2, &mut i2, &mut dead2);
+        }
+        let c1 = !dead1 && t1.take().expect("present").commit().is_ok();
+        let c2 = !dead2 && t2.take().expect("present").commit().is_ok();
+
+        let outcome = state_of(&e);
+        let acceptable: Vec<&BTreeMap<&str, i64>> = match (c1, c2) {
+            (true, true) => vec![&s12, &s21],
+            (true, false) => vec![&only1],
+            (false, true) => vec![&only2],
+            (false, false) => vec![&none],
+        };
+        prop_assert!(
+            acceptable.iter().any(|m| **m == outcome),
+            "outcome {outcome:?} not among serial results (c1={c1}, c2={c2}; s12={s12:?}, s21={s21:?})"
+        );
+    }
+
+    #[test]
+    fn snapshot_reads_never_move(
+        init in proptest::array::uniform3(-10i64..10),
+        writes in proptest::collection::vec((0u8..3, -9i64..9), 1..8),
+    ) {
+        let e = engine();
+        setup(&e, &init);
+        let mut snap = e.begin(IsolationLevel::Snapshot);
+        let first: Vec<Value> =
+            ITEMS.iter().map(|n| snap.read(n).expect("read")).collect();
+        for (i, v) in writes {
+            let mut w = e.begin(IsolationLevel::ReadCommitted);
+            w.write(ITEMS[i as usize], v).expect("write");
+            w.commit().expect("commit");
+        }
+        for (n, expected) in ITEMS.iter().zip(&first) {
+            prop_assert_eq!(&snap.read(n).expect("read"), expected);
+        }
+        snap.abort();
+    }
+}

@@ -1,0 +1,34 @@
+//! Lock acquisition failures.
+
+use std::fmt;
+
+/// Why a lock request failed. Both variants require the requester to abort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LockError {
+    /// Granting the wait would have closed a cycle in the waits-for graph;
+    /// the requester is chosen as the deadlock victim.
+    Deadlock {
+        /// The aborted (requesting) transaction.
+        victim: u64,
+        /// The cycle found, as a list of transaction ids (victim first).
+        cycle: Vec<u64>,
+    },
+    /// The request waited longer than the configured timeout.
+    Timeout {
+        /// The requesting transaction.
+        txn: u64,
+    },
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Deadlock { victim, cycle } => {
+                write!(f, "deadlock: txn {victim} aborted (cycle {cycle:?})")
+            }
+            LockError::Timeout { txn } => write!(f, "lock wait timeout for txn {txn}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}

@@ -1,0 +1,214 @@
+//! Read footprints of assertions.
+//!
+//! A footprint lists the shared state an assertion *depends on*: the
+//! conventional database items it mentions and the table regions its table
+//! atoms / opaque conjuncts read. A write whose target is disjoint from an
+//! assertion's footprint cannot interfere with it — the cheap first-level
+//! filter the analyzer applies before invoking the prover.
+
+use crate::expr::Var;
+use crate::pred::{Pred, TableAtom, TableRegion};
+use std::collections::BTreeSet;
+
+/// The shared state an assertion reads.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Conventional (named) database items.
+    pub items: BTreeSet<String>,
+    /// Table regions read.
+    pub tables: Vec<TableRegion>,
+}
+
+impl Footprint {
+    /// The empty footprint.
+    pub fn empty() -> Self {
+        Footprint::default()
+    }
+
+    /// Whether nothing shared is read.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty() && self.tables.is_empty()
+    }
+
+    /// Whether the footprint mentions the named item.
+    pub fn reads_item(&self, item: &str) -> bool {
+        self.items.contains(item)
+    }
+
+    /// Whether the footprint mentions the named table at all.
+    pub fn reads_table(&self, table: &str) -> bool {
+        self.tables.iter().any(|tr| tr.table == table)
+    }
+
+    /// Regions of the given table that are read.
+    pub fn table_regions<'a>(&'a self, table: &'a str) -> impl Iterator<Item = &'a TableRegion> {
+        self.tables.iter().filter(move |tr| tr.table == table)
+    }
+
+    /// Merge another footprint into this one.
+    pub fn merge(&mut self, other: &Footprint) {
+        self.items.extend(other.items.iter().cloned());
+        for region in &other.tables {
+            if !self.tables.contains(region) {
+                self.tables.push(region.clone());
+            }
+        }
+    }
+}
+
+/// Compute the footprint of an assertion.
+pub fn pred_footprint(p: &Pred) -> Footprint {
+    let mut fp = Footprint::empty();
+    walk(p, &mut fp);
+    fp
+}
+
+fn walk(p: &Pred, fp: &mut Footprint) {
+    // Scalar db-variable mentions.
+    for v in p.vars() {
+        if let Var::Db(name) = v {
+            fp.items.insert(name);
+        }
+    }
+    collect_tables(p, fp);
+}
+
+fn push_region(fp: &mut Footprint, region: TableRegion) {
+    if !fp.tables.contains(&region) {
+        fp.tables.push(region);
+    }
+}
+
+fn collect_tables(p: &Pred, fp: &mut Footprint) {
+    match p {
+        Pred::True | Pred::False | Pred::Cmp(..) | Pred::StrCmp { .. } => {}
+        Pred::Not(q) => collect_tables(q, fp),
+        Pred::And(ps) | Pred::Or(ps) => ps.iter().for_each(|q| collect_tables(q, fp)),
+        Pred::Implies(a, b) => {
+            collect_tables(a, fp);
+            collect_tables(b, fp);
+        }
+        Pred::Opaque(atom) => {
+            fp.items.extend(atom.reads_items.iter().cloned());
+            for region in &atom.reads_tables {
+                push_region(fp, region.clone());
+            }
+        }
+        Pred::Table(atom) => {
+            let region = match atom {
+                // AllRows reads every row, but only the constraint's columns.
+                TableAtom::AllRows { table, constraint } => TableRegion {
+                    table: table.clone(),
+                    region: None,
+                    columns: Some(constraint.columns()),
+                },
+                // Counts and existence read the filter's columns of the
+                // filter's region.
+                TableAtom::CountEq { table, filter, .. }
+                | TableAtom::Exists { table, filter }
+                | TableAtom::NotExists { table, filter } => TableRegion {
+                    table: table.clone(),
+                    region: Some(filter.clone()),
+                    columns: Some(filter.columns()),
+                },
+                // A SELECT snapshot returns whole rows: every column of the
+                // filtered region is read.
+                TableAtom::SnapshotEq { table, filter, .. } => TableRegion {
+                    table: table.clone(),
+                    region: Some(filter.clone()),
+                    columns: None,
+                },
+            };
+            push_region(fp, region);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::pred::OpaqueAtom;
+    use crate::row::RowPred;
+
+    #[test]
+    fn scalar_items_collected() {
+        let p = Pred::ge(Expr::db("sav").add(Expr::db("ch")), 0);
+        let fp = pred_footprint(&p);
+        assert!(fp.reads_item("sav"));
+        assert!(fp.reads_item("ch"));
+        assert!(!fp.reads_item("other"));
+        assert!(fp.tables.is_empty());
+    }
+
+    #[test]
+    fn locals_and_params_excluded() {
+        let p = Pred::eq(Expr::local("X"), Expr::param("w"));
+        assert!(pred_footprint(&p).is_empty());
+    }
+
+    #[test]
+    fn opaque_footprint_included() {
+        let p = Pred::Opaque(
+            OpaqueAtom::over_items("order_consistency", &["seq"])
+                .with_region(TableRegion::columns("orders", &["cust_name"]))
+                .with_region(TableRegion::whole("cust")),
+        );
+        let fp = pred_footprint(&p);
+        assert!(fp.reads_item("seq"));
+        assert!(fp.reads_table("orders"));
+        assert!(fp.reads_table("cust"));
+        let orders: Vec<_> = fp.table_regions("orders").collect();
+        assert_eq!(orders[0].columns.as_deref(), Some(&["cust_name".to_string()][..]));
+    }
+
+    #[test]
+    fn count_atom_region_and_columns() {
+        let filter = RowPred::field_eq_int("deliv_date", 7);
+        let p = Pred::Table(TableAtom::CountEq {
+            table: "orders".into(),
+            filter: filter.clone(),
+            value: Expr::local("n"),
+        });
+        let fp = pred_footprint(&p);
+        let regions: Vec<_> = fp.table_regions("orders").collect();
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].region, Some(filter));
+        assert_eq!(regions[0].columns.as_deref(), Some(&["deliv_date".to_string()][..]));
+    }
+
+    #[test]
+    fn allrows_reads_constraint_columns_of_whole_table() {
+        let p = Pred::Table(TableAtom::AllRows {
+            table: "emp".into(),
+            constraint: RowPred::field_eq_int("sal", 0),
+        });
+        let fp = pred_footprint(&p);
+        let regions: Vec<_> = fp.table_regions("emp").collect();
+        assert_eq!(regions[0].region, None);
+        assert_eq!(regions[0].columns.as_deref(), Some(&["sal".to_string()][..]));
+    }
+
+    #[test]
+    fn snapshot_atom_reads_all_columns() {
+        let p = Pred::Table(TableAtom::SnapshotEq {
+            table: "orders".into(),
+            filter: RowPred::field_eq_int("deliv_date", 1),
+            name: "buff".into(),
+        });
+        let fp = pred_footprint(&p);
+        let regions: Vec<_> = fp.table_regions("orders").collect();
+        assert_eq!(regions[0].columns, None);
+    }
+
+    #[test]
+    fn merge_dedups() {
+        let mut a = pred_footprint(&Pred::ge(Expr::db("x"), 0));
+        let b = pred_footprint(&Pred::and([
+            Pred::ge(Expr::db("x"), 0),
+            Pred::ge(Expr::db("y"), 0),
+        ]));
+        a.merge(&b);
+        assert_eq!(a.items.len(), 2);
+    }
+}

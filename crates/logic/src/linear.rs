@@ -1,0 +1,406 @@
+//! Linear-integer-arithmetic theory solver.
+//!
+//! Conjunctions of linear constraints are decided by Fourier–Motzkin
+//! elimination over the rationals, after *integer tightening* of strict
+//! inequalities (`t < 0 ⟹ t + 1 ≤ 0`, exact because all variables are
+//! integer-valued). The rational relaxation is sound in the direction the
+//! analyzer needs: if the relaxation is unsatisfiable, so is the integer
+//! system. Non-linear products are abstracted by canonical opaque
+//! variables (a satisfiability over-approximation — again sound).
+//!
+//! Coefficients use `i128` with checked arithmetic; any overflow or budget
+//! exhaustion yields [`LinSat::Unknown`] rather than a wrong answer.
+
+use crate::expr::{Expr, Var};
+use crate::pred::CmpOp;
+use std::collections::BTreeMap;
+
+/// Outcome of a satisfiability check over a conjunction of constraints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinSat {
+    /// A rational model exists (the integer system may or may not be
+    /// satisfiable — callers must treat this as "possibly satisfiable").
+    Sat,
+    /// Definitely unsatisfiable (over the integers too).
+    Unsat,
+    /// Solver gave up (overflow / budget); treat as possibly satisfiable.
+    Unknown,
+}
+
+/// A linear term `Σ cᵢ·xᵢ + k`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinTerm {
+    /// Variable coefficients (zero coefficients are never stored).
+    pub coeffs: BTreeMap<Var, i128>,
+    /// Constant offset.
+    pub constant: i128,
+}
+
+impl LinTerm {
+    /// The constant term `k`.
+    pub fn constant(k: i128) -> Self {
+        LinTerm { coeffs: BTreeMap::new(), constant: k }
+    }
+
+    /// The term `1·v`.
+    pub fn var(v: Var) -> Self {
+        LinTerm { coeffs: BTreeMap::from([(v, 1)]), constant: 0 }
+    }
+
+    fn add_coeff(&mut self, v: Var, c: i128) -> Option<()> {
+        let entry = self.coeffs.entry(v).or_insert(0);
+        *entry = entry.checked_add(c)?;
+        if *entry == 0 {
+            self.coeffs.retain(|_, c| *c != 0);
+        }
+        Some(())
+    }
+
+    /// `self + other`, checked.
+    pub fn add(&self, other: &LinTerm) -> Option<LinTerm> {
+        let mut out = self.clone();
+        out.constant = out.constant.checked_add(other.constant)?;
+        for (v, c) in &other.coeffs {
+            out.add_coeff(v.clone(), *c)?;
+        }
+        Some(out)
+    }
+
+    /// `self * k`, checked.
+    pub fn scale(&self, k: i128) -> Option<LinTerm> {
+        let mut out = LinTerm { coeffs: BTreeMap::new(), constant: self.constant.checked_mul(k)? };
+        for (v, c) in &self.coeffs {
+            let ck = c.checked_mul(k)?;
+            if ck != 0 {
+                out.coeffs.insert(v.clone(), ck);
+            }
+        }
+        Some(out)
+    }
+
+    /// Divide all coefficients by their gcd (keeps numbers small). The
+    /// constant participates so equalities stay exact; for inequalities we
+    /// divide and floor the constant, which preserves integer models.
+    fn normalize_le(&mut self) {
+        let mut g: i128 = 0;
+        for c in self.coeffs.values() {
+            g = gcd(g, c.abs());
+        }
+        if g > 1 {
+            for c in self.coeffs.values_mut() {
+                *c /= g;
+            }
+            // t ≤ 0 with t = g·t' + k: integer models satisfy t' + ceil(k/g) ≤ 0
+            // ⟺ t' ≤ -ceil(k/g) = floor(-k/g). Use floor division of k by g.
+            self.constant = div_ceil(self.constant, g);
+        }
+    }
+
+    /// Whether the term has no variables.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn div_ceil(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    let q = a / b;
+    if a % b > 0 {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// A constraint `term ≤ 0` or `term = 0`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Constraint {
+    /// The linear term.
+    pub term: LinTerm,
+    /// If true the constraint is `term = 0`; otherwise `term ≤ 0`.
+    pub is_eq: bool,
+}
+
+impl Constraint {
+    /// `term ≤ 0`
+    pub fn le0(term: LinTerm) -> Self {
+        Constraint { term, is_eq: false }
+    }
+
+    /// `term = 0`
+    pub fn eq0(term: LinTerm) -> Self {
+        Constraint { term, is_eq: true }
+    }
+}
+
+/// Lower an expression to a linear term. Non-linear products `a·b` (both
+/// sides non-constant) are replaced by a canonical opaque variable derived
+/// from the printed form, so syntactically equal products share a variable.
+pub fn linearize(e: &Expr) -> Option<LinTerm> {
+    match e {
+        Expr::Const(c) => Some(LinTerm::constant(*c as i128)),
+        Expr::Var(v) => Some(LinTerm::var(v.clone())),
+        Expr::Add(a, b) => linearize(a)?.add(&linearize(b)?),
+        Expr::Sub(a, b) => linearize(a)?.add(&linearize(b)?.scale(-1)?),
+        Expr::Neg(a) => linearize(a)?.scale(-1),
+        Expr::Mul(a, b) => {
+            let la = linearize(a)?;
+            let lb = linearize(b)?;
+            if la.is_constant() {
+                lb.scale(la.constant)
+            } else if lb.is_constant() {
+                la.scale(lb.constant)
+            } else {
+                // Canonicalize operand order so x*y and y*x unify.
+                let (sa, sb) = (format!("{a}"), format!("{b}"));
+                let key = if sa <= sb {
+                    format!("$nl%{sa}*{sb}")
+                } else {
+                    format!("$nl%{sb}*{sa}")
+                };
+                Some(LinTerm::var(Var::logical(key)))
+            }
+        }
+    }
+}
+
+/// Lower a comparison `lhs op rhs` to constraints (conjunction). `Ne` is not
+/// representable as a conjunction and must be split by the caller.
+pub fn comparison_constraints(op: CmpOp, lhs: &Expr, rhs: &Expr) -> Option<Vec<Constraint>> {
+    let l = linearize(lhs)?;
+    let r = linearize(rhs)?;
+    let diff = l.add(&r.scale(-1)?)?; // lhs - rhs
+    let one = LinTerm::constant(1);
+    Some(match op {
+        CmpOp::Eq => vec![Constraint::eq0(diff)],
+        CmpOp::Le => vec![Constraint::le0(diff)],
+        // integer tightening: lhs < rhs ⟺ lhs - rhs + 1 ≤ 0
+        CmpOp::Lt => vec![Constraint::le0(diff.add(&one)?)],
+        CmpOp::Ge => vec![Constraint::le0(diff.scale(-1)?)],
+        CmpOp::Gt => vec![Constraint::le0(diff.scale(-1)?.add(&one)?)],
+        CmpOp::Ne => return None,
+    })
+}
+
+/// Budget limits for Fourier–Motzkin (constraints generated / vars).
+const FM_MAX_CONSTRAINTS: usize = 8_000;
+
+/// Decide satisfiability of a conjunction of constraints by FM elimination.
+pub fn fm_sat(constraints: &[Constraint]) -> LinSat {
+    // Expand equalities into two inequalities.
+    let mut ineqs: Vec<LinTerm> = Vec::with_capacity(constraints.len() * 2);
+    for c in constraints {
+        if c.is_eq {
+            ineqs.push(c.term.clone());
+            match c.term.scale(-1) {
+                Some(n) => ineqs.push(n),
+                None => return LinSat::Unknown,
+            }
+        } else {
+            ineqs.push(c.term.clone());
+        }
+    }
+    loop {
+        // Constant-only constraints must hold; drop them.
+        let mut next: Vec<LinTerm> = Vec::with_capacity(ineqs.len());
+        for t in ineqs.drain(..) {
+            if t.is_constant() {
+                if t.constant > 0 {
+                    return LinSat::Unsat;
+                }
+            } else {
+                next.push(t);
+            }
+        }
+        ineqs = next;
+        if ineqs.is_empty() {
+            return LinSat::Sat;
+        }
+        if ineqs.len() > FM_MAX_CONSTRAINTS {
+            return LinSat::Unknown;
+        }
+        // Pick the variable minimizing the FM blowup (#upper * #lower).
+        let mut best: Option<(Var, usize)> = None;
+        {
+            let mut counts: BTreeMap<&Var, (usize, usize)> = BTreeMap::new();
+            for t in &ineqs {
+                for (v, c) in &t.coeffs {
+                    let e = counts.entry(v).or_insert((0, 0));
+                    if *c > 0 {
+                        e.0 += 1;
+                    } else {
+                        e.1 += 1;
+                    }
+                }
+            }
+            for (v, (up, lo)) in counts {
+                let cost = up * lo + up + lo;
+                if best.as_ref().map(|(_, c)| cost < *c).unwrap_or(true) {
+                    best = Some((v.clone(), cost));
+                }
+            }
+        }
+        let var = match best {
+            Some((v, _)) => v,
+            None => return LinSat::Sat, // no variables left
+        };
+        // Partition on the chosen variable.
+        let mut uppers: Vec<LinTerm> = Vec::new(); // coeff > 0:  a·x + r ≤ 0
+        let mut lowers: Vec<LinTerm> = Vec::new(); // coeff < 0: -b·x + s ≤ 0
+        let mut rest: Vec<LinTerm> = Vec::new();
+        for t in ineqs.drain(..) {
+            match t.coeffs.get(&var).copied() {
+                Some(c) if c > 0 => uppers.push(t),
+                Some(_) => lowers.push(t),
+                None => rest.push(t),
+            }
+        }
+        // Combine every (upper, lower) pair: b·U + a·L eliminates x.
+        for u in &uppers {
+            let a = *u.coeffs.get(&var).expect("partitioned");
+            for l in &lowers {
+                let b = -*l.coeffs.get(&var).expect("partitioned");
+                debug_assert!(a > 0 && b > 0);
+                let combined = (|| u.scale(b)?.add(&l.scale(a)?))();
+                let mut combined = match combined {
+                    Some(t) => t,
+                    None => return LinSat::Unknown,
+                };
+                combined.coeffs.remove(&var);
+                combined.normalize_le();
+                rest.push(combined);
+                if rest.len() > FM_MAX_CONSTRAINTS {
+                    return LinSat::Unknown;
+                }
+            }
+        }
+        ineqs = rest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(op: CmpOp, l: Expr, r: Expr) -> Vec<Constraint> {
+        comparison_constraints(op, &l, &r).expect("linear")
+    }
+
+    #[test]
+    fn trivially_sat() {
+        assert_eq!(fm_sat(&[]), LinSat::Sat);
+        assert_eq!(fm_sat(&c(CmpOp::Le, Expr::db("x"), Expr::int(5))), LinSat::Sat);
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let mut cs = c(CmpOp::Ge, Expr::db("x"), Expr::int(5));
+        cs.extend(c(CmpOp::Le, Expr::db("x"), Expr::int(3)));
+        assert_eq!(fm_sat(&cs), LinSat::Unsat);
+    }
+
+    #[test]
+    fn equality_chains() {
+        // x = y, y = z, x != handled elsewhere; x = y ∧ y = z ∧ x <= z is sat
+        let mut cs = c(CmpOp::Eq, Expr::db("x"), Expr::db("y"));
+        cs.extend(c(CmpOp::Eq, Expr::db("y"), Expr::db("z")));
+        cs.extend(c(CmpOp::Le, Expr::db("x"), Expr::db("z")));
+        assert_eq!(fm_sat(&cs), LinSat::Sat);
+        // ... but x = y ∧ y = z ∧ x < z is unsat
+        let mut cs = c(CmpOp::Eq, Expr::db("x"), Expr::db("y"));
+        cs.extend(c(CmpOp::Eq, Expr::db("y"), Expr::db("z")));
+        cs.extend(c(CmpOp::Lt, Expr::db("x"), Expr::db("z")));
+        assert_eq!(fm_sat(&cs), LinSat::Unsat);
+    }
+
+    #[test]
+    fn integer_tightening_strict() {
+        // x < y ∧ y < x + 1 has rational models but no integer ones.
+        let mut cs = c(CmpOp::Lt, Expr::db("x"), Expr::db("y"));
+        cs.extend(c(CmpOp::Lt, Expr::db("y"), Expr::db("x").add(Expr::int(1))));
+        assert_eq!(fm_sat(&cs), LinSat::Unsat);
+    }
+
+    #[test]
+    fn three_var_transitivity() {
+        // x ≤ y ∧ y ≤ z ∧ z ≤ x - 1 unsat
+        let mut cs = c(CmpOp::Le, Expr::db("x"), Expr::db("y"));
+        cs.extend(c(CmpOp::Le, Expr::db("y"), Expr::db("z")));
+        cs.extend(c(CmpOp::Le, Expr::db("z"), Expr::db("x").sub(Expr::int(1))));
+        assert_eq!(fm_sat(&cs), LinSat::Unsat);
+    }
+
+    #[test]
+    fn coefficients() {
+        // 2x + 3y ≤ 6 ∧ x ≥ 3 ∧ y ≥ 1 unsat (2·3 + 3·1 = 9 > 6)
+        let mut cs = c(
+            CmpOp::Le,
+            Expr::int(2).mul(Expr::db("x")).add(Expr::int(3).mul(Expr::db("y"))),
+            Expr::int(6),
+        );
+        cs.extend(c(CmpOp::Ge, Expr::db("x"), Expr::int(3)));
+        cs.extend(c(CmpOp::Ge, Expr::db("y"), Expr::int(1)));
+        assert_eq!(fm_sat(&cs), LinSat::Unsat);
+    }
+
+    #[test]
+    fn nonlinear_products_abstracted_consistently() {
+        // x*y ≤ 5 ∧ x*y ≥ 7 unsat even though the product is opaque.
+        let prod = Expr::db("x").mul(Expr::db("y"));
+        let mut cs = c(CmpOp::Le, prod.clone(), Expr::int(5));
+        cs.extend(c(CmpOp::Ge, prod, Expr::int(7)));
+        assert_eq!(fm_sat(&cs), LinSat::Unsat);
+        // y*x and x*y unify through canonicalization
+        let p1 = Expr::db("x").mul(Expr::db("y"));
+        let p2 = Expr::db("y").mul(Expr::db("x"));
+        let mut cs = c(CmpOp::Le, p1, Expr::int(5));
+        cs.extend(c(CmpOp::Ge, p2, Expr::int(7)));
+        assert_eq!(fm_sat(&cs), LinSat::Unsat);
+    }
+
+    #[test]
+    fn ne_is_rejected() {
+        assert!(comparison_constraints(CmpOp::Ne, &Expr::db("x"), &Expr::int(0)).is_none());
+    }
+
+    #[test]
+    fn linearize_mul_by_const() {
+        let t = linearize(&Expr::int(3).mul(Expr::db("x"))).expect("linear");
+        assert_eq!(t.coeffs.get(&Var::db("x")), Some(&3));
+    }
+
+    #[test]
+    fn bank_invariant_example() {
+        // sav + ch ≥ 0 ∧ sav + ch ≥ s + c ∧ s + c ≥ w ∧ w ≥ 0
+        // ∧ sav' = s - w  ⟹ can sav' + ch < 0? i.e. add sav2 + ch ≤ -1 with
+        // sav2 = s - w, ch free but ch ≥ c0... (simplified write-skew shape):
+        // s + c ≥ w ∧ ch = c ∧ sav2 = s - w ∧ sav2 + ch ≤ -1 → unsat
+        let mut cs = c(
+            CmpOp::Ge,
+            Expr::local("S").add(Expr::local("C")),
+            Expr::param("w"),
+        );
+        cs.extend(c(CmpOp::Eq, Expr::db("ch"), Expr::local("C")));
+        cs.extend(c(
+            CmpOp::Eq,
+            Expr::db("sav2"),
+            Expr::local("S").sub(Expr::param("w")),
+        ));
+        cs.extend(c(
+            CmpOp::Le,
+            Expr::db("sav2").add(Expr::db("ch")),
+            Expr::int(-1),
+        ));
+        assert_eq!(fm_sat(&cs), LinSat::Unsat);
+    }
+}

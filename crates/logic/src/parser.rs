@@ -1,0 +1,529 @@
+//! A small text syntax for assertions, used by tests, examples and the
+//! workload definitions to keep annotations readable.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! pred   := or ( "==>" pred )?
+//! or     := and ( "||" and )*
+//! and    := unary ( "&&" unary )*
+//! unary  := "!" unary | "(" pred ")" | atom
+//! atom   := "true" | "false" | "#" ident footprint? | operand relop operand
+//! relop  := "=" | "!=" | "<=" | ">=" | "<" | ">"
+//! operand:= string-literal | expr
+//! expr   := term (("+"|"-") term)*
+//! term   := factor ("*" factor)*
+//! factor := integer | var | "-" factor | "(" expr ")"
+//! var    := ident        (database item)
+//!         | ":" ident    (local variable)
+//!         | "@" ident    (parameter)
+//!         | "?" ident    (logical constant)
+//! footprint := "(" fpitem ("," fpitem)* ")"     -- items read by an opaque atom
+//! fpitem := ident | ident ".*"                  -- db item, or whole table
+//! ```
+
+use crate::expr::{Expr, Var};
+use crate::pred::{CmpOp, OpaqueAtom, Pred, StrTerm};
+use std::fmt;
+
+/// A parse failure, with a byte offset and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where the error was noticed.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse an assertion from text.
+pub fn parse_pred(input: &str) -> Result<Pred, ParseError> {
+    let mut p = Parser::new(input);
+    let pred = p.pred()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(pred)
+}
+
+/// Parse an expression from text.
+pub fn parse_expr(input: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(input);
+    let e = p.expr()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(e)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+/// An operand of a comparison: either a string literal or an expression.
+enum Operand {
+    Str(String),
+    Expr(Expr),
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { src: input.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { offset: self.pos, message: msg.into() }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Like `eat` but only when the next token *is exactly* this operator
+    /// (so `=` does not consume the prefix of `==>`, nor `<` of `<=`).
+    fn eat_op(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        if !rest.starts_with(s.as_bytes()) {
+            return false;
+        }
+        let next = rest.get(s.len()).copied();
+        let clash = match s {
+            "=" => matches!(next, Some(b'=')), // "==>"
+            "<" | ">" => matches!(next, Some(b'=')),
+            "!" => matches!(next, Some(b'=')), // "!=" handled separately
+            _ => false,
+        };
+        if clash {
+            return false;
+        }
+        self.pos += s.len();
+        true
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii ident")
+            .to_string())
+    }
+
+    fn pred(&mut self) -> Result<Pred, ParseError> {
+        let lhs = self.or_pred()?;
+        if self.eat("==>") {
+            let rhs = self.pred()?;
+            return Ok(Pred::implies(lhs, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn or_pred(&mut self) -> Result<Pred, ParseError> {
+        let mut parts = vec![self.and_pred()?];
+        while self.eat("||") {
+            parts.push(self.and_pred()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Pred::or(parts)
+        })
+    }
+
+    fn and_pred(&mut self) -> Result<Pred, ParseError> {
+        let mut parts = vec![self.unary_pred()?];
+        while self.eat("&&") {
+            parts.push(self.unary_pred()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Pred::and(parts)
+        })
+    }
+
+    fn unary_pred(&mut self) -> Result<Pred, ParseError> {
+        self.skip_ws();
+        if self.eat_op("!") {
+            return Ok(Pred::not(self.unary_pred()?));
+        }
+        // Parenthesized predicate vs parenthesized arithmetic: try predicate
+        // first by backtracking.
+        if self.peek() == Some(b'(') {
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(inner) = self.pred() {
+                self.skip_ws();
+                if self.eat(")") {
+                    // Could still be the lhs of a comparison, e.g. `(x + 1) = y`
+                    // — only if `inner` wasn't already a full predicate shape.
+                    // We treat a successfully parsed predicate as final unless
+                    // a comparison operator follows (then re-parse as expr).
+                    if !self.comparison_ahead() {
+                        return Ok(inner);
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        self.atom()
+    }
+
+    fn comparison_ahead(&mut self) -> bool {
+        let save = self.pos;
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let found = rest.starts_with(b"!=")
+            || rest.starts_with(b"<=")
+            || rest.starts_with(b">=")
+            || (rest.starts_with(b"=") && !rest.starts_with(b"==>"))
+            || rest.starts_with(b"<")
+            || rest.starts_with(b">");
+        self.pos = save;
+        found
+    }
+
+    fn atom(&mut self) -> Result<Pred, ParseError> {
+        self.skip_ws();
+        // keywords
+        let save = self.pos;
+        if let Ok(word) = self.ident() {
+            match word.as_str() {
+                "true" => return Ok(Pred::True),
+                "false" => return Ok(Pred::False),
+                _ => self.pos = save,
+            }
+        }
+        if self.eat("#") {
+            let name = self.ident()?;
+            let mut atom = OpaqueAtom { name, reads_items: vec![], reads_tables: vec![] };
+            if self.eat("(") {
+                loop {
+                    let item = self.ident()?;
+                    if self.eat(".*") {
+                        atom.reads_tables.push(crate::pred::TableRegion::whole(item));
+                    } else if self.peek() == Some(b'.') {
+                        self.pos += 1;
+                        let col = self.ident()?;
+                        // Accumulate columns per table within one footprint.
+                        if let Some(tr) = atom
+                            .reads_tables
+                            .iter_mut()
+                            .find(|tr| tr.table == item && tr.columns.is_some())
+                        {
+                            tr.columns.as_mut().expect("checked").push(col);
+                        } else {
+                            atom.reads_tables
+                                .push(crate::pred::TableRegion::columns(item, &[col.as_str()]));
+                        }
+                    } else {
+                        atom.reads_items.push(item);
+                    }
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                if !self.eat(")") {
+                    return Err(self.err("expected ')' after opaque footprint"));
+                }
+            }
+            return Ok(Pred::Opaque(atom));
+        }
+        // comparison
+        let lhs = self.operand()?;
+        self.skip_ws();
+        let op = if self.eat("!=") {
+            CmpOp::Ne
+        } else if self.eat("<=") {
+            CmpOp::Le
+        } else if self.eat(">=") {
+            CmpOp::Ge
+        } else if self.eat_op("=") {
+            CmpOp::Eq
+        } else if self.eat_op("<") {
+            CmpOp::Lt
+        } else if self.eat_op(">") {
+            CmpOp::Gt
+        } else {
+            return Err(self.err("expected comparison operator"));
+        };
+        let rhs = self.operand()?;
+        match (lhs, rhs) {
+            (Operand::Expr(l), Operand::Expr(r)) => Ok(Pred::Cmp(op, l, r)),
+            (l, r) => {
+                let to_term = |o: Operand, p: &Parser| -> Result<StrTerm, ParseError> {
+                    match o {
+                        Operand::Str(s) => Ok(StrTerm::Const(s)),
+                        Operand::Expr(Expr::Var(v)) => Ok(StrTerm::Var(v)),
+                        Operand::Expr(_) => {
+                            Err(p.err("string compared against non-variable expression"))
+                        }
+                    }
+                };
+                let eq = match op {
+                    CmpOp::Eq => true,
+                    CmpOp::Ne => false,
+                    _ => return Err(self.err("strings admit only = and !=")),
+                };
+                Ok(Pred::StrCmp { eq, lhs: to_term(l, self)?, rhs: to_term(r, self)? })
+            }
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        self.skip_ws();
+        if self.peek() == Some(b'"') {
+            self.pos += 1;
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                if c == b'"' {
+                    let s = std::str::from_utf8(&self.src[start..self.pos])
+                        .map_err(|_| self.err("invalid utf8 in string"))?
+                        .to_string();
+                    self.pos += 1;
+                    return Ok(Operand::Str(s));
+                }
+                self.pos += 1;
+            }
+            return Err(self.err("unterminated string literal"));
+        }
+        Ok(Operand::Expr(self.expr()?))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            if self.eat("+") {
+                lhs = lhs.add(self.term()?);
+            } else if self.eat_op("-") {
+                lhs = lhs.sub(self.term()?);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.factor()?;
+        while self.eat("*") {
+            lhs = lhs.mul(self.factor()?);
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'-') => {
+                self.pos += 1;
+                Ok(self.factor()?.neg())
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.expr()?;
+                if !self.eat(")") {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(e)
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits");
+                text.parse::<i64>()
+                    .map(Expr::Const)
+                    .map_err(|_| self.err("integer literal out of range"))
+            }
+            Some(b':') => {
+                self.pos += 1;
+                Ok(Expr::Var(Var::local(self.ident()?)))
+            }
+            Some(b'@') => {
+                self.pos += 1;
+                Ok(Expr::Var(Var::param(self.ident()?)))
+            }
+            Some(b'?') => {
+                self.pos += 1;
+                Ok(Expr::Var(Var::logical(self.ident()?)))
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                Ok(Expr::Var(Var::db(self.ident()?)))
+            }
+            _ => Err(self.err("expected expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_comparison() {
+        assert_eq!(parse_pred("bal >= 0").expect("parses"), Pred::ge(Expr::db("bal"), 0));
+    }
+
+    #[test]
+    fn parse_var_kinds() {
+        let p = parse_pred("bal = ?BAL + @dep - :tmp").expect("parses");
+        match p {
+            Pred::Cmp(CmpOp::Eq, Expr::Var(Var::Db(_)), rhs) => {
+                let vars = rhs.vars();
+                assert!(vars.contains(&Var::logical("BAL")));
+                assert!(vars.contains(&Var::param("dep")));
+                assert!(vars.contains(&Var::local("tmp")));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_connectives_and_precedence() {
+        let p = parse_pred("x >= 0 && y >= 0 || z >= 0").expect("parses");
+        // && binds tighter than ||
+        match p {
+            Pred::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[0], Pred::And(_)));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_implication() {
+        let p = parse_pred(":c = 0 ==> x >= 1").expect("parses");
+        assert!(matches!(p, Pred::Implies(..)));
+    }
+
+    #[test]
+    fn parse_parenthesized_pred_and_arith() {
+        let p = parse_pred("(x + 1) * 2 = y").expect("parses");
+        assert!(matches!(p, Pred::Cmp(CmpOp::Eq, ..)));
+        let q = parse_pred("(x = 1 || y = 2) && z = 3").expect("parses");
+        assert!(matches!(q, Pred::And(_)));
+    }
+
+    #[test]
+    fn parse_negation() {
+        let p = parse_pred("!(x = y)").expect("parses");
+        assert!(matches!(p, Pred::Not(_)));
+        // `!` must not swallow `!=`
+        let q = parse_pred("x != y").expect("parses");
+        assert_eq!(q, Pred::cmp(CmpOp::Ne, Expr::db("x"), Expr::db("y")));
+    }
+
+    #[test]
+    fn parse_string_equality() {
+        let p = parse_pred("@cust = \"alice\"").expect("parses");
+        assert_eq!(
+            p,
+            Pred::StrCmp {
+                eq: true,
+                lhs: StrTerm::Var(Var::param("cust")),
+                rhs: StrTerm::Const("alice".into()),
+            }
+        );
+        assert!(parse_pred("\"a\" < \"b\"").is_err());
+    }
+
+    #[test]
+    fn parse_opaque_with_footprint() {
+        let p = parse_pred("#no_gap(maximum_date, orders.*)").expect("parses");
+        match p {
+            Pred::Opaque(a) => {
+                assert_eq!(a.name, "no_gap");
+                assert_eq!(a.reads_items, vec!["maximum_date".to_string()]);
+                assert_eq!(a.reads_tables, vec![crate::pred::TableRegion::whole("orders")]);
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_true_false() {
+        assert_eq!(parse_pred("true").expect("parses"), Pred::True);
+        assert_eq!(parse_pred("false").expect("parses"), Pred::False);
+    }
+
+    #[test]
+    fn parse_figure1_annotation() {
+        // The key assertion from Figure 1 of the paper.
+        let p = parse_pred(
+            "acct_sav + acct_ch >= 0 && acct_sav + acct_ch >= :Sav + :Ch && :Sav + :Ch >= @w",
+        )
+        .expect("parses");
+        assert_eq!(p.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let e = parse_pred("x >=").expect_err("must fail");
+        assert!(e.offset >= 4, "offset was {}", e.offset);
+        assert!(parse_pred("x = 1 extra").is_err());
+        assert!(parse_pred("").is_err());
+    }
+
+    #[test]
+    fn parse_expr_standalone() {
+        let e = parse_expr("2 * x + 3").expect("parses");
+        assert_eq!(e, Expr::int(2).mul(Expr::db("x")).add(Expr::int(3)));
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let cases = [
+            "x >= 0",
+            "x = ?X0 + @d",
+            "x >= 0 && y >= 0",
+            "(x = 1) || (y = 2)",
+        ];
+        for c in cases {
+            let p = parse_pred(c).expect("parses");
+            let reparsed = parse_pred(&p.to_string()).expect("reparses");
+            assert_eq!(p, reparsed, "case {c}");
+        }
+    }
+}

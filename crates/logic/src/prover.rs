@@ -1,0 +1,547 @@
+//! Validity and satisfiability checking for the assertion language.
+//!
+//! Formulas are pushed to negation normal form, then explored as a *lazy
+//! DNF*: a depth-first search over disjunctive branches accumulating a
+//! conjunctive context of theory literals (linear constraints, string
+//! (dis)equalities, and opaque/table atoms treated as boolean literals).
+//! Each complete branch is checked by the respective theory solvers.
+//!
+//! Soundness: [`Prover::valid`] answers [`Outcome::Proven`] only when every
+//! branch of the negation is refuted by an *exact* theory argument
+//! (Fourier–Motzkin unsat over the tightened integer relaxation, string
+//! congruence conflict, or boolean literal conflict). All give-ups
+//! (budget, overflow, non-linear residue) surface as [`Outcome::Unknown`].
+
+use crate::linear::{comparison_constraints, fm_sat, Constraint, LinSat};
+use crate::pred::{CmpOp, Pred, StrTerm, TableAtom};
+use std::collections::BTreeMap;
+
+/// Result of a validity query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The formula is valid (holds in every model).
+    Proven,
+    /// Validity could not be established (invalid *or* beyond the solver).
+    Unknown,
+}
+
+impl Outcome {
+    /// Whether validity was established.
+    pub fn is_proven(self) -> bool {
+        self == Outcome::Proven
+    }
+}
+
+/// Result of a satisfiability query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sat {
+    /// A model (over the solver's relaxation) exists.
+    Sat,
+    /// No model exists.
+    Unsat,
+    /// Solver gave up; must be treated as possibly satisfiable.
+    Unknown,
+}
+
+/// A boolean literal standing for an opaque or table atom.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum BoolAtom {
+    Opaque(String),
+    Table(String), // canonical printed form of the TableAtom
+}
+
+/// Conjunctive context accumulated along one DNF branch.
+#[derive(Clone, Default)]
+struct Branch {
+    lin: Vec<Constraint>,
+    str_eqs: Vec<(StrTerm, StrTerm)>,
+    str_nes: Vec<(StrTerm, StrTerm)>,
+    bools: BTreeMap<BoolAtom, bool>,
+    /// True once the branch is already known contradictory.
+    dead: bool,
+}
+
+impl Branch {
+    fn add_bool(&mut self, atom: BoolAtom, polarity: bool) {
+        match self.bools.get(&atom) {
+            Some(p) if *p != polarity => self.dead = true,
+            _ => {
+                self.bools.insert(atom, polarity);
+            }
+        }
+    }
+
+    /// Final theory check for a complete branch.
+    fn check(&self) -> Sat {
+        if self.dead {
+            return Sat::Unsat;
+        }
+        if !strings_consistent(&self.str_eqs, &self.str_nes) {
+            return Sat::Unsat;
+        }
+        match fm_sat(&self.lin) {
+            LinSat::Unsat => Sat::Unsat,
+            LinSat::Sat => Sat::Sat,
+            LinSat::Unknown => Sat::Unknown,
+        }
+    }
+}
+
+/// Union-find congruence check over string terms.
+fn strings_consistent(eqs: &[(StrTerm, StrTerm)], nes: &[(StrTerm, StrTerm)]) -> bool {
+    let mut terms: Vec<StrTerm> = Vec::new();
+    let index = |t: &StrTerm, terms: &mut Vec<StrTerm>| -> usize {
+        if let Some(i) = terms.iter().position(|x| x == t) {
+            i
+        } else {
+            terms.push(t.clone());
+            terms.len() - 1
+        }
+    };
+    let mut pairs_eq = Vec::new();
+    let mut pairs_ne = Vec::new();
+    for (a, b) in eqs {
+        let (i, j) = (index(a, &mut terms), index(b, &mut terms));
+        pairs_eq.push((i, j));
+    }
+    for (a, b) in nes {
+        let (i, j) = (index(a, &mut terms), index(b, &mut terms));
+        pairs_ne.push((i, j));
+    }
+    let mut parent: Vec<usize> = (0..terms.len()).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for (i, j) in pairs_eq {
+        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+        parent[ri] = rj;
+    }
+    // Distinct constants must not share a class.
+    let mut class_const: BTreeMap<usize, &str> = BTreeMap::new();
+    for (i, t) in terms.iter().enumerate() {
+        if let StrTerm::Const(s) = t {
+            let r = find(&mut parent, i);
+            match class_const.get(&r) {
+                Some(existing) if *existing != s.as_str() => return false,
+                _ => {
+                    class_const.insert(r, s.as_str());
+                }
+            }
+        }
+    }
+    // Disequalities must span distinct classes.
+    for (i, j) in pairs_ne {
+        if find(&mut parent, i) == find(&mut parent, j) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The prover. Stateless apart from a per-query branch budget; cheap to
+/// construct, `Copy`-light to share.
+///
+/// ```
+/// use semcc_logic::parser::parse_pred;
+/// use semcc_logic::prover::{Outcome, Prover};
+///
+/// let prover = Prover::new();
+/// let valid = parse_pred("x >= 1 ==> x > 0").unwrap();
+/// assert_eq!(prover.valid(&valid), Outcome::Proven);
+///
+/// // Soundness over completeness: non-theorems are merely Unknown.
+/// let invalid = parse_pred("x >= 0 ==> x > 0").unwrap();
+/// assert_eq!(prover.valid(&invalid), Outcome::Unknown);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Prover {
+    /// Maximum DNF branches explored per query before giving up.
+    pub branch_budget: usize,
+}
+
+impl Default for Prover {
+    fn default() -> Self {
+        Prover { branch_budget: 50_000 }
+    }
+}
+
+impl Prover {
+    /// A prover with the default budget.
+    pub fn new() -> Self {
+        Prover::default()
+    }
+
+    /// Is `p` valid? Sound: `Proven` is only returned for genuinely valid
+    /// formulas.
+    pub fn valid(&self, p: &Pred) -> Outcome {
+        match self.sat(&Pred::not(p.clone())) {
+            Sat::Unsat => Outcome::Proven,
+            _ => Outcome::Unknown,
+        }
+    }
+
+    /// Is `pre ⟹ post` valid?
+    pub fn implies(&self, pre: &Pred, post: &Pred) -> Outcome {
+        self.valid(&Pred::implies(pre.clone(), post.clone()))
+    }
+
+    /// Is `p` satisfiable (over the solver's relaxation)?
+    pub fn sat(&self, p: &Pred) -> Sat {
+        let nnf = to_nnf(p, true);
+        let mut budget = self.branch_budget;
+        let mut saw_unknown = false;
+        let mut branch = Branch::default();
+        // (the lint about Default-then-assign below is a false positive on
+        // the recursive clones; keep explicit for clarity)
+        let res = explore(&[nnf], &mut branch, &mut budget, &mut saw_unknown);
+        match res {
+            Some(true) => Sat::Sat,
+            Some(false) => {
+                if saw_unknown {
+                    Sat::Unknown
+                } else {
+                    Sat::Unsat
+                }
+            }
+            None => Sat::Unknown, // budget exhausted
+        }
+    }
+}
+
+/// NNF form: negations only on atoms, `Implies` compiled away. `positive`
+/// tracks the current polarity.
+fn to_nnf(p: &Pred, positive: bool) -> Pred {
+    match (p, positive) {
+        (Pred::True, true) | (Pred::False, false) => Pred::True,
+        (Pred::True, false) | (Pred::False, true) => Pred::False,
+        (Pred::Cmp(op, a, b), true) => Pred::Cmp(*op, a.clone(), b.clone()),
+        (Pred::Cmp(op, a, b), false) => Pred::Cmp(op.negate(), a.clone(), b.clone()),
+        (Pred::StrCmp { eq, lhs, rhs }, pos) => Pred::StrCmp {
+            eq: *eq == pos,
+            lhs: lhs.clone(),
+            rhs: rhs.clone(),
+        },
+        (Pred::Not(q), pos) => to_nnf(q, !pos),
+        (Pred::And(ps), true) => Pred::And(ps.iter().map(|q| to_nnf(q, true)).collect()),
+        (Pred::And(ps), false) => Pred::Or(ps.iter().map(|q| to_nnf(q, false)).collect()),
+        (Pred::Or(ps), true) => Pred::Or(ps.iter().map(|q| to_nnf(q, true)).collect()),
+        (Pred::Or(ps), false) => Pred::And(ps.iter().map(|q| to_nnf(q, false)).collect()),
+        (Pred::Implies(a, b), true) => {
+            Pred::Or(vec![to_nnf(a, false), to_nnf(b, true)])
+        }
+        (Pred::Implies(a, b), false) => {
+            Pred::And(vec![to_nnf(a, true), to_nnf(b, false)])
+        }
+        (Pred::Opaque(_), true) | (Pred::Table(_), true) => p.clone(),
+        (Pred::Opaque(_), false) | (Pred::Table(_), false) => Pred::Not(Box::new(p.clone())),
+    }
+}
+
+/// DFS over the lazy DNF. `todo` is a conjunction of NNF predicates still to
+/// be expanded into `branch`. Returns `Some(true)` when a satisfiable branch
+/// is found, `Some(false)` when all branches were refuted, `None` on budget
+/// exhaustion. `saw_unknown` records whether any refutation relied on an
+/// Unknown theory verdict (in which case "all refuted" is *not* Unsat).
+fn explore(
+    todo: &[Pred],
+    branch: &mut Branch,
+    budget: &mut usize,
+    saw_unknown: &mut bool,
+) -> Option<bool> {
+    if *budget == 0 {
+        return None;
+    }
+    if branch.dead {
+        return Some(false);
+    }
+    let (first, rest) = match todo.split_first() {
+        None => {
+            *budget -= 1;
+            return match branch.check() {
+                Sat::Sat => Some(true),
+                Sat::Unsat => Some(false),
+                Sat::Unknown => {
+                    *saw_unknown = true;
+                    Some(false)
+                }
+            };
+        }
+        Some(x) => x,
+    };
+    match first {
+        Pred::True => explore(rest, branch, budget, saw_unknown),
+        Pred::False => Some(false),
+        Pred::And(ps) => {
+            let mut next: Vec<Pred> = ps.clone();
+            next.extend_from_slice(rest);
+            explore(&next, branch, budget, saw_unknown)
+        }
+        Pred::Or(ps) => {
+            for alt in ps {
+                let mut next: Vec<Pred> = vec![alt.clone()];
+                next.extend_from_slice(rest);
+                let mut sub = branch.clone();
+                match explore(&next, &mut sub, budget, saw_unknown) {
+                    Some(true) => return Some(true),
+                    Some(false) => {}
+                    None => return None,
+                }
+            }
+            Some(false)
+        }
+        Pred::Cmp(CmpOp::Ne, a, b) => {
+            // a ≠ b ⟺ a < b ∨ a > b
+            let split = Pred::Or(vec![
+                Pred::Cmp(CmpOp::Lt, a.clone(), b.clone()),
+                Pred::Cmp(CmpOp::Gt, a.clone(), b.clone()),
+            ]);
+            let mut next: Vec<Pred> = vec![split];
+            next.extend_from_slice(rest);
+            explore(&next, branch, budget, saw_unknown)
+        }
+        Pred::Cmp(op, a, b) => {
+            match comparison_constraints(*op, a, b) {
+                Some(cs) => {
+                    let n = cs.len();
+                    branch.lin.extend(cs);
+                    let r = explore(rest, branch, budget, saw_unknown);
+                    branch.lin.truncate(branch.lin.len() - n);
+                    r
+                }
+                None => {
+                    // Unlinearizable atom: drop it (over-approximates models;
+                    // refutation then can only come from other literals, and a
+                    // "Sat" from this branch is already conservative).
+                    *saw_unknown = true;
+                    explore(rest, branch, budget, saw_unknown)
+                }
+            }
+        }
+        Pred::StrCmp { eq, lhs, rhs } => {
+            if *eq {
+                branch.str_eqs.push((lhs.clone(), rhs.clone()));
+                let r = explore(rest, branch, budget, saw_unknown);
+                branch.str_eqs.pop();
+                r
+            } else {
+                branch.str_nes.push((lhs.clone(), rhs.clone()));
+                let r = explore(rest, branch, budget, saw_unknown);
+                branch.str_nes.pop();
+                r
+            }
+        }
+        Pred::Opaque(a) => {
+            let mut sub = branch.clone();
+            sub.add_bool(BoolAtom::Opaque(a.name.clone()), true);
+            explore(rest, &mut sub, budget, saw_unknown)
+        }
+        Pred::Table(t) => {
+            let mut sub = branch.clone();
+            sub.add_bool(BoolAtom::Table(canonical_table(t)), true);
+            explore(rest, &mut sub, budget, saw_unknown)
+        }
+        Pred::Not(inner) => match inner.as_ref() {
+            Pred::Opaque(a) => {
+                let mut sub = branch.clone();
+                sub.add_bool(BoolAtom::Opaque(a.name.clone()), false);
+                explore(rest, &mut sub, budget, saw_unknown)
+            }
+            Pred::Table(t) => {
+                let mut sub = branch.clone();
+                sub.add_bool(BoolAtom::Table(canonical_table(t)), false);
+                explore(rest, &mut sub, budget, saw_unknown)
+            }
+            // NNF guarantees negations sit only on atoms.
+            other => {
+                let nnf = to_nnf(other, false);
+                let mut next: Vec<Pred> = vec![nnf];
+                next.extend_from_slice(rest);
+                explore(&next, branch, budget, saw_unknown)
+            }
+        },
+        Pred::Implies(a, b) => {
+            let nnf = Pred::Or(vec![to_nnf(a, false), to_nnf(b, true)]);
+            let mut next: Vec<Pred> = vec![nnf];
+            next.extend_from_slice(rest);
+            explore(&next, branch, budget, saw_unknown)
+        }
+    }
+}
+
+fn canonical_table(t: &TableAtom) -> String {
+    format!("{}", Pred::Table(t.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::pred::OpaqueAtom;
+
+    fn p() -> Prover {
+        Prover::new()
+    }
+
+    #[test]
+    fn tautologies() {
+        assert!(p().valid(&Pred::True).is_proven());
+        assert!(p()
+            .valid(&Pred::or([
+                Pred::ge(Expr::db("x"), 0),
+                Pred::lt(Expr::db("x"), 0)
+            ]))
+            .is_proven());
+        assert!(p()
+            .implies(&Pred::ge(Expr::db("x"), 1), &Pred::gt(Expr::db("x"), 0))
+            .is_proven());
+    }
+
+    #[test]
+    fn non_theorems_are_unknown() {
+        assert_eq!(p().valid(&Pred::False), Outcome::Unknown);
+        assert_eq!(
+            p().implies(&Pred::ge(Expr::db("x"), 0), &Pred::gt(Expr::db("x"), 0)),
+            Outcome::Unknown
+        );
+    }
+
+    #[test]
+    fn paper_example_invalidation() {
+        // "x := x + 1 invalidates x = y but not x > y" (Section 2).
+        // Interference check: (P ∧ P') ⟹ P[x←x+1].
+        let x1 = Expr::db("x").add(Expr::int(1));
+        let p_eq = Pred::eq(Expr::db("x"), Expr::db("y"));
+        let p_gt = Pred::gt(Expr::db("x"), Expr::db("y"));
+        // x = y does NOT survive:
+        assert_eq!(
+            p().implies(&p_eq, &Pred::eq(x1.clone(), Expr::db("y"))),
+            Outcome::Unknown
+        );
+        // x > y DOES survive:
+        assert!(p().implies(&p_gt, &Pred::gt(x1, Expr::db("y"))).is_proven());
+    }
+
+    #[test]
+    fn ne_atoms_split() {
+        // x ≠ x is unsat; x ≠ y is sat.
+        assert_eq!(p().sat(&Pred::cmp(CmpOp::Ne, Expr::db("x"), Expr::db("x"))), Sat::Unsat);
+        assert_eq!(p().sat(&Pred::cmp(CmpOp::Ne, Expr::db("x"), Expr::db("y"))), Sat::Sat);
+        // validity with ≠ in the hypothesis
+        assert!(p()
+            .implies(
+                &Pred::and([
+                    Pred::cmp(CmpOp::Ne, Expr::db("x"), Expr::int(0)),
+                    Pred::ge(Expr::db("x"), 0)
+                ]),
+                &Pred::ge(Expr::db("x"), 1)
+            )
+            .is_proven());
+    }
+
+    #[test]
+    fn string_theory() {
+        let a = StrTerm::Const("alice".into());
+        let b = StrTerm::Const("bob".into());
+        let v = StrTerm::Var(crate::expr::Var::param("c"));
+        // c = "alice" ∧ c = "bob" unsat
+        let q = Pred::and([
+            Pred::StrCmp { eq: true, lhs: v.clone(), rhs: a.clone() },
+            Pred::StrCmp { eq: true, lhs: v.clone(), rhs: b.clone() },
+        ]);
+        assert_eq!(p().sat(&q), Sat::Unsat);
+        // c = "alice" ∧ c ≠ "alice" unsat
+        let q = Pred::and([
+            Pred::StrCmp { eq: true, lhs: v.clone(), rhs: a.clone() },
+            Pred::StrCmp { eq: false, lhs: v.clone(), rhs: a.clone() },
+        ]);
+        assert_eq!(p().sat(&q), Sat::Unsat);
+        // c = "alice" ∧ d ≠ c sat
+        let d = StrTerm::Var(crate::expr::Var::param("d"));
+        let q = Pred::and([
+            Pred::StrCmp { eq: true, lhs: v.clone(), rhs: a },
+            Pred::StrCmp { eq: false, lhs: d, rhs: v },
+        ]);
+        assert_eq!(p().sat(&q), Sat::Sat);
+    }
+
+    #[test]
+    fn opaque_atoms_are_boolean_literals() {
+        let atom = Pred::Opaque(OpaqueAtom::over_items("no_gap", &["maxdate"]));
+        // #no_gap ∧ ¬#no_gap unsat
+        let q = Pred::and([atom.clone(), Pred::not(atom.clone())]);
+        assert_eq!(p().sat(&q), Sat::Unsat);
+        // #no_gap ⟹ #no_gap valid
+        assert!(p().implies(&atom, &atom).is_proven());
+        // #no_gap alone is sat
+        assert_eq!(p().sat(&atom), Sat::Sat);
+    }
+
+    #[test]
+    fn implication_inside_hypothesis() {
+        // ((c = 0) ⟹ (x ≥ 1)) ∧ c = 0 ⟹ x ≥ 1
+        let hyp = Pred::and([
+            Pred::implies(Pred::eq(Expr::local("c"), 0), Pred::ge(Expr::db("x"), 1)),
+            Pred::eq(Expr::local("c"), 0),
+        ]);
+        assert!(p().implies(&hyp, &Pred::ge(Expr::db("x"), 1)).is_proven());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_unknown_not_unsat() {
+        let tiny = Prover { branch_budget: 1 };
+        // A disjunction with several branches; budget 1 cannot finish.
+        let q = Pred::or([
+            Pred::eq(Expr::db("x"), 1),
+            Pred::eq(Expr::db("x"), 2),
+            Pred::eq(Expr::db("x"), 3),
+        ]);
+        // sat may answer Sat (first branch) — fine. Validity of ¬q must be
+        // Unknown rather than Proven.
+        let not_q = Pred::not(q);
+        assert_eq!(tiny.valid(&not_q), Outcome::Unknown);
+    }
+
+    #[test]
+    fn withdraw_savings_postcondition_survives_deposit() {
+        // Fig 1 / Example 3 shape. P: sav + ch ≥ 0 ∧ sav + ch ≥ S + C.
+        // Deposit_sav writes sav := sav + d with d ≥ 0. P must survive.
+        let pre = Pred::and([
+            Pred::ge(Expr::db("sav").add(Expr::db("ch")), 0),
+            Pred::ge(
+                Expr::db("sav").add(Expr::db("ch")),
+                Expr::local("S").add(Expr::local("C")),
+            ),
+            Pred::ge(Expr::param("d"), 0),
+        ]);
+        let post = Pred::and([
+            Pred::ge(
+                Expr::db("sav").add(Expr::param("d")).add(Expr::db("ch")),
+                0,
+            ),
+            Pred::ge(
+                Expr::db("sav").add(Expr::param("d")).add(Expr::db("ch")),
+                Expr::local("S").add(Expr::local("C")),
+            ),
+        ]);
+        assert!(p().implies(&pre, &post).is_proven());
+    }
+
+    #[test]
+    fn write_skew_interference_not_provable() {
+        // Withdraw_ch writes ch := C' - w' where only C' + S' ≥ w' is known;
+        // the assertion sav + ch ≥ S + C need not survive.
+        let pre = Pred::and([
+            Pred::ge(Expr::db("sav").add(Expr::db("ch")), Expr::local("S").add(Expr::local("C"))),
+            Pred::ge(Expr::local("S2").add(Expr::local("C2")), Expr::param("w2")),
+        ]);
+        let post = Pred::ge(
+            Expr::db("sav").add(Expr::local("C2").sub(Expr::param("w2"))),
+            Expr::local("S").add(Expr::local("C")),
+        );
+        assert_eq!(p().implies(&pre, &post), Outcome::Unknown);
+    }
+}

@@ -1,0 +1,137 @@
+//! Predicate simplification: constant folding of comparisons, duplicate
+//! conjunct elimination, and trivial-connective pruning.
+//!
+//! Used to keep analyzer-generated formulas (wp substitutions compose
+//! quickly) small before display and before prover calls; semantics are
+//! preserved exactly.
+
+use crate::linear::linearize;
+use crate::pred::{CmpOp, Pred};
+
+/// Simplify a predicate. Meaning-preserving.
+pub fn simplify_pred(p: &Pred) -> Pred {
+    match p {
+        Pred::True | Pred::False | Pred::StrCmp { .. } | Pred::Opaque(_) | Pred::Table(_) => {
+            p.clone()
+        }
+        Pred::Cmp(op, a, b) => {
+            let (fa, fb) = (a.fold(), b.fold());
+            // If lhs - rhs linearizes to a constant, the comparison decides.
+            if let (Some(la), Some(Some(neg_lb))) =
+                (linearize(&fa), linearize(&fb).map(|lb| lb.scale(-1)))
+            {
+                if let Some(diff) = la.add(&neg_lb) {
+                    if diff.is_constant() {
+                        let c = diff.constant;
+                        let truth = match op {
+                            CmpOp::Eq => c == 0,
+                            CmpOp::Ne => c != 0,
+                            CmpOp::Lt => c < 0,
+                            CmpOp::Le => c <= 0,
+                            CmpOp::Gt => c > 0,
+                            CmpOp::Ge => c >= 0,
+                        };
+                        return if truth { Pred::True } else { Pred::False };
+                    }
+                }
+            }
+            Pred::Cmp(*op, fa, fb)
+        }
+        Pred::Not(q) => Pred::not(simplify_pred(q)),
+        Pred::And(ps) => {
+            let mut out: Vec<Pred> = Vec::with_capacity(ps.len());
+            for q in ps {
+                let s = simplify_pred(q);
+                match s {
+                    Pred::True => {}
+                    Pred::False => return Pred::False,
+                    other => {
+                        if !out.contains(&other) {
+                            out.push(other);
+                        }
+                    }
+                }
+            }
+            Pred::and(out)
+        }
+        Pred::Or(ps) => {
+            let mut out: Vec<Pred> = Vec::with_capacity(ps.len());
+            for q in ps {
+                let s = simplify_pred(q);
+                match s {
+                    Pred::False => {}
+                    Pred::True => return Pred::True,
+                    other => {
+                        if !out.contains(&other) {
+                            out.push(other);
+                        }
+                    }
+                }
+            }
+            Pred::or(out)
+        }
+        Pred::Implies(a, b) => {
+            let sa = simplify_pred(a);
+            let sb = simplify_pred(b);
+            match (&sa, &sb) {
+                (Pred::False, _) | (_, Pred::True) => Pred::True,
+                (Pred::True, _) => sb,
+                _ if sa == sb => Pred::True,
+                _ => Pred::implies(sa, sb),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_pred;
+
+    fn pp(s: &str) -> Pred {
+        parse_pred(s).expect("parses")
+    }
+
+    #[test]
+    fn constant_comparisons_decide() {
+        assert_eq!(simplify_pred(&pp("3 <= 5")), Pred::True);
+        assert_eq!(simplify_pred(&pp("3 > 5")), Pred::False);
+        assert_eq!(simplify_pred(&pp("2 + 2 = 4")), Pred::True);
+        assert_eq!(simplify_pred(&pp("x - x >= 0")), Pred::True, "x cancels");
+        assert_eq!(simplify_pred(&pp("x - x > 0")), Pred::False);
+    }
+
+    #[test]
+    fn connective_pruning() {
+        assert_eq!(simplify_pred(&pp("x >= 0 && 1 = 1")), pp("x >= 0"));
+        assert_eq!(simplify_pred(&pp("x >= 0 && 1 = 2")), Pred::False);
+        assert_eq!(simplify_pred(&pp("x >= 0 || 1 = 1")), Pred::True);
+        assert_eq!(simplify_pred(&pp("x >= 0 || 1 = 2")), pp("x >= 0"));
+    }
+
+    #[test]
+    fn duplicates_removed() {
+        let s = simplify_pred(&pp("x >= 0 && x >= 0 && y = 1"));
+        assert_eq!(s.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn implication_rules() {
+        assert_eq!(simplify_pred(&pp("1 = 2 ==> x = 9")), Pred::True);
+        assert_eq!(simplify_pred(&pp("1 = 1 ==> x = 9")), pp("x = 9"));
+        assert_eq!(simplify_pred(&pp("x = 9 ==> x = 9")), Pred::True);
+        assert_eq!(simplify_pred(&pp("x = 9 ==> 2 = 2")), Pred::True);
+    }
+
+    #[test]
+    fn nontrivial_left_alone() {
+        let p = pp("x + y >= :S");
+        assert_eq!(simplify_pred(&p), p);
+    }
+
+    #[test]
+    fn negation_folds() {
+        assert_eq!(simplify_pred(&pp("!(1 = 2)")), Pred::True);
+        assert_eq!(simplify_pred(&pp("!(1 = 1)")), Pred::False);
+    }
+}

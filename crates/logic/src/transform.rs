@@ -1,0 +1,191 @@
+//! Predicate transformers: weakest preconditions and strongest
+//! postconditions for (simultaneous) assignments, and havoc.
+//!
+//! The analyzer phrases every non-interference obligation
+//! `{P ∧ P'} S {P}` as the validity of `P ∧ P' ⟹ wp(S, P)`. For a write
+//! `x := e`, `wp = P[x←e]`; for a transaction-as-unit with path effect
+//! `{x₁←e₁, …}` it is the simultaneous substitution; for a havoc of `x`
+//! (an update whose written value we cannot track) it is `P[x←f]` with `f`
+//! a globally fresh rigid constant, which by generalization is equivalent
+//! to `∀v. P[x←v]`.
+
+use crate::expr::{Expr, Var};
+use crate::pred::Pred;
+use crate::subst::Subst;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A simultaneous scalar assignment `x₁, …, xₙ := e₁, …, eₙ`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Assign {
+    /// Target/value pairs, applied simultaneously.
+    pub pairs: Vec<(Var, Expr)>,
+}
+
+impl Assign {
+    /// The empty assignment (skip).
+    pub fn skip() -> Self {
+        Assign::default()
+    }
+
+    /// A single assignment `v := e`.
+    pub fn single(v: Var, e: Expr) -> Self {
+        Assign { pairs: vec![(v, e)] }
+    }
+
+    /// Add another target/value pair (replacing an earlier pair for the
+    /// same target — last write wins, as in sequential composition summaries).
+    pub fn set(&mut self, v: Var, e: Expr) {
+        if let Some(slot) = self.pairs.iter_mut().find(|(t, _)| *t == v) {
+            slot.1 = e;
+        } else {
+            self.pairs.push((v, e));
+        }
+    }
+
+    /// Targets written by the assignment.
+    pub fn targets(&self) -> impl Iterator<Item = &Var> {
+        self.pairs.iter().map(|(v, _)| v)
+    }
+
+    /// The substitution computing `wp` for this assignment.
+    pub fn to_subst(&self) -> Subst {
+        let mut s = Subst::new();
+        for (v, e) in &self.pairs {
+            s.insert(v.clone(), e.clone());
+        }
+        s
+    }
+
+    /// Weakest precondition: `wp(self, post) = post[targets ← values]`.
+    pub fn wp(&self, post: &Pred) -> Pred {
+        self.to_subst().apply_pred(post)
+    }
+
+    /// Whether the assignment writes any shared (database) variable.
+    pub fn writes_shared(&self) -> bool {
+        self.pairs.iter().any(|(v, _)| v.is_shared())
+    }
+}
+
+impl fmt::Display for Assign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pairs.is_empty() {
+            return write!(f, "skip");
+        }
+        let parts: Vec<String> =
+            self.pairs.iter().map(|(v, e)| format!("{v} := {e}")).collect();
+        write!(f, "{}", parts.join(" || "))
+    }
+}
+
+/// Generator of globally fresh rigid logical constants.
+///
+/// Freshness is process-global (an atomic counter), so constants minted by
+/// different analysis passes never collide.
+#[derive(Debug, Default)]
+pub struct FreshVars;
+
+static FRESH_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl FreshVars {
+    /// Mint a fresh rigid logical constant, optionally hinting at its origin.
+    pub fn fresh(hint: &str) -> Var {
+        let n = FRESH_COUNTER.fetch_add(1, Ordering::Relaxed);
+        Var::logical(format!("$%{hint}%{n}"))
+    }
+}
+
+/// `wp` for havoc of the given variables: replace each by a fresh rigid
+/// constant. Validity of `pre ⟹ havoc_wp(vars, post)` is equivalent to
+/// `pre ⟹ ∀v̄. post[vars←v̄]`, i.e. `post` holds no matter what is written.
+pub fn havoc_wp(vars: &[Var], post: &Pred) -> Pred {
+    let mut s = Subst::new();
+    for v in vars {
+        s.insert(v.clone(), Expr::Var(FreshVars::fresh(v.name())));
+    }
+    s.apply_pred(post)
+}
+
+/// Strongest postcondition of `pre` across `v := e`, with the existential
+/// witness skolemized to a fresh rigid constant:
+/// `sp(pre, v := e) = pre[v←f] ∧ v = e[v←f]`.
+///
+/// This is the Gries formulation used in the paper's Lemmas 1–2; the skolem
+/// constant stands for the pre-state value of `v`.
+pub fn sp_assign(pre: &Pred, v: &Var, e: &Expr) -> Pred {
+    let f = FreshVars::fresh(v.name());
+    let s = Subst::single(v.clone(), Expr::Var(f));
+    let pre_shifted = s.apply_pred(pre);
+    let e_shifted = s.apply_expr(e);
+    Pred::and([pre_shifted, Pred::eq(Expr::Var(v.clone()), e_shifted)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wp_of_write_substitutes() {
+        // {P[x←e]} x := e {P}; P: x >= 0, e: x - w
+        let a = Assign::single(Var::db("x"), Expr::db("x").sub(Expr::param("w")));
+        let p = Pred::ge(Expr::db("x"), 0);
+        assert_eq!(a.wp(&p), Pred::ge(Expr::db("x").sub(Expr::param("w")), 0));
+    }
+
+    #[test]
+    fn simultaneous_wp() {
+        // x,y := y,x leaves x+y = c invariant syntactically swapped
+        let a = Assign {
+            pairs: vec![
+                (Var::db("x"), Expr::db("y")),
+                (Var::db("y"), Expr::db("x")),
+            ],
+        };
+        let p = Pred::eq(Expr::db("x").add(Expr::db("y")), Expr::logical("C"));
+        assert_eq!(
+            a.wp(&p),
+            Pred::eq(Expr::db("y").add(Expr::db("x")), Expr::logical("C"))
+        );
+    }
+
+    #[test]
+    fn set_replaces_existing_target() {
+        let mut a = Assign::single(Var::db("x"), Expr::int(1));
+        a.set(Var::db("x"), Expr::int(2));
+        assert_eq!(a.pairs.len(), 1);
+        assert_eq!(a.pairs[0].1, Expr::int(2));
+    }
+
+    #[test]
+    fn fresh_vars_never_collide() {
+        let a = FreshVars::fresh("x");
+        let b = FreshVars::fresh("x");
+        assert_ne!(a, b);
+        assert!(a.is_rigid());
+    }
+
+    #[test]
+    fn havoc_removes_mention() {
+        let p = Pred::ge(Expr::db("x"), 0);
+        let h = havoc_wp(&[Var::db("x")], &p);
+        assert!(!h.vars().contains(&Var::db("x")));
+    }
+
+    #[test]
+    fn sp_assign_captures_old_value() {
+        // sp(x = 5, x := x + 1) = (f = 5 ∧ x = f + 1)
+        let pre = Pred::eq(Expr::db("x"), 5);
+        let sp = sp_assign(&pre, &Var::db("x"), &Expr::db("x").add(Expr::int(1)));
+        let conj = sp.conjuncts().len();
+        assert_eq!(conj, 2);
+        // x must still be mentioned, and the old value captured somewhere.
+        assert!(sp.vars().contains(&Var::db("x")));
+    }
+
+    #[test]
+    fn writes_shared_detects_db_targets() {
+        assert!(Assign::single(Var::db("x"), Expr::int(0)).writes_shared());
+        assert!(!Assign::single(Var::local("X"), Expr::int(0)).writes_shared());
+    }
+}

@@ -1,0 +1,289 @@
+//! The timestamp oracle and first-committer-wins commit log.
+
+use crate::key::Key;
+use parking_lot::Mutex;
+use semcc_storage::{Ts, TxnId};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A first-committer-wins validation failure: some other transaction
+/// committed a write to `key` after the requester's protected timestamp.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FcwConflict {
+    /// The contended key.
+    pub key: Key,
+    /// When the conflicting write committed.
+    pub committed_ts: Ts,
+    /// The timestamp the requester needed the key unchanged since
+    /// (snapshot start for SNAPSHOT, item read time for RC-FCW).
+    pub since_ts: Ts,
+}
+
+impl fmt::Display for FcwConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "first-committer-wins conflict on {}: committed at {} > protected since {}",
+            self.key, self.committed_ts, self.since_ts
+        )
+    }
+}
+
+impl std::error::Error for FcwConflict {}
+
+#[derive(Default)]
+struct CommitLog {
+    /// Last committed write timestamp per key.
+    last_write: HashMap<Key, Ts>,
+}
+
+/// The oracle: transaction ids, commit timestamps, active snapshots, and
+/// the commit log backing first-committer-wins validation.
+pub struct Oracle {
+    next_txn: AtomicU64,
+    /// Last assigned commit timestamp. Snapshot reads use this as "now".
+    last_commit: AtomicU64,
+    log: Mutex<CommitLog>,
+    /// Active snapshots: snapshot ts per transaction (for the GC watermark).
+    snapshots: Mutex<BTreeMap<TxnId, Ts>>,
+}
+
+impl Default for Oracle {
+    fn default() -> Self {
+        Oracle::new()
+    }
+}
+
+impl Oracle {
+    /// A fresh oracle. Timestamp 0 is reserved for bulk-loaded initial
+    /// state; the first commit gets timestamp 1.
+    pub fn new() -> Self {
+        Oracle {
+            next_txn: AtomicU64::new(1),
+            last_commit: AtomicU64::new(0),
+            log: Mutex::new(CommitLog::default()),
+            snapshots: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Allocate a transaction id.
+    pub fn next_txn_id(&self) -> TxnId {
+        self.next_txn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The newest committed timestamp ("now" for starting snapshots).
+    pub fn current_ts(&self) -> Ts {
+        self.last_commit.load(Ordering::Acquire)
+    }
+
+    /// Register an active snapshot at the current timestamp; returns the
+    /// snapshot timestamp the transaction reads at.
+    pub fn begin_snapshot(&self, txn: TxnId) -> Ts {
+        // Take the log lock so no commit can slide between reading "now"
+        // and registering the snapshot (which would let GC collect a
+        // version this snapshot needs).
+        let _log = self.log.lock();
+        let ts = self.current_ts();
+        self.snapshots.lock().insert(txn, ts);
+        ts
+    }
+
+    /// Deregister a snapshot (commit or abort of a SNAPSHOT transaction).
+    pub fn end_snapshot(&self, txn: TxnId) {
+        self.snapshots.lock().remove(&txn);
+    }
+
+    /// The GC watermark: no active snapshot reads below this timestamp.
+    pub fn watermark(&self) -> Ts {
+        let snaps = self.snapshots.lock();
+        snaps.values().copied().min().unwrap_or_else(|| self.current_ts())
+    }
+
+    /// Atomically validate first-committer-wins `checks` and, on success,
+    /// assign a commit timestamp and record `writes` in the commit log.
+    ///
+    /// Each check `(key, since_ts)` fails if some transaction committed a
+    /// write to `key` at a timestamp `> since_ts`. Non-FCW transactions
+    /// commit with empty `checks` but still record their writes, so FCW
+    /// transactions observe conflicts with them too.
+    pub fn validate_and_commit(
+        &self,
+        checks: &[(Key, Ts)],
+        writes: &[Key],
+    ) -> Result<Ts, FcwConflict> {
+        self.validate_and_commit_with(checks, writes, |_| {})
+    }
+
+    /// Like [`Oracle::validate_and_commit`], but runs `install` (which
+    /// should publish the transaction's versions to storage) *inside* the
+    /// commit critical section. Because [`Oracle::begin_snapshot`] takes the
+    /// same lock, no snapshot can start at a timestamp whose versions are
+    /// not yet installed — the commit is atomic from every reader's view.
+    pub fn validate_and_commit_with(
+        &self,
+        checks: &[(Key, Ts)],
+        writes: &[Key],
+        install: impl FnOnce(Ts),
+    ) -> Result<Ts, FcwConflict> {
+        let mut log = self.log.lock();
+        for (key, since) in checks {
+            if let Some(committed) = log.last_write.get(key) {
+                if committed > since {
+                    return Err(FcwConflict {
+                        key: key.clone(),
+                        committed_ts: *committed,
+                        since_ts: *since,
+                    });
+                }
+            }
+        }
+        let ts = self.last_commit.fetch_add(1, Ordering::AcqRel) + 1;
+        for key in writes {
+            log.last_write.insert(key.clone(), ts);
+        }
+        install(ts);
+        Ok(ts)
+    }
+
+    /// Commit without validation (read-only or plain locking transactions
+    /// with no FCW obligations) but still recording writes.
+    pub fn commit(&self, writes: &[Key]) -> Ts {
+        self.validate_and_commit(&[], writes).expect("no checks cannot fail")
+    }
+
+    /// Drop commit-log entries at or below the watermark (they can never
+    /// fail a future check, since every new FCW check's `since_ts` is at
+    /// least the requester's snapshot, which is ≥ the watermark).
+    pub fn gc_log(&self, watermark: Ts) {
+        self.log.lock().last_write.retain(|_, ts| *ts > watermark);
+    }
+
+    /// Number of commit-log entries (metrics/tests).
+    pub fn log_len(&self) -> usize {
+        self.log.lock().last_write.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_ids_monotone() {
+        let o = Oracle::new();
+        let a = o.next_txn_id();
+        let b = o.next_txn_id();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn commit_advances_time() {
+        let o = Oracle::new();
+        assert_eq!(o.current_ts(), 0);
+        let t1 = o.commit(&[Key::item("x")]);
+        assert_eq!(t1, 1);
+        let t2 = o.commit(&[]);
+        assert_eq!(t2, 2);
+        assert_eq!(o.current_ts(), 2);
+    }
+
+    #[test]
+    fn fcw_write_write_conflict() {
+        // Two snapshot txns start at ts 0, both write x; first commits, the
+        // second must fail validation.
+        let o = Oracle::new();
+        let snap = o.current_ts();
+        let first = o.validate_and_commit(&[(Key::item("x"), snap)], &[Key::item("x")]);
+        assert!(first.is_ok());
+        let second = o.validate_and_commit(&[(Key::item("x"), snap)], &[Key::item("x")]);
+        let err = second.expect_err("second committer must lose");
+        assert_eq!(err.key, Key::item("x"));
+        assert_eq!(err.since_ts, snap);
+    }
+
+    #[test]
+    fn fcw_disjoint_writes_both_commit() {
+        let o = Oracle::new();
+        let snap = o.current_ts();
+        assert!(o.validate_and_commit(&[(Key::item("x"), snap)], &[Key::item("x")]).is_ok());
+        assert!(o.validate_and_commit(&[(Key::item("y"), snap)], &[Key::item("y")]).is_ok());
+    }
+
+    #[test]
+    fn fcw_sees_non_fcw_writers() {
+        let o = Oracle::new();
+        let snap = o.current_ts();
+        // A plain locking transaction commits a write to x.
+        o.commit(&[Key::item("x")]);
+        // The snapshot transaction that started before must now fail.
+        let r = o.validate_and_commit(&[(Key::item("x"), snap)], &[Key::item("x")]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rc_fcw_read_ts_semantics() {
+        let o = Oracle::new();
+        // T2 reads x at ts 3 (after T-other committed at 1..3); a commit to
+        // x at ts 4 must doom it, one at ts ≤ 3 must not.
+        o.commit(&[Key::item("x")]); // ts 1
+        o.commit(&[]); // ts 2
+        o.commit(&[]); // ts 3
+        let read_ts = o.current_ts();
+        assert!(o
+            .validate_and_commit(&[(Key::item("x"), read_ts)], &[Key::item("x")])
+            .is_ok());
+        // now a later write lands
+        o.commit(&[Key::item("x")]); // ts 5
+        assert!(o
+            .validate_and_commit(&[(Key::item("x"), read_ts)], &[Key::item("x")])
+            .is_err());
+    }
+
+    #[test]
+    fn watermark_tracks_oldest_snapshot() {
+        let o = Oracle::new();
+        o.commit(&[]); // ts 1
+        let s1 = o.begin_snapshot(10);
+        o.commit(&[]); // ts 2
+        let s2 = o.begin_snapshot(11);
+        assert_eq!((s1, s2), (1, 2));
+        assert_eq!(o.watermark(), 1);
+        o.end_snapshot(10);
+        assert_eq!(o.watermark(), 2);
+        o.end_snapshot(11);
+        assert_eq!(o.watermark(), o.current_ts());
+    }
+
+    #[test]
+    fn gc_log_keeps_recent_entries() {
+        let o = Oracle::new();
+        o.commit(&[Key::item("a")]); // ts 1
+        o.commit(&[Key::item("b")]); // ts 2
+        o.gc_log(1);
+        assert_eq!(o.log_len(), 1);
+        // b's entry must still doom an old snapshot
+        assert!(o.validate_and_commit(&[(Key::item("b"), 1)], &[]).is_err());
+    }
+
+    #[test]
+    fn concurrent_commits_unique_timestamps() {
+        use std::collections::HashSet;
+        use std::sync::Arc;
+        let o = Arc::new(Oracle::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let o = o.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..100).map(|_| o.commit(&[])).collect::<Vec<_>>()
+            }));
+        }
+        let mut all = HashSet::new();
+        for h in handles {
+            for ts in h.join().expect("join") {
+                assert!(all.insert(ts), "duplicate commit ts {ts}");
+            }
+        }
+        assert_eq!(all.len(), 800);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the timestamp oracle and the first-committer-wins
+//! commit log: validation outcomes must match a reference model replayed
+//! over the same commit sequence, and commit timestamps must be unique and
+//! monotone.
+
+use proptest::prelude::*;
+use semcc_mvcc::{Key, Oracle};
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum OracleOp {
+    /// Commit writes to the given keys with FCW checks pinned at the
+    /// current model time minus `staleness`.
+    Commit { keys: Vec<u8>, staleness: u64, checked: bool },
+}
+
+fn arb_op() -> impl Strategy<Value = OracleOp> {
+    (proptest::collection::vec(0u8..4, 0..3), 0u64..5, proptest::bool::ANY)
+        .prop_map(|(keys, staleness, checked)| OracleOp::Commit { keys, staleness, checked })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn fcw_matches_reference_model(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let oracle = Oracle::new();
+        let mut model_last_write: BTreeMap<u8, u64> = BTreeMap::new();
+        let mut model_now = 0u64;
+        let mut seen_ts = Vec::new();
+
+        for op in ops {
+            let OracleOp::Commit { keys, staleness, checked } = op;
+            let since = model_now.saturating_sub(staleness);
+            let checks: Vec<(Key, u64)> = if checked {
+                keys.iter().map(|k| (Key::item(format!("k{k}")), since)).collect()
+            } else {
+                Vec::new()
+            };
+            let writes: Vec<Key> = keys.iter().map(|k| Key::item(format!("k{k}"))).collect();
+            let model_conflict = checked
+                && keys.iter().any(|k| {
+                    model_last_write.get(k).map(|ts| *ts > since).unwrap_or(false)
+                });
+            match oracle.validate_and_commit(&checks, &writes) {
+                Ok(ts) => {
+                    prop_assert!(!model_conflict, "model predicted FCW conflict, oracle committed");
+                    prop_assert!(ts > model_now, "timestamps must be monotone");
+                    seen_ts.push(ts);
+                    model_now = ts;
+                    for k in keys {
+                        model_last_write.insert(k, ts);
+                    }
+                }
+                Err(e) => {
+                    prop_assert!(model_conflict, "oracle rejected without a model conflict: {e}");
+                }
+            }
+        }
+        // uniqueness
+        let mut sorted = seen_ts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), seen_ts.len());
+    }
+
+    #[test]
+    fn watermark_never_exceeds_any_active_snapshot(txns in proptest::collection::vec(0u64..8, 1..10)) {
+        let oracle = Oracle::new();
+        let mut active = Vec::new();
+        for (i, t) in txns.iter().enumerate() {
+            oracle.commit(&[Key::item(format!("x{i}"))]);
+            let ts = oracle.begin_snapshot(*t + i as u64 * 100);
+            active.push(ts);
+            prop_assert!(oracle.watermark() <= *active.iter().min().expect("nonempty"));
+        }
+    }
+}

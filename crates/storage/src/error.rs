@@ -1,0 +1,63 @@
+//! Storage-level errors.
+
+use std::fmt;
+
+/// Errors raised by storage operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// The named conventional item does not exist.
+    NoSuchItem(String),
+    /// The named table does not exist.
+    NoSuchTable(String),
+    /// The named column does not exist in the table's schema.
+    NoSuchColumn {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// A row value had the wrong arity for its schema.
+    ArityMismatch {
+        /// Table name.
+        table: String,
+        /// Expected number of columns.
+        expected: usize,
+        /// Provided number of values.
+        got: usize,
+    },
+    /// Another uncommitted transaction already holds the dirty slot; callers
+    /// are expected to prevent this via write locks, so hitting it indicates
+    /// a concurrency-control bug.
+    DirtyConflict {
+        /// Transaction that holds the slot.
+        holder: u64,
+        /// Transaction attempting the write.
+        writer: u64,
+    },
+    /// No version of the cell is visible at the requested timestamp.
+    NoVisibleVersion,
+    /// A duplicate name was used when creating an item or table.
+    AlreadyExists(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NoSuchItem(n) => write!(f, "no such item: {n}"),
+            StorageError::NoSuchTable(n) => write!(f, "no such table: {n}"),
+            StorageError::NoSuchColumn { table, column } => {
+                write!(f, "no such column {column} in table {table}")
+            }
+            StorageError::ArityMismatch { table, expected, got } => {
+                write!(f, "arity mismatch for {table}: expected {expected}, got {got}")
+            }
+            StorageError::DirtyConflict { holder, writer } => {
+                write!(f, "dirty slot held by txn {holder}, write attempted by txn {writer}")
+            }
+            StorageError::NoVisibleVersion => write!(f, "no visible version at timestamp"),
+            StorageError::AlreadyExists(n) => write!(f, "already exists: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

@@ -1,0 +1,210 @@
+//! Versioned conventional items.
+//!
+//! An [`ItemCell`] holds the committed version chain of one named database
+//! item plus at most one *dirty* (uncommitted, in-place) value written by a
+//! locking-mode transaction. The engine's write locks guarantee a single
+//! dirty writer; the cell still defends against violations by returning
+//! [`StorageError::DirtyConflict`].
+
+use crate::error::StorageError;
+use crate::value::Value;
+use crate::{Ts, TxnId};
+
+/// One committed version.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Version {
+    /// Commit timestamp of the writing transaction.
+    pub ts: Ts,
+    /// The committed value.
+    pub value: Value,
+}
+
+/// A versioned cell for one conventional item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ItemCell {
+    /// Committed versions in increasing timestamp order (never empty).
+    committed: Vec<Version>,
+    /// In-place uncommitted write, if any.
+    dirty: Option<(TxnId, Value)>,
+}
+
+impl ItemCell {
+    /// A cell whose initial value was installed at timestamp 0.
+    pub fn new(initial: Value) -> Self {
+        ItemCell { committed: vec![Version { ts: 0, value: initial }], dirty: None }
+    }
+
+    /// Newest value *including* any uncommitted dirty write — the READ
+    /// UNCOMMITTED read path.
+    pub fn read_latest(&self) -> &Value {
+        match &self.dirty {
+            Some((_, v)) => v,
+            None => &self.committed.last().expect("never empty").value,
+        }
+    }
+
+    /// Newest committed value.
+    pub fn read_committed(&self) -> &Value {
+        &self.committed.last().expect("never empty").value
+    }
+
+    /// Newest committed value with commit timestamp `<= ts` — the snapshot
+    /// read path.
+    pub fn read_at(&self, ts: Ts) -> Result<&Value, StorageError> {
+        self.committed
+            .iter()
+            .rev()
+            .find(|v| v.ts <= ts)
+            .map(|v| &v.value)
+            .ok_or(StorageError::NoVisibleVersion)
+    }
+
+    /// Commit timestamp of the newest committed version.
+    pub fn latest_commit_ts(&self) -> Ts {
+        self.committed.last().expect("never empty").ts
+    }
+
+    /// The uncommitted writer, if any.
+    pub fn dirty_writer(&self) -> Option<TxnId> {
+        self.dirty.as_ref().map(|(t, _)| *t)
+    }
+
+    /// In-place uncommitted write (locking levels). Re-writing by the same
+    /// transaction replaces its dirty value.
+    pub fn write_dirty(&mut self, txn: TxnId, value: Value) -> Result<(), StorageError> {
+        match &self.dirty {
+            Some((holder, _)) if *holder != txn => {
+                Err(StorageError::DirtyConflict { holder: *holder, writer: txn })
+            }
+            _ => {
+                self.dirty = Some((txn, value));
+                Ok(())
+            }
+        }
+    }
+
+    /// Promote the transaction's dirty value to a committed version at `ts`.
+    /// No-op if the transaction has no dirty write here.
+    pub fn promote(&mut self, txn: TxnId, ts: Ts) {
+        if let Some((holder, v)) = self.dirty.take() {
+            if holder == txn {
+                debug_assert!(ts >= self.latest_commit_ts());
+                self.committed.push(Version { ts, value: v });
+            } else {
+                self.dirty = Some((holder, v));
+            }
+        }
+    }
+
+    /// Discard the transaction's dirty value (abort). No-op if absent.
+    pub fn discard(&mut self, txn: TxnId) {
+        if matches!(&self.dirty, Some((holder, _)) if *holder == txn) {
+            self.dirty = None;
+        }
+    }
+
+    /// Install a committed version directly (SNAPSHOT commit path).
+    pub fn install(&mut self, ts: Ts, value: Value) {
+        debug_assert!(ts >= self.latest_commit_ts());
+        self.committed.push(Version { ts, value });
+    }
+
+    /// Drop versions that no snapshot at or after `watermark` can see
+    /// (all but the newest version with `ts <= watermark`).
+    pub fn gc(&mut self, watermark: Ts) {
+        let keep_from = self
+            .committed
+            .iter()
+            .rposition(|v| v.ts <= watermark)
+            .unwrap_or(0);
+        if keep_from > 0 {
+            self.committed.drain(..keep_from);
+        }
+    }
+
+    /// Number of committed versions retained (for GC tests/metrics).
+    pub fn version_count(&self) -> usize {
+        self.committed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_read_visible_at_latest() {
+        let mut c = ItemCell::new(Value::Int(10));
+        c.write_dirty(7, Value::Int(99)).expect("first writer");
+        assert_eq!(c.read_latest(), &Value::Int(99));
+        assert_eq!(c.read_committed(), &Value::Int(10));
+    }
+
+    #[test]
+    fn second_dirty_writer_rejected() {
+        let mut c = ItemCell::new(Value::Int(0));
+        c.write_dirty(1, Value::Int(1)).expect("first writer");
+        assert_eq!(
+            c.write_dirty(2, Value::Int(2)),
+            Err(StorageError::DirtyConflict { holder: 1, writer: 2 })
+        );
+        // same txn may rewrite
+        c.write_dirty(1, Value::Int(3)).expect("same writer rewrites");
+        assert_eq!(c.read_latest(), &Value::Int(3));
+    }
+
+    #[test]
+    fn promote_and_discard() {
+        let mut c = ItemCell::new(Value::Int(0));
+        c.write_dirty(1, Value::Int(5)).expect("write");
+        c.promote(1, 10);
+        assert_eq!(c.read_committed(), &Value::Int(5));
+        assert_eq!(c.latest_commit_ts(), 10);
+        c.write_dirty(2, Value::Int(7)).expect("write");
+        c.discard(2);
+        assert_eq!(c.read_latest(), &Value::Int(5));
+    }
+
+    #[test]
+    fn promote_other_txn_is_noop() {
+        let mut c = ItemCell::new(Value::Int(0));
+        c.write_dirty(1, Value::Int(5)).expect("write");
+        c.promote(2, 10); // different txn: must not commit txn 1's write
+        assert_eq!(c.read_committed(), &Value::Int(0));
+        assert_eq!(c.dirty_writer(), Some(1));
+        c.discard(2); // likewise no-op
+        assert_eq!(c.dirty_writer(), Some(1));
+    }
+
+    #[test]
+    fn snapshot_reads() {
+        let mut c = ItemCell::new(Value::Int(0));
+        c.install(5, Value::Int(50));
+        c.install(9, Value::Int(90));
+        assert_eq!(c.read_at(0).expect("visible"), &Value::Int(0));
+        assert_eq!(c.read_at(5).expect("visible"), &Value::Int(50));
+        assert_eq!(c.read_at(7).expect("visible"), &Value::Int(50));
+        assert_eq!(c.read_at(100).expect("visible"), &Value::Int(90));
+    }
+
+    #[test]
+    fn snapshot_ignores_dirty() {
+        let mut c = ItemCell::new(Value::Int(0));
+        c.write_dirty(3, Value::Int(33)).expect("write");
+        assert_eq!(c.read_at(100).expect("visible"), &Value::Int(0));
+    }
+
+    #[test]
+    fn gc_keeps_watermark_visible_version() {
+        let mut c = ItemCell::new(Value::Int(0));
+        c.install(5, Value::Int(50));
+        c.install(9, Value::Int(90));
+        c.gc(7);
+        // version at ts 5 must survive (a snapshot at 7 reads it)
+        assert_eq!(c.read_at(7).expect("visible"), &Value::Int(50));
+        assert_eq!(c.version_count(), 2);
+        c.gc(9);
+        assert_eq!(c.version_count(), 1);
+        assert_eq!(c.read_committed(), &Value::Int(90));
+    }
+}

@@ -1,0 +1,66 @@
+//! Table schemas.
+
+use crate::error::StorageError;
+
+/// A table schema: an ordered list of column names (plus primary-key
+/// metadata kept for documentation; uniqueness is not enforced, matching
+/// the paper's model where key maintenance is the application's business).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    /// Table name.
+    pub name: String,
+    /// Ordered column names.
+    pub columns: Vec<String>,
+    /// Indices (into `columns`) of the primary-key columns.
+    pub key: Vec<usize>,
+}
+
+impl Schema {
+    /// Build a schema. Key columns are given by name and must exist.
+    pub fn new(name: impl Into<String>, columns: &[&str], key: &[&str]) -> Self {
+        let name = name.into();
+        let columns: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+        let key = key
+            .iter()
+            .map(|k| {
+                columns
+                    .iter()
+                    .position(|c| c == k)
+                    .unwrap_or_else(|| panic!("key column {k} not in schema {name}"))
+            })
+            .collect();
+        Schema { name, columns, key }
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, column: &str) -> Result<usize, StorageError> {
+        self.columns.iter().position(|c| c == column).ok_or_else(|| {
+            StorageError::NoSuchColumn { table: self.name.clone(), column: column.to_string() }
+        })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_lookup() {
+        let s = Schema::new("orders", &["order_info", "cust_name", "deliv_date", "done"], &["order_info"]);
+        assert_eq!(s.column_index("deliv_date").expect("exists"), 2);
+        assert!(s.column_index("nope").is_err());
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.key, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "key column")]
+    fn bad_key_panics() {
+        Schema::new("t", &["a"], &["b"]);
+    }
+}

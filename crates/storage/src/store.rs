@@ -1,0 +1,182 @@
+//! The top-level store: a namespace of conventional items and relational
+//! tables, shared across engine threads.
+
+use crate::error::StorageError;
+use crate::item::ItemCell;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+use crate::{Ts, TxnId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The shared database: items plus tables.
+///
+/// The maps are guarded by `RwLock` (read-mostly after setup); each item
+/// cell has its own mutex so concurrent access to distinct items does not
+/// serialize. Higher-level isolation is the engine's job — the store only
+/// guarantees physical consistency.
+#[derive(Default)]
+pub struct Store {
+    items: RwLock<HashMap<String, Arc<Mutex<ItemCell>>>>,
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Create a conventional item with an initial (timestamp-0) value.
+    pub fn create_item(&self, name: impl Into<String>, initial: Value) -> Result<(), StorageError> {
+        let name = name.into();
+        let mut items = self.items.write();
+        if items.contains_key(&name) {
+            return Err(StorageError::AlreadyExists(name));
+        }
+        items.insert(name, Arc::new(Mutex::new(ItemCell::new(initial))));
+        Ok(())
+    }
+
+    /// Fetch the cell for an item.
+    pub fn item(&self, name: &str) -> Result<Arc<Mutex<ItemCell>>, StorageError> {
+        self.items
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::NoSuchItem(name.to_string()))
+    }
+
+    /// Whether an item exists.
+    pub fn has_item(&self, name: &str) -> bool {
+        self.items.read().contains_key(name)
+    }
+
+    /// Names of all items (sorted; for checkers and audits).
+    pub fn item_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.items.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Create a table.
+    pub fn create_table(&self, schema: Schema) -> Result<Arc<Table>, StorageError> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(&schema.name) {
+            return Err(StorageError::AlreadyExists(schema.name));
+        }
+        let name = schema.name.clone();
+        let table = Arc::new(Table::new(schema));
+        tables.insert(name, table.clone());
+        Ok(table)
+    }
+
+    /// Fetch a table.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>, StorageError> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    /// Names of all tables (sorted).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Read an item's latest committed value (administrative peek).
+    pub fn peek_committed(&self, name: &str) -> Result<Value, StorageError> {
+        Ok(self.item(name)?.lock().read_committed().clone())
+    }
+
+    /// Convenience: discard a transaction's dirty write on one item.
+    pub fn discard_item(&self, txn: TxnId, name: &str) -> Result<(), StorageError> {
+        self.item(name)?.lock().discard(txn);
+        Ok(())
+    }
+
+    /// Convenience: promote a transaction's dirty write on one item.
+    pub fn promote_item(&self, txn: TxnId, name: &str, ts: Ts) -> Result<(), StorageError> {
+        self.item(name)?.lock().promote(txn, ts);
+        Ok(())
+    }
+
+    /// Garbage-collect all version chains below the watermark.
+    pub fn gc(&self, watermark: Ts) {
+        for cell in self.items.read().values() {
+            cell.lock().gc(watermark);
+        }
+        for table in self.tables.read().values() {
+            table.gc(watermark);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_lifecycle() {
+        let s = Store::new();
+        s.create_item("bal", Value::Int(100)).expect("create");
+        assert!(s.has_item("bal"));
+        assert!(matches!(
+            s.create_item("bal", Value::Int(0)),
+            Err(StorageError::AlreadyExists(_))
+        ));
+        assert_eq!(s.peek_committed("bal").expect("peek"), Value::Int(100));
+        assert!(matches!(s.item("nope"), Err(StorageError::NoSuchItem(_))));
+    }
+
+    #[test]
+    fn promote_discard_via_store() {
+        let s = Store::new();
+        s.create_item("x", Value::Int(0)).expect("create");
+        s.item("x").expect("item").lock().write_dirty(1, Value::Int(5)).expect("write");
+        s.promote_item(1, "x", 3).expect("promote");
+        assert_eq!(s.peek_committed("x").expect("peek"), Value::Int(5));
+        s.item("x").expect("item").lock().write_dirty(2, Value::Int(9)).expect("write");
+        s.discard_item(2, "x").expect("discard");
+        assert_eq!(s.peek_committed("x").expect("peek"), Value::Int(5));
+    }
+
+    #[test]
+    fn table_lifecycle() {
+        let s = Store::new();
+        let schema = Schema::new("cust", &["name", "addr", "orders"], &["name"]);
+        s.create_table(schema.clone()).expect("create");
+        assert!(s.create_table(schema).is_err());
+        let t = s.table("cust").expect("table");
+        t.load_row(0, vec![Value::str("a"), Value::str("addr"), Value::Int(1)]).expect("load");
+        assert_eq!(t.committed_len(), 1);
+        assert_eq!(s.table_names(), vec!["cust".to_string()]);
+    }
+
+    #[test]
+    fn gc_runs_across_namespace() {
+        let s = Store::new();
+        s.create_item("x", Value::Int(0)).expect("create");
+        {
+            let item = s.item("x").expect("item");
+            let mut cell = item.lock();
+            cell.install(5, Value::Int(1));
+            cell.install(9, Value::Int(2));
+        }
+        s.gc(9);
+        assert_eq!(s.item("x").expect("item").lock().version_count(), 1);
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let s = Store::new();
+        s.create_item("b", Value::Int(0)).expect("create");
+        s.create_item("a", Value::Int(0)).expect("create");
+        assert_eq!(s.item_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

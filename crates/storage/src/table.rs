@@ -1,0 +1,413 @@
+//! Versioned relational tables.
+//!
+//! Rows live in slots identified by a [`RowId`]. Each slot is a [`RowCell`]:
+//! a committed version chain of `Option<Row>` (where `None` records a
+//! deletion, or a not-yet-committed birth) plus at most one dirty slot.
+//! Inserting creates a fresh slot with a dirty birth — visible to READ
+//! UNCOMMITTED scans before commit, exactly the phantom/dirty behavior the
+//! paper reasons about.
+
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::{Ts, TxnId};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A tuple: values in schema column order.
+pub type Row = Vec<Value>;
+
+/// Stable identifier of a row slot within its table.
+pub type RowId = u64;
+
+/// A versioned row slot.
+#[derive(Clone, Debug, Default)]
+pub struct RowCell {
+    /// Committed versions in increasing timestamp order. `None` = absent.
+    committed: Vec<(Ts, Option<Row>)>,
+    /// Uncommitted in-place change, if any. `None` payload = dirty delete.
+    dirty: Option<(TxnId, Option<Row>)>,
+}
+
+impl RowCell {
+    /// Newest state including dirty (READ UNCOMMITTED view).
+    pub fn read_latest(&self) -> Option<&Row> {
+        match &self.dirty {
+            Some((_, v)) => v.as_ref(),
+            None => self.read_committed(),
+        }
+    }
+
+    /// Newest committed state.
+    pub fn read_committed(&self) -> Option<&Row> {
+        self.committed.last().and_then(|(_, v)| v.as_ref())
+    }
+
+    /// Newest committed state at or before `ts`.
+    pub fn read_at(&self, ts: Ts) -> Option<&Row> {
+        self.committed.iter().rev().find(|(t, _)| *t <= ts).and_then(|(_, v)| v.as_ref())
+    }
+
+    /// The uncommitted writer, if any.
+    pub fn dirty_writer(&self) -> Option<TxnId> {
+        self.dirty.as_ref().map(|(t, _)| *t)
+    }
+
+    /// Latest commit timestamp, if any version is committed.
+    pub fn latest_commit_ts(&self) -> Option<Ts> {
+        self.committed.last().map(|(t, _)| *t)
+    }
+
+    fn write_dirty(&mut self, txn: TxnId, v: Option<Row>) -> Result<(), StorageError> {
+        match &self.dirty {
+            Some((holder, _)) if *holder != txn => {
+                Err(StorageError::DirtyConflict { holder: *holder, writer: txn })
+            }
+            _ => {
+                self.dirty = Some((txn, v));
+                Ok(())
+            }
+        }
+    }
+
+    fn promote(&mut self, txn: TxnId, ts: Ts) {
+        if let Some((holder, v)) = self.dirty.take() {
+            if holder == txn {
+                self.committed.push((ts, v));
+            } else {
+                self.dirty = Some((holder, v));
+            }
+        }
+    }
+
+    fn discard(&mut self, txn: TxnId) {
+        if matches!(&self.dirty, Some((holder, _)) if *holder == txn) {
+            self.dirty = None;
+        }
+    }
+
+    /// Whether the slot is garbage (no committed presence, no dirty).
+    fn is_garbage(&self, watermark: Ts) -> bool {
+        self.dirty.is_none()
+            && self
+                .committed
+                .iter()
+                .rev()
+                .find(|(t, _)| *t <= watermark)
+                .map(|(_, v)| v.is_none())
+                .unwrap_or(true)
+            && self.committed.iter().all(|(t, v)| *t <= watermark || v.is_none())
+    }
+
+    fn gc(&mut self, watermark: Ts) {
+        let keep_from = self.committed.iter().rposition(|(t, _)| *t <= watermark).unwrap_or(0);
+        if keep_from > 0 {
+            self.committed.drain(..keep_from);
+        }
+    }
+}
+
+/// A relational table.
+#[derive(Debug)]
+pub struct Table {
+    /// The table's schema.
+    pub schema: Schema,
+    rows: Mutex<BTreeMap<RowId, RowCell>>,
+    next_row: AtomicU64,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Table { schema, rows: Mutex::new(BTreeMap::new()), next_row: AtomicU64::new(1) }
+    }
+
+    fn check_arity(&self, row: &Row) -> Result<(), StorageError> {
+        if row.len() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                table: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Insert a committed row directly at timestamp `ts` (bulk loading).
+    pub fn load_row(&self, ts: Ts, row: Row) -> Result<RowId, StorageError> {
+        self.check_arity(&row)?;
+        let id = self.next_row.fetch_add(1, Ordering::Relaxed);
+        let cell = RowCell { committed: vec![(ts, Some(row))], dirty: None };
+        self.rows.lock().insert(id, cell);
+        Ok(id)
+    }
+
+    /// Insert an uncommitted row (dirty birth) for `txn`.
+    pub fn insert_dirty(&self, txn: TxnId, row: Row) -> Result<RowId, StorageError> {
+        self.check_arity(&row)?;
+        let id = self.next_row.fetch_add(1, Ordering::Relaxed);
+        let cell = RowCell { committed: Vec::new(), dirty: Some((txn, Some(row))) };
+        self.rows.lock().insert(id, cell);
+        Ok(id)
+    }
+
+    /// Replace the row in slot `id` with a dirty version for `txn`.
+    pub fn update_dirty(&self, txn: TxnId, id: RowId, row: Row) -> Result<(), StorageError> {
+        self.check_arity(&row)?;
+        let mut rows = self.rows.lock();
+        let cell = rows.get_mut(&id).ok_or(StorageError::NoVisibleVersion)?;
+        cell.write_dirty(txn, Some(row))
+    }
+
+    /// Mark slot `id` dirty-deleted for `txn`.
+    pub fn delete_dirty(&self, txn: TxnId, id: RowId) -> Result<(), StorageError> {
+        let mut rows = self.rows.lock();
+        let cell = rows.get_mut(&id).ok_or(StorageError::NoVisibleVersion)?;
+        cell.write_dirty(txn, None)
+    }
+
+    /// Install a committed version of slot `id` directly (SNAPSHOT commit).
+    /// `None` commits a delete. A missing slot is created (snapshot insert).
+    pub fn install(&self, ts: Ts, id: RowId, row: Option<Row>) -> Result<(), StorageError> {
+        if let Some(r) = &row {
+            self.check_arity(r)?;
+        }
+        let mut rows = self.rows.lock();
+        let cell = rows.entry(id).or_default();
+        cell.committed.push((ts, row));
+        Ok(())
+    }
+
+    /// Allocate a fresh slot id without inserting (SNAPSHOT insert buffering).
+    pub fn reserve_row_id(&self) -> RowId {
+        self.next_row.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Promote `txn`'s dirty changes on `id` (commit).
+    pub fn promote_row(&self, txn: TxnId, id: RowId, ts: Ts) {
+        if let Some(cell) = self.rows.lock().get_mut(&id) {
+            cell.promote(txn, ts);
+        }
+    }
+
+    /// Discard `txn`'s dirty changes on `id` (abort).
+    pub fn discard_row(&self, txn: TxnId, id: RowId) {
+        let mut rows = self.rows.lock();
+        if let Some(cell) = rows.get_mut(&id) {
+            cell.discard(txn);
+            // A slot that never committed anything can be dropped eagerly.
+            if cell.dirty.is_none() && cell.committed.is_empty() {
+                rows.remove(&id);
+            }
+        }
+    }
+
+    /// Scan visible rows, newest-including-dirty (READ UNCOMMITTED view).
+    pub fn scan_latest(&self) -> Vec<(RowId, Row)> {
+        self.rows
+            .lock()
+            .iter()
+            .filter_map(|(id, cell)| cell.read_latest().map(|r| (*id, r.clone())))
+            .collect()
+    }
+
+    /// Scan newest committed rows.
+    pub fn scan_committed(&self) -> Vec<(RowId, Row)> {
+        self.rows
+            .lock()
+            .iter()
+            .filter_map(|(id, cell)| cell.read_committed().map(|r| (*id, r.clone())))
+            .collect()
+    }
+
+    /// Scan rows as transaction `txn` sees them under a locking level:
+    /// its own dirty changes overlay the newest committed state; other
+    /// transactions' dirty changes are invisible.
+    pub fn scan_visible(&self, txn: TxnId) -> Vec<(RowId, Row)> {
+        self.rows
+            .lock()
+            .iter()
+            .filter_map(|(id, cell)| {
+                let row = match cell.dirty_writer() {
+                    Some(w) if w == txn => cell.read_latest(),
+                    _ => cell.read_committed(),
+                };
+                row.map(|r| (*id, r.clone()))
+            })
+            .collect()
+    }
+
+    /// Read one slot as transaction `txn` sees it under a locking level.
+    pub fn read_row_visible(&self, txn: TxnId, id: RowId) -> Option<Row> {
+        let rows = self.rows.lock();
+        let cell = rows.get(&id)?;
+        match cell.dirty_writer() {
+            Some(w) if w == txn => cell.read_latest().cloned(),
+            _ => cell.read_committed().cloned(),
+        }
+    }
+
+    /// Scan rows visible at snapshot `ts`.
+    pub fn scan_at(&self, ts: Ts) -> Vec<(RowId, Row)> {
+        self.rows
+            .lock()
+            .iter()
+            .filter_map(|(id, cell)| cell.read_at(ts).map(|r| (*id, r.clone())))
+            .collect()
+    }
+
+    /// Read one slot under the chosen visibility.
+    pub fn read_row_committed(&self, id: RowId) -> Option<Row> {
+        self.rows.lock().get(&id).and_then(|c| c.read_committed().cloned())
+    }
+
+    /// Read one slot at snapshot `ts`.
+    pub fn read_row_at(&self, id: RowId, ts: Ts) -> Option<Row> {
+        self.rows.lock().get(&id).and_then(|c| c.read_at(ts).cloned())
+    }
+
+    /// Read one slot including dirty state.
+    pub fn read_row_latest(&self, id: RowId) -> Option<Row> {
+        self.rows.lock().get(&id).and_then(|c| c.read_latest().cloned())
+    }
+
+    /// Latest commit timestamp of a slot (None if never committed).
+    pub fn row_commit_ts(&self, id: RowId) -> Option<Ts> {
+        self.rows.lock().get(&id).and_then(|c| c.latest_commit_ts())
+    }
+
+    /// The uncommitted writer of a slot, if any.
+    pub fn row_dirty_writer(&self, id: RowId) -> Option<TxnId> {
+        self.rows.lock().get(&id).and_then(|c| c.dirty_writer())
+    }
+
+    /// Garbage-collect versions below the watermark and drop dead slots.
+    pub fn gc(&self, watermark: Ts) {
+        let mut rows = self.rows.lock();
+        rows.retain(|_, cell| {
+            if cell.is_garbage(watermark) {
+                return false;
+            }
+            cell.gc(watermark);
+            true
+        });
+    }
+
+    /// Number of live (committed-visible) rows — for tests and metrics.
+    pub fn committed_len(&self) -> usize {
+        self.rows.lock().values().filter(|c| c.read_committed().is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orders() -> Table {
+        Table::new(Schema::new("orders", &["order_info", "cust", "date", "done"], &["order_info"]))
+    }
+
+    fn row(info: i64, cust: &str, date: i64, done: bool) -> Row {
+        vec![Value::Int(info), Value::str(cust), Value::Int(date), Value::bool(done)]
+    }
+
+    #[test]
+    fn dirty_insert_visible_only_to_latest() {
+        let t = orders();
+        t.insert_dirty(1, row(1, "a", 10, false)).expect("insert");
+        assert_eq!(t.scan_latest().len(), 1);
+        assert_eq!(t.scan_committed().len(), 0);
+        assert_eq!(t.scan_at(100).len(), 0);
+    }
+
+    #[test]
+    fn promote_makes_row_committed() {
+        let t = orders();
+        let id = t.insert_dirty(1, row(1, "a", 10, false)).expect("insert");
+        t.promote_row(1, id, 5);
+        assert_eq!(t.scan_committed().len(), 1);
+        assert_eq!(t.scan_at(4).len(), 0);
+        assert_eq!(t.scan_at(5).len(), 1);
+    }
+
+    #[test]
+    fn abort_insert_removes_slot() {
+        let t = orders();
+        let id = t.insert_dirty(1, row(1, "a", 10, false)).expect("insert");
+        t.discard_row(1, id);
+        assert_eq!(t.scan_latest().len(), 0);
+        assert_eq!(t.committed_len(), 0);
+    }
+
+    #[test]
+    fn dirty_update_and_delete_rollback() {
+        let t = orders();
+        let id = t.load_row(1, row(1, "a", 10, false)).expect("load");
+        t.update_dirty(2, id, row(1, "a", 10, true)).expect("update");
+        assert!(t.read_row_latest(id).expect("present")[3].is_truthy());
+        assert!(!t.read_row_committed(id).expect("present")[3].is_truthy());
+        t.discard_row(2, id);
+        assert!(!t.read_row_latest(id).expect("present")[3].is_truthy());
+
+        t.delete_dirty(3, id).expect("delete");
+        assert!(t.read_row_latest(id).is_none());
+        t.discard_row(3, id);
+        assert!(t.read_row_latest(id).is_some());
+    }
+
+    #[test]
+    fn committed_delete_hides_row() {
+        let t = orders();
+        let id = t.load_row(1, row(1, "a", 10, false)).expect("load");
+        t.delete_dirty(2, id).expect("delete");
+        t.promote_row(2, id, 7);
+        assert_eq!(t.scan_committed().len(), 0);
+        assert_eq!(t.scan_at(6).len(), 1, "old snapshot still sees the row");
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let t = orders();
+        assert!(matches!(
+            t.insert_dirty(1, vec![Value::Int(1)]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn second_dirty_writer_rejected() {
+        let t = orders();
+        let id = t.load_row(1, row(1, "a", 10, false)).expect("load");
+        t.update_dirty(2, id, row(1, "a", 10, true)).expect("update");
+        assert!(matches!(
+            t.delete_dirty(3, id),
+            Err(StorageError::DirtyConflict { holder: 2, writer: 3 })
+        ));
+    }
+
+    #[test]
+    fn snapshot_install_insert_and_delete() {
+        let t = orders();
+        let id = t.reserve_row_id();
+        t.install(9, id, Some(row(2, "b", 11, false))).expect("install");
+        assert_eq!(t.scan_at(9).len(), 1);
+        assert_eq!(t.scan_at(8).len(), 0);
+        t.install(12, id, None).expect("install delete");
+        assert_eq!(t.scan_committed().len(), 0);
+    }
+
+    #[test]
+    fn gc_drops_dead_slots_and_old_versions() {
+        let t = orders();
+        let id = t.load_row(1, row(1, "a", 10, false)).expect("load");
+        t.update_dirty(2, id, row(1, "a", 10, true)).expect("update");
+        t.promote_row(2, id, 5);
+        t.delete_dirty(3, id).expect("delete");
+        t.promote_row(3, id, 8);
+        t.gc(10);
+        assert_eq!(t.scan_latest().len(), 0);
+        // fully dead slot dropped
+        assert!(t.read_row_at(id, 5).is_none());
+    }
+}

@@ -1,0 +1,105 @@
+//! Runtime values stored in items and rows.
+
+use std::fmt;
+
+/// A stored value: integer or string. Booleans are encoded as integers
+/// (0 = false, 1 = true), matching the logic crate's convention.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// String constructor.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Boolean encoded as 0/1.
+    pub fn bool(b: bool) -> Self {
+        Value::Int(b as i64)
+    }
+
+    /// The integer payload, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// The string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Truthiness under the 0/1 encoding.
+    pub fn is_truthy(&self) -> bool {
+        matches!(self, Value::Int(v) if *v != 0)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::bool(b)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5).as_int(), Some(5));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::bool(true), Value::Int(1));
+        assert_eq!(Value::bool(false), Value::Int(0));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(2).is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(!Value::str("x").is_truthy());
+    }
+
+    #[test]
+    fn cross_type_accessors_none() {
+        assert_eq!(Value::str("x").as_int(), None);
+        assert_eq!(Value::Int(1).as_str(), None);
+    }
+}

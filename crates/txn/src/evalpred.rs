@@ -1,0 +1,166 @@
+//! Runtime evaluation of scalar predicates (statement guards, and the
+//! checker's assertion monitor).
+
+use semcc_logic::pred::{Pred, StrTerm};
+use semcc_logic::{Expr, Var};
+use semcc_storage::Value;
+
+/// Evaluate a predicate under a value environment. `atom_eval` resolves
+/// opaque and table atoms (the monitor supplies one backed by the store;
+/// plain guards pass `None`-returning resolvers, making atoms undecidable).
+///
+/// Returns `None` when the truth value cannot be determined (unbound
+/// variable, unresolvable atom, type confusion).
+pub fn eval_pred(
+    p: &Pred,
+    env: &dyn Fn(&Var) -> Option<Value>,
+    atom_eval: &dyn Fn(&Pred) -> Option<bool>,
+) -> Option<bool> {
+    match p {
+        Pred::True => Some(true),
+        Pred::False => Some(false),
+        Pred::Cmp(op, a, b) => {
+            let int_env = |v: &Var| env(v).and_then(|x| x.as_int());
+            let x = a.eval(&int_env)?;
+            let y = b.eval(&int_env)?;
+            Some(op.apply(x, y))
+        }
+        Pred::StrCmp { eq, lhs, rhs } => {
+            let term = |t: &StrTerm| -> Option<String> {
+                match t {
+                    StrTerm::Const(s) => Some(s.clone()),
+                    StrTerm::Var(v) => env(v).and_then(|x| x.as_str().map(str::to_string)),
+                }
+            };
+            let l = term(lhs)?;
+            let r = term(rhs)?;
+            Some(if *eq { l == r } else { l != r })
+        }
+        Pred::Not(q) => eval_pred(q, env, atom_eval).map(|b| !b),
+        Pred::And(ps) => {
+            let mut all_known = true;
+            for q in ps {
+                match eval_pred(q, env, atom_eval) {
+                    Some(true) => {}
+                    Some(false) => return Some(false),
+                    None => all_known = false,
+                }
+            }
+            if all_known {
+                Some(true)
+            } else {
+                None
+            }
+        }
+        Pred::Or(ps) => {
+            let mut all_known = true;
+            for q in ps {
+                match eval_pred(q, env, atom_eval) {
+                    Some(true) => return Some(true),
+                    Some(false) => {}
+                    None => all_known = false,
+                }
+            }
+            if all_known {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        Pred::Implies(a, b) => match eval_pred(a, env, atom_eval) {
+            Some(false) => Some(true),
+            Some(true) => eval_pred(b, env, atom_eval),
+            None => match eval_pred(b, env, atom_eval) {
+                Some(true) => Some(true),
+                _ => None,
+            },
+        },
+        Pred::Opaque(_) | Pred::Table(_) => atom_eval(p),
+    }
+}
+
+/// Evaluate an expression to a [`Value`] (integers only).
+pub fn eval_expr(e: &Expr, env: &dyn Fn(&Var) -> Option<Value>) -> Option<Value> {
+    // A bare variable may be string-valued.
+    if let Expr::Var(v) = e {
+        if let Some(val) = env(v) {
+            return Some(val);
+        }
+    }
+    let int_env = |v: &Var| env(v).and_then(|x| x.as_int());
+    e.eval(&int_env).map(Value::Int)
+}
+
+/// Atom resolver that refuses to decide any atom (for guards, which the
+/// model restricts to local variables anyway).
+pub fn no_atoms(_: &Pred) -> Option<bool> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcc_logic::parser::parse_pred;
+
+    fn env_of<'a>(pairs: &'a [(&'a str, Value)]) -> impl Fn(&Var) -> Option<Value> + 'a {
+        move |v: &Var| {
+            pairs.iter().find(|(n, _)| match v {
+                Var::Local(x) | Var::Param(x) => x == n,
+                _ => false,
+            })
+            .map(|(_, val)| val.clone())
+        }
+    }
+
+    #[test]
+    fn guard_arithmetic() {
+        let p = parse_pred(":Sav + :Ch >= @w").expect("parses");
+        let env = env_of(&[
+            ("Sav", Value::Int(60)),
+            ("Ch", Value::Int(50)),
+            ("w", Value::Int(100)),
+        ]);
+        assert_eq!(eval_pred(&p, &env, &no_atoms), Some(true));
+        let env = env_of(&[
+            ("Sav", Value::Int(10)),
+            ("Ch", Value::Int(10)),
+            ("w", Value::Int(100)),
+        ]);
+        assert_eq!(eval_pred(&p, &env, &no_atoms), Some(false));
+    }
+
+    #[test]
+    fn string_guard() {
+        let p = parse_pred("@c = \"alice\"").expect("parses");
+        let alice = [("c", Value::str("alice"))];
+        assert_eq!(eval_pred(&p, &env_of(&alice), &no_atoms), Some(true));
+        let bob = [("c", Value::str("bob"))];
+        assert_eq!(eval_pred(&p, &env_of(&bob), &no_atoms), Some(false));
+    }
+
+    #[test]
+    fn unbound_is_none_but_short_circuits() {
+        let p = parse_pred(":x = 1 && :y = 2").expect("parses");
+        let env = env_of(&[("x", Value::Int(0))]);
+        // x = 1 false → whole And false despite unbound y
+        assert_eq!(eval_pred(&p, &env, &no_atoms), Some(false));
+        let p = parse_pred(":x = 0 && :y = 2").expect("parses");
+        assert_eq!(eval_pred(&p, &env, &no_atoms), None);
+    }
+
+    #[test]
+    fn implication_semantics() {
+        let p = parse_pred(":x = 1 ==> :y = 2").expect("parses");
+        let env = env_of(&[("x", Value::Int(0))]);
+        assert_eq!(eval_pred(&p, &env, &no_atoms), Some(true), "vacuous");
+        let env = env_of(&[("x", Value::Int(1)), ("y", Value::Int(3))]);
+        assert_eq!(eval_pred(&p, &env, &no_atoms), Some(false));
+    }
+
+    #[test]
+    fn atoms_delegate() {
+        let p = parse_pred("#no_gap").expect("parses");
+        assert_eq!(eval_pred(&p, &|_| None, &no_atoms), None);
+        assert_eq!(eval_pred(&p, &|_| None, &|_| Some(true)), Some(true));
+    }
+}

@@ -1,0 +1,332 @@
+//! Interpreter: execute an annotated program against the engine.
+
+use crate::colexpr::ColExpr;
+use crate::evalpred::{eval_expr, eval_pred, no_atoms};
+use crate::program::{Bindings, Program};
+use crate::stmt::{AStmt, ItemRef, Stmt};
+use semcc_engine::{Engine, EngineError, IsolationLevel, Txn};
+use semcc_logic::row::{RowExpr, RowPred};
+use semcc_logic::Var;
+use semcc_storage::{Row, RowId, Ts, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Safety bound on loop iterations.
+const MAX_LOOP_ITERS: usize = 1_000_000;
+
+/// The result of a successful program run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Commit timestamp.
+    pub commit_ts: Ts,
+    /// Final local-variable values.
+    pub locals: HashMap<String, Value>,
+    /// Final SELECT buffers.
+    pub buffers: HashMap<String, Vec<(RowId, Row)>>,
+}
+
+struct Frame<'p> {
+    bindings: &'p Bindings,
+    locals: HashMap<String, Value>,
+    buffers: HashMap<String, Vec<(RowId, Row)>>,
+}
+
+impl Frame<'_> {
+    fn lookup(&self, v: &Var) -> Option<Value> {
+        match v {
+            Var::Local(n) => self.locals.get(n).cloned(),
+            Var::Param(n) => self.bindings.get(n).cloned(),
+            _ => None,
+        }
+    }
+}
+
+/// Bind a row predicate's `Outer` terms to concrete literals using the
+/// current frame. Unbound outers are an error (they would silently match
+/// nothing).
+fn bind_row_pred(p: &RowPred, frame: &Frame<'_>) -> Result<RowPred, EngineError> {
+    fn bind_expr(t: &RowExpr, frame: &Frame<'_>) -> Result<RowExpr, EngineError> {
+        match t {
+            RowExpr::Outer(e) => {
+                let env = |v: &Var| frame.lookup(v);
+                match eval_expr(e, &env) {
+                    Some(Value::Int(i)) => Ok(RowExpr::Int(i)),
+                    Some(Value::Str(s)) => Ok(RowExpr::Str(s)),
+                    None => Err(EngineError::Invalid(format!("unbound outer expression {e}"))),
+                }
+            }
+            RowExpr::Add(a, b) => Ok(RowExpr::Add(
+                Box::new(bind_expr(a, frame)?),
+                Box::new(bind_expr(b, frame)?),
+            )),
+            RowExpr::Sub(a, b) => Ok(RowExpr::Sub(
+                Box::new(bind_expr(a, frame)?),
+                Box::new(bind_expr(b, frame)?),
+            )),
+            RowExpr::Mul(a, b) => Ok(RowExpr::Mul(
+                Box::new(bind_expr(a, frame)?),
+                Box::new(bind_expr(b, frame)?),
+            )),
+            other => Ok(other.clone()),
+        }
+    }
+    Ok(match p {
+        RowPred::True => RowPred::True,
+        RowPred::False => RowPred::False,
+        RowPred::Cmp(op, a, b) => RowPred::Cmp(*op, bind_expr(a, frame)?, bind_expr(b, frame)?),
+        RowPred::Not(q) => RowPred::not(bind_row_pred(q, frame)?),
+        RowPred::And(ps) => RowPred::and(
+            ps.iter().map(|q| bind_row_pred(q, frame)).collect::<Result<Vec<_>, _>>()?,
+        ),
+        RowPred::Or(ps) => RowPred::or(
+            ps.iter().map(|q| bind_row_pred(q, frame)).collect::<Result<Vec<_>, _>>()?,
+        ),
+    })
+}
+
+/// Resolve an item reference to a concrete item name.
+fn resolve_item(item: &ItemRef, frame: &Frame<'_>) -> Result<String, EngineError> {
+    match &item.index {
+        None => Ok(item.base.clone()),
+        Some(idx) => {
+            let env = |v: &Var| frame.lookup(v);
+            match eval_expr(idx, &env) {
+                Some(Value::Int(i)) => Ok(format!("{}[{}]", item.base, i)),
+                Some(Value::Str(s)) => Ok(format!("{}[{}]", item.base, s)),
+                None => Err(EngineError::Invalid(format!("unbound item index {idx}"))),
+            }
+        }
+    }
+}
+
+fn exec_block(txn: &mut Txn, block: &[AStmt], frame: &mut Frame<'_>) -> Result<(), EngineError> {
+    for a in block {
+        exec_stmt(txn, &a.stmt, frame)?;
+    }
+    Ok(())
+}
+
+fn exec_stmt(txn: &mut Txn, stmt: &Stmt, frame: &mut Frame<'_>) -> Result<(), EngineError> {
+    match stmt {
+        Stmt::ReadItem { item, into } => {
+            let name = resolve_item(item, frame)?;
+            let v = txn.read(&name)?;
+            frame.locals.insert(into.clone(), v);
+        }
+        Stmt::WriteItem { item, value } => {
+            let name = resolve_item(item, frame)?;
+            let env = |v: &Var| frame.lookup(v);
+            let v = eval_expr(value, &env)
+                .ok_or_else(|| EngineError::Invalid(format!("unbound value {value}")))?;
+            txn.write(&name, v)?;
+        }
+        Stmt::LocalAssign { local, value } => {
+            let env = |v: &Var| frame.lookup(v);
+            let v = eval_expr(value, &env)
+                .ok_or_else(|| EngineError::Invalid(format!("unbound value {value}")))?;
+            frame.locals.insert(local.clone(), v);
+        }
+        Stmt::If { guard, then_branch, else_branch } => {
+            let env = |v: &Var| frame.lookup(v);
+            match eval_pred(guard, &env, &no_atoms) {
+                Some(true) => exec_block(txn, then_branch, frame)?,
+                Some(false) => exec_block(txn, else_branch, frame)?,
+                None => {
+                    return Err(EngineError::Invalid(format!("undecidable guard {guard}")))
+                }
+            }
+        }
+        Stmt::While { guard, body } => {
+            let mut iters = 0;
+            loop {
+                let env = |v: &Var| frame.lookup(v);
+                match eval_pred(guard, &env, &no_atoms) {
+                    Some(true) => {
+                        exec_block(txn, body, frame)?;
+                        iters += 1;
+                        if iters > MAX_LOOP_ITERS {
+                            return Err(EngineError::Invalid("runaway loop".into()));
+                        }
+                    }
+                    Some(false) => break,
+                    None => {
+                        return Err(EngineError::Invalid(format!("undecidable guard {guard}")))
+                    }
+                }
+            }
+        }
+        Stmt::Select { table, filter, into } => {
+            let bound = bind_row_pred(filter, frame)?;
+            let rows = txn.select(table, &bound)?;
+            frame.buffers.insert(into.clone(), rows);
+        }
+        Stmt::SelectCount { table, filter, into } => {
+            let bound = bind_row_pred(filter, frame)?;
+            let n = txn.count(table, &bound)?;
+            frame.locals.insert(into.clone(), Value::Int(n));
+        }
+        Stmt::SelectValue { table, filter, column, into } => {
+            let bound = bind_row_pred(filter, frame)?;
+            let rows = txn.select(table, &bound)?;
+            let (_, row) = rows
+                .first()
+                .ok_or_else(|| EngineError::Invalid(format!("empty SELECT INTO on {table}")))?;
+            let schema = txn_schema(txn, table)?;
+            let idx = schema.column_index(column).map_err(EngineError::Storage)?;
+            frame.locals.insert(into.clone(), row[idx].clone());
+        }
+        Stmt::Update { table, filter, sets } => {
+            let bound = bind_row_pred(filter, frame)?;
+            let schema = txn_schema(txn, table)?;
+            let set_idx: Vec<(usize, &ColExpr)> = sets
+                .iter()
+                .map(|(c, e)| schema.column_index(c).map(|i| (i, e)))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(EngineError::Storage)?;
+            // Snapshot the frame for the closure (it cannot borrow mutably).
+            let locals = frame.locals.clone();
+            let bindings = frame.bindings.clone();
+            let schema2 = schema.clone();
+            let f = move |old: &Row| -> Row {
+                let env = |v: &Var| match v {
+                    Var::Local(n) => locals.get(n).cloned(),
+                    Var::Param(n) => bindings.get(n).cloned(),
+                    _ => None,
+                };
+                let mut new = old.clone();
+                for (i, e) in &set_idx {
+                    if let Some(v) = e.eval(&schema2, Some(old), &env) {
+                        new[*i] = v;
+                    }
+                }
+                new
+            };
+            txn.update_where(table, &bound, &f)?;
+        }
+        Stmt::Insert { table, values } => {
+            let schema = txn_schema(txn, table)?;
+            let env = |v: &Var| frame.lookup(v);
+            let row: Row = values
+                .iter()
+                .map(|e| {
+                    e.eval(&schema, None, &env)
+                        .ok_or_else(|| EngineError::Invalid(format!("unbound insert value {e}")))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            txn.insert(table, row)?;
+        }
+        Stmt::Delete { table, filter } => {
+            let bound = bind_row_pred(filter, frame)?;
+            txn.delete_where(table, &bound)?;
+        }
+        Stmt::Pause { micros } => {
+            std::thread::sleep(std::time::Duration::from_micros(*micros));
+        }
+    }
+    Ok(())
+}
+
+fn txn_schema(txn: &Txn, table: &str) -> Result<semcc_storage::Schema, EngineError> {
+    // Schema access goes through the engine the txn belongs to.
+    txn.engine_ref()
+        .store()
+        .table(table)
+        .map(|t| t.schema.clone())
+        .map_err(EngineError::Storage)
+}
+
+/// Where an observer is invoked relative to a statement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Before the statement executes (its precondition should hold).
+    Pre,
+    /// After the statement executed (its postcondition should hold).
+    Post,
+}
+
+/// Read-only view of the interpreter state handed to observers.
+pub struct FrameView<'a> {
+    /// Parameter bindings.
+    pub bindings: &'a Bindings,
+    /// Current local values.
+    pub locals: &'a HashMap<String, Value>,
+    /// Current SELECT buffers.
+    pub buffers: &'a HashMap<String, Vec<(RowId, Row)>>,
+}
+
+/// An observer called around every *top-level* statement (the control
+/// points the paper's annotations decorate).
+pub type Observer<'o> = dyn FnMut(&Txn, FrameView<'_>, &AStmt, Phase) + 'o;
+
+/// Run a program in a fresh transaction at `level`. On success the
+/// transaction commits; on any error (including deadlock/FCW aborts) it is
+/// rolled back and the error returned — callers retry when
+/// [`EngineError::is_abort`] holds.
+pub fn run_program(
+    engine: &Arc<Engine>,
+    program: &Program,
+    level: IsolationLevel,
+    bindings: &Bindings,
+) -> Result<RunOutcome, EngineError> {
+    run_program_observed(engine, program, level, bindings, &mut |_, _, _, _| {})
+}
+
+/// [`run_program`] with an observer hook (used by the runtime assertion
+/// monitor).
+pub fn run_program_observed(
+    engine: &Arc<Engine>,
+    program: &Program,
+    level: IsolationLevel,
+    bindings: &Bindings,
+    observer: &mut Observer<'_>,
+) -> Result<RunOutcome, EngineError> {
+    let mut txn = engine.begin(level);
+    let mut frame = Frame { bindings, locals: HashMap::new(), buffers: HashMap::new() };
+    let result = (|| -> Result<(), EngineError> {
+        for a in &program.body {
+            observer(
+                &txn,
+                FrameView { bindings, locals: &frame.locals, buffers: &frame.buffers },
+                a,
+                Phase::Pre,
+            );
+            exec_stmt(&mut txn, &a.stmt, &mut frame)?;
+            observer(
+                &txn,
+                FrameView { bindings, locals: &frame.locals, buffers: &frame.buffers },
+                a,
+                Phase::Post,
+            );
+        }
+        Ok(())
+    })();
+    match result {
+        Ok(()) => {
+            let commit_ts = txn.commit()?;
+            Ok(RunOutcome { commit_ts, locals: frame.locals, buffers: frame.buffers })
+        }
+        Err(e) => {
+            txn.abort();
+            Err(e)
+        }
+    }
+}
+
+/// Run a program with retries on concurrency-control aborts. Returns the
+/// outcome plus the number of aborts absorbed.
+pub fn run_with_retries(
+    engine: &Arc<Engine>,
+    program: &Program,
+    level: IsolationLevel,
+    bindings: &Bindings,
+    max_retries: usize,
+) -> Result<(RunOutcome, usize), EngineError> {
+    let mut aborts = 0;
+    loop {
+        match run_program(engine, program, level, bindings) {
+            Ok(out) => return Ok((out, aborts)),
+            Err(e) if e.is_abort() && aborts < max_retries => aborts += 1,
+            Err(e) => return Err(e),
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! The runtime assertion monitor: evaluates a program's annotations at
+//! every top-level control point *during execution*, against the
+//! transaction's own (level-appropriate, lock-free) view of the database.
+//!
+//! A `Some(false)` verdict on an active assertion is exactly the paper's
+//! **invalidation**: some interleaved transaction falsified a control
+//! point's assertion. The monitor is the dynamic counterpart of the static
+//! interference analysis — at an analyzer-approved isolation level it must
+//! stay silent; below it, invalidations become observable.
+//!
+//! Opaque conjuncts and conjuncts mentioning rigid logical constants are
+//! reported as *unknown* (they are either footprint-only or definitional
+//! captures the monitor cannot ground).
+
+use crate::evalpred::eval_pred;
+use crate::interp::{run_program_observed, Phase, RunOutcome};
+use crate::program::{Bindings, Program};
+use semcc_engine::{Engine, EngineError, IsolationLevel, Txn, Value};
+use semcc_logic::pred::{Pred, TableAtom};
+use semcc_logic::row::RowPred;
+use semcc_logic::Var;
+use semcc_storage::eval::row_matches;
+use semcc_storage::{Row, RowId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One observed invalidation.
+#[derive(Clone, Debug)]
+pub struct Invalidation {
+    /// Transaction type.
+    pub txn: String,
+    /// Statement index (top level) and phase.
+    pub location: String,
+    /// The conjunct that evaluated to false.
+    pub conjunct: String,
+}
+
+/// Monitor results for one run.
+#[derive(Clone, Debug, Default)]
+pub struct MonitorReport {
+    /// Conjuncts that evaluated to true.
+    pub held: usize,
+    /// Conjuncts the monitor could not ground (logical constants, opaque
+    /// atoms).
+    pub unknown: usize,
+    /// Conjuncts observed false — invalidations.
+    pub invalidations: Vec<Invalidation>,
+}
+
+impl MonitorReport {
+    /// Whether no assertion was observed false.
+    pub fn is_clean(&self) -> bool {
+        self.invalidations.is_empty()
+    }
+}
+
+/// Run a program with the assertion monitor attached.
+pub fn run_program_monitored(
+    engine: &Arc<Engine>,
+    program: &Program,
+    level: IsolationLevel,
+    bindings: &Bindings,
+) -> Result<(RunOutcome, MonitorReport), EngineError> {
+    let mut report = MonitorReport::default();
+    let name = program.name.clone();
+    let mut index = 0usize;
+    // Assertions reference items by base name; the program's ItemRefs tell
+    // us how each base is indexed (e.g. `acct_sav[@i]`), so the monitor can
+    // resolve `acct_sav` to the concrete `acct_sav[3]` for this execution.
+    let mut item_indices: HashMap<String, semcc_logic::Expr> = HashMap::new();
+    for a in program.all_stmts() {
+        match &a.stmt {
+            crate::stmt::Stmt::ReadItem { item, .. }
+            | crate::stmt::Stmt::WriteItem { item, .. } => {
+                if let Some(idx) = &item.index {
+                    item_indices.entry(item.base.clone()).or_insert_with(|| idx.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    let resolve_item = |txn: &Txn, base: &str, scalar_env: &dyn Fn(&Var) -> Option<Value>| {
+        match item_indices.get(base) {
+            None => txn.monitor_item(base),
+            Some(idx) => {
+                let v = crate::evalpred::eval_expr(idx, scalar_env)?;
+                let concrete = match v {
+                    Value::Int(i) => format!("{base}[{i}]"),
+                    Value::Str(s) => format!("{base}[{s}]"),
+                };
+                txn.monitor_item(&concrete)
+            }
+        }
+    };
+    let out = run_program_observed(engine, program, level, bindings, &mut |txn, frame, a, phase| {
+        let assertion = match phase {
+            Phase::Pre => &a.pre,
+            Phase::Post => &a.post,
+        };
+        let location = format!(
+            "stmt #{index} {}",
+            match phase {
+                Phase::Pre => "pre",
+                Phase::Post => "post",
+            }
+        );
+        // Scalar env without db resolution (for evaluating index exprs).
+        let scalar_env = |v: &Var| match v {
+            Var::Local(n) => frame.locals.get(n).cloned(),
+            Var::Param(n) => frame.bindings.get(n).cloned(),
+            _ => None,
+        };
+        check_assertion(
+            txn,
+            assertion,
+            &|v: &Var| match v {
+                Var::Local(n) => frame.locals.get(n).cloned(),
+                Var::Param(n) => frame.bindings.get(n).cloned(),
+                Var::Db(n) => resolve_item(txn, n, &scalar_env),
+                Var::Logical(_) => None,
+            },
+            frame.buffers,
+            &name,
+            &location,
+            &mut report,
+        );
+        if phase == Phase::Post {
+            index += 1;
+        }
+    })?;
+    Ok((out, report))
+}
+
+fn check_assertion(
+    txn: &Txn,
+    assertion: &Pred,
+    env: &dyn Fn(&Var) -> Option<Value>,
+    buffers: &HashMap<String, Vec<(RowId, Row)>>,
+    txn_name: &str,
+    location: &str,
+    report: &mut MonitorReport,
+) {
+    for conjunct in assertion.conjuncts() {
+        let atom_eval = |p: &Pred| eval_atom(txn, p, env, buffers);
+        match eval_pred(conjunct, env, &atom_eval) {
+            Some(true) => report.held += 1,
+            None => report.unknown += 1,
+            Some(false) => report.invalidations.push(Invalidation {
+                txn: txn_name.to_string(),
+                location: location.to_string(),
+                conjunct: conjunct.to_string(),
+            }),
+        }
+    }
+}
+
+/// Ground a table atom against the transaction's monitor view.
+fn eval_atom(
+    txn: &Txn,
+    p: &Pred,
+    env: &dyn Fn(&Var) -> Option<Value>,
+    buffers: &HashMap<String, Vec<(RowId, Row)>>,
+) -> Option<bool> {
+    let Pred::Table(atom) = p else { return None };
+    let rows = txn.monitor_table(atom.table())?;
+    let schema = txn.engine_ref().store().table(atom.table()).ok()?.schema.clone();
+    let matches = |filter: &RowPred, row: &Row| row_matches(&schema, row, filter, env);
+    match atom {
+        TableAtom::AllRows { constraint, .. } => {
+            Some(rows.iter().all(|(_, r)| matches(constraint, r)))
+        }
+        TableAtom::Exists { filter, .. } => Some(rows.iter().any(|(_, r)| matches(filter, r))),
+        TableAtom::NotExists { filter, .. } => Some(!rows.iter().any(|(_, r)| matches(filter, r))),
+        TableAtom::CountEq { filter, value, .. } => {
+            let count = rows.iter().filter(|(_, r)| matches(filter, r)).count() as i64;
+            let expected = crate::evalpred::eval_expr(value, env)?.as_int()?;
+            Some(count == expected)
+        }
+        TableAtom::SnapshotEq { filter, name, .. } => {
+            let buffer = buffers.get(name)?;
+            let mut current: Vec<&Row> =
+                rows.iter().filter(|(_, r)| matches(filter, r)).map(|(_, r)| r).collect();
+            let mut buffered: Vec<&Row> = buffer.iter().map(|(_, r)| r).collect();
+            current.sort();
+            buffered.sort();
+            Some(current == buffered)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::{ItemRef, Stmt};
+    use crate::ProgramBuilder;
+    use semcc_engine::EngineConfig;
+    use semcc_logic::parser::parse_pred;
+    use semcc_logic::Expr;
+    use std::time::Duration;
+
+    fn engine() -> Arc<Engine> {
+        Arc::new(Engine::new(EngineConfig {
+            lock_timeout: Duration::from_millis(300),
+            record_history: false,
+        }))
+    }
+
+    fn pinned_reader(pause_us: u64) -> Program {
+        ProgramBuilder::new("Reader")
+            .stmt(
+                Stmt::ReadItem { item: ItemRef::plain("x"), into: "X".into() },
+                parse_pred("x >= 0").expect("parses"),
+                parse_pred("x >= 0 && x = :X").expect("parses"),
+            )
+            .bare(Stmt::Pause { micros: pause_us })
+            .stmt(
+                Stmt::LocalAssign { local: "Y".into(), value: Expr::local("X") },
+                parse_pred("x = :X").expect("parses"),
+                parse_pred("x = :X && :Y = :X").expect("parses"),
+            )
+            .build()
+    }
+
+    #[test]
+    fn quiescent_run_is_clean() {
+        let e = engine();
+        e.create_item("x", 5).expect("item");
+        let (_, report) = run_program_monitored(
+            &e,
+            &pinned_reader(0),
+            IsolationLevel::ReadCommitted,
+            &Bindings::new(),
+        )
+        .expect("run");
+        assert!(report.is_clean(), "{:?}", report.invalidations);
+        assert!(report.held > 0);
+    }
+
+    #[test]
+    fn concurrent_writer_invalidates_at_rc_but_not_rr() {
+        for (level, expect_clean) in [
+            (IsolationLevel::ReadCommitted, false),
+            (IsolationLevel::RepeatableRead, true),
+        ] {
+            let e = engine();
+            e.create_item("x", 5).expect("item");
+            // A writer that fires mid-pause.
+            let e2 = e.clone();
+            let w = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                let mut t = e2.begin(IsolationLevel::ReadCommitted);
+                if t.write("x", 99).is_ok() {
+                    let _ = t.commit();
+                } else {
+                    t.abort();
+                }
+            });
+            let (_, report) = run_program_monitored(
+                &e,
+                &pinned_reader(60_000),
+                level,
+                &Bindings::new(),
+            )
+            .expect("run");
+            w.join().expect("join");
+            assert_eq!(
+                report.is_clean(),
+                expect_clean,
+                "{level}: invalidations {:?}",
+                report.invalidations
+            );
+            if !expect_clean {
+                assert!(report
+                    .invalidations
+                    .iter()
+                    .any(|i| i.conjunct.contains("x = :X")));
+            }
+        }
+    }
+
+    #[test]
+    fn table_atoms_are_grounded() {
+        use semcc_logic::pred::TableAtom;
+        use semcc_logic::row::RowPred;
+        let e = engine();
+        e.create_table(semcc_storage::Schema::new("t", &["k"], &["k"])).expect("table");
+        e.load_row("t", vec![Value::Int(1)]).expect("row");
+        e.load_row("t", vec![Value::Int(2)]).expect("row");
+        let count_atom = Pred::Table(TableAtom::CountEq {
+            table: "t".into(),
+            filter: RowPred::True,
+            value: Expr::local("n"),
+        });
+        let p = ProgramBuilder::new("Counter")
+            .stmt(
+                Stmt::SelectCount { table: "t".into(), filter: RowPred::True, into: "n".into() },
+                Pred::True,
+                count_atom,
+            )
+            .build();
+        let (_, report) =
+            run_program_monitored(&e, &p, IsolationLevel::Serializable, &Bindings::new())
+                .expect("run");
+        assert!(report.is_clean());
+        assert!(report.held >= 1, "the CountEq atom was grounded and held");
+    }
+
+    #[test]
+    fn snapshot_eq_atom_detects_divergence() {
+        use semcc_logic::pred::TableAtom;
+        use semcc_logic::row::RowPred;
+        let e = engine();
+        e.create_table(semcc_storage::Schema::new("t", &["k"], &["k"])).expect("table");
+        e.load_row("t", vec![Value::Int(1)]).expect("row");
+        let snap = Pred::Table(TableAtom::SnapshotEq {
+            table: "t".into(),
+            filter: RowPred::True,
+            name: "buf".into(),
+        });
+        let p = ProgramBuilder::new("Snapshotter")
+            .stmt(
+                Stmt::Select { table: "t".into(), filter: RowPred::True, into: "buf".into() },
+                Pred::True,
+                snap.clone(),
+            )
+            .bare(Stmt::Pause { micros: 60_000 })
+            .stmt(
+                Stmt::LocalAssign { local: "z".into(), value: Expr::int(0) },
+                snap,
+                Pred::True,
+            )
+            .build();
+        let e2 = e.clone();
+        let w = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let mut t = e2.begin(IsolationLevel::ReadCommitted);
+            if t.insert("t", vec![Value::Int(9)]).is_ok() {
+                let _ = t.commit();
+            } else {
+                t.abort();
+            }
+        });
+        // RU reader: the phantom insert lands mid-pause and the monitor
+        // sees the snapshot diverge at the next control point.
+        let (_, report) =
+            run_program_monitored(&e, &p, IsolationLevel::ReadUncommitted, &Bindings::new())
+                .expect("run");
+        w.join().expect("join");
+        assert!(
+            !report.is_clean(),
+            "snapshot atom must be invalidated by the phantom"
+        );
+    }
+}

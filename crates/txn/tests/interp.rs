@@ -1,0 +1,268 @@
+//! End-to-end interpreter tests: annotated programs executed against the
+//! real engine.
+
+use semcc_engine::{Engine, EngineConfig, IsolationLevel, Value};
+use semcc_logic::parser::parse_pred;
+use semcc_logic::row::RowPred;
+use semcc_logic::Expr;
+use semcc_storage::Schema;
+use semcc_txn::interp::{run_program, run_with_retries};
+use semcc_txn::stmt::{AStmt, ItemRef, Stmt};
+use semcc_txn::{Bindings, ColExpr, ProgramBuilder};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn engine() -> Arc<Engine> {
+    Arc::new(Engine::new(EngineConfig {
+        lock_timeout: Duration::from_millis(300),
+        record_history: true,
+    }))
+}
+
+#[test]
+fn withdraw_program_runs() {
+    let e = engine();
+    e.create_item("sav", 100).expect("item");
+    e.create_item("ch", 50).expect("item");
+    let p = ProgramBuilder::new("Withdraw_sav")
+        .param_int("w")
+        .bare(Stmt::ReadItem { item: ItemRef::plain("sav"), into: "Sav".into() })
+        .bare(Stmt::ReadItem { item: ItemRef::plain("ch"), into: "Ch".into() })
+        .bare(Stmt::If {
+            guard: parse_pred(":Sav + :Ch >= @w").expect("parses"),
+            then_branch: vec![AStmt::bare(Stmt::WriteItem {
+                item: ItemRef::plain("sav"),
+                value: Expr::local("Sav").sub(Expr::param("w")),
+            })],
+            else_branch: vec![],
+        })
+        .build();
+    // sufficient funds: withdraw happens
+    let out = run_program(&e, &p, IsolationLevel::Serializable, &Bindings::new().set("w", 120))
+        .expect("run");
+    assert!(out.commit_ts > 0);
+    assert_eq!(e.peek_item("sav").expect("peek"), Value::Int(-20));
+    // insufficient funds: guard blocks the write
+    run_program(&e, &p, IsolationLevel::Serializable, &Bindings::new().set("w", 1000))
+        .expect("run");
+    assert_eq!(e.peek_item("sav").expect("peek"), Value::Int(-20));
+}
+
+#[test]
+fn indexed_items_resolve_per_account() {
+    let e = engine();
+    e.create_item("acct[1]", 10).expect("item");
+    e.create_item("acct[2]", 20).expect("item");
+    let p = ProgramBuilder::new("Deposit")
+        .param_int("i")
+        .param_int("d")
+        .bare(Stmt::ReadItem {
+            item: ItemRef::indexed("acct", Expr::param("i")),
+            into: "B".into(),
+        })
+        .bare(Stmt::WriteItem {
+            item: ItemRef::indexed("acct", Expr::param("i")),
+            value: Expr::local("B").add(Expr::param("d")),
+        })
+        .build();
+    run_program(&e, &p, IsolationLevel::ReadCommitted, &Bindings::new().set("i", 2).set("d", 5))
+        .expect("run");
+    assert_eq!(e.peek_item("acct[2]").expect("peek"), Value::Int(25));
+    assert_eq!(e.peek_item("acct[1]").expect("peek"), Value::Int(10));
+}
+
+#[test]
+fn while_loop_counts_down() {
+    let e = engine();
+    e.create_item("x", 0).expect("item");
+    let p = ProgramBuilder::new("Loop")
+        .param_int("n")
+        .bare(Stmt::LocalAssign { local: "i".into(), value: Expr::param("n") })
+        .bare(Stmt::ReadItem { item: ItemRef::plain("x"), into: "X".into() })
+        .bare(Stmt::While {
+            guard: parse_pred(":i > 0").expect("parses"),
+            body: vec![
+                AStmt::bare(Stmt::LocalAssign {
+                    local: "X".into(),
+                    value: Expr::local("X").add(Expr::int(2)),
+                }),
+                AStmt::bare(Stmt::LocalAssign {
+                    local: "i".into(),
+                    value: Expr::local("i").sub(Expr::int(1)),
+                }),
+            ],
+        })
+        .bare(Stmt::WriteItem { item: ItemRef::plain("x"), value: Expr::local("X") })
+        .build();
+    run_program(&e, &p, IsolationLevel::ReadCommitted, &Bindings::new().set("n", 7))
+        .expect("run");
+    assert_eq!(e.peek_item("x").expect("peek"), Value::Int(14));
+}
+
+fn orders_engine() -> Arc<Engine> {
+    let e = engine();
+    e.create_table(Schema::new("orders", &["info", "cust", "date", "done"], &["info"]))
+        .expect("table");
+    e.create_item("maximum_date", 3).expect("item");
+    for (i, d) in [(1i64, 1i64), (2, 2), (3, 3)] {
+        e.load_row(
+            "orders",
+            vec![Value::Int(i), Value::str(format!("c{i}")), Value::Int(d), Value::bool(false)],
+        )
+        .expect("row");
+    }
+    e
+}
+
+#[test]
+fn new_order_style_program() {
+    let e = orders_engine();
+    // read maxdate, bump it, insert an order at maxdate+1, count customer's orders
+    let p = ProgramBuilder::new("New_Order")
+        .param_str("customer")
+        .param_int("info")
+        .bare(Stmt::ReadItem { item: ItemRef::plain("maximum_date"), into: "maxdate".into() })
+        .bare(Stmt::WriteItem {
+            item: ItemRef::plain("maximum_date"),
+            value: Expr::local("maxdate").add(Expr::int(1)),
+        })
+        .bare(Stmt::SelectCount {
+            table: "orders".into(),
+            filter: RowPred::field_eq_outer("cust", Expr::param("customer")),
+            into: "custcount".into(),
+        })
+        .bare(Stmt::Insert {
+            table: "orders".into(),
+            values: vec![
+                ColExpr::Outer(Expr::param("info")),
+                ColExpr::Outer(Expr::param("customer")),
+                ColExpr::Outer(Expr::local("maxdate").add(Expr::int(1))),
+                ColExpr::Int(0),
+            ],
+        })
+        .build();
+    let out = run_program(
+        &e,
+        &p,
+        IsolationLevel::ReadCommitted,
+        &Bindings::new().set("customer", "c1").set("info", 99),
+    )
+    .expect("run");
+    assert_eq!(out.locals.get("custcount"), Some(&Value::Int(1)));
+    assert_eq!(e.peek_item("maximum_date").expect("peek"), Value::Int(4));
+    let rows = e.peek_table("orders").expect("scan");
+    assert_eq!(rows.len(), 4);
+    assert!(rows.iter().any(|(_, r)| r[0] == Value::Int(99) && r[2] == Value::Int(4)));
+}
+
+#[test]
+fn delivery_style_select_then_update() {
+    let e = orders_engine();
+    let filter = RowPred::and([
+        RowPred::field_eq_outer("date", Expr::param("today")),
+        RowPred::field_eq_int("done", 0),
+    ]);
+    let p = ProgramBuilder::new("Delivery")
+        .param_int("today")
+        .bare(Stmt::Select { table: "orders".into(), filter: filter.clone(), into: "buff".into() })
+        .bare(Stmt::Update {
+            table: "orders".into(),
+            filter,
+            sets: vec![("done".into(), ColExpr::Int(1))],
+        })
+        .build();
+    let out = run_program(
+        &e,
+        &p,
+        IsolationLevel::RepeatableRead,
+        &Bindings::new().set("today", 2),
+    )
+    .expect("run");
+    assert_eq!(out.buffers.get("buff").map(Vec::len), Some(1));
+    let rows = e.peek_table("orders").expect("scan");
+    let done: Vec<_> = rows.iter().filter(|(_, r)| r[3] == Value::Int(1)).collect();
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].1[2], Value::Int(2));
+}
+
+#[test]
+fn select_value_and_delete() {
+    let e = orders_engine();
+    let p = ProgramBuilder::new("Audit_and_purge")
+        .param_int("which")
+        .bare(Stmt::SelectValue {
+            table: "orders".into(),
+            filter: RowPred::field_eq_outer("info", Expr::param("which")),
+            column: "date".into(),
+            into: "d".into(),
+        })
+        .bare(Stmt::Delete {
+            table: "orders".into(),
+            filter: RowPred::field_eq_outer("info", Expr::param("which")),
+        })
+        .build();
+    let out =
+        run_program(&e, &p, IsolationLevel::Serializable, &Bindings::new().set("which", 2))
+            .expect("run");
+    assert_eq!(out.locals.get("d"), Some(&Value::Int(2)));
+    assert_eq!(e.peek_table("orders").expect("scan").len(), 2);
+}
+
+#[test]
+fn empty_select_into_is_error() {
+    let e = orders_engine();
+    let p = ProgramBuilder::new("T")
+        .bare(Stmt::SelectValue {
+            table: "orders".into(),
+            filter: RowPred::field_eq_int("info", 999),
+            column: "date".into(),
+            into: "d".into(),
+        })
+        .build();
+    let r = run_program(&e, &p, IsolationLevel::ReadCommitted, &Bindings::new());
+    assert!(r.is_err());
+    // the failed run must have rolled back cleanly; engine still usable
+    assert_eq!(e.peek_table("orders").expect("scan").len(), 3);
+}
+
+#[test]
+fn unbound_param_is_invalid_not_abort() {
+    let e = engine();
+    e.create_item("x", 0).expect("item");
+    let p = ProgramBuilder::new("T")
+        .bare(Stmt::WriteItem { item: ItemRef::plain("x"), value: Expr::param("missing") })
+        .build();
+    let err = run_program(&e, &p, IsolationLevel::ReadCommitted, &Bindings::new())
+        .expect_err("must fail");
+    assert!(!err.is_abort(), "programming error, not a retryable abort: {err}");
+}
+
+#[test]
+fn retries_absorb_contention() {
+    let e = engine();
+    e.create_item("ctr", 0).expect("item");
+    let p = Arc::new(
+        ProgramBuilder::new("Incr")
+            .bare(Stmt::ReadItem { item: ItemRef::plain("ctr"), into: "C".into() })
+            .bare(Stmt::WriteItem {
+                item: ItemRef::plain("ctr"),
+                value: Expr::local("C").add(Expr::int(1)),
+            })
+            .build(),
+    );
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let e = e.clone();
+        let p = p.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..20 {
+                run_with_retries(&e, &p, IsolationLevel::Serializable, &Bindings::new(), 100)
+                    .expect("eventually succeeds");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("join");
+    }
+    assert_eq!(e.peek_item("ctr").expect("peek"), Value::Int(80));
+}

@@ -1,0 +1,260 @@
+//! The banking application of Figure 1 / Example 3.
+//!
+//! Per customer `i` there are two conventional items, `acct_sav[i]` and
+//! `acct_ch[i]`, with the integrity conjunct
+//! `I_bal : acct_sav[i] + acct_ch[i] ≥ 0`. The analysis (like the paper's)
+//! is per-account: the items appear in assertions under their base names.
+//!
+//! Expected verdicts (reproduced by `tests/paper_verdicts.rs` and the
+//! `table_verdicts` binary):
+//!
+//! * `Deposit_sav`/`Deposit_ch` — RC+FCW on the ANSI ladder; SNAPSHOT-safe.
+//! * `Withdraw_sav`/`Withdraw_ch` — REPEATABLE READ (conventional model,
+//!   Theorem 4); **not** SNAPSHOT-safe against the *other* account's
+//!   withdrawal (write skew, Example 3), though safe against their own
+//!   type (first-committer-wins) and against deposits.
+
+use rand::Rng;
+use semcc_core::App;
+use semcc_engine::{Engine, EngineError, IsolationLevel};
+use semcc_logic::parser::parse_pred;
+use semcc_logic::{Expr, Pred};
+use semcc_txn::interp::run_with_retries;
+use semcc_txn::stmt::{AStmt, ItemRef, Stmt};
+use semcc_txn::{Bindings, Program, ProgramBuilder};
+use std::sync::Arc;
+
+fn pp(s: &str) -> Pred {
+    parse_pred(s).unwrap_or_else(|e| panic!("bad assertion {s:?}: {e}"))
+}
+
+/// `Withdraw_sav(w)` — Figure 1's annotated program (`Withdraw_ch` is the
+/// mirror image).
+pub fn withdraw(account: &str, other: &str) -> Program {
+    let name = format!("Withdraw_{account}");
+    let i_bal = format!("acct_{account} + acct_{other} >= 0");
+    ProgramBuilder::new(name)
+        .param_int("w")
+        .param_int("i")
+        .consistency(pp(&i_bal))
+        .param_cond(pp("@w >= 0"))
+        // Q_i: the re-established constraint plus the at-commit result claim
+        // (footnote-3 style: rigid once made, validated by the monitor).
+        .result(Pred::and([pp(&i_bal), pp("#withdraw_applied_at_commit")]))
+        .snapshot_read_post(pp(&format!(
+            "{i_bal} && acct_{account} + acct_{other} >= :Sav + :Ch"
+        )))
+        .stmt(
+            Stmt::ReadItem { item: ItemRef::indexed(format!("acct_{account}"), Expr::param("i")), into: "Sav".into() },
+            pp(&i_bal),
+            pp(&format!("{i_bal} && acct_{account} >= :Sav && :Sav = ?SAV0")),
+        )
+        .stmt(
+            Stmt::ReadItem { item: ItemRef::indexed(format!("acct_{other}"), Expr::param("i")), into: "Ch".into() },
+            pp(&format!("{i_bal} && acct_{account} >= :Sav && :Sav = ?SAV0")),
+            // The monotone conjunct `acct_{other} >= :Ch` is what the
+            // sequential proof of the write needs; like the combined
+            // bound, it survives deposits but not the other withdrawal.
+            pp(&format!(
+                "{i_bal} && acct_{account} + acct_{other} >= :Sav + :Ch && acct_{other} >= :Ch && :Sav = ?SAV0"
+            )),
+        )
+        .stmt(
+            Stmt::If {
+                guard: pp(":Sav + :Ch >= @w"),
+                then_branch: vec![AStmt::new(
+                    Stmt::WriteItem {
+                        item: ItemRef::indexed(format!("acct_{account}"), Expr::param("i")),
+                        value: Expr::local("Sav").sub(Expr::param("w")),
+                    },
+                    pp(&format!(
+                        "{i_bal} && acct_{account} + acct_{other} >= :Sav + :Ch && acct_{other} >= :Ch && :Sav + :Ch >= @w && :Sav = ?SAV0"
+                    )),
+                    pp(&i_bal),
+                )],
+                else_branch: vec![],
+            },
+            pp(&format!(
+                "{i_bal} && acct_{account} + acct_{other} >= :Sav + :Ch && acct_{other} >= :Ch && :Sav = ?SAV0"
+            )),
+            pp(&i_bal),
+        )
+        .build()
+}
+
+/// `Deposit_sav(d)` / `Deposit_ch(d)` — read-increment-write deposits.
+pub fn deposit(account: &str, other: &str) -> Program {
+    let name = format!("Deposit_{account}");
+    let i_bal = format!("acct_{account} + acct_{other} >= 0");
+    ProgramBuilder::new(name)
+        .param_int("d")
+        .param_int("i")
+        .consistency(pp(&i_bal))
+        .param_cond(pp("@d >= 0"))
+        .result(Pred::and([pp(&i_bal), pp("#deposit_applied_at_commit")]))
+        .snapshot_read_post(pp(&format!("{i_bal} && acct_{account} >= :B")))
+        .stmt(
+            Stmt::ReadItem { item: ItemRef::indexed(format!("acct_{account}"), Expr::param("i")), into: "B".into() },
+            pp(&format!("{i_bal} && @d >= 0")),
+            // The invariant-carrying conjunct: the balance has not changed
+            // under us (Theorem 3's FCW protection makes this stable for
+            // read-then-written items). `@d >= 0` (B_i) is carried through.
+            pp(&format!("{i_bal} && acct_{account} = :B && :B = ?B0 && @d >= 0")),
+        )
+        .stmt(
+            Stmt::WriteItem {
+                item: ItemRef::indexed(format!("acct_{account}"), Expr::param("i")),
+                value: Expr::local("B").add(Expr::param("d")),
+            },
+            pp(&format!("{i_bal} && acct_{account} = :B && :B = ?B0 && @d >= 0")),
+            pp(&i_bal),
+        )
+        .build()
+}
+
+/// The banking application for the analyzer.
+pub fn app() -> App {
+    App::new()
+        .with_program(withdraw("sav", "ch"))
+        .with_program(withdraw("ch", "sav"))
+        .with_program(deposit("sav", "ch"))
+        .with_program(deposit("ch", "sav"))
+}
+
+/// Create `n` accounts, each with both balances set to `initial`.
+pub fn setup(engine: &Engine, n: usize, initial: i64) {
+    for i in 0..n {
+        engine.create_item(format!("acct_sav[{i}]"), initial).expect("create sav");
+        engine.create_item(format!("acct_ch[{i}]"), initial).expect("create ch");
+    }
+}
+
+/// Check `I_bal` over every account; returns violating account indices.
+pub fn balance_violations(engine: &Engine, n: usize) -> Vec<usize> {
+    (0..n)
+        .filter(|i| {
+            let sav = engine
+                .peek_item(&format!("acct_sav[{i}]"))
+                .ok()
+                .and_then(|v| v.as_int())
+                .unwrap_or(0);
+            let ch = engine
+                .peek_item(&format!("acct_ch[{i}]"))
+                .ok()
+                .and_then(|v| v.as_int())
+                .unwrap_or(0);
+            sav + ch < 0
+        })
+        .collect()
+}
+
+/// Total money in the bank (conservation check for deposits/withdrawals).
+pub fn total_money(engine: &Engine, n: usize) -> i64 {
+    (0..n)
+        .map(|i| {
+            let sav = engine
+                .peek_item(&format!("acct_sav[{i}]"))
+                .ok()
+                .and_then(|v| v.as_int())
+                .unwrap_or(0);
+            let ch = engine
+                .peek_item(&format!("acct_ch[{i}]"))
+                .ok()
+                .and_then(|v| v.as_int())
+                .unwrap_or(0);
+            sav + ch
+        })
+        .sum()
+}
+
+/// One random banking transaction: withdraws and deposits in a
+/// 50/50 mix over `n` accounts. Returns the absorbed abort count.
+pub fn random_txn(
+    engine: &Arc<Engine>,
+    programs: &[Program],
+    levels: &[IsolationLevel],
+    n: usize,
+    rng: &mut impl Rng,
+) -> Result<usize, EngineError> {
+    let which = rng.gen_range(0..programs.len());
+    let program = &programs[which];
+    let level = levels[which];
+    let i = rng.gen_range(0..n) as i64;
+    let amount = rng.gen_range(1..50) as i64;
+    let bindings = if program.name.starts_with("Withdraw") {
+        Bindings::new().set("i", i).set("w", amount)
+    } else {
+        Bindings::new().set("i", i).set("d", amount)
+    };
+    run_with_retries(engine, program, level, &bindings, 50).map(|(_, aborts)| aborts)
+}
+
+/// Evaluate the `#withdraw_applied_at_commit` / `#deposit_applied_at_commit`
+/// opaque atoms: trivially true — they are validated by conservation
+/// checks at the workload level instead.
+pub fn atom_eval(_name: &str) -> Option<bool> {
+    Some(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcc_engine::EngineConfig;
+    use semcc_txn::interp::run_program;
+    use std::time::Duration;
+
+    fn engine() -> Arc<Engine> {
+        Arc::new(Engine::new(EngineConfig {
+            lock_timeout: Duration::from_millis(300),
+            record_history: false,
+        }))
+    }
+
+    #[test]
+    fn setup_and_run_each_program() {
+        let e = engine();
+        setup(&e, 2, 100);
+        for p in app().programs {
+            let b = if p.name.starts_with("Withdraw") {
+                Bindings::new().set("i", 0).set("w", 10)
+            } else {
+                Bindings::new().set("i", 0).set("d", 10)
+            };
+            run_program(&e, &p, IsolationLevel::Serializable, &b).expect("runs");
+        }
+        assert!(balance_violations(&e, 2).is_empty());
+        // 2 accounts × 200 initial, withdrew 20, deposited 20
+        assert_eq!(total_money(&e, 2), 400);
+    }
+
+    #[test]
+    fn insufficient_funds_is_a_noop() {
+        let e = engine();
+        setup(&e, 1, 10);
+        let p = withdraw("sav", "ch");
+        run_program(&e, &p, IsolationLevel::Serializable, &Bindings::new().set("i", 0).set("w", 100))
+            .expect("runs");
+        assert_eq!(total_money(&e, 1), 20);
+    }
+
+    #[test]
+    fn mixed_load_conserves_money_at_serializable() {
+        let e = engine();
+        setup(&e, 4, 100);
+        let programs: Vec<Program> = app().programs;
+        let levels = vec![IsolationLevel::Serializable; programs.len()];
+        let mut rng = rand::thread_rng();
+        let mut total_withdrawn_deposited = 0i64;
+        // Run sequentially here (threads are exercised in driver tests);
+        // track conservation manually by reading the history off.
+        let before = total_money(&e, 4);
+        for _ in 0..50 {
+            random_txn(&e, &programs, &levels, 4, &mut rng).expect("txn");
+        }
+        let after = total_money(&e, 4);
+        // Withdrawals remove, deposits add: money changed but constraint holds.
+        assert!(balance_violations(&e, 4).is_empty());
+        total_withdrawn_deposited += (after - before).abs();
+        assert!(total_withdrawn_deposited < 50 * 50, "sane magnitudes");
+    }
+}

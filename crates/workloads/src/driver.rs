@@ -1,0 +1,169 @@
+//! Concurrent load driver shared by the P1/P2 benchmark harnesses.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use semcc_engine::EngineError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What to run: `threads` workers each issuing `txns_per_thread`
+/// transactions through the provided closure.
+#[derive(Clone, Copy, Debug)]
+pub struct MixSpec {
+    /// Worker threads.
+    pub threads: usize,
+    /// Transactions per worker.
+    pub txns_per_thread: usize,
+    /// RNG seed (deterministic workloads across levels).
+    pub seed: u64,
+}
+
+/// Results of a driver run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Successfully committed transactions.
+    pub committed: u64,
+    /// Aborts absorbed by retries (deadlock victims, FCW losers, timeouts).
+    pub aborts: u64,
+    /// Transactions that exhausted their retries.
+    pub failed: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Per-transaction latencies in microseconds (committed only).
+    pub latencies_us: Vec<u64>,
+}
+
+impl RunStats {
+    /// Committed transactions per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.committed as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Abort rate: aborts per committed transaction.
+    pub fn abort_rate(&self) -> f64 {
+        if self.committed == 0 {
+            return 0.0;
+        }
+        self.aborts as f64 / self.committed as f64
+    }
+
+    fn percentile(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut v = self.latencies_us.clone();
+        v.sort_unstable();
+        let idx = ((v.len() as f64 - 1.0) * p).round() as usize;
+        v[idx]
+    }
+
+    /// Median latency (µs).
+    pub fn p50_us(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile latency (µs).
+    pub fn p99_us(&self) -> u64 {
+        self.percentile(0.99)
+    }
+}
+
+/// Run a mix. The closure receives `(worker-id, rng)` and performs one
+/// transaction, returning the number of aborts absorbed (from
+/// `run_with_retries`) or a terminal error.
+pub fn run_mix<F>(spec: MixSpec, op: F) -> RunStats
+where
+    F: Fn(usize, &mut StdRng) -> Result<usize, EngineError> + Sync,
+{
+    let committed = AtomicU64::new(0);
+    let aborts = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..spec.threads {
+            let op = &op;
+            let committed = &committed;
+            let aborts = &aborts;
+            let failed = &failed;
+            let latencies = &latencies;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(t as u64));
+                let mut local_lat = Vec::with_capacity(spec.txns_per_thread);
+                for _ in 0..spec.txns_per_thread {
+                    let t0 = Instant::now();
+                    match op(t, &mut rng) {
+                        Ok(absorbed) => {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                            aborts.fetch_add(absorbed as u64, Ordering::Relaxed);
+                            local_lat.push(t0.elapsed().as_micros() as u64);
+                        }
+                        Err(e) if e.is_abort() => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("workload programming error: {e}"),
+                    }
+                }
+                latencies.lock().expect("poisoned").extend(local_lat);
+            });
+        }
+    });
+    RunStats {
+        committed: committed.into_inner(),
+        aborts: aborts.into_inner(),
+        failed: failed.into_inner(),
+        elapsed: start.elapsed(),
+        latencies_us: latencies.into_inner().expect("poisoned"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::banking;
+    use semcc_engine::{Engine, EngineConfig, IsolationLevel};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn driver_counts_and_conserves() {
+        let e = Arc::new(Engine::new(EngineConfig {
+            lock_timeout: Duration::from_millis(300),
+            record_history: false,
+        }));
+        banking::setup(&e, 4, 1000);
+        let programs = banking::app().programs;
+        let levels = vec![IsolationLevel::Serializable; programs.len()];
+        let stats = run_mix(MixSpec { threads: 4, txns_per_thread: 25, seed: 7 }, |_, rng| {
+            banking::random_txn(&e, &programs, &levels, 4, rng)
+        });
+        assert_eq!(stats.committed + stats.failed, 100);
+        assert!(stats.throughput() > 0.0);
+        assert!(banking::balance_violations(&e, 4).is_empty());
+        assert_eq!(stats.latencies_us.len() as u64, stats.committed);
+        assert!(stats.p99_us() >= stats.p50_us());
+    }
+
+    #[test]
+    fn deterministic_seeds_reproduce_counts() {
+        // Same seed + single thread ⇒ same request sequence.
+        let run = |seed: u64| {
+            let e = Arc::new(Engine::new(EngineConfig {
+                lock_timeout: Duration::from_millis(300),
+                record_history: false,
+            }));
+            banking::setup(&e, 2, 500);
+            let programs = banking::app().programs;
+            let levels = vec![IsolationLevel::Serializable; programs.len()];
+            run_mix(MixSpec { threads: 1, txns_per_thread: 30, seed }, |_, rng| {
+                banking::random_txn(&e, &programs, &levels, 2, rng)
+            });
+            banking::total_money(&e, 2)
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

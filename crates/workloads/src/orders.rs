@@ -1,0 +1,685 @@
+//! The Section 6 order-processing application.
+//!
+//! Schema: `ORDERS(order_info, cust_name, deliv_date, done)`,
+//! `CUST(cust_name, address, num_orders)`, and the single-value `MAXDATE`
+//! table modeled as the conventional item `maximum_date` (semantically
+//! identical and matching the paper's use of it as a scalar).
+//!
+//! Integrity conjuncts (opaque atoms, each with a declared footprint and a
+//! per-transaction preservation lemma where the paper argues preservation
+//! in prose; every lemma is re-validated empirically by the monitor):
+//!
+//! * `no_gaps` — every delivery date from tomorrow's first date up to
+//!   `maximum_date` has at least one order (base business rule),
+//! * `one_order_per_day` — exactly one order per date (the strict rule
+//!   variant),
+//! * `order_consistency` — `#orders` in CUST matches the count in ORDERS,
+//! * `Imax` — `maximum_date` tracks the latest delivery date.
+//!
+//! Expected assignments (Section 6): `Mailing_List` → READ UNCOMMITTED,
+//! `Mailing_List_strict` → READ COMMITTED, `New_Order` → READ COMMITTED
+//! (base rule) / RC+first-committer-wins (strict rule), `Delivery` →
+//! REPEATABLE READ, `Audit` → SERIALIZABLE.
+
+use rand::Rng;
+use semcc_core::{App, LemmaScope};
+use semcc_engine::{Engine, EngineError, IsolationLevel, Value};
+use semcc_logic::parser::parse_pred;
+use semcc_logic::pred::{OpaqueAtom, TableAtom, TableRegion};
+use semcc_logic::row::{RowExpr, RowPred};
+use semcc_logic::{CmpOp, Expr, Pred};
+use semcc_txn::interp::run_with_retries;
+use semcc_txn::stmt::{AStmt, ItemRef, Stmt};
+use semcc_txn::{Bindings, ColExpr, Program, ProgramBuilder};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn pp(s: &str) -> Pred {
+    parse_pred(s).unwrap_or_else(|e| panic!("bad assertion {s:?}: {e}"))
+}
+
+/// The `no_gaps` conjunct: reads `maximum_date` and the `deliv_date`
+/// column of `orders`.
+pub fn no_gaps_atom() -> Pred {
+    Pred::Opaque(
+        OpaqueAtom::over_items("no_gaps", &["maximum_date"])
+            .with_region(TableRegion::columns("orders", &["deliv_date"])),
+    )
+}
+
+/// The strict `one_order_per_day` conjunct (same footprint).
+pub fn one_order_per_day_atom() -> Pred {
+    Pred::Opaque(
+        OpaqueAtom::over_items("one_order_per_day", &["maximum_date"])
+            .with_region(TableRegion::columns("orders", &["deliv_date"])),
+    )
+}
+
+/// `order_consistency`: per-customer order counts match `num_orders`.
+pub fn order_consistency_atom() -> Pred {
+    Pred::Opaque(
+        OpaqueAtom::over_items("order_consistency", &[])
+            .with_region(TableRegion::columns("orders", &["cust_name"]))
+            .with_region(TableRegion::columns("cust", &["cust_name", "num_orders"])),
+    )
+}
+
+/// `Imax`: `maximum_date` is the latest delivery date.
+pub fn imax_atom() -> Pred {
+    Pred::Opaque(
+        OpaqueAtom::over_items("Imax", &["maximum_date"])
+            .with_region(TableRegion::columns("orders", &["deliv_date"])),
+    )
+}
+
+fn io_atom() -> Pred {
+    // `I_o` — rows of ORDERS describe orders. Type correctness is enforced
+    // by the engine's schemas, so the conjunct has an empty footprint and
+    // is uninterferable (the paper treats it as background).
+    Pred::Opaque(OpaqueAtom::over_items("Io", &[]))
+}
+
+/// The consistency conjunction, parameterized by the business rule.
+fn consistency(strict: bool) -> Pred {
+    let rule = if strict { one_order_per_day_atom() } else { no_gaps_atom() };
+    Pred::and([io_atom(), rule, order_consistency_atom(), imax_atom()])
+}
+
+/// `Mailing_List` (Figure 2) — weak spec: no condition on printed labels.
+pub fn mailing_list() -> Program {
+    ProgramBuilder::new("Mailing_List")
+        .consistency(io_atom())
+        .result(pp("#labels_printed"))
+        .snapshot_read_post(Pred::True)
+        .stmt(
+            Stmt::Select { table: "cust".into(), filter: RowPred::True, into: "labels".into() },
+            Pred::True,
+            // "Returned data contains names and addresses" — no condition
+            // relating the buffer to the current table state.
+            Pred::True,
+        )
+        .build()
+}
+
+/// `Mailing_List_strict` (Example 2's strengthening): every printed label
+/// refers to a customer — an existence condition invalidated by the
+/// rollback-delete of `New_Order`'s CUST insert, but not by committed
+/// units.
+pub fn mailing_list_strict() -> Program {
+    let refers = Pred::Table(TableAtom::Exists {
+        table: "cust".into(),
+        filter: RowPred::Cmp(
+            CmpOp::Eq,
+            RowExpr::field("cust_name"),
+            RowExpr::Outer(Expr::logical("PRINTED_NAME")),
+        ),
+    });
+    ProgramBuilder::new("Mailing_List_strict")
+        .consistency(io_atom())
+        .result(pp("#labels_printed"))
+        .snapshot_read_post(refers.clone())
+        .stmt(
+            Stmt::Select { table: "cust".into(), filter: RowPred::True, into: "labels".into() },
+            Pred::True,
+            refers,
+        )
+        .build()
+}
+
+/// `New_Order` (Figure 3). With `strict = false` the read postcondition
+/// carries `no_gaps`; with `strict = true` it additionally pins down that
+/// no order exists beyond the read `maximum_date` — the conjunct a
+/// concurrent `New_Order`'s insert invalidates, pushing the type from
+/// READ COMMITTED to RC+first-committer-wins (exactly Section 6's story).
+pub fn new_order(strict: bool) -> Program {
+    let name = if strict { "New_Order_strict" } else { "New_Order" };
+    let i = consistency(strict);
+    let maxdate_read_post = {
+        let base = Pred::and([i.clone(), pp(":maxdate <= maximum_date")]);
+        if strict {
+            Pred::and([
+                base,
+                Pred::Table(TableAtom::NotExists {
+                    table: "orders".into(),
+                    filter: RowPred::Cmp(
+                        CmpOp::Gt,
+                        RowExpr::field("deliv_date"),
+                        RowExpr::Outer(Expr::local("maxdate")),
+                    ),
+                }),
+            ])
+        } else {
+            base
+        }
+    };
+    ProgramBuilder::new(name)
+        .param_str("customer")
+        .param_str("address")
+        .param_int("info")
+        .consistency(i.clone())
+        .result(Pred::and([i.clone(), pp("#order_registered_at_commit")]))
+        .snapshot_read_post(maxdate_read_post.clone())
+        .stmt(
+            Stmt::ReadItem { item: ItemRef::plain("maximum_date"), into: "maxdate".into() },
+            i.clone(),
+            maxdate_read_post.clone(),
+        )
+        .stmt(
+            Stmt::WriteItem {
+                item: ItemRef::plain("maximum_date"),
+                value: Expr::local("maxdate").add(Expr::int(1)),
+            },
+            maxdate_read_post,
+            Pred::and([i.clone(), pp("maximum_date >= :maxdate + 1")]),
+        )
+        .stmt(
+            Stmt::SelectCount {
+                table: "orders".into(),
+                filter: RowPred::field_eq_outer("cust_name", Expr::param("customer")),
+                into: "custcount".into(),
+            },
+            Pred::and([i.clone(), pp("maximum_date >= :maxdate + 1")]),
+            // Footnote 3: the "customer is new" implication is an
+            // at-commit claim; statically we keep only the count's range.
+            Pred::and([i.clone(), pp(":custcount >= 0 && #custcount_at_commit")]),
+        )
+        .stmt(
+            Stmt::If {
+                guard: pp(":custcount = 0"),
+                then_branch: vec![AStmt::new(
+                    Stmt::Insert {
+                        table: "cust".into(),
+                        values: vec![
+                            ColExpr::Outer(Expr::param("customer")),
+                            ColExpr::Outer(Expr::param("address")),
+                            ColExpr::Int(1),
+                        ],
+                    },
+                    i.clone(),
+                    i.clone(),
+                )],
+                else_branch: vec![AStmt::new(
+                    // Atomic in-place increment (not `:custcount + 1`): the
+                    // X row lock makes `num_orders := num_orders + 1`
+                    // correct under interleaving, which is what makes the
+                    // order_consistency lemma dynamically true at RC.
+                    Stmt::Update {
+                        table: "cust".into(),
+                        filter: RowPred::field_eq_outer("cust_name", Expr::param("customer")),
+                        sets: vec![(
+                            "num_orders".into(),
+                            ColExpr::field("num_orders").add(ColExpr::Int(1)),
+                        )],
+                    },
+                    i.clone(),
+                    i.clone(),
+                )],
+            },
+            Pred::and([i.clone(), pp(":custcount >= 0")]),
+            i.clone(),
+        )
+        .stmt(
+            Stmt::Insert {
+                table: "orders".into(),
+                values: vec![
+                    ColExpr::Outer(Expr::param("info")),
+                    ColExpr::Outer(Expr::param("customer")),
+                    ColExpr::Outer(Expr::local("maxdate").add(Expr::int(1))),
+                    ColExpr::Int(0),
+                ],
+            },
+            i.clone(),
+            i,
+        )
+        .build()
+}
+
+/// `Delivery` (Figure 4): select today's undelivered orders, mark them
+/// delivered. The SELECT's postcondition is a snapshot-equality — exactly
+/// what another `Delivery` invalidates, and what REPEATABLE READ's tuple
+/// locks protect (Theorem 6 case 2).
+pub fn delivery() -> Program {
+    let due = RowPred::and([
+        RowPred::field_eq_outer("deliv_date", Expr::param("today")),
+        RowPred::field_eq_int("done", 0),
+    ]);
+    let snap = Pred::Table(TableAtom::SnapshotEq {
+        table: "orders".into(),
+        filter: due.clone(),
+        name: "buff".into(),
+    });
+    // "today" is an existing delivery date: it does not exceed
+    // maximum_date. This conjunct is what lets the analyzer refute the
+    // phantom — New_Order inserts strictly beyond maximum_date, hence
+    // never into today's region. (It is itself monotonically preserved by
+    // New_Order's increment of maximum_date.)
+    let today_bounded = pp("@today <= maximum_date && @today >= 1");
+    ProgramBuilder::new("Delivery")
+        .param_int("today")
+        .consistency(io_atom())
+        .param_cond(pp("@today >= 1"))
+        .result(Pred::and([io_atom(), pp("#todays_orders_delivered_at_commit")]))
+        .snapshot_read_post(Pred::and([io_atom(), today_bounded.clone(), snap.clone()]))
+        .stmt(
+            Stmt::Select { table: "orders".into(), filter: due.clone(), into: "buff".into() },
+            Pred::and([io_atom(), today_bounded.clone()]),
+            Pred::and([io_atom(), today_bounded, snap]),
+        )
+        .stmt(
+            Stmt::Update {
+                table: "orders".into(),
+                filter: due,
+                sets: vec![("done".into(), ColExpr::Int(1))],
+            },
+            io_atom(),
+            io_atom(),
+        )
+        .build()
+}
+
+/// `Audit` (Figure 5): count a customer's orders and compare with
+/// `num_orders`. The two counts must come from one consistent state —
+/// phantoms from `New_Order` break REPEATABLE READ (tuple locks don't
+/// block inserts), forcing SERIALIZABLE.
+pub fn audit() -> Program {
+    let count1 = Pred::Table(TableAtom::CountEq {
+        table: "orders".into(),
+        filter: RowPred::field_eq_outer("cust_name", Expr::param("customer")),
+        value: Expr::local("count1"),
+    });
+    let count2 = Pred::Table(TableAtom::Exists {
+        table: "cust".into(),
+        filter: RowPred::and([
+            RowPred::field_eq_outer("cust_name", Expr::param("customer")),
+            RowPred::field_eq_outer("num_orders", Expr::local("count2")),
+        ]),
+    });
+    ProgramBuilder::new("Audit")
+        .param_str("customer")
+        .consistency(io_atom())
+        .result(Pred::and([io_atom(), pp("#audit_verdict_at_commit")]))
+        .snapshot_read_post(Pred::and([io_atom(), count1.clone(), count2.clone()]))
+        .stmt(
+            Stmt::SelectCount {
+                table: "orders".into(),
+                filter: RowPred::field_eq_outer("cust_name", Expr::param("customer")),
+                into: "count1".into(),
+            },
+            io_atom(),
+            Pred::and([io_atom(), count1.clone()]),
+        )
+        .stmt(
+            Stmt::SelectValue {
+                table: "cust".into(),
+                filter: RowPred::field_eq_outer("cust_name", Expr::param("customer")),
+                column: "num_orders".into(),
+                into: "count2".into(),
+            },
+            Pred::and([io_atom(), count1.clone()]),
+            Pred::and([io_atom(), count1, count2]),
+        )
+        .stmt(
+            Stmt::LocalAssign {
+                local: "retv".into(),
+                value: Expr::local("count1").sub(Expr::local("count2")),
+            },
+            io_atom(),
+            io_atom(),
+        )
+        .build()
+}
+
+/// The full application under the given business rule. Lemmas record the
+/// paper's prose preservation arguments (unit scope only — the paper's
+/// Section 6 explicitly notes the *statement-level* rollback of
+/// `New_Order` breaks `no_gaps`, which is why it cannot run at READ
+/// UNCOMMITTED).
+pub fn app(strict: bool) -> App {
+    let mut app = App::new()
+        .with_schema("orders", &["order_info", "cust_name", "deliv_date", "done"])
+        .with_schema("cust", &["cust_name", "address", "num_orders"])
+        .with_program(mailing_list())
+        .with_program(mailing_list_strict())
+        .with_program(new_order(strict))
+        .with_program(delivery())
+        .with_program(audit());
+    let new_order_name = if strict { "New_Order_strict" } else { "New_Order" };
+    for atom in ["no_gaps", "one_order_per_day", "order_consistency", "Imax"] {
+        app = app.with_lemma(atom, new_order_name, LemmaScope::Unit);
+    }
+    app
+}
+
+/// Initial data: `days` delivery dates with one order each (satisfying
+/// both business rules), and the referenced customers.
+pub fn setup(engine: &Engine, days: i64) {
+    engine
+        .create_table(semcc_storage::Schema::new(
+            "orders",
+            &["order_info", "cust_name", "deliv_date", "done"],
+            &["order_info"],
+        ))
+        .expect("orders table");
+    engine
+        .create_table(semcc_storage::Schema::new(
+            "cust",
+            &["cust_name", "address", "num_orders"],
+            &["cust_name"],
+        ))
+        .expect("cust table");
+    engine.create_item("maximum_date", days).expect("maximum_date");
+    for d in 1..=days {
+        engine
+            .load_row(
+                "orders",
+                vec![
+                    Value::Int(d),
+                    Value::str(format!("cust{d}")),
+                    Value::Int(d),
+                    Value::bool(false),
+                ],
+            )
+            .expect("order row");
+        engine
+            .load_row(
+                "cust",
+                vec![Value::str(format!("cust{d}")), Value::str(format!("addr{d}")), Value::Int(1)],
+            )
+            .expect("cust row");
+    }
+}
+
+/// Integrity audit: returns the names of violated conjuncts.
+pub fn integrity_violations(engine: &Engine, strict: bool) -> Vec<String> {
+    let mut out = Vec::new();
+    let orders = engine.peek_table("orders").expect("orders");
+    let cust = engine.peek_table("cust").expect("cust");
+    let maxdate =
+        engine.peek_item("maximum_date").expect("maxdate").as_int().expect("int");
+
+    // dates present
+    let mut by_date: HashMap<i64, usize> = HashMap::new();
+    let mut latest = 0;
+    for (_, row) in &orders {
+        let d = row[2].as_int().expect("date");
+        *by_date.entry(d).or_default() += 1;
+        latest = latest.max(d);
+    }
+    // no_gaps / one_order_per_day
+    for d in 1..=latest {
+        match by_date.get(&d) {
+            None => {
+                out.push(format!("no_gaps: no order on date {d}"));
+            }
+            Some(&n) if strict && n != 1 => {
+                out.push(format!("one_order_per_day: {n} orders on date {d}"));
+            }
+            _ => {}
+        }
+    }
+    // Imax: maximum_date covers the latest order
+    if maxdate < latest {
+        out.push(format!("Imax: maximum_date {maxdate} < latest order date {latest}"));
+    }
+    // order_consistency
+    let mut by_cust: HashMap<&str, i64> = HashMap::new();
+    for (_, row) in &orders {
+        *by_cust.entry(row[1].as_str().expect("cust")).or_default() += 1;
+    }
+    for (_, row) in &cust {
+        let name = row[0].as_str().expect("name");
+        let declared = row[2].as_int().expect("num_orders");
+        let actual = by_cust.get(name).copied().unwrap_or(0);
+        if declared != actual {
+            out.push(format!(
+                "order_consistency: {name} declares {declared} orders, has {actual}"
+            ));
+        }
+    }
+    out
+}
+
+/// A random transaction from the Section 6 mix. `levels` maps program name
+/// to the isolation level to run it at.
+pub fn random_txn(
+    engine: &Arc<Engine>,
+    programs: &[Program],
+    levels: &dyn Fn(&str) -> IsolationLevel,
+    rng: &mut impl Rng,
+) -> Result<usize, EngineError> {
+    let which = rng.gen_range(0..programs.len());
+    let program = &programs[which];
+    let bindings = bindings_for(program, rng, engine);
+    run_with_retries(engine, program, levels(&program.name), &bindings, 50)
+        .map(|(_, aborts)| aborts)
+}
+
+/// Globally unique suffix for generated new-customer names. Real systems
+/// key customer registration; racing two first orders for the *same* new
+/// customer is outside the paper's (footnote 3) weakened specification.
+static NEW_CUSTOMER_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Generate plausible bindings for one of the Section 6 programs.
+pub fn bindings_for(program: &Program, rng: &mut impl Rng, engine: &Arc<Engine>) -> Bindings {
+    match program.name.as_str() {
+        "New_Order" | "New_Order_strict" => {
+            // 80% existing customer, 20% a fresh (globally unique) one.
+            let customer = if rng.gen_range(0..5) > 0 {
+                engine
+                    .peek_table("cust")
+                    .ok()
+                    .and_then(|rows| {
+                        if rows.is_empty() {
+                            None
+                        } else {
+                            let pick = rng.gen_range(0..rows.len());
+                            rows[pick].1[0].as_str().map(str::to_string)
+                        }
+                    })
+                    .unwrap_or_else(|| "cust1".into())
+            } else {
+                let n = NEW_CUSTOMER_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                format!("newcust{n}")
+            };
+            Bindings::new()
+                .set("address", format!("addr_of_{customer}"))
+                .set("customer", customer)
+                .set("info", rng.gen_range(10_000..100_000_000) as i64)
+        }
+        "Delivery" => {
+            let maxdate = engine
+                .peek_item("maximum_date")
+                .ok()
+                .and_then(|v| v.as_int())
+                .unwrap_or(1)
+                .max(1);
+            Bindings::new().set("today", rng.gen_range(1..=maxdate))
+        }
+        "Audit" => {
+            // Audit an existing customer (Figure 5's SELECT INTO requires
+            // the CUST row to exist).
+            let cust = engine.peek_table("cust").ok().and_then(|rows| {
+                if rows.is_empty() {
+                    None
+                } else {
+                    let pick = rng.gen_range(0..rows.len());
+                    rows[pick].1[0].as_str().map(str::to_string)
+                }
+            });
+            Bindings::new().set("customer", cust.unwrap_or_else(|| "cust1".into()))
+        }
+        _ => Bindings::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcc_engine::EngineConfig;
+    use semcc_txn::interp::run_program;
+    use std::time::Duration;
+
+    fn engine() -> Arc<Engine> {
+        Arc::new(Engine::new(EngineConfig {
+            lock_timeout: Duration::from_millis(300),
+            record_history: false,
+        }))
+    }
+
+    #[test]
+    fn setup_satisfies_integrity() {
+        let e = engine();
+        setup(&e, 5);
+        assert!(integrity_violations(&e, true).is_empty());
+        assert!(integrity_violations(&e, false).is_empty());
+    }
+
+    #[test]
+    fn new_order_extends_no_gaps() {
+        let e = engine();
+        setup(&e, 3);
+        let p = new_order(false);
+        run_program(
+            &e,
+            &p,
+            IsolationLevel::Serializable,
+            &Bindings::new().set("customer", "cust1").set("address", "a").set("info", 99),
+        )
+        .expect("runs");
+        assert!(integrity_violations(&e, false).is_empty());
+        assert_eq!(e.peek_item("maximum_date").expect("max"), Value::Int(4));
+        // cust1 now has 2 orders
+        let cust = e.peek_table("cust").expect("cust");
+        let c1 = cust.iter().find(|(_, r)| r[0] == Value::str("cust1")).expect("cust1");
+        assert_eq!(c1.1[2], Value::Int(2));
+    }
+
+    #[test]
+    fn new_order_for_new_customer_inserts_cust_row() {
+        let e = engine();
+        setup(&e, 2);
+        run_program(
+            &e,
+            &new_order(false),
+            IsolationLevel::Serializable,
+            &Bindings::new().set("customer", "newbie").set("address", "x").set("info", 7),
+        )
+        .expect("runs");
+        let cust = e.peek_table("cust").expect("cust");
+        let row = cust.iter().find(|(_, r)| r[0] == Value::str("newbie")).expect("inserted");
+        assert_eq!(row.1[2], Value::Int(1));
+        assert!(integrity_violations(&e, false).is_empty());
+    }
+
+    #[test]
+    fn delivery_marks_done() {
+        let e = engine();
+        setup(&e, 3);
+        let out = run_program(
+            &e,
+            &delivery(),
+            IsolationLevel::RepeatableRead,
+            &Bindings::new().set("today", 2),
+        )
+        .expect("runs");
+        assert_eq!(out.buffers.get("buff").map(Vec::len), Some(1));
+        let orders = e.peek_table("orders").expect("orders");
+        let done: Vec<_> =
+            orders.iter().filter(|(_, r)| r[3] == Value::Int(1)).collect();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1[2], Value::Int(2));
+    }
+
+    #[test]
+    fn audit_agrees_after_clean_runs() {
+        let e = engine();
+        setup(&e, 3);
+        let out = run_program(
+            &e,
+            &audit(),
+            IsolationLevel::Serializable,
+            &Bindings::new().set("customer", "cust2"),
+        )
+        .expect("runs");
+        assert_eq!(out.locals.get("retv"), Some(&Value::Int(0)), "counts agree");
+    }
+
+    #[test]
+    fn mailing_list_reads_labels() {
+        let e = engine();
+        setup(&e, 4);
+        let out = run_program(
+            &e,
+            &mailing_list(),
+            IsolationLevel::ReadUncommitted,
+            &Bindings::new(),
+        )
+        .expect("runs");
+        assert_eq!(out.buffers.get("labels").map(Vec::len), Some(4));
+    }
+
+    #[test]
+    fn concurrent_new_orders_one_order_per_day_needs_fcw() {
+        // Two interleaved New_Orders at plain RC both read maxdate=N and
+        // both insert at N+1 → duplicate date. At RC+FCW the second
+        // committer aborts. This is the dynamic half of the Section 6
+        // one_order_per_day story.
+        let e = engine();
+        setup(&e, 2);
+        // Interleave manually through two engine txns driven by the raw API.
+        use semcc_logic::row::RowPred;
+        let mut t1 = e.begin(IsolationLevel::ReadCommitted);
+        let mut t2 = e.begin(IsolationLevel::ReadCommitted);
+        let m1 = t1.read("maximum_date").expect("read").as_int().expect("int");
+        let m2 = t2.read("maximum_date").expect("read").as_int().expect("int");
+        assert_eq!(m1, m2);
+        t1.write("maximum_date", m1 + 1).expect("write");
+        t1.insert(
+            "orders",
+            vec![Value::Int(901), Value::str("cust1"), Value::Int(m1 + 1), Value::bool(false)],
+        )
+        .expect("insert");
+        t1.commit().expect("commit");
+        t2.write("maximum_date", m2 + 1).expect("t1 released its lock");
+        t2.insert(
+            "orders",
+            vec![Value::Int(902), Value::str("cust2"), Value::Int(m2 + 1), Value::bool(false)],
+        )
+        .expect("insert");
+        t2.commit().expect("commit");
+        let v = integrity_violations(&e, true);
+        assert!(
+            v.iter().any(|s| s.contains("one_order_per_day")),
+            "duplicate date produced at RC: {v:?}"
+        );
+        // update consistency bookkeeping is not part of this focused test
+        let _ = RowPred::True;
+
+        // Same schedule at RC+FCW: the second writer of maximum_date dies.
+        let e = engine();
+        setup(&e, 2);
+        let mut t1 = e.begin(IsolationLevel::ReadCommittedFcw);
+        let mut t2 = e.begin(IsolationLevel::ReadCommittedFcw);
+        let m1 = t1.read("maximum_date").expect("read").as_int().expect("int");
+        let m2 = t2.read("maximum_date").expect("read").as_int().expect("int");
+        t1.write("maximum_date", m1 + 1).expect("write");
+        t1.insert(
+            "orders",
+            vec![Value::Int(901), Value::str("cust1"), Value::Int(m1 + 1), Value::bool(false)],
+        )
+        .expect("insert");
+        t1.commit().expect("first committer wins");
+        t2.write("maximum_date", m2 + 1).expect("lock free");
+        let r = t2.insert(
+            "orders",
+            vec![Value::Int(902), Value::str("cust2"), Value::Int(m2 + 1), Value::bool(false)],
+        );
+        let aborted = r.is_err() || t2.commit().is_err();
+        assert!(aborted, "second New_Order must lose at RC+FCW");
+        let v = integrity_violations(&e, true);
+        assert!(
+            !v.iter().any(|s| s.contains("one_order_per_day")),
+            "FCW prevented the duplicate date: {v:?}"
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! A guided tour of the anomaly menagerie: each classical phenomenon is
+//! produced at the weakest level that admits it, detected by the checker,
+//! and shown prevented one level up — the dynamic counterpart of the
+//! paper's per-level theorems.
+//!
+//! ```text
+//! cargo run --example anomaly_tour
+//! ```
+
+use semcc::checker::{detect_anomalies, AnomalyKind};
+use semcc::engine::{Engine, EngineConfig, Event, IsolationLevel};
+use semcc::logic::row::RowPred;
+use semcc::storage::{Schema, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+use IsolationLevel::*;
+
+fn engine() -> Arc<Engine> {
+    Arc::new(Engine::new(EngineConfig {
+        lock_timeout: Duration::from_millis(200),
+        record_history: true,
+    }))
+}
+
+fn show(events: &[Event], expect: AnomalyKind) {
+    let found = detect_anomalies(events);
+    match found.iter().find(|a| a.kind == expect) {
+        Some(a) => println!("  detected: {}", a.detail),
+        None => panic!("expected {expect} in the history"),
+    }
+}
+
+fn main() {
+    println!("== dirty read (READ UNCOMMITTED) ==");
+    {
+        let e = engine();
+        e.create_item("x", 0).expect("item");
+        let mut w = e.begin(ReadCommitted);
+        w.write("x", 99).expect("write");
+        let mut r = e.begin(ReadUncommitted);
+        println!("  RU reader sees uncommitted value: {}", r.read("x").expect("read"));
+        r.abort();
+        w.abort();
+        println!("  ...which the writer then rolled back: data that never existed.");
+        show(&e.history().events(), AnomalyKind::DirtyRead);
+        // One level up: RC blocks on the writer's lock instead.
+        let mut w = e.begin(ReadCommitted);
+        w.write("x", 7).expect("write");
+        let mut r = e.begin(ReadCommitted);
+        assert!(r.read("x").is_err(), "RC reader waits (and times out here)");
+        println!("  at RC the same read blocks until the writer finishes.");
+        r.abort();
+        w.abort();
+    }
+
+    println!("\n== lost update (READ COMMITTED) ==");
+    {
+        let e = engine();
+        e.create_item("ctr", 0).expect("item");
+        let mut t1 = e.begin(ReadCommitted);
+        let v1 = t1.read("ctr").expect("read").as_int().expect("int");
+        let mut t2 = e.begin(ReadCommitted);
+        let v2 = t2.read("ctr").expect("read").as_int().expect("int");
+        t2.write("ctr", v2 + 10).expect("write");
+        t2.commit().expect("commit");
+        t1.write("ctr", v1 + 5).expect("write");
+        t1.commit().expect("commit");
+        println!("  two increments (+10, +5) left ctr = {}", e.peek_item("ctr").expect("peek"));
+        show(&e.history().events(), AnomalyKind::LostUpdate);
+        // RC+FCW: second committer dies instead.
+        let e = engine();
+        e.create_item("ctr", 0).expect("item");
+        let mut t1 = e.begin(ReadCommittedFcw);
+        let v1 = t1.read("ctr").expect("read").as_int().expect("int");
+        let mut t2 = e.begin(ReadCommittedFcw);
+        let v2 = t2.read("ctr").expect("read").as_int().expect("int");
+        t2.write("ctr", v2 + 10).expect("write");
+        t2.commit().expect("commit");
+        t1.write("ctr", v1 + 5).expect("write");
+        assert!(t1.commit().is_err());
+        println!("  at RC+FCW the second committer is aborted; ctr = {}", e.peek_item("ctr").expect("peek"));
+    }
+
+    println!("\n== non-repeatable read (RC) vs REPEATABLE READ ==");
+    {
+        let e = engine();
+        e.create_item("x", 1).expect("item");
+        let mut t1 = e.begin(ReadCommitted);
+        let a = t1.read("x").expect("read");
+        let mut t2 = e.begin(ReadCommitted);
+        t2.write("x", 2).expect("write");
+        t2.commit().expect("commit");
+        let b = t1.read("x").expect("read");
+        println!("  RC reader saw {a} then {b} inside one transaction");
+        t1.abort();
+        show(&e.history().events(), AnomalyKind::NonRepeatableRead);
+        let mut t1 = e.begin(RepeatableRead);
+        t1.read("x").expect("read");
+        let mut t2 = e.begin(ReadCommitted);
+        assert!(t2.write("x", 3).is_err(), "writer blocks on the long read lock");
+        println!("  at RR the long read lock blocks the writer instead.");
+        t2.abort();
+        t1.abort();
+    }
+
+    println!("\n== phantom (REPEATABLE READ) vs SERIALIZABLE ==");
+    {
+        let e = engine();
+        e.create_table(Schema::new("orders", &["id", "date"], &["id"])).expect("table");
+        e.load_row("orders", vec![Value::Int(1), Value::Int(5)]).expect("row");
+        let today = RowPred::field_eq_int("date", 5);
+        let mut t1 = e.begin(RepeatableRead);
+        let n1 = t1.count("orders", &today).expect("count");
+        let mut t2 = e.begin(ReadCommitted);
+        t2.insert("orders", vec![Value::Int(2), Value::Int(5)]).expect("insert");
+        t2.commit().expect("commit");
+        let n2 = t1.count("orders", &today).expect("recount");
+        println!("  RR reader counted {n1}, then {n2}: a phantom slipped in");
+        t1.abort();
+        show(&e.history().events(), AnomalyKind::Phantom);
+        let mut t1 = e.begin(Serializable);
+        t1.count("orders", &today).expect("count");
+        let mut t2 = e.begin(ReadCommitted);
+        assert!(t2.insert("orders", vec![Value::Int(3), Value::Int(5)]).is_err());
+        println!("  at SERIALIZABLE the predicate lock blocks the insert.");
+        t2.abort();
+        t1.abort();
+    }
+
+    println!("\n== write skew (SNAPSHOT) ==");
+    {
+        let e = engine();
+        e.create_item("sav", 100).expect("item");
+        e.create_item("ch", 100).expect("item");
+        let mut t1 = e.begin(Snapshot);
+        let mut t2 = e.begin(Snapshot);
+        let s = t1.read("sav").expect("read").as_int().expect("int");
+        t1.read("ch").expect("read");
+        t2.read("sav").expect("read");
+        let c = t2.read("ch").expect("read").as_int().expect("int");
+        t1.write("sav", s - 150).expect("write");
+        t2.write("ch", c - 150).expect("write");
+        t1.commit().expect("commit");
+        t2.commit().expect("commit");
+        println!(
+            "  both snapshot withdrawals committed; sav+ch = {}",
+            e.peek_item("sav").expect("peek").as_int().expect("int")
+                + e.peek_item("ch").expect("peek").as_int().expect("int")
+        );
+        show(&e.history().events(), AnomalyKind::WriteSkew);
+    }
+
+    println!("\ntour complete: every phenomenon appears exactly at its level, as the");
+    println!("paper's theorems predict — and the analyzer would have told you so first.");
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate re-exporting the whole semcc workspace.
+//!
+//! `semcc` reproduces Bernstein, Lewis & Lu, *Semantic Conditions for
+//! Correctness at Different Isolation Levels* (ICDE 2000): a static
+//! interference analyzer that determines the lowest ANSI/SNAPSHOT isolation
+//! level at which each transaction type of an application executes
+//! *semantically correctly*, together with the multi-level transaction
+//! engine, runtime checkers, workloads and benchmarks used to validate it.
+
+pub use semcc_checker as checker;
+pub use semcc_core as analysis;
+pub use semcc_engine as engine;
+pub use semcc_lock as lock;
+pub use semcc_logic as logic;
+pub use semcc_mvcc as mvcc;
+pub use semcc_storage as storage;
+pub use semcc_txn as txn;
+pub use semcc_workloads as workloads;

@@ -1,0 +1,42 @@
+//! The shipped workload annotations must be valid sequential proof
+//! outlines: zero scalar-obligation errors (relational conjuncts may be
+//! `Unverified` — the hand-proof residue the paper also assumes).
+
+use semcc::analysis::annotate::{check_app_annotations, Severity};
+use semcc::workloads::{banking, orders, payroll, tpcc};
+
+fn assert_no_errors(name: &str, app: &semcc::analysis::App) {
+    let issues = check_app_annotations(app);
+    let errors: Vec<_> =
+        issues.iter().filter(|i| i.severity == Severity::Error).collect();
+    assert!(
+        errors.is_empty(),
+        "{name}: annotation outline errors:\n{}",
+        errors
+            .iter()
+            .map(|i| format!("  {} @ {}: {}", i.txn, i.location, i.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn banking_annotations_are_valid_outlines() {
+    assert_no_errors("banking", &banking::app());
+}
+
+#[test]
+fn orders_annotations_are_valid_outlines() {
+    assert_no_errors("orders/no_gaps", &orders::app(false));
+    assert_no_errors("orders/strict", &orders::app(true));
+}
+
+#[test]
+fn payroll_annotations_are_valid_outlines() {
+    assert_no_errors("payroll", &payroll::app());
+}
+
+#[test]
+fn tpcc_annotations_are_valid_outlines() {
+    assert_no_errors("tpcc", &tpcc::app());
+}
