@@ -1,0 +1,24 @@
+#!/bin/sh
+# Repository CI gate: formatting, lints, build, tests.
+#
+#   ./ci.sh            full gate (what the driver runs)
+#   ./ci.sh --fast     skip the release build
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (all targets, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "${1:-}" != "--fast" ]; then
+    echo "== cargo build --release =="
+    cargo build --release
+fi
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "ci: all green"

@@ -1,11 +1,14 @@
-//! Criterion microbenchmarks for the substrate layers and the analyzer.
+//! Microbenchmarks for the substrate layers and the analyzer, on a
+//! self-contained timing harness (no external bench framework).
 //!
 //! One group per subsystem: the prover (validity/satisfiability), the lock
 //! manager (grant/release, predicate intersection), the engine's hot paths
 //! (read, write, commit at each level), and the analyzer end-to-end (the
 //! Section 5 procedure on the Section 6 application).
+//!
+//! Run with `cargo bench -p semcc-bench`. Pass a substring argument to
+//! filter benchmarks by name.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use semcc_core::assign::{assign_levels, default_ladder};
 use semcc_core::theorems::check_at_level;
 use semcc_engine::{Engine, EngineConfig, IsolationLevel};
@@ -16,7 +19,51 @@ use semcc_logic::row::RowPred;
 use semcc_workloads::{banking, orders};
 use std::hint::black_box;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Measure `f` by running batches until ~200ms of samples accumulate,
+/// print mean time per iteration.
+fn bench(filter: &str, name: &str, mut f: impl FnMut()) {
+    if !name.contains(filter) {
+        return;
+    }
+    // warmup
+    for _ in 0..3 {
+        f();
+    }
+    let mut iters = 1u64;
+    // grow batch size until one batch takes ≥ 10ms
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t0.elapsed();
+        if dt >= Duration::from_millis(10) || iters >= 1 << 24 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut total = Duration::ZERO;
+    let mut n = 0u64;
+    while total < Duration::from_millis(200) {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        total += t0.elapsed();
+        n += iters;
+    }
+    let per_iter = total.as_nanos() as f64 / n as f64;
+    let (value, unit) = if per_iter >= 1_000_000.0 {
+        (per_iter / 1_000_000.0, "ms")
+    } else if per_iter >= 1_000.0 {
+        (per_iter / 1_000.0, "µs")
+    } else {
+        (per_iter, "ns")
+    };
+    println!("{name:<44} {value:>10.3} {unit}/iter   ({n} iters)");
+}
 
 fn engine() -> Arc<Engine> {
     Arc::new(Engine::new(EngineConfig {
@@ -25,66 +72,59 @@ fn engine() -> Arc<Engine> {
     }))
 }
 
-fn bench_prover(c: &mut Criterion) {
-    let mut g = c.benchmark_group("prover");
+fn bench_prover(filter: &str) {
     let prover = Prover::new();
-    let valid = parse_pred(
-        "sav + ch >= 0 && sav + ch >= :S + :C && :S + :C >= @w ==> sav + ch - @w >= 0",
-    )
-    .expect("parses");
+    let valid =
+        parse_pred("sav + ch >= 0 && sav + ch >= :S + :C && :S + :C >= @w ==> sav + ch - @w >= 0")
+            .expect("parses");
     let tricky =
         parse_pred("x >= 0 && y >= 0 && x + y <= 10 && 2 * x + 3 * y >= 37").expect("parses");
-    g.bench_function("implication_valid", |b| {
-        b.iter(|| black_box(prover.valid(black_box(&valid))))
+    bench(filter, "prover/implication_valid", || {
+        black_box(prover.valid(black_box(&valid)));
     });
-    g.bench_function("sat_unsat_arith", |b| {
-        b.iter(|| black_box(prover.sat(black_box(&tricky))))
+    bench(filter, "prover/sat_unsat_arith", || {
+        black_box(prover.sat(black_box(&tricky)));
     });
-    let wp = parse_pred("sav + ch >= :S + :C && @d >= 0 ==> sav + @d + ch >= :S + :C")
-        .expect("parses");
-    g.bench_function("interference_wp_check", |b| {
-        b.iter(|| black_box(prover.valid(black_box(&wp))))
+    let wp =
+        parse_pred("sav + ch >= :S + :C && @d >= 0 ==> sav + @d + ch >= :S + :C").expect("parses");
+    bench(filter, "prover/interference_wp_check", || {
+        black_box(prover.valid(black_box(&wp)));
     });
-    g.finish();
 }
 
-fn bench_locks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lock_manager");
-    g.bench_function("item_grant_release", |b| {
+fn bench_locks(filter: &str) {
+    {
         let m = LockManager::default();
         let mut txn = 0u64;
-        b.iter(|| {
+        bench(filter, "lock_manager/item_grant_release", || {
             txn += 1;
             m.acquire(txn, Target::item("x"), Mode::X).expect("acquire");
             m.release_all(txn);
-        })
-    });
-    g.bench_function("shared_readers", |b| {
+        });
+    }
+    {
         let m = LockManager::default();
         let mut txn = 0u64;
-        b.iter(|| {
+        bench(filter, "lock_manager/shared_readers", || {
             txn += 1;
             m.acquire(txn, Target::item("x"), Mode::S).expect("acquire");
             m.release(txn, &Target::item("x"));
-        })
-    });
-    g.bench_function("predicate_disjoint_grant", |b| {
+        });
+    }
+    {
         let m = LockManager::default();
-        m.acquire(1, Target::pred("t", RowPred::field_eq_int("k", 1)), Mode::X)
-            .expect("seed");
+        m.acquire(1, Target::pred("t", RowPred::field_eq_int("k", 1)), Mode::X).expect("seed");
         let mut txn = 1u64;
-        b.iter(|| {
+        bench(filter, "lock_manager/predicate_disjoint_grant", || {
             txn += 1;
             m.acquire(txn, Target::pred("t", RowPred::field_eq_int("k", 2)), Mode::X)
                 .expect("disjoint");
             m.release_all(txn);
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
+fn bench_engine(filter: &str) {
     for level in [
         IsolationLevel::ReadUncommitted,
         IsolationLevel::ReadCommitted,
@@ -92,61 +132,55 @@ fn bench_engine(c: &mut Criterion) {
         IsolationLevel::Snapshot,
         IsolationLevel::Serializable,
     ] {
-        g.bench_with_input(
-            BenchmarkId::new("read_commit", format!("{level}")),
-            &level,
-            |b, &level| {
-                let e = engine();
-                e.create_item("x", 0).expect("item");
-                b.iter(|| {
-                    let mut t = e.begin(level);
-                    black_box(t.read("x").expect("read"));
-                    t.commit().expect("commit");
-                })
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("rmw_commit", format!("{level}")),
-            &level,
-            |b, &level| {
-                let e = engine();
-                e.create_item("x", 0).expect("item");
-                b.iter(|| {
-                    let mut t = e.begin(level);
-                    let v = t.read("x").expect("read").as_int().expect("int");
-                    t.write("x", v + 1).expect("write");
-                    t.commit().expect("commit");
-                })
-            },
-        );
+        {
+            let e = engine();
+            e.create_item("x", 0).expect("item");
+            bench(filter, &format!("engine/read_commit/{level}"), || {
+                let mut t = e.begin(level);
+                black_box(t.read("x").expect("read"));
+                t.commit().expect("commit");
+            });
+        }
+        {
+            let e = engine();
+            e.create_item("x", 0).expect("item");
+            bench(filter, &format!("engine/rmw_commit/{level}"), || {
+                let mut t = e.begin(level);
+                let v = t.read("x").expect("read").as_int().expect("int");
+                t.write("x", v + 1).expect("write");
+                t.commit().expect("commit");
+            });
+        }
     }
-    g.bench_function("select_100_rows", |b| {
+    {
         let e = engine();
         orders::setup(&e, 100);
         let mut t = e.begin(IsolationLevel::ReadUncommitted);
-        b.iter(|| black_box(t.select("orders", &RowPred::True).expect("select").len()));
-    });
-    g.finish();
+        bench(filter, "engine/select_100_rows", || {
+            black_box(t.select("orders", &RowPred::True).expect("select").len());
+        });
+    }
 }
 
-fn bench_analyzer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("analyzer");
-    g.sample_size(20);
+fn bench_analyzer(filter: &str) {
     let ord = orders::app(false);
     let bank = banking::app();
-    g.bench_function("orders_rc_check", |b| {
-        b.iter(|| black_box(check_at_level(&ord, "New_Order", IsolationLevel::ReadCommitted).ok))
+    bench(filter, "analyzer/orders_rc_check", || {
+        black_box(check_at_level(&ord, "New_Order", IsolationLevel::ReadCommitted).ok);
     });
-    g.bench_function("banking_snapshot_check", |b| {
-        b.iter(|| {
-            black_box(check_at_level(&bank, "Withdraw_sav", IsolationLevel::Snapshot).ok)
-        })
+    bench(filter, "analyzer/banking_snapshot_check", || {
+        black_box(check_at_level(&bank, "Withdraw_sav", IsolationLevel::Snapshot).ok);
     });
-    g.bench_function("orders_full_assignment", |b| {
-        b.iter(|| black_box(assign_levels(&ord, &default_ladder()).len()))
+    bench(filter, "analyzer/orders_full_assignment", || {
+        black_box(assign_levels(&ord, &default_ladder()).len());
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_prover, bench_locks, bench_engine, bench_analyzer);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench -- <filter>` — also tolerate cargo's --bench flag.
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with("--")).unwrap_or_default();
+    bench_prover(&filter);
+    bench_locks(&filter);
+    bench_engine(&filter);
+    bench_analyzer(&filter);
+}

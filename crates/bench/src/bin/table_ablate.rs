@@ -85,13 +85,7 @@ fn main() {
             );
             verdict_at(r.ok).to_string()
         };
-        println!(
-            "{}",
-            row(
-                &[format!("{txn} @ {}", short(level)), at(0), at(2), at(4)],
-                &widths
-            )
-        );
+        println!("{}", row(&[format!("{txn} @ {}", short(level)), at(0), at(2), at(4)], &widths));
     }
     println!("  -> these workloads are loop-free at top level, so verdicts are stable;");
     println!("     the fallback only matters for loop-carried database writes.\n");
@@ -109,18 +103,11 @@ fn main() {
         )
     );
     println!("{}", rule(&widths));
-    for (app, txn) in [
-        (&bank, "Deposit_sav"),
-        (&orders::app(true), "New_Order_strict"),
-    ] {
+    for (app, txn) in [(&bank, "Deposit_sav"), (&orders::app(true), "New_Order_strict")] {
         let rc = check_at_level(app, txn, ReadCommitted);
         let fcw = check_at_level(app, txn, ReadCommittedFcw);
         // exempt reads = obligations whose description marks the pre-check
-        let exempted = fcw
-            .failures
-            .iter()
-            .filter(|f| f.contains("FCW-exempt"))
-            .count();
+        let exempted = fcw.failures.iter().filter(|f| f.contains("FCW-exempt")).count();
         println!(
             "{}",
             row(

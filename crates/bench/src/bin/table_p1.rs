@@ -80,7 +80,13 @@ fn bench_banking(threads_list: &[usize], per_thread: usize) {
         Policy {
             name: "mixed",
             // analyzer assignment: deposits RC+FCW, withdrawals RR
-            level: |name| if name.starts_with("Deposit") { ReadCommittedFcw } else { RepeatableRead },
+            level: |name| {
+                if name.starts_with("Deposit") {
+                    ReadCommittedFcw
+                } else {
+                    RepeatableRead
+                }
+            },
         },
     ];
     for p in &policies {

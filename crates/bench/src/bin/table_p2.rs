@@ -304,13 +304,16 @@ fn banking_runs(per_thread: usize) {
         ("all-RR", |_| RepeatableRead),
         ("all-SNAP", |_| Snapshot),
         ("all-SER", |_| Serializable),
-        ("mixed", |name| {
-            if name.starts_with("Deposit") {
-                ReadCommittedFcw
-            } else {
-                RepeatableRead
-            }
-        }),
+        (
+            "mixed",
+            |name| {
+                if name.starts_with("Deposit") {
+                    ReadCommittedFcw
+                } else {
+                    RepeatableRead
+                }
+            },
+        ),
     ];
     for (name, pol) in policies {
         let e = engine();

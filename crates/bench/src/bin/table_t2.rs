@@ -33,11 +33,8 @@ fn print_app(name: &str, app: &App) {
     let full = assign_levels(app, &default_ladder());
     let ansi = assign_levels(app, &ansi_ladder());
     for a in &full {
-        let ansi_level = ansi
-            .iter()
-            .find(|x| x.txn == a.txn)
-            .map(|x| short(x.level))
-            .unwrap_or("?");
+        let ansi_level =
+            ansi.iter().find(|x| x.txn == a.txn).map(|x| short(x.level)).unwrap_or("?");
         let calls: usize = a.reports.iter().map(|r| r.prover_calls).sum();
         println!(
             "{}",

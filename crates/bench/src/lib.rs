@@ -23,11 +23,7 @@ pub fn row(cells: &[String], widths: &[usize]) -> String {
 
 /// Render a rule (separator) line for the given widths.
 pub fn rule(widths: &[usize]) -> String {
-    widths
-        .iter()
-        .map(|w| "-".repeat(*w))
-        .collect::<Vec<_>>()
-        .join("--")
+    widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("--")
 }
 
 /// A short tag for a level (for narrow tables).

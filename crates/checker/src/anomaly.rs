@@ -15,39 +15,10 @@ use semcc_engine::{Event, Op, ReadSrc};
 use semcc_mvcc::Key;
 use semcc_storage::TxnId;
 use std::collections::BTreeMap;
-use std::fmt;
 
-/// The kind of anomaly observed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum AnomalyKind {
-    /// A transaction read another transaction's uncommitted write.
-    DirtyRead,
-    /// A committed write was based on a read that another transaction
-    /// overwrote (and committed) in between.
-    LostUpdate,
-    /// The same transaction observed two different committed versions of
-    /// one key.
-    NonRepeatableRead,
-    /// The same predicate, re-evaluated inside one transaction, matched a
-    /// different row set.
-    Phantom,
-    /// Two committed transactions with disjoint write sets each read a key
-    /// the other wrote (an rw–rw cycle of length two).
-    WriteSkew,
-}
-
-impl fmt::Display for AnomalyKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            AnomalyKind::DirtyRead => "dirty read",
-            AnomalyKind::LostUpdate => "lost update",
-            AnomalyKind::NonRepeatableRead => "non-repeatable read",
-            AnomalyKind::Phantom => "phantom",
-            AnomalyKind::WriteSkew => "write skew",
-        };
-        f.write_str(s)
-    }
-}
+// The kind itself lives in `semcc-engine` so the static predictor
+// (`semcc-core`) can share the taxonomy without depending on this crate.
+pub use semcc_engine::AnomalyKind;
 
 /// One detected anomaly.
 #[derive(Clone, Debug)]
@@ -161,9 +132,7 @@ fn non_repeatable_reads(vs: &BTreeMap<TxnId, TxnView>, out: &mut Vec<Anomaly>) {
                         out.push(Anomaly {
                             kind: AnomalyKind::NonRepeatableRead,
                             txns: vec![*txn],
-                            detail: format!(
-                                "txn {txn} read {k1} at versions {a} and {b}"
-                            ),
+                            detail: format!("txn {txn} read {k1} at versions {a} and {b}"),
                         });
                     }
                 }
@@ -193,7 +162,8 @@ fn phantoms(vs: &BTreeMap<TxnId, TxnView>, out: &mut Vec<Anomaly>) {
 }
 
 fn write_skews(vs: &BTreeMap<TxnId, TxnView>, out: &mut Vec<Anomaly>) {
-    let committed: Vec<(&TxnId, &TxnView)> = vs.iter().filter(|(_, v)| v.commit_ts.is_some()).collect();
+    let committed: Vec<(&TxnId, &TxnView)> =
+        vs.iter().filter(|(_, v)| v.commit_ts.is_some()).collect();
     // A genuine skew needs an rw-antidependency in BOTH directions: each
     // transaction read a version of some key *older* than the version the
     // other committed for it. Merely overlapping serialized transactions
@@ -210,10 +180,8 @@ fn write_skews(vs: &BTreeMap<TxnId, TxnView>, out: &mut Vec<Anomaly>) {
     };
     for (i, (t1, v1)) in committed.iter().enumerate() {
         for (t2, v2) in committed.iter().skip(i + 1) {
-            let disjoint = !v1
-                .writes
-                .iter()
-                .any(|(_, k1)| v2.writes.iter().any(|(_, k2)| k1 == k2));
+            let disjoint =
+                !v1.writes.iter().any(|(_, k1)| v2.writes.iter().any(|(_, k2)| k1 == k2));
             if !disjoint || v1.writes.is_empty() || v2.writes.is_empty() {
                 continue;
             }

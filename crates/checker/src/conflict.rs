@@ -42,7 +42,8 @@ impl ConflictGraph {
             Grey,
             Black,
         }
-        let mut marks: BTreeMap<TxnId, Mark> = self.nodes.iter().map(|n| (*n, Mark::White)).collect();
+        let mut marks: BTreeMap<TxnId, Mark> =
+            self.nodes.iter().map(|n| (*n, Mark::White)).collect();
         let succs: BTreeMap<TxnId, Vec<TxnId>> = {
             let mut m: BTreeMap<TxnId, Vec<TxnId>> = BTreeMap::new();
             for (from, to) in self.edges.keys() {
@@ -107,9 +108,11 @@ pub fn conflict_graph(events: &[Event]) -> ConflictGraph {
     use semcc_engine::ReadSrc;
     let mut acc: BTreeMap<TxnId, Access> = BTreeMap::new();
     for ev in events {
-        let a = acc
-            .entry(ev.txn)
-            .or_insert(Access { reads: Vec::new(), writes: Vec::new(), commit_ts: None });
+        let a = acc.entry(ev.txn).or_insert(Access {
+            reads: Vec::new(),
+            writes: Vec::new(),
+            commit_ts: None,
+        });
         match &ev.op {
             Op::Read { key, src, .. } => {
                 let version = match src {
@@ -119,8 +122,7 @@ pub fn conflict_graph(events: &[Event]) -> ConflictGraph {
                 a.reads.push((ev.seq, key.clone(), version));
             }
             Op::Write { key, .. } => a.writes.push((ev.seq, key.clone())),
-            Op::RowInsert { table, id, .. }
-            | Op::RowUpdate { table, id, .. } => {
+            Op::RowInsert { table, id, .. } | Op::RowUpdate { table, id, .. } => {
                 a.writes.push((ev.seq, Key::row(table.clone(), *id)));
             }
             Op::RowDelete { table, id } => a.writes.push((ev.seq, Key::row(table.clone(), *id))),

@@ -10,8 +10,8 @@
 //! * summarize runs for the P2 experiment, cross-checking the analyzer's
 //!   level assignments against observed behavior ([`report`]).
 
-pub mod conflict;
 pub mod anomaly;
+pub mod conflict;
 pub mod report;
 
 pub use anomaly::{detect_anomalies, Anomaly, AnomalyKind};

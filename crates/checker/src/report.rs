@@ -47,8 +47,7 @@ impl fmt::Display for AnomalyCounts {
         if self.counts.is_empty() {
             return write!(f, "clean");
         }
-        let parts: Vec<String> =
-            self.counts.iter().map(|(k, n)| format!("{k}: {n}")).collect();
+        let parts: Vec<String> = self.counts.iter().map(|(k, n)| format!("{k}: {n}")).collect();
         write!(f, "{}", parts.join(", "))
     }
 }

@@ -1,8 +1,9 @@
-//! Property tests for the checkers: serial executions are always clean
+//! Randomized tests for the checkers: serial executions are always clean
 //! (conflict-serializable, anomaly-free), and SERIALIZABLE interleavings
 //! never produce anomaly reports.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use semcc_checker::{detect_anomalies, is_conflict_serializable};
 use semcc_engine::{Engine, EngineConfig, IsolationLevel};
 use std::sync::Arc;
@@ -17,15 +18,15 @@ enum Op {
     Write(u8, i64),
 }
 
-fn arb_txn() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u8..3).prop_map(Op::Read),
-            (0u8..3).prop_map(Op::Increment),
-            (0u8..3, -5i64..5).prop_map(|(i, v)| Op::Write(i, v)),
-        ],
-        1..5,
-    )
+fn gen_txn(rng: &mut StdRng) -> Vec<Op> {
+    let n = rng.gen_range(1..5);
+    (0..n)
+        .map(|_| match rng.gen_range(0..3) {
+            0 => Op::Read(rng.gen_range(0..3)),
+            1 => Op::Increment(rng.gen_range(0..3)),
+            _ => Op::Write(rng.gen_range(0..3), rng.gen_range(-5..5)),
+        })
+        .collect()
 }
 
 fn run_txn(e: &Arc<Engine>, level: IsolationLevel, ops: &[Op]) {
@@ -33,9 +34,7 @@ fn run_txn(e: &Arc<Engine>, level: IsolationLevel, ops: &[Op]) {
     let all_ok = ops.iter().all(|op| match op {
         Op::Read(i) => t.read(ITEMS[*i as usize]).is_ok(),
         Op::Increment(i) => match t.read(ITEMS[*i as usize]) {
-            Ok(v) => t
-                .write(ITEMS[*i as usize], v.as_int().expect("int") + 1)
-                .is_ok(),
+            Ok(v) => t.write(ITEMS[*i as usize], v.as_int().expect("int") + 1).is_ok(),
             Err(_) => false,
         },
         Op::Write(i, v) => t.write(ITEMS[*i as usize], *v).is_ok(),
@@ -47,14 +46,14 @@ fn run_txn(e: &Arc<Engine>, level: IsolationLevel, ops: &[Op]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn serial_executions_are_clean() {
+    let mut rng = StdRng::seed_from_u64(0xc4ec);
+    for case in 0..64 {
+        let n_txns = rng.gen_range(1..6);
+        let txns: Vec<Vec<Op>> = (0..n_txns).map(|_| gen_txn(&mut rng)).collect();
+        let levels: Vec<usize> = (0..6).map(|_| rng.gen_range(0..6)).collect();
 
-    #[test]
-    fn serial_executions_are_clean(
-        txns in proptest::collection::vec(arb_txn(), 1..6),
-        levels in proptest::collection::vec(0usize..6, 6),
-    ) {
         let e = Arc::new(Engine::new(EngineConfig {
             lock_timeout: Duration::from_millis(50),
             record_history: true,
@@ -67,15 +66,19 @@ proptest! {
             run_txn(&e, level, ops); // strictly serial: one at a time
         }
         let events = e.history().events();
-        prop_assert!(is_conflict_serializable(&events), "serial must be CSR");
+        assert!(is_conflict_serializable(&events), "case {case}: serial must be CSR");
         let anomalies = detect_anomalies(&events);
-        prop_assert!(anomalies.is_empty(), "serial run reported: {anomalies:?}");
+        assert!(anomalies.is_empty(), "case {case}: serial run reported: {anomalies:?}");
     }
+}
 
-    #[test]
-    fn concurrent_serializable_runs_are_clean(
-        txns in proptest::collection::vec(arb_txn(), 2..5),
-    ) {
+#[test]
+fn concurrent_serializable_runs_are_clean() {
+    let mut rng = StdRng::seed_from_u64(0xc4ed);
+    for case in 0..64 {
+        let n_txns = rng.gen_range(2..5);
+        let txns: Vec<Vec<Op>> = (0..n_txns).map(|_| gen_txn(&mut rng)).collect();
+
         let e = Arc::new(Engine::new(EngineConfig {
             lock_timeout: Duration::from_millis(50),
             record_history: true,
@@ -86,16 +89,15 @@ proptest! {
         let mut handles = Vec::new();
         for ops in txns {
             let e = e.clone();
-            handles.push(std::thread::spawn(move || {
-                run_txn(&e, IsolationLevel::Serializable, &ops)
-            }));
+            handles
+                .push(std::thread::spawn(move || run_txn(&e, IsolationLevel::Serializable, &ops)));
         }
         for h in handles {
             h.join().expect("join");
         }
         let events = e.history().events();
-        prop_assert!(is_conflict_serializable(&events));
+        assert!(is_conflict_serializable(&events), "case {case}");
         let anomalies = detect_anomalies(&events);
-        prop_assert!(anomalies.is_empty(), "SER run reported: {anomalies:?}");
+        assert!(anomalies.is_empty(), "case {case}: SER run reported: {anomalies:?}");
     }
 }

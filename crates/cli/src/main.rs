@@ -2,25 +2,44 @@
 //!
 //! Applications (annotated transaction programs + schemas + lemmas) are
 //! serialized as JSON; the CLI runs the paper's Section 5 procedure, the
-//! per-level theorem checks, the annotation outline validator, and the
-//! obligation cost accounting over them.
+//! per-level theorem checks, the annotation outline validator, the static
+//! anomaly linter, and the obligation cost accounting over them.
 //!
 //! ```text
 //! semcc export banking bank.json       # write a bundled example app
 //! semcc analyze bank.json              # lowest-level assignment table
 //! semcc check bank.json Withdraw_sav SNAPSHOT
+//! semcc lint bank.json                 # static anomaly prediction
+//! semcc lint bank.json --levels SNAPSHOT,SNAPSHOT,RR,RR
 //! semcc verify bank.json               # annotation outline validation
 //! semcc obligations bank.json          # per-level obligation counts
 //! ```
+//!
+//! Exit codes: `0` — everything provable / lints clean; `1` — diagnostics
+//! emitted (a rejected level, a lint finding, an annotation error); `2` —
+//! usage or I/O error.
 
 use semcc_core::annotate::{check_app_annotations, Severity};
 use semcc_core::assign::{ansi_ladder, assign_levels, default_ladder};
 use semcc_core::counting::cost_table;
 use semcc_core::theorems::check_at_level;
-use semcc_core::App;
+use semcc_core::{lint, App, LintReport};
 use semcc_engine::IsolationLevel;
+use semcc_json::Json;
 use semcc_workloads::{banking, orders, payroll, tpcc};
+use std::collections::BTreeMap;
 use std::process::ExitCode;
+
+/// What a successfully-run command concluded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Findings {
+    /// Everything provable / no findings.
+    Clean,
+    /// Diagnostics were printed.
+    Diagnostics,
+}
+
+type CmdResult = Result<Findings, String>;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,19 +47,21 @@ fn main() -> ExitCode {
         Some("export") => cmd_export(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("obligations") => cmd_obligations(&args[1..]),
         Some("help") | None => {
             print_usage();
-            Ok(())
+            Ok(Findings::Clean)
         }
         Some(other) => Err(format!("unknown command `{other}` (try `semcc help`)")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(Findings::Clean) => ExitCode::SUCCESS,
+        Ok(Findings::Diagnostics) => ExitCode::from(1),
         Err(msg) => {
             eprintln!("error: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
@@ -52,19 +73,24 @@ fn print_usage() {
     println!("  semcc export <banking|orders|orders-strict|payroll|tpcc> <out.json>");
     println!("  semcc analyze <app.json> [--ansi]");
     println!("  semcc check <app.json> <transaction> <LEVEL>");
+    println!("  semcc lint <app.json> [--levels L1,L2,...] [--json]");
     println!("  semcc verify <app.json>");
     println!("  semcc obligations <app.json>");
     println!();
     println!("LEVELs: \"READ UNCOMMITTED\", \"READ COMMITTED\", \"READ COMMITTED+FCW\",");
     println!("        \"REPEATABLE READ\", \"SNAPSHOT\", \"SERIALIZABLE\"");
+    println!("        (lint --levels also accepts RU, RC, RCFCW, RR, SI, SER,");
+    println!("         one per transaction type in program order)");
+    println!();
+    println!("exit codes: 0 clean, 1 diagnostics emitted, 2 usage/IO error");
 }
 
 fn load_app(path: &str) -> Result<App, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+    semcc_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
 }
 
-fn cmd_export(args: &[String]) -> Result<(), String> {
+fn cmd_export(args: &[String]) -> CmdResult {
     let [which, out] = args else {
         return Err("usage: semcc export <workload> <out.json>".into());
     };
@@ -76,18 +102,19 @@ fn cmd_export(args: &[String]) -> Result<(), String> {
         "tpcc" => tpcc::app(),
         other => return Err(format!("unknown workload `{other}`")),
     };
-    let json = serde_json::to_string_pretty(&app).map_err(|e| e.to_string())?;
+    let json = semcc_json::to_string_pretty(&app);
     std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {which} application ({} transaction types) to {out}", app.programs.len());
-    Ok(())
+    Ok(Findings::Clean)
 }
 
-fn cmd_analyze(args: &[String]) -> Result<(), String> {
+fn cmd_analyze(args: &[String]) -> CmdResult {
     let path = args.first().ok_or("usage: semcc analyze <app.json> [--ansi]")?;
     let app = load_app(path)?;
     let ladder = if args.iter().any(|a| a == "--ansi") { ansi_ladder() } else { default_ladder() };
     println!("{:<24}  {:<20}  {:<12}", "transaction", "lowest level", "snapshot ok");
     println!("{}", "-".repeat(60));
+    let mut findings = Findings::Clean;
     for a in assign_levels(&app, &ladder) {
         println!(
             "{:<24}  {:<20}  {:<12}",
@@ -100,11 +127,18 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
                 println!("    {} rejected: {}", rejected.level, reason);
             }
         }
+        if !a.snapshot_ok {
+            findings = Findings::Diagnostics;
+        }
     }
-    Ok(())
+    if findings == Findings::Diagnostics {
+        println!();
+        println!("warning: some types are unsafe under SNAPSHOT (run `semcc lint` for details)");
+    }
+    Ok(findings)
 }
 
-fn cmd_check(args: &[String]) -> Result<(), String> {
+fn cmd_check(args: &[String]) -> CmdResult {
     let [path, txn, level_name] = args else {
         return Err("usage: semcc check <app.json> <transaction> <LEVEL>".into());
     };
@@ -128,13 +162,223 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         println!("  {f}");
     }
     if r.ok {
-        Ok(())
+        Ok(Findings::Clean)
     } else {
-        Err("transaction rejected at this level".into())
+        Ok(Findings::Diagnostics)
     }
 }
 
-fn cmd_verify(args: &[String]) -> Result<(), String> {
+/// Parse one `--levels` token: full level names and the usual short forms.
+fn parse_level(token: &str) -> Result<IsolationLevel, String> {
+    if let Some(l) = IsolationLevel::from_name(token) {
+        return Ok(l);
+    }
+    match token.to_ascii_uppercase().as_str() {
+        "RU" => Ok(IsolationLevel::ReadUncommitted),
+        "RC" => Ok(IsolationLevel::ReadCommitted),
+        "RCFCW" | "RC+FCW" => Ok(IsolationLevel::ReadCommittedFcw),
+        "RR" => Ok(IsolationLevel::RepeatableRead),
+        "SI" | "SNAPSHOT" => Ok(IsolationLevel::Snapshot),
+        "SER" | "SERIALIZABLE" => Ok(IsolationLevel::Serializable),
+        other => Err(format!("unknown isolation level `{other}`")),
+    }
+}
+
+fn cmd_lint(args: &[String]) -> CmdResult {
+    let mut path: Option<&String> = None;
+    let mut levels_arg: Option<&String> = None;
+    let mut json_out = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--levels" => {
+                levels_arg = Some(it.next().ok_or("--levels needs a comma-separated list")?);
+            }
+            "--json" => json_out = true,
+            _ if path.is_none() => path = Some(a),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let path = path.ok_or("usage: semcc lint <app.json> [--levels L1,L2,...] [--json]")?;
+    let app = load_app(path)?;
+    let levels: Option<BTreeMap<String, IsolationLevel>> = match levels_arg {
+        None => None,
+        Some(list) => {
+            let tokens: Vec<&str> = list.split(',').map(str::trim).collect();
+            if tokens.len() != app.programs.len() {
+                return Err(format!(
+                    "--levels got {} level(s) for {} transaction type(s) ({})",
+                    tokens.len(),
+                    app.programs.len(),
+                    app.programs.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(", ")
+                ));
+            }
+            let mut m = BTreeMap::new();
+            for (p, t) in app.programs.iter().zip(tokens) {
+                m.insert(p.name.clone(), parse_level(t)?);
+            }
+            Some(m)
+        }
+    };
+    let report = lint(&app, levels.as_ref());
+    if json_out {
+        println!("{}", lint_report_json(&report).to_pretty());
+    } else {
+        print_lint_report(&report);
+    }
+    if report.clean() {
+        Ok(Findings::Clean)
+    } else {
+        Ok(Findings::Diagnostics)
+    }
+}
+
+fn print_lint_report(report: &LintReport) {
+    let origin = if report.levels_assigned { "assigned (Section 5)" } else { "given" };
+    println!("{:<24}  {:<20}  exposure at that level", "transaction", "level");
+    println!("{}", "-".repeat(72));
+    for (name, level) in &report.levels {
+        let exposure = report
+            .exposures
+            .iter()
+            .find(|e| &e.txn == name)
+            .map(|e| {
+                if e.exposed.is_empty() {
+                    "-".to_string()
+                } else {
+                    e.exposed.keys().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+                }
+            })
+            .unwrap_or_else(|| "-".to_string());
+        println!("{:<24}  {:<20}  {}", name, level.to_string(), exposure);
+    }
+    println!("levels: {origin}");
+    for d in &report.dangerous {
+        println!(
+            "dangerous structure: {} <-rw-> {} (reads {{{}}} / {{{}}})",
+            d.a,
+            d.b,
+            d.a_reads_b_writes.iter().cloned().collect::<Vec<_>>().join(", "),
+            d.b_reads_a_writes.iter().cloned().collect::<Vec<_>>().join(", ")
+        );
+    }
+    println!();
+    if report.clean() {
+        println!("no diagnostics: the application lints clean");
+    } else {
+        for d in &report.diagnostics {
+            println!("{}", d.render());
+        }
+        println!();
+        println!("{} diagnostic(s)", report.diagnostics.len());
+    }
+}
+
+fn lint_report_json(report: &LintReport) -> Json {
+    let levels = Json::Arr(
+        report
+            .levels
+            .iter()
+            .map(|(n, l)| {
+                Json::obj([("txn", Json::str(n.clone())), ("level", Json::str(l.to_string()))])
+            })
+            .collect(),
+    );
+    let exposures = Json::Arr(
+        report
+            .exposures
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("txn", Json::str(e.txn.clone())),
+                    ("level", Json::str(e.level.to_string())),
+                    (
+                        "exposed",
+                        Json::Arr(
+                            e.exposed
+                                .iter()
+                                .map(|(k, why)| {
+                                    Json::obj([
+                                        ("kind", Json::str(k.to_string())),
+                                        ("code", Json::str(semcc_core::code_for(*k))),
+                                        ("why", Json::str(why.clone())),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let dangerous = Json::Arr(
+        report
+            .dangerous
+            .iter()
+            .map(|d| {
+                Json::obj([
+                    ("a", Json::str(d.a.clone())),
+                    ("b", Json::str(d.b.clone())),
+                    (
+                        "a_reads_b_writes",
+                        Json::Arr(
+                            d.a_reads_b_writes.iter().map(|s| Json::str(s.clone())).collect(),
+                        ),
+                    ),
+                    (
+                        "b_reads_a_writes",
+                        Json::Arr(
+                            d.b_reads_a_writes.iter().map(|s| Json::str(s.clone())).collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let diagnostics = Json::Arr(
+        report
+            .diagnostics
+            .iter()
+            .map(|d| {
+                Json::obj([
+                    ("code", Json::str(d.code.clone())),
+                    ("kind", Json::str(d.kind.to_string())),
+                    ("level", Json::str(d.level.to_string())),
+                    ("txn", Json::str(d.txn.clone())),
+                    ("partner", d.partner.clone().map_or(Json::Null, Json::str)),
+                    (
+                        "statements",
+                        Json::Arr(d.statements.iter().map(|s| Json::str(s.clone())).collect()),
+                    ),
+                    (
+                        "provenance",
+                        Json::Arr(d.provenance.iter().map(|s| Json::str(s.clone())).collect()),
+                    ),
+                    (
+                        "counterexample",
+                        Json::obj(
+                            d.counterexample
+                                .iter()
+                                .map(|(v, x)| (v.clone(), Json::Int(*x)))
+                                .collect::<Vec<_>>(),
+                        ),
+                    ),
+                    ("message", Json::str(d.message.clone())),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj([
+        ("levels", levels),
+        ("levels_assigned", Json::Bool(report.levels_assigned)),
+        ("exposures", exposures),
+        ("dangerous_structures", dangerous),
+        ("diagnostics", diagnostics),
+        ("clean", Json::Bool(report.clean())),
+    ])
+}
+
+fn cmd_verify(args: &[String]) -> CmdResult {
     let path = args.first().ok_or("usage: semcc verify <app.json>")?;
     let app = load_app(path)?;
     let issues = check_app_annotations(&app);
@@ -156,13 +400,13 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
     );
     if errors == 0 {
         println!("annotation outlines are valid sequential proofs (within the fragment)");
-        Ok(())
+        Ok(Findings::Clean)
     } else {
-        Err("annotation outline errors found".into())
+        Ok(Findings::Diagnostics)
     }
 }
 
-fn cmd_obligations(args: &[String]) -> Result<(), String> {
+fn cmd_obligations(args: &[String]) -> CmdResult {
     let path = args.first().ok_or("usage: semcc obligations <app.json>")?;
     let app = load_app(path)?;
     let t = cost_table(&app);
@@ -175,12 +419,21 @@ fn cmd_obligations(args: &[String]) -> Result<(), String> {
     for c in &t.per_level {
         println!("{:<22}  {:>12}  {:>14}", c.level.to_string(), c.obligations, c.prover_calls);
     }
-    Ok(())
+    Ok(Findings::Clean)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn tmp_app(name: &str, which: &str) -> String {
+        let dir = std::env::temp_dir().join("semcc_cli_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(name);
+        let path_s = path.to_str().expect("utf8").to_string();
+        cmd_export(&[which.to_string(), path_s.clone()]).expect("export");
+        path_s
+    }
 
     #[test]
     fn every_workload_roundtrips_through_json() {
@@ -191,8 +444,8 @@ mod tests {
             ("payroll", payroll::app()),
             ("tpcc", tpcc::app()),
         ] {
-            let json = serde_json::to_string(&app).expect("serialize");
-            let back: App = serde_json::from_str(&json).expect("deserialize");
+            let json = semcc_json::to_string(&app);
+            let back: App = semcc_json::from_str(&json).expect("deserialize");
             assert_eq!(back.programs.len(), app.programs.len(), "{name}");
             // Verdicts must be identical after the round trip.
             let before = assign_levels(&app, &default_ladder());
@@ -207,19 +460,73 @@ mod tests {
 
     #[test]
     fn export_analyze_check_flow() {
-        let dir = std::env::temp_dir().join("semcc_cli_test");
-        std::fs::create_dir_all(&dir).expect("mkdir");
-        let path = dir.join("bank.json");
-        let path_s = path.to_str().expect("utf8").to_string();
-        cmd_export(&["banking".to_string(), path_s.clone()]).expect("export");
-        cmd_analyze(std::slice::from_ref(&path_s)).expect("analyze");
-        cmd_verify(std::slice::from_ref(&path_s)).expect("verify");
-        cmd_obligations(std::slice::from_ref(&path_s)).expect("obligations");
+        let path_s = tmp_app("bank.json", "banking");
+        // Banking's withdrawals are snapshot-unsafe: analyze reports it.
+        assert_eq!(cmd_analyze(std::slice::from_ref(&path_s)), Ok(Findings::Diagnostics));
+        assert_eq!(cmd_verify(std::slice::from_ref(&path_s)), Ok(Findings::Clean));
+        assert_eq!(cmd_obligations(std::slice::from_ref(&path_s)), Ok(Findings::Clean));
         // A passing check:
-        cmd_check(&[path_s.clone(), "Withdraw_sav".into(), "REPEATABLE READ".into()])
-            .expect("check rr");
-        // A failing check returns Err:
-        assert!(cmd_check(&[path_s, "Withdraw_sav".into(), "SNAPSHOT".into()]).is_err());
+        assert_eq!(
+            cmd_check(&[path_s.clone(), "Withdraw_sav".into(), "REPEATABLE READ".into()]),
+            Ok(Findings::Clean)
+        );
+        // A rejected level is a diagnostic, not an error:
+        assert_eq!(
+            cmd_check(&[path_s, "Withdraw_sav".into(), "SNAPSHOT".into()]),
+            Ok(Findings::Diagnostics)
+        );
+    }
+
+    #[test]
+    fn lint_exit_semantics() {
+        // Banking default lint: write-skew advisory => diagnostics (exit 1).
+        let bank = tmp_app("bank_lint.json", "banking");
+        assert_eq!(cmd_lint(std::slice::from_ref(&bank)), Ok(Findings::Diagnostics));
+        assert_eq!(cmd_lint(&[bank.clone(), "--json".into()]), Ok(Findings::Diagnostics));
+        // Orders at its T2-assigned mixed levels lints clean (exit 0).
+        let ord = tmp_app("orders_lint.json", "orders");
+        assert_eq!(
+            cmd_lint(&[ord.clone(), "--levels".into(), "RU,RC,RC,RR,SER".into()]),
+            Ok(Findings::Clean)
+        );
+        // Usage errors are errors (exit 2), not diagnostics.
+        assert!(cmd_lint(&[ord.clone(), "--levels".into(), "RU".into()]).is_err());
+        assert!(cmd_lint(&[ord, "--levels".into(), "BOGUS,RC,RC,RR,SER".into()]).is_err());
+        assert!(cmd_lint(&["/nonexistent/x.json".to_string()]).is_err());
+    }
+
+    #[test]
+    fn lint_json_shape() {
+        let bank = tmp_app("bank_lint_json.json", "banking");
+        let app = load_app(&bank).expect("load");
+        let report = lint(&app, None);
+        let json = lint_report_json(&report);
+        assert_eq!(json.get("clean").and_then(Json::as_bool), Some(false));
+        let diags = json.get("diagnostics").and_then(Json::as_arr).expect("array");
+        assert!(!diags.is_empty());
+        assert_eq!(diags[0].get("code").and_then(Json::as_str), Some("SEMCC-W001"));
+        // The JSON output round-trips through the parser.
+        let text = json.to_pretty();
+        semcc_json::from_str_value(&text).expect("valid JSON");
+    }
+
+    #[test]
+    fn level_tokens_parse() {
+        use IsolationLevel::*;
+        for (tok, l) in [
+            ("RU", ReadUncommitted),
+            ("rc", ReadCommitted),
+            ("RCFCW", ReadCommittedFcw),
+            ("RC+FCW", ReadCommittedFcw),
+            ("RR", RepeatableRead),
+            ("SI", Snapshot),
+            ("SER", Serializable),
+            ("SERIALIZABLE", Serializable),
+            ("REPEATABLE READ", RepeatableRead),
+        ] {
+            assert_eq!(parse_level(tok), Ok(l), "{tok}");
+        }
+        assert!(parse_level("BOGUS").is_err());
     }
 
     #[test]

@@ -72,8 +72,7 @@ fn check_block(
         let loc = format!("stmt #{i} ({})", stmt_kind(&a.stmt));
         match &a.stmt {
             Stmt::ReadItem { item, into } => {
-                let subst =
-                    Subst::single(Var::local(into.clone()), Expr::db(item.base.clone()));
+                let subst = Subst::single(Var::local(into.clone()), Expr::db(item.base.clone()));
                 check_transition(program, &loc, &a.pre, &a.post, Some(&subst), prover, issues);
             }
             Stmt::WriteItem { item, value } => {
@@ -102,23 +101,58 @@ fn check_block(
                 // Entry into each branch under the guard.
                 if let Some(first) = then_branch.first() {
                     let entry = Pred::and([a.pre.clone(), guard.clone()]);
-                    check_implication(program, &format!("{loc} (then entry)"), &entry, &first.pre, prover, issues);
+                    check_implication(
+                        program,
+                        &format!("{loc} (then entry)"),
+                        &entry,
+                        &first.pre,
+                        prover,
+                        issues,
+                    );
                 }
                 if let Some(first) = else_branch.first() {
                     let entry = Pred::and([a.pre.clone(), Pred::not(guard.clone())]);
-                    check_implication(program, &format!("{loc} (else entry)"), &entry, &first.pre, prover, issues);
+                    check_implication(
+                        program,
+                        &format!("{loc} (else entry)"),
+                        &entry,
+                        &first.pre,
+                        prover,
+                        issues,
+                    );
                 }
                 check_block(program, then_branch, prover, issues);
                 check_block(program, else_branch, prover, issues);
                 // Branch exits re-establish the statement's post.
                 if let Some(last) = then_branch.last() {
-                    check_implication(program, &format!("{loc} (then exit)"), &last.post, &a.post, prover, issues);
+                    check_implication(
+                        program,
+                        &format!("{loc} (then exit)"),
+                        &last.post,
+                        &a.post,
+                        prover,
+                        issues,
+                    );
                 }
                 match else_branch.last() {
-                    Some(last) => check_implication(program, &format!("{loc} (else exit)"), &last.post, &a.post, prover, issues),
+                    Some(last) => check_implication(
+                        program,
+                        &format!("{loc} (else exit)"),
+                        &last.post,
+                        &a.post,
+                        prover,
+                        issues,
+                    ),
                     None => {
                         let fallthrough = Pred::and([a.pre.clone(), Pred::not(guard.clone())]);
-                        check_implication(program, &format!("{loc} (else fallthrough)"), &fallthrough, &a.post, prover, issues);
+                        check_implication(
+                            program,
+                            &format!("{loc} (else fallthrough)"),
+                            &fallthrough,
+                            &a.post,
+                            prover,
+                            issues,
+                        );
                     }
                 }
             }
@@ -127,7 +161,14 @@ fn check_block(
                 // must re-establish it.
                 check_block(program, body, prover, issues);
                 if let Some(last) = body.last() {
-                    check_implication(program, &format!("{loc} (invariant)"), &last.post, &a.pre, prover, issues);
+                    check_implication(
+                        program,
+                        &format!("{loc} (invariant)"),
+                        &last.post,
+                        &a.pre,
+                        prover,
+                        issues,
+                    );
                 }
             }
             Stmt::Pause { .. } => {}

@@ -1,11 +1,11 @@
 //! Applications: the unit of analysis.
 
-use serde::{Deserialize, Serialize};
+use semcc_json::{FromJson, Json, JsonError, ToJson};
 use semcc_txn::Program;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The scope at which a preservation lemma holds.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum LemmaScope {
     /// The *committed unit effect* of the transaction preserves the atom
     /// (usable when a theorem treats the transaction as an isolated unit —
@@ -24,7 +24,7 @@ pub enum LemmaScope {
 /// appears"). A lemma `(atom, txn, scope)` records exactly such an
 /// argument; the runtime monitor (`semcc-checker`) re-validates registered
 /// lemmas empirically during the P2 experiment.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct LemmaRegistry {
     set: BTreeSet<(String, String, LemmaScope)>,
 }
@@ -47,7 +47,8 @@ impl LemmaRegistry {
         match scope {
             LemmaScope::Stmt => self.set.contains(&key(LemmaScope::Stmt)),
             LemmaScope::Unit => {
-                self.set.contains(&key(LemmaScope::Unit)) || self.set.contains(&key(LemmaScope::Stmt))
+                self.set.contains(&key(LemmaScope::Unit))
+                    || self.set.contains(&key(LemmaScope::Stmt))
             }
         }
     }
@@ -59,7 +60,7 @@ impl LemmaRegistry {
 }
 
 /// An application: programs, schemas, lemmas.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct App {
     /// The transaction programs (the paper's `K` transaction types).
     pub programs: Vec<Program>,
@@ -109,6 +110,57 @@ impl App {
     }
 }
 
+impl ToJson for LemmaScope {
+    fn to_json(&self) -> Json {
+        Json::str(match self {
+            LemmaScope::Unit => "Unit",
+            LemmaScope::Stmt => "Stmt",
+        })
+    }
+}
+
+impl FromJson for LemmaScope {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.as_str() {
+            Some("Unit") => Ok(LemmaScope::Unit),
+            Some("Stmt") => Ok(LemmaScope::Stmt),
+            _ => Err(JsonError::expected("LemmaScope name", j)),
+        }
+    }
+}
+
+impl ToJson for LemmaRegistry {
+    fn to_json(&self) -> Json {
+        self.set.to_json()
+    }
+}
+
+impl FromJson for LemmaRegistry {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(LemmaRegistry { set: FromJson::from_json(j)? })
+    }
+}
+
+impl ToJson for App {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("programs", self.programs.to_json()),
+            ("schemas", self.schemas.to_json()),
+            ("lemmas", self.lemmas.to_json()),
+        ])
+    }
+}
+
+impl FromJson for App {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(App {
+            programs: j.field("programs")?,
+            schemas: j.field("schemas")?,
+            lemmas: j.field("lemmas")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,9 +180,11 @@ mod tests {
 
     #[test]
     fn app_lookup() {
-        let app = App::new()
-            .with_schema("orders", &["info", "cust", "date", "done"])
-            .with_lemma("no_gap", "New_Order", LemmaScope::Unit);
+        let app = App::new().with_schema("orders", &["info", "cust", "date", "done"]).with_lemma(
+            "no_gap",
+            "New_Order",
+            LemmaScope::Unit,
+        );
         assert_eq!(app.columns("orders").map(<[String]>::len), Some(4));
         assert!(app.columns("nope").is_none());
         assert!(app.program("nope").is_none());

@@ -42,6 +42,7 @@ pub fn forward_write_effects(program: &Program) -> Vec<StmtEffect> {
                 assign: Assign::single(Var::db(item.base.clone()), value.clone()),
                 havoc_items: vec![],
                 effects: vec![],
+                reads: Default::default(),
             },
             Stmt::Update { table, filter, sets } => PathSummary {
                 condition: astmt.pre.clone(),
@@ -52,18 +53,21 @@ pub fn forward_write_effects(program: &Program) -> Vec<StmtEffect> {
                     filter: filter.clone(),
                     sets: sets.clone(),
                 }],
+                reads: Default::default(),
             },
             Stmt::Insert { table, values } => PathSummary {
                 condition: astmt.pre.clone(),
                 assign: Assign::skip(),
                 havoc_items: vec![],
                 effects: vec![RelEffect::Insert { table: table.clone(), values: values.clone() }],
+                reads: Default::default(),
             },
             Stmt::Delete { table, filter } => PathSummary {
                 condition: astmt.pre.clone(),
                 assign: Assign::skip(),
                 havoc_items: vec![],
                 effects: vec![RelEffect::Delete { table: table.clone(), filter: filter.clone() }],
+                reads: Default::default(),
             },
             _ => continue,
         };
@@ -79,7 +83,10 @@ pub fn forward_write_effects(program: &Program) -> Vec<StmtEffect> {
 ///
 /// Compensators run in an arbitrary state (a transaction can be rolled
 /// back at any point), so their context is `true` — maximal conservatism.
-pub fn rollback_effects(program: &Program, schemas: &std::collections::BTreeMap<String, Vec<String>>) -> Vec<StmtEffect> {
+pub fn rollback_effects(
+    program: &Program,
+    schemas: &std::collections::BTreeMap<String, Vec<String>>,
+) -> Vec<StmtEffect> {
     let mut out = Vec::new();
     for astmt in program.write_stmts() {
         let summary = match &astmt.stmt {
@@ -88,13 +95,14 @@ pub fn rollback_effects(program: &Program, schemas: &std::collections::BTreeMap<
                 assign: Assign::skip(),
                 havoc_items: vec![Var::db(item.base.clone())],
                 effects: vec![],
+                reads: Default::default(),
             },
             Stmt::Insert { table, values } => {
                 // Delete exactly the inserted row.
                 let filter = match schemas.get(table) {
-                    Some(cols) if cols.len() == values.len() => RowPred::and(
-                        cols.iter().zip(values).map(|(c, v)| point_eq(c, v)),
-                    ),
+                    Some(cols) if cols.len() == values.len() => {
+                        RowPred::and(cols.iter().zip(values).map(|(c, v)| point_eq(c, v)))
+                    }
                     _ => RowPred::True, // unknown schema: whole-table delete
                 };
                 PathSummary {
@@ -102,6 +110,7 @@ pub fn rollback_effects(program: &Program, schemas: &std::collections::BTreeMap<
                     assign: Assign::skip(),
                     havoc_items: vec![],
                     effects: vec![RelEffect::Delete { table: table.clone(), filter }],
+                    reads: Default::default(),
                 }
             }
             Stmt::Update { table, filter, sets } => PathSummary {
@@ -114,10 +123,14 @@ pub fn rollback_effects(program: &Program, schemas: &std::collections::BTreeMap<
                     sets: sets
                         .iter()
                         .map(|(c, _)| {
-                            (c.clone(), ColExpr::Outer(Expr::Var(FreshVars::fresh(&format!("undo_{c}")))))
+                            (
+                                c.clone(),
+                                ColExpr::Outer(Expr::Var(FreshVars::fresh(&format!("undo_{c}")))),
+                            )
                         })
                         .collect(),
                 }],
+                reads: Default::default(),
             },
             Stmt::Delete { table, .. } => {
                 let values = match schemas.get(table) {
@@ -132,6 +145,7 @@ pub fn rollback_effects(program: &Program, schemas: &std::collections::BTreeMap<
                     assign: Assign::skip(),
                     havoc_items: vec![],
                     effects: vec![RelEffect::Insert { table: table.clone(), values }],
+                    reads: Default::default(),
                 }
             }
             _ => continue,
@@ -224,15 +238,15 @@ impl RenameAll for PathSummary {
                         filter: s.apply_row_pred(filter),
                         sets: sets.iter().map(|(c, e)| (c.clone(), e.subst_outer(&s))).collect(),
                     },
-                    RelEffect::Delete { table, filter } => RelEffect::Delete {
-                        table: table.clone(),
-                        filter: s.apply_row_pred(filter),
-                    },
+                    RelEffect::Delete { table, filter } => {
+                        RelEffect::Delete { table: table.clone(), filter: s.apply_row_pred(filter) }
+                    }
                     RelEffect::HavocTable { table } => {
                         RelEffect::HavocTable { table: table.clone() }
                     }
                 })
                 .collect(),
+            reads: renamed.reads.clone(),
         }
     }
 }
@@ -331,10 +345,7 @@ mod tests {
         // item write: locals renamed
         let w = &effs[0].summary;
         assert_eq!(w.assign.pairs.len(), 1);
-        assert_eq!(
-            w.assign.pairs[0].1,
-            Expr::Var(Var::local("w$maxdate")).add(Expr::int(1))
-        );
+        assert_eq!(w.assign.pairs[0].1, Expr::Var(Var::local("w$maxdate")).add(Expr::int(1)));
         assert!(w.condition.to_string().contains(":w$maxdate"));
         // insert: params renamed inside values
         match &effs[1].summary.effects[0] {

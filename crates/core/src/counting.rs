@@ -114,7 +114,8 @@ mod tests {
         // intersect, cross-pairs do not ⇒ K + 3·K·(K−1) obligations —
         // quadratic in K and independent of statement count.
         for k in [2usize, 3, 4, 6] {
-            let c = cost_table(&tiny_app(k)).at(IsolationLevel::Snapshot).expect("snap").obligations;
+            let c =
+                cost_table(&tiny_app(k)).at(IsolationLevel::Snapshot).expect("snap").obligations;
             assert_eq!(c, k + 3 * k * (k - 1), "K = {k}");
         }
     }

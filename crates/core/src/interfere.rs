@@ -179,10 +179,7 @@ impl<'a> Analyzer<'a> {
         if self.implies(&hyp, &post) {
             Verdict::Preserved
         } else {
-            Verdict::MayInterfere(format!(
-                "write {} may invalidate `{assertion}`",
-                eff.assign
-            ))
+            Verdict::MayInterfere(format!("write {} may invalidate `{assertion}`", eff.assign))
         }
     }
 
@@ -229,7 +226,9 @@ impl<'a> Analyzer<'a> {
                 None => true,
                 Some(r) => self.insert_may_satisfy(ctx, table, values, r),
             },
-            RelEffect::Delete { filter, .. } => self.regions_intersect(ctx, Some(filter), tr.region.as_ref()),
+            RelEffect::Delete { filter, .. } => {
+                self.regions_intersect(ctx, Some(filter), tr.region.as_ref())
+            }
             RelEffect::Update { filter, sets, .. } => {
                 let cols_overlap = match &tr.columns {
                     None => true,
@@ -241,7 +240,8 @@ impl<'a> Analyzer<'a> {
                 // the dependency footprint only if declared. To stay sound
                 // when a region is declared without columns, the column
                 // test above already returns true.
-                cols_overlap && self.regions_intersect_or_enter(ctx, filter, sets, tr.region.as_ref())
+                cols_overlap
+                    && self.regions_intersect_or_enter(ctx, filter, sets, tr.region.as_ref())
             }
         }
     }
@@ -249,6 +249,22 @@ impl<'a> Analyzer<'a> {
     /// Public predicate-intersection test (Theorem 6's case-2 criterion).
     pub fn regions_may_intersect(&self, ctx: &Pred, f: &RowPred, g: &RowPred) -> bool {
         self.regions_intersect(ctx, Some(f), Some(g))
+    }
+
+    /// Concrete counterexample for a *failed* scalar preservation
+    /// obligation: an integer assignment satisfying
+    /// `P ∧ P' ∧ ¬P[assign]` — the state in which the interfering step
+    /// runs and breaks the assertion. `None` when the effect's damage is
+    /// non-scalar (havoc, relational) or the Fourier–Motzkin witness can't
+    /// be verified; a `Some` is always a checked model of the refutation.
+    pub fn counterexample(&self, assertion: &Pred, eff: &PathSummary) -> Option<Vec<(Var, i64)>> {
+        let mut s = eff.assign.to_subst();
+        for v in &eff.havoc_items {
+            s.insert(v.clone(), Expr::Var(FreshVars::fresh(v.name())));
+        }
+        let post = s.apply_pred(assertion);
+        self.prover_calls.set(self.prover_calls.get() + 1);
+        self.prover.model(&Pred::and([assertion.clone(), eff.condition.clone(), Pred::not(post)]))
     }
 
     /// Soundness refinement of Theorem 6's case 2: an UPDATE with filter
@@ -364,11 +380,15 @@ impl<'a> Analyzer<'a> {
     }
 
     /// Does the inserted row *provably* satisfy `r`?
-    fn insert_must_satisfy(&self, ctx: &Pred, table: &str, values: &[ColExpr], r: &RowPred) -> bool {
+    fn insert_must_satisfy(
+        &self,
+        ctx: &Pred,
+        table: &str,
+        values: &[ColExpr],
+        r: &RowPred,
+    ) -> bool {
         match self.bind_insert(table, values) {
-            Some(bound) => {
-                self.implies(&Pred::and([ctx.clone(), bound]), &r.to_scalar())
-            }
+            Some(bound) => self.implies(&Pred::and([ctx.clone(), bound]), &r.to_scalar()),
             None => false,
         }
     }
@@ -406,10 +426,7 @@ impl<'a> Analyzer<'a> {
                 }
                 Verdict::Preserved
             }
-            (
-                TableAtom::AllRows { table, constraint },
-                RelEffect::Update { filter, sets, .. },
-            ) => {
+            (TableAtom::AllRows { table, constraint }, RelEffect::Update { filter, sets, .. }) => {
                 let c_cols = constraint.columns();
                 if !sets.iter().any(|(c, _)| c_cols.contains(c)) {
                     // constraint-relevant columns untouched; row set unchanged
@@ -422,11 +439,8 @@ impl<'a> Analyzer<'a> {
                 // satisfy it afterwards.
                 match self.apply_sets_to_region(constraint, sets) {
                     Some(c_after) => {
-                        let hyp = Pred::and([
-                            ctx.clone(),
-                            constraint.to_scalar(),
-                            filter.to_scalar(),
-                        ]);
+                        let hyp =
+                            Pred::and([ctx.clone(), constraint.to_scalar(), filter.to_scalar()]);
                         if self.implies(&hyp, &c_after) {
                             Verdict::Preserved
                         } else {
@@ -449,8 +463,7 @@ impl<'a> Analyzer<'a> {
 
             // ---------------- Exists ----------------
             (TableAtom::Exists { table, filter: g }, RelEffect::Insert { values, .. }) => {
-                if pol.needs_false_preservation()
-                    && self.insert_may_satisfy(ctx, table, values, g)
+                if pol.needs_false_preservation() && self.insert_may_satisfy(ctx, table, values, g)
                 {
                     return fail(format!("INSERT into {table} may create a witness"));
                 }
@@ -483,11 +496,9 @@ impl<'a> Analyzer<'a> {
                 if pol.needs_false_preservation() {
                     // no row may enter g
                     let ok = match self.apply_sets_to_region(g, sets) {
-                        Some(g_after) => !self.sat_possible(&Pred::and([
-                            ctx.clone(),
-                            f.to_scalar(),
-                            g_after,
-                        ])),
+                        Some(g_after) => {
+                            !self.sat_possible(&Pred::and([ctx.clone(), f.to_scalar(), g_after]))
+                        }
                         None => false,
                     };
                     if !ok {
@@ -560,10 +571,8 @@ impl<'a> Analyzer<'a> {
                 let Some(g_after) = self.apply_sets_to_region(g, sets) else {
                     return fail(format!("UPDATE on {table}: unliftable SET values"));
                 };
-                let stays = self.implies(
-                    &Pred::and([ctx.clone(), f.to_scalar(), g.to_scalar()]),
-                    &g_after,
-                );
+                let stays =
+                    self.implies(&Pred::and([ctx.clone(), f.to_scalar(), g.to_scalar()]), &g_after);
                 let no_entry = !self.sat_possible(&Pred::and([
                     ctx.clone(),
                     f.to_scalar(),
@@ -655,6 +664,7 @@ mod tests {
             assign: Assign::single(Var::db(var), value),
             havoc_items: vec![],
             effects: vec![],
+            reads: Default::default(),
         }
     }
 
@@ -689,6 +699,7 @@ mod tests {
             assign: Assign::skip(),
             havoc_items: vec![Var::db("x")],
             effects: vec![],
+            reads: Default::default(),
         };
         let p = parse_pred("x >= 0").expect("parses");
         assert!(!a.preserves(&p, &eff, "T", LemmaScope::Stmt).is_preserved());
@@ -713,17 +724,20 @@ mod tests {
         // the combined-balance bound.
         let app = app();
         let a = Analyzer::new(&app);
-        let eff = eff_write(
-            "ch + sav >= @w2 && @w2 >= 0",
-            "ch",
-            Expr::db("ch").sub(Expr::param("w2")),
-        );
+        let eff =
+            eff_write("ch + sav >= @w2 && @w2 >= 0", "ch", Expr::db("ch").sub(Expr::param("w2")));
         let post = parse_pred("sav + ch >= :Sav + :Ch").expect("parses");
         assert!(!a.preserves(&post, &eff, "Withdraw_ch", LemmaScope::Unit).is_preserved());
     }
 
     fn rel_eff(cond: Pred, effects: Vec<RelEffect>) -> PathSummary {
-        PathSummary { condition: cond, assign: Assign::skip(), havoc_items: vec![], effects }
+        PathSummary {
+            condition: cond,
+            assign: Assign::skip(),
+            havoc_items: vec![],
+            effects,
+            reads: Default::default(),
+        }
     }
 
     #[test]
@@ -822,11 +836,7 @@ mod tests {
         // compared without a string literal are integer-sorted, so the
         // disequality context must use the integer theory to connect.
         let del = rel_eff(
-            Pred::cmp(
-                semcc_logic::CmpOp::Ne,
-                Expr::param("customer"),
-                Expr::param("other"),
-            ),
+            Pred::cmp(semcc_logic::CmpOp::Ne, Expr::param("customer"), Expr::param("other")),
             vec![RelEffect::Delete {
                 table: "orders".into(),
                 filter: RowPred::field_eq_outer("cust", Expr::param("other")),
@@ -887,27 +897,36 @@ mod tests {
 
     #[test]
     fn opaque_footprint_and_lemmas() {
-        let app = app()
-            .with_lemma("no_gap", "New_Order", LemmaScope::Unit);
+        let app = app().with_lemma("no_gap", "New_Order", LemmaScope::Unit);
         let a = Analyzer::new(&app);
         let no_gap = Pred::Opaque(
-            OpaqueAtom::over_items("no_gap", &["maximum_date"]).with_region(
-                TableRegion::columns("orders", &["date"]),
-            ),
+            OpaqueAtom::over_items("no_gap", &["maximum_date"])
+                .with_region(TableRegion::columns("orders", &["date"])),
         );
         // New_Order (unit) has a lemma: preserved despite touching the footprint.
         let new_order_eff = PathSummary {
             condition: Pred::True,
-            assign: Assign::single(Var::db("maximum_date"), Expr::db("maximum_date").add(Expr::int(1))),
+            assign: Assign::single(
+                Var::db("maximum_date"),
+                Expr::db("maximum_date").add(Expr::int(1)),
+            ),
             havoc_items: vec![],
             effects: vec![RelEffect::Insert {
                 table: "orders".into(),
-                values: vec![ColExpr::Int(1), ColExpr::Str("c".into()), ColExpr::Int(9), ColExpr::Int(0)],
+                values: vec![
+                    ColExpr::Int(1),
+                    ColExpr::Str("c".into()),
+                    ColExpr::Int(9),
+                    ColExpr::Int(0),
+                ],
             }],
+            reads: Default::default(),
         };
         assert!(a.preserves(&no_gap, &new_order_eff, "New_Order", LemmaScope::Unit).is_preserved());
         // Same effect at Stmt scope (RU analysis): the lemma does not apply.
-        assert!(!a.preserves(&no_gap, &new_order_eff, "New_Order", LemmaScope::Stmt).is_preserved());
+        assert!(!a
+            .preserves(&no_gap, &new_order_eff, "New_Order", LemmaScope::Stmt)
+            .is_preserved());
         // Delivery updates only `done`: outside the column footprint.
         let delivery_eff = rel_eff(
             Pred::True,
@@ -921,7 +940,10 @@ mod tests {
         // ... but a DELETE in the region interferes regardless of columns.
         let purge_eff = rel_eff(
             Pred::True,
-            vec![RelEffect::Delete { table: "orders".into(), filter: RowPred::field_eq_int("date", 3) }],
+            vec![RelEffect::Delete {
+                table: "orders".into(),
+                filter: RowPred::field_eq_int("date", 3),
+            }],
         );
         assert!(!a.preserves(&no_gap, &purge_eff, "Purge", LemmaScope::Unit).is_preserved());
     }

@@ -48,9 +48,8 @@ pub fn check_at_level_opts(
     level: IsolationLevel,
     opts: SymOptions,
 ) -> LevelReport {
-    let program = app
-        .program(txn_name)
-        .unwrap_or_else(|| panic!("unknown transaction type {txn_name}"));
+    let program =
+        app.program(txn_name).unwrap_or_else(|| panic!("unknown transaction type {txn_name}"));
     let analyzer = Analyzer::new(app);
     let mut report = LevelReport {
         txn: txn_name.to_string(),
@@ -169,7 +168,16 @@ fn thm2(
             let unit = rename_unit(path, "u$");
             let desc = format!("{} (unit, path {pi})", other.name);
             for (what, assertion) in &assertions {
-                check(analyzer, report, assertion, what, &unit, &other.name, LemmaScope::Unit, &desc);
+                check(
+                    analyzer,
+                    report,
+                    assertion,
+                    what,
+                    &unit,
+                    &other.name,
+                    LemmaScope::Unit,
+                    &desc,
+                );
             }
         }
     }
@@ -271,10 +279,7 @@ fn thm4_6(
             for (i, stmt, post) in &selects {
                 let what = format!("post(SELECT #{i} of {})", program.name);
                 report.obligations += 1;
-                if analyzer
-                    .preserves(post, &unit, &other.name, LemmaScope::Unit)
-                    .is_preserved()
-                {
+                if analyzer.preserves(post, &unit, &other.name, LemmaScope::Unit).is_preserved() {
                     continue; // Theorem 6 case (1)
                 }
                 // Theorem 6 case (2): retry with the tuple-lock-blocked
@@ -323,13 +328,11 @@ fn thm4_6(
                     assign: unit.assign.clone(),
                     havoc_items: unit.havoc_items.clone(),
                     effects: unit.effects.iter().filter(|e| !exempt(e)).cloned().collect(),
+                    reads: unit.reads.clone(),
                 };
-                if let Verdict::MayInterfere(reason) = analyzer.preserves(
-                    post,
-                    &blocked_removed,
-                    &other.name,
-                    LemmaScope::Unit,
-                ) {
+                if let Verdict::MayInterfere(reason) =
+                    analyzer.preserves(post, &blocked_removed, &other.name, LemmaScope::Unit)
+                {
                     report.ok = false;
                     report.failures.push(format!(
                         "{desc} may interfere with {what} beyond tuple-lock protection: {reason}"
@@ -339,7 +342,6 @@ fn thm4_6(
         }
     }
 }
-
 
 /// Theorem 5 — SNAPSHOT. For each pair of (committed, writing) paths
 /// `(p of T_i, q of T_j)`: either their write sets intersect (first

@@ -1,0 +1,48 @@
+//! The anomaly taxonomy shared by the runtime detectors (`semcc-checker`)
+//! and the static predictor (`semcc-core`): the phenomena of Berenson et
+//! al. that the paper's isolation levels admit or exclude.
+
+use std::fmt;
+
+/// The kind of anomaly — observed in a history, or statically predicted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AnomalyKind {
+    /// A transaction read another transaction's uncommitted write.
+    DirtyRead,
+    /// A committed write was based on a read that another transaction
+    /// overwrote (and committed) in between.
+    LostUpdate,
+    /// The same transaction observed two different committed versions of
+    /// one key.
+    NonRepeatableRead,
+    /// The same predicate, re-evaluated inside one transaction, matched a
+    /// different row set.
+    Phantom,
+    /// Two committed transactions with disjoint write sets each read a key
+    /// the other wrote (an rw–rw cycle of length two).
+    WriteSkew,
+}
+
+impl AnomalyKind {
+    /// Every kind, in severity-neutral declaration order.
+    pub const ALL: [AnomalyKind; 5] = [
+        AnomalyKind::DirtyRead,
+        AnomalyKind::LostUpdate,
+        AnomalyKind::NonRepeatableRead,
+        AnomalyKind::Phantom,
+        AnomalyKind::WriteSkew,
+    ];
+}
+
+impl fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AnomalyKind::DirtyRead => "dirty read",
+            AnomalyKind::LostUpdate => "lost update",
+            AnomalyKind::NonRepeatableRead => "non-repeatable read",
+            AnomalyKind::Phantom => "phantom",
+            AnomalyKind::WriteSkew => "write skew",
+        };
+        f.write_str(s)
+    }
+}

@@ -68,7 +68,11 @@ impl Engine {
     }
 
     /// Create a conventional item with an initial value (timestamp 0).
-    pub fn create_item(&self, name: impl Into<String>, v: impl Into<Value>) -> Result<(), StorageError> {
+    pub fn create_item(
+        &self,
+        name: impl Into<String>,
+        v: impl Into<Value>,
+    ) -> Result<(), StorageError> {
         self.store.create_item(name, v.into())
     }
 

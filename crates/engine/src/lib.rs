@@ -22,12 +22,14 @@
 //! Every operation can be recorded into a [`history::History`] for offline
 //! checking by `semcc-checker`.
 
-pub mod error;
-pub mod level;
-pub mod history;
+pub mod anomaly;
 pub mod engine;
+pub mod error;
+pub mod history;
+pub mod level;
 pub mod txn;
 
+pub use anomaly::AnomalyKind;
 pub use engine::{Engine, EngineConfig};
 pub use error::EngineError;
 pub use history::{Event, History, Op, ReadSrc};

@@ -5,10 +5,10 @@ use crate::error::EngineError;
 use crate::history::{Op, ReadSrc};
 use crate::level::IsolationLevel;
 use semcc_lock::{Mode, Target};
+use semcc_logic::row::RowPred;
 use semcc_mvcc::Key;
 use semcc_storage::eval::{empty_env, row_matches};
 use semcc_storage::{Row, RowId, Schema, StorageError, Ts, TxnId, Value};
-use semcc_logic::row::RowPred;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -207,7 +207,11 @@ impl Txn {
     // ------------------------------------------------------------------
 
     /// SELECT: rows matching `pred`, under the level's read discipline.
-    pub fn select(&mut self, table: &str, pred: &RowPred) -> Result<Vec<(RowId, Row)>, EngineError> {
+    pub fn select(
+        &mut self,
+        table: &str,
+        pred: &RowPred,
+    ) -> Result<Vec<(RowId, Row)>, EngineError> {
         self.check_active()?;
         let t = self.engine.store.table(table)?;
         let schema = t.schema.clone();
@@ -215,9 +219,7 @@ impl Txn {
         // SERIALIZABLE: long S predicate lock first — phantels are blocked
         // before we even look.
         if self.level.read_predicate_locks() {
-            self.engine
-                .locks
-                .acquire(self.id, Target::pred(table, pred.clone()), Mode::S)?;
+            self.engine.locks.acquire(self.id, Target::pred(table, pred.clone()), Mode::S)?;
         }
 
         let mut out: Vec<(RowId, Row)> = Vec::new();
@@ -322,10 +324,7 @@ impl Txn {
         }
         let id = if self.level.is_snapshot() {
             let id = t.reserve_row_id();
-            self.buf_rows
-                .entry(table.to_string())
-                .or_default()
-                .insert(id, Some(row.clone()));
+            self.buf_rows.entry(table.to_string()).or_default().insert(id, Some(row.clone()));
             id
         } else {
             let point = point_pred(&t.schema, &row);
@@ -366,10 +365,7 @@ impl Txn {
                 .collect();
             for (id, row) in targets {
                 let new = f(&row);
-                self.buf_rows
-                    .entry(table.to_string())
-                    .or_default()
-                    .insert(id, Some(new.clone()));
+                self.buf_rows.entry(table.to_string()).or_default().insert(id, Some(new.clone()));
                 self.note_write(Key::row(table, id));
                 self.engine.history.record(
                     self.id,
@@ -379,9 +375,7 @@ impl Txn {
                 n += 1;
             }
         } else {
-            self.engine
-                .locks
-                .acquire(self.id, Target::pred(table, pred.clone()), Mode::X)?;
+            self.engine.locks.acquire(self.id, Target::pred(table, pred.clone()), Mode::X)?;
             let candidates: Vec<(RowId, Row)> = t
                 .scan_visible(self.id)
                 .into_iter()
@@ -437,9 +431,7 @@ impl Txn {
                 n += 1;
             }
         } else {
-            self.engine
-                .locks
-                .acquire(self.id, Target::pred(table, pred.clone()), Mode::X)?;
+            self.engine.locks.acquire(self.id, Target::pred(table, pred.clone()), Mode::X)?;
             let candidates: Vec<RowId> = t
                 .scan_visible(self.id)
                 .into_iter()
@@ -544,8 +536,7 @@ impl Txn {
         let engine = self.engine.clone();
         if self.level.is_snapshot() {
             let snap = self.snapshot_ts.expect("snapshot txn has ts");
-            let checks: Vec<(Key, Ts)> =
-                self.write_set.iter().map(|k| (k.clone(), snap)).collect();
+            let checks: Vec<(Key, Ts)> = self.write_set.iter().map(|k| (k.clone(), snap)).collect();
             let buf_items = std::mem::take(&mut self.buf_items);
             let buf_rows = std::mem::take(&mut self.buf_rows);
             let ts = engine.oracle.validate_and_commit_with(&checks, &self.write_set, |ts| {

@@ -312,9 +312,7 @@ fn update_delete_and_rollback_relational() {
     // rollback restored everything
     let mut t = e.begin(ReadCommitted);
     assert_eq!(t.count("orders", &all).expect("count"), 3);
-    let done = t
-        .select("orders", &RowPred::field_eq_int("done", 1))
-        .expect("select");
+    let done = t.select("orders", &RowPred::field_eq_int("done", 1)).expect("select");
     assert!(done.is_empty(), "updates rolled back");
     t.commit().expect("commit");
 }
@@ -350,8 +348,14 @@ fn snapshot_relational_overlay_and_fcw() {
         r[2] = Value::Int(r[2].as_int().expect("int") + 1);
         r
     };
-    assert_eq!(a.update_where("orders", &RowPred::field_eq_int("order_info", 2), &bump).expect("a"), 1);
-    assert_eq!(b.update_where("orders", &RowPred::field_eq_int("order_info", 2), &bump).expect("b"), 1);
+    assert_eq!(
+        a.update_where("orders", &RowPred::field_eq_int("order_info", 2), &bump).expect("a"),
+        1
+    );
+    assert_eq!(
+        b.update_where("orders", &RowPred::field_eq_int("order_info", 2), &bump).expect("b"),
+        1
+    );
     a.commit().expect("first committer");
     assert!(matches!(b.commit(), Err(EngineError::Fcw(_))));
 }
@@ -525,7 +529,10 @@ fn abort_releases_predicate_locks() {
     let mut writer = e.begin(ReadCommitted);
     assert!(
         writer
-            .insert("orders", vec![Value::Int(50), Value::str("x"), Value::Int(1), Value::bool(false)])
+            .insert(
+                "orders",
+                vec![Value::Int(50), Value::str("x"), Value::Int(1), Value::bool(false)]
+            )
             .is_err(),
         "blocked while the reader holds the predicate lock"
     );

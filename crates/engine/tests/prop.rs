@@ -1,4 +1,4 @@
-//! Property tests for the engine:
+//! Randomized tests for the engine:
 //!
 //! 1. **Model conformance** — a single transaction's reads/writes agree
 //!    with a shadow `BTreeMap` model, and abort restores the pre-state.
@@ -10,7 +10,8 @@
 //! 3. **Snapshot stability** — no sequence of committed writers changes
 //!    what an open SNAPSHOT transaction reads.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use semcc_engine::{Engine, EngineConfig, EngineError, IsolationLevel, Txn, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -32,15 +33,19 @@ enum TxOp {
     AddTo(u8, u8), // target += source (read source, write target)
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<TxOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u8..3).prop_map(TxOp::Read),
-            (0u8..3, -9i64..9).prop_map(|(i, v)| TxOp::Write(i, v)),
-            (0u8..3, 0u8..3).prop_map(|(t, s)| TxOp::AddTo(t, s)),
-        ],
-        1..6,
-    )
+fn gen_ops(rng: &mut StdRng) -> Vec<TxOp> {
+    let n = rng.gen_range(1..6);
+    (0..n)
+        .map(|_| match rng.gen_range(0..3) {
+            0 => TxOp::Read(rng.gen_range(0..3)),
+            1 => TxOp::Write(rng.gen_range(0..3), rng.gen_range(-9..9)),
+            _ => TxOp::AddTo(rng.gen_range(0..3), rng.gen_range(0..3)),
+        })
+        .collect()
+}
+
+fn gen_init(rng: &mut StdRng, lo: i64, hi: i64) -> [i64; 3] {
+    [rng.gen_range(lo..hi), rng.gen_range(lo..hi), rng.gen_range(lo..hi)]
 }
 
 fn apply_model(model: &mut BTreeMap<&'static str, i64>, ops: &[TxOp]) {
@@ -78,10 +83,7 @@ fn apply_engine(t: &mut Txn, ops: &[TxOp]) -> Result<(), EngineError> {
 }
 
 fn state_of(e: &Engine) -> BTreeMap<&'static str, i64> {
-    ITEMS
-        .iter()
-        .map(|n| (*n, e.peek_item(n).expect("peek").as_int().expect("int")))
-        .collect()
+    ITEMS.iter().map(|n| (*n, e.peek_item(n).expect("peek").as_int().expect("int"))).collect()
 }
 
 fn setup(e: &Arc<Engine>, init: &[i64; 3]) {
@@ -90,21 +92,21 @@ fn setup(e: &Arc<Engine>, init: &[i64; 3]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn single_txn_matches_model_and_abort_restores() {
+    let mut rng = StdRng::seed_from_u64(0xe791);
+    const LEVELS: [IsolationLevel; 4] = [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::RepeatableRead,
+        IsolationLevel::Snapshot,
+        IsolationLevel::Serializable,
+    ];
+    for case in 0..128 {
+        let init = gen_init(&mut rng, -10, 10);
+        let ops = gen_ops(&mut rng);
+        let commit = rng.gen_bool(0.5);
+        let level = LEVELS[rng.gen_range(0..LEVELS.len())];
 
-    #[test]
-    fn single_txn_matches_model_and_abort_restores(
-        init in proptest::array::uniform3(-10i64..10),
-        ops in arb_ops(),
-        commit in proptest::bool::ANY,
-        level in proptest::sample::select(&[
-            IsolationLevel::ReadCommitted,
-            IsolationLevel::RepeatableRead,
-            IsolationLevel::Snapshot,
-            IsolationLevel::Serializable,
-        ][..]),
-    ) {
         let e = engine();
         setup(&e, &init);
         let before = state_of(&e);
@@ -114,28 +116,31 @@ proptest! {
             t.commit().expect("commit");
             let mut model: BTreeMap<&str, i64> = before;
             apply_model(&mut model, &ops);
-            prop_assert_eq!(state_of(&e), model);
+            assert_eq!(state_of(&e), model, "case {case}");
         } else {
             t.abort();
-            prop_assert_eq!(state_of(&e), before, "abort must restore the pre-state");
+            assert_eq!(state_of(&e), before, "case {case}: abort must restore the pre-state");
         }
     }
+}
 
-    #[test]
-    fn serializable_interleavings_match_some_serial_order(
-        init in proptest::array::uniform3(0i64..10),
-        ops1 in arb_ops(),
-        ops2 in arb_ops(),
-        schedule in proptest::collection::vec(proptest::bool::ANY, 0..10),
-    ) {
+#[test]
+fn serializable_interleavings_match_some_serial_order() {
+    let mut rng = StdRng::seed_from_u64(0xe792);
+    for case in 0..128 {
+        let init = gen_init(&mut rng, 0, 10);
+        let ops1 = gen_ops(&mut rng);
+        let ops2 = gen_ops(&mut rng);
+        let n_bits = rng.gen_range(0..10);
+        let schedule: Vec<bool> = (0..n_bits).map(|_| rng.gen_bool(0.5)).collect();
+
         // Drive the two op lists step by step under an arbitrary
         // interleaving at SERIALIZABLE; blocked steps abort that txn.
         let e = engine();
         setup(&e, &init);
 
         let serial = |first: &[TxOp], second: &[TxOp]| {
-            let mut m: BTreeMap<&str, i64> =
-                ITEMS.iter().zip(init).map(|(n, v)| (*n, v)).collect();
+            let mut m: BTreeMap<&str, i64> = ITEMS.iter().zip(init).map(|(n, v)| (*n, v)).collect();
             apply_model(&mut m, first);
             apply_model(&mut m, second);
             m
@@ -143,14 +148,12 @@ proptest! {
         let s12 = serial(&ops1, &ops2);
         let s21 = serial(&ops2, &ops1);
         let only1 = {
-            let mut m: BTreeMap<&str, i64> =
-                ITEMS.iter().zip(init).map(|(n, v)| (*n, v)).collect();
+            let mut m: BTreeMap<&str, i64> = ITEMS.iter().zip(init).map(|(n, v)| (*n, v)).collect();
             apply_model(&mut m, &ops1);
             m
         };
         let only2 = {
-            let mut m: BTreeMap<&str, i64> =
-                ITEMS.iter().zip(init).map(|(n, v)| (*n, v)).collect();
+            let mut m: BTreeMap<&str, i64> = ITEMS.iter().zip(init).map(|(n, v)| (*n, v)).collect();
             apply_model(&mut m, &ops2);
             m
         };
@@ -200,29 +203,34 @@ proptest! {
             (false, true) => vec![&only2],
             (false, false) => vec![&none],
         };
-        prop_assert!(
+        assert!(
             acceptable.iter().any(|m| **m == outcome),
-            "outcome {outcome:?} not among serial results (c1={c1}, c2={c2}; s12={s12:?}, s21={s21:?})"
+            "case {case}: outcome {outcome:?} not among serial results \
+             (c1={c1}, c2={c2}; s12={s12:?}, s21={s21:?})"
         );
     }
+}
 
-    #[test]
-    fn snapshot_reads_never_move(
-        init in proptest::array::uniform3(-10i64..10),
-        writes in proptest::collection::vec((0u8..3, -9i64..9), 1..8),
-    ) {
+#[test]
+fn snapshot_reads_never_move() {
+    let mut rng = StdRng::seed_from_u64(0xe793);
+    for _case in 0..128 {
+        let init = gen_init(&mut rng, -10, 10);
+        let n_writes = rng.gen_range(1..8);
+        let writes: Vec<(u8, i64)> =
+            (0..n_writes).map(|_| (rng.gen_range(0..3), rng.gen_range(-9..9))).collect();
+
         let e = engine();
         setup(&e, &init);
         let mut snap = e.begin(IsolationLevel::Snapshot);
-        let first: Vec<Value> =
-            ITEMS.iter().map(|n| snap.read(n).expect("read")).collect();
+        let first: Vec<Value> = ITEMS.iter().map(|n| snap.read(n).expect("read")).collect();
         for (i, v) in writes {
             let mut w = e.begin(IsolationLevel::ReadCommitted);
             w.write(ITEMS[i as usize], v).expect("write");
             w.commit().expect("commit");
         }
         for (n, expected) in ITEMS.iter().zip(&first) {
-            prop_assert_eq!(&snap.read(n).expect("read"), expected);
+            assert_eq!(&snap.read(n).expect("read"), expected);
         }
         snap.abort();
     }

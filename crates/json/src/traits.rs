@@ -1,0 +1,193 @@
+//! `ToJson` / `FromJson` conversion traits and impls for std types.
+
+use crate::{Json, JsonError};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub trait ToJson {
+    fn to_json(&self) -> Json;
+}
+
+pub trait FromJson: Sized {
+    fn from_json(j: &Json) -> Result<Self, JsonError>;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(j.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_bool().ok_or_else(|| JsonError::expected("bool", j))
+    }
+}
+
+macro_rules! impl_int_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(j: &Json) -> Result<Self, JsonError> {
+                let v = j.as_int().ok_or_else(|| JsonError::expected("int", j))?;
+                <$t>::try_from(v)
+                    .map_err(|_| JsonError::new(format!("integer {v} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_int_json!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_str().map(str::to_string).ok_or_else(|| JsonError::expected("string", j))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_arr()
+            .ok_or_else(|| JsonError::expected("array", j))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: FromJson> FromJson for Box<T> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        T::from_json(j).map(Box::new)
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.as_arr() {
+            Some([a, b]) => Ok((A::from_json(a)?, B::from_json(b)?)),
+            _ => Err(JsonError::expected("2-element array", j)),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.as_arr() {
+            Some([a, b, c]) => Ok((A::from_json(a)?, B::from_json(b)?, C::from_json(c)?)),
+            _ => Err(JsonError::expected("3-element array", j)),
+        }
+    }
+}
+
+impl<V: ToJson> ToJson for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl<V: FromJson> FromJson for BTreeMap<String, V> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_obj()
+            .ok_or_else(|| JsonError::expected("object", j))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+            .collect()
+    }
+}
+
+impl<T: ToJson + Ord> ToJson for BTreeSet<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson + Ord> FromJson for BTreeSet<T> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_arr()
+            .ok_or_else(|| JsonError::expected("array", j))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}

@@ -132,10 +132,7 @@ impl LockManager {
         match (a_target, b_target) {
             (Target::Item(x), Target::Item(y)) => x == y,
             (Target::Row(t1, r1), Target::Row(t2, r2)) => t1 == t2 && r1 == r2,
-            (
-                Target::Pred { table: t1, pred: p1 },
-                Target::Pred { table: t2, pred: p2 },
-            ) => {
+            (Target::Pred { table: t1, pred: p1 }, Target::Pred { table: t2, pred: p2 }) => {
                 if t1 != t2 {
                     return false;
                 }
@@ -153,11 +150,7 @@ impl LockManager {
         let mut state = self.state.lock();
 
         // Reentrancy / upgrade bookkeeping.
-        if let Some(g) = state
-            .grants
-            .iter_mut()
-            .find(|g| g.txn == txn && g.target == target)
-        {
+        if let Some(g) = state.grants.iter_mut().find(|g| g.txn == txn && g.target == target) {
             if g.mode.covers(mode) {
                 g.count += 1;
                 return Ok(());
@@ -199,11 +192,7 @@ impl LockManager {
     }
 
     fn install_grant(&self, state: &mut State, txn: u64, target: Target, mode: Mode) {
-        if let Some(g) = state
-            .grants
-            .iter_mut()
-            .find(|g| g.txn == txn && g.target == target)
-        {
+        if let Some(g) = state.grants.iter_mut().find(|g| g.txn == txn && g.target == target) {
             // Upgrade S → X.
             g.mode = Mode::X;
             g.count += 1;
@@ -294,11 +283,7 @@ impl LockManager {
     /// When the reentrancy count reaches zero the grant is removed.
     pub fn release(&self, txn: u64, target: &Target) {
         let mut state = self.state.lock();
-        if let Some(pos) = state
-            .grants
-            .iter()
-            .position(|g| g.txn == txn && &g.target == target)
-        {
+        if let Some(pos) = state.grants.iter().position(|g| g.txn == txn && &g.target == target) {
             let g = &mut state.grants[pos];
             g.count -= 1;
             if g.count == 0 {

@@ -7,7 +7,6 @@
 //! is to capture an initial value so postconditions can refer to it.
 //! Boolean database fields are encoded as integers 0/1 by convention.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A variable occurring in an assertion or program expression.
@@ -18,7 +17,7 @@ use std::fmt;
 /// * [`Var::Local`] is private to one transaction's workspace.
 /// * [`Var::Param`] is a rigid input argument (never written).
 /// * [`Var::Logical`] is a rigid proof-only constant (never written).
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Var {
     /// Shared, named database item (conventional-model item).
     Db(String),
@@ -88,7 +87,7 @@ impl fmt::Display for Var {
 }
 
 /// An integer-valued expression.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub enum Expr {
     /// Integer literal.
     Const(i64),

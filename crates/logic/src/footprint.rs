@@ -204,10 +204,8 @@ mod tests {
     #[test]
     fn merge_dedups() {
         let mut a = pred_footprint(&Pred::ge(Expr::db("x"), 0));
-        let b = pred_footprint(&Pred::and([
-            Pred::ge(Expr::db("x"), 0),
-            Pred::ge(Expr::db("y"), 0),
-        ]));
+        let b =
+            pred_footprint(&Pred::and([Pred::ge(Expr::db("x"), 0), Pred::ge(Expr::db("y"), 0)]));
         a.merge(&b);
         assert_eq!(a.items.len(), 2);
     }

@@ -1,0 +1,402 @@
+//! JSON encodings for the logic AST (externally-tagged, matching the
+//! conventions in [`semcc_json`]).
+
+use crate::pred::{CmpOp, OpaqueAtom, Pred, StrTerm, TableAtom, TableRegion};
+use crate::row::{RowExpr, RowPred};
+use crate::{Expr, Var};
+use semcc_json::{FromJson, Json, JsonError, ToJson};
+
+impl ToJson for Var {
+    fn to_json(&self) -> Json {
+        match self {
+            Var::Db(n) => Json::tagged("Db", Json::str(n)),
+            Var::Local(n) => Json::tagged("Local", Json::str(n)),
+            Var::Param(n) => Json::tagged("Param", Json::str(n)),
+            Var::Logical(n) => Json::tagged("Logical", Json::str(n)),
+        }
+    }
+}
+
+impl FromJson for Var {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = j.as_tagged()?;
+        let name = String::from_json(payload)?;
+        match tag {
+            "Db" => Ok(Var::Db(name)),
+            "Local" => Ok(Var::Local(name)),
+            "Param" => Ok(Var::Param(name)),
+            "Logical" => Ok(Var::Logical(name)),
+            other => Err(JsonError::new(format!("unknown Var variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Expr {
+    fn to_json(&self) -> Json {
+        match self {
+            Expr::Const(v) => Json::tagged("Const", Json::Int(*v)),
+            Expr::Var(v) => Json::tagged("Var", v.to_json()),
+            Expr::Add(a, b) => Json::tagged("Add", (a, b).to_json()),
+            Expr::Sub(a, b) => Json::tagged("Sub", (a, b).to_json()),
+            Expr::Mul(a, b) => Json::tagged("Mul", (a, b).to_json()),
+            Expr::Neg(a) => Json::tagged("Neg", a.to_json()),
+        }
+    }
+}
+
+impl FromJson for Expr {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = j.as_tagged()?;
+        match tag {
+            "Const" => Ok(Expr::Const(i64::from_json(payload)?)),
+            "Var" => Ok(Expr::Var(Var::from_json(payload)?)),
+            "Add" => {
+                let (a, b) = <(Box<Expr>, Box<Expr>)>::from_json(payload)?;
+                Ok(Expr::Add(a, b))
+            }
+            "Sub" => {
+                let (a, b) = <(Box<Expr>, Box<Expr>)>::from_json(payload)?;
+                Ok(Expr::Sub(a, b))
+            }
+            "Mul" => {
+                let (a, b) = <(Box<Expr>, Box<Expr>)>::from_json(payload)?;
+                Ok(Expr::Mul(a, b))
+            }
+            "Neg" => Ok(Expr::Neg(Box::from_json(payload)?)),
+            other => Err(JsonError::new(format!("unknown Expr variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for CmpOp {
+    fn to_json(&self) -> Json {
+        Json::str(match self {
+            CmpOp::Eq => "Eq",
+            CmpOp::Ne => "Ne",
+            CmpOp::Lt => "Lt",
+            CmpOp::Le => "Le",
+            CmpOp::Gt => "Gt",
+            CmpOp::Ge => "Ge",
+        })
+    }
+}
+
+impl FromJson for CmpOp {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.as_str() {
+            Some("Eq") => Ok(CmpOp::Eq),
+            Some("Ne") => Ok(CmpOp::Ne),
+            Some("Lt") => Ok(CmpOp::Lt),
+            Some("Le") => Ok(CmpOp::Le),
+            Some("Gt") => Ok(CmpOp::Gt),
+            Some("Ge") => Ok(CmpOp::Ge),
+            _ => Err(JsonError::expected("CmpOp name", j)),
+        }
+    }
+}
+
+impl ToJson for StrTerm {
+    fn to_json(&self) -> Json {
+        match self {
+            StrTerm::Const(s) => Json::tagged("Const", Json::str(s)),
+            StrTerm::Var(v) => Json::tagged("Var", v.to_json()),
+        }
+    }
+}
+
+impl FromJson for StrTerm {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = j.as_tagged()?;
+        match tag {
+            "Const" => Ok(StrTerm::Const(String::from_json(payload)?)),
+            "Var" => Ok(StrTerm::Var(Var::from_json(payload)?)),
+            other => Err(JsonError::new(format!("unknown StrTerm variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for RowExpr {
+    fn to_json(&self) -> Json {
+        match self {
+            RowExpr::Field(c) => Json::tagged("Field", Json::str(c)),
+            RowExpr::Int(v) => Json::tagged("Int", Json::Int(*v)),
+            RowExpr::Str(s) => Json::tagged("Str", Json::str(s)),
+            RowExpr::Outer(e) => Json::tagged("Outer", e.to_json()),
+            RowExpr::Add(a, b) => Json::tagged("Add", (a, b).to_json()),
+            RowExpr::Sub(a, b) => Json::tagged("Sub", (a, b).to_json()),
+            RowExpr::Mul(a, b) => Json::tagged("Mul", (a, b).to_json()),
+        }
+    }
+}
+
+impl FromJson for RowExpr {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = j.as_tagged()?;
+        match tag {
+            "Field" => Ok(RowExpr::Field(String::from_json(payload)?)),
+            "Int" => Ok(RowExpr::Int(i64::from_json(payload)?)),
+            "Str" => Ok(RowExpr::Str(String::from_json(payload)?)),
+            "Outer" => Ok(RowExpr::Outer(Expr::from_json(payload)?)),
+            "Add" => {
+                let (a, b) = <(Box<RowExpr>, Box<RowExpr>)>::from_json(payload)?;
+                Ok(RowExpr::Add(a, b))
+            }
+            "Sub" => {
+                let (a, b) = <(Box<RowExpr>, Box<RowExpr>)>::from_json(payload)?;
+                Ok(RowExpr::Sub(a, b))
+            }
+            "Mul" => {
+                let (a, b) = <(Box<RowExpr>, Box<RowExpr>)>::from_json(payload)?;
+                Ok(RowExpr::Mul(a, b))
+            }
+            other => Err(JsonError::new(format!("unknown RowExpr variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for RowPred {
+    fn to_json(&self) -> Json {
+        match self {
+            RowPred::True => Json::str("True"),
+            RowPred::False => Json::str("False"),
+            RowPred::Cmp(op, a, b) => {
+                Json::tagged("Cmp", Json::Arr(vec![op.to_json(), a.to_json(), b.to_json()]))
+            }
+            RowPred::Not(p) => Json::tagged("Not", p.to_json()),
+            RowPred::And(ps) => Json::tagged("And", ps.to_json()),
+            RowPred::Or(ps) => Json::tagged("Or", ps.to_json()),
+        }
+    }
+}
+
+impl FromJson for RowPred {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = j.as_tagged()?;
+        match tag {
+            "True" => Ok(RowPred::True),
+            "False" => Ok(RowPred::False),
+            "Cmp" => {
+                let (op, a, b) = <(CmpOp, RowExpr, RowExpr)>::from_json(payload)?;
+                Ok(RowPred::Cmp(op, a, b))
+            }
+            "Not" => Ok(RowPred::Not(Box::from_json(payload)?)),
+            "And" => Ok(RowPred::And(Vec::from_json(payload)?)),
+            "Or" => Ok(RowPred::Or(Vec::from_json(payload)?)),
+            other => Err(JsonError::new(format!("unknown RowPred variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for TableRegion {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("table", Json::str(&self.table)),
+            ("region", self.region.to_json()),
+            ("columns", self.columns.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TableRegion {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(TableRegion {
+            table: j.field("table")?,
+            region: j.opt_field("region")?,
+            columns: j.opt_field("columns")?,
+        })
+    }
+}
+
+impl ToJson for OpaqueAtom {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("reads_items", self.reads_items.to_json()),
+            ("reads_tables", self.reads_tables.to_json()),
+        ])
+    }
+}
+
+impl FromJson for OpaqueAtom {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(OpaqueAtom {
+            name: j.field("name")?,
+            reads_items: j.field("reads_items")?,
+            reads_tables: j.field("reads_tables")?,
+        })
+    }
+}
+
+impl ToJson for TableAtom {
+    fn to_json(&self) -> Json {
+        match self {
+            TableAtom::AllRows { table, constraint } => Json::tagged(
+                "AllRows",
+                Json::obj([("table", Json::str(table)), ("constraint", constraint.to_json())]),
+            ),
+            TableAtom::CountEq { table, filter, value } => Json::tagged(
+                "CountEq",
+                Json::obj([
+                    ("table", Json::str(table)),
+                    ("filter", filter.to_json()),
+                    ("value", value.to_json()),
+                ]),
+            ),
+            TableAtom::Exists { table, filter } => Json::tagged(
+                "Exists",
+                Json::obj([("table", Json::str(table)), ("filter", filter.to_json())]),
+            ),
+            TableAtom::NotExists { table, filter } => Json::tagged(
+                "NotExists",
+                Json::obj([("table", Json::str(table)), ("filter", filter.to_json())]),
+            ),
+            TableAtom::SnapshotEq { table, filter, name } => Json::tagged(
+                "SnapshotEq",
+                Json::obj([
+                    ("table", Json::str(table)),
+                    ("filter", filter.to_json()),
+                    ("name", Json::str(name)),
+                ]),
+            ),
+        }
+    }
+}
+
+impl FromJson for TableAtom {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let (tag, p) = j.as_tagged()?;
+        match tag {
+            "AllRows" => Ok(TableAtom::AllRows {
+                table: p.field("table")?,
+                constraint: p.field("constraint")?,
+            }),
+            "CountEq" => Ok(TableAtom::CountEq {
+                table: p.field("table")?,
+                filter: p.field("filter")?,
+                value: p.field("value")?,
+            }),
+            "Exists" => {
+                Ok(TableAtom::Exists { table: p.field("table")?, filter: p.field("filter")? })
+            }
+            "NotExists" => {
+                Ok(TableAtom::NotExists { table: p.field("table")?, filter: p.field("filter")? })
+            }
+            "SnapshotEq" => Ok(TableAtom::SnapshotEq {
+                table: p.field("table")?,
+                filter: p.field("filter")?,
+                name: p.field("name")?,
+            }),
+            other => Err(JsonError::new(format!("unknown TableAtom variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Pred {
+    fn to_json(&self) -> Json {
+        match self {
+            Pred::True => Json::str("True"),
+            Pred::False => Json::str("False"),
+            Pred::Cmp(op, a, b) => {
+                Json::tagged("Cmp", Json::Arr(vec![op.to_json(), a.to_json(), b.to_json()]))
+            }
+            Pred::StrCmp { eq, lhs, rhs } => Json::tagged(
+                "StrCmp",
+                Json::obj([
+                    ("eq", Json::Bool(*eq)),
+                    ("lhs", lhs.to_json()),
+                    ("rhs", rhs.to_json()),
+                ]),
+            ),
+            Pred::Not(p) => Json::tagged("Not", p.to_json()),
+            Pred::And(ps) => Json::tagged("And", ps.to_json()),
+            Pred::Or(ps) => Json::tagged("Or", ps.to_json()),
+            Pred::Implies(a, b) => Json::tagged("Implies", (a, b).to_json()),
+            Pred::Opaque(atom) => Json::tagged("Opaque", atom.to_json()),
+            Pred::Table(atom) => Json::tagged("Table", atom.to_json()),
+        }
+    }
+}
+
+impl FromJson for Pred {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = j.as_tagged()?;
+        match tag {
+            "True" => Ok(Pred::True),
+            "False" => Ok(Pred::False),
+            "Cmp" => {
+                let (op, a, b) = <(CmpOp, Expr, Expr)>::from_json(payload)?;
+                Ok(Pred::Cmp(op, a, b))
+            }
+            "StrCmp" => Ok(Pred::StrCmp {
+                eq: payload.field("eq")?,
+                lhs: payload.field("lhs")?,
+                rhs: payload.field("rhs")?,
+            }),
+            "Not" => Ok(Pred::Not(Box::from_json(payload)?)),
+            "And" => Ok(Pred::And(Vec::from_json(payload)?)),
+            "Or" => Ok(Pred::Or(Vec::from_json(payload)?)),
+            "Implies" => {
+                let (a, b) = <(Box<Pred>, Box<Pred>)>::from_json(payload)?;
+                Ok(Pred::Implies(a, b))
+            }
+            "Opaque" => Ok(Pred::Opaque(OpaqueAtom::from_json(payload)?)),
+            "Table" => Ok(Pred::Table(TableAtom::from_json(payload)?)),
+            other => Err(JsonError::new(format!("unknown Pred variant `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::RowPred;
+
+    fn roundtrip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(v: &T) {
+        let text = semcc_json::to_string_pretty(v);
+        let back: T = semcc_json::from_str(&text).expect("parse back");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn expr_roundtrips() {
+        let e = Expr::param("n")
+            .add(Expr::Const(3).mul(Expr::db("bal")))
+            .sub(Expr::Neg(Box::new(Expr::local("t"))));
+        roundtrip(&e);
+    }
+
+    #[test]
+    fn pred_roundtrips() {
+        let p = Pred::And(vec![
+            Pred::ge(Expr::db("sav"), Expr::Const(0)),
+            Pred::Or(vec![
+                Pred::True,
+                Pred::Not(Box::new(Pred::Cmp(CmpOp::Ne, Expr::param("a"), Expr::Const(1)))),
+            ]),
+            Pred::StrCmp {
+                eq: true,
+                lhs: StrTerm::Var(Var::param("cust")),
+                rhs: StrTerm::Const("alice".into()),
+            },
+            Pred::Table(TableAtom::CountEq {
+                table: "orders".into(),
+                filter: RowPred::Cmp(
+                    CmpOp::Eq,
+                    RowExpr::Field("cust".into()),
+                    RowExpr::Outer(Expr::param("c")),
+                ),
+                value: Expr::local("n"),
+            }),
+            Pred::Opaque(OpaqueAtom {
+                name: "no_gap".into(),
+                reads_items: vec!["next".into()],
+                reads_tables: vec![TableRegion {
+                    table: "orders".into(),
+                    region: Some(RowPred::True),
+                    columns: Some(vec!["id".into()]),
+                }],
+            }),
+        ]);
+        roundtrip(&p);
+    }
+}

@@ -19,15 +19,16 @@
 //! analyzer, which then conservatively reports *possible interference*.
 
 pub mod expr;
+pub mod footprint;
+pub mod jsonio;
+pub mod linear;
+pub mod parser;
 pub mod pred;
+pub mod prover;
 pub mod row;
+pub mod simplify;
 pub mod subst;
 pub mod transform;
-pub mod linear;
-pub mod simplify;
-pub mod prover;
-pub mod parser;
-pub mod footprint;
 
 pub use expr::{Expr, Var};
 pub use pred::{CmpOp, Pred, StrTerm};

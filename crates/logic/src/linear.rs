@@ -163,11 +163,8 @@ pub fn linearize(e: &Expr) -> Option<LinTerm> {
             } else {
                 // Canonicalize operand order so x*y and y*x unify.
                 let (sa, sb) = (format!("{a}"), format!("{b}"));
-                let key = if sa <= sb {
-                    format!("$nl%{sa}*{sb}")
-                } else {
-                    format!("$nl%{sb}*{sa}")
-                };
+                let key =
+                    if sa <= sb { format!("$nl%{sa}*{sb}") } else { format!("$nl%{sb}*{sa}") };
                 Some(LinTerm::var(Var::logical(key)))
             }
         }
@@ -288,6 +285,154 @@ pub fn fm_sat(constraints: &[Constraint]) -> LinSat {
     }
 }
 
+fn floor_div(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    let q = a / b;
+    if a % b < 0 {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Evaluate `term` under `model` (missing variables count as 0).
+fn eval_term(term: &LinTerm, model: &BTreeMap<Var, i128>) -> Option<i128> {
+    let mut acc = term.constant;
+    for (v, c) in &term.coeffs {
+        let val = model.get(v).copied().unwrap_or(0);
+        acc = acc.checked_add(c.checked_mul(val)?)?;
+    }
+    Some(acc)
+}
+
+/// Extract a concrete *integer* model of a satisfiable conjunction, by
+/// re-running Fourier–Motzkin elimination with each step recorded and then
+/// back-substituting in reverse elimination order: at each step the
+/// surviving upper bounds `a·x + r ≤ 0` give `x ≤ ⌊-r/a⌋`, the lower
+/// bounds `-b·x + s ≤ 0` give `x ≥ ⌈s/b⌉`, and we pick the value of `x`
+/// closest to zero within the box. Because FM works over the rationals the
+/// box can be integer-empty; the candidate is therefore verified against
+/// every original constraint and `None` is returned on any failure —
+/// callers get a *checked* witness or nothing.
+pub fn fm_model(constraints: &[Constraint]) -> Option<BTreeMap<Var, i128>> {
+    let mut ineqs: Vec<LinTerm> = Vec::with_capacity(constraints.len() * 2);
+    for c in constraints {
+        ineqs.push(c.term.clone());
+        if c.is_eq {
+            ineqs.push(c.term.scale(-1)?);
+        }
+    }
+    // Forward pass: fm_sat's loop with (var, uppers, lowers) recorded.
+    let mut steps: Vec<(Var, Vec<LinTerm>, Vec<LinTerm>)> = Vec::new();
+    loop {
+        let mut next: Vec<LinTerm> = Vec::with_capacity(ineqs.len());
+        for t in ineqs.drain(..) {
+            if t.is_constant() {
+                if t.constant > 0 {
+                    return None; // unsat
+                }
+            } else {
+                next.push(t);
+            }
+        }
+        ineqs = next;
+        if ineqs.is_empty() {
+            break;
+        }
+        if ineqs.len() > FM_MAX_CONSTRAINTS {
+            return None;
+        }
+        let mut best: Option<(Var, usize)> = None;
+        {
+            let mut counts: BTreeMap<&Var, (usize, usize)> = BTreeMap::new();
+            for t in &ineqs {
+                for (v, c) in &t.coeffs {
+                    let e = counts.entry(v).or_insert((0, 0));
+                    if *c > 0 {
+                        e.0 += 1;
+                    } else {
+                        e.1 += 1;
+                    }
+                }
+            }
+            for (v, (up, lo)) in counts {
+                let cost = up * lo + up + lo;
+                if best.as_ref().map(|(_, c)| cost < *c).unwrap_or(true) {
+                    best = Some((v.clone(), cost));
+                }
+            }
+        }
+        let var = match best {
+            Some((v, _)) => v,
+            None => break,
+        };
+        let mut uppers: Vec<LinTerm> = Vec::new();
+        let mut lowers: Vec<LinTerm> = Vec::new();
+        let mut rest: Vec<LinTerm> = Vec::new();
+        for t in ineqs.drain(..) {
+            match t.coeffs.get(&var).copied() {
+                Some(c) if c > 0 => uppers.push(t),
+                Some(_) => lowers.push(t),
+                None => rest.push(t),
+            }
+        }
+        for u in &uppers {
+            let a = *u.coeffs.get(&var).expect("partitioned");
+            for l in &lowers {
+                let b = -*l.coeffs.get(&var).expect("partitioned");
+                let mut combined = u.scale(b)?.add(&l.scale(a)?)?;
+                combined.coeffs.remove(&var);
+                combined.normalize_le();
+                rest.push(combined);
+                if rest.len() > FM_MAX_CONSTRAINTS {
+                    return None;
+                }
+            }
+        }
+        steps.push((var, uppers, lowers));
+        ineqs = rest;
+    }
+    // Backward pass: assign eliminated variables last-to-first.
+    let mut model: BTreeMap<Var, i128> = BTreeMap::new();
+    for (var, uppers, lowers) in steps.iter().rev() {
+        let mut hi: Option<i128> = None;
+        let mut lo: Option<i128> = None;
+        for u in uppers {
+            let a = *u.coeffs.get(var).expect("recorded");
+            let mut residual = u.clone();
+            residual.coeffs.remove(var);
+            let r = eval_term(&residual, &model)?;
+            let bound = floor_div(r.checked_neg()?, a); // a·x + r ≤ 0 ⟹ x ≤ ⌊-r/a⌋
+            hi = Some(hi.map_or(bound, |h: i128| h.min(bound)));
+        }
+        for l in lowers {
+            let b = -*l.coeffs.get(var).expect("recorded");
+            let mut residual = l.clone();
+            residual.coeffs.remove(var);
+            let s = eval_term(&residual, &model)?;
+            let bound = div_ceil(s, b); // -b·x + s ≤ 0 ⟹ x ≥ ⌈s/b⌉
+            lo = Some(lo.map_or(bound, |c: i128| c.max(bound)));
+        }
+        let value = match (lo, hi) {
+            (Some(lo), Some(hi)) if lo > hi => return None, // integer-empty box
+            (Some(lo), Some(hi)) => 0i128.clamp(lo, hi),
+            (Some(lo), None) => lo.max(0),
+            (None, Some(hi)) => hi.min(0),
+            (None, None) => 0,
+        };
+        model.insert(var.clone(), value);
+    }
+    // Verify against the *original* constraints (equalities included).
+    for c in constraints {
+        let v = eval_term(&c.term, &model)?;
+        let ok = if c.is_eq { v == 0 } else { v <= 0 };
+        if !ok {
+            return None;
+        }
+    }
+    Some(model)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,6 +514,47 @@ mod tests {
     }
 
     #[test]
+    fn model_satisfies_constraints() {
+        // 2x + 3y ≤ 6 ∧ x ≥ 3 → y ≤ 0; pick any witness and check it.
+        let mut cs = c(
+            CmpOp::Le,
+            Expr::int(2).mul(Expr::db("x")).add(Expr::int(3).mul(Expr::db("y"))),
+            Expr::int(6),
+        );
+        cs.extend(c(CmpOp::Ge, Expr::db("x"), Expr::int(3)));
+        let m = fm_model(&cs).expect("sat system has a model");
+        let x = m.get(&Var::db("x")).copied().unwrap_or(0);
+        let y = m.get(&Var::db("y")).copied().unwrap_or(0);
+        assert!(x >= 3 && 2 * x + 3 * y <= 6, "x={x} y={y}");
+    }
+
+    #[test]
+    fn model_of_unsat_is_none() {
+        let mut cs = c(CmpOp::Ge, Expr::db("x"), Expr::int(5));
+        cs.extend(c(CmpOp::Le, Expr::db("x"), Expr::int(3)));
+        assert!(fm_model(&cs).is_none());
+    }
+
+    #[test]
+    fn model_handles_equalities() {
+        // x = y + 2 ∧ y ≥ 7 ⟹ x ≥ 9 in any model.
+        let mut cs = c(CmpOp::Eq, Expr::db("x"), Expr::db("y").add(Expr::int(2)));
+        cs.extend(c(CmpOp::Ge, Expr::db("y"), Expr::int(7)));
+        let m = fm_model(&cs).expect("model");
+        let x = m.get(&Var::db("x")).copied().unwrap_or(0);
+        let y = m.get(&Var::db("y")).copied().unwrap_or(0);
+        assert_eq!(x, y + 2);
+        assert!(y >= 7);
+    }
+
+    #[test]
+    fn model_prefers_small_values() {
+        let cs = c(CmpOp::Ge, Expr::db("x"), Expr::int(-100));
+        let m = fm_model(&cs).expect("model");
+        assert_eq!(m.get(&Var::db("x")).copied(), Some(0));
+    }
+
+    #[test]
     fn ne_is_rejected() {
         assert!(comparison_constraints(CmpOp::Ne, &Expr::db("x"), &Expr::int(0)).is_none());
     }
@@ -385,22 +571,10 @@ mod tests {
         // ∧ sav' = s - w  ⟹ can sav' + ch < 0? i.e. add sav2 + ch ≤ -1 with
         // sav2 = s - w, ch free but ch ≥ c0... (simplified write-skew shape):
         // s + c ≥ w ∧ ch = c ∧ sav2 = s - w ∧ sav2 + ch ≤ -1 → unsat
-        let mut cs = c(
-            CmpOp::Ge,
-            Expr::local("S").add(Expr::local("C")),
-            Expr::param("w"),
-        );
+        let mut cs = c(CmpOp::Ge, Expr::local("S").add(Expr::local("C")), Expr::param("w"));
         cs.extend(c(CmpOp::Eq, Expr::db("ch"), Expr::local("C")));
-        cs.extend(c(
-            CmpOp::Eq,
-            Expr::db("sav2"),
-            Expr::local("S").sub(Expr::param("w")),
-        ));
-        cs.extend(c(
-            CmpOp::Le,
-            Expr::db("sav2").add(Expr::db("ch")),
-            Expr::int(-1),
-        ));
+        cs.extend(c(CmpOp::Eq, Expr::db("sav2"), Expr::local("S").sub(Expr::param("w"))));
+        cs.extend(c(CmpOp::Le, Expr::db("sav2").add(Expr::db("ch")), Expr::int(-1)));
         assert_eq!(fm_sat(&cs), LinSat::Unsat);
     }
 }

@@ -144,9 +144,7 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return Err(self.err("expected identifier"));
         }
-        Ok(std::str::from_utf8(&self.src[start..self.pos])
-            .expect("ascii ident")
-            .to_string())
+        Ok(std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident").to_string())
     }
 
     fn pred(&mut self) -> Result<Pred, ParseError> {
@@ -163,11 +161,7 @@ impl<'a> Parser<'a> {
         while self.eat("||") {
             parts.push(self.and_pred()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("len checked")
-        } else {
-            Pred::or(parts)
-        })
+        Ok(if parts.len() == 1 { parts.pop().expect("len checked") } else { Pred::or(parts) })
     }
 
     fn and_pred(&mut self) -> Result<Pred, ParseError> {
@@ -175,11 +169,7 @@ impl<'a> Parser<'a> {
         while self.eat("&&") {
             parts.push(self.unary_pred()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("len checked")
-        } else {
-            Pred::and(parts)
-        })
+        Ok(if parts.len() == 1 { parts.pop().expect("len checked") } else { Pred::and(parts) })
     }
 
     fn unary_pred(&mut self) -> Result<Pred, ParseError> {
@@ -514,12 +504,7 @@ mod tests {
 
     #[test]
     fn roundtrip_display_parse() {
-        let cases = [
-            "x >= 0",
-            "x = ?X0 + @d",
-            "x >= 0 && y >= 0",
-            "(x = 1) || (y = 2)",
-        ];
+        let cases = ["x >= 0", "x = ?X0 + @d", "x >= 0 && y >= 0", "(x = 1) || (y = 2)"];
         for c in cases {
             let p = parse_pred(c).expect("parses");
             let reparsed = parse_pred(&p.to_string()).expect("reparses");

@@ -9,11 +9,10 @@
 
 use crate::expr::{Expr, Var};
 use crate::row::RowPred;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Comparison operators on integer expressions.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CmpOp {
     /// `=`
     Eq,
@@ -70,7 +69,7 @@ impl fmt::Display for CmpOp {
 }
 
 /// A term in a string (dis)equality.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum StrTerm {
     /// String literal.
     Const(String),
@@ -88,7 +87,7 @@ impl fmt::Display for StrTerm {
 }
 
 /// A region of a table an opaque constraint depends on.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct TableRegion {
     /// Table name.
     pub table: String,
@@ -122,7 +121,7 @@ impl TableRegion {
 /// *footprint* side (which items/table regions the conjunct depends on) and
 /// let the analyzer consult registered preservation lemmas for the semantic
 /// side.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct OpaqueAtom {
     /// Conjunct name, e.g. `no_gap`.
     pub name: String,
@@ -165,7 +164,7 @@ impl OpaqueAtom {
 }
 
 /// A relational fact about a table's current contents.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum TableAtom {
     /// Every row of `table` satisfies `constraint`.
     AllRows {
@@ -238,7 +237,7 @@ impl TableAtom {
 }
 
 /// A quantifier-free assertion.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub enum Pred {
     /// Trivially true.
     True,

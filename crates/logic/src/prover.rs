@@ -12,7 +12,8 @@
 //! congruence conflict, or boolean literal conflict). All give-ups
 //! (budget, overflow, non-linear residue) surface as [`Outcome::Unknown`].
 
-use crate::linear::{comparison_constraints, fm_sat, Constraint, LinSat};
+use crate::expr::Var;
+use crate::linear::{comparison_constraints, fm_model, fm_sat, Constraint, LinSat};
 use crate::pred::{CmpOp, Pred, StrTerm, TableAtom};
 use std::collections::BTreeMap;
 
@@ -189,6 +190,33 @@ impl Prover {
         self.valid(&Pred::implies(pre.clone(), post.clone()))
     }
 
+    /// Extract a concrete integer assignment witnessing satisfiability of
+    /// `p`, if one can be found and *verified*: the first satisfiable DNF
+    /// branch's linear context is handed to Fourier–Motzkin model
+    /// extraction, and the resulting values are checked against every
+    /// constraint of that branch. Opaque non-linear product variables
+    /// (`$nl%…`) are internal and filtered out. Returns `None` when `p` is
+    /// unsatisfiable or no checked witness exists (so a `Some` is always a
+    /// genuine model of the branch's arithmetic).
+    pub fn model(&self, p: &Pred) -> Option<Vec<(Var, i64)>> {
+        let nnf = to_nnf(p, true);
+        let mut budget = self.branch_budget;
+        let mut saw_unknown = false;
+        let mut branch = Branch::default();
+        let mut found = None;
+        explore(&[nnf], &mut branch, &mut budget, &mut saw_unknown, &mut found);
+        let witness = found?;
+        let model = fm_model(&witness.lin)?;
+        let mut out: Vec<(Var, i64)> = Vec::new();
+        for (v, value) in model {
+            if v.name().starts_with("$nl%") {
+                continue;
+            }
+            out.push((v, i64::try_from(value).ok()?));
+        }
+        Some(out)
+    }
+
     /// Is `p` satisfiable (over the solver's relaxation)?
     pub fn sat(&self, p: &Pred) -> Sat {
         let nnf = to_nnf(p, true);
@@ -197,7 +225,7 @@ impl Prover {
         let mut branch = Branch::default();
         // (the lint about Default-then-assign below is a false positive on
         // the recursive clones; keep explicit for clarity)
-        let res = explore(&[nnf], &mut branch, &mut budget, &mut saw_unknown);
+        let res = explore(&[nnf], &mut branch, &mut budget, &mut saw_unknown, &mut None);
         match res {
             Some(true) => Sat::Sat,
             Some(false) => {
@@ -220,22 +248,16 @@ fn to_nnf(p: &Pred, positive: bool) -> Pred {
         (Pred::True, false) | (Pred::False, true) => Pred::False,
         (Pred::Cmp(op, a, b), true) => Pred::Cmp(*op, a.clone(), b.clone()),
         (Pred::Cmp(op, a, b), false) => Pred::Cmp(op.negate(), a.clone(), b.clone()),
-        (Pred::StrCmp { eq, lhs, rhs }, pos) => Pred::StrCmp {
-            eq: *eq == pos,
-            lhs: lhs.clone(),
-            rhs: rhs.clone(),
-        },
+        (Pred::StrCmp { eq, lhs, rhs }, pos) => {
+            Pred::StrCmp { eq: *eq == pos, lhs: lhs.clone(), rhs: rhs.clone() }
+        }
         (Pred::Not(q), pos) => to_nnf(q, !pos),
         (Pred::And(ps), true) => Pred::And(ps.iter().map(|q| to_nnf(q, true)).collect()),
         (Pred::And(ps), false) => Pred::Or(ps.iter().map(|q| to_nnf(q, false)).collect()),
         (Pred::Or(ps), true) => Pred::Or(ps.iter().map(|q| to_nnf(q, true)).collect()),
         (Pred::Or(ps), false) => Pred::And(ps.iter().map(|q| to_nnf(q, false)).collect()),
-        (Pred::Implies(a, b), true) => {
-            Pred::Or(vec![to_nnf(a, false), to_nnf(b, true)])
-        }
-        (Pred::Implies(a, b), false) => {
-            Pred::And(vec![to_nnf(a, true), to_nnf(b, false)])
-        }
+        (Pred::Implies(a, b), true) => Pred::Or(vec![to_nnf(a, false), to_nnf(b, true)]),
+        (Pred::Implies(a, b), false) => Pred::And(vec![to_nnf(a, true), to_nnf(b, false)]),
         (Pred::Opaque(_), true) | (Pred::Table(_), true) => p.clone(),
         (Pred::Opaque(_), false) | (Pred::Table(_), false) => Pred::Not(Box::new(p.clone())),
     }
@@ -251,6 +273,7 @@ fn explore(
     branch: &mut Branch,
     budget: &mut usize,
     saw_unknown: &mut bool,
+    found: &mut Option<Branch>,
 ) -> Option<bool> {
     if *budget == 0 {
         return None;
@@ -262,7 +285,12 @@ fn explore(
         None => {
             *budget -= 1;
             return match branch.check() {
-                Sat::Sat => Some(true),
+                Sat::Sat => {
+                    if found.is_none() {
+                        *found = Some(branch.clone());
+                    }
+                    Some(true)
+                }
                 Sat::Unsat => Some(false),
                 Sat::Unknown => {
                     *saw_unknown = true;
@@ -273,19 +301,19 @@ fn explore(
         Some(x) => x,
     };
     match first {
-        Pred::True => explore(rest, branch, budget, saw_unknown),
+        Pred::True => explore(rest, branch, budget, saw_unknown, found),
         Pred::False => Some(false),
         Pred::And(ps) => {
             let mut next: Vec<Pred> = ps.clone();
             next.extend_from_slice(rest);
-            explore(&next, branch, budget, saw_unknown)
+            explore(&next, branch, budget, saw_unknown, found)
         }
         Pred::Or(ps) => {
             for alt in ps {
                 let mut next: Vec<Pred> = vec![alt.clone()];
                 next.extend_from_slice(rest);
                 let mut sub = branch.clone();
-                match explore(&next, &mut sub, budget, saw_unknown) {
+                match explore(&next, &mut sub, budget, saw_unknown, found) {
                     Some(true) => return Some(true),
                     Some(false) => {}
                     None => return None,
@@ -301,14 +329,14 @@ fn explore(
             ]);
             let mut next: Vec<Pred> = vec![split];
             next.extend_from_slice(rest);
-            explore(&next, branch, budget, saw_unknown)
+            explore(&next, branch, budget, saw_unknown, found)
         }
         Pred::Cmp(op, a, b) => {
             match comparison_constraints(*op, a, b) {
                 Some(cs) => {
                     let n = cs.len();
                     branch.lin.extend(cs);
-                    let r = explore(rest, branch, budget, saw_unknown);
+                    let r = explore(rest, branch, budget, saw_unknown, found);
                     branch.lin.truncate(branch.lin.len() - n);
                     r
                 }
@@ -317,19 +345,19 @@ fn explore(
                     // refutation then can only come from other literals, and a
                     // "Sat" from this branch is already conservative).
                     *saw_unknown = true;
-                    explore(rest, branch, budget, saw_unknown)
+                    explore(rest, branch, budget, saw_unknown, found)
                 }
             }
         }
         Pred::StrCmp { eq, lhs, rhs } => {
             if *eq {
                 branch.str_eqs.push((lhs.clone(), rhs.clone()));
-                let r = explore(rest, branch, budget, saw_unknown);
+                let r = explore(rest, branch, budget, saw_unknown, found);
                 branch.str_eqs.pop();
                 r
             } else {
                 branch.str_nes.push((lhs.clone(), rhs.clone()));
-                let r = explore(rest, branch, budget, saw_unknown);
+                let r = explore(rest, branch, budget, saw_unknown, found);
                 branch.str_nes.pop();
                 r
             }
@@ -337,37 +365,37 @@ fn explore(
         Pred::Opaque(a) => {
             let mut sub = branch.clone();
             sub.add_bool(BoolAtom::Opaque(a.name.clone()), true);
-            explore(rest, &mut sub, budget, saw_unknown)
+            explore(rest, &mut sub, budget, saw_unknown, found)
         }
         Pred::Table(t) => {
             let mut sub = branch.clone();
             sub.add_bool(BoolAtom::Table(canonical_table(t)), true);
-            explore(rest, &mut sub, budget, saw_unknown)
+            explore(rest, &mut sub, budget, saw_unknown, found)
         }
         Pred::Not(inner) => match inner.as_ref() {
             Pred::Opaque(a) => {
                 let mut sub = branch.clone();
                 sub.add_bool(BoolAtom::Opaque(a.name.clone()), false);
-                explore(rest, &mut sub, budget, saw_unknown)
+                explore(rest, &mut sub, budget, saw_unknown, found)
             }
             Pred::Table(t) => {
                 let mut sub = branch.clone();
                 sub.add_bool(BoolAtom::Table(canonical_table(t)), false);
-                explore(rest, &mut sub, budget, saw_unknown)
+                explore(rest, &mut sub, budget, saw_unknown, found)
             }
             // NNF guarantees negations sit only on atoms.
             other => {
                 let nnf = to_nnf(other, false);
                 let mut next: Vec<Pred> = vec![nnf];
                 next.extend_from_slice(rest);
-                explore(&next, branch, budget, saw_unknown)
+                explore(&next, branch, budget, saw_unknown, found)
             }
         },
         Pred::Implies(a, b) => {
             let nnf = Pred::Or(vec![to_nnf(a, false), to_nnf(b, true)]);
             let mut next: Vec<Pred> = vec![nnf];
             next.extend_from_slice(rest);
-            explore(&next, branch, budget, saw_unknown)
+            explore(&next, branch, budget, saw_unknown, found)
         }
     }
 }
@@ -390,14 +418,9 @@ mod tests {
     fn tautologies() {
         assert!(p().valid(&Pred::True).is_proven());
         assert!(p()
-            .valid(&Pred::or([
-                Pred::ge(Expr::db("x"), 0),
-                Pred::lt(Expr::db("x"), 0)
-            ]))
+            .valid(&Pred::or([Pred::ge(Expr::db("x"), 0), Pred::lt(Expr::db("x"), 0)]))
             .is_proven());
-        assert!(p()
-            .implies(&Pred::ge(Expr::db("x"), 1), &Pred::gt(Expr::db("x"), 0))
-            .is_proven());
+        assert!(p().implies(&Pred::ge(Expr::db("x"), 1), &Pred::gt(Expr::db("x"), 0)).is_proven());
     }
 
     #[test]
@@ -417,10 +440,7 @@ mod tests {
         let p_eq = Pred::eq(Expr::db("x"), Expr::db("y"));
         let p_gt = Pred::gt(Expr::db("x"), Expr::db("y"));
         // x = y does NOT survive:
-        assert_eq!(
-            p().implies(&p_eq, &Pred::eq(x1.clone(), Expr::db("y"))),
-            Outcome::Unknown
-        );
+        assert_eq!(p().implies(&p_eq, &Pred::eq(x1.clone(), Expr::db("y"))), Outcome::Unknown);
         // x > y DOES survive:
         assert!(p().implies(&p_gt, &Pred::gt(x1, Expr::db("y"))).is_proven());
     }
@@ -491,6 +511,35 @@ mod tests {
     }
 
     #[test]
+    fn model_extraction_on_sat_formula() {
+        // x ≥ 5 ∧ x + y ≤ 7 — any returned model must satisfy both.
+        let q =
+            Pred::and([Pred::ge(Expr::db("x"), 5), Pred::le(Expr::db("x").add(Expr::db("y")), 7)]);
+        let m = p().model(&q).expect("sat formula yields a model");
+        let get = |n: &str| {
+            m.iter().find(|(v, _)| v == &crate::expr::Var::db(n)).map(|(_, x)| *x).unwrap_or(0)
+        };
+        assert!(get("x") >= 5);
+        assert!(get("x") + get("y") <= 7);
+    }
+
+    #[test]
+    fn model_of_unsat_formula_is_none() {
+        let q = Pred::and([Pred::ge(Expr::db("x"), 5), Pred::lt(Expr::db("x"), 5)]);
+        assert!(p().model(&q).is_none());
+    }
+
+    #[test]
+    fn model_picks_disjunct() {
+        // (x ≤ -3 ∨ x ≥ 3): the witness must satisfy one of the disjuncts.
+        let q = Pred::or([Pred::le(Expr::db("x"), -3), Pred::ge(Expr::db("x"), 3)]);
+        let m = p().model(&q).expect("model");
+        let x =
+            m.iter().find(|(v, _)| v == &crate::expr::Var::db("x")).map(|(_, x)| *x).unwrap_or(0);
+        assert!(x <= -3 || x >= 3, "x={x}");
+    }
+
+    #[test]
     fn budget_exhaustion_is_unknown_not_unsat() {
         let tiny = Prover { branch_budget: 1 };
         // A disjunction with several branches; budget 1 cannot finish.
@@ -511,17 +560,11 @@ mod tests {
         // Deposit_sav writes sav := sav + d with d ≥ 0. P must survive.
         let pre = Pred::and([
             Pred::ge(Expr::db("sav").add(Expr::db("ch")), 0),
-            Pred::ge(
-                Expr::db("sav").add(Expr::db("ch")),
-                Expr::local("S").add(Expr::local("C")),
-            ),
+            Pred::ge(Expr::db("sav").add(Expr::db("ch")), Expr::local("S").add(Expr::local("C"))),
             Pred::ge(Expr::param("d"), 0),
         ]);
         let post = Pred::and([
-            Pred::ge(
-                Expr::db("sav").add(Expr::param("d")).add(Expr::db("ch")),
-                0,
-            ),
+            Pred::ge(Expr::db("sav").add(Expr::param("d")).add(Expr::db("ch")), 0),
             Pred::ge(
                 Expr::db("sav").add(Expr::param("d")).add(Expr::db("ch")),
                 Expr::local("S").add(Expr::local("C")),

@@ -10,7 +10,6 @@
 
 use crate::expr::{Expr, Var};
 use crate::pred::{CmpOp, Pred, StrTerm};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Reserved prefix distinguishing row-field skolem variables from user
@@ -18,7 +17,7 @@ use std::fmt;
 pub const FIELD_SKOLEM_PREFIX: &str = "row$";
 
 /// A term inside a row predicate.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub enum RowExpr {
     /// A column of the row under test.
     Field(String),
@@ -97,7 +96,7 @@ impl fmt::Display for RowExpr {
 }
 
 /// A predicate over one row.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub enum RowPred {
     /// Matches every row.
     True,
@@ -219,9 +218,7 @@ impl RowPred {
                 walk_expr(b, out);
             }
             RowPred::Not(p) => p.collect_outer_vars(out),
-            RowPred::And(ps) | RowPred::Or(ps) => {
-                ps.iter().for_each(|p| p.collect_outer_vars(out))
-            }
+            RowPred::And(ps) | RowPred::Or(ps) => ps.iter().for_each(|p| p.collect_outer_vars(out)),
         }
     }
 
@@ -232,9 +229,9 @@ impl RowPred {
     pub fn to_scalar(&self) -> Pred {
         fn term(t: &RowExpr) -> Result<Expr, StrTerm> {
             match t {
-                RowExpr::Field(c) => Ok(Expr::Var(Var::logical(format!(
-                    "{FIELD_SKOLEM_PREFIX}{c}"
-                )))),
+                RowExpr::Field(c) => {
+                    Ok(Expr::Var(Var::logical(format!("{FIELD_SKOLEM_PREFIX}{c}"))))
+                }
                 RowExpr::Int(v) => Ok(Expr::Const(*v)),
                 RowExpr::Str(s) => Err(StrTerm::Const(s.clone())),
                 RowExpr::Outer(e) => Ok(e.clone()),
@@ -248,9 +245,9 @@ impl RowPred {
         fn as_str_term(t: &RowExpr) -> Option<StrTerm> {
             match t {
                 RowExpr::Str(s) => Some(StrTerm::Const(s.clone())),
-                RowExpr::Field(c) => Some(StrTerm::Var(Var::logical(format!(
-                    "{FIELD_SKOLEM_PREFIX}{c}"
-                )))),
+                RowExpr::Field(c) => {
+                    Some(StrTerm::Var(Var::logical(format!("{FIELD_SKOLEM_PREFIX}{c}"))))
+                }
                 RowExpr::Outer(Expr::Var(v)) => Some(StrTerm::Var(v.clone())),
                 _ => None,
             }
@@ -263,9 +260,7 @@ impl RowPred {
                 if stringy {
                     match (as_str_term(a), as_str_term(b), op) {
                         (Some(l), Some(r), CmpOp::Eq) => Pred::StrCmp { eq: true, lhs: l, rhs: r },
-                        (Some(l), Some(r), CmpOp::Ne) => {
-                            Pred::StrCmp { eq: false, lhs: l, rhs: r }
-                        }
+                        (Some(l), Some(r), CmpOp::Ne) => Pred::StrCmp { eq: false, lhs: l, rhs: r },
                         // Ordered string comparison: unsupported, treated as
                         // unconstrained (sound for satisfiability checks).
                         _ => Pred::True,

@@ -149,14 +149,12 @@ impl Subst {
                 filter: self.apply_row_pred(filter),
                 value: self.apply_expr(value),
             },
-            TableAtom::Exists { table, filter } => TableAtom::Exists {
-                table: table.clone(),
-                filter: self.apply_row_pred(filter),
-            },
-            TableAtom::NotExists { table, filter } => TableAtom::NotExists {
-                table: table.clone(),
-                filter: self.apply_row_pred(filter),
-            },
+            TableAtom::Exists { table, filter } => {
+                TableAtom::Exists { table: table.clone(), filter: self.apply_row_pred(filter) }
+            }
+            TableAtom::NotExists { table, filter } => {
+                TableAtom::NotExists { table: table.clone(), filter: self.apply_row_pred(filter) }
+            }
             TableAtom::SnapshotEq { table, filter, name } => TableAtom::SnapshotEq {
                 table: table.clone(),
                 filter: self.apply_row_pred(filter),
@@ -192,7 +190,10 @@ mod tests {
         match s.apply_pred(&Pred::Table(atom)) {
             Pred::Table(TableAtom::CountEq { filter, value, .. }) => {
                 assert_eq!(value, Expr::local("c").add(Expr::int(1)));
-                assert_eq!(filter, RowPred::field_eq_outer("k", Expr::local("c").add(Expr::int(1))));
+                assert_eq!(
+                    filter,
+                    RowPred::field_eq_outer("k", Expr::local("c").add(Expr::int(1)))
+                );
             }
             other => panic!("unexpected: {other}"),
         }

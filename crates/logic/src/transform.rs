@@ -73,8 +73,7 @@ impl fmt::Display for Assign {
         if self.pairs.is_empty() {
             return write!(f, "skip");
         }
-        let parts: Vec<String> =
-            self.pairs.iter().map(|(v, e)| format!("{v} := {e}")).collect();
+        let parts: Vec<String> = self.pairs.iter().map(|(v, e)| format!("{v} := {e}")).collect();
         write!(f, "{}", parts.join(" || "))
     }
 }
@@ -136,17 +135,10 @@ mod tests {
     #[test]
     fn simultaneous_wp() {
         // x,y := y,x leaves x+y = c invariant syntactically swapped
-        let a = Assign {
-            pairs: vec![
-                (Var::db("x"), Expr::db("y")),
-                (Var::db("y"), Expr::db("x")),
-            ],
-        };
+        let a =
+            Assign { pairs: vec![(Var::db("x"), Expr::db("y")), (Var::db("y"), Expr::db("x"))] };
         let p = Pred::eq(Expr::db("x").add(Expr::db("y")), Expr::logical("C"));
-        assert_eq!(
-            a.wp(&p),
-            Pred::eq(Expr::db("y").add(Expr::db("x")), Expr::logical("C"))
-        );
+        assert_eq!(a.wp(&p), Pred::eq(Expr::db("y").add(Expr::db("x")), Expr::logical("C")));
     }
 
     #[test]

@@ -1,59 +1,70 @@
-//! Property-based tests for the assertion language and prover.
+//! Randomized property tests for the assertion language and prover.
 //!
 //! The load-bearing property is **prover soundness**: whenever `valid(p)`
 //! answers `Proven`, no randomly sampled integer environment may falsify
 //! `p`; whenever `sat(p)` answers `Unsat`, no environment may satisfy it.
 //! (The converse — completeness — is explicitly not claimed.)
+//!
+//! Inputs are drawn from a seeded deterministic generator, so failures
+//! reproduce: re-run with the printed case number.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use semcc_logic::parser::{parse_expr, parse_pred};
 use semcc_logic::prover::{Outcome, Prover, Sat};
 use semcc_logic::subst::Subst;
+use semcc_logic::transform::Assign;
 use semcc_logic::{CmpOp, Expr, Pred, Var};
 
 const VARS: [&str; 4] = ["x", "y", "z", "w"];
 
-fn arb_var() -> impl Strategy<Value = Var> {
-    prop_oneof![
-        proptest::sample::select(&VARS[..]).prop_map(Var::db),
-        proptest::sample::select(&VARS[..]).prop_map(Var::local),
-        proptest::sample::select(&VARS[..]).prop_map(Var::param),
-    ]
+fn gen_var(rng: &mut StdRng) -> Var {
+    let name = VARS[rng.gen_range(0..VARS.len())];
+    match rng.gen_range(0..3) {
+        0 => Var::db(name),
+        1 => Var::local(name),
+        _ => Var::param(name),
+    }
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![(-5i64..=5).prop_map(Expr::Const), arb_var().prop_map(Expr::Var)];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
-            ((-3i64..=3), inner.clone()).prop_map(|(k, e)| Expr::Const(k).mul(e)),
-            inner.prop_map(|e| e.neg()),
-        ]
-    })
+fn gen_expr(rng: &mut StdRng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_range(0..3) == 0 {
+        return if rng.gen_range(0..2) == 0 {
+            Expr::Const(rng.gen_range(-5..=5))
+        } else {
+            Expr::Var(gen_var(rng))
+        };
+    }
+    match rng.gen_range(0..4) {
+        0 => gen_expr(rng, depth - 1).add(gen_expr(rng, depth - 1)),
+        1 => gen_expr(rng, depth - 1).sub(gen_expr(rng, depth - 1)),
+        2 => Expr::Const(rng.gen_range(-3..=3)).mul(gen_expr(rng, depth - 1)),
+        _ => gen_expr(rng, depth - 1).neg(),
+    }
 }
 
-fn arb_cmp() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
+fn gen_cmp(rng: &mut StdRng) -> CmpOp {
+    [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][rng.gen_range(0..6)]
 }
 
-fn arb_pred() -> impl Strategy<Value = Pred> {
-    let atom = (arb_cmp(), arb_expr(), arb_expr()).prop_map(|(op, a, b)| Pred::Cmp(op, a, b));
-    atom.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Pred::and),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Pred::or),
-            inner.clone().prop_map(Pred::not),
-            (inner.clone(), inner).prop_map(|(a, b)| Pred::implies(a, b)),
-        ]
-    })
+fn gen_pred(rng: &mut StdRng, depth: usize) -> Pred {
+    if depth == 0 || rng.gen_range(0..3) == 0 {
+        return Pred::Cmp(gen_cmp(rng), gen_expr(rng, 2), gen_expr(rng, 2));
+    }
+    match rng.gen_range(0..4) {
+        0 => Pred::and((0..rng.gen_range(1..3)).map(|_| gen_pred(rng, depth - 1))),
+        1 => Pred::or((0..rng.gen_range(1..3)).map(|_| gen_pred(rng, depth - 1))),
+        2 => Pred::not(gen_pred(rng, depth - 1)),
+        _ => Pred::implies(gen_pred(rng, depth - 1), gen_pred(rng, depth - 1)),
+    }
+}
+
+fn gen_vals(rng: &mut StdRng) -> [i64; 12] {
+    let mut vals = [0i64; 12];
+    for v in &mut vals {
+        *v = rng.gen_range(-6..=6);
+    }
+    vals
 }
 
 /// A total integer environment keyed by (kind, name).
@@ -86,101 +97,125 @@ fn env_from(values: &[i64; 12]) -> impl Fn(&Var) -> i64 + '_ {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn prover_validity_is_sound(p in arb_pred(), samples in proptest::collection::vec(
-        proptest::array::uniform12(-6i64..=6), 8)) {
-        let prover = Prover::new();
+#[test]
+fn prover_validity_is_sound() {
+    let mut rng = StdRng::seed_from_u64(0x1091);
+    let prover = Prover::new();
+    for case in 0..256 {
+        let p = gen_pred(&mut rng, 3);
         if prover.valid(&p) == Outcome::Proven {
-            for vals in &samples {
-                let env = env_from(vals);
-                prop_assert!(
+            for sample in 0..8 {
+                let vals = gen_vals(&mut rng);
+                let env = env_from(&vals);
+                assert!(
                     eval_pred_total(&p, &env),
-                    "claimed valid but falsified: {p}"
+                    "case {case}/{sample}: claimed valid but falsified: {p}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn prover_unsat_is_sound(p in arb_pred(), samples in proptest::collection::vec(
-        proptest::array::uniform12(-6i64..=6), 8)) {
-        let prover = Prover::new();
+#[test]
+fn prover_unsat_is_sound() {
+    let mut rng = StdRng::seed_from_u64(0x1092);
+    let prover = Prover::new();
+    for case in 0..256 {
+        let p = gen_pred(&mut rng, 3);
         if prover.sat(&p) == Sat::Unsat {
-            for vals in &samples {
-                let env = env_from(vals);
-                prop_assert!(
+            for sample in 0..8 {
+                let vals = gen_vals(&mut rng);
+                let env = env_from(&vals);
+                assert!(
                     !eval_pred_total(&p, &env),
-                    "claimed unsat but satisfied: {p}"
+                    "case {case}/{sample}: claimed unsat but satisfied: {p}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn satisfied_sample_implies_not_unsat(p in arb_pred(),
-        vals in proptest::array::uniform12(-6i64..=6)) {
-        // If we can exhibit a model, the prover must not answer Unsat.
+#[test]
+fn satisfied_sample_implies_not_unsat() {
+    let mut rng = StdRng::seed_from_u64(0x1093);
+    let prover = Prover::new();
+    for case in 0..256 {
+        let p = gen_pred(&mut rng, 3);
+        let vals = gen_vals(&mut rng);
         let env = env_from(&vals);
         if eval_pred_total(&p, &env) {
-            prop_assert_ne!(Prover::new().sat(&p), Sat::Unsat, "model exists for {}", p);
+            assert_ne!(prover.sat(&p), Sat::Unsat, "case {case}: model exists for {p}");
         }
     }
+}
 
-    #[test]
-    fn excluded_middle_is_valid(p in arb_pred()) {
-        // p ∨ ¬p must always be provable for the linear fragment... only
-        // when the prover can decide the split; we assert it never answers
-        // "Unsat" for it (soundness), and for pure conjunction-free atoms
-        // it proves validity.
+#[test]
+fn excluded_middle_is_valid() {
+    let mut rng = StdRng::seed_from_u64(0x1094);
+    let prover = Prover::new();
+    for case in 0..128 {
+        let p = gen_pred(&mut rng, 3);
         let lem = Pred::or([p.clone(), Pred::not(p)]);
-        prop_assert_ne!(Prover::new().sat(&lem), Sat::Unsat);
+        assert_ne!(prover.sat(&lem), Sat::Unsat, "case {case}");
     }
+}
 
-    #[test]
-    fn display_parse_roundtrip(p in arb_pred()) {
+#[test]
+fn display_parse_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x1095);
+    for _ in 0..256 {
+        let p = gen_pred(&mut rng, 3);
         let text = p.to_string();
         let reparsed = parse_pred(&text)
             .unwrap_or_else(|e| panic!("display output must reparse: {text}: {e}"));
         // Structural equality can differ (flattening); semantic equality
         // must hold on sampled environments.
-        for vals in [[0i64;12], [1;12], [-3;12], [2,1,0,-1,-2,3,4,-4,5,-5,6,-6]] {
+        for vals in [[0i64; 12], [1; 12], [-3; 12], [2, 1, 0, -1, -2, 3, 4, -4, 5, -5, 6, -6]] {
             let env = env_from(&vals);
-            prop_assert_eq!(
+            assert_eq!(
                 eval_pred_total(&p, &env),
                 eval_pred_total(&reparsed, &env),
-                "roundtrip changed meaning of {}", text
+                "roundtrip changed meaning of {text}"
             );
         }
     }
+}
 
-    #[test]
-    fn expr_display_parse_roundtrip(e in arb_expr()) {
+#[test]
+fn expr_display_parse_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x1096);
+    for _ in 0..256 {
+        let e = gen_expr(&mut rng, 3);
         let text = e.to_string();
         let reparsed = parse_expr(&text)
             .unwrap_or_else(|err| panic!("expr display must reparse: {text}: {err}"));
-        for vals in [[0i64;12], [1;12], [2,1,0,-1,-2,3,4,-4,5,-5,6,-6]] {
+        for vals in [[0i64; 12], [1; 12], [2, 1, 0, -1, -2, 3, 4, -4, 5, -5, 6, -6]] {
             let env = env_from(&vals);
             let f = |v: &Var| Some(env(v));
-            prop_assert_eq!(e.eval(&f), reparsed.eval(&f));
+            assert_eq!(e.eval(&f), reparsed.eval(&f));
         }
     }
+}
 
-    #[test]
-    fn fold_preserves_meaning(e in arb_expr(), vals in proptest::array::uniform12(-6i64..=6)) {
+#[test]
+fn fold_preserves_meaning() {
+    let mut rng = StdRng::seed_from_u64(0x1097);
+    for _ in 0..256 {
+        let e = gen_expr(&mut rng, 3);
+        let vals = gen_vals(&mut rng);
         let env = env_from(&vals);
         let f = |v: &Var| Some(env(v));
-        prop_assert_eq!(e.eval(&f), e.fold().eval(&f));
+        assert_eq!(e.eval(&f), e.fold().eval(&f));
     }
+}
 
-    #[test]
-    fn substitution_respects_semantics(
-        p in arb_pred(),
-        replacement in arb_expr(),
-        vals in proptest::array::uniform12(-6i64..=6),
-    ) {
+#[test]
+fn substitution_respects_semantics() {
+    let mut rng = StdRng::seed_from_u64(0x1098);
+    for case in 0..256 {
+        let p = gen_pred(&mut rng, 3);
+        let replacement = gen_expr(&mut rng, 3);
+        let vals = gen_vals(&mut rng);
         // Substituting x := e then evaluating equals evaluating with the
         // environment patched at x.
         let target = Var::db("x");
@@ -189,30 +224,28 @@ proptest! {
         let env = env_from(&vals);
         let e_val = replacement.eval(&|v| Some(env(v))).expect("total");
         let patched = |v: &Var| if *v == target { e_val } else { env(v) };
-        prop_assert_eq!(
+        assert_eq!(
             eval_pred_total(&substituted, &env),
             eval_pred_total(&p, &patched),
-            "substitution lemma failed for {}", p
+            "case {case}: substitution lemma failed for {p}"
         );
     }
+}
 
-    #[test]
-    fn wp_rule_is_exact(
-        post in arb_pred(),
-        value in arb_expr(),
-        vals in proptest::array::uniform12(-6i64..=6),
-    ) {
+#[test]
+fn wp_rule_is_exact() {
+    let mut rng = StdRng::seed_from_u64(0x1099);
+    for _ in 0..256 {
+        let post = gen_pred(&mut rng, 3);
+        let value = gen_expr(&mut rng, 3);
+        let vals = gen_vals(&mut rng);
         // {post[x←e]} x := e {post}: evaluating wp in a state equals
         // evaluating post in the updated state.
-        use semcc_logic::transform::Assign;
         let a = Assign::single(Var::db("x"), value.clone());
         let wp = a.wp(&post);
         let env = env_from(&vals);
         let new_x = value.eval(&|v| Some(env(v))).expect("total");
         let updated = |v: &Var| if *v == Var::db("x") { new_x } else { env(v) };
-        prop_assert_eq!(
-            eval_pred_total(&wp, &env),
-            eval_pred_total(&post, &updated)
-        );
+        assert_eq!(eval_pred_total(&wp, &env), eval_pred_total(&post, &updated));
     }
 }

@@ -230,14 +230,10 @@ mod tests {
         o.commit(&[]); // ts 2
         o.commit(&[]); // ts 3
         let read_ts = o.current_ts();
-        assert!(o
-            .validate_and_commit(&[(Key::item("x"), read_ts)], &[Key::item("x")])
-            .is_ok());
+        assert!(o.validate_and_commit(&[(Key::item("x"), read_ts)], &[Key::item("x")]).is_ok());
         // now a later write lands
         o.commit(&[Key::item("x")]); // ts 5
-        assert!(o
-            .validate_and_commit(&[(Key::item("x"), read_ts)], &[Key::item("x")])
-            .is_err());
+        assert!(o.validate_and_commit(&[(Key::item("x"), read_ts)], &[Key::item("x")]).is_err());
     }
 
     #[test]

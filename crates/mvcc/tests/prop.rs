@@ -1,36 +1,44 @@
-//! Property tests for the timestamp oracle and the first-committer-wins
+//! Randomized tests for the timestamp oracle and the first-committer-wins
 //! commit log: validation outcomes must match a reference model replayed
 //! over the same commit sequence, and commit timestamps must be unique and
 //! monotone.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use semcc_mvcc::{Key, Oracle};
 use std::collections::BTreeMap;
 
+/// Commit writes to the given keys with FCW checks pinned at the current
+/// model time minus `staleness`.
 #[derive(Clone, Debug)]
-enum OracleOp {
-    /// Commit writes to the given keys with FCW checks pinned at the
-    /// current model time minus `staleness`.
-    Commit { keys: Vec<u8>, staleness: u64, checked: bool },
+struct CommitOp {
+    keys: Vec<u8>,
+    staleness: u64,
+    checked: bool,
 }
 
-fn arb_op() -> impl Strategy<Value = OracleOp> {
-    (proptest::collection::vec(0u8..4, 0..3), 0u64..5, proptest::bool::ANY)
-        .prop_map(|(keys, staleness, checked)| OracleOp::Commit { keys, staleness, checked })
+fn gen_op(rng: &mut StdRng) -> CommitOp {
+    let n_keys = rng.gen_range(0..3);
+    CommitOp {
+        keys: (0..n_keys).map(|_| rng.gen_range(0..4)).collect(),
+        staleness: rng.gen_range(0..5),
+        checked: rng.gen_bool(0.5),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+#[test]
+fn fcw_matches_reference_model() {
+    let mut rng = StdRng::seed_from_u64(0x37cc);
+    for case in 0..512 {
+        let n_ops = rng.gen_range(1..40);
+        let ops: Vec<CommitOp> = (0..n_ops).map(|_| gen_op(&mut rng)).collect();
 
-    #[test]
-    fn fcw_matches_reference_model(ops in proptest::collection::vec(arb_op(), 1..40)) {
         let oracle = Oracle::new();
         let mut model_last_write: BTreeMap<u8, u64> = BTreeMap::new();
         let mut model_now = 0u64;
         let mut seen_ts = Vec::new();
 
-        for op in ops {
-            let OracleOp::Commit { keys, staleness, checked } = op;
+        for CommitOp { keys, staleness, checked } in ops {
             let since = model_now.saturating_sub(staleness);
             let checks: Vec<(Key, u64)> = if checked {
                 keys.iter().map(|k| (Key::item(format!("k{k}")), since)).collect()
@@ -39,13 +47,16 @@ proptest! {
             };
             let writes: Vec<Key> = keys.iter().map(|k| Key::item(format!("k{k}"))).collect();
             let model_conflict = checked
-                && keys.iter().any(|k| {
-                    model_last_write.get(k).map(|ts| *ts > since).unwrap_or(false)
-                });
+                && keys
+                    .iter()
+                    .any(|k| model_last_write.get(k).map(|ts| *ts > since).unwrap_or(false));
             match oracle.validate_and_commit(&checks, &writes) {
                 Ok(ts) => {
-                    prop_assert!(!model_conflict, "model predicted FCW conflict, oracle committed");
-                    prop_assert!(ts > model_now, "timestamps must be monotone");
+                    assert!(
+                        !model_conflict,
+                        "case {case}: model predicted FCW conflict, oracle committed"
+                    );
+                    assert!(ts > model_now, "case {case}: timestamps must be monotone");
                     seen_ts.push(ts);
                     model_now = ts;
                     for k in keys {
@@ -53,7 +64,10 @@ proptest! {
                     }
                 }
                 Err(e) => {
-                    prop_assert!(model_conflict, "oracle rejected without a model conflict: {e}");
+                    assert!(
+                        model_conflict,
+                        "case {case}: oracle rejected without a model conflict: {e}"
+                    );
                 }
             }
         }
@@ -61,18 +75,23 @@ proptest! {
         let mut sorted = seen_ts.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), seen_ts.len());
+        assert_eq!(sorted.len(), seen_ts.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn watermark_never_exceeds_any_active_snapshot(txns in proptest::collection::vec(0u64..8, 1..10)) {
+#[test]
+fn watermark_never_exceeds_any_active_snapshot() {
+    let mut rng = StdRng::seed_from_u64(0x37cd);
+    for _case in 0..128 {
+        let n = rng.gen_range(1..10);
+        let txns: Vec<u64> = (0..n).map(|_| rng.gen_range(0..8)).collect();
         let oracle = Oracle::new();
         let mut active = Vec::new();
         for (i, t) in txns.iter().enumerate() {
             oracle.commit(&[Key::item(format!("x{i}"))]);
             let ts = oracle.begin_snapshot(*t + i as u64 * 100);
             active.push(ts);
-            prop_assert!(oracle.watermark() <= *active.iter().min().expect("nonempty"));
+            assert!(oracle.watermark() <= *active.iter().min().expect("nonempty"));
         }
     }
 }

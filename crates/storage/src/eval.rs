@@ -192,22 +192,14 @@ mod tests {
     fn connectives() {
         let s = schema();
         let r = row();
-        let p = RowPred::and([
-            RowPred::field_eq_int("date", 20),
-            RowPred::field_eq_int("done", 0),
-        ]);
+        let p = RowPred::and([RowPred::field_eq_int("date", 20), RowPred::field_eq_int("done", 0)]);
         assert!(row_matches(&s, &r, &p, &empty_env));
         let q = RowPred::or([
             RowPred::field_eq_int("date", 99),
             RowPred::field_eq_str("cust", "alice"),
         ]);
         assert!(row_matches(&s, &r, &q, &empty_env));
-        assert!(row_matches(
-            &s,
-            &r,
-            &RowPred::not(RowPred::field_eq_int("date", 99)),
-            &empty_env
-        ));
+        assert!(row_matches(&s, &r, &RowPred::not(RowPred::field_eq_int("date", 99)), &empty_env));
     }
 
     #[test]

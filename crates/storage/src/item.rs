@@ -112,11 +112,7 @@ impl ItemCell {
     /// Drop versions that no snapshot at or after `watermark` can see
     /// (all but the newest version with `ts <= watermark`).
     pub fn gc(&mut self, watermark: Ts) {
-        let keep_from = self
-            .committed
-            .iter()
-            .rposition(|v| v.ts <= watermark)
-            .unwrap_or(0);
+        let keep_from = self.committed.iter().rposition(|v| v.ts <= watermark).unwrap_or(0);
         if keep_from > 0 {
             self.committed.drain(..keep_from);
         }

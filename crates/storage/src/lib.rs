@@ -14,12 +14,12 @@
 //! transactions buffer privately and install committed versions at commit.
 
 pub mod error;
-pub mod value;
-pub mod schema;
-pub mod item;
-pub mod table;
 pub mod eval;
+pub mod item;
+pub mod schema;
 pub mod store;
+pub mod table;
+pub mod value;
 
 pub use error::StorageError;
 pub use item::ItemCell;

@@ -34,8 +34,9 @@ impl Schema {
 
     /// Index of a column by name.
     pub fn column_index(&self, column: &str) -> Result<usize, StorageError> {
-        self.columns.iter().position(|c| c == column).ok_or_else(|| {
-            StorageError::NoSuchColumn { table: self.name.clone(), column: column.to_string() }
+        self.columns.iter().position(|c| c == column).ok_or_else(|| StorageError::NoSuchColumn {
+            table: self.name.clone(),
+            column: column.to_string(),
         })
     }
 
@@ -51,7 +52,11 @@ mod tests {
 
     #[test]
     fn column_lookup() {
-        let s = Schema::new("orders", &["order_info", "cust_name", "deliv_date", "done"], &["order_info"]);
+        let s = Schema::new(
+            "orders",
+            &["order_info", "cust_name", "deliv_date", "done"],
+            &["order_info"],
+        );
         assert_eq!(s.column_index("deliv_date").expect("exists"), 2);
         assert!(s.column_index("nope").is_err());
         assert_eq!(s.arity(), 4);

@@ -126,10 +126,7 @@ mod tests {
         let s = Store::new();
         s.create_item("bal", Value::Int(100)).expect("create");
         assert!(s.has_item("bal"));
-        assert!(matches!(
-            s.create_item("bal", Value::Int(0)),
-            Err(StorageError::AlreadyExists(_))
-        ));
+        assert!(matches!(s.create_item("bal", Value::Int(0)), Err(StorageError::AlreadyExists(_))));
         assert_eq!(s.peek_committed("bal").expect("peek"), Value::Int(100));
         assert!(matches!(s.item("nope"), Err(StorageError::NoSuchItem(_))));
     }

@@ -1,9 +1,10 @@
-//! Model-based property tests for the versioned storage layer: an
+//! Model-based randomized tests for the versioned storage layer: an
 //! [`ItemCell`]/[`Table`] driven by a random operation sequence must agree
 //! with a trivial reference model at every step, and garbage collection
 //! must never change what a live snapshot can read.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use semcc_storage::{ItemCell, Schema, Table, Value};
 use std::collections::BTreeMap;
 
@@ -16,21 +17,23 @@ enum ItemOp {
     Gc { watermark_idx: u8 },
 }
 
-fn arb_item_op() -> impl Strategy<Value = ItemOp> {
-    prop_oneof![
-        (0u8..3, -100i64..100).prop_map(|(txn, v)| ItemOp::WriteDirty { txn, v }),
-        (0u8..3).prop_map(|txn| ItemOp::Promote { txn }),
-        (0u8..3).prop_map(|txn| ItemOp::Discard { txn }),
-        (-100i64..100).prop_map(|v| ItemOp::Install { v }),
-        (0u8..8).prop_map(|watermark_idx| ItemOp::Gc { watermark_idx }),
-    ]
+fn gen_item_op(rng: &mut StdRng) -> ItemOp {
+    match rng.gen_range(0..5) {
+        0 => ItemOp::WriteDirty { txn: rng.gen_range(0..3), v: rng.gen_range(-100..100) },
+        1 => ItemOp::Promote { txn: rng.gen_range(0..3) },
+        2 => ItemOp::Discard { txn: rng.gen_range(0..3) },
+        3 => ItemOp::Install { v: rng.gen_range(-100..100) },
+        _ => ItemOp::Gc { watermark_idx: rng.gen_range(0..8) },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+#[test]
+fn item_cell_agrees_with_model() {
+    let mut rng = StdRng::seed_from_u64(0x5701);
+    for case in 0..512 {
+        let n_ops = rng.gen_range(1..40);
+        let ops: Vec<ItemOp> = (0..n_ops).map(|_| gen_item_op(&mut rng)).collect();
 
-    #[test]
-    fn item_cell_agrees_with_model(ops in proptest::collection::vec(arb_item_op(), 1..40)) {
         let mut cell = ItemCell::new(Value::Int(0));
         // model: committed versions (ts, value); dirty slot
         let mut committed: Vec<(u64, i64)> = vec![(0, 0)];
@@ -43,9 +46,11 @@ proptest! {
                 ItemOp::WriteDirty { txn, v } => {
                     let r = cell.write_dirty(txn as u64, Value::Int(v));
                     match &dirty {
-                        Some((holder, _)) if *holder != txn => prop_assert!(r.is_err()),
+                        Some((holder, _)) if *holder != txn => {
+                            assert!(r.is_err(), "case {case}")
+                        }
                         _ => {
-                            prop_assert!(r.is_ok());
+                            assert!(r.is_ok(), "case {case}");
                             dirty = Some((txn, v));
                         }
                     }
@@ -79,23 +84,21 @@ proptest! {
                     min_live_snapshot = watermark;
                     cell.gc(watermark);
                     // model: drop versions strictly older than the newest ≤ watermark
-                    let keep_from = committed
-                        .iter()
-                        .rposition(|(ts, _)| *ts <= watermark)
-                        .unwrap_or(0);
+                    let keep_from =
+                        committed.iter().rposition(|(ts, _)| *ts <= watermark).unwrap_or(0);
                     committed.drain(..keep_from);
                 }
             }
             // Invariants after every step:
             let model_latest_committed = committed.last().expect("never empty").1;
-            prop_assert_eq!(cell.read_committed(), &Value::Int(model_latest_committed));
+            assert_eq!(cell.read_committed(), &Value::Int(model_latest_committed), "case {case}");
             let model_latest = dirty.map(|(_, v)| v).unwrap_or(model_latest_committed);
-            prop_assert_eq!(cell.read_latest(), &Value::Int(model_latest));
+            assert_eq!(cell.read_latest(), &Value::Int(model_latest), "case {case}");
             // Snapshot reads at every surviving version boundary agree.
             for (ts, v) in &committed {
-                prop_assert_eq!(cell.read_at(*ts).expect("visible"), &Value::Int(*v));
+                assert_eq!(cell.read_at(*ts).expect("visible"), &Value::Int(*v), "case {case}");
             }
-            prop_assert_eq!(cell.version_count(), committed.len());
+            assert_eq!(cell.version_count(), committed.len(), "case {case}");
         }
     }
 }
@@ -108,20 +111,22 @@ enum TableOp {
     DiscardAll { txn: u8 },
 }
 
-fn arb_table_op() -> impl Strategy<Value = TableOp> {
-    prop_oneof![
-        (0u8..3, 0i64..100).prop_map(|(txn, v)| TableOp::InsertDirty { txn, v }),
-        (0u8..3, 0i64..100).prop_map(|(txn, v)| TableOp::UpdateDirtyAll { txn, v }),
-        (0u8..3).prop_map(|txn| TableOp::PromoteAll { txn }),
-        (0u8..3).prop_map(|txn| TableOp::DiscardAll { txn }),
-    ]
+fn gen_table_op(rng: &mut StdRng) -> TableOp {
+    match rng.gen_range(0..4) {
+        0 => TableOp::InsertDirty { txn: rng.gen_range(0..3), v: rng.gen_range(0..100) },
+        1 => TableOp::UpdateDirtyAll { txn: rng.gen_range(0..3), v: rng.gen_range(0..100) },
+        2 => TableOp::PromoteAll { txn: rng.gen_range(0..3) },
+        _ => TableOp::DiscardAll { txn: rng.gen_range(0..3) },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn table_agrees_with_model() {
+    let mut rng = StdRng::seed_from_u64(0x5702);
+    for case in 0..256 {
+        let n_ops = rng.gen_range(1..30);
+        let ops: Vec<TableOp> = (0..n_ops).map(|_| gen_table_op(&mut rng)).collect();
 
-    #[test]
-    fn table_agrees_with_model(ops in proptest::collection::vec(arb_table_op(), 1..30)) {
         let table = Table::new(Schema::new("t", &["v"], &["v"]));
         // model: slot -> (committed value?, dirty (txn, value)?)
         type Slot = (Option<i64>, Option<(u8, i64)>);
@@ -143,10 +148,10 @@ proptest! {
                         };
                         let r = table.update_dirty(txn as u64, *id, vec![Value::Int(v)]);
                         if can {
-                            prop_assert!(r.is_ok());
+                            assert!(r.is_ok(), "case {case}");
                             *dirty = Some((txn, v));
                         } else if dirty.is_some() {
-                            prop_assert!(r.is_err(), "foreign dirty slot must reject");
+                            assert!(r.is_err(), "case {case}: foreign dirty slot must reject");
                         }
                     }
                 }
@@ -173,10 +178,7 @@ proptest! {
                 }
             }
             // committed view must match the model
-            let expected: Vec<i64> = slots
-                .values()
-                .filter_map(|(c, _)| *c)
-                .collect();
+            let expected: Vec<i64> = slots.values().filter_map(|(c, _)| *c).collect();
             let mut actual: Vec<i64> = table
                 .scan_committed()
                 .into_iter()
@@ -185,7 +187,7 @@ proptest! {
             let mut expected_sorted = expected.clone();
             expected_sorted.sort_unstable();
             actual.sort_unstable();
-            prop_assert_eq!(actual, expected_sorted);
+            assert_eq!(actual, expected_sorted, "case {case}");
         }
     }
 }

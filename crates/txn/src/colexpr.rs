@@ -4,12 +4,11 @@
 use semcc_logic::subst::Subst;
 use semcc_logic::{Expr, Var};
 use semcc_storage::{Row, Schema, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An expression producing one column value, evaluated against an (old)
 /// row and the transaction's scalar environment.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ColExpr {
     /// Integer literal.
     Int(i64),
@@ -192,10 +191,7 @@ mod tests {
     fn subst_outer_rewrites_locals() {
         let e = ColExpr::Outer(Expr::local("n")).add(ColExpr::Int(1));
         let s = Subst::single(Var::local("n"), Expr::param("m"));
-        assert_eq!(
-            e.subst_outer(&s),
-            ColExpr::Outer(Expr::param("m")).add(ColExpr::Int(1))
-        );
+        assert_eq!(e.subst_outer(&s), ColExpr::Outer(Expr::param("m")).add(ColExpr::Int(1)));
     }
 
     #[test]

@@ -104,28 +104,24 @@ mod tests {
 
     fn env_of<'a>(pairs: &'a [(&'a str, Value)]) -> impl Fn(&Var) -> Option<Value> + 'a {
         move |v: &Var| {
-            pairs.iter().find(|(n, _)| match v {
-                Var::Local(x) | Var::Param(x) => x == n,
-                _ => false,
-            })
-            .map(|(_, val)| val.clone())
+            pairs
+                .iter()
+                .find(|(n, _)| match v {
+                    Var::Local(x) | Var::Param(x) => x == n,
+                    _ => false,
+                })
+                .map(|(_, val)| val.clone())
         }
     }
 
     #[test]
     fn guard_arithmetic() {
         let p = parse_pred(":Sav + :Ch >= @w").expect("parses");
-        let env = env_of(&[
-            ("Sav", Value::Int(60)),
-            ("Ch", Value::Int(50)),
-            ("w", Value::Int(100)),
-        ]);
+        let env =
+            env_of(&[("Sav", Value::Int(60)), ("Ch", Value::Int(50)), ("w", Value::Int(100))]);
         assert_eq!(eval_pred(&p, &env, &no_atoms), Some(true));
-        let env = env_of(&[
-            ("Sav", Value::Int(10)),
-            ("Ch", Value::Int(10)),
-            ("w", Value::Int(100)),
-        ]);
+        let env =
+            env_of(&[("Sav", Value::Int(10)), ("Ch", Value::Int(10)), ("w", Value::Int(100))]);
         assert_eq!(eval_pred(&p, &env, &no_atoms), Some(false));
     }
 

@@ -55,18 +55,15 @@ fn bind_row_pred(p: &RowPred, frame: &Frame<'_>) -> Result<RowPred, EngineError>
                     None => Err(EngineError::Invalid(format!("unbound outer expression {e}"))),
                 }
             }
-            RowExpr::Add(a, b) => Ok(RowExpr::Add(
-                Box::new(bind_expr(a, frame)?),
-                Box::new(bind_expr(b, frame)?),
-            )),
-            RowExpr::Sub(a, b) => Ok(RowExpr::Sub(
-                Box::new(bind_expr(a, frame)?),
-                Box::new(bind_expr(b, frame)?),
-            )),
-            RowExpr::Mul(a, b) => Ok(RowExpr::Mul(
-                Box::new(bind_expr(a, frame)?),
-                Box::new(bind_expr(b, frame)?),
-            )),
+            RowExpr::Add(a, b) => {
+                Ok(RowExpr::Add(Box::new(bind_expr(a, frame)?), Box::new(bind_expr(b, frame)?)))
+            }
+            RowExpr::Sub(a, b) => {
+                Ok(RowExpr::Sub(Box::new(bind_expr(a, frame)?), Box::new(bind_expr(b, frame)?)))
+            }
+            RowExpr::Mul(a, b) => {
+                Ok(RowExpr::Mul(Box::new(bind_expr(a, frame)?), Box::new(bind_expr(b, frame)?)))
+            }
             other => Ok(other.clone()),
         }
     }
@@ -75,12 +72,12 @@ fn bind_row_pred(p: &RowPred, frame: &Frame<'_>) -> Result<RowPred, EngineError>
         RowPred::False => RowPred::False,
         RowPred::Cmp(op, a, b) => RowPred::Cmp(*op, bind_expr(a, frame)?, bind_expr(b, frame)?),
         RowPred::Not(q) => RowPred::not(bind_row_pred(q, frame)?),
-        RowPred::And(ps) => RowPred::and(
-            ps.iter().map(|q| bind_row_pred(q, frame)).collect::<Result<Vec<_>, _>>()?,
-        ),
-        RowPred::Or(ps) => RowPred::or(
-            ps.iter().map(|q| bind_row_pred(q, frame)).collect::<Result<Vec<_>, _>>()?,
-        ),
+        RowPred::And(ps) => {
+            RowPred::and(ps.iter().map(|q| bind_row_pred(q, frame)).collect::<Result<Vec<_>, _>>()?)
+        }
+        RowPred::Or(ps) => {
+            RowPred::or(ps.iter().map(|q| bind_row_pred(q, frame)).collect::<Result<Vec<_>, _>>()?)
+        }
     })
 }
 
@@ -131,9 +128,7 @@ fn exec_stmt(txn: &mut Txn, stmt: &Stmt, frame: &mut Frame<'_>) -> Result<(), En
             match eval_pred(guard, &env, &no_atoms) {
                 Some(true) => exec_block(txn, then_branch, frame)?,
                 Some(false) => exec_block(txn, else_branch, frame)?,
-                None => {
-                    return Err(EngineError::Invalid(format!("undecidable guard {guard}")))
-                }
+                None => return Err(EngineError::Invalid(format!("undecidable guard {guard}"))),
             }
         }
         Stmt::While { guard, body } => {
@@ -149,9 +144,7 @@ fn exec_stmt(txn: &mut Txn, stmt: &Stmt, frame: &mut Frame<'_>) -> Result<(), En
                         }
                     }
                     Some(false) => break,
-                    None => {
-                        return Err(EngineError::Invalid(format!("undecidable guard {guard}")))
-                    }
+                    None => return Err(EngineError::Invalid(format!("undecidable guard {guard}"))),
                 }
             }
         }
@@ -228,11 +221,7 @@ fn exec_stmt(txn: &mut Txn, stmt: &Stmt, frame: &mut Frame<'_>) -> Result<(), En
 
 fn txn_schema(txn: &Txn, table: &str) -> Result<semcc_storage::Schema, EngineError> {
     // Schema access goes through the engine the txn belongs to.
-    txn.engine_ref()
-        .store()
-        .table(table)
-        .map(|t| t.schema.clone())
-        .map_err(EngineError::Storage)
+    txn.engine_ref().store().table(table).map(|t| t.schema.clone()).map_err(EngineError::Storage)
 }
 
 /// Where an observer is invoked relative to a statement.

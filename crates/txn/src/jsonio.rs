@@ -1,0 +1,276 @@
+//! JSON encodings for the transaction-program AST.
+
+use crate::colexpr::ColExpr;
+use crate::program::{ParamKind, Program};
+use crate::stmt::{AStmt, ItemRef, Stmt};
+use semcc_json::{FromJson, Json, JsonError, ToJson};
+use semcc_logic::Expr;
+
+impl ToJson for ColExpr {
+    fn to_json(&self) -> Json {
+        match self {
+            ColExpr::Int(v) => Json::tagged("Int", Json::Int(*v)),
+            ColExpr::Str(s) => Json::tagged("Str", Json::str(s)),
+            ColExpr::Field(c) => Json::tagged("Field", Json::str(c)),
+            ColExpr::Outer(e) => Json::tagged("Outer", e.to_json()),
+            ColExpr::Add(a, b) => Json::tagged("Add", (a, b).to_json()),
+            ColExpr::Sub(a, b) => Json::tagged("Sub", (a, b).to_json()),
+            ColExpr::Mul(a, b) => Json::tagged("Mul", (a, b).to_json()),
+        }
+    }
+}
+
+impl FromJson for ColExpr {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let (tag, payload) = j.as_tagged()?;
+        match tag {
+            "Int" => Ok(ColExpr::Int(i64::from_json(payload)?)),
+            "Str" => Ok(ColExpr::Str(String::from_json(payload)?)),
+            "Field" => Ok(ColExpr::Field(String::from_json(payload)?)),
+            "Outer" => Ok(ColExpr::Outer(Expr::from_json(payload)?)),
+            "Add" => {
+                let (a, b) = <(Box<ColExpr>, Box<ColExpr>)>::from_json(payload)?;
+                Ok(ColExpr::Add(a, b))
+            }
+            "Sub" => {
+                let (a, b) = <(Box<ColExpr>, Box<ColExpr>)>::from_json(payload)?;
+                Ok(ColExpr::Sub(a, b))
+            }
+            "Mul" => {
+                let (a, b) = <(Box<ColExpr>, Box<ColExpr>)>::from_json(payload)?;
+                Ok(ColExpr::Mul(a, b))
+            }
+            other => Err(JsonError::new(format!("unknown ColExpr variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for ItemRef {
+    fn to_json(&self) -> Json {
+        Json::obj([("base", Json::str(&self.base)), ("index", self.index.to_json())])
+    }
+}
+
+impl FromJson for ItemRef {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(ItemRef { base: j.field("base")?, index: j.opt_field("index")? })
+    }
+}
+
+impl ToJson for Stmt {
+    fn to_json(&self) -> Json {
+        match self {
+            Stmt::ReadItem { item, into } => Json::tagged(
+                "ReadItem",
+                Json::obj([("item", item.to_json()), ("into", Json::str(into))]),
+            ),
+            Stmt::WriteItem { item, value } => Json::tagged(
+                "WriteItem",
+                Json::obj([("item", item.to_json()), ("value", value.to_json())]),
+            ),
+            Stmt::LocalAssign { local, value } => Json::tagged(
+                "LocalAssign",
+                Json::obj([("local", Json::str(local)), ("value", value.to_json())]),
+            ),
+            Stmt::If { guard, then_branch, else_branch } => Json::tagged(
+                "If",
+                Json::obj([
+                    ("guard", guard.to_json()),
+                    ("then_branch", then_branch.to_json()),
+                    ("else_branch", else_branch.to_json()),
+                ]),
+            ),
+            Stmt::While { guard, body } => Json::tagged(
+                "While",
+                Json::obj([("guard", guard.to_json()), ("body", body.to_json())]),
+            ),
+            Stmt::Select { table, filter, into } => Json::tagged(
+                "Select",
+                Json::obj([
+                    ("table", Json::str(table)),
+                    ("filter", filter.to_json()),
+                    ("into", Json::str(into)),
+                ]),
+            ),
+            Stmt::SelectCount { table, filter, into } => Json::tagged(
+                "SelectCount",
+                Json::obj([
+                    ("table", Json::str(table)),
+                    ("filter", filter.to_json()),
+                    ("into", Json::str(into)),
+                ]),
+            ),
+            Stmt::SelectValue { table, filter, column, into } => Json::tagged(
+                "SelectValue",
+                Json::obj([
+                    ("table", Json::str(table)),
+                    ("filter", filter.to_json()),
+                    ("column", Json::str(column)),
+                    ("into", Json::str(into)),
+                ]),
+            ),
+            Stmt::Update { table, filter, sets } => Json::tagged(
+                "Update",
+                Json::obj([
+                    ("table", Json::str(table)),
+                    ("filter", filter.to_json()),
+                    ("sets", sets.to_json()),
+                ]),
+            ),
+            Stmt::Insert { table, values } => Json::tagged(
+                "Insert",
+                Json::obj([("table", Json::str(table)), ("values", values.to_json())]),
+            ),
+            Stmt::Delete { table, filter } => Json::tagged(
+                "Delete",
+                Json::obj([("table", Json::str(table)), ("filter", filter.to_json())]),
+            ),
+            Stmt::Pause { micros } => {
+                Json::tagged("Pause", Json::obj([("micros", Json::Int(*micros as i64))]))
+            }
+        }
+    }
+}
+
+impl FromJson for Stmt {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let (tag, p) = j.as_tagged()?;
+        match tag {
+            "ReadItem" => Ok(Stmt::ReadItem { item: p.field("item")?, into: p.field("into")? }),
+            "WriteItem" => Ok(Stmt::WriteItem { item: p.field("item")?, value: p.field("value")? }),
+            "LocalAssign" => {
+                Ok(Stmt::LocalAssign { local: p.field("local")?, value: p.field("value")? })
+            }
+            "If" => Ok(Stmt::If {
+                guard: p.field("guard")?,
+                then_branch: p.field("then_branch")?,
+                else_branch: p.field("else_branch")?,
+            }),
+            "While" => Ok(Stmt::While { guard: p.field("guard")?, body: p.field("body")? }),
+            "Select" => Ok(Stmt::Select {
+                table: p.field("table")?,
+                filter: p.field("filter")?,
+                into: p.field("into")?,
+            }),
+            "SelectCount" => Ok(Stmt::SelectCount {
+                table: p.field("table")?,
+                filter: p.field("filter")?,
+                into: p.field("into")?,
+            }),
+            "SelectValue" => Ok(Stmt::SelectValue {
+                table: p.field("table")?,
+                filter: p.field("filter")?,
+                column: p.field("column")?,
+                into: p.field("into")?,
+            }),
+            "Update" => Ok(Stmt::Update {
+                table: p.field("table")?,
+                filter: p.field("filter")?,
+                sets: p.field("sets")?,
+            }),
+            "Insert" => Ok(Stmt::Insert { table: p.field("table")?, values: p.field("values")? }),
+            "Delete" => Ok(Stmt::Delete { table: p.field("table")?, filter: p.field("filter")? }),
+            "Pause" => Ok(Stmt::Pause { micros: p.field::<i64>("micros")? as u64 }),
+            other => Err(JsonError::new(format!("unknown Stmt variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for AStmt {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("stmt", self.stmt.to_json()),
+            ("pre", self.pre.to_json()),
+            ("post", self.post.to_json()),
+        ])
+    }
+}
+
+impl FromJson for AStmt {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(AStmt { stmt: j.field("stmt")?, pre: j.field("pre")?, post: j.field("post")? })
+    }
+}
+
+impl ToJson for ParamKind {
+    fn to_json(&self) -> Json {
+        Json::str(match self {
+            ParamKind::Int => "Int",
+            ParamKind::Str => "Str",
+        })
+    }
+}
+
+impl FromJson for ParamKind {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.as_str() {
+            Some("Int") => Ok(ParamKind::Int),
+            Some("Str") => Ok(ParamKind::Str),
+            _ => Err(JsonError::expected("ParamKind name", j)),
+        }
+    }
+}
+
+impl ToJson for Program {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("params", self.params.to_json()),
+            ("consistency", self.consistency.to_json()),
+            ("param_cond", self.param_cond.to_json()),
+            ("result", self.result.to_json()),
+            ("snapshot_read_post", self.snapshot_read_post.to_json()),
+            ("body", self.body.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Program {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Program {
+            name: j.field("name")?,
+            params: j.field("params")?,
+            consistency: j.field("consistency")?,
+            param_cond: j.field("param_cond")?,
+            result: j.field("result")?,
+            snapshot_read_post: j.field("snapshot_read_post")?,
+            body: j.field("body")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcc_logic::{CmpOp, RowExpr, RowPred};
+
+    #[test]
+    fn stmt_roundtrips() {
+        let stmts = vec![
+            Stmt::ReadItem { item: ItemRef { base: "sav".into(), index: None }, into: "S".into() },
+            Stmt::WriteItem {
+                item: ItemRef { base: "bal".into(), index: Some(Expr::param("i")) },
+                value: Expr::local("S").sub(Expr::param("n")),
+            },
+            Stmt::Update {
+                table: "emp".into(),
+                filter: RowPred::Cmp(
+                    CmpOp::Eq,
+                    RowExpr::Field("name".into()),
+                    RowExpr::Outer(Expr::param("e")),
+                ),
+                sets: vec![("hrs".into(), ColExpr::field("hrs").add(ColExpr::Int(1)))],
+            },
+            Stmt::Insert {
+                table: "orders".into(),
+                values: vec![ColExpr::Int(1), ColExpr::Str("x".into())],
+            },
+            Stmt::Pause { micros: 250 },
+        ];
+        for s in stmts {
+            let text = semcc_json::to_string(&s);
+            let back: Stmt = semcc_json::from_str(&text).expect("parse");
+            assert_eq!(back, s);
+        }
+    }
+}

@@ -15,14 +15,15 @@
 #![allow(clippy::should_implement_trait)] // DSL builders named add/sub/mul
 
 pub mod colexpr;
-pub mod stmt;
-pub mod program;
 pub mod evalpred;
 pub mod interp;
+pub mod jsonio;
 pub mod monitor;
+pub mod program;
+pub mod stmt;
 pub mod symexec;
 
 pub use colexpr::ColExpr;
 pub use program::{Bindings, Program, ProgramBuilder};
 pub use stmt::{AStmt, ItemRef, Stmt};
-pub use symexec::{PathSummary, RelEffect, WriteFootprint};
+pub use symexec::{PathSummary, ReadFootprint, RelEffect, WriteFootprint};

@@ -79,8 +79,10 @@ pub fn run_program_monitored(
             _ => {}
         }
     }
-    let resolve_item = |txn: &Txn, base: &str, scalar_env: &dyn Fn(&Var) -> Option<Value>| {
-        match item_indices.get(base) {
+    let resolve_item =
+        |txn: &Txn, base: &str, scalar_env: &dyn Fn(&Var) -> Option<Value>| match item_indices
+            .get(base)
+        {
             None => txn.monitor_item(base),
             Some(idx) => {
                 let v = crate::evalpred::eval_expr(idx, scalar_env)?;
@@ -90,44 +92,44 @@ pub fn run_program_monitored(
                 };
                 txn.monitor_item(&concrete)
             }
-        }
-    };
-    let out = run_program_observed(engine, program, level, bindings, &mut |txn, frame, a, phase| {
-        let assertion = match phase {
-            Phase::Pre => &a.pre,
-            Phase::Post => &a.post,
         };
-        let location = format!(
-            "stmt #{index} {}",
-            match phase {
-                Phase::Pre => "pre",
-                Phase::Post => "post",
-            }
-        );
-        // Scalar env without db resolution (for evaluating index exprs).
-        let scalar_env = |v: &Var| match v {
-            Var::Local(n) => frame.locals.get(n).cloned(),
-            Var::Param(n) => frame.bindings.get(n).cloned(),
-            _ => None,
-        };
-        check_assertion(
-            txn,
-            assertion,
-            &|v: &Var| match v {
+    let out =
+        run_program_observed(engine, program, level, bindings, &mut |txn, frame, a, phase| {
+            let assertion = match phase {
+                Phase::Pre => &a.pre,
+                Phase::Post => &a.post,
+            };
+            let location = format!(
+                "stmt #{index} {}",
+                match phase {
+                    Phase::Pre => "pre",
+                    Phase::Post => "post",
+                }
+            );
+            // Scalar env without db resolution (for evaluating index exprs).
+            let scalar_env = |v: &Var| match v {
                 Var::Local(n) => frame.locals.get(n).cloned(),
                 Var::Param(n) => frame.bindings.get(n).cloned(),
-                Var::Db(n) => resolve_item(txn, n, &scalar_env),
-                Var::Logical(_) => None,
-            },
-            frame.buffers,
-            &name,
-            &location,
-            &mut report,
-        );
-        if phase == Phase::Post {
-            index += 1;
-        }
-    })?;
+                _ => None,
+            };
+            check_assertion(
+                txn,
+                assertion,
+                &|v: &Var| match v {
+                    Var::Local(n) => frame.locals.get(n).cloned(),
+                    Var::Param(n) => frame.bindings.get(n).cloned(),
+                    Var::Db(n) => resolve_item(txn, n, &scalar_env),
+                    Var::Logical(_) => None,
+                },
+                frame.buffers,
+                &name,
+                &location,
+                &mut report,
+            );
+            if phase == Phase::Post {
+                index += 1;
+            }
+        })?;
     Ok((out, report))
 }
 
@@ -238,10 +240,9 @@ mod tests {
 
     #[test]
     fn concurrent_writer_invalidates_at_rc_but_not_rr() {
-        for (level, expect_clean) in [
-            (IsolationLevel::ReadCommitted, false),
-            (IsolationLevel::RepeatableRead, true),
-        ] {
+        for (level, expect_clean) in
+            [(IsolationLevel::ReadCommitted, false), (IsolationLevel::RepeatableRead, true)]
+        {
             let e = engine();
             e.create_item("x", 5).expect("item");
             // A writer that fires mid-pause.
@@ -255,13 +256,9 @@ mod tests {
                     t.abort();
                 }
             });
-            let (_, report) = run_program_monitored(
-                &e,
-                &pinned_reader(60_000),
-                level,
-                &Bindings::new(),
-            )
-            .expect("run");
+            let (_, report) =
+                run_program_monitored(&e, &pinned_reader(60_000), level, &Bindings::new())
+                    .expect("run");
             w.join().expect("join");
             assert_eq!(
                 report.is_clean(),
@@ -270,10 +267,7 @@ mod tests {
                 report.invalidations
             );
             if !expect_clean {
-                assert!(report
-                    .invalidations
-                    .iter()
-                    .any(|i| i.conjunct.contains("x = :X")));
+                assert!(report.invalidations.iter().any(|i| i.conjunct.contains("x = :X")));
             }
         }
     }
@@ -324,11 +318,7 @@ mod tests {
                 snap.clone(),
             )
             .bare(Stmt::Pause { micros: 60_000 })
-            .stmt(
-                Stmt::LocalAssign { local: "z".into(), value: Expr::int(0) },
-                snap,
-                Pred::True,
-            )
+            .stmt(Stmt::LocalAssign { local: "z".into(), value: Expr::int(0) }, snap, Pred::True)
             .build();
         let e2 = e.clone();
         let w = std::thread::spawn(move || {
@@ -346,9 +336,6 @@ mod tests {
             run_program_monitored(&e, &p, IsolationLevel::ReadUncommitted, &Bindings::new())
                 .expect("run");
         w.join().expect("join");
-        assert!(
-            !report.is_clean(),
-            "snapshot atom must be invalidated by the phantom"
-        );
+        assert!(!report.is_clean(), "snapshot atom must be invalidated by the phantom");
     }
 }

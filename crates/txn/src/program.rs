@@ -4,11 +4,10 @@ use crate::stmt::{visit_stmts, AStmt, Stmt};
 use semcc_logic::{Pred, Var};
 use semcc_storage::Value;
 use std::collections::HashMap;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Declared parameter kind.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ParamKind {
     /// Integer-valued parameter.
     Int,
@@ -18,7 +17,7 @@ pub enum ParamKind {
 
 /// An annotated transaction program: the paper's
 /// `{I_i ∧ B_i ∧ x = X} T_i {I_i ∧ Q_i}`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Program {
     /// Transaction-type name (e.g. `New_Order`).
     pub name: String,
@@ -95,7 +94,12 @@ impl Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}({})", self.name, self.params.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(", "))
+        write!(
+            f,
+            "{}({})",
+            self.name,
+            self.params.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(", ")
+        )
     }
 }
 

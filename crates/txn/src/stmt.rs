@@ -3,7 +3,6 @@
 use crate::colexpr::ColExpr;
 use semcc_logic::row::RowPred;
 use semcc_logic::{Expr, Pred};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A reference to a conventional database item. The optional index models
@@ -12,7 +11,7 @@ use std::fmt;
 /// references *may alias* whenever their bases match (the worst case, which
 /// is the case the paper analyzes — two transactions touching the same
 /// account).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ItemRef {
     /// Base item name (the name assertions use).
     pub base: String,
@@ -42,7 +41,7 @@ impl fmt::Display for ItemRef {
 }
 
 /// A statement.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Stmt {
     /// `X := x` — read a database item into a local.
     ReadItem {
@@ -148,7 +147,10 @@ impl Stmt {
     pub fn is_db_write(&self) -> bool {
         matches!(
             self,
-            Stmt::WriteItem { .. } | Stmt::Update { .. } | Stmt::Insert { .. } | Stmt::Delete { .. }
+            Stmt::WriteItem { .. }
+                | Stmt::Update { .. }
+                | Stmt::Insert { .. }
+                | Stmt::Delete { .. }
         )
     }
 
@@ -165,7 +167,7 @@ impl Stmt {
 }
 
 /// An annotated statement: the paper's `{P_{i,j}} S_{i,j} {P_{i,j+1}}`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AStmt {
     /// The statement.
     pub stmt: Stmt,

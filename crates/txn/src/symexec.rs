@@ -71,6 +71,54 @@ impl RelEffect {
     }
 }
 
+/// Read footprint of one execution path, in program order.
+///
+/// `items` keeps duplicates: an item appearing twice means the path reads
+/// it twice (the raw material for non-repeatable-read exposure). Havocked
+/// loops over-approximate by recording every potentially-read item and
+/// region twice.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReadFootprint {
+    /// Item base names read, in order, duplicates preserved.
+    pub items: Vec<String>,
+    /// Relational regions read (SELECT / SELECT COUNT / SELECT VALUE),
+    /// with the filter substituted to range over the entry state.
+    pub regions: Vec<(String, RowPred)>,
+    /// Items read and later written on the same path (read-modify-write).
+    pub rmw_items: BTreeSet<String>,
+}
+
+impl ReadFootprint {
+    /// Distinct item base names read.
+    pub fn item_set(&self) -> BTreeSet<String> {
+        self.items.iter().cloned().collect()
+    }
+
+    /// Items this path reads more than once.
+    pub fn reread_items(&self) -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        let mut out = BTreeSet::new();
+        for i in &self.items {
+            if !seen.insert(i.clone()) {
+                out.insert(i.clone());
+            }
+        }
+        out
+    }
+
+    /// Tables whose regions this path reads more than once.
+    pub fn reread_tables(&self) -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        let mut out = BTreeSet::new();
+        for (t, _) in &self.regions {
+            if !seen.insert(t.clone()) {
+                out.insert(t.clone());
+            }
+        }
+        out
+    }
+}
+
 /// The net effect of one execution path.
 #[derive(Clone, Debug)]
 pub struct PathSummary {
@@ -83,6 +131,8 @@ pub struct PathSummary {
     pub havoc_items: Vec<Var>,
     /// Relational effects in program order.
     pub effects: Vec<RelEffect>,
+    /// Items and regions read on this path.
+    pub reads: ReadFootprint,
 }
 
 impl PathSummary {
@@ -144,6 +194,12 @@ impl PathSummary {
                 RelEffect::HavocTable { .. } => {}
             }
         }
+        // Read regions can also mention params inside Outer terms.
+        for (_, filter) in &self.reads.regions {
+            let mut outer = Vec::new();
+            filter.collect_outer_vars(&mut outer);
+            vars.extend(outer.into_iter().filter(|v| matches!(v, Var::Param(_))));
+        }
         let mut s = Subst::new();
         for v in vars {
             if let Var::Param(name) = &v {
@@ -174,15 +230,24 @@ impl PathSummary {
                         filter: s.apply_row_pred(filter),
                         sets: sets.iter().map(|(c, e)| (c.clone(), e.subst_outer(&s))).collect(),
                     },
-                    RelEffect::Delete { table, filter } => RelEffect::Delete {
-                        table: table.clone(),
-                        filter: s.apply_row_pred(filter),
-                    },
+                    RelEffect::Delete { table, filter } => {
+                        RelEffect::Delete { table: table.clone(), filter: s.apply_row_pred(filter) }
+                    }
                     RelEffect::HavocTable { table } => {
                         RelEffect::HavocTable { table: table.clone() }
                     }
                 })
                 .collect(),
+            reads: ReadFootprint {
+                items: self.reads.items.clone(),
+                regions: self
+                    .reads
+                    .regions
+                    .iter()
+                    .map(|(t, f)| (t.clone(), s.apply_row_pred(f)))
+                    .collect(),
+                rmw_items: self.reads.rmw_items.clone(),
+            },
         }
     }
 }
@@ -223,6 +288,40 @@ pub fn write_footprint(program: &Program) -> WriteFootprint {
         }
         _ => {}
     });
+    fp
+}
+
+/// Conservative syntactic read footprint of a whole program: every item
+/// and table any statement may read, each recorded twice (statements can
+/// repeat under loops, so re-reads must be assumed). Filters widen to
+/// `RowPred::True`. Used by the havoc-everything fallback.
+pub fn syntactic_reads(program: &Program) -> ReadFootprint {
+    let mut items: BTreeSet<String> = BTreeSet::new();
+    let mut tables: BTreeSet<String> = BTreeSet::new();
+    crate::stmt::visit_stmts(&program.body, &mut |a| match &a.stmt {
+        Stmt::ReadItem { item, .. } => {
+            items.insert(item.base.clone());
+        }
+        Stmt::Select { table, .. }
+        | Stmt::SelectCount { table, .. }
+        | Stmt::SelectValue { table, .. } => {
+            tables.insert(table.clone());
+        }
+        _ => {}
+    });
+    let written = write_footprint(program);
+    let mut fp = ReadFootprint::default();
+    for i in &items {
+        fp.items.push(i.clone());
+        fp.items.push(i.clone());
+        if written.items.contains(i) {
+            fp.rmw_items.insert(i.clone());
+        }
+    }
+    for t in &tables {
+        fp.regions.push((t.clone(), RowPred::True));
+        fp.regions.push((t.clone(), RowPred::True));
+    }
     fp
 }
 
@@ -278,6 +377,7 @@ struct SymState {
     conds: Vec<Pred>,
     havoc_items: BTreeSet<String>,
     effects: Vec<RelEffect>,
+    reads: ReadFootprint,
 }
 
 impl SymState {
@@ -308,6 +408,7 @@ pub fn summarize(program: &Program, opts: SymOptions) -> Vec<PathSummary> {
         conds: vec![program.consistency.clone(), program.param_cond.clone()],
         havoc_items: BTreeSet::new(),
         effects: Vec::new(),
+        reads: ReadFootprint::default(),
     };
     let mut states = vec![seed];
     exec_block_sym(&program.body, &mut states, &opts);
@@ -333,6 +434,7 @@ pub fn summarize(program: &Program, opts: SymOptions) -> Vec<PathSummary> {
                 } else {
                     st.effects
                 },
+                reads: st.reads,
             }
         })
         .collect()
@@ -346,6 +448,7 @@ fn havoc_everything(program: &Program) -> PathSummary {
         assign: Assign::skip(),
         havoc_items: fp.items.iter().map(|n| Var::db(n.clone())).collect(),
         effects: fp.tables.iter().map(|t| RelEffect::HavocTable { table: t.clone() }).collect(),
+        reads: syntactic_reads(program),
     }
 }
 
@@ -364,12 +467,16 @@ fn exec_stmt_sym(stmt: &Stmt, states: &mut Vec<SymState>, opts: &SymOptions) {
             for st in states.iter_mut() {
                 let v = st.read_item(&item.base);
                 st.locals.insert(into.clone(), v);
+                st.reads.items.push(item.base.clone());
             }
         }
         Stmt::WriteItem { item, value } => {
             for st in states.iter_mut() {
                 let v = st.subst().apply_expr(value);
                 st.db.insert(item.base.clone(), v);
+                if st.reads.items.iter().any(|r| r == &item.base) {
+                    st.reads.rmw_items.insert(item.base.clone());
+                }
             }
         }
         Stmt::LocalAssign { local, value } => {
@@ -437,16 +544,26 @@ fn exec_stmt_sym(stmt: &Stmt, states: &mut Vec<SymState>, opts: &SymOptions) {
             }
             *states = out;
         }
-        Stmt::Select { .. } | Stmt::Pause { .. } => { /* no shared effect */ }
-        Stmt::SelectCount { into, .. } => {
+        Stmt::Pause { .. } => { /* no shared effect */ }
+        Stmt::Select { table, filter, .. } => {
             for st in states.iter_mut() {
+                let f = st.subst().apply_row_pred(filter);
+                st.reads.regions.push((table.clone(), f));
+            }
+        }
+        Stmt::SelectCount { table, filter, into } => {
+            for st in states.iter_mut() {
+                let f = st.subst().apply_row_pred(filter);
+                st.reads.regions.push((table.clone(), f));
                 let k = FreshVars::fresh(&format!("count_{into}"));
                 st.conds.push(Pred::ge(Expr::Var(k.clone()), 0));
                 st.locals.insert(into.clone(), Expr::Var(k));
             }
         }
-        Stmt::SelectValue { into, .. } => {
+        Stmt::SelectValue { table, filter, into, .. } => {
             for st in states.iter_mut() {
+                let f = st.subst().apply_row_pred(filter);
+                st.reads.regions.push((table.clone(), f));
                 let k = FreshVars::fresh(&format!("sel_{into}"));
                 st.locals.insert(into.clone(), Expr::Var(k));
             }
@@ -473,8 +590,10 @@ fn exec_stmt_sym(stmt: &Stmt, states: &mut Vec<SymState>, opts: &SymOptions) {
         Stmt::Delete { table, filter } => {
             for st in states.iter_mut() {
                 let s = st.subst();
-                st.effects
-                    .push(RelEffect::Delete { table: table.clone(), filter: s.apply_row_pred(filter) });
+                st.effects.push(RelEffect::Delete {
+                    table: table.clone(),
+                    filter: s.apply_row_pred(filter),
+                });
             }
         }
     }
@@ -538,6 +657,37 @@ fn compose_colexpr(e: &ColExpr, pending: &[(String, ColExpr)]) -> ColExpr {
 /// may write becomes untracked, every table it may write becomes a
 /// `HavocTable` effect, every local it may assign becomes a fresh constant.
 fn havoc_block(block: &[AStmt], st: &mut SymState) {
+    // Over-approximate the block's reads: each item/table it may read is
+    // recorded twice (the loop can repeat), filters widen to True, and any
+    // item both read and written in the block is a potential RMW.
+    let mut read_items: BTreeSet<String> = BTreeSet::new();
+    let mut read_tables: BTreeSet<String> = BTreeSet::new();
+    let mut written_items: BTreeSet<String> = BTreeSet::new();
+    crate::stmt::visit_stmts(block, &mut |a| match &a.stmt {
+        Stmt::ReadItem { item, .. } => {
+            read_items.insert(item.base.clone());
+        }
+        Stmt::Select { table, .. }
+        | Stmt::SelectCount { table, .. }
+        | Stmt::SelectValue { table, .. } => {
+            read_tables.insert(table.clone());
+        }
+        Stmt::WriteItem { item, .. } => {
+            written_items.insert(item.base.clone());
+        }
+        _ => {}
+    });
+    for i in &read_items {
+        st.reads.items.push(i.clone());
+        st.reads.items.push(i.clone());
+        if written_items.contains(i) {
+            st.reads.rmw_items.insert(i.clone());
+        }
+    }
+    for t in &read_tables {
+        st.reads.regions.push((t.clone(), RowPred::True));
+        st.reads.regions.push((t.clone(), RowPred::True));
+    }
     crate::stmt::visit_stmts(block, &mut |a| match &a.stmt {
         Stmt::WriteItem { item, .. } => {
             st.havoc_items.insert(item.base.clone());
@@ -547,10 +697,10 @@ fn havoc_block(block: &[AStmt], st: &mut SymState) {
             if !st
                 .effects
                 .iter()
-                .any(|e| matches!(e, RelEffect::HavocTable { table: t } if t == table))
-            => {
-                st.effects.push(RelEffect::HavocTable { table: table.clone() });
-            }
+                .any(|e| matches!(e, RelEffect::HavocTable { table: t } if t == table)) =>
+        {
+            st.effects.push(RelEffect::HavocTable { table: table.clone() });
+        }
         Stmt::LocalAssign { local, .. }
         | Stmt::ReadItem { into: local, .. }
         | Stmt::SelectCount { into: local, .. }
@@ -666,10 +816,7 @@ mod tests {
         let paths = summarize(&p, SymOptions::default());
         // zero, one, two iterations + havoc fallback
         assert!(paths.len() >= 4, "got {}", paths.len());
-        assert!(
-            paths.iter().any(|p| !p.havoc_items.is_empty()),
-            "havoc fallback present"
-        );
+        assert!(paths.iter().any(|p| !p.havoc_items.is_empty()), "havoc fallback present");
         // must_write is empty: the zero-iteration path writes nothing
         assert!(must_write_items(&paths).is_empty());
     }
@@ -691,10 +838,7 @@ mod tests {
         match &paths[0].effects[0] {
             RelEffect::Insert { values, .. } => {
                 // :m was replaced by the entry value of maxdate
-                assert_eq!(
-                    values[1],
-                    ColExpr::Outer(Expr::db("maxdate").add(Expr::int(1)))
-                );
+                assert_eq!(values[1], ColExpr::Outer(Expr::db("maxdate").add(Expr::int(1))));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -741,10 +885,7 @@ mod tests {
             .bare(Stmt::Update {
                 table: "emp".into(),
                 filter: filter.clone(),
-                sets: vec![(
-                    "sal".into(),
-                    ColExpr::Outer(Expr::int(0)).add(ColExpr::field("hrs")),
-                )],
+                sets: vec![("sal".into(), ColExpr::Outer(Expr::int(0)).add(ColExpr::field("hrs")))],
             })
             .build();
         let paths = summarize(&p, SymOptions::default());
@@ -757,9 +898,8 @@ mod tests {
                 // Field(hrs) resolved to hrs + h
                 assert_eq!(
                     sal.1,
-                    ColExpr::Outer(Expr::int(0)).add(
-                        ColExpr::field("hrs").add(ColExpr::Outer(Expr::param("h")))
-                    )
+                    ColExpr::Outer(Expr::int(0))
+                        .add(ColExpr::field("hrs").add(ColExpr::Outer(Expr::param("h"))))
                 );
             }
             other => panic!("unexpected {other:?}"),
@@ -798,7 +938,8 @@ mod tests {
             });
         }
         let p = b.build();
-        let paths = summarize(&p, SymOptions { loop_unroll: 2, max_paths: 64, ..SymOptions::default() });
+        let paths =
+            summarize(&p, SymOptions { loop_unroll: 2, max_paths: 64, ..SymOptions::default() });
         assert_eq!(paths.len(), 1, "collapsed");
         assert_eq!(paths[0].havoc_items, vec![Var::db("x")]);
     }

@@ -56,10 +56,7 @@ fn indexed_items_resolve_per_account() {
     let p = ProgramBuilder::new("Deposit")
         .param_int("i")
         .param_int("d")
-        .bare(Stmt::ReadItem {
-            item: ItemRef::indexed("acct", Expr::param("i")),
-            into: "B".into(),
-        })
+        .bare(Stmt::ReadItem { item: ItemRef::indexed("acct", Expr::param("i")), into: "B".into() })
         .bare(Stmt::WriteItem {
             item: ItemRef::indexed("acct", Expr::param("i")),
             value: Expr::local("B").add(Expr::param("d")),
@@ -94,8 +91,7 @@ fn while_loop_counts_down() {
         })
         .bare(Stmt::WriteItem { item: ItemRef::plain("x"), value: Expr::local("X") })
         .build();
-    run_program(&e, &p, IsolationLevel::ReadCommitted, &Bindings::new().set("n", 7))
-        .expect("run");
+    run_program(&e, &p, IsolationLevel::ReadCommitted, &Bindings::new().set("n", 7)).expect("run");
     assert_eq!(e.peek_item("x").expect("peek"), Value::Int(14));
 }
 
@@ -171,13 +167,8 @@ fn delivery_style_select_then_update() {
             sets: vec![("done".into(), ColExpr::Int(1))],
         })
         .build();
-    let out = run_program(
-        &e,
-        &p,
-        IsolationLevel::RepeatableRead,
-        &Bindings::new().set("today", 2),
-    )
-    .expect("run");
+    let out = run_program(&e, &p, IsolationLevel::RepeatableRead, &Bindings::new().set("today", 2))
+        .expect("run");
     assert_eq!(out.buffers.get("buff").map(Vec::len), Some(1));
     let rows = e.peek_table("orders").expect("scan");
     let done: Vec<_> = rows.iter().filter(|(_, r)| r[3] == Value::Int(1)).collect();
@@ -201,9 +192,8 @@ fn select_value_and_delete() {
             filter: RowPred::field_eq_outer("info", Expr::param("which")),
         })
         .build();
-    let out =
-        run_program(&e, &p, IsolationLevel::Serializable, &Bindings::new().set("which", 2))
-            .expect("run");
+    let out = run_program(&e, &p, IsolationLevel::Serializable, &Bindings::new().set("which", 2))
+        .expect("run");
     assert_eq!(out.locals.get("d"), Some(&Value::Int(2)));
     assert_eq!(e.peek_table("orders").expect("scan").len(), 2);
 }

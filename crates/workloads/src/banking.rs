@@ -94,7 +94,10 @@ pub fn deposit(account: &str, other: &str) -> Program {
         .result(Pred::and([pp(&i_bal), pp("#deposit_applied_at_commit")]))
         .snapshot_read_post(pp(&format!("{i_bal} && acct_{account} >= :B")))
         .stmt(
-            Stmt::ReadItem { item: ItemRef::indexed(format!("acct_{account}"), Expr::param("i")), into: "B".into() },
+            Stmt::ReadItem {
+                item: ItemRef::indexed(format!("acct_{account}"), Expr::param("i")),
+                into: "B".into(),
+            },
             pp(&format!("{i_bal} && @d >= 0")),
             // The invariant-carrying conjunct: the balance has not changed
             // under us (Theorem 3's FCW protection makes this stable for
@@ -232,8 +235,13 @@ mod tests {
         let e = engine();
         setup(&e, 1, 10);
         let p = withdraw("sav", "ch");
-        run_program(&e, &p, IsolationLevel::Serializable, &Bindings::new().set("i", 0).set("w", 100))
-            .expect("runs");
+        run_program(
+            &e,
+            &p,
+            IsolationLevel::Serializable,
+            &Bindings::new().set("i", 0).set("w", 100),
+        )
+        .expect("runs");
         assert_eq!(total_money(&e, 1), 20);
     }
 

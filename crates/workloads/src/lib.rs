@@ -21,9 +21,9 @@
 //! assignments.
 
 pub mod banking;
+pub mod driver;
 pub mod orders;
 pub mod payroll;
 pub mod tpcc;
-pub mod driver;
 
 pub use driver::{run_mix, MixSpec, RunStats};

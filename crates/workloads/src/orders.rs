@@ -394,8 +394,7 @@ pub fn integrity_violations(engine: &Engine, strict: bool) -> Vec<String> {
     let mut out = Vec::new();
     let orders = engine.peek_table("orders").expect("orders");
     let cust = engine.peek_table("cust").expect("cust");
-    let maxdate =
-        engine.peek_item("maximum_date").expect("maxdate").as_int().expect("int");
+    let maxdate = engine.peek_item("maximum_date").expect("maxdate").as_int().expect("int");
 
     // dates present
     let mut by_date: HashMap<i64, usize> = HashMap::new();
@@ -431,9 +430,7 @@ pub fn integrity_violations(engine: &Engine, strict: bool) -> Vec<String> {
         let declared = row[2].as_int().expect("num_orders");
         let actual = by_cust.get(name).copied().unwrap_or(0);
         if declared != actual {
-            out.push(format!(
-                "order_consistency: {name} declares {declared} orders, has {actual}"
-            ));
+            out.push(format!("order_consistency: {name} declares {declared} orders, has {actual}"));
         }
     }
     out
@@ -487,12 +484,8 @@ pub fn bindings_for(program: &Program, rng: &mut impl Rng, engine: &Arc<Engine>)
                 .set("info", rng.gen_range(10_000..100_000_000) as i64)
         }
         "Delivery" => {
-            let maxdate = engine
-                .peek_item("maximum_date")
-                .ok()
-                .and_then(|v| v.as_int())
-                .unwrap_or(1)
-                .max(1);
+            let maxdate =
+                engine.peek_item("maximum_date").ok().and_then(|v| v.as_int()).unwrap_or(1).max(1);
             Bindings::new().set("today", rng.gen_range(1..=maxdate))
         }
         "Audit" => {
@@ -584,8 +577,7 @@ mod tests {
         .expect("runs");
         assert_eq!(out.buffers.get("buff").map(Vec::len), Some(1));
         let orders = e.peek_table("orders").expect("orders");
-        let done: Vec<_> =
-            orders.iter().filter(|(_, r)| r[3] == Value::Int(1)).collect();
+        let done: Vec<_> = orders.iter().filter(|(_, r)| r[3] == Value::Int(1)).collect();
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].1[2], Value::Int(2));
     }
@@ -608,13 +600,9 @@ mod tests {
     fn mailing_list_reads_labels() {
         let e = engine();
         setup(&e, 4);
-        let out = run_program(
-            &e,
-            &mailing_list(),
-            IsolationLevel::ReadUncommitted,
-            &Bindings::new(),
-        )
-        .expect("runs");
+        let out =
+            run_program(&e, &mailing_list(), IsolationLevel::ReadUncommitted, &Bindings::new())
+                .expect("runs");
         assert_eq!(out.buffers.get("labels").map(Vec::len), Some(4));
     }
 

@@ -125,11 +125,7 @@ pub fn app() -> App {
 /// `n` employees with random-ish rates, zero hours.
 pub fn setup(engine: &Engine, n: usize) {
     engine
-        .create_table(semcc_storage::Schema::new(
-            "emp",
-            &["name", "rate", "hrs", "sal"],
-            &["name"],
-        ))
+        .create_table(semcc_storage::Schema::new("emp", &["name", "rate", "hrs", "sal"], &["name"]))
         .expect("emp table");
     for i in 0..n {
         let rate = 10 + (i as i64 % 5) * 3;
@@ -248,8 +244,7 @@ mod tests {
             r[2] = Value::Int(r[2].as_int().expect("hrs") + 8);
             r
         };
-        t.update_where("emp", &RowPred::field_eq_str("name", "emp0"), &bump)
-            .expect("first update");
+        t.update_where("emp", &RowPred::field_eq_str("name", "emp0"), &bump).expect("first update");
         // RU reader sees rate*hrs != sal
         let mut ru = e.begin(IsolationLevel::ReadUncommitted);
         let rows = ru.select("emp", &RowPred::field_eq_str("name", "emp0")).expect("select");

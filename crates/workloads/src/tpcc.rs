@@ -69,11 +69,7 @@ pub fn new_order() -> Program {
         table: "orders".into(),
         filter: RowPred::and([
             RowPred::field_eq_outer("d_id", Expr::param("d")),
-            RowPred::Cmp(
-                CmpOp::Ge,
-                RowExpr::field("o_id"),
-                RowExpr::Outer(Expr::local("next")),
-            ),
+            RowPred::Cmp(CmpOp::Ge, RowExpr::field("o_id"), RowExpr::Outer(Expr::local("next"))),
         ]),
     });
     ProgramBuilder::new("New_Order_tpcc")
@@ -120,11 +116,7 @@ pub fn new_order() -> Program {
             i_all(),
             i_all(),
         )
-        .stmt(
-            Stmt::LocalAssign { local: "line".into(), value: Expr::int(0) },
-            i_all(),
-            i_all(),
-        )
+        .stmt(Stmt::LocalAssign { local: "line".into(), value: Expr::int(0) }, i_all(), i_all())
         .stmt(
             // One order line per requested item: insert the line and
             // decrement that item's stock. The loop exercises the
@@ -284,7 +276,11 @@ pub fn delivery() -> Program {
         .result(Pred::and([i_all(), pp("#batch_delivered_at_commit")]))
         .snapshot_read_post(Pred::and([i_all(), upto_bounded.clone(), snap.clone()]))
         .stmt(
-            Stmt::Select { table: "orders".into(), filter: undelivered.clone(), into: "batch".into() },
+            Stmt::Select {
+                table: "orders".into(),
+                filter: undelivered.clone(),
+                into: "batch".into(),
+            },
             Pred::and([i_all(), upto_bounded.clone()]),
             Pred::and([i_all(), upto_bounded, snap]),
         )
@@ -433,10 +429,7 @@ pub fn integrity_violations(engine: &Engine) -> Vec<String> {
     // committed order (lines and orders commit atomically in New-Order).
     for (_, l) in engine.peek_table("order_line").expect("order_line") {
         let (o_id, d_id) = (l[0].as_int().expect("o_id"), l[1].as_int().expect("d_id"));
-        if !orders
-            .iter()
-            .any(|(_, o)| o[0].as_int() == Some(o_id) && o[1].as_int() == Some(d_id))
-        {
+        if !orders.iter().any(|(_, o)| o[0].as_int() == Some(o_id) && o[1].as_int() == Some(d_id)) {
             out.push(format!("order_line_fk: orphan line for order ({o_id}, {d_id})"));
         }
     }
@@ -512,23 +505,20 @@ pub fn random_txn_with_think(
     } else if roll < 92 {
         (order_status(), Bindings::new().set("c", c))
     } else if roll < 96 {
-        let upto = engine
-            .peek_item(&format!("next_oid[{d}]"))
-            .ok()
-            .and_then(|v| v.as_int())
-            .unwrap_or(1);
+        let upto =
+            engine.peek_item(&format!("next_oid[{d}]")).ok().and_then(|v| v.as_int()).unwrap_or(1);
         (
             delivery(),
-            Bindings::new().set("d", d).set("upto", upto).set("carrier", rng.gen_range(1..10) as i64),
+            Bindings::new()
+                .set("d", d)
+                .set("upto", upto)
+                .set("carrier", rng.gen_range(1..10) as i64),
         )
     } else {
         (stock_level(), Bindings::new().set("threshold", rng.gen_range(100..900) as i64))
     };
-    let program = if think_us > 0 {
-        semcc_txn::program::with_pauses(&program, think_us)
-    } else {
-        program
-    };
+    let program =
+        if think_us > 0 { semcc_txn::program::with_pauses(&program, think_us) } else { program };
     run_with_retries(engine, &program, levels(&program.name), &bindings, 50)
         .map(|(_, aborts)| aborts)
 }

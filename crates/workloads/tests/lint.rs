@@ -1,0 +1,94 @@
+//! End-to-end lint over the bundled workloads: the acceptance cases of the
+//! static anomaly predictor.
+
+use semcc_core::lint;
+use semcc_engine::{AnomalyKind, IsolationLevel};
+use semcc_workloads::{banking, orders, payroll};
+use std::collections::BTreeMap;
+
+#[test]
+fn banking_default_lint_reports_write_skew_with_counterexample() {
+    let report = lint(&banking::app(), None);
+    assert!(report.levels_assigned);
+    assert!(
+        report.dangerous.iter().any(|d| { d.a.contains("Withdraw") && d.b.contains("Withdraw") }),
+        "the two withdrawals form the Example 3 dangerous structure: {:?}",
+        report.dangerous
+    );
+    let w001: Vec<_> = report.diagnostics.iter().filter(|d| d.code == "SEMCC-W001").collect();
+    assert!(!w001.is_empty(), "diagnostics: {:?}", report.diagnostics);
+    let d = w001[0];
+    assert_eq!(d.kind, AnomalyKind::WriteSkew);
+    assert!(d.partner.is_some(), "pairwise anomaly names its partner");
+    assert!(!d.statements.is_empty(), "offending statements are referenced");
+    assert!(
+        d.provenance.iter().any(|p| p.contains("Theorem 5")),
+        "provenance points at the failed theorem: {:?}",
+        d.provenance
+    );
+    assert!(!d.counterexample.is_empty(), "a Fourier–Motzkin model refutes the obligation: {d:?}");
+    // The assignment itself only picks proven-safe levels, so every
+    // diagnostic is about the hypothetical SNAPSHOT choice.
+    assert!(report.diagnostics.iter().all(|d| d.level.is_snapshot()));
+}
+
+#[test]
+fn banking_deposits_are_not_blamed() {
+    let report = lint(&banking::app(), None);
+    for d in &report.diagnostics {
+        assert!(
+            d.txn.contains("Withdraw"),
+            "deposits pass Theorem 5 and must not be flagged: {d:?}"
+        );
+    }
+}
+
+#[test]
+fn orders_lints_clean_at_its_assigned_levels() {
+    use IsolationLevel::*;
+    let app = orders::app(false);
+    let levels: BTreeMap<String, IsolationLevel> = [
+        ("Mailing_List".to_string(), ReadUncommitted),
+        ("Mailing_List_strict".to_string(), ReadCommitted),
+        ("New_Order".to_string(), ReadCommitted),
+        ("Delivery".to_string(), RepeatableRead),
+        ("Audit".to_string(), Serializable),
+    ]
+    .into();
+    let report = lint(&app, Some(&levels));
+    assert!(report.clean(), "diagnostics: {:?}", report.diagnostics);
+    assert!(!report.levels_assigned);
+}
+
+#[test]
+fn orders_at_uniformly_weak_levels_is_flagged() {
+    use IsolationLevel::*;
+    let app = orders::app(false);
+    let levels: BTreeMap<String, IsolationLevel> =
+        app.programs.iter().map(|p| (p.name.clone(), ReadUncommitted)).collect();
+    let report = lint(&app, Some(&levels));
+    assert!(!report.clean(), "New_Order at READ UNCOMMITTED must be flagged");
+    for d in &report.diagnostics {
+        assert!(d.code.starts_with("SEMCC-W"), "stable code: {}", d.code);
+        assert!(!d.provenance.is_empty(), "provenance present: {d:?}");
+    }
+}
+
+#[test]
+fn payroll_default_lint_is_clean() {
+    // No dangerous structure: payroll's mutual dependencies are wr/ww,
+    // not a two-sided rw cycle with possibly-disjoint write sets.
+    let report = lint(&payroll::app(), None);
+    assert!(report.clean(), "diagnostics: {:?}", report.diagnostics);
+}
+
+#[test]
+fn exposures_cover_every_type_at_its_level() {
+    let app = orders::app(false);
+    let report = lint(&app, None);
+    assert_eq!(report.exposures.len(), app.programs.len());
+    for (name, level) in &report.levels {
+        let e = report.exposures.iter().find(|e| &e.txn == name).expect("exposure");
+        assert_eq!(e.level, *level);
+    }
+}

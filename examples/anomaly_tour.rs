@@ -79,7 +79,10 @@ fn main() {
         t2.commit().expect("commit");
         t1.write("ctr", v1 + 5).expect("write");
         assert!(t1.commit().is_err());
-        println!("  at RC+FCW the second committer is aborted; ctr = {}", e.peek_item("ctr").expect("peek"));
+        println!(
+            "  at RC+FCW the second committer is aborted; ctr = {}",
+            e.peek_item("ctr").expect("peek")
+        );
     }
 
     println!("\n== non-repeatable read (RC) vs REPEATABLE READ ==");

@@ -43,17 +43,15 @@ fn main() {
     }));
     orders::setup(&engine, 15);
     let programs = app.programs.clone();
-    let stats = driver::run_mix(
-        driver::MixSpec { threads: 4, txns_per_thread: 200, seed: 1 },
-        |_, rng| {
+    let stats =
+        driver::run_mix(driver::MixSpec { threads: 4, txns_per_thread: 200, seed: 1 }, |_, rng| {
             orders::random_txn(
                 &engine,
                 &programs,
                 &|name| policy.get(name).copied().unwrap_or(IsolationLevel::Serializable),
                 rng,
             )
-        },
-    );
+        });
     println!(
         "  committed {} txns at {:.0} txn/s ({} aborts absorbed by retries)",
         stats.committed,

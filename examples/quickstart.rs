@@ -31,7 +31,10 @@ fn main() {
     let mut writer = engine.begin(IsolationLevel::ReadCommitted);
     writer.write("balance", 150).expect("write");
     writer.commit().expect("commit");
-    println!("after a concurrent commit, snapshot still sees {}", reader.read("balance").expect("read"));
+    println!(
+        "after a concurrent commit, snapshot still sees {}",
+        reader.read("balance").expect("read")
+    );
     reader.abort();
 
     // ------------------------------------------------------------------
@@ -64,7 +67,11 @@ fn main() {
         &Bindings::new().set("amount", 25),
     )
     .expect("run");
-    println!("deposit committed at ts {} -> balance = {}", out.commit_ts, engine.peek_item("balance").expect("peek"));
+    println!(
+        "deposit committed at ts {} -> balance = {}",
+        out.commit_ts,
+        engine.peek_item("balance").expect("peek")
+    );
 
     // ------------------------------------------------------------------
     // 3. The analyzer: which level does Deposit actually need?
@@ -77,7 +84,11 @@ fn main() {
         );
         for r in &a.reports {
             if !r.ok {
-                println!("  {} rejected: {}", r.level, r.failures.first().map(String::as_str).unwrap_or("?"));
+                println!(
+                    "  {} rejected: {}",
+                    r.level,
+                    r.failures.first().map(String::as_str).unwrap_or("?")
+                );
             }
         }
     }

@@ -19,20 +19,28 @@ fn main() {
     // ------------------------------------------------------------------
     let app = banking::app();
     let report = check_at_level(&app, "Withdraw_sav", IsolationLevel::Snapshot);
-    println!("Theorem 5 verdict for Withdraw_sav under SNAPSHOT: {}", if report.ok { "correct" } else { "REJECTED" });
+    println!(
+        "Theorem 5 verdict for Withdraw_sav under SNAPSHOT: {}",
+        if report.ok { "correct" } else { "REJECTED" }
+    );
     for f in &report.failures {
         println!("  {f}");
     }
     assert!(!report.ok, "the paper's Example 3 predicts rejection");
 
     let dep = check_at_level(&app, "Deposit_sav", IsolationLevel::Snapshot);
-    println!("\n...while Deposit_sav under SNAPSHOT: {}", if dep.ok { "correct" } else { "rejected" });
+    println!(
+        "\n...while Deposit_sav under SNAPSHOT: {}",
+        if dep.ok { "correct" } else { "rejected" }
+    );
     assert!(dep.ok);
 
     // ------------------------------------------------------------------
     // 2. The dynamic reproduction: the skew actually happens.
     // ------------------------------------------------------------------
-    println!("\nreproducing the skew in the engine (account 0: sav=100, ch=100, rule sav+ch >= 0):");
+    println!(
+        "\nreproducing the skew in the engine (account 0: sav=100, ch=100, rule sav+ch >= 0):"
+    );
     let e = Arc::new(Engine::new(EngineConfig {
         lock_timeout: Duration::from_millis(300),
         record_history: true,

@@ -7,8 +7,7 @@ use semcc::workloads::{banking, orders, payroll, tpcc};
 
 fn assert_no_errors(name: &str, app: &semcc::analysis::App) {
     let issues = check_app_annotations(app);
-    let errors: Vec<_> =
-        issues.iter().filter(|i| i.severity == Severity::Error).collect();
+    let errors: Vec<_> = issues.iter().filter(|i| i.severity == Severity::Error).collect();
     assert!(
         errors.is_empty(),
         "{name}: annotation outline errors:\n{}",

@@ -30,9 +30,10 @@ fn banking_assigned_levels_hold_dynamically() {
     banking::setup(&e, 3, 300);
     let programs = app.programs.clone();
     let levels: Vec<IsolationLevel> = programs.iter().map(|p| policy[&p.name]).collect();
-    let stats = driver::run_mix(driver::MixSpec { threads: 4, txns_per_thread: 60, seed: 3 }, |_, rng| {
-        banking::random_txn(&e, &programs, &levels, 3, rng)
-    });
+    let stats =
+        driver::run_mix(driver::MixSpec { threads: 4, txns_per_thread: 60, seed: 3 }, |_, rng| {
+            banking::random_txn(&e, &programs, &levels, 3, rng)
+        });
     assert!(stats.committed > 0);
     assert!(
         banking::balance_violations(&e, 3).is_empty(),
@@ -189,12 +190,8 @@ fn monitor_confirms_assigned_level_and_exposes_weaker_one() {
                 t.abort();
             }
         });
-        let result = run_program_monitored(
-            &e,
-            &program,
-            level,
-            &Bindings::new().set("i", 0).set("w", 90),
-        );
+        let result =
+            run_program_monitored(&e, &program, level, &Bindings::new().set("i", 0).set("w", 90));
         interferer.join().expect("join");
         match (level, result) {
             (IsolationLevel::ReadCommitted, Ok((_, report))) => {

@@ -155,11 +155,7 @@ fn hours_single_write_is_the_ru_culprit() {
     let app = payroll::app();
     let ru = check_at_level(&app, "Print_Records", ReadUncommitted);
     assert!(!ru.ok);
-    assert!(
-        ru.failures.iter().any(|f| f.contains("Hours")),
-        "failures: {:?}",
-        ru.failures
-    );
+    assert!(ru.failures.iter().any(|f| f.contains("Hours")), "failures: {:?}", ru.failures);
 }
 
 #[test]
