@@ -21,4 +21,22 @@ fi
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== certificate round trip (certify -> independent verify-cert) =="
+# `certify` exits 1 when some (txn, level) is rejected — expected for these
+# workloads; only exit 2 (usage/IO/internal error) fails the gate.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+for w in banking orders orders-strict payroll tpcc; do
+    cargo run -q -p semcc-cli -- export "$w" "$tmpdir/$w.json" > /dev/null
+    rc=0
+    cargo run -q -p semcc-cli -- certify "$tmpdir/$w.json" \
+        --out "$tmpdir/$w.cert.json" > /dev/null || rc=$?
+    if [ "$rc" -ge 2 ]; then
+        echo "ci: certify $w failed (exit $rc)" >&2
+        exit 1
+    fi
+    cargo run -q -p semcc-cli -- verify-cert "$tmpdir/$w.cert.json" > /dev/null
+    echo "   $w: certificate VERIFIED"
+done
+
 echo "ci: all green"

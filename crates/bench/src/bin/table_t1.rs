@@ -25,11 +25,17 @@ fn print_costs(name: &str, app: &App) {
         "\n== {name}: K = {}, ΣN = {}, naive (ΣN)² = {} ==",
         table.k, table.total_stmts, table.naive_triples
     );
-    let widths = [12usize, 14, 14, 20];
+    let widths = [12usize, 14, 14, 12, 20];
     println!(
         "{}",
         row(
-            &["level".into(), "obligations".into(), "prover calls".into(), "vs naive".into()],
+            &[
+                "level".into(),
+                "obligations".into(),
+                "prover calls".into(),
+                "cache hits".into(),
+                "vs naive".into(),
+            ],
             &widths
         )
     );
@@ -47,6 +53,7 @@ fn print_costs(name: &str, app: &App) {
                     short(c.level).to_string(),
                     c.obligations.to_string(),
                     c.prover_calls.to_string(),
+                    c.cache_hits.to_string(),
                     format!("{pct:.1}%"),
                 ],
                 &widths

@@ -1,0 +1,483 @@
+//! The independent proof kernel.
+//!
+//! Everything in this module is a from-scratch re-implementation of the
+//! logic the analyzer's certifying pass uses to *produce* proofs: negation
+//! normal form, the deterministic full DNF expansion, linearization of
+//! comparisons, string congruence, and replay of Fourier–Motzkin traces.
+//! Only the AST types (and their `Display`/equality) are shared with
+//! `semcc-logic`; none of the prover's decision procedures are invoked, so
+//! a prover bug and a kernel bug are independent failures.
+//!
+//! Positional contract with the producer
+//! (`semcc_logic::certtrace`): both sides expand the goal with identical
+//! rules, so branch `i` of the proof is validated against branch `i` of
+//! *this* expansion. Any divergence — a tampered predicate, a dropped
+//! inference, a different branch order — surfaces as a verification error.
+
+use semcc_logic::certtrace::{FmStep, FmTrace, Refutation};
+use semcc_logic::{CmpOp, Expr, Pred, StrTerm, Var};
+use std::collections::BTreeMap;
+
+/// Branch budget for the full DNF expansion. Matches the producer's budget:
+/// every certificate the analyzer can emit re-expands within it, and an
+/// adversarial certificate that exceeds it is rejected rather than looped
+/// over.
+pub(crate) const MAX_BRANCHES: usize = 50_000;
+
+/// One literal of a fully-expanded DNF branch (kernel-private mirror of the
+/// producer's literal type).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum KLit {
+    Falsum,
+    Cmp(CmpOp, Expr, Expr),
+    Str { eq: bool, lhs: StrTerm, rhs: StrTerm },
+    Bool { atom: String, positive: bool },
+}
+
+/// Canonical boolean-literal name of an atom predicate. Must agree with the
+/// producer: `O:`-prefixed opaque names, `T:`-prefixed printed table atoms.
+fn atom_name(p: &Pred) -> Option<String> {
+    match p {
+        Pred::Opaque(a) => Some(format!("O:{}", a.name)),
+        Pred::Table(t) => Some(format!("T:{}", Pred::Table(t.clone()))),
+        _ => None,
+    }
+}
+
+/// Negation normal form with polarity tracking (independent mirror of the
+/// prover's normalization).
+fn nnf(p: &Pred, positive: bool) -> Pred {
+    match (p, positive) {
+        (Pred::True, true) | (Pred::False, false) => Pred::True,
+        (Pred::True, false) | (Pred::False, true) => Pred::False,
+        (Pred::Cmp(op, a, b), true) => Pred::Cmp(*op, a.clone(), b.clone()),
+        (Pred::Cmp(op, a, b), false) => Pred::Cmp(op.negate(), a.clone(), b.clone()),
+        (Pred::StrCmp { eq, lhs, rhs }, pos) => {
+            Pred::StrCmp { eq: *eq == pos, lhs: lhs.clone(), rhs: rhs.clone() }
+        }
+        (Pred::Not(q), pos) => nnf(q, !pos),
+        (Pred::And(ps), true) => Pred::And(ps.iter().map(|q| nnf(q, true)).collect()),
+        (Pred::And(ps), false) => Pred::Or(ps.iter().map(|q| nnf(q, false)).collect()),
+        (Pred::Or(ps), true) => Pred::Or(ps.iter().map(|q| nnf(q, true)).collect()),
+        (Pred::Or(ps), false) => Pred::And(ps.iter().map(|q| nnf(q, false)).collect()),
+        (Pred::Implies(a, b), true) => Pred::Or(vec![nnf(a, false), nnf(b, true)]),
+        (Pred::Implies(a, b), false) => Pred::And(vec![nnf(a, true), nnf(b, false)]),
+        (Pred::Opaque(_), true) | (Pred::Table(_), true) => p.clone(),
+        (Pred::Opaque(_), false) | (Pred::Table(_), false) => Pred::Not(Box::new(p.clone())),
+    }
+}
+
+/// Deterministic full DNF expansion (no pruning: `False` stays as a branch
+/// literal, dead branches are enumerated). `None` when `max` branches are
+/// exceeded.
+pub(crate) fn dnf_branches(p: &Pred, max: usize) -> Option<Vec<Vec<KLit>>> {
+    let n = nnf(p, true);
+    let mut out = Vec::new();
+    let mut lits = Vec::new();
+    if expand(&[n], &mut lits, &mut out, max) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+fn expand(todo: &[Pred], lits: &mut Vec<KLit>, out: &mut Vec<Vec<KLit>>, max: usize) -> bool {
+    let (first, rest) = match todo.split_first() {
+        None => {
+            if out.len() >= max {
+                return false;
+            }
+            out.push(lits.clone());
+            return true;
+        }
+        Some(x) => x,
+    };
+    match first {
+        Pred::True => expand(rest, lits, out, max),
+        Pred::False => {
+            lits.push(KLit::Falsum);
+            let ok = expand(rest, lits, out, max);
+            lits.pop();
+            ok
+        }
+        Pred::And(ps) => {
+            let mut next: Vec<Pred> = ps.clone();
+            next.extend_from_slice(rest);
+            expand(&next, lits, out, max)
+        }
+        Pred::Or(ps) => {
+            for alt in ps {
+                let mut next: Vec<Pred> = vec![alt.clone()];
+                next.extend_from_slice(rest);
+                if !expand(&next, lits, out, max) {
+                    return false;
+                }
+            }
+            true
+        }
+        Pred::Cmp(CmpOp::Ne, a, b) => {
+            let split = Pred::Or(vec![
+                Pred::Cmp(CmpOp::Lt, a.clone(), b.clone()),
+                Pred::Cmp(CmpOp::Gt, a.clone(), b.clone()),
+            ]);
+            let mut next: Vec<Pred> = vec![split];
+            next.extend_from_slice(rest);
+            expand(&next, lits, out, max)
+        }
+        Pred::Cmp(op, a, b) => {
+            lits.push(KLit::Cmp(*op, a.clone(), b.clone()));
+            let ok = expand(rest, lits, out, max);
+            lits.pop();
+            ok
+        }
+        Pred::StrCmp { eq, lhs, rhs } => {
+            lits.push(KLit::Str { eq: *eq, lhs: lhs.clone(), rhs: rhs.clone() });
+            let ok = expand(rest, lits, out, max);
+            lits.pop();
+            ok
+        }
+        Pred::Opaque(_) | Pred::Table(_) => {
+            let atom = atom_name(first).expect("atom");
+            lits.push(KLit::Bool { atom, positive: true });
+            let ok = expand(rest, lits, out, max);
+            lits.pop();
+            ok
+        }
+        Pred::Not(inner) => match atom_name(inner) {
+            Some(atom) => {
+                lits.push(KLit::Bool { atom, positive: false });
+                let ok = expand(rest, lits, out, max);
+                lits.pop();
+                ok
+            }
+            None => {
+                let n = nnf(inner, false);
+                let mut next: Vec<Pred> = vec![n];
+                next.extend_from_slice(rest);
+                expand(&next, lits, out, max)
+            }
+        },
+        Pred::Implies(a, b) => {
+            let n = Pred::Or(vec![nnf(a, false), nnf(b, true)]);
+            let mut next: Vec<Pred> = vec![n];
+            next.extend_from_slice(rest);
+            expand(&next, lits, out, max)
+        }
+    }
+}
+
+/// A linear term `Σ cᵢ·xᵢ + k` with checked `i128` arithmetic
+/// (kernel-private re-implementation; zero coefficients are pruned).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct KTerm {
+    pub(crate) coeffs: BTreeMap<Var, i128>,
+    pub(crate) constant: i128,
+}
+
+impl KTerm {
+    fn var(v: Var) -> KTerm {
+        KTerm { coeffs: BTreeMap::from([(v, 1)]), constant: 0 }
+    }
+
+    fn constant(k: i128) -> KTerm {
+        KTerm { coeffs: BTreeMap::new(), constant: k }
+    }
+
+    pub(crate) fn add(&self, other: &KTerm) -> Option<KTerm> {
+        let mut out = self.clone();
+        out.constant = out.constant.checked_add(other.constant)?;
+        for (v, c) in &other.coeffs {
+            let entry = out.coeffs.entry(v.clone()).or_insert(0);
+            *entry = entry.checked_add(*c)?;
+        }
+        out.coeffs.retain(|_, c| *c != 0);
+        Some(out)
+    }
+
+    pub(crate) fn scale(&self, k: i128) -> Option<KTerm> {
+        let mut out = KTerm { coeffs: BTreeMap::new(), constant: self.constant.checked_mul(k)? };
+        for (v, c) in &self.coeffs {
+            let ck = c.checked_mul(k)?;
+            if ck != 0 {
+                out.coeffs.insert(v.clone(), ck);
+            }
+        }
+        Some(out)
+    }
+
+    pub(crate) fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+}
+
+/// A constraint `term ≤ 0` (`is_eq = false`) or `term = 0` (`is_eq = true`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct KConstraint {
+    pub(crate) term: KTerm,
+    pub(crate) is_eq: bool,
+}
+
+/// Lower an expression to a linear term. Non-linear products are abstracted
+/// by a canonical variable derived from the *printed* operand order, which
+/// is exactly how the producer names them — shared `Display`, not shared
+/// solver code.
+fn linearize(e: &Expr) -> Option<KTerm> {
+    match e {
+        Expr::Const(c) => Some(KTerm::constant(*c as i128)),
+        Expr::Var(v) => Some(KTerm::var(v.clone())),
+        Expr::Add(a, b) => linearize(a)?.add(&linearize(b)?),
+        Expr::Sub(a, b) => linearize(a)?.add(&linearize(b)?.scale(-1)?),
+        Expr::Neg(a) => linearize(a)?.scale(-1),
+        Expr::Mul(a, b) => {
+            let la = linearize(a)?;
+            let lb = linearize(b)?;
+            if la.is_constant() {
+                lb.scale(la.constant)
+            } else if lb.is_constant() {
+                la.scale(lb.constant)
+            } else {
+                let (sa, sb) = (format!("{a}"), format!("{b}"));
+                let key =
+                    if sa <= sb { format!("$nl%{sa}*{sb}") } else { format!("$nl%{sb}*{sa}") };
+                Some(KTerm::var(Var::logical(key)))
+            }
+        }
+    }
+}
+
+/// Lower `lhs op rhs` to constraints, with integer tightening of strict
+/// comparisons. `Ne` is never present in an expanded branch (the expansion
+/// splits it) and yields `None` like any unlinearizable comparison.
+fn comparison(op: CmpOp, lhs: &Expr, rhs: &Expr) -> Option<Vec<KConstraint>> {
+    let l = linearize(lhs)?;
+    let r = linearize(rhs)?;
+    let diff = l.add(&r.scale(-1)?)?;
+    let one = KTerm::constant(1);
+    Some(match op {
+        CmpOp::Eq => vec![KConstraint { term: diff, is_eq: true }],
+        CmpOp::Le => vec![KConstraint { term: diff, is_eq: false }],
+        CmpOp::Lt => vec![KConstraint { term: diff.add(&one)?, is_eq: false }],
+        CmpOp::Ge => vec![KConstraint { term: diff.scale(-1)?, is_eq: false }],
+        CmpOp::Gt => vec![KConstraint { term: diff.scale(-1)?.add(&one)?, is_eq: false }],
+        CmpOp::Ne => return None,
+    })
+}
+
+/// The branch's linear constraints, in literal order. Unlinearizable
+/// comparisons are dropped — the identical (sound) drop the producer
+/// performs, keeping item indices aligned.
+fn branch_constraints(lits: &[KLit]) -> Vec<KConstraint> {
+    let mut out = Vec::new();
+    for l in lits {
+        if let KLit::Cmp(op, a, b) = l {
+            if let Some(cs) = comparison(*op, a, b) {
+                out.extend(cs);
+            }
+        }
+    }
+    out
+}
+
+/// Union-find congruence check over string terms (independent mirror).
+fn strings_consistent(eqs: &[(StrTerm, StrTerm)], nes: &[(StrTerm, StrTerm)]) -> bool {
+    let mut terms: Vec<StrTerm> = Vec::new();
+    let index = |t: &StrTerm, terms: &mut Vec<StrTerm>| -> usize {
+        if let Some(i) = terms.iter().position(|x| x == t) {
+            i
+        } else {
+            terms.push(t.clone());
+            terms.len() - 1
+        }
+    };
+    let pairs_eq: Vec<(usize, usize)> =
+        eqs.iter().map(|(a, b)| (index(a, &mut terms), index(b, &mut terms))).collect();
+    let pairs_ne: Vec<(usize, usize)> =
+        nes.iter().map(|(a, b)| (index(a, &mut terms), index(b, &mut terms))).collect();
+    let mut parent: Vec<usize> = (0..terms.len()).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for (i, j) in pairs_eq {
+        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+        parent[ri] = rj;
+    }
+    let mut class_const: BTreeMap<usize, &str> = BTreeMap::new();
+    for (i, t) in terms.iter().enumerate() {
+        if let StrTerm::Const(s) = t {
+            let r = find(&mut parent, i);
+            match class_const.get(&r) {
+                Some(existing) if *existing != s.as_str() => return false,
+                _ => {
+                    class_const.insert(r, s.as_str());
+                }
+            }
+        }
+    }
+    for (i, j) in pairs_ne {
+        if find(&mut parent, i) == find(&mut parent, j) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Validate one recorded refutation against the kernel's own branch `lits`.
+pub(crate) fn verify_refutation(lits: &[KLit], r: &Refutation) -> Result<(), String> {
+    match r {
+        Refutation::Falsum => {
+            if lits.iter().any(|l| matches!(l, KLit::Falsum)) {
+                Ok(())
+            } else {
+                Err("Falsum refutation but branch has no `false` literal".into())
+            }
+        }
+        Refutation::Bool { atom } => {
+            let has = |pol: bool| {
+                lits.iter().any(
+                    |l| matches!(l, KLit::Bool { atom: a, positive } if a == atom && *positive == pol),
+                )
+            };
+            if has(true) && has(false) {
+                Ok(())
+            } else {
+                Err(format!("Bool refutation: atom `{atom}` does not occur with both polarities"))
+            }
+        }
+        Refutation::Strings => {
+            let mut eqs = Vec::new();
+            let mut nes = Vec::new();
+            for l in lits {
+                if let KLit::Str { eq, lhs, rhs } = l {
+                    if *eq {
+                        eqs.push((lhs.clone(), rhs.clone()));
+                    } else {
+                        nes.push((lhs.clone(), rhs.clone()));
+                    }
+                }
+            }
+            if strings_consistent(&eqs, &nes) {
+                Err("Strings refutation but string literals are congruence-consistent".into())
+            } else {
+                Ok(())
+            }
+        }
+        Refutation::Linear(trace) => replay_trace(&branch_constraints(lits), trace),
+    }
+}
+
+fn div_ceil(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if a % b > 0 {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Replay a Fourier–Motzkin trace against the branch's constraints.
+///
+/// Soundness argument, independent of how the trace was found: every item
+/// on the list is entailed (as `≤ 0`) by the constraint conjunction —
+/// initial items are the constraints themselves (an equality contributes
+/// both directions), a `Combine` adds two `≤ 0` facts with **positive**
+/// multipliers, and a `Tighten` divides by a common divisor of the
+/// coefficients rounding the constant up (exact over the integers). A
+/// constant-only item with positive constant is therefore a genuine
+/// contradiction. The additional coefficient checks pin the trace to the
+/// producer's exact elimination, catching corruption early.
+fn replay_trace(constraints: &[KConstraint], trace: &FmTrace) -> Result<(), String> {
+    let mut items: Vec<KTerm> = Vec::new();
+    for c in constraints {
+        items.push(c.term.clone());
+        if c.is_eq {
+            let neg = c.term.scale(-1).ok_or("overflow negating equality")?;
+            items.push(neg);
+        }
+    }
+    for (si, step) in trace.steps.iter().enumerate() {
+        match step {
+            FmStep::Combine { upper, lower, var, mult_upper, mult_lower } => {
+                let mu = i128::from(*mult_upper);
+                let ml = i128::from(*mult_lower);
+                if mu <= 0 || ml <= 0 {
+                    return Err(format!("step {si}: non-positive multiplier"));
+                }
+                let u = items.get(*upper).ok_or_else(|| format!("step {si}: bad upper index"))?;
+                let l = items.get(*lower).ok_or_else(|| format!("step {si}: bad lower index"))?;
+                let cu = u.coeffs.get(var).copied().unwrap_or(0);
+                let cl = l.coeffs.get(var).copied().unwrap_or(0);
+                if cu <= 0 || cl >= 0 {
+                    return Err(format!("step {si}: items do not bound `{var}` as claimed"));
+                }
+                if mu != -cl || ml != cu {
+                    return Err(format!("step {si}: multipliers do not match coefficients"));
+                }
+                let combined = u
+                    .scale(mu)
+                    .and_then(|a| a.add(&l.scale(ml)?))
+                    .ok_or_else(|| format!("step {si}: arithmetic overflow"))?;
+                if combined.coeffs.contains_key(var) {
+                    return Err(format!("step {si}: `{var}` not eliminated"));
+                }
+                items.push(combined);
+            }
+            FmStep::Tighten { src, divisor } => {
+                let d = i128::from(*divisor);
+                if d <= 1 {
+                    return Err(format!("step {si}: divisor must exceed 1"));
+                }
+                let t = items.get(*src).ok_or_else(|| format!("step {si}: bad src index"))?;
+                if t.is_constant() {
+                    return Err(format!("step {si}: tighten of a constant item"));
+                }
+                let mut out = KTerm::default();
+                for (v, c) in &t.coeffs {
+                    if c % d != 0 {
+                        return Err(format!("step {si}: divisor does not divide all coefficients"));
+                    }
+                    out.coeffs.insert(v.clone(), c / d);
+                }
+                out.constant = div_ceil(t.constant, d);
+                items.push(out);
+            }
+        }
+    }
+    let c = items
+        .get(trace.contradiction)
+        .ok_or_else(|| format!("contradiction index {} out of range", trace.contradiction))?;
+    if c.is_constant() && c.constant > 0 {
+        Ok(())
+    } else {
+        Err(format!(
+            "claimed contradiction item {} is not a positive constant",
+            trace.contradiction
+        ))
+    }
+}
+
+/// Collect the names of every opaque atom occurring in a predicate
+/// (used to cross-check `Lemma`/`Footprint` step coverage).
+pub(crate) fn opaque_atom_names(p: &Pred, out: &mut Vec<String>) {
+    match p {
+        Pred::Opaque(a) => {
+            if !out.contains(&a.name) {
+                out.push(a.name.clone());
+            }
+        }
+        Pred::Not(q) => opaque_atom_names(q, out),
+        Pred::And(ps) | Pred::Or(ps) => {
+            for q in ps {
+                opaque_atom_names(q, out);
+            }
+        }
+        Pred::Implies(a, b) => {
+            opaque_atom_names(a, out);
+            opaque_atom_names(b, out);
+        }
+        Pred::True | Pred::False | Pred::Cmp(..) | Pred::StrCmp { .. } | Pred::Table(_) => {}
+    }
+}

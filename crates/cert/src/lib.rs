@@ -1,0 +1,293 @@
+//! Proof certificates for the semantic-correctness analyzer, and an
+//! independent checker for them.
+//!
+//! The analyzer (`semcc-core`) discharges Owicki–Gries non-interference
+//! triples `{P ∧ P'} S {P}` with a sound prover. A *certifying* run
+//! additionally emits, per discharged triple, a [`ObligationCert`]
+//! recording the substituted pre/post predicates, the writer's symbolic
+//! path summary, and — for the arithmetic core — a Fourier–Motzkin
+//! refutation trace of the negated implication ([`UnsatProof`]).
+//!
+//! [`verify`] re-validates a [`Certificate`] using only predicate
+//! evaluation and substitution plus the from-scratch kernel in this crate;
+//! it never invokes the prover, so the analyzer and the checker fail
+//! independently.
+//!
+//! # Trust boundary
+//!
+//! * **Fully re-verified:** scalar preservation steps
+//!   ([`Step::Substitution`], [`Step::Disjoint`], [`Step::NoWrites`]) — the
+//!   postcondition is recomputed by substitution, fresh havoc constants are
+//!   occurs-checked, and the recorded unsatisfiability proof is replayed
+//!   positionally against the checker's own DNF expansion of the negated
+//!   implication.
+//! * **Trusted premises:** registered preservation lemmas
+//!   ([`Step::Lemma`], checked against the certificate's lemma
+//!   declarations) and the structural footprint/table-region rules
+//!   ([`Step::Footprint`], [`Step::TableRule`]), which mirror the paper's
+//!   prose arguments and are validated empirically by the runtime monitor
+//!   rather than logically by this checker.
+//!
+//! The checker also cannot know whether the analyzer enumerated *all*
+//! obligations a theorem requires — it certifies that every *claimed*
+//! discharge is genuine, the classic translation-validation contract.
+#![warn(missing_docs)]
+
+mod kernel;
+pub mod verify;
+
+use semcc_json::{FromJson, Json, JsonError, ToJson};
+use semcc_logic::certtrace::UnsatProof;
+use semcc_logic::{Expr, Pred, Var};
+
+pub use verify::{verify, VerifyReport};
+
+/// One reasoning step discharging part of a non-interference obligation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Step {
+    /// The writer's path has no scalar effect (empty assignment, no havoc).
+    NoWrites,
+    /// The assertion's database variables are disjoint from the items the
+    /// writer's path assigns or havocs.
+    Disjoint,
+    /// A registered preservation lemma covers the opaque atom for this
+    /// writer at this scope (trusted premise; must be declared in the
+    /// certificate header).
+    Lemma {
+        /// Opaque atom name.
+        atom: String,
+        /// Writing transaction the lemma covers.
+        writer: String,
+        /// Scope of use: `"Unit"` or `"Stmt"`.
+        scope: String,
+    },
+    /// The writer's footprint is disjoint from the opaque atom's declared
+    /// read footprint (trusted structural rule).
+    Footprint {
+        /// Opaque atom name.
+        atom: String,
+    },
+    /// A structural table-region rule discharged a table atom against one
+    /// relational effect (trusted structural rule).
+    TableRule {
+        /// Printed form of the table atom.
+        atom: String,
+        /// Kind of the discharged effect (e.g. `INSERT`).
+        effect: String,
+    },
+    /// The substituted assertion was proven preserved: `post` is the
+    /// assertion after applying the writer's assignment (havoced items
+    /// replaced by the recorded fresh constants), and `proof` refutes every
+    /// DNF branch of `¬((P ∧ (P ∧ cond)) ⟹ post)`.
+    Substitution {
+        /// The substituted postcondition `P[assign, havoc←fresh]`.
+        post: Pred,
+        /// Havoced item → fresh rigid constant, in havoc-list order.
+        havoc_fresh: Vec<(Var, Var)>,
+        /// Positional refutation of the negated implication.
+        proof: UnsatProof,
+    },
+}
+
+/// A certified (discharged) non-interference obligation
+/// `{P ∧ P'} S {P}`: the protected assertion, the interfering path's
+/// summary, and the steps that discharged it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObligationCert {
+    /// The protected assertion `P`.
+    pub assertion: Pred,
+    /// The interfering path's condition `P'` (its path constraint).
+    pub condition: Pred,
+    /// The path's simultaneous scalar assignment.
+    pub assign: Vec<(Var, Expr)>,
+    /// Items the path writes with untracked values (havoc).
+    pub havoc: Vec<Var>,
+    /// Human-readable descriptions of the path's relational effects.
+    pub effects: Vec<String>,
+    /// The discharging steps, in analyzer order.
+    pub steps: Vec<Step>,
+}
+
+/// The certificate for one transaction type at one isolation level.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TxnCert {
+    /// Transaction type analyzed.
+    pub txn: String,
+    /// Isolation level analyzed (printed form).
+    pub level: String,
+    /// Whether every obligation was discharged.
+    pub ok: bool,
+    /// Total obligations the theorem enumerated (certified + failed +
+    /// trivially discharged without a preservation query).
+    pub obligations: usize,
+    /// Certificates for the discharged preservation queries.
+    pub certified: Vec<ObligationCert>,
+    /// Failure descriptions (empty iff `ok`); failed obligations are
+    /// witnessed by executable schedules, not certificates.
+    pub failures: Vec<String>,
+}
+
+/// A preservation lemma declared by the application (trusted premise).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LemmaDecl {
+    /// Opaque atom name.
+    pub atom: String,
+    /// Transaction the lemma covers.
+    pub txn: String,
+    /// Declared scope: `"Unit"` or `"Stmt"` (statement scope implies unit).
+    pub scope: String,
+}
+
+/// A proof certificate for an application's analysis run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Certificate {
+    /// Application name.
+    pub app: String,
+    /// Declared preservation lemmas (the trusted premises).
+    pub lemmas: Vec<LemmaDecl>,
+    /// Per-(transaction, level) reports.
+    pub reports: Vec<TxnCert>,
+}
+
+impl ToJson for Step {
+    fn to_json(&self) -> Json {
+        match self {
+            Step::NoWrites => Json::str("NoWrites"),
+            Step::Disjoint => Json::str("Disjoint"),
+            Step::Lemma { atom, writer, scope } => Json::tagged(
+                "Lemma",
+                Json::obj([
+                    ("atom", Json::str(atom)),
+                    ("writer", Json::str(writer)),
+                    ("scope", Json::str(scope)),
+                ]),
+            ),
+            Step::Footprint { atom } => Json::tagged("Footprint", Json::str(atom)),
+            Step::TableRule { atom, effect } => Json::tagged(
+                "TableRule",
+                Json::obj([("atom", Json::str(atom)), ("effect", Json::str(effect))]),
+            ),
+            Step::Substitution { post, havoc_fresh, proof } => Json::tagged(
+                "Substitution",
+                Json::obj([
+                    ("post", post.to_json()),
+                    ("havoc_fresh", havoc_fresh.to_json()),
+                    ("proof", proof.to_json()),
+                ]),
+            ),
+        }
+    }
+}
+
+impl FromJson for Step {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let (tag, p) = j.as_tagged()?;
+        match tag {
+            "NoWrites" => Ok(Step::NoWrites),
+            "Disjoint" => Ok(Step::Disjoint),
+            "Lemma" => Ok(Step::Lemma {
+                atom: p.field("atom")?,
+                writer: p.field("writer")?,
+                scope: p.field("scope")?,
+            }),
+            "Footprint" => Ok(Step::Footprint { atom: String::from_json(p)? }),
+            "TableRule" => {
+                Ok(Step::TableRule { atom: p.field("atom")?, effect: p.field("effect")? })
+            }
+            "Substitution" => Ok(Step::Substitution {
+                post: p.field("post")?,
+                havoc_fresh: p.field("havoc_fresh")?,
+                proof: p.field("proof")?,
+            }),
+            other => Err(JsonError::new(format!("unknown Step variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for ObligationCert {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("assertion", self.assertion.to_json()),
+            ("condition", self.condition.to_json()),
+            ("assign", self.assign.to_json()),
+            ("havoc", self.havoc.to_json()),
+            ("effects", self.effects.to_json()),
+            ("steps", self.steps.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ObligationCert {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(ObligationCert {
+            assertion: j.field("assertion")?,
+            condition: j.field("condition")?,
+            assign: j.field("assign")?,
+            havoc: j.field("havoc")?,
+            effects: j.field("effects")?,
+            steps: j.field("steps")?,
+        })
+    }
+}
+
+impl ToJson for TxnCert {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("txn", Json::str(&self.txn)),
+            ("level", Json::str(&self.level)),
+            ("ok", self.ok.to_json()),
+            ("obligations", self.obligations.to_json()),
+            ("certified", self.certified.to_json()),
+            ("failures", self.failures.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TxnCert {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(TxnCert {
+            txn: j.field("txn")?,
+            level: j.field("level")?,
+            ok: j.field("ok")?,
+            obligations: j.field("obligations")?,
+            certified: j.field("certified")?,
+            failures: j.field("failures")?,
+        })
+    }
+}
+
+impl ToJson for LemmaDecl {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("atom", Json::str(&self.atom)),
+            ("txn", Json::str(&self.txn)),
+            ("scope", Json::str(&self.scope)),
+        ])
+    }
+}
+
+impl FromJson for LemmaDecl {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(LemmaDecl { atom: j.field("atom")?, txn: j.field("txn")?, scope: j.field("scope")? })
+    }
+}
+
+impl ToJson for Certificate {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app", Json::str(&self.app)),
+            ("lemmas", self.lemmas.to_json()),
+            ("reports", self.reports.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Certificate {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Certificate {
+            app: j.field("app")?,
+            lemmas: j.field("lemmas")?,
+            reports: j.field("reports")?,
+        })
+    }
+}

@@ -1,0 +1,201 @@
+//! Certificate verification.
+
+use crate::kernel;
+use crate::{Certificate, LemmaDecl, ObligationCert, Step};
+use semcc_logic::certtrace::UnsatProof;
+use semcc_logic::subst::Subst;
+use semcc_logic::{Expr, Pred, Var};
+use std::collections::BTreeSet;
+
+/// Outcome of verifying a [`Certificate`].
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    /// Certified obligations examined.
+    pub obligations: usize,
+    /// Substitution steps whose unsatisfiability proof was fully replayed.
+    pub substitution_proofs: usize,
+    /// Trusted steps accepted as premises (lemmas, footprint and
+    /// table-region rules).
+    pub trusted_steps: usize,
+    /// Verification errors (empty iff the certificate is valid).
+    pub errors: Vec<String>,
+}
+
+impl VerifyReport {
+    /// Whether every check passed.
+    pub fn is_valid(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Verify a certificate. Every scalar discharge is re-proven from the
+/// recorded data; lemma uses are checked against the declared premises;
+/// inconsistent bookkeeping (an `ok` report carrying failures, an
+/// obligation without a scalar step) is rejected.
+pub fn verify(cert: &Certificate) -> VerifyReport {
+    let mut report = VerifyReport::default();
+    for txn in &cert.reports {
+        let whre = format!("{}@{}", txn.txn, txn.level);
+        if txn.ok != txn.failures.is_empty() {
+            report.errors.push(format!("{whre}: ok flag contradicts failure list"));
+        }
+        if txn.certified.len() > txn.obligations {
+            report
+                .errors
+                .push(format!("{whre}: more certified obligations than enumerated obligations"));
+        }
+        for (i, ob) in txn.certified.iter().enumerate() {
+            report.obligations += 1;
+            for err in verify_obligation(ob, &cert.lemmas, &mut report) {
+                report.errors.push(format!("{whre} obligation #{i}: {err}"));
+            }
+        }
+    }
+    report
+}
+
+fn verify_obligation(
+    ob: &ObligationCert,
+    lemmas: &[LemmaDecl],
+    report: &mut VerifyReport,
+) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut scalar_steps = 0usize;
+    let mut covered_atoms: Vec<String> = Vec::new();
+    for step in &ob.steps {
+        match step {
+            Step::NoWrites => {
+                scalar_steps += 1;
+                if !ob.assign.is_empty() || !ob.havoc.is_empty() {
+                    errors.push("NoWrites step but the path assigns or havocs items".into());
+                }
+            }
+            Step::Disjoint => {
+                scalar_steps += 1;
+                if let Err(e) = verify_disjoint(ob) {
+                    errors.push(e);
+                }
+            }
+            Step::Lemma { atom, writer, scope } => {
+                report.trusted_steps += 1;
+                covered_atoms.push(atom.clone());
+                if !lemma_covers(lemmas, atom, writer, scope) {
+                    errors.push(format!(
+                        "lemma use (#{atom}, {writer}, {scope}) is not declared in the certificate"
+                    ));
+                }
+            }
+            Step::Footprint { atom } => {
+                report.trusted_steps += 1;
+                covered_atoms.push(atom.clone());
+            }
+            Step::TableRule { .. } => {
+                report.trusted_steps += 1;
+            }
+            Step::Substitution { post, havoc_fresh, proof } => {
+                scalar_steps += 1;
+                match verify_substitution(ob, post, havoc_fresh, proof) {
+                    Ok(()) => report.substitution_proofs += 1,
+                    Err(e) => errors.push(e),
+                }
+            }
+        }
+    }
+    if scalar_steps != 1 {
+        errors.push(format!("expected exactly one scalar step, found {scalar_steps}"));
+    }
+    // Every opaque atom of the assertion needs a lemma or footprint step.
+    let mut names = Vec::new();
+    kernel::opaque_atom_names(&ob.assertion, &mut names);
+    for name in names {
+        if !covered_atoms.contains(&name) {
+            errors.push(format!("opaque atom #{name} has no lemma or footprint step"));
+        }
+    }
+    errors
+}
+
+/// `Stmt`-scope declarations imply the `Unit`-scope use (mirrors the
+/// analyzer's registry semantics).
+fn lemma_covers(lemmas: &[LemmaDecl], atom: &str, writer: &str, scope: &str) -> bool {
+    lemmas.iter().any(|d| {
+        d.atom == atom
+            && d.txn == writer
+            && (d.scope == "Stmt" || (d.scope == scope && scope == "Unit"))
+    })
+}
+
+fn verify_disjoint(ob: &ObligationCert) -> Result<(), String> {
+    let written: BTreeSet<&Var> = ob.assign.iter().map(|(v, _)| v).chain(ob.havoc.iter()).collect();
+    for v in ob.assertion.vars() {
+        if v.is_shared() && written.contains(&v) {
+            return Err(format!("Disjoint step but the path writes `{v}`"));
+        }
+    }
+    Ok(())
+}
+
+fn verify_substitution(
+    ob: &ObligationCert,
+    post: &Pred,
+    havoc_fresh: &[(Var, Var)],
+    proof: &UnsatProof,
+) -> Result<(), String> {
+    // The havoc→fresh map must cover exactly the recorded havoc list.
+    if havoc_fresh.len() != ob.havoc.len()
+        || havoc_fresh.iter().zip(&ob.havoc).any(|((v, _), h)| v != h)
+    {
+        return Err("havoc_fresh does not match the recorded havoc items".into());
+    }
+    // Freshness: the constants must be rigid, pairwise distinct, and absent
+    // from everything they generalize over — otherwise substituting them
+    // would not model an arbitrary havoced value.
+    let mut forbidden: BTreeSet<Var> = ob.assertion.vars().into_iter().collect();
+    forbidden.extend(ob.condition.vars());
+    for (v, e) in &ob.assign {
+        forbidden.insert(v.clone());
+        forbidden.extend(e.vars());
+    }
+    let mut seen: BTreeSet<&Var> = BTreeSet::new();
+    for (_, f) in havoc_fresh {
+        if !f.is_rigid() {
+            return Err(format!("fresh constant `{f}` is not rigid"));
+        }
+        if forbidden.contains(f) {
+            return Err(format!("fresh constant `{f}` occurs in the obligation"));
+        }
+        if !seen.insert(f) {
+            return Err(format!("fresh constant `{f}` used twice"));
+        }
+    }
+    // Recompute the postcondition by substitution and compare structurally.
+    let mut s = Subst::new();
+    for (v, e) in &ob.assign {
+        s.insert(v.clone(), e.clone());
+    }
+    for (v, f) in havoc_fresh {
+        s.insert(v.clone(), Expr::Var(f.clone()));
+    }
+    let expected = s.apply_pred(&ob.assertion);
+    if expected != *post {
+        return Err("recorded postcondition does not match the substituted assertion".into());
+    }
+    // Rebuild the goal exactly as the analyzer phrases it and replay the
+    // proof positionally against our own expansion.
+    let ctx = Pred::and([ob.assertion.clone(), ob.condition.clone()]);
+    let hyp = Pred::and([ob.assertion.clone(), ctx]);
+    let goal = Pred::not(Pred::implies(hyp, expected));
+    let branches = kernel::dnf_branches(&goal, kernel::MAX_BRANCHES)
+        .ok_or("DNF expansion exceeded the branch budget")?;
+    if branches.len() != proof.branches.len() {
+        return Err(format!(
+            "proof has {} branch refutations, expansion has {} branches",
+            proof.branches.len(),
+            branches.len()
+        ));
+    }
+    for (i, (lits, refutation)) in branches.iter().zip(&proof.branches).enumerate() {
+        kernel::verify_refutation(lits, refutation).map_err(|e| format!("branch {i}: {e}"))?;
+    }
+    Ok(())
+}

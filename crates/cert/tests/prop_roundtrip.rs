@@ -1,0 +1,194 @@
+//! Property tests for certificate serialization and checker totality.
+//!
+//! Certificates are the interchange format between the analyzer and the
+//! independent checker, so (a) randomly generated certificates must
+//! survive a JSON print → parse round trip structurally unchanged, and
+//! (b) `verify` must be *total* — arbitrary (almost always invalid)
+//! certificates are rejected with errors, never a panic.
+
+use rand::{Rng, SeedableRng, StdRng};
+use semcc_cert::{verify, Certificate, LemmaDecl, ObligationCert, Step, TxnCert};
+use semcc_json::{from_str, to_string, to_string_pretty};
+use semcc_logic::certtrace::{FmStep, FmTrace, Refutation, UnsatProof};
+use semcc_logic::{CmpOp, Expr, Pred, Var};
+
+const NAMES: [&str; 6] = ["x", "y", "bal", "hrs", "maximum_date", "n0"];
+
+fn var(rng: &mut StdRng) -> Var {
+    let name = NAMES[rng.gen_range(0..NAMES.len())];
+    match rng.gen_range(0..4) {
+        0 => Var::db(name),
+        1 => Var::local(name),
+        2 => Var::param(name),
+        _ => Var::logical(name),
+    }
+}
+
+fn expr(rng: &mut StdRng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return if rng.gen_bool(0.5) {
+            Expr::Const(rng.gen_range(-100..100))
+        } else {
+            Expr::Var(var(rng))
+        };
+    }
+    let a = Box::new(expr(rng, depth - 1));
+    let b = Box::new(expr(rng, depth - 1));
+    match rng.gen_range(0..4) {
+        0 => Expr::Add(a, b),
+        1 => Expr::Sub(a, b),
+        2 => Expr::Mul(a, b),
+        _ => Expr::Neg(a),
+    }
+}
+
+fn cmp_op(rng: &mut StdRng) -> CmpOp {
+    match rng.gen_range(0..6) {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        _ => CmpOp::Ge,
+    }
+}
+
+fn pred(rng: &mut StdRng, depth: usize) -> Pred {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return match rng.gen_range(0..3) {
+            0 => Pred::True,
+            1 => Pred::False,
+            _ => Pred::Cmp(cmp_op(rng), expr(rng, 1), expr(rng, 1)),
+        };
+    }
+    match rng.gen_range(0..4) {
+        0 => Pred::Not(Box::new(pred(rng, depth - 1))),
+        1 => Pred::And((0..rng.gen_range(0..3usize)).map(|_| pred(rng, depth - 1)).collect()),
+        2 => Pred::Or((0..rng.gen_range(0..3usize)).map(|_| pred(rng, depth - 1)).collect()),
+        _ => Pred::Implies(Box::new(pred(rng, depth - 1)), Box::new(pred(rng, depth - 1))),
+    }
+}
+
+fn fm_step(rng: &mut StdRng) -> FmStep {
+    if rng.gen_bool(0.7) {
+        FmStep::Combine {
+            upper: rng.gen_range(0..8),
+            lower: rng.gen_range(0..8),
+            var: var(rng),
+            mult_upper: rng.gen_range(1..5),
+            mult_lower: rng.gen_range(1..5),
+        }
+    } else {
+        FmStep::Tighten { src: rng.gen_range(0..8), divisor: rng.gen_range(2..5) }
+    }
+}
+
+fn refutation(rng: &mut StdRng) -> Refutation {
+    match rng.gen_range(0..4) {
+        0 => Refutation::Falsum,
+        1 => Refutation::Bool { atom: format!("O:{}", NAMES[rng.gen_range(0..NAMES.len())]) },
+        2 => Refutation::Strings,
+        _ => Refutation::Linear(FmTrace {
+            steps: (0..rng.gen_range(0..4usize)).map(|_| fm_step(rng)).collect(),
+            contradiction: rng.gen_range(0..8),
+        }),
+    }
+}
+
+fn step(rng: &mut StdRng) -> Step {
+    match rng.gen_range(0..6) {
+        0 => Step::NoWrites,
+        1 => Step::Disjoint,
+        2 => Step::Lemma {
+            atom: NAMES[rng.gen_range(0..NAMES.len())].to_string(),
+            writer: format!("T{}", rng.gen_range(0..4)),
+            scope: if rng.gen_bool(0.5) { "Unit".into() } else { "Stmt".into() },
+        },
+        3 => Step::Footprint { atom: NAMES[rng.gen_range(0..NAMES.len())].to_string() },
+        4 => Step::TableRule {
+            atom: format!("#count({})", NAMES[rng.gen_range(0..NAMES.len())]),
+            effect: "INSERT".into(),
+        },
+        _ => Step::Substitution {
+            post: pred(rng, 2),
+            havoc_fresh: (0..rng.gen_range(0..3usize)).map(|_| (var(rng), var(rng))).collect(),
+            proof: UnsatProof {
+                branches: (0..rng.gen_range(0..4usize)).map(|_| refutation(rng)).collect(),
+            },
+        },
+    }
+}
+
+fn obligation(rng: &mut StdRng) -> ObligationCert {
+    ObligationCert {
+        assertion: pred(rng, 3),
+        condition: pred(rng, 2),
+        assign: (0..rng.gen_range(0..3usize)).map(|_| (var(rng), expr(rng, 2))).collect(),
+        havoc: (0..rng.gen_range(0..3usize)).map(|_| var(rng)).collect(),
+        effects: (0..rng.gen_range(0..2usize)).map(|i| format!("INSERT into t{i}")).collect(),
+        steps: (0..rng.gen_range(0..4usize)).map(|_| step(rng)).collect(),
+    }
+}
+
+fn certificate(rng: &mut StdRng) -> Certificate {
+    Certificate {
+        app: format!("app{}", rng.gen_range(0..100)),
+        lemmas: (0..rng.gen_range(0..3usize))
+            .map(|_| LemmaDecl {
+                atom: NAMES[rng.gen_range(0..NAMES.len())].to_string(),
+                txn: format!("T{}", rng.gen_range(0..4)),
+                scope: if rng.gen_bool(0.5) { "Unit".into() } else { "Stmt".into() },
+            })
+            .collect(),
+        reports: (0..rng.gen_range(0..4usize))
+            .map(|_| {
+                let certified: Vec<_> =
+                    (0..rng.gen_range(0..3usize)).map(|_| obligation(rng)).collect();
+                let failures: Vec<String> = (0..rng.gen_range(0..2usize))
+                    .map(|i| format!("obligation {i} failed"))
+                    .collect();
+                TxnCert {
+                    txn: format!("T{}", rng.gen_range(0..4)),
+                    level: "SNAPSHOT".into(),
+                    ok: failures.is_empty(),
+                    obligations: certified.len() + failures.len(),
+                    certified,
+                    failures,
+                }
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn random_certificates_round_trip_through_json() {
+    let mut rng = StdRng::seed_from_u64(0xCE47);
+    for i in 0..200 {
+        let cert = certificate(&mut rng);
+        let compact = to_string(&cert);
+        let back: Certificate =
+            from_str(&compact).unwrap_or_else(|e| panic!("iteration {i}: parse failed: {e}"));
+        assert_eq!(cert, back, "iteration {i}: compact round trip changed the certificate");
+        let pretty = to_string_pretty(&cert);
+        let back: Certificate =
+            from_str(&pretty).unwrap_or_else(|e| panic!("iteration {i}: pretty parse: {e}"));
+        assert_eq!(cert, back, "iteration {i}: pretty round trip changed the certificate");
+    }
+}
+
+#[test]
+fn verify_is_total_on_random_certificates() {
+    // Random certificates are overwhelmingly *invalid* — their proofs do
+    // not align with their claims. The checker must report that through
+    // `VerifyReport::errors`, never by panicking.
+    let mut rng = StdRng::seed_from_u64(0xBAD5EED);
+    let mut rejected = 0usize;
+    for _ in 0..200 {
+        let cert = certificate(&mut rng);
+        let report = verify(&cert);
+        if !report.is_valid() {
+            rejected += 1;
+        }
+    }
+    assert!(rejected > 0, "random substitution claims should not all verify");
+}

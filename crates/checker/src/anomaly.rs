@@ -49,6 +49,9 @@ fn views(events: &[Event]) -> BTreeMap<TxnId, TxnView> {
         });
         match &ev.op {
             Op::Read { key, src, .. } => v.reads.push((ev.seq, key.clone(), src.clone())),
+            Op::RowRead { table, id, src } => {
+                v.reads.push((ev.seq, Key::row(table.clone(), *id), src.clone()));
+            }
             Op::Write { key, .. } => v.writes.push((ev.seq, key.clone())),
             Op::RowInsert { table, id, .. } | Op::RowUpdate { table, id, .. } => {
                 v.writes.push((ev.seq, Key::row(table.clone(), *id)));

@@ -121,6 +121,13 @@ pub fn conflict_graph(events: &[Event]) -> ConflictGraph {
                 };
                 a.reads.push((ev.seq, key.clone(), version));
             }
+            Op::RowRead { table, id, src } => {
+                let version = match src {
+                    ReadSrc::Committed(ts) | ReadSrc::Snapshot(ts) => Some(*ts),
+                    ReadSrc::Dirty(_) => None,
+                };
+                a.reads.push((ev.seq, Key::row(table.clone(), *id), version));
+            }
             Op::Write { key, .. } => a.writes.push((ev.seq, key.clone())),
             Op::RowInsert { table, id, .. } | Op::RowUpdate { table, id, .. } => {
                 a.writes.push((ev.seq, Key::row(table.clone(), *id)));

@@ -11,8 +11,11 @@
 //! semcc check bank.json Withdraw_sav SNAPSHOT
 //! semcc lint bank.json                 # static anomaly prediction
 //! semcc lint bank.json --levels SNAPSHOT,SNAPSHOT,RR,RR
+//! semcc lint bank.json --witness       # replay refutation witnesses
 //! semcc verify bank.json               # annotation outline validation
 //! semcc obligations bank.json          # per-level obligation counts
+//! semcc certify bank.json --out c.json # emit proof certificates
+//! semcc verify-cert c.json             # independent certificate check
 //! ```
 //!
 //! Exit codes: `0` — everything provable / lints clean; `1` — diagnostics
@@ -23,7 +26,7 @@ use semcc_core::annotate::{check_app_annotations, Severity};
 use semcc_core::assign::{ansi_ladder, assign_levels, default_ladder};
 use semcc_core::counting::cost_table;
 use semcc_core::theorems::check_at_level;
-use semcc_core::{lint, App, LintReport};
+use semcc_core::{certify_app, lint, replay_witnesses, App, LintReport, Witness, WitnessOutcome};
 use semcc_engine::IsolationLevel;
 use semcc_json::Json;
 use semcc_workloads::{banking, orders, payroll, tpcc};
@@ -50,6 +53,8 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("obligations") => cmd_obligations(&args[1..]),
+        Some("certify") => cmd_certify(&args[1..]),
+        Some("verify-cert") => cmd_verify_cert(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(Findings::Clean)
@@ -73,9 +78,11 @@ fn print_usage() {
     println!("  semcc export <banking|orders|orders-strict|payroll|tpcc> <out.json>");
     println!("  semcc analyze <app.json> [--ansi]");
     println!("  semcc check <app.json> <transaction> <LEVEL>");
-    println!("  semcc lint <app.json> [--levels L1,L2,...] [--json]");
+    println!("  semcc lint <app.json> [--levels L1,L2,...] [--witness] [--json]");
     println!("  semcc verify <app.json>");
     println!("  semcc obligations <app.json>");
+    println!("  semcc certify <app.json> [--out cert.json]");
+    println!("  semcc verify-cert <cert.json>");
     println!();
     println!("LEVELs: \"READ UNCOMMITTED\", \"READ COMMITTED\", \"READ COMMITTED+FCW\",");
     println!("        \"REPEATABLE READ\", \"SNAPSHOT\", \"SERIALIZABLE\"");
@@ -188,6 +195,7 @@ fn cmd_lint(args: &[String]) -> CmdResult {
     let mut path: Option<&String> = None;
     let mut levels_arg: Option<&String> = None;
     let mut json_out = false;
+    let mut witness = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -195,11 +203,13 @@ fn cmd_lint(args: &[String]) -> CmdResult {
                 levels_arg = Some(it.next().ok_or("--levels needs a comma-separated list")?);
             }
             "--json" => json_out = true,
+            "--witness" => witness = true,
             _ if path.is_none() => path = Some(a),
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    let path = path.ok_or("usage: semcc lint <app.json> [--levels L1,L2,...] [--json]")?;
+    let path =
+        path.ok_or("usage: semcc lint <app.json> [--levels L1,L2,...] [--witness] [--json]")?;
     let app = load_app(path)?;
     let levels: Option<BTreeMap<String, IsolationLevel>> = match levels_arg {
         None => None,
@@ -221,16 +231,67 @@ fn cmd_lint(args: &[String]) -> CmdResult {
         }
     };
     let report = lint(&app, levels.as_ref());
+    let witnesses = if witness { Some(replay_witnesses(&app, &report)) } else { None };
     if json_out {
-        println!("{}", lint_report_json(&report).to_pretty());
+        let mut json = lint_report_json(&report);
+        if let (Some(ws), Json::Obj(fields)) = (&witnesses, &mut json) {
+            fields.push(("witnesses".to_string(), witnesses_json(ws)));
+        }
+        println!("{}", json.to_pretty());
     } else {
         print_lint_report(&report);
+        if let Some(ws) = &witnesses {
+            print_witnesses(ws);
+        }
     }
     if report.clean() {
         Ok(Findings::Clean)
     } else {
         Ok(Findings::Diagnostics)
     }
+}
+
+fn print_witnesses(witnesses: &[Witness]) {
+    println!();
+    if witnesses.is_empty() {
+        println!("no diagnostics, so no witnesses to replay");
+        return;
+    }
+    println!("refutation witnesses (replayed on semcc-engine):");
+    for w in witnesses {
+        println!("{}", w.render());
+    }
+    let confirmed = witnesses.iter().filter(|w| w.confirmed()).count();
+    println!();
+    println!("{confirmed}/{} witness(es) CONFIRMED", witnesses.len());
+}
+
+fn witnesses_json(witnesses: &[Witness]) -> Json {
+    Json::Arr(
+        witnesses
+            .iter()
+            .map(|w| {
+                let (outcome, reason) = match &w.outcome {
+                    WitnessOutcome::Confirmed => ("CONFIRMED", Json::Null),
+                    WitnessOutcome::Unconfirmed(why) => ("UNCONFIRMED", Json::str(why.clone())),
+                };
+                Json::obj([
+                    ("code", Json::str(w.code.clone())),
+                    ("kind", Json::str(w.kind.to_string())),
+                    ("victim", Json::str(w.victim.clone())),
+                    ("victim_level", Json::str(w.victim_level.to_string())),
+                    ("interferer", Json::str(w.interferer.clone())),
+                    ("interferer_level", Json::str(w.interferer_level.to_string())),
+                    (
+                        "schedule",
+                        Json::Arr(w.schedule.iter().map(|s| Json::str(s.clone())).collect()),
+                    ),
+                    ("outcome", Json::str(outcome)),
+                    ("reason", reason),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn print_lint_report(report: &LintReport) {
@@ -414,12 +475,95 @@ fn cmd_obligations(args: &[String]) -> CmdResult {
         "K = {} transaction types, ΣN = {} statements, naive (ΣN)^2 = {}",
         t.k, t.total_stmts, t.naive_triples
     );
-    println!("{:<22}  {:>12}  {:>14}", "level", "obligations", "prover calls");
-    println!("{}", "-".repeat(52));
+    println!(
+        "{:<22}  {:>12}  {:>14}  {:>12}",
+        "level", "obligations", "prover calls", "cache hits"
+    );
+    println!("{}", "-".repeat(66));
     for c in &t.per_level {
-        println!("{:<22}  {:>12}  {:>14}", c.level.to_string(), c.obligations, c.prover_calls);
+        println!(
+            "{:<22}  {:>12}  {:>14}  {:>12}",
+            c.level.to_string(),
+            c.obligations,
+            c.prover_calls,
+            c.cache_hits
+        );
     }
     Ok(Findings::Clean)
+}
+
+fn cmd_certify(args: &[String]) -> CmdResult {
+    let mut path: Option<&String> = None;
+    let mut out: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = Some(it.next().ok_or("--out needs a file path")?),
+            _ if path.is_none() => path = Some(a),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let path = path.ok_or("usage: semcc certify <app.json> [--out cert.json]")?;
+    let app = load_app(path)?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("app")
+        .to_string();
+    let cert = certify_app(&app, &name, semcc_txn::symexec::SymOptions::default())
+        .map_err(|e| format!("certification failed: {e}"))?;
+    println!("{:<24}  {:<20}  {:>11}  {:>9}", "transaction", "level", "obligations", "certified");
+    println!("{}", "-".repeat(72));
+    let mut findings = Findings::Clean;
+    for r in &cert.reports {
+        println!(
+            "{:<24}  {:<20}  {:>11}  {:>9}{}",
+            r.txn,
+            r.level,
+            r.obligations,
+            r.certified.len(),
+            if r.ok { "" } else { "  REJECTED" }
+        );
+        if !r.ok {
+            findings = Findings::Diagnostics;
+        }
+    }
+    let total: usize = cert.reports.iter().map(|r| r.certified.len()).sum();
+    println!();
+    println!(
+        "{} certified obligation(s) across {} (transaction, level) pairs",
+        total,
+        cert.reports.len()
+    );
+    if let Some(out) = out {
+        std::fs::write(out, semcc_json::to_string_pretty(&cert))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote certificate to {out}");
+    }
+    Ok(findings)
+}
+
+fn cmd_verify_cert(args: &[String]) -> CmdResult {
+    let path = args.first().ok_or("usage: semcc verify-cert <cert.json>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let cert: semcc_cert::Certificate =
+        semcc_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let report = semcc_cert::verify(&cert);
+    println!(
+        "{}: {} obligation(s), {} substitution proof(s) replayed, {} trusted premise(s)",
+        cert.app, report.obligations, report.substitution_proofs, report.trusted_steps
+    );
+    if report.is_valid() {
+        println!("certificate VERIFIED (independent checker, no prover linked)");
+        Ok(Findings::Clean)
+    } else {
+        for e in &report.errors {
+            println!("INVALID: {e}");
+        }
+        println!();
+        println!("{} verification error(s)", report.errors.len());
+        Ok(Findings::Diagnostics)
+    }
 }
 
 #[cfg(test)]
@@ -534,5 +678,62 @@ mod tests {
         assert!(load_app("/nonexistent/x.json").is_err());
         assert!(cmd_export(&["nope".to_string(), "/tmp/x.json".to_string()]).is_err());
         assert!(IsolationLevel::from_name("BOGUS").is_none());
+    }
+
+    #[test]
+    fn malformed_app_json_is_an_error_not_a_panic() {
+        let dir = std::env::temp_dir().join("semcc_cli_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        // Truncated JSON, valid JSON of the wrong shape, and binary junk
+        // must all surface as one-line errors (exit 2), never a panic.
+        for (name, text) in [
+            ("truncated.json", r#"{"programs": [{"name": "T", "bo"#),
+            ("wrong_shape.json", r#"{"programs": 42}"#),
+            ("junk.json", "\u{0}\u{1}\u{2}not json at all"),
+            ("empty.json", ""),
+        ] {
+            let p = dir.join(name);
+            std::fs::write(&p, text).expect("write");
+            let p = p.to_str().expect("utf8").to_string();
+            assert!(load_app(&p).is_err(), "{name}");
+            assert!(cmd_lint(std::slice::from_ref(&p)).is_err(), "{name}");
+            assert!(cmd_analyze(std::slice::from_ref(&p)).is_err(), "{name}");
+            assert!(cmd_certify(std::slice::from_ref(&p)).is_err(), "{name}");
+            assert!(cmd_verify_cert(std::slice::from_ref(&p)).is_err(), "{name}");
+        }
+    }
+
+    #[test]
+    fn certify_then_verify_cert_roundtrip() {
+        let bank = tmp_app("bank_cert.json", "banking");
+        let dir = std::env::temp_dir().join("semcc_cli_test");
+        let cert_path = dir.join("bank_cert_out.json").to_str().expect("utf8").to_string();
+        // Banking's withdrawals fail at SNAPSHOT, so certify reports
+        // diagnostics — but still writes a certificate for what it proved.
+        assert_eq!(
+            cmd_certify(&[bank, "--out".into(), cert_path.clone()]),
+            Ok(Findings::Diagnostics)
+        );
+        // The independent checker accepts the freshly-emitted certificate.
+        assert_eq!(cmd_verify_cert(std::slice::from_ref(&cert_path)), Ok(Findings::Clean));
+        // A tampered certificate (flip one report's ok flag) is rejected.
+        let text = std::fs::read_to_string(&cert_path).expect("read");
+        let mut cert: semcc_cert::Certificate = semcc_json::from_str(&text).expect("parse");
+        if let Some(r) = cert.reports.iter_mut().find(|r| !r.ok) {
+            r.ok = true;
+        }
+        let tampered = dir.join("bank_cert_tampered.json").to_str().expect("utf8").to_string();
+        std::fs::write(&tampered, semcc_json::to_string_pretty(&cert)).expect("write");
+        assert_eq!(cmd_verify_cert(std::slice::from_ref(&tampered)), Ok(Findings::Diagnostics));
+    }
+
+    #[test]
+    fn lint_witness_flag_replays() {
+        let bank = tmp_app("bank_witness.json", "banking");
+        assert_eq!(cmd_lint(&[bank.clone(), "--witness".into()]), Ok(Findings::Diagnostics));
+        assert_eq!(
+            cmd_lint(&[bank, "--witness".into(), "--json".into()]),
+            Ok(Findings::Diagnostics)
+        );
     }
 }

@@ -8,8 +8,10 @@
 //! the reproduction).
 
 use crate::app::App;
-use crate::theorems::check_at_level;
+use crate::interfere::Analyzer;
+use crate::theorems::check_with;
 use semcc_engine::IsolationLevel;
+use semcc_txn::symexec::SymOptions;
 
 /// Obligation counts for one application at one level.
 #[derive(Clone, Debug)]
@@ -18,8 +20,11 @@ pub struct LevelCount {
     pub level: IsolationLevel,
     /// Obligations enumerated across every transaction type.
     pub obligations: usize,
-    /// Prover queries issued.
+    /// Prover queries issued (cache misses only).
     pub prover_calls: usize,
+    /// Queries answered by the analyzer's memo cache instead of the
+    /// prover — repeated triples across types at the same level.
+    pub cache_hits: usize,
 }
 
 /// The full cost table for an application.
@@ -37,21 +42,26 @@ pub struct CostTable {
 }
 
 /// Compute the cost table: run every theorem for every transaction type
-/// and total the enumerated obligations.
+/// and total the enumerated obligations. One [`Analyzer`] (and hence one
+/// memo cache) is shared per level, so `prover_calls` is the *distinct*
+/// query count and `cache_hits` the repetition the cache absorbed.
 pub fn cost_table(app: &App) -> CostTable {
     let k = app.programs.len();
     let total_stmts: usize = app.programs.iter().map(|p| p.stmt_count()).sum();
     let per_level = IsolationLevel::ALL
         .into_iter()
         .map(|level| {
+            let analyzer = Analyzer::new(app);
             let mut obligations = 0;
             let mut prover_calls = 0;
+            let mut cache_hits = 0;
             for p in &app.programs {
-                let r = check_at_level(app, &p.name, level);
+                let r = check_with(&analyzer, app, &p.name, level, SymOptions::default());
                 obligations += r.obligations;
                 prover_calls += r.prover_calls;
+                cache_hits += r.cache_hits;
             }
-            LevelCount { level, obligations, prover_calls }
+            LevelCount { level, obligations, prover_calls, cache_hits }
         })
         .collect();
     CostTable { k, total_stmts, naive_triples: total_stmts * total_stmts, per_level }
@@ -104,6 +114,36 @@ mod tests {
         assert_eq!(t.at(IsolationLevel::Serializable).expect("ser").obligations, 0);
         assert_eq!(t.at(IsolationLevel::RepeatableRead).expect("rr").obligations, 0);
         assert!(t.at(IsolationLevel::ReadUncommitted).expect("ru").obligations > 0);
+    }
+
+    #[test]
+    fn cache_absorbs_repeated_queries_across_types() {
+        // Identical twin types issue identical interference queries; the
+        // shared per-level memo cache must answer the repeats without new
+        // prover calls.
+        let mut app = App::new();
+        for name in ["Twin_A", "Twin_B"] {
+            app = app.with_program(
+                ProgramBuilder::new(name)
+                    .stmt(
+                        Stmt::ReadItem { item: ItemRef::plain("x"), into: "V".into() },
+                        Pred::ge(Expr::db("x"), 0),
+                        Pred::and([Pred::ge(Expr::db("x"), 0), Pred::ge(Expr::local("V"), 0)]),
+                    )
+                    .stmt(
+                        Stmt::WriteItem {
+                            item: ItemRef::plain("x"),
+                            value: Expr::local("V").add(Expr::int(1)),
+                        },
+                        Pred::and([Pred::ge(Expr::db("x"), 0), Pred::ge(Expr::local("V"), 0)]),
+                        Pred::ge(Expr::db("x"), 0),
+                    )
+                    .build(),
+            );
+        }
+        let t = cost_table(&app);
+        let ru = t.at(IsolationLevel::ReadUncommitted).expect("ru");
+        assert!(ru.cache_hits > 0, "twin types must share query results: {ru:?}");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! complete.
 
 use crate::app::{App, LemmaScope};
+use semcc_cert::{ObligationCert, Step};
 use semcc_logic::footprint::Footprint;
 use semcc_logic::pred::{OpaqueAtom, Pred, StrTerm, TableAtom, TableRegion};
 use semcc_logic::prover::{Outcome, Prover, Sat};
@@ -31,8 +32,12 @@ use semcc_logic::subst::Subst;
 use semcc_logic::transform::FreshVars;
 use semcc_logic::{Expr, Var};
 use semcc_txn::{ColExpr, PathSummary, RelEffect};
-use std::cell::Cell;
-use std::collections::BTreeSet;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeSet, HashMap};
+
+/// Branch budget for certificate proof traces — matches the prover's own
+/// exploration budget, so whatever the prover proved the trace can record.
+const CERT_BRANCH_BUDGET: usize = 50_000;
 
 /// Outcome of one interference check.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -76,33 +81,101 @@ impl Polarity {
     }
 }
 
+/// Accumulated certificates for a recording analysis run.
+#[derive(Default)]
+struct CertLog {
+    entries: Vec<ObligationCert>,
+    error: Option<String>,
+}
+
 /// The analyzer: a prover plus the application context.
 pub struct Analyzer<'a> {
     app: &'a App,
     prover: Prover,
     prover_calls: Cell<usize>,
+    cache_hits: Cell<usize>,
+    // Memoization of prover queries keyed on the printed (canonical
+    // structural) form of the query. Identical obligations recur across
+    // assertions and levels; a hit skips the prover entirely and is counted
+    // in `cache_hits` instead of `prover_calls`.
+    cache_implies: RefCell<HashMap<String, bool>>,
+    cache_sat: RefCell<HashMap<String, bool>>,
+    cert: RefCell<Option<CertLog>>,
 }
 
 impl<'a> Analyzer<'a> {
     /// Build an analyzer over an application.
     pub fn new(app: &'a App) -> Self {
-        Analyzer { app, prover: Prover::new(), prover_calls: Cell::new(0) }
+        Analyzer {
+            app,
+            prover: Prover::new(),
+            prover_calls: Cell::new(0),
+            cache_hits: Cell::new(0),
+            cache_implies: RefCell::new(HashMap::new()),
+            cache_sat: RefCell::new(HashMap::new()),
+            cert: RefCell::new(None),
+        }
     }
 
     /// Number of prover queries issued so far (analysis-cost metric).
+    /// Memoized hits are counted in [`Analyzer::cache_hits`], not here.
     pub fn prover_calls(&self) -> usize {
         self.prover_calls.get()
     }
 
+    /// Number of prover queries answered from the memo cache.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits.get()
+    }
+
+    /// Start recording proof certificates for every discharged preservation
+    /// query. Collect them with [`Analyzer::take_certificates`].
+    pub fn start_certifying(&self) {
+        *self.cert.borrow_mut() = Some(CertLog::default());
+    }
+
+    /// Stop recording and return the accumulated certificates, or the first
+    /// certification error (a discharge whose proof trace could not be
+    /// produced — the verdicts stand, but the run is not certifiable).
+    pub fn take_certificates(&self) -> Result<Vec<ObligationCert>, String> {
+        match self.cert.borrow_mut().take() {
+            Some(log) => match log.error {
+                Some(e) => Err(e),
+                None => Ok(log.entries),
+            },
+            None => Ok(Vec::new()),
+        }
+    }
+
+    fn cert_error(&self, msg: String) {
+        if let Some(log) = self.cert.borrow_mut().as_mut() {
+            log.error.get_or_insert(msg);
+        }
+    }
+
     fn implies(&self, hyp: &Pred, concl: &Pred) -> bool {
+        let key = format!("({hyp}) ==> ({concl})");
+        if let Some(&v) = self.cache_implies.borrow().get(&key) {
+            self.cache_hits.set(self.cache_hits.get() + 1);
+            return v;
+        }
         self.prover_calls.set(self.prover_calls.get() + 1);
-        self.prover.implies(hyp, concl) == Outcome::Proven
+        let v = self.prover.implies(hyp, concl) == Outcome::Proven;
+        self.cache_implies.borrow_mut().insert(key, v);
+        v
     }
 
     /// Whether `p` may be satisfiable (Unknown counts as yes — sound).
     fn sat_possible(&self, p: &Pred) -> bool {
+        let key = p.to_string();
+        if let Some(&v) = self.cache_sat.borrow().get(&key) {
+            self.cache_hits.set(self.cache_hits.get() + 1);
+            return v;
+        }
         self.prover_calls.set(self.prover_calls.get() + 1);
-        self.prover.sat(p) != Sat::Unsat
+        let v = self.prover.sat(p) != Sat::Unsat;
+        self.cache_sat.borrow_mut().insert(key, v);
+        v
     }
 
     /// The top-level check: does `eff` (attributed to transaction type
@@ -119,13 +192,15 @@ impl<'a> Analyzer<'a> {
         // relational rules use P's scalar conjuncts (e.g. Delivery's
         // `@today ≤ maximum_date`) to refute region membership.
         let ctx = &Pred::and([assertion.clone(), eff.condition.clone()]);
+        let recording = self.cert.borrow().is_some();
+        let mut steps: Vec<Step> = Vec::new();
 
         // 1. Opaque conjuncts.
         let mut atoms = Vec::new();
         collect_atoms(assertion, Polarity::Pos, &mut atoms);
         for (atom, pol) in &atoms {
             if let AtomRef::Opaque(op) = atom {
-                let v = self.opaque_preserved(op, *pol, eff, writer, scope);
+                let v = self.opaque_preserved(op, *pol, eff, writer, scope, recording, &mut steps);
                 if !v.is_preserved() {
                     return v;
                 }
@@ -143,17 +218,50 @@ impl<'a> Analyzer<'a> {
                     if !v.is_preserved() {
                         return v;
                     }
+                    if recording {
+                        steps.push(Step::TableRule {
+                            atom: Pred::Table((*t).clone()).to_string(),
+                            effect: effect_kind(e).to_string(),
+                        });
+                    }
                 }
             }
         }
 
         // 3. Scalar part.
-        self.scalar_preserved(assertion, eff, ctx)
+        let verdict = self.scalar_preserved(assertion, eff, ctx, recording, &mut steps);
+        if recording && verdict.is_preserved() {
+            if let Some(log) = self.cert.borrow_mut().as_mut() {
+                log.entries.push(ObligationCert {
+                    assertion: assertion.clone(),
+                    condition: eff.condition.clone(),
+                    assign: eff.assign.pairs.clone(),
+                    havoc: eff.havoc_items.clone(),
+                    effects: eff
+                        .effects
+                        .iter()
+                        .map(|e| format!("{} {}", effect_kind(e), e.table()))
+                        .collect(),
+                    steps,
+                });
+            }
+        }
+        verdict
     }
 
-    fn scalar_preserved(&self, assertion: &Pred, eff: &PathSummary, ctx: &Pred) -> Verdict {
+    fn scalar_preserved(
+        &self,
+        assertion: &Pred,
+        eff: &PathSummary,
+        ctx: &Pred,
+        recording: bool,
+        steps: &mut Vec<Step>,
+    ) -> Verdict {
         let written: BTreeSet<String> = eff.written_items();
         if written.is_empty() {
+            if recording {
+                steps.push(Step::NoWrites);
+            }
             return Verdict::Preserved;
         }
         let fp: Footprint = semcc_logic::footprint::pred_footprint(assertion);
@@ -168,21 +276,42 @@ impl<'a> Analyzer<'a> {
             .collect();
         let _ = fp;
         if direct.is_disjoint(&written) {
+            if recording {
+                steps.push(Step::Disjoint);
+            }
             return Verdict::Preserved;
         }
         let mut s = eff.assign.to_subst();
+        let mut havoc_fresh: Vec<(Var, Var)> = Vec::with_capacity(eff.havoc_items.len());
         for v in &eff.havoc_items {
-            s.insert(v.clone(), Expr::Var(FreshVars::fresh(v.name())));
+            let f = FreshVars::fresh(v.name());
+            s.insert(v.clone(), Expr::Var(f.clone()));
+            havoc_fresh.push((v.clone(), f));
         }
         let post = s.apply_pred(assertion);
         let hyp = Pred::and([assertion.clone(), ctx.clone()]);
         if self.implies(&hyp, &post) {
+            if recording {
+                // Re-derive the discharge as an explicit Fourier–Motzkin
+                // refutation trace of the negated implication — the piece
+                // the independent checker replays.
+                let goal = Pred::not(Pred::implies(hyp.clone(), post.clone()));
+                match semcc_logic::certtrace::unsat_proof(&goal, CERT_BRANCH_BUDGET) {
+                    Some(proof) => steps.push(Step::Substitution { post, havoc_fresh, proof }),
+                    None => self.cert_error(format!(
+                        "no refutation trace for discharged obligation `{assertion}` \
+                         against {}",
+                        eff.assign
+                    )),
+                }
+            }
             Verdict::Preserved
         } else {
             Verdict::MayInterfere(format!("write {} may invalidate `{assertion}`", eff.assign))
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn opaque_preserved(
         &self,
         atom: &OpaqueAtom,
@@ -190,10 +319,19 @@ impl<'a> Analyzer<'a> {
         eff: &PathSummary,
         writer: &str,
         scope: LemmaScope,
+        recording: bool,
+        steps: &mut Vec<Step>,
     ) -> Verdict {
         // A lemma asserts the writer maintains the constraint (keeps it
         // true). That is enough only for positive occurrences.
         if pol == Polarity::Pos && self.app.lemmas.covers(&atom.name, writer, scope) {
+            if recording {
+                steps.push(Step::Lemma {
+                    atom: atom.name.clone(),
+                    writer: writer.to_string(),
+                    scope: scope_str(scope).to_string(),
+                });
+            }
             return Verdict::Preserved;
         }
         let written = eff.written_items();
@@ -214,6 +352,9 @@ impl<'a> Analyzer<'a> {
                     ));
                 }
             }
+        }
+        if recording {
+            steps.push(Step::Footprint { atom: atom.name.clone() });
         }
         Verdict::Preserved
     }
@@ -586,6 +727,13 @@ impl<'a> Analyzer<'a> {
                 }
             }
         }
+    }
+}
+
+fn scope_str(s: LemmaScope) -> &'static str {
+    match s {
+        LemmaScope::Unit => "Unit",
+        LemmaScope::Stmt => "Stmt",
     }
 }
 

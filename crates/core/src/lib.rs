@@ -24,17 +24,21 @@
 pub mod annotate;
 pub mod app;
 pub mod assign;
+pub mod certify;
 pub mod compens;
 pub mod counting;
 pub mod diag;
 pub mod interfere;
 pub mod sdg;
 pub mod theorems;
+pub mod witness;
 
 pub use annotate::{check_annotations, check_app_annotations, AnnotationIssue, Severity};
 pub use app::{App, LemmaRegistry, LemmaScope};
 pub use assign::{assign_levels, Assignment};
+pub use certify::certify_app;
 pub use diag::{code_for, lint, Diagnostic, LintReport};
 pub use interfere::{Analyzer, Verdict};
 pub use sdg::{predict_exposures, DangerousStructure, DepEdge, DepGraph, DepKind, Exposure};
-pub use theorems::{check_at_level, LevelReport};
+pub use theorems::{check_at_level, check_at_level_certified, check_with, LevelReport};
+pub use witness::{replay_witnesses, Witness, WitnessOutcome};

@@ -29,6 +29,9 @@ pub struct LevelReport {
     pub obligations: usize,
     /// Number of prover queries issued.
     pub prover_calls: usize,
+    /// Number of prover queries answered from the analyzer's memo cache
+    /// (these are *not* counted in `prover_calls`).
+    pub cache_hits: usize,
     /// Failure descriptions (empty iff `ok`).
     pub failures: Vec<String>,
 }
@@ -48,27 +51,64 @@ pub fn check_at_level_opts(
     level: IsolationLevel,
     opts: SymOptions,
 ) -> LevelReport {
+    let analyzer = Analyzer::new(app);
+    check_with(&analyzer, app, txn_name, level, opts)
+}
+
+/// Run the theorem for `(txn_name, level)` on a caller-supplied analyzer.
+///
+/// Sharing one analyzer across many `(txn, level)` checks reuses its memoized
+/// prover cache; a certifying analyzer additionally records proof
+/// certificates for every discharged preservation query. The report's
+/// `prover_calls`/`cache_hits` count only the queries this check issued.
+pub fn check_with(
+    analyzer: &Analyzer<'_>,
+    app: &App,
+    txn_name: &str,
+    level: IsolationLevel,
+    opts: SymOptions,
+) -> LevelReport {
     let program =
         app.program(txn_name).unwrap_or_else(|| panic!("unknown transaction type {txn_name}"));
-    let analyzer = Analyzer::new(app);
+    let calls_before = analyzer.prover_calls();
+    let hits_before = analyzer.cache_hits();
     let mut report = LevelReport {
         txn: txn_name.to_string(),
         level,
         ok: true,
         obligations: 0,
         prover_calls: 0,
+        cache_hits: 0,
         failures: Vec::new(),
     };
     match level {
-        IsolationLevel::ReadUncommitted => thm1(app, program, &analyzer, &mut report),
-        IsolationLevel::ReadCommitted => thm2(app, program, &analyzer, &mut report, false, opts),
-        IsolationLevel::ReadCommittedFcw => thm2(app, program, &analyzer, &mut report, true, opts),
-        IsolationLevel::RepeatableRead => thm4_6(app, program, &analyzer, &mut report, opts),
-        IsolationLevel::Snapshot => thm5(app, program, &analyzer, &mut report, opts),
+        IsolationLevel::ReadUncommitted => thm1(app, program, analyzer, &mut report),
+        IsolationLevel::ReadCommitted => thm2(app, program, analyzer, &mut report, false, opts),
+        IsolationLevel::ReadCommittedFcw => thm2(app, program, analyzer, &mut report, true, opts),
+        IsolationLevel::RepeatableRead => thm4_6(app, program, analyzer, &mut report, opts),
+        IsolationLevel::Snapshot => thm5(app, program, analyzer, &mut report, opts),
         IsolationLevel::Serializable => { /* always correct: zero obligations */ }
     }
-    report.prover_calls = analyzer.prover_calls();
+    report.prover_calls = analyzer.prover_calls() - calls_before;
+    report.cache_hits = analyzer.cache_hits() - hits_before;
     report
+}
+
+/// Like [`check_at_level_opts`], but additionally emit a proof certificate
+/// for every discharged preservation query (the data [`semcc_cert::verify`]
+/// re-validates independently). The second component is `Err` when a
+/// discharge could not be traced — the verdicts stand, but the run is not
+/// certifiable.
+pub fn check_at_level_certified(
+    app: &App,
+    txn_name: &str,
+    level: IsolationLevel,
+    opts: SymOptions,
+) -> (LevelReport, Result<Vec<semcc_cert::ObligationCert>, String>) {
+    let analyzer = Analyzer::new(app);
+    analyzer.start_certifying();
+    let report = check_with(&analyzer, app, txn_name, level, opts);
+    (report, analyzer.take_certificates())
 }
 
 #[allow(clippy::too_many_arguments)]

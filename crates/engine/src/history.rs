@@ -46,6 +46,17 @@ pub enum Op {
         /// `RowWrite`) and deletes.
         value: Option<Value>,
     },
+    /// A row read performed by a SELECT, with version provenance — the
+    /// row-granular counterpart of `Read`, needed by the anomaly detectors
+    /// to see *which* version a relational reader observed.
+    RowRead {
+        /// Table scanned.
+        table: String,
+        /// Row observed.
+        id: RowId,
+        /// Which version supplied it.
+        src: ReadSrc,
+    },
     /// A predicate read (SELECT): the filter and the row ids it matched.
     PredRead {
         /// Table scanned.

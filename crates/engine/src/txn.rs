@@ -272,6 +272,30 @@ impl Txn {
                 }
             }
         }
+        if self.engine.history.is_enabled() {
+            // Row-granular read provenance: which version each matched row
+            // came from, mirroring the per-level disciplines above.
+            let src_of = |id: RowId| match self.level {
+                IsolationLevel::Snapshot => {
+                    ReadSrc::Snapshot(self.snapshot_ts.expect("snapshot txn has ts"))
+                }
+                IsolationLevel::ReadUncommitted => match t.row_dirty_writer(id) {
+                    Some(w) => ReadSrc::Dirty(w),
+                    None => ReadSrc::Committed(t.row_commit_ts(id).unwrap_or(0)),
+                },
+                _ => match t.row_dirty_writer(id) {
+                    Some(w) if w == self.id => ReadSrc::Dirty(self.id),
+                    _ => ReadSrc::Committed(t.row_commit_ts(id).unwrap_or(0)),
+                },
+            };
+            for (id, _) in &out {
+                self.engine.history.record(
+                    self.id,
+                    self.level,
+                    Op::RowRead { table: table.to_string(), id: *id, src: src_of(*id) },
+                );
+            }
+        }
         self.engine.history.record(
             self.id,
             self.level,

@@ -1,10 +1,124 @@
 //! JSON encodings for the logic AST (externally-tagged, matching the
 //! conventions in [`semcc_json`]).
 
+use crate::certtrace::{FmStep, FmTrace, Refutation, UnsatProof};
 use crate::pred::{CmpOp, OpaqueAtom, Pred, StrTerm, TableAtom, TableRegion};
 use crate::row::{RowExpr, RowPred};
 use crate::{Expr, Var};
 use semcc_json::{FromJson, Json, JsonError, ToJson};
+
+fn idx_to_json(i: usize) -> Json {
+    Json::Int(i as i64)
+}
+
+fn idx_from_json(j: &Json) -> Result<usize, JsonError> {
+    let v = i64::from_json(j)?;
+    usize::try_from(v).map_err(|_| JsonError::new(format!("negative index {v}")))
+}
+
+impl ToJson for FmStep {
+    fn to_json(&self) -> Json {
+        match self {
+            FmStep::Combine { upper, lower, var, mult_upper, mult_lower } => Json::tagged(
+                "Combine",
+                Json::obj([
+                    ("upper", idx_to_json(*upper)),
+                    ("lower", idx_to_json(*lower)),
+                    ("var", var.to_json()),
+                    ("mult_upper", Json::Int(*mult_upper)),
+                    ("mult_lower", Json::Int(*mult_lower)),
+                ]),
+            ),
+            FmStep::Tighten { src, divisor } => Json::tagged(
+                "Tighten",
+                Json::obj([("src", idx_to_json(*src)), ("divisor", Json::Int(*divisor))]),
+            ),
+        }
+    }
+}
+
+impl FromJson for FmStep {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let (tag, p) = j.as_tagged()?;
+        match tag {
+            "Combine" => Ok(FmStep::Combine {
+                upper: idx_from_json(
+                    p.get("upper").ok_or_else(|| JsonError::new("missing field `upper`"))?,
+                )?,
+                lower: idx_from_json(
+                    p.get("lower").ok_or_else(|| JsonError::new("missing field `lower`"))?,
+                )?,
+                var: p.field("var")?,
+                mult_upper: p.field("mult_upper")?,
+                mult_lower: p.field("mult_lower")?,
+            }),
+            "Tighten" => Ok(FmStep::Tighten {
+                src: idx_from_json(
+                    p.get("src").ok_or_else(|| JsonError::new("missing field `src`"))?,
+                )?,
+                divisor: p.field("divisor")?,
+            }),
+            other => Err(JsonError::new(format!("unknown FmStep variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for FmTrace {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("steps", self.steps.to_json()),
+            ("contradiction", idx_to_json(self.contradiction)),
+        ])
+    }
+}
+
+impl FromJson for FmTrace {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(FmTrace {
+            steps: j.field("steps")?,
+            contradiction: idx_from_json(
+                j.get("contradiction")
+                    .ok_or_else(|| JsonError::new("missing field `contradiction`"))?,
+            )?,
+        })
+    }
+}
+
+impl ToJson for Refutation {
+    fn to_json(&self) -> Json {
+        match self {
+            Refutation::Falsum => Json::str("Falsum"),
+            Refutation::Bool { atom } => Json::tagged("Bool", Json::str(atom)),
+            Refutation::Strings => Json::str("Strings"),
+            Refutation::Linear(t) => Json::tagged("Linear", t.to_json()),
+        }
+    }
+}
+
+impl FromJson for Refutation {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let (tag, p) = j.as_tagged()?;
+        match tag {
+            "Falsum" => Ok(Refutation::Falsum),
+            "Bool" => Ok(Refutation::Bool { atom: String::from_json(p)? }),
+            "Strings" => Ok(Refutation::Strings),
+            "Linear" => Ok(Refutation::Linear(FmTrace::from_json(p)?)),
+            other => Err(JsonError::new(format!("unknown Refutation variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for UnsatProof {
+    fn to_json(&self) -> Json {
+        Json::obj([("branches", self.branches.to_json())])
+    }
+}
+
+impl FromJson for UnsatProof {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(UnsatProof { branches: j.field("branches")? })
+    }
+}
 
 impl ToJson for Var {
     fn to_json(&self) -> Json {

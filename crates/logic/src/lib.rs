@@ -18,6 +18,7 @@
 //! the formula is valid. An `Unknown` answer is always safe for the
 //! analyzer, which then conservatively reports *possible interference*.
 
+pub mod certtrace;
 pub mod expr;
 pub mod footprint;
 pub mod jsonio;

@@ -102,7 +102,7 @@ impl LinTerm {
     }
 }
 
-fn gcd(a: i128, b: i128) -> i128 {
+pub(crate) fn gcd(a: i128, b: i128) -> i128 {
     let (mut a, mut b) = (a.abs(), b.abs());
     while b != 0 {
         let t = a % b;
@@ -112,7 +112,7 @@ fn gcd(a: i128, b: i128) -> i128 {
     a
 }
 
-fn div_ceil(a: i128, b: i128) -> i128 {
+pub(crate) fn div_ceil(a: i128, b: i128) -> i128 {
     debug_assert!(b > 0);
     let q = a / b;
     if a % b > 0 {
@@ -190,7 +190,7 @@ pub fn comparison_constraints(op: CmpOp, lhs: &Expr, rhs: &Expr) -> Option<Vec<C
 }
 
 /// Budget limits for Fourier–Motzkin (constraints generated / vars).
-const FM_MAX_CONSTRAINTS: usize = 8_000;
+pub(crate) const FM_MAX_CONSTRAINTS: usize = 8_000;
 
 /// Decide satisfiability of a conjunction of constraints by FM elimination.
 pub fn fm_sat(constraints: &[Constraint]) -> LinSat {

@@ -89,7 +89,7 @@ impl Branch {
 }
 
 /// Union-find congruence check over string terms.
-fn strings_consistent(eqs: &[(StrTerm, StrTerm)], nes: &[(StrTerm, StrTerm)]) -> bool {
+pub(crate) fn strings_consistent(eqs: &[(StrTerm, StrTerm)], nes: &[(StrTerm, StrTerm)]) -> bool {
     let mut terms: Vec<StrTerm> = Vec::new();
     let index = |t: &StrTerm, terms: &mut Vec<StrTerm>| -> usize {
         if let Some(i) = terms.iter().position(|x| x == t) {
@@ -242,7 +242,7 @@ impl Prover {
 
 /// NNF form: negations only on atoms, `Implies` compiled away. `positive`
 /// tracks the current polarity.
-fn to_nnf(p: &Pred, positive: bool) -> Pred {
+pub(crate) fn to_nnf(p: &Pred, positive: bool) -> Pred {
     match (p, positive) {
         (Pred::True, true) | (Pred::False, false) => Pred::True,
         (Pred::True, false) | (Pred::False, true) => Pred::False,

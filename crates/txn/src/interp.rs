@@ -301,6 +301,89 @@ pub fn run_program_observed(
     }
 }
 
+/// A resumable single-transaction interpreter: executes one *top-level*
+/// statement per [`Stepper::step`] call, so callers can interleave two
+/// transactions at chosen statement boundaries (the witness replayer's
+/// schedule synthesis).
+///
+/// Dropping a stepper with an open transaction aborts it.
+pub struct Stepper<'p> {
+    txn: Option<Txn>,
+    program: &'p Program,
+    frame: Frame<'p>,
+    idx: usize,
+}
+
+impl<'p> Stepper<'p> {
+    /// Begin a transaction at `level` and position before the first
+    /// top-level statement.
+    pub fn begin(
+        engine: &Arc<Engine>,
+        program: &'p Program,
+        level: IsolationLevel,
+        bindings: &'p Bindings,
+    ) -> Stepper<'p> {
+        Stepper {
+            txn: Some(engine.begin(level)),
+            program,
+            frame: Frame { bindings, locals: HashMap::new(), buffers: HashMap::new() },
+            idx: 0,
+        }
+    }
+
+    /// Number of top-level statements in the program.
+    pub fn stmt_count(&self) -> usize {
+        self.program.body.len()
+    }
+
+    /// Whether every statement has executed.
+    pub fn is_done(&self) -> bool {
+        self.idx >= self.program.body.len()
+    }
+
+    /// Index of the next statement to execute.
+    pub fn position(&self) -> usize {
+        self.idx
+    }
+
+    /// Execute the next top-level statement. Returns `Ok(true)` when a
+    /// statement ran, `Ok(false)` when the program was already finished.
+    pub fn step(&mut self) -> Result<bool, EngineError> {
+        if self.is_done() {
+            return Ok(false);
+        }
+        let txn = self.txn.as_mut().expect("stepper transaction open");
+        let a = &self.program.body[self.idx];
+        exec_stmt(txn, &a.stmt, &mut self.frame)?;
+        self.idx += 1;
+        Ok(true)
+    }
+
+    /// Execute statements up to (not including) top-level index `until`.
+    pub fn run_until(&mut self, until: usize) -> Result<(), EngineError> {
+        while self.idx < until.min(self.program.body.len()) {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Run all remaining statements.
+    pub fn run_to_end(&mut self) -> Result<(), EngineError> {
+        while self.step()? {}
+        Ok(())
+    }
+
+    /// Commit the transaction.
+    pub fn commit(mut self) -> Result<Ts, EngineError> {
+        self.txn.take().expect("stepper transaction open").commit()
+    }
+
+    /// Abort the transaction.
+    pub fn abort(mut self) {
+        self.txn.take().expect("stepper transaction open").abort();
+    }
+}
+
 /// Run a program with retries on concurrency-control aborts. Returns the
 /// outcome plus the number of aborts absorbed.
 pub fn run_with_retries(

@@ -24,6 +24,6 @@ pub mod stmt;
 pub mod symexec;
 
 pub use colexpr::ColExpr;
-pub use program::{Bindings, Program, ProgramBuilder};
+pub use program::{Bindings, ParamKind, Program, ProgramBuilder};
 pub use stmt::{AStmt, ItemRef, Stmt};
 pub use symexec::{PathSummary, ReadFootprint, RelEffect, WriteFootprint};
