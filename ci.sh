@@ -21,6 +21,12 @@ fi
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== examples compile and run =="
+for ex in anomaly_tour choose_isolation_levels quickstart write_skew_demo; do
+    cargo run -q -p semcc --example "$ex" > /dev/null
+    echo "   example $ex: OK"
+done
+
 echo "== certificate round trip (certify -> independent verify-cert) =="
 # `certify` exits 1 when some (txn, level) is rejected — expected for these
 # workloads; only exit 2 (usage/IO/internal error) fails the gate.
@@ -38,5 +44,30 @@ for w in banking orders orders-strict payroll tpcc; do
     cargo run -q -p semcc-cli -- verify-cert "$tmpdir/$w.cert.json" > /dev/null
     echo "   $w: certificate VERIFIED"
 done
+
+echo "== schedule-space explorer smoke (static vs exhaustive, Examples 2 & 3) =="
+# Paper Example 2 (payroll dirty read): divergent at READ UNCOMMITTED
+# (exit 1), clean at SERIALIZABLE (exit 0).
+explore_expect() {
+    want=$1; shift
+    rc=0
+    cargo run -q -p semcc-cli -- explore "$@" > /dev/null || rc=$?
+    if [ "$rc" -ne "$want" ]; then
+        echo "ci: explore $* exited $rc, expected $want" >&2
+        exit 1
+    fi
+}
+explore_expect 1 "$tmpdir/payroll.json" \
+    --txns Hours,Print_Records --levels RU,RU --seed emp.rate=10
+explore_expect 0 "$tmpdir/payroll.json" \
+    --txns Hours,Print_Records --levels SER,SER --seed emp.rate=10
+echo "   payroll Hours/Print_Records: DIVERGENT at RU, CLEAN at SER"
+# Paper Example 3 (banking write skew): divergent at SNAPSHOT, clean at
+# REPEATABLE READ.
+explore_expect 1 "$tmpdir/banking.json" \
+    --txns Withdraw_sav,Withdraw_ch --levels SI,SI
+explore_expect 0 "$tmpdir/banking.json" \
+    --txns Withdraw_sav,Withdraw_ch --levels RR,RR
+echo "   banking Withdraw_sav/Withdraw_ch: DIVERGENT at SI, CLEAN at RR"
 
 echo "ci: all green"

@@ -1,0 +1,108 @@
+//! Schedule-space exploration table — the DPOR explorer over the paper's
+//! Example 2 (payroll) and Example 3 (banking) pairs at every isolation
+//! level, with the static/dynamic differential verdict per cell.
+//!
+//! Columns: naive interleaving count, schedules actually executed,
+//! lock/FCW-blocked prefixes, the DPOR pruning factor, divergent
+//! (non-serializable) schedules found, the anomaly kinds the checker saw
+//! on them, and how the exhaustive result relates to the static lint
+//! verdict (AGREE / STATIC-OVERAPPROX / SOUNDNESS-VIOLATION).
+//!
+//! ```text
+//! cargo run --release -p semcc-bench --bin table_explore \
+//!     | tee results/table_explore.txt
+//! ```
+
+use semcc_bench::{row, rule, short};
+use semcc_core::App;
+use semcc_engine::IsolationLevel;
+use semcc_explore::{differential, explore, specs_for, ExploreOptions};
+use semcc_workloads::{banking, payroll};
+
+const WIDTHS: [usize; 8] = [6, 8, 8, 8, 8, 9, 24, 18];
+
+fn print_pair(app: &App, title: &str, txns: [&str; 2], opts: &ExploreOptions) {
+    println!("== {title} ==");
+    println!(
+        "{}",
+        row(
+            &[
+                "level".into(),
+                "naive".into(),
+                "ran".into(),
+                "blocked".into(),
+                "pruned".into(),
+                "divergent".into(),
+                "anomalies observed".into(),
+                "differential".into(),
+            ],
+            &WIDTHS
+        )
+    );
+    println!("{}", rule(&WIDTHS));
+    for level in IsolationLevel::ALL {
+        let specs = specs_for(app, &[txns[0].to_string(), txns[1].to_string()], &[level, level])
+            .expect("specs");
+        let r = explore(app, &specs, opts).expect("explore");
+        let d = differential(app, &specs, &r);
+        let anomalies = if r.anomaly_counts.is_empty() {
+            "-".to_string()
+        } else {
+            r.anomaly_counts.iter().map(|(k, n)| format!("{k} ×{n}")).collect::<Vec<_>>().join(", ")
+        };
+        println!(
+            "{}",
+            row(
+                &[
+                    short(level).to_string(),
+                    r.naive_schedules.to_string(),
+                    r.explored.to_string(),
+                    r.blocked.to_string(),
+                    format!("{:.1}x", r.pruning_ratio()),
+                    r.divergent.to_string(),
+                    anomalies,
+                    d.verdict.to_string(),
+                ],
+                &WIDTHS
+            )
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("schedule-space exploration — statement-granular DPOR vs static lint\n");
+    println!("every cell: ALL interleavings of the two transaction instances at that");
+    println!("level, executed on the engine from the same seeded state; `divergent`");
+    println!("counts completed schedules whose observable outcome (final DB state +");
+    println!("per-transaction locals and buffers) matches no serial execution.");
+    println!("`pruned` = naive / (ran + blocked): persistent-set + sleep-set DPOR");
+    println!("explores one representative per Mazurkiewicz trace class.\n");
+
+    let pay_opts = ExploreOptions {
+        // The neutral seed zeroes integer columns; a real hourly rate makes
+        // the mid-Hours inconsistency (rate·hrs ≠ sal) observable.
+        seed_cols: vec![("emp".into(), "rate".into(), 10)],
+        ..ExploreOptions::default()
+    };
+    print_pair(
+        &payroll::app(),
+        "payroll: Hours vs Print_Records (Example 2, dirty read)",
+        ["Hours", "Print_Records"],
+        &pay_opts,
+    );
+    print_pair(
+        &banking::app(),
+        "banking: Withdraw_sav vs Withdraw_ch (Example 3, write skew)",
+        ["Withdraw_sav", "Withdraw_ch"],
+        &ExploreOptions::default(),
+    );
+
+    println!("reading the table: a divergent schedule at a weak level is the concrete");
+    println!("execution behind the paper's counterexample; zero divergent schedules at");
+    println!("REPEATABLE READ / SERIALIZABLE is the exhaustive (not sampled) check that");
+    println!("the engine's locking really excludes them. STATIC-OVERAPPROX marks cells");
+    println!("where the may-analysis warns but no schedule exists (e.g. FCW blocks the");
+    println!("predicted lost update); SOUNDNESS-VIOLATION would mean the analyzer");
+    println!("called a divergent pair safe — the differential oracle's whole point.");
+}

@@ -28,6 +28,9 @@ use semcc_core::counting::cost_table;
 use semcc_core::theorems::check_at_level;
 use semcc_core::{certify_app, lint, replay_witnesses, App, LintReport, Witness, WitnessOutcome};
 use semcc_engine::IsolationLevel;
+use semcc_explore::{
+    differential, explore, specs_for, Differential, ExploreOptions, ExploreResult,
+};
 use semcc_json::Json;
 use semcc_workloads::{banking, orders, payroll, tpcc};
 use std::collections::BTreeMap;
@@ -51,6 +54,7 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
+        Some("explore") => cmd_explore(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("obligations") => cmd_obligations(&args[1..]),
         Some("certify") => cmd_certify(&args[1..]),
@@ -79,6 +83,9 @@ fn print_usage() {
     println!("  semcc analyze <app.json> [--ansi]");
     println!("  semcc check <app.json> <transaction> <LEVEL>");
     println!("  semcc lint <app.json> [--levels L1,L2,...] [--witness] [--json]");
+    println!("  semcc explore <app.json> [--txns T1,T2[,T3]] [--levels L1,L2[,L3]]");
+    println!("                [--seed item=V | table.col=V]... [--max-depth N]");
+    println!("                [--max-schedules N] [--json]");
     println!("  semcc verify <app.json>");
     println!("  semcc obligations <app.json>");
     println!("  semcc certify <app.json> [--out cert.json]");
@@ -249,6 +256,249 @@ fn cmd_lint(args: &[String]) -> CmdResult {
     } else {
         Ok(Findings::Diagnostics)
     }
+}
+
+fn cmd_explore(args: &[String]) -> CmdResult {
+    let mut path: Option<&String> = None;
+    let mut txns_arg: Option<&String> = None;
+    let mut levels_arg: Option<&String> = None;
+    let mut json_out = false;
+    let mut opts = ExploreOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--txns" => txns_arg = Some(it.next().ok_or("--txns needs a comma-separated list")?),
+            "--levels" => {
+                levels_arg = Some(it.next().ok_or("--levels needs a comma-separated list")?);
+            }
+            "--max-depth" => {
+                let v = it.next().ok_or("--max-depth needs a number")?;
+                opts.max_depth = Some(v.parse().map_err(|_| format!("bad --max-depth `{v}`"))?);
+            }
+            "--max-schedules" => {
+                let v = it.next().ok_or("--max-schedules needs a number")?;
+                opts.max_schedules = v.parse().map_err(|_| format!("bad --max-schedules `{v}`"))?;
+            }
+            "--seed" => {
+                let spec = it.next().ok_or("--seed needs item=VALUE or table.col=VALUE")?;
+                let (target, value) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --seed `{spec}` (need `=`)"))?;
+                let value: i64 =
+                    value.parse().map_err(|_| format!("bad --seed value `{value}`"))?;
+                match target.split_once('.') {
+                    Some((table, col)) => {
+                        opts.seed_cols.push((table.to_string(), col.to_string(), value));
+                    }
+                    None => opts.seed_items.push((target.to_string(), value)),
+                }
+            }
+            "--json" => json_out = true,
+            _ if path.is_none() => path = Some(a),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let path = path.ok_or(
+        "usage: semcc explore <app.json> [--txns T1,T2[,T3]] [--levels L1,L2[,L3]] \
+         [--seed item=V|table.col=V]... [--max-depth N] [--max-schedules N] [--json]",
+    )?;
+    let app = load_app(path)?;
+
+    let names: Vec<String> = match txns_arg {
+        Some(list) => list.split(',').map(|s| s.trim().to_string()).collect(),
+        None => {
+            if !(2..=3).contains(&app.programs.len()) {
+                return Err(format!(
+                    "the application has {} transaction types; pick 2–3 with --txns (have: {})",
+                    app.programs.len(),
+                    app.programs.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(", ")
+                ));
+            }
+            app.programs.iter().map(|p| p.name.clone()).collect()
+        }
+    };
+    let levels: Vec<IsolationLevel> = match levels_arg {
+        Some(list) => {
+            let tokens: Vec<&str> = list.split(',').map(str::trim).collect();
+            if tokens.len() != names.len() {
+                return Err(format!(
+                    "--levels got {} level(s) for {} transaction instance(s)",
+                    tokens.len(),
+                    names.len()
+                ));
+            }
+            tokens.into_iter().map(parse_level).collect::<Result<_, _>>()?
+        }
+        None => {
+            // Default to the Section 5 assignment: explore each type at the
+            // lowest level the analyzer claims is safe for it.
+            let assigned = lint(&app, None).levels;
+            names
+                .iter()
+                .map(|n| {
+                    assigned
+                        .iter()
+                        .find(|(t, _)| t == n)
+                        .map(|(_, l)| *l)
+                        .ok_or_else(|| format!("no transaction `{n}`"))
+                })
+                .collect::<Result<_, _>>()?
+        }
+    };
+    let specs = specs_for(&app, &names, &levels)?;
+    let result = explore(&app, &specs, &opts)?;
+    let diff = differential(&app, &specs, &result);
+
+    if json_out {
+        println!("{}", explore_json(&result, &diff).to_pretty());
+    } else {
+        print_explore(&result, &diff);
+    }
+    if result.divergent > 0 || !diff.sound() {
+        Ok(Findings::Diagnostics)
+    } else {
+        Ok(Findings::Clean)
+    }
+}
+
+fn print_explore(r: &ExploreResult, d: &Differential) {
+    let pair = r
+        .txns
+        .iter()
+        .zip(&r.levels)
+        .map(|(t, l)| format!("{t}@{l}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!("exploring {{{pair}}} — all statement-granular interleavings (DPOR)");
+    println!(
+        "  events: {}   naive interleavings: {}   engine replays: {}",
+        r.total_events, r.naive_schedules, r.replays
+    );
+    println!(
+        "  executed: {}   blocked: {}   pruned: {} ({:.1}x)",
+        r.explored,
+        r.blocked,
+        r.pruned(),
+        r.pruning_ratio()
+    );
+    if r.infeasible > 0 {
+        println!("  infeasible prefixes: {}", r.infeasible);
+    }
+    println!("  distinct serial outcomes: {}", r.serial_orders);
+    if r.truncated {
+        println!("  NOTE: exploration truncated by --max-depth/--max-schedules");
+    }
+    if !r.anomaly_counts.is_empty() {
+        let summary = r
+            .anomaly_counts
+            .iter()
+            .map(|(k, n)| format!("{k} ×{n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("  anomalies observed: {summary}");
+    }
+    println!();
+    if r.divergent > 0 {
+        println!("verdict: DIVERGENT — {} schedule(s) match no serial order", r.divergent);
+        if let Some(ex) = r.divergent_examples.first() {
+            println!("  example:");
+            for step in &ex.steps {
+                println!("    {step}");
+            }
+        }
+    } else {
+        println!("verdict: CLEAN — every completed schedule is equivalent to a serial order");
+    }
+    let predicted = if d.predicted_kinds.is_empty() {
+        "-".to_string()
+    } else {
+        d.predicted_kinds.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+    };
+    println!(
+        "static: {} (predicted: {predicted}) — differential: {}{}",
+        if d.static_safe { "SAFE" } else { "UNSAFE" },
+        d.verdict,
+        match d.witness_agrees {
+            Some(true) => ", FM witness corroborates",
+            Some(false) => ", FM witness DISAGREES",
+            None => "",
+        }
+    );
+}
+
+fn explore_json(r: &ExploreResult, d: &Differential) -> Json {
+    let kinds = |set: &std::collections::BTreeSet<semcc_engine::AnomalyKind>| {
+        Json::Arr(set.iter().map(|k| Json::str(k.to_string())).collect())
+    };
+    Json::obj([
+        (
+            "txns",
+            Json::Arr(
+                r.txns
+                    .iter()
+                    .zip(&r.levels)
+                    .map(|(t, l)| {
+                        Json::obj([
+                            ("txn", Json::str(t.clone())),
+                            ("level", Json::str(l.to_string())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("total_events", Json::Int(r.total_events as i64)),
+        ("naive_schedules", Json::Int(i64::try_from(r.naive_schedules).unwrap_or(i64::MAX))),
+        ("explored", Json::Int(r.explored as i64)),
+        ("blocked", Json::Int(r.blocked as i64)),
+        ("infeasible", Json::Int(r.infeasible as i64)),
+        ("replays", Json::Int(r.replays as i64)),
+        ("pruned", Json::Int(i64::try_from(r.pruned()).unwrap_or(i64::MAX))),
+        ("serial_orders", Json::Int(r.serial_orders as i64)),
+        ("divergent", Json::Int(r.divergent as i64)),
+        ("truncated", Json::Bool(r.truncated)),
+        (
+            "anomalies",
+            Json::obj(
+                r.anomaly_counts
+                    .iter()
+                    .map(|(k, n)| (k.to_string(), Json::Int(*n as i64)))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        (
+            "divergent_examples",
+            Json::Arr(
+                r.divergent_examples
+                    .iter()
+                    .map(|ex| {
+                        Json::obj([
+                            (
+                                "steps",
+                                Json::Arr(ex.steps.iter().map(|s| Json::str(s.clone())).collect()),
+                            ),
+                            (
+                                "anomalies",
+                                Json::Arr(
+                                    ex.anomalies.iter().map(|k| Json::str(k.to_string())).collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "differential",
+            Json::obj([
+                ("static_safe", Json::Bool(d.static_safe)),
+                ("verdict", Json::str(d.verdict.to_string())),
+                ("predicted", kinds(&d.predicted_kinds)),
+                ("observed", kinds(&d.observed_kinds)),
+                ("witness_agrees", d.witness_agrees.map_or(Json::Null, Json::Bool)),
+            ]),
+        ),
+        ("verdict", Json::str(if r.divergent > 0 { "DIVERGENT" } else { "CLEAN" })),
+    ])
 }
 
 fn print_witnesses(witnesses: &[Witness]) {
@@ -725,6 +975,79 @@ mod tests {
         let tampered = dir.join("bank_cert_tampered.json").to_str().expect("utf8").to_string();
         std::fs::write(&tampered, semcc_json::to_string_pretty(&cert)).expect("write");
         assert_eq!(cmd_verify_cert(std::slice::from_ref(&tampered)), Ok(Findings::Diagnostics));
+    }
+
+    #[test]
+    fn explore_exit_semantics_on_the_paper_examples() {
+        // Example 2 (payroll): dirty read at RU => DIVERGENT (exit 1);
+        // CLEAN at SERIALIZABLE (exit 0).
+        let pay = tmp_app("pay_explore.json", "payroll");
+        let base = vec![
+            pay.clone(),
+            "--txns".into(),
+            "Hours,Print_Records".into(),
+            "--seed".into(),
+            "emp.rate=10".into(),
+        ];
+        let with_levels = |lv: &str| {
+            let mut v = base.clone();
+            v.push("--levels".into());
+            v.push(lv.into());
+            v
+        };
+        assert_eq!(cmd_explore(&with_levels("RU,RU")), Ok(Findings::Diagnostics));
+        assert_eq!(cmd_explore(&with_levels("SER,SER")), Ok(Findings::Clean));
+        // Example 3 (banking): write skew at SNAPSHOT, clean at RR.
+        let bank = tmp_app("bank_explore.json", "banking");
+        let bank_args = |lv: &str| {
+            vec![
+                bank.clone(),
+                "--txns".into(),
+                "Withdraw_sav,Withdraw_ch".into(),
+                "--levels".into(),
+                lv.into(),
+            ]
+        };
+        assert_eq!(cmd_explore(&bank_args("SI,SI")), Ok(Findings::Diagnostics));
+        assert_eq!(cmd_explore(&bank_args("RR,RR")), Ok(Findings::Clean));
+        // JSON mode reports the same verdict.
+        let mut json_args = bank_args("SI,SI");
+        json_args.push("--json".into());
+        assert_eq!(cmd_explore(&json_args), Ok(Findings::Diagnostics));
+    }
+
+    #[test]
+    fn explore_usage_errors() {
+        let bank = tmp_app("bank_explore_usage.json", "banking");
+        // 4 types and no --txns: must ask the user to pick.
+        assert!(cmd_explore(std::slice::from_ref(&bank)).is_err());
+        // Level count mismatch.
+        assert!(cmd_explore(&[
+            bank.clone(),
+            "--txns".into(),
+            "Withdraw_sav,Withdraw_ch".into(),
+            "--levels".into(),
+            "SI".into(),
+        ])
+        .is_err());
+        // Unknown transaction.
+        assert!(cmd_explore(&[
+            bank.clone(),
+            "--txns".into(),
+            "Nope,Withdraw_ch".into(),
+            "--levels".into(),
+            "SI,SI".into(),
+        ])
+        .is_err());
+        // Malformed --seed.
+        assert!(cmd_explore(&[
+            bank,
+            "--txns".into(),
+            "Withdraw_sav,Withdraw_ch".into(),
+            "--seed".into(),
+            "emp.rate".into(),
+        ])
+        .is_err());
     }
 
     #[test]

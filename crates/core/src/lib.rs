@@ -39,6 +39,9 @@ pub use assign::{assign_levels, Assignment};
 pub use certify::certify_app;
 pub use diag::{code_for, lint, Diagnostic, LintReport};
 pub use interfere::{Analyzer, Verdict};
-pub use sdg::{predict_exposures, DangerousStructure, DepEdge, DepGraph, DepKind, Exposure};
+pub use sdg::{
+    predict_exposures, stmt_footprints, DangerousStructure, DepEdge, DepGraph, DepKind, Exposure,
+    StmtFootprint,
+};
 pub use theorems::{check_at_level, check_at_level_certified, check_with, LevelReport};
-pub use witness::{replay_witnesses, Witness, WitnessOutcome};
+pub use witness::{neutral_bindings, replay_witnesses, seed_neutral, Witness, WitnessOutcome};

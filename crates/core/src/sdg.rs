@@ -32,6 +32,7 @@ use semcc_engine::{AnomalyKind, IsolationLevel};
 use semcc_logic::row::RowPred;
 use semcc_logic::subst::Subst;
 use semcc_logic::{Expr, Pred, Var};
+use semcc_txn::stmt::Stmt;
 use semcc_txn::symexec::{summarize, write_footprint, SymOptions};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -421,6 +422,36 @@ pub fn predict_exposures(
                         .or_insert_with(|| format!("re-reads `{x}` which {} writes", u.name));
                 }
             }
+
+            // Read skew (A5A): two reads of *different* items, both written
+            // by one other committing type — the reads can straddle its
+            // commit and observe a mix of states no serial execution shows.
+            // Same protection profile as the re-read case: a snapshot pins
+            // both reads to one state, long read locks fence off lock-based
+            // writers (but not SNAPSHOT ones).
+            if t.read_items.len() >= 2 {
+                for u in &graph.txns {
+                    if l.long_read_locks() && !level_of(&u.name).is_snapshot() {
+                        continue;
+                    }
+                    let both: Vec<&str> = t
+                        .read_items
+                        .iter()
+                        .filter(|x| u.write_items.contains(*x))
+                        .map(String::as_str)
+                        .collect();
+                    if both.len() >= 2 {
+                        exposed.entry(NonRepeatableRead).or_insert_with(|| {
+                            format!(
+                                "reads {{{}}} which {} writes together (read skew)",
+                                both.join(", "),
+                                u.name
+                            )
+                        });
+                        break;
+                    }
+                }
+            }
         }
 
         // Phantom: the same predicate re-evaluated with a different match
@@ -487,6 +518,79 @@ pub fn predict_exposures(
 
 fn join(s: &BTreeSet<String>) -> String {
     s.iter().cloned().collect::<Vec<_>>().join(", ")
+}
+
+/// Syntactic read/write footprint of one *top-level* statement: item base
+/// names plus `tbl:`-tagged table names, with branches and loop bodies
+/// folded in. Coarser than the per-transaction [`TxnFootprint`] (no region
+/// predicates), but sound for the independence test of the schedule-space
+/// explorer: two statements whose footprints do not conflict commute.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StmtFootprint {
+    /// Items (base names) and tables (`tbl:` prefix) the statement may read.
+    pub reads: BTreeSet<String>,
+    /// Items and tables the statement may write.
+    pub writes: BTreeSet<String>,
+}
+
+impl StmtFootprint {
+    /// Whether two footprints conflict: one's writes overlap the other's
+    /// reads or writes (the Mazurkiewicz dependence test).
+    pub fn conflicts(&self, other: &StmtFootprint) -> bool {
+        self.writes.iter().any(|k| other.reads.contains(k) || other.writes.contains(k))
+            || other.writes.iter().any(|k| self.reads.contains(k))
+    }
+}
+
+/// Per-top-level-statement footprints of a program, indexed like
+/// `program.body`. Indexed items collapse to their base name (the
+/// explorer binds all index parameters to the same slot, so aliasing is
+/// the conservative answer anyway); UPDATE/DELETE read the rows their
+/// filters select, so they count as table reads *and* writes.
+pub fn stmt_footprints(program: &semcc_txn::Program) -> Vec<StmtFootprint> {
+    program
+        .body
+        .iter()
+        .map(|a| {
+            let mut fp = StmtFootprint::default();
+            collect_stmt_footprint(&a.stmt, &mut fp);
+            fp
+        })
+        .collect()
+}
+
+fn collect_stmt_footprint(s: &Stmt, fp: &mut StmtFootprint) {
+    match s {
+        Stmt::ReadItem { item, .. } => {
+            fp.reads.insert(item.base.clone());
+        }
+        Stmt::WriteItem { item, .. } => {
+            fp.writes.insert(item.base.clone());
+        }
+        Stmt::Select { table, .. }
+        | Stmt::SelectCount { table, .. }
+        | Stmt::SelectValue { table, .. } => {
+            fp.reads.insert(format!("tbl:{table}"));
+        }
+        Stmt::Update { table, .. } | Stmt::Delete { table, .. } => {
+            fp.reads.insert(format!("tbl:{table}"));
+            fp.writes.insert(format!("tbl:{table}"));
+        }
+        Stmt::Insert { table, .. } => {
+            fp.writes.insert(format!("tbl:{table}"));
+        }
+        Stmt::If { then_branch, else_branch, .. } => {
+            for a in then_branch.iter().chain(else_branch.iter()) {
+                collect_stmt_footprint(&a.stmt, fp);
+            }
+        }
+        Stmt::While { body, .. } => {
+            for a in body {
+                collect_stmt_footprint(&a.stmt, fp);
+            }
+        }
+        Stmt::LocalAssign { .. } | Stmt::Pause { .. } => {}
+    }
 }
 
 #[cfg(test)]

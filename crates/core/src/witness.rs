@@ -495,6 +495,32 @@ fn seed(
     Ok(shown)
 }
 
+/// Seed `engine` with neutral defaults for everything `programs` touch:
+/// every item at 100, one row per table (string columns [`SEED_KEY`],
+/// integer columns 0). Returns the seeded state as `name → value` pairs.
+/// This is the [`Strategy::Defaults`] half of the witness replayer's
+/// seeding, exported for the schedule-space explorer, which needs the
+/// *same* initial state on every replayed interleaving.
+pub fn seed_neutral(
+    engine: &Arc<Engine>,
+    app: &App,
+    programs: &[&Program],
+) -> Result<Vec<(String, String)>, EngineError> {
+    seed(engine, app, programs, &[], Strategy::Defaults)
+}
+
+/// Neutral parameter bindings for each program, positionally: strings to
+/// [`SEED_KEY`], item-index parameters to 0 (so all programs alias the
+/// same slot), other integers to 1 — the bindings matching
+/// [`seed_neutral`]'s initial state.
+pub fn neutral_bindings(programs: &[&Program]) -> Vec<Bindings> {
+    let index_params = index_param_names(programs);
+    programs
+        .iter()
+        .map(|p| bindings_for(p, Role::Victim, &[], Strategy::Defaults, &index_params).0)
+        .collect()
+}
+
 /// Concrete engine item name for the seeded state: indexed refs pin to
 /// slot 0 (all index parameters are bound to 0).
 fn resolve_seed_item(item: &ItemRef) -> String {

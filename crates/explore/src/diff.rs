@@ -1,0 +1,113 @@
+//! The static/dynamic differential oracle.
+//!
+//! The static side (`semcc_core::lint` over exactly the explored
+//! transaction types at exactly the explored levels) *predicts*; the
+//! explorer *enumerates*. The two are bound by one soundness contract:
+//!
+//! > static **SAFE** at a level vector ⟹ **zero** divergent schedules
+//! > exist at that vector.
+//!
+//! The converse does not hold — the predictor is a may-analysis, so
+//! UNSAFE with no divergent schedule is legitimate over-approximation
+//! (e.g. first-committer-wins turning a predicted lost update into a
+//! blocked schedule). A SAFE verdict with a concrete divergent schedule,
+//! however, is a soundness bug in the analyzer, and this module's whole
+//! purpose is to make that class of bug mechanically discoverable.
+
+use crate::explore::ExploreResult;
+use crate::spec::{level_map, sub_app, TxnSpec};
+use semcc_core::{lint, replay_witnesses, App};
+use semcc_engine::AnomalyKind;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How the static prediction and the exhaustive exploration relate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DifferentialVerdict {
+    /// Static and dynamic agree: SAFE ∧ no divergence, or UNSAFE ∧ a
+    /// concrete divergent schedule was found.
+    Agree,
+    /// Static UNSAFE but no divergent schedule exists: the may-analysis
+    /// over-approximated (expected for e.g. FCW-blocked lost updates).
+    StaticOverApprox,
+    /// Static SAFE but the explorer found a divergent schedule: the
+    /// analyzer's soundness contract is violated. This is a bug.
+    SoundnessViolation,
+}
+
+impl fmt::Display for DifferentialVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DifferentialVerdict::Agree => "AGREE",
+            DifferentialVerdict::StaticOverApprox => "STATIC-OVERAPPROX",
+            DifferentialVerdict::SoundnessViolation => "SOUNDNESS-VIOLATION",
+        })
+    }
+}
+
+/// The full differential comparison for one (transactions, levels) point.
+#[derive(Clone, Debug)]
+pub struct Differential {
+    /// Static verdict: the lint report over the explored sub-application
+    /// at the explored level vector came back clean.
+    pub static_safe: bool,
+    /// Anomaly kinds the static predictor exposed at these levels.
+    pub predicted_kinds: BTreeSet<AnomalyKind>,
+    /// Anomaly kinds the checker observed in divergent schedules.
+    pub observed_kinds: BTreeSet<AnomalyKind>,
+    /// The verdict matrix cell this run landed in.
+    pub verdict: DifferentialVerdict,
+    /// When the static side is UNSAFE *and* the explorer diverged: whether
+    /// a confirmed FM-schedule witness exhibits an anomaly kind the
+    /// explorer also observed. `None` when the cross-check did not apply
+    /// (no witness confirmed, or no anomaly kind recorded on either side).
+    pub witness_agrees: Option<bool>,
+}
+
+impl Differential {
+    /// True unless the exploration exposed an analyzer soundness bug.
+    pub fn sound(&self) -> bool {
+        self.verdict != DifferentialVerdict::SoundnessViolation
+    }
+}
+
+/// Compare the static lint verdict against the explorer's findings.
+pub fn differential(app: &App, specs: &[TxnSpec], result: &ExploreResult) -> Differential {
+    let sub = sub_app(app, specs);
+    let levels = level_map(specs);
+    let report = lint(&sub, Some(&levels));
+    let static_safe = report.clean();
+    let predicted_kinds: BTreeSet<AnomalyKind> = report
+        .diagnostics
+        .iter()
+        .map(|d| d.kind)
+        .chain(report.exposures.iter().flat_map(|e| e.exposed.keys().copied()))
+        .collect();
+    let observed_kinds: BTreeSet<AnomalyKind> =
+        result.divergent_examples.iter().flat_map(|d| d.anomalies.iter().copied()).collect();
+    let diverged = result.divergent > 0;
+    let verdict = match (static_safe, diverged) {
+        (true, false) | (false, true) => DifferentialVerdict::Agree,
+        (false, false) => DifferentialVerdict::StaticOverApprox,
+        (true, true) => DifferentialVerdict::SoundnessViolation,
+    };
+    // Witness cross-check: only meaningful when both sides claim an
+    // anomaly. The FM replayer synthesizes its own 2-transaction schedule,
+    // so agreement means two independent dynamic paths corroborate the
+    // same anomaly class.
+    let witness_agrees = if !static_safe && diverged {
+        let confirmed: BTreeSet<AnomalyKind> = replay_witnesses(&sub, &report)
+            .iter()
+            .filter(|w| w.confirmed())
+            .map(|w| w.kind)
+            .collect();
+        if confirmed.is_empty() || observed_kinds.is_empty() {
+            None
+        } else {
+            Some(confirmed.intersection(&observed_kinds).next().is_some())
+        }
+    } else {
+        None
+    };
+    Differential { static_safe, predicted_kinds, observed_kinds, verdict, witness_agrees }
+}

@@ -1,0 +1,36 @@
+//! Exhaustive schedule-space exploration with a static/dynamic
+//! differential oracle.
+//!
+//! The static analyzer (`semcc-core`) *claims* that an application is
+//! semantically correct at a given isolation-level vector; the FM witness
+//! replayer backs each warning with *one* synthesized schedule. This
+//! crate closes the remaining gap: it enumerates **every**
+//! statement-granular interleaving of 2–3 transaction instances —
+//! pruned to Mazurkiewicz-trace representatives by persistent-set +
+//! sleep-set DPOR over symbolic footprints — executes each on the real
+//! engine, and compares every completed schedule's observable outcome
+//! against all serial orders.
+//!
+//! The resulting differential contract:
+//!
+//! * static **SAFE** ⟹ the explorer finds **zero** divergent schedules
+//!   (anything else is [`DifferentialVerdict::SoundnessViolation`] — an
+//!   analyzer bug surfaced mechanically);
+//! * static **UNSAFE** ∧ a divergent schedule found ⟹ the checker's
+//!   anomalies on it are cross-checked against the FM witness;
+//! * static **UNSAFE** ∧ no divergence is recorded as legitimate
+//!   may-analysis over-approximation.
+//!
+//! Entry points: [`specs_for`] + [`explore`] + [`differential`]; the
+//! `semcc explore` CLI subcommand and the `table_explore` benchmark are
+//! thin wrappers over these.
+
+mod diff;
+mod explore;
+mod spec;
+
+pub use diff::{differential, Differential, DifferentialVerdict};
+pub use explore::{
+    explore, DivergentSchedule, ExploreOptions, ExploreResult, MAX_DIVERGENT_EXAMPLES,
+};
+pub use spec::{level_map, specs_for, sub_app, TxnSpec};

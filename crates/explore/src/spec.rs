@@ -1,0 +1,78 @@
+//! Transaction specs: which programs to interleave, at which levels.
+
+use semcc_core::{neutral_bindings, App};
+use semcc_engine::IsolationLevel;
+use semcc_txn::{Bindings, Program};
+
+/// One transaction instance in the explored system: a program, the
+/// isolation level it runs at, and its (fixed) parameter bindings.
+#[derive(Clone, Debug)]
+pub struct TxnSpec {
+    /// The annotated program.
+    pub program: Program,
+    /// Isolation level this instance runs at.
+    pub level: IsolationLevel,
+    /// Parameter bindings (identical on every replay).
+    pub bindings: Bindings,
+}
+
+/// Build specs for the named programs of `app` at the given levels, with
+/// the neutral parameter bindings of the witness replayer (strings to the
+/// seeded row key, item indices to slot 0, other integers to 1) so that
+/// all instances alias the same data.
+pub fn specs_for(
+    app: &App,
+    names: &[String],
+    levels: &[IsolationLevel],
+) -> Result<Vec<TxnSpec>, String> {
+    if names.len() != levels.len() {
+        return Err(format!("{} transaction(s) but {} level(s)", names.len(), levels.len()));
+    }
+    let programs: Vec<&Program> = names
+        .iter()
+        .map(|n| {
+            app.program(n).ok_or_else(|| {
+                format!(
+                    "no transaction `{n}` (have: {})",
+                    app.programs.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(", ")
+                )
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let bindings = neutral_bindings(&programs);
+    Ok(programs
+        .into_iter()
+        .zip(levels)
+        .zip(bindings)
+        .map(|((p, &level), bindings)| TxnSpec { program: p.clone(), level, bindings })
+        .collect())
+}
+
+/// The sub-application containing exactly the explored transaction types
+/// (deduplicated by name) over the full schema — the unit the *static*
+/// side of the differential analyzes, so its verdict covers the same pair
+/// the explorer runs and nothing else.
+pub fn sub_app(app: &App, specs: &[TxnSpec]) -> App {
+    let mut sub =
+        App { programs: Vec::new(), schemas: app.schemas.clone(), lemmas: app.lemmas.clone() };
+    for s in specs {
+        if !sub.programs.iter().any(|p| p.name == s.program.name) {
+            sub.programs.push(s.program.clone());
+        }
+    }
+    sub
+}
+
+/// Level vector for the static analysis. When the same program appears
+/// twice at different levels, the *weaker* level wins (more predicted
+/// exposures — the conservative direction for the SAFE ⇒ no-divergence
+/// check).
+pub fn level_map(specs: &[TxnSpec]) -> std::collections::BTreeMap<String, IsolationLevel> {
+    let mut m = std::collections::BTreeMap::new();
+    for s in specs {
+        m.entry(s.program.name.clone())
+            .and_modify(|l: &mut IsolationLevel| *l = (*l).min(s.level))
+            .or_insert(s.level);
+    }
+    m
+}

@@ -124,6 +124,16 @@ impl LockManager {
         }
     }
 
+    /// Drop every grant and waiter, returning the manager to its freshly
+    /// constructed state. Only sound when no transaction is in flight —
+    /// used by the engine's deterministic replay reset. Parked waiters (if
+    /// any) are woken so they re-evaluate and fail fast.
+    pub fn clear(&self) {
+        let mut state = self.state.lock();
+        *state = State::default();
+        self.cv.notify_all();
+    }
+
     /// Whether two (txn, target, mode) requests conflict.
     fn conflicts(&self, a_target: &Target, a_mode: Mode, b_target: &Target, b_mode: Mode) -> bool {
         if a_mode.compatible(b_mode) {

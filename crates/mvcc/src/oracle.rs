@@ -94,6 +94,19 @@ impl Oracle {
         self.snapshots.lock().remove(&txn);
     }
 
+    /// Return to the freshly constructed state: txn ids restart at 1,
+    /// timestamps at 0, and the commit log and snapshot registry are
+    /// emptied. Only sound when no transaction is in flight — used by the
+    /// engine's deterministic replay reset, where identical schedules must
+    /// reproduce identical ids and timestamps.
+    pub fn reset(&self) {
+        let mut log = self.log.lock();
+        log.last_write.clear();
+        self.snapshots.lock().clear();
+        self.next_txn.store(1, Ordering::Release);
+        self.last_commit.store(0, Ordering::Release);
+    }
+
     /// The GC watermark: no active snapshot reads below this timestamp.
     pub fn watermark(&self) -> Ts {
         let snaps = self.snapshots.lock();

@@ -106,6 +106,15 @@ impl Store {
         Ok(())
     }
 
+    /// Drop every item and table, returning the store to its freshly
+    /// constructed state. Callers (the engine's deterministic replay
+    /// reset) re-seed initial state afterwards; any outstanding references
+    /// to old cells keep them alive but detached from the namespace.
+    pub fn clear(&self) {
+        self.items.write().clear();
+        self.tables.write().clear();
+    }
+
     /// Garbage-collect all version chains below the watermark.
     pub fn gc(&self, watermark: Ts) {
         for cell in self.items.read().values() {

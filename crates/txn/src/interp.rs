@@ -346,13 +346,29 @@ impl<'p> Stepper<'p> {
         self.idx
     }
 
+    /// Whether [`Stepper::commit`] or [`Stepper::abort`] already ran.
+    pub fn is_finished(&self) -> bool {
+        self.txn.is_none()
+    }
+
+    /// Current local-variable values (the explorer's observation oracle
+    /// reads these after commit; they survive the transaction ending).
+    pub fn locals(&self) -> &HashMap<String, Value> {
+        &self.frame.locals
+    }
+
+    /// Current SELECT buffers.
+    pub fn buffers(&self) -> &HashMap<String, Vec<(RowId, Row)>> {
+        &self.frame.buffers
+    }
+
     /// Execute the next top-level statement. Returns `Ok(true)` when a
     /// statement ran, `Ok(false)` when the program was already finished.
     pub fn step(&mut self) -> Result<bool, EngineError> {
         if self.is_done() {
             return Ok(false);
         }
-        let txn = self.txn.as_mut().expect("stepper transaction open");
+        let txn = self.txn.as_mut().ok_or(EngineError::TxnFinished)?;
         let a = &self.program.body[self.idx];
         exec_stmt(txn, &a.stmt, &mut self.frame)?;
         self.idx += 1;
@@ -360,8 +376,17 @@ impl<'p> Stepper<'p> {
     }
 
     /// Execute statements up to (not including) top-level index `until`.
+    /// `until` past [`Stepper::stmt_count`] is a request for statements
+    /// that do not exist and errors cleanly.
     pub fn run_until(&mut self, until: usize) -> Result<(), EngineError> {
-        while self.idx < until.min(self.program.body.len()) {
+        if until > self.program.body.len() {
+            return Err(EngineError::Invalid(format!(
+                "run_until({until}) past the {} top-level statement(s) of {}",
+                self.program.body.len(),
+                self.program.name
+            )));
+        }
+        while self.idx < until {
             self.step()?;
         }
         Ok(())
@@ -373,14 +398,18 @@ impl<'p> Stepper<'p> {
         Ok(())
     }
 
-    /// Commit the transaction.
-    pub fn commit(mut self) -> Result<Ts, EngineError> {
-        self.txn.take().expect("stepper transaction open").commit()
+    /// Commit the transaction. A second commit (or a commit after
+    /// [`Stepper::abort`]) is rejected with [`EngineError::TxnFinished`].
+    pub fn commit(&mut self) -> Result<Ts, EngineError> {
+        self.txn.take().ok_or(EngineError::TxnFinished)?.commit()
     }
 
-    /// Abort the transaction.
-    pub fn abort(mut self) {
-        self.txn.take().expect("stepper transaction open").abort();
+    /// Abort the transaction. Aborting an already finished stepper is
+    /// rejected with [`EngineError::TxnFinished`].
+    pub fn abort(&mut self) -> Result<(), EngineError> {
+        let txn = self.txn.take().ok_or(EngineError::TxnFinished)?;
+        txn.abort();
+        Ok(())
     }
 }
 

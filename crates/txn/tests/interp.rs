@@ -1,12 +1,12 @@
 //! End-to-end interpreter tests: annotated programs executed against the
 //! real engine.
 
-use semcc_engine::{Engine, EngineConfig, IsolationLevel, Value};
+use semcc_engine::{Engine, EngineConfig, EngineError, IsolationLevel, Value};
 use semcc_logic::parser::parse_pred;
 use semcc_logic::row::RowPred;
 use semcc_logic::Expr;
 use semcc_storage::Schema;
-use semcc_txn::interp::{run_program, run_with_retries};
+use semcc_txn::interp::{run_program, run_with_retries, Stepper};
 use semcc_txn::stmt::{AStmt, ItemRef, Stmt};
 use semcc_txn::{Bindings, ColExpr, ProgramBuilder};
 use std::sync::Arc;
@@ -225,6 +225,104 @@ fn unbound_param_is_invalid_not_abort() {
     let err = run_program(&e, &p, IsolationLevel::ReadCommitted, &Bindings::new())
         .expect_err("must fail");
     assert!(!err.is_abort(), "programming error, not a retryable abort: {err}");
+}
+
+fn incr_program(name: &str) -> semcc_txn::Program {
+    ProgramBuilder::new(name)
+        .bare(Stmt::ReadItem { item: ItemRef::plain("x"), into: "X".into() })
+        .bare(Stmt::WriteItem {
+            item: ItemRef::plain("x"),
+            value: Expr::local("X").add(Expr::int(1)),
+        })
+        .build()
+}
+
+#[test]
+fn stepper_abort_mid_statement_releases_locks() {
+    let e = engine();
+    e.create_item("x", 5).expect("item");
+    let p = incr_program("Incr");
+    let bindings = Bindings::new();
+
+    let mut a = Stepper::begin(&e, &p, IsolationLevel::Serializable, &bindings);
+    a.run_until(2).expect("both statements run"); // holds the write lock on x
+    assert!(a.is_done() && !a.is_finished());
+
+    // With the lock held, a competing transaction times out...
+    let mut b = Stepper::begin(&e, &p, IsolationLevel::Serializable, &bindings);
+    let err = b.step().expect_err("x is write-locked");
+    assert!(err.is_abort(), "lock conflict is a retryable abort: {err}");
+    b.abort().expect("first abort succeeds");
+
+    // ...but after the mid-program abort the lock is free again.
+    a.abort().expect("abort");
+    assert!(a.is_finished());
+    let mut c = Stepper::begin(&e, &p, IsolationLevel::Serializable, &bindings);
+    c.run_to_end().expect("lock released by abort");
+    c.commit().expect("commit");
+    // The aborted increment left no trace; only c's increment landed.
+    assert_eq!(e.peek_item("x").expect("peek"), Value::Int(6));
+}
+
+#[test]
+fn stepper_run_until_past_stmt_count_errors_cleanly() {
+    let e = engine();
+    e.create_item("x", 0).expect("item");
+    let p = incr_program("Incr");
+    let bindings = Bindings::new();
+    let mut s = Stepper::begin(&e, &p, IsolationLevel::ReadCommitted, &bindings);
+    assert_eq!(s.stmt_count(), 2);
+    let err = s.run_until(3).expect_err("past the end");
+    assert!(
+        matches!(err, EngineError::Invalid(_)),
+        "out-of-range request is a programming error, not an abort: {err}"
+    );
+    assert!(!err.is_abort());
+    // The stepper itself is unharmed: the valid prefix still runs.
+    s.run_until(2).expect("valid range");
+    s.commit().expect("commit");
+    assert_eq!(e.peek_item("x").expect("peek"), Value::Int(1));
+}
+
+#[test]
+fn stepper_double_commit_and_use_after_finish_are_rejected() {
+    let e = engine();
+    e.create_item("x", 0).expect("item");
+    let p = incr_program("Incr");
+    let bindings = Bindings::new();
+    let mut s = Stepper::begin(&e, &p, IsolationLevel::Serializable, &bindings);
+    s.run_to_end().expect("runs");
+    s.commit().expect("first commit");
+    assert!(s.is_finished());
+    assert!(matches!(s.commit(), Err(EngineError::TxnFinished)), "double commit");
+    assert!(matches!(s.abort(), Err(EngineError::TxnFinished)), "abort after commit");
+    // Locals survive the commit for post-hoc observation.
+    assert_eq!(s.locals().get("X"), Some(&Value::Int(0)));
+    assert_eq!(e.peek_item("x").expect("peek"), Value::Int(1));
+
+    // An early commit (before the program is done) ends the transaction:
+    // further stepping is rejected, not silently executed.
+    let mut t = Stepper::begin(&e, &p, IsolationLevel::Serializable, &bindings);
+    t.run_until(1).expect("first statement");
+    t.commit().expect("early commit");
+    assert!(matches!(t.step(), Err(EngineError::TxnFinished)), "step after commit");
+}
+
+#[test]
+fn dropping_an_open_stepper_aborts_and_releases_locks() {
+    let e = engine();
+    e.create_item("x", 0).expect("item");
+    let p = incr_program("Incr");
+    let bindings = Bindings::new();
+    {
+        let mut s = Stepper::begin(&e, &p, IsolationLevel::Serializable, &bindings);
+        s.run_to_end().expect("runs");
+        // dropped uncommitted
+    }
+    let mut s = Stepper::begin(&e, &p, IsolationLevel::Serializable, &bindings);
+    s.run_to_end().expect("drop released the lock");
+    s.commit().expect("commit");
+    assert_eq!(e.peek_item("x").expect("peek"), Value::Int(1));
 }
 
 #[test]

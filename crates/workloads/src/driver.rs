@@ -51,24 +51,29 @@ impl RunStats {
         self.aborts as f64 / self.committed as f64
     }
 
-    fn percentile(&self, p: f64) -> u64 {
-        if self.latencies_us.is_empty() {
+    /// Nearest-rank percentile (µs): the smallest recorded latency ≥ `p`
+    /// of the sample. 0 on an empty sample; the sole value on a
+    /// singleton, for every `p`.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        let n = self.latencies_us.len();
+        if n == 0 {
             return 0;
         }
         let mut v = self.latencies_us.clone();
         v.sort_unstable();
-        let idx = ((v.len() as f64 - 1.0) * p).round() as usize;
-        v[idx]
+        // Nearest-rank: rank = ⌈p·n⌉ (1-based), clamped to [1, n].
+        let rank = (p.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+        v[rank.clamp(1, n) - 1]
     }
 
     /// Median latency (µs).
     pub fn p50_us(&self) -> u64 {
-        self.percentile(0.50)
+        self.percentile_us(0.50)
     }
 
     /// 99th-percentile latency (µs).
     pub fn p99_us(&self) -> u64 {
-        self.percentile(0.99)
+        self.percentile_us(0.99)
     }
 }
 
@@ -146,6 +151,41 @@ mod tests {
         assert!(banking::balance_violations(&e, 4).is_empty());
         assert_eq!(stats.latencies_us.len() as u64, stats.committed);
         assert!(stats.p99_us() >= stats.p50_us());
+    }
+
+    #[test]
+    fn percentiles_are_defined_on_empty_and_singleton_samples() {
+        let empty = RunStats::default();
+        assert_eq!(empty.p50_us(), 0);
+        assert_eq!(empty.p99_us(), 0);
+
+        let one = RunStats { latencies_us: vec![37], ..RunStats::default() };
+        assert_eq!(one.p50_us(), 37);
+        assert_eq!(one.p99_us(), 37);
+        assert_eq!(one.percentile_us(0.0), 37);
+        assert_eq!(one.percentile_us(1.0), 37);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_and_are_monotone() {
+        // Unsorted on purpose: the accessor must sort internally.
+        let s = RunStats {
+            latencies_us: vec![50, 10, 40, 20, 30, 60, 90, 70, 80, 100],
+            ..RunStats::default()
+        };
+        // n = 10: p50 → rank ⌈5⌉ = 5th value; p99 → rank ⌈9.9⌉ = 10th.
+        assert_eq!(s.p50_us(), 50);
+        assert_eq!(s.p99_us(), 100);
+        assert_eq!(s.percentile_us(0.10), 10);
+        // Out-of-range p clamps rather than panics.
+        assert_eq!(s.percentile_us(-0.5), 10);
+        assert_eq!(s.percentile_us(2.0), 100);
+        let mut prev = 0;
+        for i in 0..=20 {
+            let v = s.percentile_us(i as f64 / 20.0);
+            assert!(v >= prev, "percentile must be monotone in p");
+            prev = v;
+        }
     }
 
     #[test]
