@@ -70,4 +70,37 @@ explore_expect 0 "$tmpdir/banking.json" \
     --txns Withdraw_sav,Withdraw_ch --levels RR,RR
 echo "   banking Withdraw_sav/Withdraw_ch: DIVERGENT at SI, CLEAN at RR"
 
+echo "== fault-injection smoke (determinism + audited abort paths) =="
+# Two runs with the same seed must print bit-for-bit identical JSON
+# (including the fault-event trail), inject a nonzero number of faults,
+# and exit 0 (the auditor found no violation).
+cargo run -q -p semcc-cli -- faultsim "$tmpdir/payroll.json" --seed 42 --json \
+    > "$tmpdir/faultsim.1.json"
+cargo run -q -p semcc-cli -- faultsim "$tmpdir/payroll.json" --seed 42 --json \
+    > "$tmpdir/faultsim.2.json"
+if ! cmp -s "$tmpdir/faultsim.1.json" "$tmpdir/faultsim.2.json"; then
+    echo "ci: faultsim --seed 42 is not deterministic" >&2
+    diff "$tmpdir/faultsim.1.json" "$tmpdir/faultsim.2.json" >&2 || true
+    exit 1
+fi
+if ! grep -q '"clean": true' "$tmpdir/faultsim.1.json"; then
+    echo "ci: faultsim --seed 42 reported auditor violations" >&2
+    exit 1
+fi
+if grep -q '"injected": 0,' "$tmpdir/faultsim.1.json"; then
+    echo "ci: faultsim --seed 42 injected no faults (vacuous run)" >&2
+    exit 1
+fi
+echo "   faultsim seed 42: DETERMINISTIC, injected faults, auditor CLEAN"
+# The injected-abort schedule sweep: rollback visible at RU, not at RC.
+explore_expect 1 "$tmpdir/payroll.json" \
+    --txns Hours,Print_Records --levels RU,RU --seed emp.rate=10 --faults Hours
+explore_expect 0 "$tmpdir/payroll.json" \
+    --txns Hours,Print_Records --levels RC,RC --seed emp.rate=10 --faults Hours
+echo "   injected-abort sweep: rollback VISIBLE at RU, CLEAN at RC"
+
+echo "== fault-plan property suite (~200 seeded random plans, all levels) =="
+cargo test -q -p semcc-workloads --test faultsim_prop > /dev/null
+echo "   auditor: zero violations across the random-plan suite"
+
 echo "ci: all green"

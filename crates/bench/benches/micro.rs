@@ -69,6 +69,7 @@ fn engine() -> Arc<Engine> {
     Arc::new(Engine::new(EngineConfig {
         lock_timeout: Duration::from_secs(1),
         record_history: false,
+        faults: None,
     }))
 }
 

@@ -34,6 +34,7 @@ fn engine() -> Arc<Engine> {
     Arc::new(Engine::new(EngineConfig {
         lock_timeout: Duration::from_millis(300),
         record_history: true,
+        faults: None,
     }))
 }
 

@@ -212,6 +212,7 @@ mod tests {
         Arc::new(Engine::new(EngineConfig {
             lock_timeout: Duration::from_millis(300),
             record_history: true,
+            faults: None,
         }))
     }
 

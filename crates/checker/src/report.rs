@@ -64,6 +64,7 @@ mod tests {
         let e = Arc::new(Engine::new(EngineConfig {
             lock_timeout: Duration::from_millis(200),
             record_history: true,
+            faults: None,
         }));
         e.create_item("x", 0).expect("item");
         let mut w = e.begin(IsolationLevel::ReadCommitted);

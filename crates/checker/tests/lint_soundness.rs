@@ -127,6 +127,7 @@ fn runtime_anomalies_are_statically_predicted() {
         let e = Arc::new(Engine::new(EngineConfig {
             lock_timeout: Duration::from_millis(50),
             record_history: true,
+            faults: None,
         }));
         for n in ITEMS {
             e.create_item(n, 0).expect("item");

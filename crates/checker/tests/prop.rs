@@ -57,6 +57,7 @@ fn serial_executions_are_clean() {
         let e = Arc::new(Engine::new(EngineConfig {
             lock_timeout: Duration::from_millis(50),
             record_history: true,
+            faults: None,
         }));
         for n in ITEMS {
             e.create_item(n, 0).expect("item");
@@ -82,6 +83,7 @@ fn concurrent_serializable_runs_are_clean() {
         let e = Arc::new(Engine::new(EngineConfig {
             lock_timeout: Duration::from_millis(50),
             record_history: true,
+            faults: None,
         }));
         for n in ITEMS {
             e.create_item(n, 0).expect("item");

@@ -27,14 +27,16 @@ use semcc_core::assign::{ansi_ladder, assign_levels, default_ladder};
 use semcc_core::counting::cost_table;
 use semcc_core::theorems::check_at_level;
 use semcc_core::{certify_app, lint, replay_witnesses, App, LintReport, Witness, WitnessOutcome};
-use semcc_engine::IsolationLevel;
+use semcc_engine::{FaultMix, IsolationLevel};
 use semcc_explore::{
-    differential, explore, specs_for, Differential, ExploreOptions, ExploreResult,
+    differential, explore, explore_with_aborts, specs_for, Differential, ExploreOptions,
+    ExploreResult,
 };
 use semcc_json::Json;
-use semcc_workloads::{banking, orders, payroll, tpcc};
+use semcc_workloads::{banking, orders, payroll, simulate, tpcc, FaultSimOptions, FaultSimReport};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// What a successfully-run command concluded.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,6 +57,7 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("explore") => cmd_explore(&args[1..]),
+        Some("faultsim") => cmd_faultsim(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("obligations") => cmd_obligations(&args[1..]),
         Some("certify") => cmd_certify(&args[1..]),
@@ -85,7 +88,11 @@ fn print_usage() {
     println!("  semcc lint <app.json> [--levels L1,L2,...] [--witness] [--json]");
     println!("  semcc explore <app.json> [--txns T1,T2[,T3]] [--levels L1,L2[,L3]]");
     println!("                [--seed item=V | table.col=V]... [--max-depth N]");
-    println!("                [--max-schedules N] [--json]");
+    println!("                [--max-schedules N] [--faults [VICTIM]]");
+    println!("                [--lock-timeout-ms N] [--json]");
+    println!("  semcc faultsim <app.json> [--seed N] [--txns N] [--levels L1[,L2,...]]");
+    println!("                 [--mix CLASS=P,...] [--lock-timeout-ms N]");
+    println!("                 [--max-attempts N] [--json]");
     println!("  semcc verify <app.json>");
     println!("  semcc obligations <app.json>");
     println!("  semcc certify <app.json> [--out cert.json]");
@@ -263,10 +270,25 @@ fn cmd_explore(args: &[String]) -> CmdResult {
     let mut txns_arg: Option<&String> = None;
     let mut levels_arg: Option<&String> = None;
     let mut json_out = false;
+    let mut faults_victim: Option<String> = None;
     let mut opts = ExploreOptions::default();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--faults" => {
+                // Optional victim (transaction name or instance index);
+                // default: the first instance.
+                faults_victim = Some(match it.peek() {
+                    Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+                    _ => "0".to_string(),
+                });
+            }
+            "--lock-timeout-ms" => {
+                let v = it.next().ok_or("--lock-timeout-ms needs a number")?;
+                opts.lock_timeout = Duration::from_millis(
+                    v.parse().map_err(|_| format!("bad --lock-timeout-ms `{v}`"))?,
+                );
+            }
             "--txns" => txns_arg = Some(it.next().ok_or("--txns needs a comma-separated list")?),
             "--levels" => {
                 levels_arg = Some(it.next().ok_or("--levels needs a comma-separated list")?);
@@ -346,6 +368,64 @@ fn cmd_explore(args: &[String]) -> CmdResult {
         }
     };
     let specs = specs_for(&app, &names, &levels)?;
+
+    if let Some(victim_arg) = faults_victim {
+        // Fault mode: sweep an injected abort over every statement
+        // position of the victim instead of one plain exploration.
+        let victim = match victim_arg.parse::<usize>() {
+            Ok(i) => i,
+            Err(_) => names
+                .iter()
+                .position(|n| n == &victim_arg)
+                .ok_or_else(|| format!("--faults: no transaction instance `{victim_arg}`"))?,
+        };
+        let cases = explore_with_aborts(&app, &specs, &opts, victim)?;
+        let divergent_total: u64 = cases.iter().map(|c| c.result.divergent).sum();
+        if json_out {
+            let arr = cases
+                .iter()
+                .map(|c| {
+                    let d = differential(&app, &specs, &c.result);
+                    Json::obj([
+                        ("abort_after", Json::Int(c.k as i64)),
+                        ("explore", explore_json(&c.result, &d)),
+                    ])
+                })
+                .collect();
+            println!(
+                "{}",
+                Json::obj([
+                    ("victim", Json::str(names[victim].clone())),
+                    ("cases", Json::Arr(arr)),
+                    ("divergent_total", Json::Int(divergent_total as i64)),
+                ])
+                .to_pretty()
+            );
+        } else {
+            println!(
+                "fault mode: injected abort of `{}` at every statement position",
+                names[victim]
+            );
+            for c in &cases {
+                println!();
+                println!("== abort after statement {} ==", c.k);
+                let d = differential(&app, &specs, &c.result);
+                print_explore(&c.result, &d);
+            }
+            println!();
+            if divergent_total == 0 {
+                println!(
+                    "no injected abort position changes committed observers at this level vector"
+                );
+            } else {
+                println!(
+                    "{divergent_total} divergent schedule(s): a peer observed state the rollback erased"
+                );
+            }
+        }
+        return if divergent_total > 0 { Ok(Findings::Diagnostics) } else { Ok(Findings::Clean) };
+    }
+
     let result = explore(&app, &specs, &opts)?;
     let diff = differential(&app, &specs, &result);
 
@@ -359,6 +439,162 @@ fn cmd_explore(args: &[String]) -> CmdResult {
     } else {
         Ok(Findings::Clean)
     }
+}
+
+fn cmd_faultsim(args: &[String]) -> CmdResult {
+    let mut path: Option<&String> = None;
+    let mut json_out = false;
+    let mut opts = FaultSimOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a number")?;
+                opts.seed = v.parse().map_err(|_| format!("bad --seed `{v}`"))?;
+            }
+            "--txns" => {
+                let v = it.next().ok_or("--txns needs a number")?;
+                opts.txns = v.parse().map_err(|_| format!("bad --txns `{v}`"))?;
+            }
+            "--levels" => {
+                let list = it.next().ok_or("--levels needs a comma-separated list")?;
+                opts.levels =
+                    list.split(',').map(|t| parse_level(t.trim())).collect::<Result<_, _>>()?;
+            }
+            "--mix" => {
+                let list = it.next().ok_or(
+                    "--mix needs CLASS=P,... (classes: lock-timeout, deadlock, fcw, \
+                     abort-stmt, crash-before, crash-after)",
+                )?;
+                let mut mix = FaultMix::default();
+                for tok in list.split(',') {
+                    let (name, p) = tok
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad --mix entry `{tok}` (need `=`)"))?;
+                    let p: f64 = p.parse().map_err(|_| format!("bad --mix rate `{tok}`"))?;
+                    mix.set(name.trim(), p)?;
+                }
+                opts.mix = mix;
+            }
+            "--lock-timeout-ms" => {
+                let v = it.next().ok_or("--lock-timeout-ms needs a number")?;
+                opts.lock_timeout = Duration::from_millis(
+                    v.parse().map_err(|_| format!("bad --lock-timeout-ms `{v}`"))?,
+                );
+            }
+            "--max-attempts" => {
+                let v = it.next().ok_or("--max-attempts needs a number")?;
+                opts.policy.max_attempts =
+                    v.parse().map_err(|_| format!("bad --max-attempts `{v}`"))?;
+            }
+            "--json" => json_out = true,
+            _ if path.is_none() => path = Some(a),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let path = path.ok_or(
+        "usage: semcc faultsim <app.json> [--seed N] [--txns N] [--levels L1[,L2,...]] \
+         [--mix CLASS=P,...] [--lock-timeout-ms N] [--max-attempts N] [--json]",
+    )?;
+    let app = load_app(path)?;
+    let report = simulate(&app, &opts)?;
+
+    if json_out {
+        println!("{}", faultsim_json(&report).to_pretty());
+    } else {
+        print_faultsim(&report);
+    }
+    if report.clean() {
+        Ok(Findings::Clean)
+    } else {
+        Ok(Findings::Diagnostics)
+    }
+}
+
+fn print_faultsim(r: &FaultSimReport) {
+    println!("fault simulation: seed {} over {} transaction(s)", r.seed, r.txns);
+    println!("  committed             {}", r.committed);
+    println!("  aborts absorbed       {}", r.aborts);
+    for (class, n) in &r.aborts_by_class {
+        println!("    {:<19} {}", class.name(), n);
+    }
+    println!("  gave up               {}", r.gave_up);
+    println!("  abort rate            {:.3}", r.abort_rate());
+    println!("  faults injected       {}", r.injected);
+    for (kind, n) in &r.injected_by_kind {
+        println!("    {kind:<19} {n}");
+    }
+    println!("  audit checks          {}", r.audit_checks);
+    if !r.recovery_latencies_us.is_empty() {
+        let mut lats = r.recovery_latencies_us.clone();
+        lats.sort_unstable();
+        let pct = |p: f64| lats[((lats.len() - 1) as f64 * p) as usize];
+        println!(
+            "  recovery latency      p50 {}µs  p99 {}µs  ({} retried commits)",
+            pct(0.50),
+            pct(0.99),
+            lats.len()
+        );
+    }
+    if r.clean() {
+        println!("  auditor               CLEAN ({} checks, 0 violations)", r.audit_checks);
+    } else {
+        println!("  auditor               {} VIOLATION(S):", r.violations.len());
+        for v in &r.violations {
+            println!("    {v}");
+        }
+    }
+}
+
+/// The deterministic portion of a faultsim report: everything here is a
+/// pure function of the seed and options (wall-clock fields excluded), so
+/// two runs with the same arguments must print identical JSON.
+fn faultsim_json(r: &FaultSimReport) -> Json {
+    Json::obj([
+        ("seed", Json::Int(r.seed as i64)),
+        ("txns", Json::Int(r.txns as i64)),
+        ("committed", Json::Int(r.committed as i64)),
+        ("aborts", Json::Int(r.aborts as i64)),
+        ("gave_up", Json::Int(r.gave_up as i64)),
+        (
+            "aborts_by_class",
+            Json::obj(
+                r.aborts_by_class
+                    .iter()
+                    .map(|(c, n)| (c.name().to_string(), Json::Int(*n as i64)))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        ("injected", Json::Int(r.injected as i64)),
+        (
+            "injected_by_kind",
+            Json::obj(
+                r.injected_by_kind
+                    .iter()
+                    .map(|(k, n)| (k.to_string(), Json::Int(*n as i64)))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        (
+            "events",
+            Json::Arr(
+                r.events
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("seq", Json::Int(e.seq as i64)),
+                            ("txn", Json::Int(e.txn as i64)),
+                            ("kind", Json::str(e.kind.name())),
+                            ("ordinal", Json::Int(e.ordinal as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("audit_checks", Json::Int(r.audit_checks as i64)),
+        ("violations", Json::Arr(r.violations.iter().map(|v| Json::str(v.clone())).collect())),
+        ("clean", Json::Bool(r.clean())),
+    ])
 }
 
 fn print_explore(r: &ExploreResult, d: &Differential) {

@@ -212,6 +212,7 @@ fn attempt(
     let engine = Arc::new(Engine::new(EngineConfig {
         lock_timeout: Duration::from_millis(100),
         record_history: true,
+        faults: None,
     }));
     let initial_state =
         match seed(&engine, app, &[victim, interferer], &diag.counterexample, strategy) {

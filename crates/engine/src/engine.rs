@@ -3,6 +3,7 @@
 use crate::history::History;
 use crate::level::IsolationLevel;
 use crate::txn::Txn;
+use semcc_faults::FaultInjector;
 use semcc_lock::manager::LockConfig;
 use semcc_lock::LockManager;
 use semcc_mvcc::Oracle;
@@ -17,11 +18,15 @@ pub struct EngineConfig {
     pub lock_timeout: Duration,
     /// Whether to record operation histories.
     pub record_history: bool,
+    /// Optional deterministic fault injector, consulted at lock
+    /// acquisitions and commit validation (and, via [`Engine::faults`], by
+    /// client-side harnesses at statement and commit boundaries).
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { lock_timeout: Duration::from_secs(5), record_history: true }
+        EngineConfig { lock_timeout: Duration::from_secs(5), record_history: true, faults: None }
     }
 }
 
@@ -47,6 +52,7 @@ pub struct Engine {
     pub(crate) locks: Arc<LockManager>,
     pub(crate) oracle: Arc<Oracle>,
     pub(crate) history: Arc<History>,
+    pub(crate) faults: Option<Arc<FaultInjector>>,
 }
 
 impl Default for Engine {
@@ -61,9 +67,13 @@ impl Engine {
         let history = if config.record_history { History::new() } else { History::disabled() };
         Engine {
             store: Arc::new(Store::new()),
-            locks: Arc::new(LockManager::new(LockConfig { wait_timeout: config.lock_timeout })),
+            locks: Arc::new(LockManager::new(LockConfig {
+                wait_timeout: config.lock_timeout,
+                injector: config.faults.clone(),
+            })),
             oracle: Arc::new(Oracle::new()),
             history: Arc::new(history),
+            faults: config.faults,
         }
     }
 
@@ -109,6 +119,14 @@ impl Engine {
     /// The shared store (for checkers and auditors).
     pub fn store(&self) -> &Arc<Store> {
         &self.store
+    }
+
+    /// The configured fault injector, if any. Client-side harnesses
+    /// (Stepper, workload drivers) consult it at statement and commit
+    /// boundaries; the engine itself wires it into the lock manager and
+    /// commit validation.
+    pub fn faults(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
     }
 
     /// Deterministic state reset: drop all data, locks, history, and

@@ -1,5 +1,6 @@
 //! Engine errors.
 
+use semcc_faults::FaultKind;
 use semcc_lock::LockError;
 use semcc_mvcc::FcwConflict;
 use semcc_storage::StorageError;
@@ -23,13 +24,17 @@ pub enum EngineError {
     /// A malformed request from a higher layer (unbound parameter, empty
     /// SELECT INTO, runaway loop) — a programming error, not an abort.
     Invalid(String),
+    /// A deterministic injected fault (fault-injection harness). Behaves
+    /// like a concurrency-control abort: the transaction rolls back and is
+    /// eligible for retry.
+    Injected(FaultKind),
 }
 
 impl EngineError {
     /// Whether the error means "this transaction was aborted by concurrency
     /// control and should be retried" (as opposed to a programming error).
     pub fn is_abort(&self) -> bool {
-        matches!(self, EngineError::Lock(_) | EngineError::Fcw(_))
+        matches!(self, EngineError::Lock(_) | EngineError::Fcw(_) | EngineError::Injected(_))
     }
 }
 
@@ -41,6 +46,7 @@ impl fmt::Display for EngineError {
             EngineError::Fcw(e) => write!(f, "commit validation failed: {e}"),
             EngineError::TxnFinished => write!(f, "transaction already finished"),
             EngineError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            EngineError::Injected(k) => write!(f, "injected fault: {k}"),
         }
     }
 }

@@ -23,6 +23,7 @@
 //! checking by `semcc-checker`.
 
 pub mod anomaly;
+pub mod audit;
 pub mod engine;
 pub mod error;
 pub mod history;
@@ -30,10 +31,12 @@ pub mod level;
 pub mod txn;
 
 pub use anomaly::AnomalyKind;
+pub use audit::{audit_committed_replay, audit_post_abort, audit_quiescent, AuditReport};
 pub use engine::{Engine, EngineConfig};
 pub use error::EngineError;
 pub use history::{Event, History, Op, ReadSrc};
 pub use level::IsolationLevel;
 pub use txn::Txn;
 
+pub use semcc_faults::{FaultEvent, FaultInjector, FaultKind, FaultMix, FaultPlan};
 pub use semcc_storage::{Row, RowId, Ts, TxnId, Value};

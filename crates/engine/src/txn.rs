@@ -354,8 +354,11 @@ impl Txn {
             let point = point_pred(&t.schema, &row);
             self.engine.locks.acquire(self.id, Target::pred(table, point), Mode::X)?;
             let id = t.insert_dirty(self.id, row.clone())?;
-            self.engine.locks.acquire(self.id, Target::row(table, id), Mode::X)?;
+            // Undo entry first: if the row-lock acquisition fails (an
+            // injected timeout — a fresh slot never conflicts naturally),
+            // the abort path must still discard the dirty version.
             self.dirty_rows.push((table.to_string(), id));
+            self.engine.locks.acquire(self.id, Target::row(table, id), Mode::X)?;
             id
         };
         self.note_write(Key::row(table, id));
@@ -558,6 +561,14 @@ impl Txn {
 
     fn do_commit(&mut self) -> Result<Ts, EngineError> {
         let engine = self.engine.clone();
+        // Fault injection: an artificial first-committer-wins loss at
+        // validation, raised before any buffer/dirty state is consumed so
+        // the caller's abort path performs the full rollback.
+        if let Some(inj) = &engine.faults {
+            if inj.on_commit_validate(self.id) {
+                return Err(EngineError::Injected(semcc_faults::FaultKind::FcwConflict));
+            }
+        }
         if self.level.is_snapshot() {
             let snap = self.snapshot_ts.expect("snapshot txn has ts");
             let checks: Vec<(Key, Ts)> = self.write_set.iter().map(|k| (k.clone(), snap)).collect();

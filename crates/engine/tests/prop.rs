@@ -21,6 +21,7 @@ fn engine() -> Arc<Engine> {
     Arc::new(Engine::new(EngineConfig {
         lock_timeout: Duration::from_millis(30),
         record_history: false,
+        faults: None,
     }))
 }
 

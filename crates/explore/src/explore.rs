@@ -73,6 +73,18 @@ pub struct ExploreOptions {
     /// `rate = 0` hides the broken `rate·hrs = sal`); overrides make the
     /// states distinguishable without changing the shared witness seeding.
     pub seed_cols: Vec<(String, String, i64)>,
+    /// Fault injection: `(victim index, k)` truncates the victim to its
+    /// first `k` statements followed by a forced **abort** instead of a
+    /// commit. Serial reference orders run the same truncated victim, so a
+    /// divergent schedule means some peer *observed state the rollback
+    /// erased* — the executable form of Theorem 1's rollback-write
+    /// obligation.
+    pub injected_abort: Option<(usize, usize)>,
+    /// Engine lock-wait budget during replays. The default `ZERO` is what
+    /// single-threaded exploration wants (a conflicting acquisition can
+    /// never be released by a peer, so it must fail instantly); a nonzero
+    /// value is only useful for measuring timeout-abort behaviour.
+    pub lock_timeout: Duration,
 }
 
 impl Default for ExploreOptions {
@@ -82,6 +94,8 @@ impl Default for ExploreOptions {
             max_schedules: 1_000_000,
             seed_items: Vec::new(),
             seed_cols: Vec::new(),
+            injected_abort: None,
+            lock_timeout: Duration::ZERO,
         }
     }
 }
@@ -166,6 +180,18 @@ pub fn explore(
     if !(2..=3).contains(&specs.len()) {
         return Err(format!("explore needs 2–3 transaction instances, got {}", specs.len()));
     }
+    if let Some((v, k)) = opts.injected_abort {
+        if v >= specs.len() {
+            return Err(format!("injected-abort victim #{v} out of range"));
+        }
+        let n = specs[v].program.body.len();
+        if k == 0 || k > n {
+            return Err(format!(
+                "injected abort after statement {k} of `{}` (has {n})",
+                specs[v].program.name
+            ));
+        }
+    }
     let mut ex = Explorer::new(app, specs, opts.clone());
     ex.run_serial_orders();
     let k = specs.len();
@@ -174,6 +200,44 @@ pub fn explore(
     let sleep = vec![false; k];
     ex.dfs(&mut prefix, &mut pos, &sleep);
     Ok(ex.into_result())
+}
+
+/// One case of an injected-abort sweep: the victim rolled back after its
+/// first `k` statements.
+#[derive(Clone, Debug)]
+pub struct AbortCase {
+    /// The victim aborted after this many statements (1-based).
+    pub k: usize,
+    /// The exploration at that abort position.
+    pub result: ExploreResult,
+}
+
+/// Fault-mode exploration: run [`explore`] once per abort position of
+/// `victim` — rollback after statement 1, 2, …, up to its full statement
+/// count. A divergent schedule at any position is a peer observing state
+/// the rollback erased (a dirty read of a rolled-back write, in the
+/// paper's terms); a clean sweep certifies that no single injected abort
+/// of `victim` can change what committed observers see at this level
+/// vector.
+pub fn explore_with_aborts(
+    app: &App,
+    specs: &[TxnSpec],
+    opts: &ExploreOptions,
+    victim: usize,
+) -> Result<Vec<AbortCase>, String> {
+    if victim >= specs.len() {
+        return Err(format!("injected-abort victim #{victim} out of range"));
+    }
+    let n = specs[victim].program.body.len();
+    if n == 0 {
+        return Err(format!("victim `{}` has no statements", specs[victim].program.name));
+    }
+    let mut cases = Vec::with_capacity(n);
+    for k in 1..=n {
+        let o = ExploreOptions { injected_abort: Some((victim, k)), ..opts.clone() };
+        cases.push(AbortCase { k, result: explore(app, specs, &o)? });
+    }
+    Ok(cases)
 }
 
 /// Observation of one completed execution: everything a client could have
@@ -202,6 +266,8 @@ enum EvKind {
     Begin,
     Stmt(usize),
     Commit,
+    /// Injected fault: the victim's terminal event is a rollback.
+    Abort,
 }
 
 struct Explorer<'a> {
@@ -230,11 +296,12 @@ struct Explorer<'a> {
 impl<'a> Explorer<'a> {
     fn new(app: &'a App, specs: &'a [TxnSpec], opts: ExploreOptions) -> Explorer<'a> {
         let engine = Arc::new(Engine::new(EngineConfig {
-            // Zero timeout: in single-threaded exploration no peer can
-            // ever release a lock while we wait, so a conflicting acquire
-            // must fail instantly — that *is* the blocked verdict.
-            lock_timeout: Duration::ZERO,
+            // Zero timeout by default: in single-threaded exploration no
+            // peer can ever release a lock while we wait, so a conflicting
+            // acquire must fail instantly — that *is* the blocked verdict.
+            lock_timeout: opts.lock_timeout,
             record_history: true,
+            faults: None,
         }));
         let mut labels = Vec::new();
         for (i, s) in specs.iter().enumerate() {
@@ -255,13 +322,23 @@ impl<'a> Explorer<'a> {
             .iter()
             .map(|fps| fps.iter().flat_map(|f| f.writes.iter().cloned()).collect())
             .collect();
+        // The injected-abort victim contributes begin + its first k
+        // statements + the forced abort; everyone else the full sequence.
+        let n_events = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match opts.injected_abort {
+                Some((v, k)) if v == i => k + 2,
+                _ => s.program.body.len() + 2,
+            })
+            .collect();
         Explorer {
             app,
             specs,
             opts,
             engine,
             labels,
-            n_events: specs.iter().map(|s| s.program.body.len() + 2).collect(),
+            n_events,
             stmt_fps,
             all_reads,
             all_writes,
@@ -282,13 +359,16 @@ impl<'a> Explorer<'a> {
     // -- event bookkeeping -------------------------------------------------
 
     fn kind(&self, t: usize, ev: usize) -> EvKind {
-        let n = self.specs[t].program.body.len();
+        let (n, terminal) = match self.opts.injected_abort {
+            Some((v, k)) if v == t => (k, EvKind::Abort),
+            _ => (self.specs[t].program.body.len(), EvKind::Commit),
+        };
         if ev == 0 {
             EvKind::Begin
         } else if ev <= n {
             EvKind::Stmt(ev - 1)
         } else {
-            EvKind::Commit
+            terminal
         }
     }
 
@@ -301,6 +381,7 @@ impl<'a> Explorer<'a> {
                 describe_stmt(&self.specs[t].program.body[i].stmt)
             ),
             EvKind::Commit => format!("{} commit", self.labels[t]),
+            EvKind::Abort => format!("{} abort (injected)", self.labels[t]),
         }
     }
 
@@ -312,7 +393,13 @@ impl<'a> Explorer<'a> {
     /// their lock interactions, since disjoint footprints touch disjoint
     /// lock targets).
     fn dependent(&self, t: usize, et: usize, u: usize, eu: usize) -> bool {
-        match (self.kind(t, et), self.kind(u, eu)) {
+        // An injected abort releases the victim's locks and erases its
+        // dirty versions, so for ordering purposes it conflicts with the
+        // same events a commit would (a sound over-approximation: the
+        // rollback un-writes everything the transaction could have
+        // written).
+        let norm = |k: EvKind| if k == EvKind::Abort { EvKind::Commit } else { k };
+        match (norm(self.kind(t, et)), norm(self.kind(u, eu))) {
             (EvKind::Begin, EvKind::Begin) => false,
             (EvKind::Begin, EvKind::Stmt(_)) | (EvKind::Stmt(_), EvKind::Begin) => false,
             (EvKind::Begin, EvKind::Commit) => self.begin_commit_dep(t, u),
@@ -323,6 +410,9 @@ impl<'a> Explorer<'a> {
             (EvKind::Stmt(i), EvKind::Commit) => self.stmt_commit_dep(t, i, u),
             (EvKind::Commit, EvKind::Stmt(j)) => self.stmt_commit_dep(u, j, t),
             (EvKind::Commit, EvKind::Commit) => overlaps(&self.all_writes[t], &self.all_writes[u]),
+            (EvKind::Abort, _) | (_, EvKind::Abort) => {
+                unreachable!("aborts are normalized to commits above")
+            }
         }
     }
 
@@ -400,6 +490,7 @@ impl<'a> Explorer<'a> {
                 EvKind::Commit => {
                     steppers[t].as_mut().expect("begin precedes commit").commit().map(|_| ())
                 }
+                EvKind::Abort => steppers[t].as_mut().expect("begin precedes abort").abort(),
             };
             if let Err(e) = r {
                 // Dropping the steppers aborts every open transaction.

@@ -31,6 +31,7 @@ mod spec;
 
 pub use diff::{differential, Differential, DifferentialVerdict};
 pub use explore::{
-    explore, DivergentSchedule, ExploreOptions, ExploreResult, MAX_DIVERGENT_EXAMPLES,
+    explore, explore_with_aborts, AbortCase, DivergentSchedule, ExploreOptions, ExploreResult,
+    MAX_DIVERGENT_EXAMPLES,
 };
 pub use spec::{level_map, specs_for, sub_app, TxnSpec};

@@ -3,7 +3,9 @@
 //! write skew), cross-checked against the static analyzer.
 
 use semcc_engine::{AnomalyKind, IsolationLevel};
-use semcc_explore::{differential, explore, DifferentialVerdict, ExploreOptions, ExploreResult};
+use semcc_explore::{
+    differential, explore, explore_with_aborts, DifferentialVerdict, ExploreOptions, ExploreResult,
+};
 use semcc_workloads::{banking, payroll};
 
 fn explore_payroll(
@@ -141,4 +143,51 @@ fn three_transaction_exploration_terminates_and_stays_sound() {
     assert!(r.pruning_ratio() >= 2.0);
     let d = differential(&app, &specs, &r);
     assert!(d.sound(), "{d:?}");
+}
+
+/// Fault-mode acceptance: an injected abort of `Hours` after its first
+/// update (the broken-invariant window) makes the rollback *visible* at
+/// READ UNCOMMITTED — `Print_Records` can read `hrs` that the rollback
+/// then erases, matching no serial order — while at READ COMMITTED the
+/// short write locks hold to the abort and no injected abort position
+/// changes what committed observers see.
+#[test]
+fn injected_abort_exposes_rolled_back_write_at_ru_but_not_rc() {
+    let app = payroll::app();
+    let opts = ExploreOptions {
+        seed_cols: vec![("emp".into(), "rate".into(), 10)],
+        ..ExploreOptions::default()
+    };
+
+    let ru = IsolationLevel::ReadUncommitted;
+    let specs =
+        semcc_explore::specs_for(&app, &["Hours".into(), "Print_Records".into()], &[ru, ru])
+            .expect("specs");
+    let cases = explore_with_aborts(&app, &specs, &opts, 0).expect("sweep");
+    assert_eq!(cases.len(), 2, "Hours has two statements, so two abort positions");
+    let k1 = &cases[0];
+    assert_eq!(k1.k, 1);
+    assert!(
+        k1.result.divergent > 0,
+        "RU reader can observe the rolled-back hrs update: {:?}",
+        k1.result
+    );
+    assert!(
+        k1.result.anomaly_counts.contains_key(&AnomalyKind::DirtyRead),
+        "the divergence is a dirty read of a rolled-back write: {:?}",
+        k1.result.anomaly_counts
+    );
+
+    let rc = IsolationLevel::ReadCommitted;
+    let specs =
+        semcc_explore::specs_for(&app, &["Hours".into(), "Print_Records".into()], &[rc, rc])
+            .expect("specs");
+    for case in explore_with_aborts(&app, &specs, &opts, 0).expect("sweep") {
+        assert_eq!(
+            case.result.divergent, 0,
+            "no injected abort position may change committed observers at RC: k={} {:?}",
+            case.k, case.result
+        );
+        assert!(!case.result.truncated);
+    }
 }

@@ -1,0 +1,489 @@
+//! Deterministic fault injection.
+//!
+//! Theorem 1 of the paper quantifies over every write statement *"including
+//! those that rollback a transaction"* — so the abort paths are part of the
+//! correctness surface, not incidental error handling. This crate makes
+//! failure a first-class, seeded, replayable input: a [`FaultPlan`] decides —
+//! purely from its seed and per-site ordinals — where to force a
+//! mid-transaction abort, fake a lock timeout or deadlock victim, inject a
+//! first-committer-wins conflict at commit, or crash a client around its
+//! commit point. Every decision is recorded as a structured [`FaultEvent`] so
+//! a run's fault trail can be diffed bit-for-bit across replays.
+//!
+//! The crate is a dependency leaf: the lock manager, engine, and interpreter
+//! all consult an injector but the injector knows nothing about them.
+//! Transactions are identified by plain `u64` ids.
+//!
+//! Determinism contract: decisions are pure functions of
+//! `(seed, site, ordinal)` via a splitmix64 hash, where `ordinal` is a
+//! per-site counter. Under a single-threaded harness the ordinals — and
+//! hence the whole event trail — are exactly reproducible for a given seed.
+
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Transaction identifier (mirrors the engine's id space).
+pub type TxnId = u64;
+
+/// The kind of fault an injection site fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// Spurious `LockError::Timeout` returned from a lock acquisition.
+    LockTimeout,
+    /// Spurious `LockError::Deadlock` (the requester is named victim).
+    LockDeadlock,
+    /// Injected first-committer-wins conflict at commit validation.
+    FcwConflict,
+    /// Forced transaction abort after a top-level statement completed.
+    AbortAfterStmt,
+    /// Client crash before the commit request reaches the engine: the
+    /// transaction is rolled back.
+    CrashBeforeCommit,
+    /// Client crash after the engine durably committed: the commit stands
+    /// but the client never observes the acknowledgement.
+    CrashAfterCommit,
+}
+
+impl FaultKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::LockTimeout,
+        FaultKind::LockDeadlock,
+        FaultKind::FcwConflict,
+        FaultKind::AbortAfterStmt,
+        FaultKind::CrashBeforeCommit,
+        FaultKind::CrashAfterCommit,
+    ];
+
+    /// Stable lowercase name (used in JSON trails and CLI `--mix`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::LockTimeout => "lock-timeout",
+            FaultKind::LockDeadlock => "deadlock",
+            FaultKind::FcwConflict => "fcw",
+            FaultKind::AbortAfterStmt => "abort-stmt",
+            FaultKind::CrashBeforeCommit => "crash-before",
+            FaultKind::CrashAfterCommit => "crash-after",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded injection: the `seq`-th fault of the run, fired against
+/// transaction `txn` at the site's `ordinal`-th opportunity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Position in the run's fault trail (0-based).
+    pub seq: u64,
+    /// Victim transaction.
+    pub txn: TxnId,
+    /// What was injected.
+    pub kind: FaultKind,
+    /// Site-local ordinal that triggered: acquisition number, commit
+    /// number, or count of statements the victim had executed.
+    pub ordinal: u64,
+}
+
+/// Per-site fault probabilities in `[0, 1]`, evaluated independently from
+/// the plan seed at each opportunity.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultMix {
+    /// P(spurious timeout) per lock acquisition.
+    pub lock_timeout: f64,
+    /// P(spurious deadlock victim) per lock acquisition.
+    pub lock_deadlock: f64,
+    /// P(injected FCW conflict) per commit validation.
+    pub fcw_conflict: f64,
+    /// P(forced abort) per completed top-level statement.
+    pub abort_stmt: f64,
+    /// P(crash before commit) per client commit request.
+    pub crash_before: f64,
+    /// P(crash after durable commit) per client commit request.
+    pub crash_after: f64,
+}
+
+impl FaultMix {
+    /// Same probability `p` at every site.
+    pub fn uniform(p: f64) -> Self {
+        FaultMix {
+            lock_timeout: p,
+            lock_deadlock: p,
+            fcw_conflict: p,
+            abort_stmt: p,
+            crash_before: p,
+            crash_after: p,
+        }
+    }
+
+    /// True when every probability is zero (only scripted faults fire).
+    pub fn is_zero(&self) -> bool {
+        self.lock_timeout == 0.0
+            && self.lock_deadlock == 0.0
+            && self.fcw_conflict == 0.0
+            && self.abort_stmt == 0.0
+            && self.crash_before == 0.0
+            && self.crash_after == 0.0
+    }
+
+    /// Set a rate by its [`FaultKind::name`]; rejects unknown names and
+    /// out-of-range probabilities.
+    pub fn set(&mut self, name: &str, p: f64) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("fault rate {p} for `{name}` outside [0, 1]"));
+        }
+        match name {
+            "lock-timeout" => self.lock_timeout = p,
+            "deadlock" => self.lock_deadlock = p,
+            "fcw" => self.fcw_conflict = p,
+            "abort-stmt" => self.abort_stmt = p,
+            "crash-before" => self.crash_before = p,
+            "crash-after" => self.crash_after = p,
+            other => {
+                return Err(format!(
+                    "unknown fault class `{other}` (have: lock-timeout, deadlock, fcw, abort-stmt, crash-before, crash-after)"
+                ))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A seeded fault plan: scripted faults at exact ordinals plus a
+/// probabilistic [`FaultMix`] on top.
+///
+/// Grammar of the scripted part:
+/// - `abort_after: (txn, k)` — abort transaction `txn` right after its
+///   `k`-th top-level statement completes (1-based).
+/// - `lock_faults: (n, kind)` — on the run's `n`-th lock acquisition
+///   (1-based), return `LockTimeout` or `LockDeadlock` instead of granting.
+/// - `fcw_faults: n` — the run's `n`-th commit validation fails with an
+///   injected first-committer-wins conflict.
+/// - `crash_faults: (n, kind)` — the run's `n`-th client commit request
+///   crashes `CrashBeforeCommit` (rolled back) or `CrashAfterCommit`
+///   (commit stands, acknowledgement lost).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for the probabilistic mix decisions.
+    pub seed: u64,
+    /// Scripted forced aborts: `(txn, statements-executed)`.
+    pub abort_after: Vec<(TxnId, usize)>,
+    /// Scripted spurious lock errors by acquisition ordinal (1-based).
+    pub lock_faults: Vec<(u64, FaultKind)>,
+    /// Scripted injected FCW conflicts by commit-validation ordinal (1-based).
+    pub fcw_faults: Vec<u64>,
+    /// Scripted commit-point crashes by client-commit ordinal (1-based).
+    pub crash_faults: Vec<(u64, FaultKind)>,
+    /// Probabilistic faults layered on top of the script.
+    pub mix: FaultMix,
+}
+
+impl FaultPlan {
+    /// A plan with only the probabilistic mix.
+    pub fn from_mix(seed: u64, mix: FaultMix) -> Self {
+        FaultPlan { seed, mix, ..FaultPlan::default() }
+    }
+}
+
+// Site codes keep the per-site hash streams independent.
+const SITE_ACQUIRE: u64 = 0x01;
+const SITE_COMMIT_VALIDATE: u64 = 0x02;
+const SITE_CLIENT_COMMIT: u64 = 0x03;
+const SITE_STMT: u64 = 0x04;
+
+/// splitmix64 finalizer — the same generator the vendored `rand` uses.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Uniform `[0, 1)` from the hash of `(seed, site, a, b)`.
+fn roll(seed: u64, site: u64, a: u64, b: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(site ^ splitmix64(a ^ splitmix64(b))));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Live injector: owns the plan, the per-site ordinal counters, and the
+/// fault-event trail. Share via `Arc` between the lock manager, engine,
+/// and harness.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    armed: std::sync::atomic::AtomicBool,
+    acquisitions: AtomicU64,
+    commit_validations: AtomicU64,
+    client_commits: AtomicU64,
+    events: Mutex<Vec<FaultEvent>>,
+}
+
+impl FaultInjector {
+    /// Injector for a plan, armed, with all ordinals at zero and an empty
+    /// trail.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            armed: std::sync::atomic::AtomicBool::new(true),
+            acquisitions: AtomicU64::new(0),
+            commit_validations: AtomicU64::new(0),
+            client_commits: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Arm or disarm the injector. While disarmed every `on_*` site is a
+    /// no-op — no faults, no ordinal consumption — so harnesses can run
+    /// setup/seeding transactions without perturbing the plan.
+    pub fn set_armed(&self, armed: bool) {
+        self.armed.store(armed, Ordering::SeqCst);
+    }
+
+    fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::SeqCst)
+    }
+
+    fn record(&self, txn: TxnId, kind: FaultKind, ordinal: u64) {
+        let mut ev = self.events.lock();
+        let seq = ev.len() as u64;
+        ev.push(FaultEvent { seq, txn, kind, ordinal });
+    }
+
+    /// Consult the injector at a lock acquisition by `txn`. Counts the
+    /// opportunity and returns the spurious error kind to raise, if any
+    /// (`LockTimeout` or `LockDeadlock`).
+    pub fn on_acquire(&self, txn: TxnId) -> Option<FaultKind> {
+        if !self.is_armed() {
+            return None;
+        }
+        let n = self.acquisitions.fetch_add(1, Ordering::SeqCst) + 1;
+        let scripted = self
+            .plan
+            .lock_faults
+            .iter()
+            .find(|(ord, _)| *ord == n)
+            .map(|(_, k)| *k)
+            .filter(|k| matches!(k, FaultKind::LockTimeout | FaultKind::LockDeadlock));
+        let kind = scripted.or_else(|| {
+            let r = roll(self.plan.seed, SITE_ACQUIRE, n, txn);
+            if r < self.plan.mix.lock_timeout {
+                Some(FaultKind::LockTimeout)
+            } else if r < self.plan.mix.lock_timeout + self.plan.mix.lock_deadlock {
+                Some(FaultKind::LockDeadlock)
+            } else {
+                None
+            }
+        });
+        if let Some(k) = kind {
+            self.record(txn, k, n);
+        }
+        kind
+    }
+
+    /// Consult the injector at commit validation of `txn`. Returns true when
+    /// an artificial first-committer-wins conflict should fail the commit.
+    pub fn on_commit_validate(&self, txn: TxnId) -> bool {
+        if !self.is_armed() {
+            return false;
+        }
+        let n = self.commit_validations.fetch_add(1, Ordering::SeqCst) + 1;
+        let fire = self.plan.fcw_faults.contains(&n)
+            || roll(self.plan.seed, SITE_COMMIT_VALIDATE, n, txn) < self.plan.mix.fcw_conflict;
+        if fire {
+            self.record(txn, FaultKind::FcwConflict, n);
+        }
+        fire
+    }
+
+    /// Consult the injector when a client asks to commit `txn`. Returns the
+    /// crash to simulate, if any. A `CrashAfterCommit` event is recorded at
+    /// decision time; the caller still performs the (durable) commit.
+    pub fn on_client_commit(&self, txn: TxnId) -> Option<FaultKind> {
+        if !self.is_armed() {
+            return None;
+        }
+        let n = self.client_commits.fetch_add(1, Ordering::SeqCst) + 1;
+        let scripted =
+            self.plan.crash_faults.iter().find(|(ord, _)| *ord == n).map(|(_, k)| *k).filter(|k| {
+                matches!(k, FaultKind::CrashBeforeCommit | FaultKind::CrashAfterCommit)
+            });
+        let kind = scripted.or_else(|| {
+            let r = roll(self.plan.seed, SITE_CLIENT_COMMIT, n, txn);
+            if r < self.plan.mix.crash_before {
+                Some(FaultKind::CrashBeforeCommit)
+            } else if r < self.plan.mix.crash_before + self.plan.mix.crash_after {
+                Some(FaultKind::CrashAfterCommit)
+            } else {
+                None
+            }
+        });
+        if let Some(k) = kind {
+            self.record(txn, k, n);
+        }
+        kind
+    }
+
+    /// Consult the injector after `txn` completed its `executed`-th
+    /// top-level statement (1-based). Returns true when the transaction
+    /// must be force-aborted here. Deterministic per `(txn, executed)` —
+    /// no global counter — so retried transactions (fresh ids) reroll.
+    pub fn on_stmt(&self, txn: TxnId, executed: usize) -> bool {
+        if !self.is_armed() {
+            return false;
+        }
+        let fire = self.plan.abort_after.iter().any(|&(t, k)| t == txn && k == executed)
+            || roll(self.plan.seed, SITE_STMT, txn, executed as u64) < self.plan.mix.abort_stmt;
+        if fire {
+            self.record(txn, FaultKind::AbortAfterStmt, executed as u64);
+        }
+        fire
+    }
+
+    /// The fault trail so far, in firing order.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.events.lock().len() as u64
+    }
+
+    /// Injected-fault counts grouped by kind.
+    pub fn counts_by_kind(&self) -> BTreeMap<FaultKind, u64> {
+        let mut m = BTreeMap::new();
+        for e in self.events.lock().iter() {
+            *m.entry(e.kind).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Forget the trail and reset every ordinal counter (the plan stays).
+    pub fn reset(&self) {
+        self.acquisitions.store(0, Ordering::SeqCst);
+        self.commit_validations.store(0, Ordering::SeqCst);
+        self.client_commits.store(0, Ordering::SeqCst);
+        self.events.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_lock_fault_fires_at_exact_ordinal() {
+        let inj = FaultInjector::new(FaultPlan {
+            lock_faults: vec![(2, FaultKind::LockTimeout)],
+            ..FaultPlan::default()
+        });
+        assert_eq!(inj.on_acquire(7), None);
+        assert_eq!(inj.on_acquire(7), Some(FaultKind::LockTimeout));
+        assert_eq!(inj.on_acquire(7), None);
+        let ev = inj.events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0], FaultEvent { seq: 0, txn: 7, kind: FaultKind::LockTimeout, ordinal: 2 });
+    }
+
+    #[test]
+    fn scripted_abort_after_stmt() {
+        let inj =
+            FaultInjector::new(FaultPlan { abort_after: vec![(3, 2)], ..FaultPlan::default() });
+        assert!(!inj.on_stmt(3, 1));
+        assert!(inj.on_stmt(3, 2));
+        assert!(!inj.on_stmt(4, 2));
+    }
+
+    #[test]
+    fn scripted_crash_and_fcw() {
+        let inj = FaultInjector::new(FaultPlan {
+            fcw_faults: vec![1],
+            crash_faults: vec![(2, FaultKind::CrashAfterCommit)],
+            ..FaultPlan::default()
+        });
+        assert!(inj.on_commit_validate(1));
+        assert!(!inj.on_commit_validate(2));
+        assert_eq!(inj.on_client_commit(1), None);
+        assert_eq!(inj.on_client_commit(2), Some(FaultKind::CrashAfterCommit));
+    }
+
+    #[test]
+    fn mix_decisions_are_seed_deterministic() {
+        let mk = || FaultInjector::new(FaultPlan::from_mix(42, FaultMix::uniform(0.3)));
+        let (a, b) = (mk(), mk());
+        for txn in 1..50u64 {
+            assert_eq!(a.on_acquire(txn), b.on_acquire(txn));
+            assert_eq!(a.on_commit_validate(txn), b.on_commit_validate(txn));
+            assert_eq!(a.on_client_commit(txn), b.on_client_commit(txn));
+            assert_eq!(a.on_stmt(txn, 1), b.on_stmt(txn, 1));
+        }
+        assert_eq!(a.events(), b.events());
+        assert!(a.injected() > 0, "uniform 0.3 mix over 200 sites must fire");
+    }
+
+    #[test]
+    fn zero_mix_injects_nothing() {
+        let inj = FaultInjector::new(FaultPlan::from_mix(9, FaultMix::default()));
+        for txn in 1..20u64 {
+            assert_eq!(inj.on_acquire(txn), None);
+            assert!(!inj.on_commit_validate(txn));
+            assert_eq!(inj.on_client_commit(txn), None);
+            assert!(!inj.on_stmt(txn, 1));
+        }
+        assert_eq!(inj.injected(), 0);
+        assert!(inj.plan().mix.is_zero());
+    }
+
+    #[test]
+    fn reset_clears_trail_and_ordinals() {
+        let inj = FaultInjector::new(FaultPlan {
+            lock_faults: vec![(1, FaultKind::LockDeadlock)],
+            ..FaultPlan::default()
+        });
+        assert_eq!(inj.on_acquire(1), Some(FaultKind::LockDeadlock));
+        inj.reset();
+        assert_eq!(inj.injected(), 0);
+        // ordinal counter restarted: the scripted fault at acquisition 1 fires again
+        assert_eq!(inj.on_acquire(2), Some(FaultKind::LockDeadlock));
+    }
+
+    #[test]
+    fn disarmed_injector_is_inert_and_consumes_no_ordinals() {
+        let inj = FaultInjector::new(FaultPlan {
+            lock_faults: vec![(1, FaultKind::LockTimeout)],
+            mix: FaultMix::uniform(1.0),
+            ..FaultPlan::default()
+        });
+        inj.set_armed(false);
+        assert_eq!(inj.on_acquire(1), None);
+        assert!(!inj.on_commit_validate(1));
+        assert_eq!(inj.on_client_commit(1), None);
+        assert!(!inj.on_stmt(1, 1));
+        assert_eq!(inj.injected(), 0);
+        inj.set_armed(true);
+        // Acquisition ordinal 1 was not consumed while disarmed.
+        assert_eq!(inj.on_acquire(1), Some(FaultKind::LockTimeout));
+    }
+
+    #[test]
+    fn mix_set_by_name() {
+        let mut m = FaultMix::default();
+        m.set("fcw", 0.5).unwrap();
+        assert_eq!(m.fcw_conflict, 0.5);
+        assert!(m.set("bogus", 0.1).is_err());
+        assert!(m.set("fcw", 1.5).is_err());
+    }
+}

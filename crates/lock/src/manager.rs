@@ -2,9 +2,11 @@
 
 use crate::error::LockError;
 use parking_lot::{Condvar, Mutex};
+use semcc_faults::{FaultInjector, FaultKind};
 use semcc_logic::prover::{Prover, Sat};
 use semcc_logic::row::RowPred;
 use semcc_logic::Pred;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Lock mode.
@@ -91,11 +93,15 @@ pub struct LockConfig {
     /// Maximum time a request may wait before failing with
     /// [`LockError::Timeout`].
     pub wait_timeout: Duration,
+    /// Optional fault injector consulted on every acquisition; when it
+    /// fires, the request fails with a spurious timeout or deadlock
+    /// without touching the lock table.
+    pub injector: Option<Arc<FaultInjector>>,
 }
 
 impl Default for LockConfig {
     fn default() -> Self {
-        LockConfig { wait_timeout: Duration::from_secs(5) }
+        LockConfig { wait_timeout: Duration::from_secs(5), injector: None }
     }
 }
 
@@ -157,6 +163,18 @@ impl LockManager {
 
     /// Acquire a lock, blocking if necessary.
     pub fn acquire(&self, txn: u64, target: Target, mode: Mode) -> Result<(), LockError> {
+        // Fault injection: every acquisition request is an opportunity for
+        // a spurious failure, reported before the lock table is touched so
+        // the victim's abort path does the whole cleanup.
+        if let Some(inj) = &self.config.injector {
+            match inj.on_acquire(txn) {
+                Some(FaultKind::LockTimeout) => return Err(LockError::Timeout { txn }),
+                Some(FaultKind::LockDeadlock) => {
+                    return Err(LockError::Deadlock { victim: txn, cycle: vec![txn] })
+                }
+                _ => {}
+            }
+        }
         let mut state = self.state.lock();
 
         // Reentrancy / upgrade bookkeeping.
@@ -320,6 +338,17 @@ impl LockManager {
     pub fn total_grants(&self) -> usize {
         self.state.lock().grants.len()
     }
+
+    /// Number of queued waiters owned by `txn` (post-abort auditing: a
+    /// finished transaction must have none).
+    pub fn waiting_by(&self, txn: u64) -> usize {
+        self.state.lock().waiters.iter().filter(|w| w.txn == txn).count()
+    }
+
+    /// Total queued waiters (tests/metrics).
+    pub fn total_waiters(&self) -> usize {
+        self.state.lock().waiters.len()
+    }
 }
 
 #[cfg(test)]
@@ -329,7 +358,10 @@ mod tests {
     use std::sync::Arc;
 
     fn mgr() -> Arc<LockManager> {
-        Arc::new(LockManager::new(LockConfig { wait_timeout: Duration::from_millis(300) }))
+        Arc::new(LockManager::new(LockConfig {
+            wait_timeout: Duration::from_millis(300),
+            ..LockConfig::default()
+        }))
     }
 
     #[test]

@@ -42,7 +42,10 @@ fn no_conflicting_grants_ever() {
         // Single-threaded: a conflicting acquire can't be granted, so it
         // must fail fast (timeout). We model held locks and verify the
         // manager agrees about grant/deny and never double-grants.
-        let m = LockManager::new(LockConfig { wait_timeout: Duration::from_millis(5) });
+        let m = LockManager::new(LockConfig {
+            wait_timeout: Duration::from_millis(5),
+            ..LockConfig::default()
+        });
         // model: (txn, item) -> exclusive? (with reentrancy counts)
         let mut held: BTreeMap<(u8, u8), (bool, u32)> = BTreeMap::new();
 

@@ -94,6 +94,17 @@ impl Oracle {
         self.snapshots.lock().remove(&txn);
     }
 
+    /// Whether `txn` still has a registered snapshot (post-abort auditing:
+    /// a finished transaction must not).
+    pub fn has_snapshot(&self, txn: TxnId) -> bool {
+        self.snapshots.lock().contains_key(&txn)
+    }
+
+    /// Number of registered snapshots (tests/metrics).
+    pub fn active_snapshots(&self) -> usize {
+        self.snapshots.lock().len()
+    }
+
     /// Return to the freshly constructed state: txn ids restart at 1,
     /// timestamps at 0, and the commit log and snapshot registry are
     /// emptied. Only sound when no transaction is in flight — used by the

@@ -282,6 +282,12 @@ impl Table {
         self.rows.lock().get(&id).and_then(|c| c.dirty_writer())
     }
 
+    /// Every row slot with an uncommitted version, with its writer
+    /// (post-abort auditing: an aborted writer must own none).
+    pub fn dirty_rows(&self) -> Vec<(RowId, TxnId)> {
+        self.rows.lock().iter().filter_map(|(id, c)| c.dirty_writer().map(|w| (*id, w))).collect()
+    }
+
     /// Garbage-collect versions below the watermark and drop dead slots.
     pub fn gc(&self, watermark: Ts) {
         let mut rows = self.rows.lock();

@@ -4,7 +4,7 @@ use crate::colexpr::ColExpr;
 use crate::evalpred::{eval_expr, eval_pred, no_atoms};
 use crate::program::{Bindings, Program};
 use crate::stmt::{AStmt, ItemRef, Stmt};
-use semcc_engine::{Engine, EngineError, IsolationLevel, Txn};
+use semcc_engine::{Engine, EngineError, FaultKind, IsolationLevel, Txn};
 use semcc_logic::row::{RowExpr, RowPred};
 use semcc_logic::Var;
 use semcc_storage::{Row, RowId, Ts, Value};
@@ -272,7 +272,7 @@ pub fn run_program_observed(
     let mut txn = engine.begin(level);
     let mut frame = Frame { bindings, locals: HashMap::new(), buffers: HashMap::new() };
     let result = (|| -> Result<(), EngineError> {
-        for a in &program.body {
+        for (i, a) in program.body.iter().enumerate() {
             observer(
                 &txn,
                 FrameView { bindings, locals: &frame.locals, buffers: &frame.buffers },
@@ -280,6 +280,12 @@ pub fn run_program_observed(
                 Phase::Pre,
             );
             exec_stmt(&mut txn, &a.stmt, &mut frame)?;
+            // Fault injection: forced abort right after this statement.
+            if let Some(inj) = txn.engine_ref().faults() {
+                if inj.on_stmt(txn.id(), i + 1) {
+                    return Err(EngineError::Injected(FaultKind::AbortAfterStmt));
+                }
+            }
             observer(
                 &txn,
                 FrameView { bindings, locals: &frame.locals, buffers: &frame.buffers },
@@ -312,6 +318,7 @@ pub struct Stepper<'p> {
     program: &'p Program,
     frame: Frame<'p>,
     idx: usize,
+    id: semcc_engine::TxnId,
 }
 
 impl<'p> Stepper<'p> {
@@ -323,12 +330,21 @@ impl<'p> Stepper<'p> {
         level: IsolationLevel,
         bindings: &'p Bindings,
     ) -> Stepper<'p> {
+        let txn = engine.begin(level);
+        let id = txn.id();
         Stepper {
-            txn: Some(engine.begin(level)),
+            txn: Some(txn),
             program,
             frame: Frame { bindings, locals: HashMap::new(), buffers: HashMap::new() },
             idx: 0,
+            id,
         }
+    }
+
+    /// The underlying transaction's id (stable after commit/abort — used
+    /// by fault-injection harnesses to attribute audits to the victim).
+    pub fn txn_id(&self) -> semcc_engine::TxnId {
+        self.id
     }
 
     /// Number of top-level statements in the program.
@@ -372,6 +388,13 @@ impl<'p> Stepper<'p> {
         let a = &self.program.body[self.idx];
         exec_stmt(txn, &a.stmt, &mut self.frame)?;
         self.idx += 1;
+        // Fault injection: forced abort right after this statement.
+        let fire =
+            txn.engine_ref().faults().map(|inj| inj.on_stmt(self.id, self.idx)).unwrap_or(false);
+        if fire {
+            self.txn.take().expect("txn present: borrowed above").abort();
+            return Err(EngineError::Injected(FaultKind::AbortAfterStmt));
+        }
         Ok(true)
     }
 
@@ -400,8 +423,21 @@ impl<'p> Stepper<'p> {
 
     /// Commit the transaction. A second commit (or a commit after
     /// [`Stepper::abort`]) is rejected with [`EngineError::TxnFinished`].
+    ///
+    /// Fault injection simulates client crashes at this boundary:
+    /// *crash-before-commit* rolls the transaction back and surfaces as an
+    /// [`EngineError::Injected`] abort; *crash-after-commit* lets the
+    /// engine commit durably (the returned timestamp stands — harnesses
+    /// treat the acknowledgement as lost and audit durability).
     pub fn commit(&mut self) -> Result<Ts, EngineError> {
-        self.txn.take().ok_or(EngineError::TxnFinished)?.commit()
+        let txn = self.txn.take().ok_or(EngineError::TxnFinished)?;
+        if let Some(inj) = txn.engine_ref().faults() {
+            if inj.on_client_commit(self.id) == Some(FaultKind::CrashBeforeCommit) {
+                txn.abort();
+                return Err(EngineError::Injected(FaultKind::CrashBeforeCommit));
+            }
+        }
+        txn.commit()
     }
 
     /// Abort the transaction. Aborting an already finished stepper is

@@ -1,8 +1,9 @@
 //! Concurrent load driver shared by the P1/P2 benchmark harnesses.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use semcc_engine::EngineError;
+use rand::{Rng, SeedableRng};
+use semcc_engine::{EngineError, FaultKind};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -19,6 +20,103 @@ pub struct MixSpec {
     pub seed: u64,
 }
 
+/// Classification of a concurrency-control abort, used for per-class
+/// retry budgets and reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AbortClass {
+    /// Deadlock victim.
+    Deadlock,
+    /// Lock-wait timeout.
+    Timeout,
+    /// First-committer-wins validation loser.
+    Fcw,
+    /// Deterministic injected fault (fault-injection harness).
+    Injected,
+}
+
+impl AbortClass {
+    /// All classes, in a stable order.
+    pub const ALL: [AbortClass; 4] =
+        [AbortClass::Deadlock, AbortClass::Timeout, AbortClass::Fcw, AbortClass::Injected];
+
+    /// Stable lowercase name (reports, JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            AbortClass::Deadlock => "deadlock",
+            AbortClass::Timeout => "timeout",
+            AbortClass::Fcw => "fcw",
+            AbortClass::Injected => "injected",
+        }
+    }
+
+    /// Classify an engine error; `None` for non-abort (programming) errors.
+    pub fn classify(e: &EngineError) -> Option<AbortClass> {
+        match e {
+            EngineError::Lock(semcc_lock::LockError::Deadlock { .. }) => Some(AbortClass::Deadlock),
+            EngineError::Lock(semcc_lock::LockError::Timeout { .. }) => Some(AbortClass::Timeout),
+            EngineError::Fcw(_) => Some(AbortClass::Fcw),
+            EngineError::Injected(FaultKind::LockTimeout) => Some(AbortClass::Timeout),
+            EngineError::Injected(FaultKind::LockDeadlock) => Some(AbortClass::Deadlock),
+            EngineError::Injected(FaultKind::FcwConflict) => Some(AbortClass::Fcw),
+            EngineError::Injected(_) => Some(AbortClass::Injected),
+            _ => None,
+        }
+    }
+}
+
+/// Bounded-retry policy with exponential backoff and deterministic seeded
+/// jitter. Replaces the driver's historical "retry forever, immediately"
+/// behavior: an always-losing transaction now degrades gracefully into a
+/// [`RunStats::gave_up`] count instead of spinning.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per transaction (first try included); must be ≥ 1.
+    pub max_attempts: usize,
+    /// Backoff before retry `i` (1-based) is `base_backoff · 2^(i-1)`,
+    /// capped at [`RetryPolicy::max_backoff`], ±50% deterministic jitter.
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff sleep (pre-jitter).
+    pub max_backoff: Duration,
+    /// Seed for the jitter hash (mixed with worker/attempt — identical
+    /// seeds reproduce identical sleep schedules).
+    pub jitter_seed: u64,
+    /// Optional per-class retry budgets: at most `budget` retries may be
+    /// *caused* by that abort class; exhausting a budget gives the
+    /// transaction up even when attempts remain. Missing class = bounded
+    /// only by `max_attempts`.
+    pub class_budgets: BTreeMap<AbortClass, usize>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 50,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(5),
+            jitter_seed: 0,
+            class_budgets: BTreeMap::new(),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff to sleep before retry `attempt` (1-based count of
+    /// *failed* attempts so far), for a worker identified by `salt`.
+    /// Deterministic in `(jitter_seed, salt, attempt)`.
+    pub fn backoff(&self, attempt: usize, salt: u64) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self.base_backoff.saturating_mul(1u32 << (attempt - 1).min(20) as u32);
+        let capped = exp.min(self.max_backoff).max(self.base_backoff);
+        // ±50% deterministic jitter, from a seeded per-(worker, attempt) rng.
+        let mut rng =
+            StdRng::seed_from_u64(self.jitter_seed ^ salt.rotate_left(17) ^ attempt as u64);
+        let jitter_pm = rng.gen_range(50..=150) as u32;
+        capped * jitter_pm / 100
+    }
+}
+
 /// Results of a driver run.
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
@@ -28,6 +126,15 @@ pub struct RunStats {
     pub aborts: u64,
     /// Transactions that exhausted their retries.
     pub failed: u64,
+    /// Transactions given up under the retry policy (attempt or class
+    /// budget exhausted) — counted in `failed` as well; the run degrades
+    /// gracefully instead of panicking or spinning.
+    pub gave_up: u64,
+    /// Absorbed aborts by class (only populated by
+    /// [`run_mix_with_policy`], where the driver sees each attempt).
+    pub aborts_by_class: BTreeMap<AbortClass, u64>,
+    /// Given-up transactions by the class of their *last* abort.
+    pub gave_up_by_class: BTreeMap<AbortClass, u64>,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Per-transaction latencies in microseconds (committed only).
@@ -43,12 +150,17 @@ impl RunStats {
         self.committed as f64 / self.elapsed.as_secs_f64()
     }
 
-    /// Abort rate: aborts per committed transaction.
+    /// Abort rate: aborts per *finished* transaction, where finished means
+    /// committed or given up under the retry policy. Given-up runs stay in
+    /// the denominator so an always-losing transaction reports a high rate
+    /// instead of being silently dropped. Equals aborts/committed when
+    /// nothing gave up.
     pub fn abort_rate(&self) -> f64 {
-        if self.committed == 0 {
+        let finished = self.committed + self.gave_up;
+        if finished == 0 {
             return 0.0;
         }
-        self.aborts as f64 / self.committed as f64
+        self.aborts as f64 / finished as f64
     }
 
     /// Nearest-rank percentile (µs): the smallest recorded latency ≥ `p`
@@ -117,10 +229,105 @@ where
             });
         }
     });
+    let failed = failed.into_inner();
     RunStats {
         committed: committed.into_inner(),
         aborts: aborts.into_inner(),
-        failed: failed.into_inner(),
+        failed,
+        // The closure owns its retry loop here, so a returned abort *is*
+        // a given-up transaction.
+        gave_up: failed,
+        elapsed: start.elapsed(),
+        latencies_us: latencies.into_inner().expect("poisoned"),
+        ..RunStats::default()
+    }
+}
+
+/// Run a mix with the driver owning the retry loop. The closure performs
+/// exactly **one attempt** of one transaction; on a concurrency-control
+/// abort the driver classifies it, applies `policy`'s attempt bound,
+/// per-class budgets, and jittered exponential backoff, and — on budget
+/// exhaustion — degrades gracefully by counting the transaction in
+/// [`RunStats::gave_up`] (never panics on aborts). Non-abort errors are
+/// workload programming errors and still panic.
+pub fn run_mix_with_policy<F>(spec: MixSpec, policy: &RetryPolicy, op: F) -> RunStats
+where
+    F: Fn(usize, &mut StdRng) -> Result<(), EngineError> + Sync,
+{
+    assert!(policy.max_attempts >= 1, "RetryPolicy::max_attempts must be ≥ 1");
+    let committed = AtomicU64::new(0);
+    let aborts = AtomicU64::new(0);
+    let gave_up = AtomicU64::new(0);
+    let by_class: Mutex<BTreeMap<AbortClass, u64>> = Mutex::new(BTreeMap::new());
+    let gave_up_class: Mutex<BTreeMap<AbortClass, u64>> = Mutex::new(BTreeMap::new());
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..spec.threads {
+            let op = &op;
+            let committed = &committed;
+            let aborts = &aborts;
+            let gave_up = &gave_up;
+            let by_class = &by_class;
+            let gave_up_class = &gave_up_class;
+            let latencies = &latencies;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(t as u64));
+                let mut local_lat = Vec::with_capacity(spec.txns_per_thread);
+                for txn_no in 0..spec.txns_per_thread {
+                    let t0 = Instant::now();
+                    let mut class_spent: BTreeMap<AbortClass, usize> = BTreeMap::new();
+                    let mut attempt = 0usize;
+                    loop {
+                        attempt += 1;
+                        match op(t, &mut rng) {
+                            Ok(()) => {
+                                committed.fetch_add(1, Ordering::Relaxed);
+                                local_lat.push(t0.elapsed().as_micros() as u64);
+                                break;
+                            }
+                            Err(e) => {
+                                let Some(class) = AbortClass::classify(&e) else {
+                                    panic!("workload programming error: {e}");
+                                };
+                                aborts.fetch_add(1, Ordering::Relaxed);
+                                *by_class.lock().expect("poisoned").entry(class).or_insert(0) += 1;
+                                let spent = class_spent.entry(class).or_insert(0);
+                                *spent += 1;
+                                let budget_hit = policy
+                                    .class_budgets
+                                    .get(&class)
+                                    .is_some_and(|budget| *spent > *budget);
+                                if attempt >= policy.max_attempts || budget_hit {
+                                    gave_up.fetch_add(1, Ordering::Relaxed);
+                                    *gave_up_class
+                                        .lock()
+                                        .expect("poisoned")
+                                        .entry(class)
+                                        .or_insert(0) += 1;
+                                    break;
+                                }
+                                let salt = (t as u64) << 32 | txn_no as u64;
+                                let pause = policy.backoff(attempt, salt);
+                                if !pause.is_zero() {
+                                    std::thread::sleep(pause);
+                                }
+                            }
+                        }
+                    }
+                }
+                latencies.lock().expect("poisoned").extend(local_lat);
+            });
+        }
+    });
+    let gave_up = gave_up.into_inner();
+    RunStats {
+        committed: committed.into_inner(),
+        aborts: aborts.into_inner(),
+        failed: gave_up,
+        gave_up,
+        aborts_by_class: by_class.into_inner().expect("poisoned"),
+        gave_up_by_class: gave_up_class.into_inner().expect("poisoned"),
         elapsed: start.elapsed(),
         latencies_us: latencies.into_inner().expect("poisoned"),
     }
@@ -139,6 +346,7 @@ mod tests {
         let e = Arc::new(Engine::new(EngineConfig {
             lock_timeout: Duration::from_millis(300),
             record_history: false,
+            faults: None,
         }));
         banking::setup(&e, 4, 1000);
         let programs = banking::app().programs;
@@ -189,12 +397,103 @@ mod tests {
     }
 
     #[test]
+    fn policy_caps_attempts_and_reports_gave_up() {
+        // An always-losing transaction: without the policy bound this spun
+        // forever; now it degrades into `gave_up` after max_attempts.
+        let policy =
+            RetryPolicy { max_attempts: 3, base_backoff: Duration::ZERO, ..RetryPolicy::default() };
+        let stats = run_mix_with_policy(
+            MixSpec { threads: 1, txns_per_thread: 5, seed: 1 },
+            &policy,
+            |_, _| Err(EngineError::Injected(FaultKind::AbortAfterStmt)),
+        );
+        assert_eq!(stats.committed, 0);
+        assert_eq!(stats.gave_up, 5);
+        assert_eq!(stats.failed, 5);
+        assert_eq!(stats.aborts, 15, "3 attempts per transaction");
+        assert_eq!(stats.aborts_by_class.get(&AbortClass::Injected), Some(&15));
+        assert_eq!(stats.gave_up_by_class.get(&AbortClass::Injected), Some(&5));
+        // Given-up runs stay in the abort_rate denominator.
+        assert!((stats.abort_rate() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_budget_gives_up_before_attempt_bound() {
+        let mut policy = RetryPolicy {
+            max_attempts: 50,
+            base_backoff: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        policy.class_budgets.insert(AbortClass::Fcw, 1);
+        let stats = run_mix_with_policy(
+            MixSpec { threads: 1, txns_per_thread: 2, seed: 1 },
+            &policy,
+            |_, _| Err(EngineError::Injected(FaultKind::FcwConflict)),
+        );
+        // 1 retry allowed per txn: 2 aborts each, then give up.
+        assert_eq!(stats.aborts, 4);
+        assert_eq!(stats.gave_up, 2);
+        assert_eq!(stats.gave_up_by_class.get(&AbortClass::Fcw), Some(&2));
+    }
+
+    #[test]
+    fn policy_commits_pass_through() {
+        let policy = RetryPolicy::default();
+        let stats = run_mix_with_policy(
+            MixSpec { threads: 2, txns_per_thread: 10, seed: 3 },
+            &policy,
+            |_, _| Ok(()),
+        );
+        assert_eq!(stats.committed, 20);
+        assert_eq!(stats.gave_up, 0);
+        assert_eq!(stats.abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(2),
+            jitter_seed: 9,
+            ..RetryPolicy::default()
+        };
+        for attempt in 1..10 {
+            let a = policy.backoff(attempt, 7);
+            let b = policy.backoff(attempt, 7);
+            assert_eq!(a, b, "jitter must be deterministic");
+            assert!(a <= policy.max_backoff * 3 / 2, "cap plus 50% jitter");
+        }
+        // Different salts decorrelate workers.
+        assert!((1..20).any(|s| policy.backoff(3, s) != policy.backoff(3, s + 1)));
+        // Zero base ⇒ no sleeping at all.
+        let none = RetryPolicy { base_backoff: Duration::ZERO, ..RetryPolicy::default() };
+        assert_eq!(none.backoff(5, 1), Duration::ZERO);
+    }
+
+    #[test]
+    fn abort_class_names_and_classification() {
+        assert_eq!(
+            AbortClass::classify(&EngineError::Injected(FaultKind::LockTimeout)),
+            Some(AbortClass::Timeout)
+        );
+        assert_eq!(
+            AbortClass::classify(&EngineError::Injected(FaultKind::CrashBeforeCommit)),
+            Some(AbortClass::Injected)
+        );
+        assert_eq!(AbortClass::classify(&EngineError::TxnFinished), None);
+        for c in AbortClass::ALL {
+            assert!(!c.name().is_empty());
+        }
+    }
+
+    #[test]
     fn deterministic_seeds_reproduce_counts() {
         // Same seed + single thread ⇒ same request sequence.
         let run = |seed: u64| {
             let e = Arc::new(Engine::new(EngineConfig {
                 lock_timeout: Duration::from_millis(300),
                 record_history: false,
+                faults: None,
             }));
             banking::setup(&e, 2, 500);
             let programs = banking::app().programs;

@@ -22,8 +22,10 @@
 
 pub mod banking;
 pub mod driver;
+pub mod faultsim;
 pub mod orders;
 pub mod payroll;
 pub mod tpcc;
 
-pub use driver::{run_mix, MixSpec, RunStats};
+pub use driver::{run_mix, run_mix_with_policy, AbortClass, MixSpec, RetryPolicy, RunStats};
+pub use faultsim::{simulate, FaultSimOptions, FaultSimReport};

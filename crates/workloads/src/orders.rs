@@ -516,6 +516,7 @@ mod tests {
         Arc::new(Engine::new(EngineConfig {
             lock_timeout: Duration::from_millis(300),
             record_history: false,
+            faults: None,
         }))
     }
 

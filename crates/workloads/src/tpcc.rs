@@ -533,6 +533,7 @@ mod tests {
         Arc::new(Engine::new(EngineConfig {
             lock_timeout: Duration::from_millis(500),
             record_history: false,
+            faults: None,
         }))
     }
 

@@ -20,6 +20,7 @@ fn engine() -> Arc<Engine> {
     Arc::new(Engine::new(EngineConfig {
         lock_timeout: Duration::from_millis(200),
         record_history: true,
+        faults: None,
     }))
 }
 

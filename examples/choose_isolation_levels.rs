@@ -40,6 +40,7 @@ fn main() {
     let engine = Arc::new(Engine::new(EngineConfig {
         lock_timeout: Duration::from_millis(500),
         record_history: false,
+        faults: None,
     }));
     orders::setup(&engine, 15);
     let programs = app.programs.clone();

@@ -44,6 +44,7 @@ fn main() {
     let e = Arc::new(Engine::new(EngineConfig {
         lock_timeout: Duration::from_millis(300),
         record_history: true,
+        faults: None,
     }));
     banking::setup(&e, 1, 100);
 
@@ -76,6 +77,7 @@ fn main() {
     let e = Arc::new(Engine::new(EngineConfig {
         lock_timeout: Duration::from_millis(200),
         record_history: false,
+        faults: None,
     }));
     banking::setup(&e, 1, 100);
     let mut t1 = e.begin(IsolationLevel::Serializable);

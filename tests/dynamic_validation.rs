@@ -17,6 +17,7 @@ fn engine(record: bool) -> Arc<Engine> {
     Arc::new(Engine::new(EngineConfig {
         lock_timeout: Duration::from_millis(500),
         record_history: record,
+        faults: None,
     }))
 }
 
