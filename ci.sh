@@ -70,6 +70,42 @@ explore_expect 0 "$tmpdir/banking.json" \
     --txns Withdraw_sav,Withdraw_ch --levels RR,RR
 echo "   banking Withdraw_sav/Withdraw_ch: DIVERGENT at SI, CLEAN at RR"
 
+echo "== parallel determinism (explore --jobs 8 byte-matches --jobs 1) =="
+# The work-sharing frontier must be invisible in the output: the full JSON
+# report — schedule counts, verdicts, step-by-step divergent witnesses —
+# must be byte-identical at any worker count. Exit 1 (divergence found) is
+# the expected verdict on the RU/SI cells; only exit 2 fails the gate.
+jobs_match() {
+    rc=0
+    cargo run -q -p semcc-cli -- explore "$@" --jobs 1 --json \
+        > "$tmpdir/jobs.1.json" || rc=$?
+    if [ "$rc" -ge 2 ]; then
+        echo "ci: explore $* --jobs 1 failed (exit $rc)" >&2
+        exit 1
+    fi
+    rc=0
+    cargo run -q -p semcc-cli -- explore "$@" --jobs 8 --json \
+        > "$tmpdir/jobs.8.json" || rc=$?
+    if [ "$rc" -ge 2 ]; then
+        echo "ci: explore $* --jobs 8 failed (exit $rc)" >&2
+        exit 1
+    fi
+    if ! cmp -s "$tmpdir/jobs.1.json" "$tmpdir/jobs.8.json"; then
+        echo "ci: explore $* JSON differs between --jobs 1 and --jobs 8" >&2
+        diff "$tmpdir/jobs.1.json" "$tmpdir/jobs.8.json" >&2 || true
+        exit 1
+    fi
+}
+# Paper Example 2 (payroll) at the divergent level and as a level-vector
+# sweep; paper Example 3 (banking) at the write-skew level.
+jobs_match "$tmpdir/payroll.json" \
+    --txns Hours,Print_Records --levels RU,RU --seed emp.rate=10
+jobs_match "$tmpdir/payroll.json" \
+    --txns Hours,Print_Records "--levels" "RU,RU;RC,RC;SER,SER" --seed emp.rate=10
+jobs_match "$tmpdir/banking.json" \
+    --txns Withdraw_sav,Withdraw_ch --levels SI,SI
+echo "   explore: byte-identical JSON at jobs 1 vs 8 (Examples 2 & 3 + sweep)"
+
 echo "== fault-injection smoke (determinism + audited abort paths) =="
 # Two runs with the same seed must print bit-for-bit identical JSON
 # (including the fault-event trail), inject a nonzero number of faults,
@@ -98,6 +134,42 @@ explore_expect 1 "$tmpdir/payroll.json" \
 explore_expect 0 "$tmpdir/payroll.json" \
     --txns Hours,Print_Records --levels RC,RC --seed emp.rate=10 --faults Hours
 echo "   injected-abort sweep: rollback VISIBLE at RU, CLEAN at RC"
+
+# The parallel seed sweep must also be byte-identical at any worker count
+# (each run stays single-threaded inside; only the sweep fans out).
+cargo run -q -p semcc-cli -- faultsim "$tmpdir/payroll.json" \
+    --seed 42 --seeds 4 --jobs 1 --json > "$tmpdir/fsweep.1.json"
+cargo run -q -p semcc-cli -- faultsim "$tmpdir/payroll.json" \
+    --seed 42 --seeds 4 --jobs 8 --json > "$tmpdir/fsweep.8.json"
+if ! cmp -s "$tmpdir/fsweep.1.json" "$tmpdir/fsweep.8.json"; then
+    echo "ci: faultsim --seeds 4 differs between --jobs 1 and --jobs 8" >&2
+    diff "$tmpdir/fsweep.1.json" "$tmpdir/fsweep.8.json" >&2 || true
+    exit 1
+fi
+echo "   faultsim --seeds 4: byte-identical JSON at jobs 1 vs 8"
+
+echo "== orders dynamic validation x25 (Imax flake regression gate) =="
+# Before the WriteItemMax fix this test flaked ~3/25 (two concurrent
+# New_Orders at RC clobbering maximum_date backwards); require 25/25.
+pass=0
+for i in $(seq 1 25); do
+    if cargo test -q -p semcc --test dynamic_validation \
+        orders_assigned_levels_hold_dynamically -- --exact \
+        > /dev/null 2>&1; then
+        pass=$((pass + 1))
+    fi
+done
+if [ "$pass" -ne 25 ]; then
+    echo "ci: orders_assigned_levels_hold_dynamically passed only $pass/25" >&2
+    exit 1
+fi
+echo "   orders_assigned_levels_hold_dynamically: 25/25"
+
+if [ "${1:-}" != "--fast" ]; then
+    echo "== table_par (parallel scaling rows + runtime identity assertion) =="
+    cargo run -q --release -p semcc-bench --bin table_par > "$tmpdir/table_par.txt"
+    echo "   table_par: results identical at jobs 1/2/4/8"
+fi
 
 echo "== fault-plan property suite (~200 seeded random plans, all levels) =="
 cargo test -q -p semcc-workloads --test faultsim_prop > /dev/null

@@ -13,10 +13,10 @@
 //!     | tee results/table_explore.txt
 //! ```
 
-use semcc_bench::{row, rule, short};
+use semcc_bench::{jobs_arg, row, rule, short};
 use semcc_core::App;
 use semcc_engine::IsolationLevel;
-use semcc_explore::{differential, explore, specs_for, ExploreOptions};
+use semcc_explore::{differential_batch, explore_sweep, ExploreOptions};
 use semcc_workloads::{banking, payroll};
 
 const WIDTHS: [usize; 8] = [6, 8, 8, 8, 8, 9, 24, 18];
@@ -40,11 +40,14 @@ fn print_pair(app: &App, title: &str, txns: [&str; 2], opts: &ExploreOptions) {
         )
     );
     println!("{}", rule(&WIDTHS));
-    for level in IsolationLevel::ALL {
-        let specs = specs_for(app, &[txns[0].to_string(), txns[1].to_string()], &[level, level])
-            .expect("specs");
-        let r = explore(app, &specs, opts).expect("explore");
-        let d = differential(app, &specs, &r);
+    // The outer level-vector sweep fans out over `opts.jobs`; the merged
+    // cells come back in level order, identical at every job count.
+    let names = vec![txns[0].to_string(), txns[1].to_string()];
+    let vectors: Vec<Vec<IsolationLevel>> =
+        IsolationLevel::ALL.iter().map(|&l| vec![l, l]).collect();
+    let cells = explore_sweep(app, &names, &vectors, opts).expect("sweep");
+    let diffs = differential_batch(app, &cells, opts.jobs);
+    for ((_, r), d) in cells.iter().zip(&diffs) {
         let anomalies = if r.anomaly_counts.is_empty() {
             "-".to_string()
         } else {
@@ -54,7 +57,7 @@ fn print_pair(app: &App, title: &str, txns: [&str; 2], opts: &ExploreOptions) {
             "{}",
             row(
                 &[
-                    short(level).to_string(),
+                    short(r.levels[0]).to_string(),
                     r.naive_schedules.to_string(),
                     r.explored.to_string(),
                     r.blocked.to_string(),
@@ -79,10 +82,12 @@ fn main() {
     println!("`pruned` = naive / (ran + blocked): persistent-set + sleep-set DPOR");
     println!("explores one representative per Mazurkiewicz trace class.\n");
 
+    let jobs = jobs_arg();
     let pay_opts = ExploreOptions {
         // The neutral seed zeroes integer columns; a real hourly rate makes
         // the mid-Hours inconsistency (rate·hrs ≠ sal) observable.
         seed_cols: vec![("emp".into(), "rate".into(), 10)],
+        jobs,
         ..ExploreOptions::default()
     };
     print_pair(
@@ -95,7 +100,7 @@ fn main() {
         &banking::app(),
         "banking: Withdraw_sav vs Withdraw_ch (Example 3, write skew)",
         ["Withdraw_sav", "Withdraw_ch"],
-        &ExploreOptions::default(),
+        &ExploreOptions { jobs, ..ExploreOptions::default() },
     );
 
     println!("reading the table: a divergent schedule at a weak level is the concrete");

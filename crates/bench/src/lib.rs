@@ -43,6 +43,17 @@ pub fn has_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
+/// Parse a `--name value` option from argv (`None` if absent).
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// The `--jobs N` worker count for a harness binary (default 1).
+pub fn jobs_arg() -> usize {
+    arg_value("--jobs").and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,110 @@
+//! Batch checking: the triple-check fan-out over many histories.
+//!
+//! Every consumer that checks more than one history — the explorer's
+//! per-schedule verdicts, `faultsim`'s per-seed audits, the P2 experiment
+//! tables — wants the same three verdicts per history: the anomaly list,
+//! its aggregate counts, and conflict-(non)serializability. This module
+//! runs that triple over a slice of histories on the shared
+//! `semcc-par` worker pool instead of ad-hoc thread spawns.
+//!
+//! Each verdict is a pure function of its history alone, so fanning the
+//! histories out over workers and merging by index (which
+//! `ordered_map` does) returns verdicts in input order, identical at
+//! every job count.
+
+use crate::anomaly::{detect_anomalies, Anomaly};
+use crate::conflict::is_conflict_serializable;
+use crate::report::AnomalyCounts;
+use semcc_engine::Event;
+use semcc_par::ordered_map;
+
+/// The three verdicts for one history.
+#[derive(Clone, Debug)]
+pub struct HistoryVerdict {
+    /// Every detected anomaly, in the detectors' canonical order.
+    pub anomalies: Vec<Anomaly>,
+    /// The same anomalies aggregated per kind.
+    pub counts: AnomalyCounts,
+    /// Whether the committed projection's conflict graph is acyclic.
+    pub conflict_serializable: bool,
+}
+
+impl HistoryVerdict {
+    /// Check one history (the unit of work the batch fans out).
+    pub fn of(events: &[Event]) -> HistoryVerdict {
+        let anomalies = detect_anomalies(events);
+        let mut counts = AnomalyCounts::default();
+        for a in &anomalies {
+            counts.add(a.kind);
+        }
+        HistoryVerdict {
+            anomalies,
+            counts,
+            conflict_serializable: is_conflict_serializable(events),
+        }
+    }
+}
+
+/// Triple-check every history on `jobs` workers; verdicts come back in
+/// input order regardless of the job count.
+pub fn check_histories(jobs: usize, histories: &[Vec<Event>]) -> Vec<HistoryVerdict> {
+    ordered_map(jobs, histories, |_, h| HistoryVerdict::of(h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anomaly::AnomalyKind;
+    use semcc_engine::{Engine, EngineConfig, IsolationLevel};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn engine() -> Arc<Engine> {
+        Arc::new(Engine::new(EngineConfig {
+            lock_timeout: Duration::from_millis(50),
+            record_history: true,
+            faults: None,
+        }))
+    }
+
+    /// A dirty-read history at READ UNCOMMITTED.
+    fn dirty_history() -> Vec<Event> {
+        let e = engine();
+        e.create_item("x", 0).expect("item");
+        let mut w = e.begin(IsolationLevel::ReadUncommitted);
+        w.write("x", 1).expect("w");
+        let mut r = e.begin(IsolationLevel::ReadUncommitted);
+        r.read("x").expect("r");
+        r.commit().expect("c");
+        w.commit().expect("c");
+        e.history().events()
+    }
+
+    /// A clean serial history.
+    fn clean_history() -> Vec<Event> {
+        let e = engine();
+        e.create_item("x", 0).expect("item");
+        let mut w = e.begin(IsolationLevel::Serializable);
+        w.write("x", 1).expect("w");
+        w.commit().expect("c");
+        e.history().events()
+    }
+
+    #[test]
+    fn batch_verdicts_match_the_single_history_checks() {
+        let histories = vec![dirty_history(), clean_history(), dirty_history()];
+        for jobs in [1, 4] {
+            let verdicts = check_histories(jobs, &histories);
+            assert_eq!(verdicts.len(), 3);
+            assert!(verdicts[0].anomalies.iter().any(|a| a.kind == AnomalyKind::DirtyRead));
+            assert!(verdicts[0].counts.get(AnomalyKind::DirtyRead) >= 1);
+            assert!(verdicts[1].anomalies.is_empty(), "serial history is clean");
+            assert!(verdicts[1].conflict_serializable);
+            assert_eq!(
+                format!("{:?}", verdicts[0].counts),
+                format!("{:?}", verdicts[2].counts),
+                "identical histories get identical verdicts at jobs={jobs}"
+            );
+        }
+    }
+}

@@ -271,36 +271,30 @@ mod tests {
         let e = engine();
         e.create_item("a", 100).expect("item");
         e.create_item("b", 100).expect("item");
-        let mut handles = Vec::new();
-        for i in 0..4 {
-            let e = e.clone();
-            handles.push(std::thread::spawn(move || {
-                let (from, to) = if i % 2 == 0 { ("a", "b") } else { ("b", "a") };
-                let mut done = 0;
-                while done < 10 {
-                    let mut t = e.begin(IsolationLevel::Serializable);
-                    let step = (|| -> Result<(), semcc_engine::EngineError> {
-                        let f = t.read(from)?.as_int().expect("int");
-                        let g = t.read(to)?.as_int().expect("int");
-                        t.write(from, f - 1)?;
-                        t.write(to, g + 1)?;
-                        Ok(())
-                    })();
-                    match step {
-                        Ok(()) => {
-                            if t.commit().is_ok() {
-                                done += 1;
-                            }
+        let workers: Vec<usize> = (0..4).collect();
+        semcc_par::ordered_map(4, &workers, |_, &i| {
+            let (from, to) = if i % 2 == 0 { ("a", "b") } else { ("b", "a") };
+            let mut done = 0;
+            while done < 10 {
+                let mut t = e.begin(IsolationLevel::Serializable);
+                let step = (|| -> Result<(), semcc_engine::EngineError> {
+                    let f = t.read(from)?.as_int().expect("int");
+                    let g = t.read(to)?.as_int().expect("int");
+                    t.write(from, f - 1)?;
+                    t.write(to, g + 1)?;
+                    Ok(())
+                })();
+                match step {
+                    Ok(()) => {
+                        if t.commit().is_ok() {
+                            done += 1;
                         }
-                        Err(err) if err.is_abort() => {}
-                        Err(err) => panic!("{err}"),
                     }
+                    Err(err) if err.is_abort() => {}
+                    Err(err) => panic!("{err}"),
                 }
-            }));
-        }
-        for h in handles {
-            h.join().expect("join");
-        }
+            }
+        });
         assert!(is_conflict_serializable(&e.history().events()));
     }
 }

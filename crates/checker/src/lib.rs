@@ -11,9 +11,11 @@
 //!   level assignments against observed behavior ([`report`]).
 
 pub mod anomaly;
+pub mod batch;
 pub mod conflict;
 pub mod report;
 
 pub use anomaly::{detect_anomalies, Anomaly, AnomalyKind};
+pub use batch::{check_histories, HistoryVerdict};
 pub use conflict::{conflict_graph, is_conflict_serializable, ConflictGraph};
 pub use report::AnomalyCounts;

@@ -21,6 +21,12 @@ impl AnomalyCounts {
         AnomalyCounts { counts }
     }
 
+    /// Record one detected anomaly (lets the batch checker aggregate
+    /// without running detection a second time).
+    pub fn add(&mut self, kind: AnomalyKind) {
+        *self.counts.entry(kind).or_default() += 1;
+    }
+
     /// Count for one kind.
     pub fn get(&self, kind: AnomalyKind) -> usize {
         self.counts.get(&kind).copied().unwrap_or(0)

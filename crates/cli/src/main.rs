@@ -26,14 +26,17 @@ use semcc_core::annotate::{check_app_annotations, Severity};
 use semcc_core::assign::{ansi_ladder, assign_levels, default_ladder};
 use semcc_core::counting::cost_table;
 use semcc_core::theorems::check_at_level;
-use semcc_core::{certify_app, lint, replay_witnesses, App, LintReport, Witness, WitnessOutcome};
+use semcc_core::{certify_app, lint, replay_witness, App, LintReport, Witness, WitnessOutcome};
 use semcc_engine::{FaultMix, IsolationLevel};
 use semcc_explore::{
-    differential, explore, explore_with_aborts, specs_for, Differential, ExploreOptions,
-    ExploreResult,
+    differential_batch, differential_with_jobs, explore, explore_sweep, explore_with_aborts,
+    specs_for, Differential, ExploreOptions, ExploreResult,
 };
 use semcc_json::Json;
-use semcc_workloads::{banking, orders, payroll, simulate, tpcc, FaultSimOptions, FaultSimReport};
+use semcc_par::ordered_map;
+use semcc_workloads::{
+    banking, orders, payroll, simulate, simulate_sweep, tpcc, FaultSimOptions, FaultSimReport,
+};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -85,14 +88,14 @@ fn print_usage() {
     println!("  semcc export <banking|orders|orders-strict|payroll|tpcc> <out.json>");
     println!("  semcc analyze <app.json> [--ansi]");
     println!("  semcc check <app.json> <transaction> <LEVEL>");
-    println!("  semcc lint <app.json> [--levels L1,L2,...] [--witness] [--json]");
-    println!("  semcc explore <app.json> [--txns T1,T2[,T3]] [--levels L1,L2[,L3]]");
+    println!("  semcc lint <app.json> [--levels L1,L2,...] [--witness] [--jobs N] [--json]");
+    println!("  semcc explore <app.json> [--txns T1,T2[,T3]] [--levels L1,L2[,L3][;...]]");
     println!("                [--seed item=V | table.col=V]... [--max-depth N]");
     println!("                [--max-schedules N] [--faults [VICTIM]]");
-    println!("                [--lock-timeout-ms N] [--json]");
-    println!("  semcc faultsim <app.json> [--seed N] [--txns N] [--levels L1[,L2,...]]");
-    println!("                 [--mix CLASS=P,...] [--lock-timeout-ms N]");
-    println!("                 [--max-attempts N] [--json]");
+    println!("                [--lock-timeout-ms N] [--jobs N] [--json]");
+    println!("  semcc faultsim <app.json> [--seed N] [--seeds N] [--jobs N] [--txns N]");
+    println!("                 [--levels L1[,L2,...]] [--mix CLASS=P,...]");
+    println!("                 [--lock-timeout-ms N] [--max-attempts N] [--json]");
     println!("  semcc verify <app.json>");
     println!("  semcc obligations <app.json>");
     println!("  semcc certify <app.json> [--out cert.json]");
@@ -210,6 +213,7 @@ fn cmd_lint(args: &[String]) -> CmdResult {
     let mut levels_arg: Option<&String> = None;
     let mut json_out = false;
     let mut witness = false;
+    let mut jobs = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -218,12 +222,17 @@ fn cmd_lint(args: &[String]) -> CmdResult {
             }
             "--json" => json_out = true,
             "--witness" => witness = true,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a number")?;
+                jobs = v.parse().map_err(|_| format!("bad --jobs `{v}`"))?;
+            }
             _ if path.is_none() => path = Some(a),
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    let path =
-        path.ok_or("usage: semcc lint <app.json> [--levels L1,L2,...] [--witness] [--json]")?;
+    let path = path.ok_or(
+        "usage: semcc lint <app.json> [--levels L1,L2,...] [--witness] [--jobs N] [--json]",
+    )?;
     let app = load_app(path)?;
     let levels: Option<BTreeMap<String, IsolationLevel>> = match levels_arg {
         None => None,
@@ -245,7 +254,14 @@ fn cmd_lint(args: &[String]) -> CmdResult {
         }
     };
     let report = lint(&app, levels.as_ref());
-    let witnesses = if witness { Some(replay_witnesses(&app, &report)) } else { None };
+    // The prover pass above stays single-threaded (its fresh-name stream
+    // shows up in rendered diagnostics); only the engine-level witness
+    // replays fan out, one per diagnostic, merged back in diagnostic order.
+    let witnesses = if witness {
+        Some(ordered_map(jobs, &report.diagnostics, |_, d| replay_witness(&app, &report, d)))
+    } else {
+        None
+    };
     if json_out {
         let mut json = lint_report_json(&report);
         if let (Some(ws), Json::Obj(fields)) = (&witnesses, &mut json) {
@@ -315,14 +331,18 @@ fn cmd_explore(args: &[String]) -> CmdResult {
                     None => opts.seed_items.push((target.to_string(), value)),
                 }
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a number")?;
+                opts.jobs = v.parse().map_err(|_| format!("bad --jobs `{v}`"))?;
+            }
             "--json" => json_out = true,
             _ if path.is_none() => path = Some(a),
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
     let path = path.ok_or(
-        "usage: semcc explore <app.json> [--txns T1,T2[,T3]] [--levels L1,L2[,L3]] \
-         [--seed item=V|table.col=V]... [--max-depth N] [--max-schedules N] [--json]",
+        "usage: semcc explore <app.json> [--txns T1,T2[,T3]] [--levels L1,L2[,L3][;...]] \
+         [--seed item=V|table.col=V]... [--max-depth N] [--max-schedules N] [--jobs N] [--json]",
     )?;
     let app = load_app(path)?;
 
@@ -339,23 +359,28 @@ fn cmd_explore(args: &[String]) -> CmdResult {
             app.programs.iter().map(|p| p.name.clone()).collect()
         }
     };
-    let levels: Vec<IsolationLevel> = match levels_arg {
-        Some(list) => {
-            let tokens: Vec<&str> = list.split(',').map(str::trim).collect();
-            if tokens.len() != names.len() {
-                return Err(format!(
-                    "--levels got {} level(s) for {} transaction instance(s)",
-                    tokens.len(),
-                    names.len()
-                ));
-            }
-            tokens.into_iter().map(parse_level).collect::<Result<_, _>>()?
-        }
+    // `--levels` takes one vector per `;`-separated group: a single vector
+    // is a plain exploration, several are a sweep fanned out over --jobs.
+    let level_vectors: Vec<Vec<IsolationLevel>> = match levels_arg {
+        Some(list) => list
+            .split(';')
+            .map(|group| {
+                let tokens: Vec<&str> = group.split(',').map(str::trim).collect();
+                if tokens.len() != names.len() {
+                    return Err(format!(
+                        "--levels got {} level(s) for {} transaction instance(s)",
+                        tokens.len(),
+                        names.len()
+                    ));
+                }
+                tokens.into_iter().map(parse_level).collect()
+            })
+            .collect::<Result<_, _>>()?,
         None => {
             // Default to the Section 5 assignment: explore each type at the
             // lowest level the analyzer claims is safe for it.
             let assigned = lint(&app, None).levels;
-            names
+            vec![names
                 .iter()
                 .map(|n| {
                     assigned
@@ -364,9 +389,16 @@ fn cmd_explore(args: &[String]) -> CmdResult {
                         .map(|(_, l)| *l)
                         .ok_or_else(|| format!("no transaction `{n}`"))
                 })
-                .collect::<Result<_, _>>()?
+                .collect::<Result<_, _>>()?]
         }
     };
+    if level_vectors.len() > 1 {
+        if faults_victim.is_some() {
+            return Err("--faults cannot be combined with a `;` level-vector sweep".into());
+        }
+        return explore_level_sweep(&app, &names, &level_vectors, &opts, json_out);
+    }
+    let levels = level_vectors.into_iter().next().expect("one vector");
     let specs = specs_for(&app, &names, &levels)?;
 
     if let Some(victim_arg) = faults_victim {
@@ -381,14 +413,16 @@ fn cmd_explore(args: &[String]) -> CmdResult {
         };
         let cases = explore_with_aborts(&app, &specs, &opts, victim)?;
         let divergent_total: u64 = cases.iter().map(|c| c.result.divergent).sum();
+        let cells: Vec<_> = cases.iter().map(|c| (specs.clone(), c.result.clone())).collect();
+        let diffs = differential_batch(&app, &cells, opts.jobs);
         if json_out {
             let arr = cases
                 .iter()
-                .map(|c| {
-                    let d = differential(&app, &specs, &c.result);
+                .zip(&diffs)
+                .map(|(c, d)| {
                     Json::obj([
                         ("abort_after", Json::Int(c.k as i64)),
-                        ("explore", explore_json(&c.result, &d)),
+                        ("explore", explore_json(&c.result, d)),
                     ])
                 })
                 .collect();
@@ -406,11 +440,10 @@ fn cmd_explore(args: &[String]) -> CmdResult {
                 "fault mode: injected abort of `{}` at every statement position",
                 names[victim]
             );
-            for c in &cases {
+            for (c, d) in cases.iter().zip(&diffs) {
                 println!();
                 println!("== abort after statement {} ==", c.k);
-                let d = differential(&app, &specs, &c.result);
-                print_explore(&c.result, &d);
+                print_explore(&c.result, d);
             }
             println!();
             if divergent_total == 0 {
@@ -427,7 +460,7 @@ fn cmd_explore(args: &[String]) -> CmdResult {
     }
 
     let result = explore(&app, &specs, &opts)?;
-    let diff = differential(&app, &specs, &result);
+    let diff = differential_with_jobs(&app, &specs, &result, opts.jobs);
 
     if json_out {
         println!("{}", explore_json(&result, &diff).to_pretty());
@@ -441,13 +474,60 @@ fn cmd_explore(args: &[String]) -> CmdResult {
     }
 }
 
+/// `explore --levels A;B;...`: the outer level-vector sweep, explored and
+/// differentially checked in parallel (`--jobs`), reported in vector
+/// order.
+fn explore_level_sweep(
+    app: &App,
+    names: &[String],
+    vectors: &[Vec<IsolationLevel>],
+    opts: &ExploreOptions,
+    json_out: bool,
+) -> CmdResult {
+    let cells = explore_sweep(app, names, vectors, opts)?;
+    let diffs = differential_batch(app, &cells, opts.jobs);
+    let mut findings = Findings::Clean;
+    for ((_, r), d) in cells.iter().zip(&diffs) {
+        if r.divergent > 0 || !d.sound() {
+            findings = Findings::Diagnostics;
+        }
+    }
+    if json_out {
+        let arr = cells.iter().zip(&diffs).map(|((_, r), d)| explore_json(r, d)).collect();
+        println!("{}", Json::obj([("sweep", Json::Arr(arr))]).to_pretty());
+    } else {
+        for (i, ((_, r), d)) in cells.iter().zip(&diffs).enumerate() {
+            if i > 0 {
+                println!();
+            }
+            let vec_str: Vec<String> = vectors[i].iter().map(ToString::to_string).collect();
+            println!("== levels {} ==", vec_str.join(","));
+            print_explore(r, d);
+        }
+    }
+    Ok(findings)
+}
+
 fn cmd_faultsim(args: &[String]) -> CmdResult {
     let mut path: Option<&String> = None;
     let mut json_out = false;
     let mut opts = FaultSimOptions::default();
+    let mut seeds = 1u64;
+    let mut jobs = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--seeds" => {
+                let v = it.next().ok_or("--seeds needs a count")?;
+                seeds = v.parse().map_err(|_| format!("bad --seeds `{v}`"))?;
+                if seeds == 0 {
+                    return Err("--seeds needs at least 1".into());
+                }
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a number")?;
+                jobs = v.parse().map_err(|_| format!("bad --jobs `{v}`"))?;
+            }
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a number")?;
                 opts.seed = v.parse().map_err(|_| format!("bad --seed `{v}`"))?;
@@ -493,12 +573,36 @@ fn cmd_faultsim(args: &[String]) -> CmdResult {
         }
     }
     let path = path.ok_or(
-        "usage: semcc faultsim <app.json> [--seed N] [--txns N] [--levels L1[,L2,...]] \
-         [--mix CLASS=P,...] [--lock-timeout-ms N] [--max-attempts N] [--json]",
+        "usage: semcc faultsim <app.json> [--seed N] [--seeds N] [--jobs N] [--txns N] \
+         [--levels L1[,L2,...]] [--mix CLASS=P,...] [--lock-timeout-ms N] [--max-attempts N] \
+         [--json]",
     )?;
     let app = load_app(path)?;
-    let report = simulate(&app, &opts)?;
 
+    if seeds > 1 {
+        // Plan sweep: the base seed and its successors, one single-threaded
+        // run each, fanned out over --jobs (per-run determinism depends on
+        // the driver staying serial, so the cores go to the seed axis).
+        let seed_list: Vec<u64> = (0..seeds).map(|i| opts.seed + i).collect();
+        let reports = simulate_sweep(&app, &opts, &seed_list, jobs)?;
+        let violations: usize = reports.iter().map(|r| r.violations.len()).sum();
+        if json_out {
+            let arr = reports.iter().map(faultsim_json).collect();
+            println!("{}", Json::obj([("sweep", Json::Arr(arr))]).to_pretty());
+        } else {
+            for (i, r) in reports.iter().enumerate() {
+                if i > 0 {
+                    println!();
+                }
+                print_faultsim(r);
+            }
+            println!();
+            println!("seed sweep: {} run(s), {} violation(s) total", reports.len(), violations);
+        }
+        return if violations == 0 { Ok(Findings::Clean) } else { Ok(Findings::Diagnostics) };
+    }
+
+    let report = simulate(&app, &opts)?;
     if json_out {
         println!("{}", faultsim_json(&report).to_pretty());
     } else {

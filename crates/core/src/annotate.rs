@@ -79,6 +79,34 @@ fn check_block(
                 let subst = Subst::single(Var::db(item.base.clone()), value.clone());
                 check_transition(program, &loc, &a.pre, &a.post, Some(&subst), prover, issues);
             }
+            Stmt::WriteItemMax { item, value } => {
+                // x := max(x, e) splits into two Hoare branches, each within
+                // the prover's linear fragment: either the current value
+                // already dominates (x unchanged, pre strengthened with
+                // x >= e), or the floor wins (the plain assignment x := e).
+                let x = Expr::db(item.base.clone());
+                let keep_pre = Pred::and([a.pre.clone(), Pred::ge(x.clone(), value.clone())]);
+                check_transition(
+                    program,
+                    &format!("{loc} (max keeps)"),
+                    &keep_pre,
+                    &a.post,
+                    None,
+                    prover,
+                    issues,
+                );
+                let bump_pre = Pred::and([a.pre.clone(), Pred::ge(value.clone(), x)]);
+                let subst = Subst::single(Var::db(item.base.clone()), value.clone());
+                check_transition(
+                    program,
+                    &format!("{loc} (max bumps)"),
+                    &bump_pre,
+                    &a.post,
+                    Some(&subst),
+                    prover,
+                    issues,
+                );
+            }
             Stmt::LocalAssign { local, value } => {
                 let subst = Subst::single(Var::local(local.clone()), value.clone());
                 check_transition(program, &loc, &a.pre, &a.post, Some(&subst), prover, issues);
@@ -302,6 +330,7 @@ fn stmt_kind(s: &Stmt) -> &'static str {
     match s {
         Stmt::ReadItem { .. } => "read",
         Stmt::WriteItem { .. } => "write",
+        Stmt::WriteItemMax { .. } => "write-max",
         Stmt::LocalAssign { .. } => "assign",
         Stmt::If { .. } => "if",
         Stmt::While { .. } => "while",

@@ -44,6 +44,23 @@ pub fn forward_write_effects(program: &Program) -> Vec<StmtEffect> {
                 effects: vec![],
                 reads: Default::default(),
             },
+            Stmt::WriteItemMax { item, value } => {
+                // x := max(x, e): a fresh skolem bounded below by the old
+                // value and the floor (same shape the symbolic executor
+                // produces for the monotone write).
+                let m = FreshVars::fresh(&format!("max_{}", item.base));
+                PathSummary {
+                    condition: Pred::and([
+                        astmt.pre.clone(),
+                        Pred::ge(Expr::Var(m.clone()), Expr::db(item.base.clone())),
+                        Pred::ge(Expr::Var(m.clone()), value.clone()),
+                    ]),
+                    assign: Assign::single(Var::db(item.base.clone()), Expr::Var(m)),
+                    havoc_items: vec![],
+                    effects: vec![],
+                    reads: Default::default(),
+                }
+            }
             Stmt::Update { table, filter, sets } => PathSummary {
                 condition: astmt.pre.clone(),
                 assign: Assign::skip(),
@@ -90,7 +107,7 @@ pub fn rollback_effects(
     let mut out = Vec::new();
     for astmt in program.write_stmts() {
         let summary = match &astmt.stmt {
-            Stmt::WriteItem { item, .. } => PathSummary {
+            Stmt::WriteItem { item, .. } | Stmt::WriteItemMax { item, .. } => PathSummary {
                 condition: Pred::True,
                 assign: Assign::skip(),
                 havoc_items: vec![Var::db(item.base.clone())],
@@ -177,6 +194,7 @@ fn point_eq(col: &str, v: &ColExpr) -> RowPred {
 fn describe(stmt: &Stmt) -> String {
     match stmt {
         Stmt::WriteItem { item, .. } => format!("write {item}"),
+        Stmt::WriteItemMax { item, .. } => format!("write-max {item}"),
         Stmt::Update { table, .. } => format!("UPDATE {table}"),
         Stmt::Insert { table, .. } => format!("INSERT {table}"),
         Stmt::Delete { table, .. } => format!("DELETE {table}"),

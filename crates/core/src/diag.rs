@@ -318,7 +318,9 @@ fn stmt_refs(
             Stmt::ReadItem { item, .. } if reads.contains(&item.base) => {
                 out.push(format!("{} stmt #{i}: read of `{}`", program.name, item));
             }
-            Stmt::WriteItem { item, .. } if writes.contains(&item.base) => {
+            Stmt::WriteItem { item, .. } | Stmt::WriteItemMax { item, .. }
+                if writes.contains(&item.base) =>
+            {
                 out.push(format!("{} stmt #{i}: write of `{}`", program.name, item));
             }
             _ => {}

@@ -44,4 +44,6 @@ pub use sdg::{
     StmtFootprint,
 };
 pub use theorems::{check_at_level, check_at_level_certified, check_with, LevelReport};
-pub use witness::{neutral_bindings, replay_witnesses, seed_neutral, Witness, WitnessOutcome};
+pub use witness::{
+    neutral_bindings, replay_witness, replay_witnesses, seed_neutral, Witness, WitnessOutcome,
+};

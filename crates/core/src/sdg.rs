@@ -567,6 +567,12 @@ fn collect_stmt_footprint(s: &Stmt, fp: &mut StmtFootprint) {
         Stmt::WriteItem { item, .. } => {
             fp.writes.insert(item.base.clone());
         }
+        Stmt::WriteItemMax { item, .. } => {
+            // The monotone RMW re-reads the written cell, but only under its
+            // own X lock; a write entry alone yields the same conflict set
+            // (writes already collide with both reads and writes).
+            fp.writes.insert(item.base.clone());
+        }
         Stmt::Select { table, .. }
         | Stmt::SelectCount { table, .. }
         | Stmt::SelectValue { table, .. } => {

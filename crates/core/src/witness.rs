@@ -412,7 +412,9 @@ fn index_param_names(programs: &[&Program]) -> BTreeSet<String> {
     for p in programs {
         for_each_stmt(&p.body, &mut |s| {
             let item = match s {
-                Stmt::ReadItem { item, .. } | Stmt::WriteItem { item, .. } => item,
+                Stmt::ReadItem { item, .. }
+                | Stmt::WriteItem { item, .. }
+                | Stmt::WriteItemMax { item, .. } => item,
                 _ => return,
             };
             if let Some(idx) = &item.index {
@@ -442,7 +444,9 @@ fn seed(
     let mut tables: BTreeSet<String> = BTreeSet::new();
     for p in programs {
         for_each_stmt(&p.body, &mut |s| match s {
-            Stmt::ReadItem { item, .. } | Stmt::WriteItem { item, .. } => {
+            Stmt::ReadItem { item, .. }
+            | Stmt::WriteItem { item, .. }
+            | Stmt::WriteItemMax { item, .. } => {
                 items.insert((item.base.clone(), resolve_seed_item(item)));
             }
             Stmt::Select { table, .. }
@@ -644,7 +648,7 @@ fn first_write_idx(p: &Program) -> Option<usize> {
 /// nested branches and loop bodies.
 fn stmt_writes(s: &Stmt, out: &mut BTreeSet<String>) {
     match s {
-        Stmt::WriteItem { item, .. } => {
+        Stmt::WriteItem { item, .. } | Stmt::WriteItemMax { item, .. } => {
             out.insert(item.base.clone());
         }
         Stmt::Update { table, .. } | Stmt::Insert { table, .. } | Stmt::Delete { table, .. } => {
@@ -693,7 +697,7 @@ fn footprint(p: &Program, writes: bool) -> BTreeSet<String> {
         Stmt::ReadItem { item, .. } if !writes => {
             out.insert(item.base.clone());
         }
-        Stmt::WriteItem { item, .. } if writes => {
+        Stmt::WriteItem { item, .. } | Stmt::WriteItemMax { item, .. } if writes => {
             out.insert(item.base.clone());
         }
         Stmt::Select { table, .. }

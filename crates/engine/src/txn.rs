@@ -202,6 +202,60 @@ impl Txn {
         Ok(())
     }
 
+    /// Monotone write: store `max(current, floor)` as one atomic
+    /// read-modify-write. Locking levels hold the long X lock across the
+    /// implicit re-read and the store, so no other transaction's write can
+    /// interleave between them — the item analogue of the in-place
+    /// `UPDATE ... SET c = c + 1` discipline. SNAPSHOT maxes against the
+    /// transaction's own view (buffer, else snapshot); first-committer-wins
+    /// validation handles concurrent committers there.
+    ///
+    /// A non-integer current value is treated as absent (the floor wins).
+    /// Only the write is recorded in history: the re-read happens under the
+    /// X lock and is not an interference-exposed read.
+    pub fn write_max(&mut self, name: &str, floor: i64) -> Result<i64, EngineError> {
+        self.check_active()?;
+        let stored;
+        if self.level.is_snapshot() {
+            if !self.engine.store.has_item(name) {
+                return Err(StorageError::NoSuchItem(name.to_string()).into());
+            }
+            let current = match self.buf_items.get(name) {
+                Some(v) => v.as_int(),
+                None => {
+                    let ts = self.snapshot_ts.expect("snapshot txn has ts");
+                    let cell = self.engine.store.item(name)?;
+                    let c = cell.lock();
+                    c.read_at(ts)?.as_int()
+                }
+            };
+            stored = current.map_or(floor, |c| c.max(floor));
+            self.buf_items.insert(name.to_string(), Value::Int(stored));
+        } else {
+            let cell = self.engine.store.item(name)?;
+            self.engine.locks.acquire(self.id, Target::item(name), Mode::X)?;
+            {
+                let mut c = cell.lock();
+                let current = match c.dirty_writer() {
+                    Some(w) if w == self.id => c.read_latest().as_int(),
+                    _ => c.read_committed().as_int(),
+                };
+                stored = current.map_or(floor, |c| c.max(floor));
+                c.write_dirty(self.id, Value::Int(stored))?;
+            }
+            if !self.dirty_items.iter().any(|n| n == name) {
+                self.dirty_items.push(name.to_string());
+            }
+        }
+        self.note_write(Key::item(name));
+        self.engine.history.record(
+            self.id,
+            self.level,
+            Op::Write { key: Key::item(name), value: Some(Value::Int(stored)) },
+        );
+        Ok(stored)
+    }
+
     // ------------------------------------------------------------------
     // Relational operations
     // ------------------------------------------------------------------

@@ -16,8 +16,9 @@
 
 use crate::explore::ExploreResult;
 use crate::spec::{level_map, sub_app, TxnSpec};
-use semcc_core::{lint, replay_witnesses, App};
+use semcc_core::{lint, replay_witness, App};
 use semcc_engine::AnomalyKind;
+use semcc_par::ordered_map;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -73,6 +74,23 @@ impl Differential {
 
 /// Compare the static lint verdict against the explorer's findings.
 pub fn differential(app: &App, specs: &[TxnSpec], result: &ExploreResult) -> Differential {
+    differential_with_jobs(app, specs, result, 1)
+}
+
+/// [`differential`] with the FM-witness replay fan-out spread over `jobs`
+/// workers — each diagnostic's witness is synthesized and replayed
+/// independently, and only name-free facts (`confirmed()`, the anomaly
+/// kind) feed the verdict, so the result is identical at every job count.
+/// The lint pass itself stays single-threaded: the prover mints
+/// process-global fresh skolem constants, and keeping it serial keeps the
+/// minted names (which appear in rendered diagnostics elsewhere)
+/// deterministic too.
+pub fn differential_with_jobs(
+    app: &App,
+    specs: &[TxnSpec],
+    result: &ExploreResult,
+    jobs: usize,
+) -> Differential {
     let sub = sub_app(app, specs);
     let levels = level_map(specs);
     let report = lint(&sub, Some(&levels));
@@ -96,11 +114,12 @@ pub fn differential(app: &App, specs: &[TxnSpec], result: &ExploreResult) -> Dif
     // so agreement means two independent dynamic paths corroborate the
     // same anomaly class.
     let witness_agrees = if !static_safe && diverged {
-        let confirmed: BTreeSet<AnomalyKind> = replay_witnesses(&sub, &report)
-            .iter()
-            .filter(|w| w.confirmed())
-            .map(|w| w.kind)
-            .collect();
+        let confirmed: BTreeSet<AnomalyKind> =
+            ordered_map(jobs, &report.diagnostics, |_, d| replay_witness(&sub, &report, d))
+                .iter()
+                .filter(|w| w.confirmed())
+                .map(|w| w.kind)
+                .collect();
         if confirmed.is_empty() || observed_kinds.is_empty() {
             None
         } else {
@@ -110,4 +129,23 @@ pub fn differential(app: &App, specs: &[TxnSpec], result: &ExploreResult) -> Dif
         None
     };
     Differential { static_safe, predicted_kinds, observed_kinds, verdict, witness_agrees }
+}
+
+/// Differential verdicts for a whole sweep (e.g. [`crate::explore_sweep`]
+/// output), one cell per `(specs, result)` pair, fanned out over `jobs`
+/// workers with each cell's inner witness replay kept at one job.
+///
+/// Safe to parallelize even though each cell runs its own `lint`: the
+/// fresh skolem constants the prover mints are process-global (so their
+/// *numbers* vary with interleaving), but every field of [`Differential`]
+/// is name-free — level verdicts, anomaly-kind sets, and witness
+/// confirmations depend only on formula structure, never on which numbers
+/// the opaque constants drew. Cells arrive in input order, bit-for-bit
+/// identical at every job count.
+pub fn differential_batch(
+    app: &App,
+    cells: &[(Vec<TxnSpec>, ExploreResult)],
+    jobs: usize,
+) -> Vec<Differential> {
+    ordered_map(jobs, cells, |_, (specs, result)| differential_with_jobs(app, specs, result, 1))
 }

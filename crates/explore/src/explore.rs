@@ -13,12 +13,29 @@
 //! ## Execution
 //!
 //! Exploration is stateless (Flanagan–Godefroid): every prefix is
-//! re-executed from scratch on one engine via [`Engine::reset`] +
+//! re-executed from scratch on an engine via [`Engine::reset`] +
 //! re-seeding, with `lock_timeout = 0` so a conflicting lock acquisition
 //! fails instantly instead of waiting for a peer that can never run. A
 //! prefix the engine refuses (lock conflict, FCW validation failure) is
 //! counted *blocked* and its subtree abandoned — the concurrency control
 //! forbade that interleaving, which is evidence, not error.
+//!
+//! ## Parallelism
+//!
+//! The DPOR tree is expanded as a **work-sharing frontier**: each tree
+//! node — a validated prefix plus its per-transaction positions and sleep
+//! set — is a self-contained work unit, because the children of a node
+//! (which sibling events to try, which stay asleep, which prefixes the
+//! engine refuses) are a pure function of the node and the deterministic
+//! engine, never of any other subtree. Rounds of nodes are drained by
+//! [`ExploreOptions::jobs`] workers via `semcc_par::ordered_map_with`,
+//! each replaying prefixes on its **own** `Engine` ([`Engine::reset`]
+//! reproduces ids and timestamps exactly, so worker engines are
+//! interchangeable). Worker outputs are merged back **in canonical node
+//! order** on the coordinating thread — counters, divergent examples, and
+//! truncation decisions all happen in that single deterministic merge —
+//! so the result is bit-for-bit identical at `jobs = 1` and `jobs = N`.
+//! `jobs = 1` runs through the identical frontier/merge code path.
 //!
 //! ## Pruning
 //!
@@ -45,10 +62,11 @@
 //! The checker's anomaly detectors run on every completed schedule's
 //! history for the cross-check against the static prediction.
 
-use crate::spec::TxnSpec;
+use crate::spec::{specs_for, TxnSpec};
 use semcc_checker::detect_anomalies;
 use semcc_core::{seed_neutral, stmt_footprints, App, StmtFootprint};
 use semcc_engine::{AnomalyKind, Engine, EngineConfig, EngineError, IsolationLevel};
+use semcc_par::{ordered_map, ordered_map_with};
 use semcc_txn::interp::Stepper;
 use semcc_txn::stmt::Stmt;
 use semcc_txn::Program;
@@ -81,10 +99,16 @@ pub struct ExploreOptions {
     /// obligation.
     pub injected_abort: Option<(usize, usize)>,
     /// Engine lock-wait budget during replays. The default `ZERO` is what
-    /// single-threaded exploration wants (a conflicting acquisition can
-    /// never be released by a peer, so it must fail instantly); a nonzero
-    /// value is only useful for measuring timeout-abort behaviour.
+    /// stateless exploration wants (each prefix is replayed by a single
+    /// stepper thread, so a conflicting acquisition can never be released
+    /// by a peer and must fail instantly); a nonzero value is only useful
+    /// for measuring timeout-abort behaviour.
     pub lock_timeout: Duration,
+    /// Worker threads draining the DPOR frontier (and the serial-order
+    /// reference replays). Any value produces **bit-for-bit identical**
+    /// results; `jobs = 1` (the default) runs the same frontier/merge
+    /// code path on a single worker.
+    pub jobs: usize,
 }
 
 impl Default for ExploreOptions {
@@ -96,12 +120,13 @@ impl Default for ExploreOptions {
             seed_cols: Vec::new(),
             injected_abort: None,
             lock_timeout: Duration::ZERO,
+            jobs: 1,
         }
     }
 }
 
 /// A concrete non-serializable execution found by the explorer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DivergentSchedule {
     /// The interleaving, one rendered event per line.
     pub steps: Vec<String>,
@@ -192,14 +217,11 @@ pub fn explore(
             ));
         }
     }
-    let mut ex = Explorer::new(app, specs, opts.clone());
-    ex.run_serial_orders();
-    let k = specs.len();
-    let mut prefix = Vec::new();
-    let mut pos = vec![0usize; k];
-    let sleep = vec![false; k];
-    ex.dfs(&mut prefix, &mut pos, &sleep);
-    Ok(ex.into_result())
+    let ctx = Ctx::new(app, specs, opts.clone());
+    let mut acc = Acc::default();
+    run_serial_orders(&ctx, &mut acc);
+    run_frontier(&ctx, &mut acc);
+    Ok(acc.into_result(ctx))
 }
 
 /// One case of an injected-abort sweep: the victim rolled back after its
@@ -219,6 +241,12 @@ pub struct AbortCase {
 /// paper's terms); a clean sweep certifies that no single injected abort
 /// of `victim` can change what committed observers see at this level
 /// vector.
+///
+/// The abort positions are independent explorations, so the sweep fans
+/// them out over `opts.jobs` workers (each position explored at
+/// `jobs = 1` — the explorer is jobs-invariant, so spending the cores on
+/// the outer sweep is the same answer for less coordination). Case order
+/// and contents are identical at every job count.
 pub fn explore_with_aborts(
     app: &App,
     specs: &[TxnSpec],
@@ -232,12 +260,38 @@ pub fn explore_with_aborts(
     if n == 0 {
         return Err(format!("victim `{}` has no statements", specs[victim].program.name));
     }
-    let mut cases = Vec::with_capacity(n);
-    for k in 1..=n {
-        let o = ExploreOptions { injected_abort: Some((victim, k)), ..opts.clone() };
-        cases.push(AbortCase { k, result: explore(app, specs, &o)? });
-    }
-    Ok(cases)
+    let positions: Vec<usize> = (1..=n).collect();
+    ordered_map(opts.jobs, &positions, |_, &k| {
+        let o = ExploreOptions { injected_abort: Some((victim, k)), jobs: 1, ..opts.clone() };
+        explore(app, specs, &o).map(|result| AbortCase { k, result })
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Level-vector sweep: explore the same transaction names at each vector
+/// in `vectors`, fanning the vectors out over `opts.jobs` workers (each
+/// vector explored at `jobs = 1`; see [`explore_with_aborts`] for why the
+/// outer loop is the right place to spend the cores). Results are in
+/// vector order and bit-for-bit identical at every job count.
+///
+/// The static half of the differential (`lint`) is deliberately *not*
+/// computed here: callers hand these results to
+/// [`crate::differential_batch`], which owns the argument for why the
+/// prover side is safe to fan out.
+pub fn explore_sweep(
+    app: &App,
+    names: &[String],
+    vectors: &[Vec<IsolationLevel>],
+    opts: &ExploreOptions,
+) -> Result<Vec<(Vec<TxnSpec>, ExploreResult)>, String> {
+    let specs: Vec<Vec<TxnSpec>> =
+        vectors.iter().map(|v| specs_for(app, names, v)).collect::<Result<_, _>>()?;
+    let results = ordered_map(opts.jobs, &specs, |_, specs| {
+        let o = ExploreOptions { jobs: 1, ..opts.clone() };
+        explore(app, specs, &o)
+    });
+    specs.into_iter().zip(results).map(|(s, r)| r.map(|result| (s, result))).collect()
 }
 
 /// Observation of one completed execution: everything a client could have
@@ -256,9 +310,31 @@ struct TxnObs {
     buffers: BTreeMap<String, Vec<Vec<String>>>,
 }
 
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum ReplayError {
     Blocked,
     Infeasible,
+}
+
+/// Classify a failed replay step. With the default `lock_timeout: ZERO`,
+/// an `EngineError` Timeout is **not** a spurious fault of the worker's
+/// private engine: it is the instant refusal of a conflicting lock
+/// acquisition (the single replaying thread can never have a peer release
+/// a lock while it waits), and a genuine deadlock victimization is the
+/// same verdict reached through the wait-for graph instead of the clock.
+/// Both — like an FCW validation loss — mean "the concurrency control
+/// forbade this interleaving" and classify the *prefix* as Blocked.
+/// Everything non-abort is a programming error: Infeasible.
+///
+/// A prefix whose replay fails never yields a child node or a completed
+/// schedule, so no interleaving can be counted both blocked and explored;
+/// the merge step re-checks that conservation globally.
+fn classify(e: &EngineError) -> ReplayError {
+    if e.is_abort() {
+        ReplayError::Blocked
+    } else {
+        ReplayError::Infeasible
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -270,39 +346,47 @@ enum EvKind {
     Abort,
 }
 
-struct Explorer<'a> {
+/// The immutable exploration context shared (read-only) by all workers.
+struct Ctx<'a> {
     app: &'a App,
     specs: &'a [TxnSpec],
     opts: ExploreOptions,
-    engine: Arc<Engine>,
     labels: Vec<String>,
     n_events: Vec<usize>,
     stmt_fps: Vec<Vec<StmtFootprint>>,
     all_reads: Vec<BTreeSet<String>>,
     all_writes: Vec<BTreeSet<String>>,
-    serial_obs: Vec<Observation>,
-    serial_errors: u64,
-    explored: u64,
-    blocked: u64,
-    infeasible: u64,
-    replays: u64,
-    divergent: u64,
-    divergent_examples: Vec<DivergentSchedule>,
-    anomaly_counts: BTreeMap<AnomalyKind, u64>,
-    truncated: bool,
-    stop: bool,
 }
 
-impl<'a> Explorer<'a> {
-    fn new(app: &'a App, specs: &'a [TxnSpec], opts: ExploreOptions) -> Explorer<'a> {
-        let engine = Arc::new(Engine::new(EngineConfig {
-            // Zero timeout by default: in single-threaded exploration no
-            // peer can ever release a lock while we wait, so a conflicting
-            // acquire must fail instantly — that *is* the blocked verdict.
-            lock_timeout: opts.lock_timeout,
-            record_history: true,
-            faults: None,
-        }));
+/// One DPOR tree node: a prefix the parent validated as executable, the
+/// per-transaction event positions it implies, and the sleep set at this
+/// node. Self-contained: expanding it needs nothing from any other
+/// subtree, which is what makes nodes shareable work units.
+struct Node {
+    prefix: Vec<(usize, usize)>,
+    pos: Vec<usize>,
+    sleep: Vec<bool>,
+}
+
+/// What one worker produced for one frontier node, in canonical order.
+enum NodeOut {
+    /// All events scheduled: the observing replay of the full schedule.
+    Leaf(Result<(Observation, Vec<AnomalyKind>), ReplayError>),
+    /// `max_depth` reached with events remaining: subtree abandoned.
+    Depth,
+    /// Child attempts in explore-set order (one validation replay each).
+    Inner(Vec<ChildOut>),
+}
+
+enum ChildOut {
+    /// The extended prefix replayed cleanly: a new frontier node.
+    Child(Node),
+    /// The engine refused the extended prefix.
+    Refused(ReplayError),
+}
+
+impl<'a> Ctx<'a> {
+    fn new(app: &'a App, specs: &'a [TxnSpec], opts: ExploreOptions) -> Ctx<'a> {
         let mut labels = Vec::new();
         for (i, s) in specs.iter().enumerate() {
             let dup = specs.iter().take(i).filter(|o| o.program.name == s.program.name).count();
@@ -332,28 +416,21 @@ impl<'a> Explorer<'a> {
                 _ => s.program.body.len() + 2,
             })
             .collect();
-        Explorer {
-            app,
-            specs,
-            opts,
-            engine,
-            labels,
-            n_events,
-            stmt_fps,
-            all_reads,
-            all_writes,
-            serial_obs: Vec::new(),
-            serial_errors: 0,
-            explored: 0,
-            blocked: 0,
-            infeasible: 0,
-            replays: 0,
-            divergent: 0,
-            divergent_examples: Vec::new(),
-            anomaly_counts: BTreeMap::new(),
-            truncated: false,
-            stop: false,
-        }
+        Ctx { app, specs, opts, labels, n_events, stmt_fps, all_reads, all_writes }
+    }
+
+    /// A fresh worker-local engine. [`Engine::reset`] reproduces ids and
+    /// timestamps exactly, so engines built here are interchangeable: any
+    /// worker replaying the same prefix observes the same outcome.
+    fn new_engine(&self) -> Arc<Engine> {
+        Arc::new(Engine::new(EngineConfig {
+            // Zero timeout by default: a replay is single-threaded, so no
+            // peer can ever release a lock while we wait — a conflicting
+            // acquire must fail instantly; that *is* the blocked verdict.
+            lock_timeout: self.opts.lock_timeout,
+            record_history: true,
+            faults: None,
+        }))
     }
 
     // -- event bookkeeping -------------------------------------------------
@@ -459,21 +536,20 @@ impl<'a> Explorer<'a> {
 
     // -- execution ---------------------------------------------------------
 
-    /// Re-execute `events` from the seeded initial state on the shared
-    /// (reset) engine. With `observe`, also collect the observation and
-    /// the checker's anomaly verdicts.
+    /// Re-execute `events` from the seeded initial state on the given
+    /// (reset) worker engine. With `observe`, also collect the observation
+    /// and the checker's anomaly verdicts.
     fn replay(
-        &mut self,
+        &self,
+        engine: &Arc<Engine>,
         events: &[(usize, usize)],
         observe: bool,
     ) -> Result<Option<(Observation, Vec<AnomalyKind>)>, ReplayError> {
-        self.replays += 1;
         let specs = self.specs;
-        let engine = self.engine.clone();
         engine.reset();
         let refs: Vec<&Program> = specs.iter().map(|s| &s.program).collect();
-        seed_neutral(&engine, self.app, &refs).map_err(|_| ReplayError::Infeasible)?;
-        self.apply_seed_overrides(&engine).map_err(|_| ReplayError::Infeasible)?;
+        seed_neutral(engine, self.app, &refs).map_err(|_| ReplayError::Infeasible)?;
+        self.apply_seed_overrides(engine).map_err(|_| ReplayError::Infeasible)?;
         engine.history().clear();
         let mut steppers: Vec<Option<Stepper<'a>>> = specs.iter().map(|_| None).collect();
         for &(t, ev) in events {
@@ -481,7 +557,7 @@ impl<'a> Explorer<'a> {
             let r = match self.kind(t, ev) {
                 EvKind::Begin => {
                     steppers[t] =
-                        Some(Stepper::begin(&engine, &spec.program, spec.level, &spec.bindings));
+                        Some(Stepper::begin(engine, &spec.program, spec.level, &spec.bindings));
                     Ok(())
                 }
                 EvKind::Stmt(_) => {
@@ -494,11 +570,7 @@ impl<'a> Explorer<'a> {
             };
             if let Err(e) = r {
                 // Dropping the steppers aborts every open transaction.
-                return Err(if e.is_abort() {
-                    ReplayError::Blocked
-                } else {
-                    ReplayError::Infeasible
-                });
+                return Err(classify(&e));
             }
         }
         if !observe {
@@ -508,7 +580,7 @@ impl<'a> Explorer<'a> {
             detect_anomalies(&engine.history().events()).iter().map(|a| a.kind).collect();
         kinds.sort();
         kinds.dedup();
-        Ok(Some((self.observe(&engine, &steppers), kinds)))
+        Ok(Some((self.observe(engine, &steppers), kinds)))
     }
 
     /// Overwrite seeded items/row columns per the options, in one
@@ -582,30 +654,103 @@ impl<'a> Explorer<'a> {
         Observation { items, tables, txns }
     }
 
-    /// Execute all `k!` serial orders and record their observations — the
-    /// semantic-equivalence reference set.
-    fn run_serial_orders(&mut self) {
-        for perm in permutations(self.specs.len()) {
-            let mut events = Vec::new();
-            for &t in &perm {
-                for ev in 0..self.n_events[t] {
-                    events.push((t, ev));
-                }
+    /// Expand one frontier node on a worker engine: for a leaf, the
+    /// observing full replay; otherwise one validation replay per
+    /// non-sleeping member of the explore set, in canonical (explore-set)
+    /// order. Pure in everything except the worker's private engine.
+    fn expand(&self, engine: &Arc<Engine>, node: &Node) -> NodeOut {
+        let k = self.specs.len();
+        let enabled: Vec<usize> = (0..k).filter(|&t| node.pos[t] < self.n_events[t]).collect();
+        if enabled.is_empty() {
+            return NodeOut::Leaf(
+                self.replay(engine, &node.prefix, true)
+                    .map(|o| o.expect("observing replay returns an observation")),
+            );
+        }
+        if let Some(maxd) = self.opts.max_depth {
+            if node.prefix.len() >= maxd {
+                return NodeOut::Depth;
             }
-            match self.replay(&events, true) {
-                Ok(Some((obs, _))) => {
-                    if !self.serial_obs.contains(&obs) {
-                        self.serial_obs.push(obs);
-                    }
-                }
-                _ => self.serial_errors += 1,
+        }
+        let explore_set = match self.persistent_singleton(&enabled, &node.pos) {
+            Some(t) => vec![t],
+            None => enabled,
+        };
+        let mut sleep_here = node.sleep.clone();
+        let mut outs = Vec::new();
+        for &t in &explore_set {
+            if sleep_here[t] {
+                continue;
             }
+            let ev = node.pos[t];
+            let mut prefix = node.prefix.clone();
+            prefix.push((t, ev));
+            let out = match self.replay(engine, &prefix, false) {
+                Ok(_) => {
+                    let mut pos = node.pos.clone();
+                    pos[t] += 1;
+                    // A sleeping sibling stays asleep only while its next
+                    // event is independent of what just executed.
+                    let sleep: Vec<bool> = (0..k)
+                        .map(|u| u != t && sleep_here[u] && !self.dependent(u, pos[u], t, ev))
+                        .collect();
+                    ChildOut::Child(Node { prefix, pos, sleep })
+                }
+                Err(e) => ChildOut::Refused(e),
+            };
+            outs.push(out);
+            sleep_here[t] = true;
+        }
+        NodeOut::Inner(outs)
+    }
+}
+
+/// The single-threaded merge-side accumulator. Only the coordinating
+/// thread touches it, in canonical node order, which is what makes every
+/// counter, example list, and truncation decision jobs-invariant.
+#[derive(Default)]
+struct Acc {
+    serial_obs: Vec<Observation>,
+    serial_errors: u64,
+    explored: u64,
+    blocked: u64,
+    infeasible: u64,
+    replays: u64,
+    divergent: u64,
+    divergent_examples: Vec<DivergentSchedule>,
+    anomaly_counts: BTreeMap<AnomalyKind, u64>,
+    truncated: bool,
+    stop: bool,
+}
+
+impl Acc {
+    /// The shared budget check, applied after every counted schedule
+    /// (completed, blocked, or infeasible) in merge order — so the
+    /// truncation point is a deterministic position in the canonical
+    /// stream, not a race.
+    fn check_budget(&mut self, max_schedules: u64) {
+        if self.explored + self.blocked + self.infeasible >= max_schedules {
+            self.truncated = true;
+            self.stop = true;
         }
     }
 
-    fn record_complete(&mut self, prefix: &[(usize, usize)]) {
-        match self.replay(prefix, true) {
-            Ok(Some((obs, kinds))) => {
+    fn record_refused(&mut self, e: ReplayError, max_schedules: u64) {
+        match e {
+            ReplayError::Blocked => self.blocked += 1,
+            ReplayError::Infeasible => self.infeasible += 1,
+        }
+        self.check_budget(max_schedules);
+    }
+
+    fn record_leaf(
+        &mut self,
+        ctx: &Ctx<'_>,
+        prefix: &[(usize, usize)],
+        out: Result<(Observation, Vec<AnomalyKind>), ReplayError>,
+    ) {
+        match out {
+            Ok((obs, kinds)) => {
                 self.explored += 1;
                 for k in &kinds {
                     *self.anomaly_counts.entry(*k).or_insert(0) += 1;
@@ -613,86 +758,41 @@ impl<'a> Explorer<'a> {
                 if !self.serial_obs.is_empty() && !self.serial_obs.contains(&obs) {
                     self.divergent += 1;
                     if self.divergent_examples.len() < MAX_DIVERGENT_EXAMPLES {
-                        let steps =
-                            prefix.iter().map(|&(t, ev)| self.render_event(t, ev)).collect();
+                        let steps = prefix.iter().map(|&(t, ev)| ctx.render_event(t, ev)).collect();
                         self.divergent_examples.push(DivergentSchedule { steps, anomalies: kinds });
                     }
                 }
             }
-            Ok(None) => {}
-            Err(ReplayError::Blocked) => self.blocked += 1,
-            Err(ReplayError::Infeasible) => self.infeasible += 1,
+            Err(e) => {
+                return self.record_refused(e, ctx.opts.max_schedules);
+            }
         }
-        if self.explored + self.blocked + self.infeasible >= self.opts.max_schedules {
-            self.truncated = true;
-            self.stop = true;
-        }
+        self.check_budget(ctx.opts.max_schedules);
     }
 
-    /// The DPOR depth-first search. `prefix` has been validated executable
-    /// by the parent; `pos[t]` counts `t`'s events in it; `sleep[t]` marks
-    /// transactions whose next event is asleep at this node.
-    fn dfs(&mut self, prefix: &mut Vec<(usize, usize)>, pos: &mut [usize], sleep: &[bool]) {
-        if self.stop {
-            return;
+    fn into_result(self, ctx: Ctx<'_>) -> ExploreResult {
+        let naive_schedules = multinomial(&ctx.n_events);
+        // Merge-step conservation audit: every counted prefix landed in
+        // exactly one bucket, so the buckets plus the DPOR-pruned
+        // remainder must tile the enumerated total. A violation would
+        // mean a schedule was double-counted (e.g. both blocked and
+        // explored) somewhere between the workers and this merge.
+        if !self.truncated {
+            let ran = self.explored as u128 + self.blocked as u128 + self.infeasible as u128;
+            assert!(
+                ran <= naive_schedules,
+                "conservation violated: explored {} + blocked {} + infeasible {} exceeds \
+                 the {naive_schedules} enumerable interleavings",
+                self.explored,
+                self.blocked,
+                self.infeasible,
+            );
         }
-        let k = self.specs.len();
-        let enabled: Vec<usize> = (0..k).filter(|&t| pos[t] < self.n_events[t]).collect();
-        if enabled.is_empty() {
-            self.record_complete(prefix);
-            return;
-        }
-        if let Some(maxd) = self.opts.max_depth {
-            if prefix.len() >= maxd {
-                self.truncated = true;
-                return;
-            }
-        }
-        let explore_set = match self.persistent_singleton(&enabled, pos) {
-            Some(t) => vec![t],
-            None => enabled,
-        };
-        let mut sleep_here = sleep.to_vec();
-        for &t in &explore_set {
-            if sleep_here[t] {
-                continue;
-            }
-            let ev = pos[t];
-            prefix.push((t, ev));
-            match self.replay(prefix, false) {
-                Ok(_) => {
-                    pos[t] += 1;
-                    // A sleeping sibling stays asleep only while its next
-                    // event is independent of what just executed.
-                    let child_sleep: Vec<bool> = (0..k)
-                        .map(|u| u != t && sleep_here[u] && !self.dependent(u, pos[u], t, ev))
-                        .collect();
-                    self.dfs(prefix, pos, &child_sleep);
-                    pos[t] -= 1;
-                }
-                Err(ReplayError::Blocked) => {
-                    self.blocked += 1;
-                    if self.explored + self.blocked + self.infeasible >= self.opts.max_schedules {
-                        self.truncated = true;
-                        self.stop = true;
-                    }
-                }
-                Err(ReplayError::Infeasible) => self.infeasible += 1,
-            }
-            prefix.pop();
-            sleep_here[t] = true;
-            if self.stop {
-                return;
-            }
-        }
-    }
-
-    fn into_result(self) -> ExploreResult {
         ExploreResult {
-            txns: self.labels,
-            levels: self.specs.iter().map(|s| s.level).collect(),
-            total_events: self.n_events.iter().sum(),
-            naive_schedules: multinomial(&self.n_events),
+            txns: ctx.labels,
+            levels: ctx.specs.iter().map(|s| s.level).collect(),
+            total_events: ctx.n_events.iter().sum(),
+            naive_schedules,
             explored: self.explored,
             blocked: self.blocked,
             infeasible: self.infeasible,
@@ -704,6 +804,85 @@ impl<'a> Explorer<'a> {
             serial_errors: self.serial_errors,
             truncated: self.truncated,
         }
+    }
+}
+
+/// Execute all `k!` serial orders (in parallel, merged in permutation
+/// order) and record their observations — the semantic-equivalence
+/// reference set.
+fn run_serial_orders(ctx: &Ctx<'_>, acc: &mut Acc) {
+    let orders: Vec<Vec<(usize, usize)>> = permutations(ctx.specs.len())
+        .into_iter()
+        .map(|perm| {
+            let mut events = Vec::new();
+            for &t in &perm {
+                for ev in 0..ctx.n_events[t] {
+                    events.push((t, ev));
+                }
+            }
+            events
+        })
+        .collect();
+    let results = ordered_map_with(
+        ctx.opts.jobs,
+        &orders,
+        || ctx.new_engine(),
+        |engine, _, events| ctx.replay(engine, events, true),
+    );
+    for r in results {
+        acc.replays += 1;
+        match r {
+            Ok(Some((obs, _))) => {
+                if !acc.serial_obs.contains(&obs) {
+                    acc.serial_obs.push(obs);
+                }
+            }
+            _ => acc.serial_errors += 1,
+        }
+    }
+}
+
+/// The work-sharing frontier: breadth rounds of self-contained DPOR
+/// nodes, expanded by `opts.jobs` workers on private engines, merged in
+/// canonical node order on this thread.
+fn run_frontier(ctx: &Ctx<'_>, acc: &mut Acc) {
+    let k = ctx.specs.len();
+    let mut frontier = vec![Node { prefix: Vec::new(), pos: vec![0; k], sleep: vec![false; k] }];
+    while !frontier.is_empty() && !acc.stop {
+        let outs = ordered_map_with(
+            ctx.opts.jobs,
+            &frontier,
+            || ctx.new_engine(),
+            |engine, _, node| ctx.expand(engine, node),
+        );
+        let mut next = Vec::new();
+        'merge: for (node, out) in frontier.iter().zip(outs) {
+            match out {
+                NodeOut::Leaf(res) => {
+                    acc.replays += 1;
+                    acc.record_leaf(ctx, &node.prefix, res);
+                }
+                NodeOut::Depth => acc.truncated = true,
+                NodeOut::Inner(children) => {
+                    for c in children {
+                        acc.replays += 1;
+                        match c {
+                            ChildOut::Child(n) => next.push(n),
+                            ChildOut::Refused(e) => {
+                                acc.record_refused(e, ctx.opts.max_schedules);
+                            }
+                        }
+                        if acc.stop {
+                            break 'merge;
+                        }
+                    }
+                }
+            }
+            if acc.stop {
+                break 'merge;
+            }
+        }
+        frontier = if acc.stop { Vec::new() } else { next };
     }
 }
 
@@ -750,6 +929,7 @@ fn describe_stmt(s: &Stmt) -> String {
     match s {
         Stmt::ReadItem { item, .. } => format!("READ {}", item.base),
         Stmt::WriteItem { item, .. } => format!("WRITE {}", item.base),
+        Stmt::WriteItemMax { item, .. } => format!("WRITEMAX {}", item.base),
         Stmt::LocalAssign { local, .. } => format!("LET {local}"),
         Stmt::If { .. } => "IF".to_string(),
         Stmt::While { .. } => "WHILE".to_string(),
@@ -910,6 +1090,87 @@ mod tests {
             .expect("explore");
         assert!(r.truncated);
         assert!(r.explored + r.blocked <= 2);
+    }
+
+    /// The tentpole contract: any job count produces the *same* result,
+    /// field for field — counts, verdicts, and the concrete divergent
+    /// witness lists.
+    #[test]
+    fn jobs_do_not_change_any_result_field() {
+        let cases: Vec<(App, Vec<TxnSpec>)> = {
+            let incr_app = App::new().with_program(incr());
+            let rw_app = App::new().with_program(two_step_writer()).with_program(reader());
+            let rc = IsolationLevel::ReadCommitted;
+            let ru = IsolationLevel::ReadUncommitted;
+            let incr_specs =
+                specs_for(&incr_app, &["Incr".into(), "Incr".into()], &[rc, rc]).expect("specs");
+            let rw_specs = two_specs(&rw_app, "W", "R", ru, ru);
+            vec![(incr_app, incr_specs), (rw_app, rw_specs)]
+        };
+        for (app, specs) in &cases {
+            let base = explore(app, specs, &ExploreOptions::default()).expect("jobs=1");
+            for jobs in [2, 8] {
+                let par = explore(app, specs, &ExploreOptions { jobs, ..Default::default() })
+                    .expect("parallel");
+                assert_eq!(format!("{base:?}"), format!("{par:?}"), "jobs={jobs} diverged");
+            }
+        }
+    }
+
+    /// Conservation: the blocked/explored/infeasible buckets plus the
+    /// DPOR-pruned remainder tile the enumerated total — no schedule is
+    /// double-counted between workers (blocked prefixes from instantly
+    /// refused lock acquisitions included).
+    #[test]
+    fn classification_buckets_tile_the_enumerated_total() {
+        let app = App::new().with_program(incr());
+        let ser = IsolationLevel::Serializable;
+        let specs: Vec<TxnSpec> =
+            specs_for(&app, &["Incr".into(), "Incr".into()], &[ser, ser]).expect("specs");
+        let r = explore(&app, &specs, &ExploreOptions { jobs: 4, ..Default::default() })
+            .expect("explore");
+        assert!(r.blocked > 0, "long read locks must refuse racy prefixes: {r:?}");
+        let ran = r.explored as u128 + r.blocked as u128 + r.infeasible as u128;
+        assert!(ran <= r.naive_schedules);
+        assert_eq!(r.pruned() + ran, r.naive_schedules, "buckets + pruned must tile: {r:?}");
+    }
+
+    #[test]
+    fn abort_sweep_is_jobs_invariant() {
+        let app = App::new().with_program(two_step_writer()).with_program(reader());
+        let specs = two_specs(
+            &app,
+            "W",
+            "R",
+            IsolationLevel::ReadUncommitted,
+            IsolationLevel::ReadUncommitted,
+        );
+        let seq = explore_with_aborts(&app, &specs, &ExploreOptions::default(), 0).expect("jobs=1");
+        let par =
+            explore_with_aborts(&app, &specs, &ExploreOptions { jobs: 8, ..Default::default() }, 0)
+                .expect("jobs=8");
+        assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+    }
+
+    #[test]
+    fn level_sweep_is_jobs_invariant_and_ordered() {
+        let app = App::new().with_program(incr());
+        let names = vec!["Incr".to_string(), "Incr".to_string()];
+        let vectors: Vec<Vec<IsolationLevel>> =
+            IsolationLevel::ALL.iter().map(|&l| vec![l, l]).collect();
+        let seq = explore_sweep(&app, &names, &vectors, &ExploreOptions::default()).expect("seq");
+        let par = explore_sweep(
+            &app,
+            &names,
+            &vectors,
+            &ExploreOptions { jobs: 8, ..Default::default() },
+        )
+        .expect("par");
+        assert_eq!(seq.len(), vectors.len());
+        for (i, ((_, a), (_, b))) in seq.iter().zip(&par).enumerate() {
+            assert_eq!(a.levels, vectors[i], "results stay in vector order");
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "vector {i} diverged");
+        }
     }
 
     #[test]

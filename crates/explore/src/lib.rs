@@ -29,9 +29,11 @@ mod diff;
 mod explore;
 mod spec;
 
-pub use diff::{differential, Differential, DifferentialVerdict};
+pub use diff::{
+    differential, differential_batch, differential_with_jobs, Differential, DifferentialVerdict,
+};
 pub use explore::{
-    explore, explore_with_aborts, AbortCase, DivergentSchedule, ExploreOptions, ExploreResult,
-    MAX_DIVERGENT_EXAMPLES,
+    explore, explore_sweep, explore_with_aborts, AbortCase, DivergentSchedule, ExploreOptions,
+    ExploreResult, MAX_DIVERGENT_EXAMPLES,
 };
 pub use spec::{level_map, specs_for, sub_app, TxnSpec};

@@ -117,6 +117,18 @@ fn exec_stmt(txn: &mut Txn, stmt: &Stmt, frame: &mut Frame<'_>) -> Result<(), En
                 .ok_or_else(|| EngineError::Invalid(format!("unbound value {value}")))?;
             txn.write(&name, v)?;
         }
+        Stmt::WriteItemMax { item, value } => {
+            let name = resolve_item(item, frame)?;
+            let env = |v: &Var| frame.lookup(v);
+            let floor = match eval_expr(value, &env) {
+                Some(Value::Int(i)) => i,
+                Some(other) => {
+                    return Err(EngineError::Invalid(format!("non-integer max floor {other:?}")))
+                }
+                None => return Err(EngineError::Invalid(format!("unbound value {value}"))),
+            };
+            txn.write_max(&name, floor)?;
+        }
         Stmt::LocalAssign { local, value } => {
             let env = |v: &Var| frame.lookup(v);
             let v = eval_expr(value, &env)

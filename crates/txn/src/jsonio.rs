@@ -68,6 +68,10 @@ impl ToJson for Stmt {
                 "WriteItem",
                 Json::obj([("item", item.to_json()), ("value", value.to_json())]),
             ),
+            Stmt::WriteItemMax { item, value } => Json::tagged(
+                "WriteItemMax",
+                Json::obj([("item", item.to_json()), ("value", value.to_json())]),
+            ),
             Stmt::LocalAssign { local, value } => Json::tagged(
                 "LocalAssign",
                 Json::obj([("local", Json::str(local)), ("value", value.to_json())]),
@@ -138,6 +142,9 @@ impl FromJson for Stmt {
         match tag {
             "ReadItem" => Ok(Stmt::ReadItem { item: p.field("item")?, into: p.field("into")? }),
             "WriteItem" => Ok(Stmt::WriteItem { item: p.field("item")?, value: p.field("value")? }),
+            "WriteItemMax" => {
+                Ok(Stmt::WriteItemMax { item: p.field("item")?, value: p.field("value")? })
+            }
             "LocalAssign" => {
                 Ok(Stmt::LocalAssign { local: p.field("local")?, value: p.field("value")? })
             }

@@ -71,7 +71,8 @@ pub fn run_program_monitored(
     for a in program.all_stmts() {
         match &a.stmt {
             crate::stmt::Stmt::ReadItem { item, .. }
-            | crate::stmt::Stmt::WriteItem { item, .. } => {
+            | crate::stmt::Stmt::WriteItem { item, .. }
+            | crate::stmt::Stmt::WriteItemMax { item, .. } => {
                 if let Some(idx) = &item.index {
                     item_indices.entry(item.base.clone()).or_insert_with(|| idx.clone());
                 }

@@ -84,7 +84,9 @@ impl Program {
             .collect();
         match &read.stmt {
             Stmt::ReadItem { item, .. } => top_level_writes.iter().any(|s| match s {
-                Stmt::WriteItem { item: w, .. } => w.base == item.base,
+                Stmt::WriteItem { item: w, .. } | Stmt::WriteItemMax { item: w, .. } => {
+                    w.base == item.base
+                }
                 _ => false,
             }),
             _ => false,

@@ -57,6 +57,18 @@ pub enum Stmt {
         /// New value (over locals/params/logical constants).
         value: Expr,
     },
+    /// `x := max(x, e)` — monotone write of a database item. The engine
+    /// evaluates `e`, acquires the item's long X lock, and stores the
+    /// maximum of the current value and `e` as one atomic read-modify-write
+    /// (the item analogue of the in-place `Update` increment idiom): no
+    /// other transaction can slip a write between the implicit re-read and
+    /// the store, so a stale `e` can never clobber the item smaller.
+    WriteItemMax {
+        /// Item written.
+        item: ItemRef,
+        /// Floor value (over locals/params/logical constants).
+        value: Expr,
+    },
     /// `X := e` — local assignment.
     LocalAssign {
         /// Local variable.
@@ -148,6 +160,7 @@ impl Stmt {
         matches!(
             self,
             Stmt::WriteItem { .. }
+                | Stmt::WriteItemMax { .. }
                 | Stmt::Update { .. }
                 | Stmt::Insert { .. }
                 | Stmt::Delete { .. }

@@ -280,7 +280,7 @@ pub struct WriteFootprint {
 pub fn write_footprint(program: &Program) -> WriteFootprint {
     let mut fp = WriteFootprint::default();
     crate::stmt::visit_stmts(&program.body, &mut |a| match &a.stmt {
-        Stmt::WriteItem { item, .. } => {
+        Stmt::WriteItem { item, .. } | Stmt::WriteItemMax { item, .. } => {
             fp.items.insert(item.base.clone());
         }
         Stmt::Update { table, .. } | Stmt::Insert { table, .. } | Stmt::Delete { table, .. } => {
@@ -479,6 +479,25 @@ fn exec_stmt_sym(stmt: &Stmt, states: &mut Vec<SymState>, opts: &SymOptions) {
                 }
             }
         }
+        Stmt::WriteItemMax { item, value } => {
+            // x := max(x, e). The new value is a fresh skolem bounded below
+            // by both the old value and the floor — exactly the facts the
+            // interference theorems need to see that the write is monotone.
+            // The implicit re-read happens under the item's X lock, so it is
+            // not an interference-exposed read (mirror of how `Update`'s
+            // `Field` references are part of the atomic effect).
+            for st in states.iter_mut() {
+                let old = st.read_item(&item.base);
+                let floor = st.subst().apply_expr(value);
+                let m = FreshVars::fresh(&format!("max_{}", item.base));
+                st.conds.push(Pred::ge(Expr::Var(m.clone()), old));
+                st.conds.push(Pred::ge(Expr::Var(m.clone()), floor));
+                st.db.insert(item.base.clone(), Expr::Var(m));
+                if st.reads.items.iter().any(|r| r == &item.base) {
+                    st.reads.rmw_items.insert(item.base.clone());
+                }
+            }
+        }
         Stmt::LocalAssign { local, value } => {
             for st in states.iter_mut() {
                 let v = st.subst().apply_expr(value);
@@ -672,7 +691,7 @@ fn havoc_block(block: &[AStmt], st: &mut SymState) {
         | Stmt::SelectValue { table, .. } => {
             read_tables.insert(table.clone());
         }
-        Stmt::WriteItem { item, .. } => {
+        Stmt::WriteItem { item, .. } | Stmt::WriteItemMax { item, .. } => {
             written_items.insert(item.base.clone());
         }
         _ => {}
@@ -689,7 +708,7 @@ fn havoc_block(block: &[AStmt], st: &mut SymState) {
         st.reads.regions.push((t.clone(), RowPred::True));
     }
     crate::stmt::visit_stmts(block, &mut |a| match &a.stmt {
-        Stmt::WriteItem { item, .. } => {
+        Stmt::WriteItem { item, .. } | Stmt::WriteItemMax { item, .. } => {
             st.havoc_items.insert(item.base.clone());
             st.db.remove(&item.base);
         }

@@ -306,6 +306,26 @@ pub fn simulate(app: &App, opts: &FaultSimOptions) -> Result<FaultSimReport, Str
     Ok(report)
 }
 
+/// Run the fault simulation once per seed, fanned out over `jobs`
+/// workers. Each run keeps its single-threaded driver (the plan-sweep
+/// determinism of [`simulate`] depends on every fault ordinal being drawn
+/// from the run's own `(seed, site, ordinal)` stream with no concurrent
+/// interleaving), so the parallelism lives at the seed level: runs share
+/// nothing, and reports come back in seed order — identical, wall-clock
+/// fields aside, at every job count.
+pub fn simulate_sweep(
+    app: &App,
+    base: &FaultSimOptions,
+    seeds: &[u64],
+    jobs: usize,
+) -> Result<Vec<FaultSimReport>, String> {
+    semcc_par::ordered_map(jobs, seeds, |_, &seed| {
+        simulate(app, &FaultSimOptions { seed, ..base.clone() })
+    })
+    .into_iter()
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +345,25 @@ mod tests {
         assert!(a.clean(), "auditor violations: {:?}", a.violations);
         assert!(a.injected > 0, "default mix over 40 txns must inject");
         assert!(format!("{:?}", strip_wallclock(&a)) == format!("{:?}", strip_wallclock(&b)));
+    }
+
+    #[test]
+    fn seed_sweep_is_jobs_invariant() {
+        let app = payroll::app();
+        let base = FaultSimOptions { txns: 12, ..FaultSimOptions::default() };
+        let seeds = [1u64, 2, 3, 4, 5, 6];
+        let seq = simulate_sweep(&app, &base, &seeds, 1).expect("jobs=1");
+        let par = simulate_sweep(&app, &base, &seeds, 8).expect("jobs=8");
+        assert_eq!(seq.len(), seeds.len());
+        for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+            assert_eq!(a.seed, seeds[i], "reports stay in seed order");
+            assert_eq!(
+                format!("{:?}", strip_wallclock(a)),
+                format!("{:?}", strip_wallclock(b)),
+                "seed {} diverged between job counts",
+                seeds[i]
+            );
+        }
     }
 
     #[test]

@@ -28,4 +28,4 @@ pub mod payroll;
 pub mod tpcc;
 
 pub use driver::{run_mix, run_mix_with_policy, AbortClass, MixSpec, RetryPolicy, RunStats};
-pub use faultsim::{simulate, FaultSimOptions, FaultSimReport};
+pub use faultsim::{simulate, simulate_sweep, FaultSimOptions, FaultSimReport};

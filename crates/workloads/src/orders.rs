@@ -165,7 +165,26 @@ pub fn new_order(strict: bool) -> Program {
             maxdate_read_post.clone(),
         )
         .stmt(
-            Stmt::WriteItem {
+            // Monotone write: maximum_date := max(maximum_date, :maxdate+1),
+            // one atomic RMW under the long X lock (the item analogue of the
+            // in-place num_orders increment below). A plain `:maxdate + 1`
+            // write is a genuine lost update at READ COMMITTED: with three
+            // overlapping New_Orders, a writer holding a stale :maxdate can
+            // clobber maximum_date *smaller* after newer orders committed,
+            // breaking the Unit-scope Imax lemma the RC assignment rests on.
+            // Theorem 3's read-followed-by-write exemption does not rescue
+            // plain RC here — it only discharges the read's interference
+            // obligation under *first-committer-wins* validation, which the
+            // base rule deliberately runs without (Section 6 reserves RC+FCW
+            // for the strict rule). The max semantics makes the lemma hold
+            // at plain RC: the committed value can only grow, and it always
+            // dominates this transaction's own insert date :maxdate + 1, so
+            // Imax ("maximum_date tracks the latest delivery date") is
+            // preserved under every interleaving. The strict variant's
+            // RC+FCW story is untouched: the stmt-0 read is still followed
+            // by this write of the same item, so FCW still aborts the
+            // second committer and prevents the duplicate date.
+            Stmt::WriteItemMax {
                 item: ItemRef::plain("maximum_date"),
                 value: Expr::local("maxdate").add(Expr::int(1)),
             },

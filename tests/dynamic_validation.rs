@@ -97,6 +97,53 @@ fn tpcc_assigned_levels_hold_dynamically() {
 }
 
 #[test]
+fn imax_survives_a_stale_new_order_writer_at_read_committed() {
+    // Regression for the orders Imax flake: under the old plain
+    // `maximum_date := :maxdate + 1` write, a New_Order that read
+    // `maximum_date` early and wrote late could clobber the item *smaller*
+    // after fresher orders committed — breaking Imax ("maximum_date tracks
+    // the latest delivery date") at the assigned READ COMMITTED level.
+    // This pins the exact three-transaction interleaving that used to
+    // fire (the run_mix seed-3 flake distilled): T1 reads, two peers
+    // commit newer dates, T1 writes with its stale local. The monotone
+    // WriteItemMax must keep the committed value at the peers' maximum.
+    use semcc::txn::interp::Stepper;
+    use semcc::txn::Bindings;
+    let e = engine(false);
+    orders::setup(&e, 4);
+    let p = orders::new_order(false);
+    let binds = |customer: &str, info: i64| {
+        Bindings::new().set("customer", customer.to_string()).set("address", "x").set("info", info)
+    };
+    let initial_max = e.peek_item("maximum_date").expect("item").as_int().expect("int");
+
+    // T1 executes only its stmt 0 (the maximum_date read) and stalls with
+    // the stale value in :maxdate. RC's short read lock releases at once,
+    // so the peers below are free to advance the item.
+    let b1 = binds("stale", 1);
+    let mut t1 = Stepper::begin(&e, &p, IsolationLevel::ReadCommitted, &b1);
+    t1.step().expect("T1 reads maximum_date");
+    for i in 0..2i64 {
+        let bi = binds(&format!("fresh{i}"), 10 + i);
+        let mut t = Stepper::begin(&e, &p, IsolationLevel::ReadCommitted, &bi);
+        t.run_to_end().expect("peer runs");
+        t.commit().expect("peer commits");
+    }
+    t1.run_to_end().expect("T1 resumes with a stale :maxdate");
+    t1.commit().expect("T1 commits");
+
+    let max_after = e.peek_item("maximum_date").expect("item").as_int().expect("int");
+    assert_eq!(
+        max_after,
+        initial_max + 2,
+        "the stale writer must not shrink maximum_date below the peers' {}",
+        initial_max + 2
+    );
+    let v = orders::integrity_violations(&e, false);
+    assert!(v.is_empty(), "Imax must survive the pinned clobber interleaving: {v:?}");
+}
+
+#[test]
 fn ladder_is_monotone_on_all_workloads() {
     // Once a transaction passes at some ladder level, it must pass at every
     // stronger lock-based level (the Section 5 procedure implicitly relies
