@@ -70,6 +70,39 @@ explore_expect 0 "$tmpdir/banking.json" \
     --txns Withdraw_sav,Withdraw_ch --levels RR,RR
 echo "   banking Withdraw_sav/Withdraw_ch: DIVERGENT at SI, CLEAN at RR"
 
+echo "== edge refinement gate (--refine must not move any Example 2/3 verdict) =="
+# The prover-refined dependence relation only deletes proven-infeasible
+# conflicts: every paper-example verdict must be identical with it on.
+explore_expect 1 "$tmpdir/payroll.json" \
+    --txns Hours,Print_Records --levels RU,RU --seed emp.rate=10 --refine
+explore_expect 0 "$tmpdir/payroll.json" \
+    --txns Hours,Print_Records --levels SER,SER --seed emp.rate=10 --refine
+explore_expect 1 "$tmpdir/banking.json" \
+    --txns Withdraw_sav,Withdraw_ch --levels SI,SI --refine
+explore_expect 0 "$tmpdir/banking.json" \
+    --txns Withdraw_sav,Withdraw_ch --levels RR,RR --refine
+echo "   explore --refine: verdicts unchanged on Examples 2 & 3"
+lint_expect() {
+    want=$1; shift
+    rc=0
+    cargo run -q -p semcc-cli -- lint "$@" > /dev/null || rc=$?
+    if [ "$rc" -ne "$want" ]; then
+        echo "ci: lint $* exited $rc, expected $want" >&2
+        exit 1
+    fi
+}
+lint_expect 1 "$tmpdir/banking.json"
+lint_expect 1 "$tmpdir/banking.json" --refine
+lint_expect 0 "$tmpdir/orders.json"
+lint_expect 0 "$tmpdir/orders.json" --refine
+echo "   lint --refine: verdicts unchanged (banking diagnosed, orders clean)"
+# A refined certificate's pruning justifications replay in the
+# independent checker.
+cargo run -q -p semcc-cli -- certify "$tmpdir/orders.json" --refine \
+    --out "$tmpdir/orders.refine.cert.json" > /dev/null || true
+cargo run -q -p semcc-cli -- verify-cert "$tmpdir/orders.refine.cert.json" > /dev/null
+echo "   certify --refine: prune proofs replay in semcc-cert"
+
 echo "== parallel determinism (explore --jobs 8 byte-matches --jobs 1) =="
 # The work-sharing frontier must be invisible in the output: the full JSON
 # report — schedule counts, verdicts, step-by-step divergent witnesses —
@@ -169,7 +202,25 @@ if [ "${1:-}" != "--fast" ]; then
     echo "== table_par (parallel scaling rows + runtime identity assertion) =="
     cargo run -q --release -p semcc-bench --bin table_par > "$tmpdir/table_par.txt"
     echo "   table_par: results identical at jobs 1/2/4/8"
+
+    echo "== table_refine smoke (precision asserted, jobs 1 vs 4 byte-identical) =="
+    # The binary itself asserts: >0 prunes, >0 STATIC-OVERAPPROX -> AGREE
+    # conversions, schedules saved, zero soundness violations.
+    cargo run -q --release -p semcc-bench --bin table_refine -- --jobs 1 \
+        > "$tmpdir/table_refine.1.txt"
+    cargo run -q --release -p semcc-bench --bin table_refine -- --jobs 4 \
+        > "$tmpdir/table_refine.4.txt"
+    if ! cmp -s "$tmpdir/table_refine.1.txt" "$tmpdir/table_refine.4.txt"; then
+        echo "ci: table_refine differs between --jobs 1 and --jobs 4" >&2
+        diff "$tmpdir/table_refine.1.txt" "$tmpdir/table_refine.4.txt" >&2 || true
+        exit 1
+    fi
+    echo "   table_refine: precision assertions hold, byte-identical at jobs 1 vs 4"
 fi
+
+echo "== rustdoc (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+echo "   cargo doc: no warnings"
 
 echo "== fault-plan property suite (~200 seeded random plans, all levels) =="
 cargo test -q -p semcc-workloads --test faultsim_prop > /dev/null

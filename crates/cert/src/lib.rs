@@ -8,7 +8,7 @@
 //! path summary, and — for the arithmetic core — a Fourier–Motzkin
 //! refutation trace of the negated implication ([`UnsatProof`]).
 //!
-//! [`verify`] re-validates a [`Certificate`] using only predicate
+//! [`verify()`] re-validates a [`Certificate`] using only predicate
 //! evaluation and substitution plus the from-scratch kernel in this crate;
 //! it never invokes the prover, so the analyzer and the checker fail
 //! independently.
@@ -127,6 +127,34 @@ pub struct TxnCert {
     pub failures: Vec<String>,
 }
 
+/// A certified refinement prune: one table constituent of a syntactic
+/// dependence edge proven infeasible. The refinement pass records, per
+/// pruned constituent, every feasibility obligation it discharged together
+/// with the Fourier–Motzkin refutation trace; [`verify()`] replays each proof
+/// against the kernel's own DNF expansion of the obligation, exactly as it
+/// replays [`Step::Substitution`] proofs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PruneCert {
+    /// Source transaction of the pruned edge.
+    pub from: String,
+    /// Target transaction of the pruned edge.
+    pub to: String,
+    /// Dependence kind of the edge (`wr`, `rw`, or `ww`).
+    pub kind: String,
+    /// Table constituent removed from the edge.
+    pub table: String,
+    /// Refinement rule that produced the obligations
+    /// (`insert-beyond-region` or `region-region`).
+    pub rule: String,
+    /// Trusted premises the obligations assume (declared transaction
+    /// preconditions, printed).
+    pub premises: Vec<String>,
+    /// Each discharged feasibility obligation with its refutation. The
+    /// predicate states that some row is simultaneously in both sides'
+    /// footprints; the proof refutes every DNF branch of it.
+    pub obligations: Vec<(Pred, UnsatProof)>,
+}
+
 /// A preservation lemma declared by the application (trusted premise).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LemmaDecl {
@@ -147,6 +175,9 @@ pub struct Certificate {
     pub lemmas: Vec<LemmaDecl>,
     /// Per-(transaction, level) reports.
     pub reports: Vec<TxnCert>,
+    /// Refinement prunes (empty for certificates produced without
+    /// `--refine`; absent in pre-refinement certificate files).
+    pub prunes: Vec<PruneCert>,
 }
 
 impl ToJson for Step {
@@ -272,12 +303,41 @@ impl FromJson for LemmaDecl {
     }
 }
 
+impl ToJson for PruneCert {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("from", Json::str(&self.from)),
+            ("to", Json::str(&self.to)),
+            ("kind", Json::str(&self.kind)),
+            ("table", Json::str(&self.table)),
+            ("rule", Json::str(&self.rule)),
+            ("premises", self.premises.to_json()),
+            ("obligations", self.obligations.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PruneCert {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(PruneCert {
+            from: j.field("from")?,
+            to: j.field("to")?,
+            kind: j.field("kind")?,
+            table: j.field("table")?,
+            rule: j.field("rule")?,
+            premises: j.field("premises")?,
+            obligations: j.field("obligations")?,
+        })
+    }
+}
+
 impl ToJson for Certificate {
     fn to_json(&self) -> Json {
         Json::obj([
             ("app", Json::str(&self.app)),
             ("lemmas", self.lemmas.to_json()),
             ("reports", self.reports.to_json()),
+            ("prunes", self.prunes.to_json()),
         ])
     }
 }
@@ -288,6 +348,7 @@ impl FromJson for Certificate {
             app: j.field("app")?,
             lemmas: j.field("lemmas")?,
             reports: j.field("reports")?,
+            prunes: j.opt_field("prunes")?.unwrap_or_default(),
         })
     }
 }

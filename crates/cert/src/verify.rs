@@ -1,7 +1,7 @@
 //! Certificate verification.
 
 use crate::kernel;
-use crate::{Certificate, LemmaDecl, ObligationCert, Step};
+use crate::{Certificate, LemmaDecl, ObligationCert, PruneCert, Step};
 use semcc_logic::certtrace::UnsatProof;
 use semcc_logic::subst::Subst;
 use semcc_logic::{Expr, Pred, Var};
@@ -17,6 +17,8 @@ pub struct VerifyReport {
     /// Trusted steps accepted as premises (lemmas, footprint and
     /// table-region rules).
     pub trusted_steps: usize,
+    /// Refinement-prune feasibility proofs fully replayed.
+    pub prune_proofs: usize,
     /// Verification errors (empty iff the certificate is valid).
     pub errors: Vec<String>,
 }
@@ -51,7 +53,52 @@ pub fn verify(cert: &Certificate) -> VerifyReport {
             }
         }
     }
+    for (i, prune) in cert.prunes.iter().enumerate() {
+        let whre =
+            format!("prune #{i} ({}→{} {} on `{}`)", prune.from, prune.to, prune.kind, prune.table);
+        for err in verify_prune(prune, &mut report) {
+            report.errors.push(format!("{whre}: {err}"));
+        }
+    }
     report
+}
+
+/// Replay a refinement prune: each recorded obligation's refutation is
+/// validated positionally against the kernel's own DNF expansion of the
+/// obligation. A prune with no obligations proves nothing and is rejected.
+fn verify_prune(prune: &PruneCert, report: &mut VerifyReport) -> Vec<String> {
+    let mut errors = Vec::new();
+    if prune.obligations.is_empty() {
+        errors.push("no feasibility obligations recorded".into());
+    }
+    for (k, (obligation, proof)) in prune.obligations.iter().enumerate() {
+        let branches = match kernel::dnf_branches(obligation, kernel::MAX_BRANCHES) {
+            Some(b) => b,
+            None => {
+                errors.push(format!("obligation #{k}: DNF expansion exceeded the branch budget"));
+                continue;
+            }
+        };
+        if branches.len() != proof.branches.len() {
+            errors.push(format!(
+                "obligation #{k}: proof has {} branch refutations, expansion has {} branches",
+                proof.branches.len(),
+                branches.len()
+            ));
+            continue;
+        }
+        let mut ok = true;
+        for (i, (lits, refutation)) in branches.iter().zip(&proof.branches).enumerate() {
+            if let Err(e) = kernel::verify_refutation(lits, refutation) {
+                errors.push(format!("obligation #{k} branch {i}: {e}"));
+                ok = false;
+            }
+        }
+        if ok {
+            report.prune_proofs += 1;
+        }
+    }
+    errors
 }
 
 fn verify_obligation(

@@ -157,6 +157,7 @@ fn certificate(rng: &mut StdRng) -> Certificate {
                 }
             })
             .collect(),
+        prunes: Vec::new(),
     }
 }
 

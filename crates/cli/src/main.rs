@@ -29,8 +29,9 @@ use semcc_core::theorems::check_at_level;
 use semcc_core::{certify_app, lint, replay_witness, App, LintReport, Witness, WitnessOutcome};
 use semcc_engine::{FaultMix, IsolationLevel};
 use semcc_explore::{
-    differential_batch, differential_with_jobs, explore, explore_sweep, explore_with_aborts,
-    specs_for, Differential, ExploreOptions, ExploreResult,
+    differential_batch, differential_refined_batch, differential_refined_with_jobs,
+    differential_with_jobs, explore, explore_sweep, explore_with_aborts, specs_for, Differential,
+    ExploreOptions, ExploreResult,
 };
 use semcc_json::Json;
 use semcc_par::ordered_map;
@@ -88,23 +89,29 @@ fn print_usage() {
     println!("  semcc export <banking|orders|orders-strict|payroll|tpcc> <out.json>");
     println!("  semcc analyze <app.json> [--ansi]");
     println!("  semcc check <app.json> <transaction> <LEVEL>");
-    println!("  semcc lint <app.json> [--levels L1,L2,...] [--witness] [--jobs N] [--json]");
+    println!("  semcc lint <app.json> [--levels V1[;V2;...]] [--refine] [--witness]");
+    println!("             [--jobs N] [--json]");
     println!("  semcc explore <app.json> [--txns T1,T2[,T3]] [--levels L1,L2[,L3][;...]]");
     println!("                [--seed item=V | table.col=V]... [--max-depth N]");
-    println!("                [--max-schedules N] [--faults [VICTIM]]");
+    println!("                [--max-schedules N] [--faults [VICTIM]] [--refine]");
     println!("                [--lock-timeout-ms N] [--jobs N] [--json]");
     println!("  semcc faultsim <app.json> [--seed N] [--seeds N] [--jobs N] [--txns N]");
     println!("                 [--levels L1[,L2,...]] [--mix CLASS=P,...]");
     println!("                 [--lock-timeout-ms N] [--max-attempts N] [--json]");
     println!("  semcc verify <app.json>");
     println!("  semcc obligations <app.json>");
-    println!("  semcc certify <app.json> [--out cert.json]");
+    println!("  semcc certify <app.json> [--refine] [--out cert.json]");
     println!("  semcc verify-cert <cert.json>");
     println!();
     println!("LEVELs: \"READ UNCOMMITTED\", \"READ COMMITTED\", \"READ COMMITTED+FCW\",");
     println!("        \"REPEATABLE READ\", \"SNAPSHOT\", \"SERIALIZABLE\"");
     println!("        (lint --levels also accepts RU, RC, RCFCW, RR, SI, SER,");
-    println!("         one per transaction type in program order)");
+    println!("         one per transaction type in program order; `;` separates");
+    println!("         level vectors in a sweep, deduplicating diagnostics)");
+    println!();
+    println!("--refine runs the prover-backed SDG edge-refinement pass (semcc-refine):");
+    println!("  lint/explore use the pruned dependence relation plus the static");
+    println!("  deadlock predictor; certify attaches replayable pruning proofs.");
     println!();
     println!("exit codes: 0 clean, 1 diagnostics emitted, 2 usage/IO error");
 }
@@ -208,11 +215,49 @@ fn parse_level(token: &str) -> Result<IsolationLevel, String> {
     }
 }
 
+/// Parse one `--levels` vector (`L1,L2,...`, one level per program) into
+/// a level map plus a short display label like `RU,RC,SER`.
+fn parse_level_vector(
+    app: &App,
+    group: &str,
+) -> Result<(BTreeMap<String, IsolationLevel>, String), String> {
+    let tokens: Vec<&str> = group.split(',').map(str::trim).collect();
+    if tokens.len() != app.programs.len() {
+        return Err(format!(
+            "--levels got {} level(s) for {} transaction type(s) ({})",
+            tokens.len(),
+            app.programs.len(),
+            app.programs.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(", ")
+        ));
+    }
+    let mut m = BTreeMap::new();
+    let mut label = Vec::new();
+    for (p, t) in app.programs.iter().zip(tokens) {
+        let l = parse_level(t)?;
+        m.insert(p.name.clone(), l);
+        label.push(level_code(l));
+    }
+    Ok((m, label.join(",")))
+}
+
+/// The short code of a level (`RU`, `RC`, `RCFCW`, `RR`, `SI`, `SER`).
+fn level_code(l: IsolationLevel) -> &'static str {
+    match l {
+        IsolationLevel::ReadUncommitted => "RU",
+        IsolationLevel::ReadCommitted => "RC",
+        IsolationLevel::ReadCommittedFcw => "RCFCW",
+        IsolationLevel::RepeatableRead => "RR",
+        IsolationLevel::Snapshot => "SI",
+        IsolationLevel::Serializable => "SER",
+    }
+}
+
 fn cmd_lint(args: &[String]) -> CmdResult {
     let mut path: Option<&String> = None;
     let mut levels_arg: Option<&String> = None;
     let mut json_out = false;
     let mut witness = false;
+    let mut refine = false;
     let mut jobs = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -222,6 +267,7 @@ fn cmd_lint(args: &[String]) -> CmdResult {
             }
             "--json" => json_out = true,
             "--witness" => witness = true,
+            "--refine" => refine = true,
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a number")?;
                 jobs = v.parse().map_err(|_| format!("bad --jobs `{v}`"))?;
@@ -231,29 +277,40 @@ fn cmd_lint(args: &[String]) -> CmdResult {
         }
     }
     let path = path.ok_or(
-        "usage: semcc lint <app.json> [--levels L1,L2,...] [--witness] [--jobs N] [--json]",
+        "usage: semcc lint <app.json> [--levels L1,L2,...[;...]] [--witness] [--refine] \
+         [--jobs N] [--json]",
     )?;
     let app = load_app(path)?;
+    // `--levels A;B;...` is a sweep: each `;` group is one full vector,
+    // linted independently, with repeated diagnostics deduplicated.
+    if let Some(list) = levels_arg {
+        if list.contains(';') {
+            if witness {
+                return Err("--witness cannot be combined with a `;` level-vector sweep".into());
+            }
+            let vectors: Vec<(BTreeMap<String, IsolationLevel>, String)> = list
+                .split(';')
+                .map(|group| parse_level_vector(&app, group))
+                .collect::<Result<_, _>>()?;
+            return lint_level_sweep(&app, &vectors, refine, json_out);
+        }
+    }
     let levels: Option<BTreeMap<String, IsolationLevel>> = match levels_arg {
         None => None,
-        Some(list) => {
-            let tokens: Vec<&str> = list.split(',').map(str::trim).collect();
-            if tokens.len() != app.programs.len() {
-                return Err(format!(
-                    "--levels got {} level(s) for {} transaction type(s) ({})",
-                    tokens.len(),
-                    app.programs.len(),
-                    app.programs.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(", ")
-                ));
-            }
-            let mut m = BTreeMap::new();
-            for (p, t) in app.programs.iter().zip(tokens) {
-                m.insert(p.name.clone(), parse_level(t)?);
-            }
-            Some(m)
-        }
+        Some(list) => Some(parse_level_vector(&app, list)?.0),
     };
-    let report = lint(&app, levels.as_ref());
+    let mut report = lint(&app, levels.as_ref());
+    let refinement = if refine {
+        let base = semcc_core::DepGraph::build(&app);
+        let refined = semcc_refine::refine(&app, &base);
+        let level_map: BTreeMap<String, IsolationLevel> = report.levels.iter().cloned().collect();
+        let advisories = semcc_refine::predict_deadlocks(&app, &level_map);
+        // The provenance edges reported downstream are the refined ones.
+        report.edges = refined.graph.edges.clone();
+        Some((refined, advisories))
+    } else {
+        None
+    };
     // The prover pass above stays single-threaded (its fresh-name stream
     // shows up in rendered diagnostics); only the engine-level witness
     // replays fan out, one per diagnostic, merged back in diagnostic order.
@@ -267,11 +324,17 @@ fn cmd_lint(args: &[String]) -> CmdResult {
         if let (Some(ws), Json::Obj(fields)) = (&witnesses, &mut json) {
             fields.push(("witnesses".to_string(), witnesses_json(ws)));
         }
+        if let (Some((refined, advisories)), Json::Obj(fields)) = (&refinement, &mut json) {
+            fields.push(("refine".to_string(), refine_json(refined, advisories)));
+        }
         println!("{}", json.to_pretty());
     } else {
         print_lint_report(&report);
         if let Some(ws) = &witnesses {
             print_witnesses(ws);
+        }
+        if let Some((refined, advisories)) = &refinement {
+            print_refinement(refined, advisories);
         }
     }
     if report.clean() {
@@ -279,6 +342,218 @@ fn cmd_lint(args: &[String]) -> CmdResult {
     } else {
         Ok(Findings::Diagnostics)
     }
+}
+
+/// `lint --levels A;B;...`: lint each vector, report each distinct
+/// diagnostic once — keyed by (code, transaction, partner, statements) —
+/// with the list of level vectors it fires at. Repeats across a sweep are
+/// the common case (a W001 at RU usually persists at RC), so the deduped
+/// view is the readable one; the exit code still reflects *any* finding.
+fn lint_level_sweep(
+    app: &App,
+    vectors: &[(BTreeMap<String, IsolationLevel>, String)],
+    refine: bool,
+    json_out: bool,
+) -> CmdResult {
+    // (code, txn, partner, statements) → (first diagnostic, vector labels)
+    type Key = (String, String, Option<String>, Vec<String>);
+    let mut seen: Vec<(Key, semcc_core::Diagnostic, Vec<String>)> = Vec::new();
+    let mut any = false;
+    for (levels, label) in vectors {
+        let report = lint(app, Some(levels));
+        any |= !report.clean();
+        for d in report.diagnostics {
+            let key: Key = (d.code.clone(), d.txn.clone(), d.partner.clone(), d.statements.clone());
+            match seen.iter_mut().find(|(k, _, _)| *k == key) {
+                Some((_, _, labels)) => labels.push(label.clone()),
+                None => seen.push((key, d, vec![label.clone()])),
+            }
+        }
+    }
+    // Deadlock advisories dedupe the same way, keyed by the participant
+    // pair and the chain (the chain embeds the lock scopes and modes).
+    let mut advisories: Vec<(semcc_refine::DeadlockAdvisory, Vec<String>)> = Vec::new();
+    if refine {
+        for (levels, label) in vectors {
+            for a in semcc_refine::predict_deadlocks(app, levels) {
+                match advisories
+                    .iter_mut()
+                    .find(|(x, _)| x.a == a.a && x.b == a.b && x.chain == a.chain)
+                {
+                    Some((_, labels)) => labels.push(label.clone()),
+                    None => advisories.push((a, vec![label.clone()])),
+                }
+            }
+        }
+    }
+    if json_out {
+        let diags = Json::Arr(
+            seen.iter()
+                .map(|(_, d, labels)| {
+                    Json::obj([
+                        ("code", Json::str(d.code.clone())),
+                        ("kind", Json::str(d.kind.to_string())),
+                        ("txn", Json::str(d.txn.clone())),
+                        ("partner", d.partner.clone().map_or(Json::Null, Json::str)),
+                        (
+                            "statements",
+                            Json::Arr(d.statements.iter().map(|s| Json::str(s.clone())).collect()),
+                        ),
+                        ("message", Json::str(d.message.clone())),
+                        (
+                            "levels",
+                            Json::Arr(labels.iter().map(|l| Json::str(l.clone())).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let mut fields = vec![
+            ("sweep", Json::Arr(vectors.iter().map(|(_, l)| Json::str(l.clone())).collect())),
+            ("diagnostics", diags),
+            ("clean", Json::Bool(!any)),
+        ];
+        if refine {
+            fields.push((
+                "deadlocks",
+                Json::Arr(
+                    advisories
+                        .iter()
+                        .map(|(a, labels)| {
+                            let mut j = deadlock_json(a);
+                            if let Json::Obj(f) = &mut j {
+                                f.push((
+                                    "levels".to_string(),
+                                    Json::Arr(
+                                        labels.iter().map(|l| Json::str(l.clone())).collect(),
+                                    ),
+                                ));
+                            }
+                            j
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        println!("{}", Json::obj(fields).to_pretty());
+    } else {
+        println!(
+            "lint sweep over {} level vector(s): {}",
+            vectors.len(),
+            vectors.iter().map(|(_, l)| l.as_str()).collect::<Vec<_>>().join("; ")
+        );
+        println!();
+        if seen.is_empty() {
+            println!("no diagnostics at any vector: the application lints clean everywhere");
+        } else {
+            for (_, d, labels) in &seen {
+                println!("{}", d.render());
+                println!("    at levels: {}", labels.join("; "));
+            }
+            println!();
+            println!("{} distinct diagnostic(s) across {} vector(s)", seen.len(), vectors.len());
+        }
+        for (i, (a, labels)) in advisories.iter().enumerate() {
+            if i == 0 {
+                println!();
+            }
+            println!("{} {}", a.code, a.message);
+            for line in &a.chain {
+                println!("    {line}");
+            }
+            println!("    at levels: {}", labels.join("; "));
+        }
+        if !advisories.is_empty() {
+            println!("(deadlock advisories are informational and do not affect the verdict)");
+        }
+    }
+    if any {
+        Ok(Findings::Diagnostics)
+    } else {
+        Ok(Findings::Clean)
+    }
+}
+
+fn print_refinement(
+    refined: &semcc_refine::RefineReport,
+    advisories: &[semcc_refine::DeadlockAdvisory],
+) {
+    println!();
+    println!(
+        "refinement: {} edge constituent(s) pruned ({} -> {} edges), \
+         each with a replayable feasibility certificate",
+        refined.prunes.len(),
+        refined.base_edges,
+        refined.refined_edges
+    );
+    for p in &refined.prunes {
+        println!(
+            "  PRUNED {} -{}-> {} on `{}` ({}; {} obligation(s) refuted)",
+            p.from,
+            p.kind,
+            p.to,
+            p.table,
+            p.rule,
+            p.obligations.len()
+        );
+    }
+    for a in advisories {
+        println!("{} {}", a.code, a.message);
+        for line in &a.chain {
+            println!("    {line}");
+        }
+    }
+    if !advisories.is_empty() {
+        println!("(deadlock advisories are informational and do not affect the verdict)");
+    }
+}
+
+fn deadlock_json(a: &semcc_refine::DeadlockAdvisory) -> Json {
+    Json::obj([
+        ("code", Json::str(a.code.clone())),
+        ("a", Json::str(a.a.clone())),
+        ("b", Json::str(a.b.clone())),
+        ("level_a", Json::str(a.level_a.to_string())),
+        ("level_b", Json::str(a.level_b.to_string())),
+        ("chain", Json::Arr(a.chain.iter().map(|l| Json::str(l.clone())).collect())),
+        ("message", Json::str(a.message.clone())),
+    ])
+}
+
+fn refine_json(
+    refined: &semcc_refine::RefineReport,
+    advisories: &[semcc_refine::DeadlockAdvisory],
+) -> Json {
+    Json::obj([
+        ("base_edges", Json::Int(refined.base_edges as i64)),
+        ("refined_edges", Json::Int(refined.refined_edges as i64)),
+        (
+            "prunes",
+            Json::Arr(
+                refined
+                    .prunes
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("from", Json::str(p.from.clone())),
+                            ("to", Json::str(p.to.clone())),
+                            ("kind", Json::str(p.kind.clone())),
+                            ("table", Json::str(p.table.clone())),
+                            ("rule", Json::str(p.rule.clone())),
+                            (
+                                "premises",
+                                Json::Arr(
+                                    p.premises.iter().map(|s| Json::str(s.clone())).collect(),
+                                ),
+                            ),
+                            ("obligations", Json::Int(p.obligations.len() as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("deadlocks", Json::Arr(advisories.iter().map(deadlock_json).collect())),
+    ])
 }
 
 fn cmd_explore(args: &[String]) -> CmdResult {
@@ -335,6 +610,7 @@ fn cmd_explore(args: &[String]) -> CmdResult {
                 let v = it.next().ok_or("--jobs needs a number")?;
                 opts.jobs = v.parse().map_err(|_| format!("bad --jobs `{v}`"))?;
             }
+            "--refine" => opts.refine = true,
             "--json" => json_out = true,
             _ if path.is_none() => path = Some(a),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -342,7 +618,8 @@ fn cmd_explore(args: &[String]) -> CmdResult {
     }
     let path = path.ok_or(
         "usage: semcc explore <app.json> [--txns T1,T2[,T3]] [--levels L1,L2[,L3][;...]] \
-         [--seed item=V|table.col=V]... [--max-depth N] [--max-schedules N] [--jobs N] [--json]",
+         [--seed item=V|table.col=V]... [--max-depth N] [--max-schedules N] [--refine] \
+         [--jobs N] [--json]",
     )?;
     let app = load_app(path)?;
 
@@ -403,7 +680,10 @@ fn cmd_explore(args: &[String]) -> CmdResult {
 
     if let Some(victim_arg) = faults_victim {
         // Fault mode: sweep an injected abort over every statement
-        // position of the victim instead of one plain exploration.
+        // position of the victim instead of one plain exploration. The
+        // explorer ignores --refine here (an injected abort voids the
+        // whole-program prune proofs), and the differential stays on the
+        // base static side for the same reason.
         let victim = match victim_arg.parse::<usize>() {
             Ok(i) => i,
             Err(_) => names
@@ -422,7 +702,7 @@ fn cmd_explore(args: &[String]) -> CmdResult {
                 .map(|(c, d)| {
                     Json::obj([
                         ("abort_after", Json::Int(c.k as i64)),
-                        ("explore", explore_json(&c.result, d)),
+                        ("explore", explore_json(&c.result, d, false)),
                     ])
                 })
                 .collect();
@@ -443,7 +723,7 @@ fn cmd_explore(args: &[String]) -> CmdResult {
             for (c, d) in cases.iter().zip(&diffs) {
                 println!();
                 println!("== abort after statement {} ==", c.k);
-                print_explore(&c.result, d);
+                print_explore(&c.result, d, false);
             }
             println!();
             if divergent_total == 0 {
@@ -460,12 +740,16 @@ fn cmd_explore(args: &[String]) -> CmdResult {
     }
 
     let result = explore(&app, &specs, &opts)?;
-    let diff = differential_with_jobs(&app, &specs, &result, opts.jobs);
+    let diff = if opts.refine {
+        differential_refined_with_jobs(&app, &specs, &result, opts.jobs)
+    } else {
+        differential_with_jobs(&app, &specs, &result, opts.jobs)
+    };
 
     if json_out {
-        println!("{}", explore_json(&result, &diff).to_pretty());
+        println!("{}", explore_json(&result, &diff, opts.refine).to_pretty());
     } else {
-        print_explore(&result, &diff);
+        print_explore(&result, &diff, opts.refine);
     }
     if result.divergent > 0 || !diff.sound() {
         Ok(Findings::Diagnostics)
@@ -485,7 +769,11 @@ fn explore_level_sweep(
     json_out: bool,
 ) -> CmdResult {
     let cells = explore_sweep(app, names, vectors, opts)?;
-    let diffs = differential_batch(app, &cells, opts.jobs);
+    let diffs = if opts.refine {
+        differential_refined_batch(app, &cells, opts.jobs)
+    } else {
+        differential_batch(app, &cells, opts.jobs)
+    };
     let mut findings = Findings::Clean;
     for ((_, r), d) in cells.iter().zip(&diffs) {
         if r.divergent > 0 || !d.sound() {
@@ -493,7 +781,8 @@ fn explore_level_sweep(
         }
     }
     if json_out {
-        let arr = cells.iter().zip(&diffs).map(|((_, r), d)| explore_json(r, d)).collect();
+        let arr =
+            cells.iter().zip(&diffs).map(|((_, r), d)| explore_json(r, d, opts.refine)).collect();
         println!("{}", Json::obj([("sweep", Json::Arr(arr))]).to_pretty());
     } else {
         for (i, ((_, r), d)) in cells.iter().zip(&diffs).enumerate() {
@@ -502,7 +791,7 @@ fn explore_level_sweep(
             }
             let vec_str: Vec<String> = vectors[i].iter().map(ToString::to_string).collect();
             println!("== levels {} ==", vec_str.join(","));
-            print_explore(r, d);
+            print_explore(r, d, opts.refine);
         }
     }
     Ok(findings)
@@ -701,7 +990,7 @@ fn faultsim_json(r: &FaultSimReport) -> Json {
     ])
 }
 
-fn print_explore(r: &ExploreResult, d: &Differential) {
+fn print_explore(r: &ExploreResult, d: &Differential, refined: bool) {
     let pair = r
         .txns
         .iter()
@@ -710,6 +999,9 @@ fn print_explore(r: &ExploreResult, d: &Differential) {
         .collect::<Vec<_>>()
         .join(", ");
     println!("exploring {{{pair}}} — all statement-granular interleavings (DPOR)");
+    if refined {
+        println!("  dependence: prover-refined (semcc-refine)");
+    }
     println!(
         "  events: {}   naive interleavings: {}   engine replays: {}",
         r.total_events, r.naive_schedules, r.replays
@@ -766,11 +1058,12 @@ fn print_explore(r: &ExploreResult, d: &Differential) {
     );
 }
 
-fn explore_json(r: &ExploreResult, d: &Differential) -> Json {
+fn explore_json(r: &ExploreResult, d: &Differential, refined: bool) -> Json {
     let kinds = |set: &std::collections::BTreeSet<semcc_engine::AnomalyKind>| {
         Json::Arr(set.iter().map(|k| Json::str(k.to_string())).collect())
     };
     Json::obj([
+        ("refined", Json::Bool(refined)),
         (
             "txns",
             Json::Arr(
@@ -1019,11 +1312,39 @@ fn lint_report_json(report: &LintReport) -> Json {
             })
             .collect(),
     );
+    // Per-edge provenance: which footprint rule created the edge and
+    // which statement indices anchor each side — the stable coordinates
+    // refinement justifications refer to.
+    let edges = Json::Arr(
+        report
+            .edges
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("from", Json::str(e.from.clone())),
+                    ("to", Json::str(e.to.clone())),
+                    ("kind", Json::str(e.kind.to_string())),
+                    ("rule", Json::str(e.rule.clone())),
+                    ("items", Json::Arr(e.items.iter().map(|s| Json::str(s.clone())).collect())),
+                    ("tables", Json::Arr(e.tables.iter().map(|s| Json::str(s.clone())).collect())),
+                    (
+                        "from_stmts",
+                        Json::Arr(e.from_stmts.iter().map(|&i| Json::Int(i as i64)).collect()),
+                    ),
+                    (
+                        "to_stmts",
+                        Json::Arr(e.to_stmts.iter().map(|&i| Json::Int(i as i64)).collect()),
+                    ),
+                ])
+            })
+            .collect(),
+    );
     Json::obj([
         ("levels", levels),
         ("levels_assigned", Json::Bool(report.levels_assigned)),
         ("exposures", exposures),
         ("dangerous_structures", dangerous),
+        ("edges", edges),
         ("diagnostics", diagnostics),
         ("clean", Json::Bool(report.clean())),
     ])
@@ -1085,23 +1406,36 @@ fn cmd_obligations(args: &[String]) -> CmdResult {
 fn cmd_certify(args: &[String]) -> CmdResult {
     let mut path: Option<&String> = None;
     let mut out: Option<&String> = None;
+    let mut refine = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--out" => out = Some(it.next().ok_or("--out needs a file path")?),
+            "--refine" => refine = true,
             _ if path.is_none() => path = Some(a),
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    let path = path.ok_or("usage: semcc certify <app.json> [--out cert.json]")?;
+    let path = path.ok_or("usage: semcc certify <app.json> [--refine] [--out cert.json]")?;
     let app = load_app(path)?;
     let name = std::path::Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("app")
         .to_string();
-    let cert = certify_app(&app, &name, semcc_txn::symexec::SymOptions::default())
+    let mut cert = certify_app(&app, &name, semcc_txn::symexec::SymOptions::default())
         .map_err(|e| format!("certification failed: {e}"))?;
+    if refine {
+        let graph = semcc_core::DepGraph::build(&app);
+        let rep = semcc_refine::refine(&app, &graph);
+        println!(
+            "refinement: {} of {} SDG edge(s) pruned, {} justification(s) attached",
+            rep.prunes.len(),
+            rep.base_edges,
+            rep.prunes.len()
+        );
+        cert.prunes = rep.prunes;
+    }
     println!("{:<24}  {:<20}  {:>11}  {:>9}", "transaction", "level", "obligations", "certified");
     println!("{}", "-".repeat(72));
     let mut findings = Findings::Clean;
@@ -1140,8 +1474,13 @@ fn cmd_verify_cert(args: &[String]) -> CmdResult {
         semcc_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
     let report = semcc_cert::verify(&cert);
     println!(
-        "{}: {} obligation(s), {} substitution proof(s) replayed, {} trusted premise(s)",
-        cert.app, report.obligations, report.substitution_proofs, report.trusted_steps
+        "{}: {} obligation(s), {} substitution proof(s) replayed, {} trusted premise(s), \
+         {} prune proof(s) replayed",
+        cert.app,
+        report.obligations,
+        report.substitution_proofs,
+        report.trusted_steps,
+        report.prune_proofs
     );
     if report.is_valid() {
         println!("certificate VERIFIED (independent checker, no prover linked)");
@@ -1398,5 +1737,131 @@ mod tests {
             cmd_lint(&[bank, "--witness".into(), "--json".into()]),
             Ok(Findings::Diagnostics)
         );
+    }
+
+    #[test]
+    fn lint_refine_keeps_verdicts() {
+        // Refinement deletes only proven-infeasible edges, so lint verdicts
+        // are unchanged: orders stays clean, banking stays diagnosed.
+        let ord = tmp_app("orders_refine_lint.json", "orders");
+        assert_eq!(cmd_lint(&[ord.clone(), "--refine".into()]), Ok(Findings::Clean));
+        assert_eq!(cmd_lint(&[ord, "--refine".into(), "--json".into()]), Ok(Findings::Clean));
+        let bank = tmp_app("bank_refine_lint.json", "banking");
+        assert_eq!(cmd_lint(&[bank, "--refine".into()]), Ok(Findings::Diagnostics));
+    }
+
+    #[test]
+    fn lint_refine_json_reports_prunes_and_edge_provenance() {
+        let app = orders::app(false);
+        let graph = semcc_core::DepGraph::build(&app);
+        let rep = semcc_refine::refine(&app, &graph);
+        assert!(rep.refined_edges < rep.base_edges, "orders must lose edges");
+        let json = refine_json(&rep, &[]);
+        let prunes = json.get("prunes").and_then(Json::as_arr).expect("prunes array");
+        assert!(!prunes.is_empty());
+        for p in prunes {
+            assert!(p.get("rule").and_then(Json::as_str).is_some());
+            assert!(p.get("obligations").and_then(Json::as_int).unwrap_or(0) > 0);
+        }
+        // Satellite: per-edge provenance in lint --json (statement indices,
+        // footprint items, creating rule).
+        let report = lint(&app, None);
+        let lint_json = lint_report_json(&report);
+        let edges = lint_json.get("edges").and_then(Json::as_arr).expect("edges array");
+        assert_eq!(edges.len(), report.edges.len());
+        for e in edges {
+            assert!(e.get("rule").and_then(Json::as_str).is_some());
+            assert!(e.get("from_stmts").and_then(Json::as_arr).is_some());
+            assert!(e.get("to_stmts").and_then(Json::as_arr).is_some());
+        }
+    }
+
+    #[test]
+    fn lint_sweep_dedupes_and_keeps_exit_semantics() {
+        let bank = tmp_app("bank_sweep.json", "banking");
+        // SI vector diagnoses write skew; RR vector is clean. The sweep
+        // reports the deduplicated union => diagnostics.
+        assert_eq!(
+            cmd_lint(&[bank.clone(), "--levels".into(), "SI,SI,SI,SI;RR,RR,RR,RR".into()]),
+            Ok(Findings::Diagnostics)
+        );
+        assert_eq!(
+            cmd_lint(&[
+                bank.clone(),
+                "--levels".into(),
+                "SI,SI,SI,SI;RR,RR,RR,RR".into(),
+                "--json".into(),
+            ]),
+            Ok(Findings::Diagnostics)
+        );
+        // Both vectors clean => clean.
+        assert_eq!(
+            cmd_lint(&[bank.clone(), "--levels".into(), "RR,RR,RR,RR;SER,SER,SER,SER".into()]),
+            Ok(Findings::Clean)
+        );
+        // Witness replay is per-vector; combining it with a sweep is a
+        // usage error, not a silent ignore.
+        assert!(cmd_lint(&[
+            bank,
+            "--levels".into(),
+            "SI,SI,SI,SI;RR,RR,RR,RR".into(),
+            "--witness".into(),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn explore_refine_exit_semantics_match_base() {
+        // The refined dependence relation must not change any verdict on
+        // the paper examples — only shrink the schedule space.
+        let pay = tmp_app("pay_explore_refine.json", "payroll");
+        let pay_args = |lv: &str| {
+            vec![
+                pay.clone(),
+                "--txns".into(),
+                "Hours,Print_Records".into(),
+                "--seed".into(),
+                "emp.rate=10".into(),
+                "--levels".into(),
+                lv.into(),
+                "--refine".into(),
+            ]
+        };
+        assert_eq!(cmd_explore(&pay_args("RU,RU")), Ok(Findings::Diagnostics));
+        assert_eq!(cmd_explore(&pay_args("SER,SER")), Ok(Findings::Clean));
+        let bank = tmp_app("bank_explore_refine.json", "banking");
+        let bank_args = |lv: &str| {
+            vec![
+                bank.clone(),
+                "--txns".into(),
+                "Withdraw_sav,Withdraw_ch".into(),
+                "--levels".into(),
+                lv.into(),
+                "--refine".into(),
+            ]
+        };
+        assert_eq!(cmd_explore(&bank_args("SI,SI")), Ok(Findings::Diagnostics));
+        assert_eq!(cmd_explore(&bank_args("RR,RR")), Ok(Findings::Clean));
+    }
+
+    #[test]
+    fn certify_refine_attaches_replayable_prunes() {
+        let ord = tmp_app("orders_cert_refine.json", "orders");
+        let dir = std::env::temp_dir().join("semcc_cli_test");
+        let cert_path = dir.join("orders_cert_refine_out.json").to_str().expect("utf8").to_string();
+        cmd_certify(&[ord, "--refine".into(), "--out".into(), cert_path.clone()]).expect("certify");
+        let text = std::fs::read_to_string(&cert_path).expect("read");
+        let cert: semcc_cert::Certificate = semcc_json::from_str(&text).expect("parse");
+        assert!(!cert.prunes.is_empty(), "refined certificate carries prunes");
+        // The independent checker replays the pruning proofs.
+        assert_eq!(cmd_verify_cert(std::slice::from_ref(&cert_path)), Ok(Findings::Clean));
+        let report = semcc_cert::verify(&cert);
+        assert!(report.prune_proofs >= cert.prunes.len());
+        // Strip a prune's obligations: the checker must reject it.
+        let mut tampered = cert;
+        tampered.prunes[0].obligations.clear();
+        let tp = dir.join("orders_cert_refine_bad.json").to_str().expect("utf8").to_string();
+        std::fs::write(&tp, semcc_json::to_string_pretty(&tampered)).expect("write");
+        assert_eq!(cmd_verify_cert(std::slice::from_ref(&tp)), Ok(Findings::Diagnostics));
     }
 }

@@ -52,7 +52,7 @@ pub fn certify_app(app: &App, name: &str, opts: SymOptions) -> Result<Certificat
             });
         }
     }
-    Ok(Certificate { app: name.to_string(), lemmas, reports })
+    Ok(Certificate { app: name.to_string(), lemmas, reports, prunes: Vec::new() })
 }
 
 #[cfg(test)]

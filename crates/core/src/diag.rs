@@ -21,8 +21,8 @@ use crate::app::{App, LemmaScope};
 use crate::assign::{assign_levels, default_ladder};
 use crate::compens::rename_unit;
 use crate::interfere::{Analyzer, Verdict};
-use crate::sdg::{predict_exposures, DangerousStructure, DepGraph, Exposure};
-use crate::theorems::check_at_level;
+use crate::sdg::{predict_exposures, DangerousStructure, DepEdge, DepGraph, Exposure};
+use crate::theorems::check_with_singletons;
 use semcc_engine::{AnomalyKind, IsolationLevel};
 use semcc_txn::stmt::Stmt;
 use semcc_txn::symexec::{summarize, SymOptions};
@@ -96,6 +96,10 @@ pub struct LintReport {
     pub exposures: Vec<Exposure>,
     /// Dangerous structures found in the dependency graph.
     pub dangerous: Vec<DangerousStructure>,
+    /// The classified dependency edges the prediction ran over, with
+    /// statement-level provenance (stable anchors for refinement
+    /// justifications).
+    pub edges: Vec<DepEdge>,
     /// Findings. Empty means the application lints clean.
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -111,6 +115,18 @@ impl LintReport {
 /// it will run at; `None` selects the default mode (Section 5 assignment
 /// over the default ladder, plus the SNAPSHOT write-skew advisory).
 pub fn lint(app: &App, levels: Option<&BTreeMap<String, IsolationLevel>>) -> LintReport {
+    lint_with_singletons(app, levels, &BTreeSet::new())
+}
+
+/// Like [`lint`], but skip self-interference obligations for the types in
+/// `singletons` (see [`check_with_singletons`]): the refined differential
+/// oracle uses this when it knows the explored system runs at most one
+/// instance of those types. An empty set reproduces [`lint`] exactly.
+pub fn lint_with_singletons(
+    app: &App,
+    levels: Option<&BTreeMap<String, IsolationLevel>>,
+    singletons: &BTreeSet<String>,
+) -> LintReport {
     let opts = SymOptions::default();
     let graph = DepGraph::build_opts(app, opts);
     let dangerous = graph.dangerous_structures();
@@ -135,6 +151,13 @@ pub fn lint(app: &App, levels: Option<&BTreeMap<String, IsolationLevel>>) -> Lin
     let level_map: BTreeMap<String, IsolationLevel> = level_vec.iter().cloned().collect();
     let exposures = predict_exposures(&graph, &level_map);
 
+    // A fresh analyzer per (txn, level) check keeps the fresh-name stream
+    // (and thus rendered failure text) identical to `check_at_level`.
+    let check = |name: &str, level: IsolationLevel| {
+        let a = Analyzer::new(app);
+        check_with_singletons(&a, app, name, level, opts, singletons)
+    };
+
     let mut diagnostics = Vec::new();
     if assigned {
         // Every type runs at a proven-safe ladder level; the residual risk
@@ -149,7 +172,7 @@ pub fn lint(app: &App, levels: Option<&BTreeMap<String, IsolationLevel>>) -> Lin
                 if warned.contains(victim) {
                     continue;
                 }
-                let report = check_at_level(app, victim, IsolationLevel::Snapshot);
+                let report = check(victim, IsolationLevel::Snapshot);
                 if report.ok {
                     continue;
                 }
@@ -182,7 +205,7 @@ pub fn lint(app: &App, levels: Option<&BTreeMap<String, IsolationLevel>>) -> Lin
         }
     } else {
         for (name, level) in &level_vec {
-            let report = check_at_level(app, name, *level);
+            let report = check(name, *level);
             if report.ok {
                 continue;
             }
@@ -244,7 +267,14 @@ pub fn lint(app: &App, levels: Option<&BTreeMap<String, IsolationLevel>>) -> Lin
         }
     }
 
-    LintReport { levels: level_vec, levels_assigned: assigned, exposures, dangerous, diagnostics }
+    LintReport {
+        levels: level_vec,
+        levels_assigned: assigned,
+        exposures,
+        dangerous,
+        edges: graph.edges,
+        diagnostics,
+    }
 }
 
 /// The phenomenon each level is named for — the fallback diagnostic kind

@@ -37,13 +37,15 @@ pub use annotate::{check_annotations, check_app_annotations, AnnotationIssue, Se
 pub use app::{App, LemmaRegistry, LemmaScope};
 pub use assign::{assign_levels, Assignment};
 pub use certify::certify_app;
-pub use diag::{code_for, lint, Diagnostic, LintReport};
+pub use diag::{code_for, lint, lint_with_singletons, Diagnostic, LintReport};
 pub use interfere::{Analyzer, Verdict};
 pub use sdg::{
     predict_exposures, stmt_footprints, DangerousStructure, DepEdge, DepGraph, DepKind, Exposure,
     StmtFootprint,
 };
-pub use theorems::{check_at_level, check_at_level_certified, check_with, LevelReport};
+pub use theorems::{
+    check_at_level, check_at_level_certified, check_with, check_with_singletons, LevelReport,
+};
 pub use witness::{
     neutral_bindings, replay_witness, replay_witnesses, seed_neutral, Witness, WitnessOutcome,
 };

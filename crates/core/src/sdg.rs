@@ -154,6 +154,14 @@ pub struct DepEdge {
     pub items: BTreeSet<String>,
     /// Tables whose regions may intersect (relational part of the edge).
     pub tables: BTreeSet<String>,
+    /// Which footprint rule created the edge: `item-overlap`,
+    /// `region-overlap`, or `item+region` (both parts non-empty).
+    pub rule: String,
+    /// Top-level statement indices of `from` whose footprints contribute
+    /// the edge's items/tables (indexed like `Program::body`).
+    pub from_stmts: Vec<usize>,
+    /// Top-level statement indices of `to` contributing the edge.
+    pub to_stmts: Vec<usize>,
 }
 
 /// The static serialization dependency graph of an application.
@@ -212,6 +220,41 @@ impl DepGraph {
             for b in &txns {
                 edges.extend(classify(&analyzer, a, b));
             }
+        }
+        // Provenance: anchor every edge to the top-level statements whose
+        // syntactic footprints carry its items/tables (classify works on
+        // folded type footprints, so the anchors are recovered here).
+        let fps: BTreeMap<&str, Vec<StmtFootprint>> =
+            app.programs.iter().map(|p| (p.name.as_str(), stmt_footprints(p))).collect();
+        for e in &mut edges {
+            let tokens: BTreeSet<String> = e
+                .items
+                .iter()
+                .cloned()
+                .chain(e.tables.iter().map(|t| format!("tbl:{t}")))
+                .collect();
+            let (from_writes, to_writes) = match e.kind {
+                DepKind::WriteRead => (true, false),
+                DepKind::WriteWrite => (true, true),
+                DepKind::ReadWrite => (false, true),
+            };
+            let anchor = |name: &str, writes: bool| -> Vec<usize> {
+                fps.get(name)
+                    .map(|stmts| {
+                        stmts
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, fp)| {
+                                let side = if writes { &fp.writes } else { &fp.reads };
+                                side.iter().any(|k| tokens.contains(k))
+                            })
+                            .map(|(i, _)| i)
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            };
+            e.from_stmts = anchor(&e.from, from_writes);
+            e.to_stmts = anchor(&e.to, to_writes);
         }
         DepGraph { txns, edges }
     }
@@ -289,6 +332,15 @@ fn classify(analyzer: &Analyzer<'_>, a: &TxnFootprint, b: &TxnFootprint) -> Vec<
         r.iter().map(|(t, f)| (t.clone(), Some(f.clone()))).collect()
     };
 
+    let rule_for = |items: &BTreeSet<String>, tables: &BTreeSet<String>| -> String {
+        match (!items.is_empty(), !tables.is_empty()) {
+            (true, true) => "item+region",
+            (true, false) => "item-overlap",
+            _ => "region-overlap",
+        }
+        .to_string()
+    };
+
     // wr: a writes, b reads.
     let wr_items: BTreeSet<String> = a.write_items.intersection(&b.read_items).cloned().collect();
     let wr_tables = region_overlap(&a.write_regions, &some(&b.read_regions));
@@ -297,8 +349,11 @@ fn classify(analyzer: &Analyzer<'_>, a: &TxnFootprint, b: &TxnFootprint) -> Vec<
             from: a.name.clone(),
             to: b.name.clone(),
             kind: DepKind::WriteRead,
+            rule: rule_for(&wr_items, &wr_tables),
             items: wr_items,
             tables: wr_tables,
+            from_stmts: Vec::new(),
+            to_stmts: Vec::new(),
         });
     }
     // ww.
@@ -309,8 +364,11 @@ fn classify(analyzer: &Analyzer<'_>, a: &TxnFootprint, b: &TxnFootprint) -> Vec<
             from: a.name.clone(),
             to: b.name.clone(),
             kind: DepKind::WriteWrite,
+            rule: rule_for(&ww_items, &ww_tables),
             items: ww_items,
             tables: ww_tables,
+            from_stmts: Vec::new(),
+            to_stmts: Vec::new(),
         });
     }
     // rw: a reads, b writes.
@@ -321,8 +379,11 @@ fn classify(analyzer: &Analyzer<'_>, a: &TxnFootprint, b: &TxnFootprint) -> Vec<
             from: a.name.clone(),
             to: b.name.clone(),
             kind: DepKind::ReadWrite,
+            rule: rule_for(&rw_items, &rw_tables),
             items: rw_items,
             tables: rw_tables,
+            from_stmts: Vec::new(),
+            to_stmts: Vec::new(),
         });
     }
     out
@@ -781,6 +842,18 @@ mod tests {
         let levels: BTreeMap<String, IsolationLevel> =
             [("Selfie".to_string(), IsolationLevel::Serializable)].into();
         assert!(predict_exposures(&g, &levels)[0].has(AnomalyKind::Phantom));
+    }
+
+    #[test]
+    fn edges_carry_statement_provenance() {
+        let g = DepGraph::build(&bank_pair());
+        let e = g.edge("W_sav", "W_ch", DepKind::ReadWrite).expect("rw edge");
+        assert_eq!(e.rule, "item-overlap");
+        assert!(e.items.contains("ch"));
+        // W_sav reads `ch` only in statement 1; W_ch writes `ch` only
+        // inside the If at statement 2.
+        assert_eq!(e.from_stmts, vec![1]);
+        assert_eq!(e.to_stmts, vec![2]);
     }
 
     #[test]

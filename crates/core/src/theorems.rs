@@ -15,6 +15,7 @@ use semcc_logic::Pred;
 use semcc_txn::stmt::Stmt;
 use semcc_txn::symexec::{summarize, SymOptions};
 use semcc_txn::{PathSummary, Program, RelEffect};
+use std::collections::BTreeSet;
 
 /// The verdict for one transaction type at one isolation level.
 #[derive(Clone, Debug)]
@@ -68,6 +69,26 @@ pub fn check_with(
     level: IsolationLevel,
     opts: SymOptions,
 ) -> LevelReport {
+    check_with_singletons(analyzer, app, txn_name, level, opts, &BTreeSet::new())
+}
+
+/// Like [`check_with`], but skip self-interference obligations for the
+/// transaction types in `singletons`.
+///
+/// The theorems quantify over *every* concurrent instance, including a
+/// second instance of the checked type itself. When a deployed system is
+/// known to run at most one instance of a type at a time (e.g. a
+/// differential-oracle cell exploring exactly one instance per name),
+/// `T × T` obligations for that type are vacuous: there is no second `T`
+/// to interfere. An empty set reproduces [`check_with`] exactly.
+pub fn check_with_singletons(
+    analyzer: &Analyzer<'_>,
+    app: &App,
+    txn_name: &str,
+    level: IsolationLevel,
+    opts: SymOptions,
+    singletons: &BTreeSet<String>,
+) -> LevelReport {
     let program =
         app.program(txn_name).unwrap_or_else(|| panic!("unknown transaction type {txn_name}"));
     let calls_before = analyzer.prover_calls();
@@ -82,11 +103,17 @@ pub fn check_with(
         failures: Vec::new(),
     };
     match level {
-        IsolationLevel::ReadUncommitted => thm1(app, program, analyzer, &mut report),
-        IsolationLevel::ReadCommitted => thm2(app, program, analyzer, &mut report, false, opts),
-        IsolationLevel::ReadCommittedFcw => thm2(app, program, analyzer, &mut report, true, opts),
-        IsolationLevel::RepeatableRead => thm4_6(app, program, analyzer, &mut report, opts),
-        IsolationLevel::Snapshot => thm5(app, program, analyzer, &mut report, opts),
+        IsolationLevel::ReadUncommitted => thm1(app, program, analyzer, &mut report, singletons),
+        IsolationLevel::ReadCommitted => {
+            thm2(app, program, analyzer, &mut report, false, opts, singletons)
+        }
+        IsolationLevel::ReadCommittedFcw => {
+            thm2(app, program, analyzer, &mut report, true, opts, singletons)
+        }
+        IsolationLevel::RepeatableRead => {
+            thm4_6(app, program, analyzer, &mut report, opts, singletons)
+        }
+        IsolationLevel::Snapshot => thm5(app, program, analyzer, &mut report, opts, singletons),
         IsolationLevel::Serializable => { /* always correct: zero obligations */ }
     }
     report.prover_calls = analyzer.prover_calls() - calls_before;
@@ -94,8 +121,14 @@ pub fn check_with(
     report
 }
 
+/// Whether the `other × program` obligation family is vacuous because
+/// `program` is a known singleton and `other` is itself.
+fn skip_self(program: &Program, other: &Program, singletons: &BTreeSet<String>) -> bool {
+    other.name == program.name && singletons.contains(&program.name)
+}
+
 /// Like [`check_at_level_opts`], but additionally emit a proof certificate
-/// for every discharged preservation query (the data [`semcc_cert::verify`]
+/// for every discharged preservation query (the data [`semcc_cert::verify()`]
 /// re-validates independently). The second component is `Err` when a
 /// discharge could not be traced — the verdicts stand, but the run is not
 /// certifiable.
@@ -143,7 +176,13 @@ fn read_posts(program: &Program) -> Vec<(usize, String, Pred)> {
 /// Theorem 1 — READ UNCOMMITTED: every individual write statement of every
 /// transaction (including rollback compensators) must not interfere with
 /// `I_i`, each read postcondition, and `Q_i`.
-fn thm1(app: &App, program: &Program, analyzer: &Analyzer<'_>, report: &mut LevelReport) {
+fn thm1(
+    app: &App,
+    program: &Program,
+    analyzer: &Analyzer<'_>,
+    report: &mut LevelReport,
+    singletons: &BTreeSet<String>,
+) {
     let mut assertions: Vec<(String, Pred)> =
         vec![(format!("I_{}", program.name), program.consistency.clone())];
     for (_, what, p) in read_posts(program) {
@@ -152,6 +191,9 @@ fn thm1(app: &App, program: &Program, analyzer: &Analyzer<'_>, report: &mut Leve
     assertions.push((format!("Q_{}", program.name), program.result.clone()));
 
     for other in &app.programs {
+        if skip_self(program, other, singletons) {
+            continue;
+        }
         let mut effects: Vec<StmtEffect> = forward_write_effects(other);
         effects.extend(rollback_effects(other, &app.schemas));
         for eff in &effects {
@@ -182,6 +224,7 @@ fn thm2(
     report: &mut LevelReport,
     fcw: bool,
     opts: SymOptions,
+    singletons: &BTreeSet<String>,
 ) {
     let mut assertions: Vec<(String, Pred)> = Vec::new();
     let flat = program.all_stmts();
@@ -201,6 +244,9 @@ fn thm2(
     assertions.push((format!("Q_{}", program.name), program.result.clone()));
 
     for other in &app.programs {
+        if skip_self(program, other, singletons) {
+            continue;
+        }
         for (pi, path) in summarize(other, opts).iter().enumerate() {
             if path.is_read_only() {
                 continue;
@@ -290,6 +336,7 @@ fn thm4_6(
     analyzer: &Analyzer<'_>,
     report: &mut LevelReport,
     opts: SymOptions,
+    singletons: &BTreeSet<String>,
 ) {
     let flat = program.all_stmts();
     let selects: Vec<(usize, &Stmt, Pred)> = flat
@@ -309,6 +356,9 @@ fn thm4_6(
     }
     let q = (format!("Q_{}", program.name), program.result.clone());
     for other in &app.programs {
+        if skip_self(program, other, singletons) {
+            continue;
+        }
         for (pi, path) in summarize(other, opts).iter().enumerate() {
             if path.is_read_only() {
                 continue;
@@ -395,6 +445,7 @@ fn thm5(
     analyzer: &Analyzer<'_>,
     report: &mut LevelReport,
     opts: SymOptions,
+    singletons: &BTreeSet<String>,
 ) {
     let paths_i = summarize(program, opts);
     let writing_i: Vec<&PathSummary> = paths_i.iter().filter(|p| !p.is_read_only()).collect();
@@ -406,6 +457,9 @@ fn thm5(
         (format!("Q_{}", program.name), program.result.clone()),
     ];
     for other in &app.programs {
+        if skip_self(program, other, singletons) {
+            continue;
+        }
         for (qi, q) in summarize(other, opts).iter().enumerate() {
             if q.is_read_only() {
                 continue;
@@ -547,6 +601,56 @@ mod tests {
         let r = check_at_level(&app(), "Reader", Serializable);
         assert!(r.ok);
         assert_eq!(r.obligations, 0);
+    }
+
+    #[test]
+    fn singleton_filter_drops_only_self_obligations() {
+        // A read-then-write type whose pinned read post (`x = :X`) is
+        // invalidated by a second instance of itself — and by nothing else
+        // when it is alone in the application.
+        let pinner = ProgramBuilder::new("Pinner")
+            .consistency(pp("x >= 0"))
+            .result(pp("x >= 0"))
+            .stmt(
+                Stmt::ReadItem { item: ItemRef::plain("x"), into: "X".into() },
+                pp("x >= 0"),
+                pp("x >= 0 && x = :X"),
+            )
+            .stmt(
+                Stmt::WriteItem {
+                    item: ItemRef::plain("x"),
+                    value: semcc_logic::Expr::local("X").add(semcc_logic::Expr::int(1)),
+                },
+                pp("x >= 0 && x = :X"),
+                pp("x >= 0"),
+            )
+            .build();
+        let app = App::new().with_program(pinner);
+        let analyzer = Analyzer::new(&app);
+        let base = check_with(&analyzer, &app, "Pinner", ReadCommitted, SymOptions::default());
+        assert!(!base.ok, "a second Pinner invalidates the pinned read");
+        let singletons: BTreeSet<String> = ["Pinner".to_string()].into();
+        let solo = check_with_singletons(
+            &analyzer,
+            &app,
+            "Pinner",
+            ReadCommitted,
+            SymOptions::default(),
+            &singletons,
+        );
+        assert!(solo.ok, "no second instance, no interference: {:?}", solo.failures);
+        assert_eq!(solo.obligations, 0);
+        // An empty set reproduces check_with exactly.
+        let empty = check_with_singletons(
+            &analyzer,
+            &app,
+            "Pinner",
+            ReadCommitted,
+            SymOptions::default(),
+            &BTreeSet::new(),
+        );
+        assert_eq!(empty.ok, base.ok);
+        assert_eq!(empty.obligations, base.obligations);
     }
 
     #[test]

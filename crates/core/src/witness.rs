@@ -503,7 +503,7 @@ fn seed(
 /// Seed `engine` with neutral defaults for everything `programs` touch:
 /// every item at 100, one row per table (string columns [`SEED_KEY`],
 /// integer columns 0). Returns the seeded state as `name → value` pairs.
-/// This is the [`Strategy::Defaults`] half of the witness replayer's
+/// This is the `Strategy::Defaults` half of the witness replayer's
 /// seeding, exported for the schedule-space explorer, which needs the
 /// *same* initial state on every replayed interleaving.
 pub fn seed_neutral(
@@ -755,6 +755,7 @@ mod tests {
             levels_assigned: false,
             exposures: Vec::new(),
             dangerous: Vec::new(),
+            edges: Vec::new(),
             diagnostics: Vec::new(),
         }
     }

@@ -16,7 +16,7 @@
 
 use crate::explore::ExploreResult;
 use crate::spec::{level_map, sub_app, TxnSpec};
-use semcc_core::{lint, replay_witness, App};
+use semcc_core::{lint, lint_with_singletons, replay_witness, App, LintReport};
 use semcc_engine::AnomalyKind;
 use semcc_par::ordered_map;
 use std::collections::BTreeSet;
@@ -94,6 +94,41 @@ pub fn differential_with_jobs(
     let sub = sub_app(app, specs);
     let levels = level_map(specs);
     let report = lint(&sub, Some(&levels));
+    differential_from_report(&sub, &report, result, jobs)
+}
+
+/// [`differential_with_jobs`] with the *refined* static side: the lint
+/// pass skips self-interference obligations for every type the explored
+/// system runs at most one instance of (the explorer enumerates exactly
+/// `specs`, so a type with multiplicity 1 provably never races itself in
+/// the dynamic reference). The soundness contract is unchanged — SAFE
+/// must still imply zero divergent schedules over these very specs — so a
+/// `SoundnessViolation` here indicts the refinement, which is exactly
+/// what the refinement gate tests.
+pub fn differential_refined_with_jobs(
+    app: &App,
+    specs: &[TxnSpec],
+    result: &ExploreResult,
+    jobs: usize,
+) -> Differential {
+    let sub = sub_app(app, specs);
+    let levels = level_map(specs);
+    let singletons: BTreeSet<String> = sub
+        .programs
+        .iter()
+        .map(|p| p.name.clone())
+        .filter(|n| specs.iter().filter(|s| &s.program.name == n).count() == 1)
+        .collect();
+    let report = lint_with_singletons(&sub, Some(&levels), &singletons);
+    differential_from_report(&sub, &report, result, jobs)
+}
+
+fn differential_from_report(
+    sub: &App,
+    report: &LintReport,
+    result: &ExploreResult,
+    jobs: usize,
+) -> Differential {
     let static_safe = report.clean();
     let predicted_kinds: BTreeSet<AnomalyKind> = report
         .diagnostics
@@ -115,7 +150,7 @@ pub fn differential_with_jobs(
     // same anomaly class.
     let witness_agrees = if !static_safe && diverged {
         let confirmed: BTreeSet<AnomalyKind> =
-            ordered_map(jobs, &report.diagnostics, |_, d| replay_witness(&sub, &report, d))
+            ordered_map(jobs, &report.diagnostics, |_, d| replay_witness(sub, report, d))
                 .iter()
                 .filter(|w| w.confirmed())
                 .map(|w| w.kind)
@@ -148,4 +183,17 @@ pub fn differential_batch(
     jobs: usize,
 ) -> Vec<Differential> {
     ordered_map(jobs, cells, |_, (specs, result)| differential_with_jobs(app, specs, result, 1))
+}
+
+/// [`differential_batch`] with the refined static side per cell (see
+/// [`differential_refined_with_jobs`]). Same ordering and jobs-invariance
+/// argument as the base batch.
+pub fn differential_refined_batch(
+    app: &App,
+    cells: &[(Vec<TxnSpec>, ExploreResult)],
+    jobs: usize,
+) -> Vec<Differential> {
+    ordered_map(jobs, cells, |_, (specs, result)| {
+        differential_refined_with_jobs(app, specs, result, 1)
+    })
 }

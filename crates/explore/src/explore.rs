@@ -62,11 +62,12 @@
 //! The checker's anomaly detectors run on every completed schedule's
 //! history for the cross-check against the static prediction.
 
-use crate::spec::{specs_for, TxnSpec};
+use crate::spec::{specs_for, sub_app, TxnSpec};
 use semcc_checker::detect_anomalies;
-use semcc_core::{seed_neutral, stmt_footprints, App, StmtFootprint};
+use semcc_core::{seed_neutral, stmt_footprints, App, DepGraph, StmtFootprint};
 use semcc_engine::{AnomalyKind, Engine, EngineConfig, EngineError, IsolationLevel};
 use semcc_par::{ordered_map, ordered_map_with};
+use semcc_refine::{reads_table_select_only, writes_table_insert_only, writes_table_region_only};
 use semcc_txn::interp::Stepper;
 use semcc_txn::stmt::Stmt;
 use semcc_txn::Program;
@@ -109,6 +110,17 @@ pub struct ExploreOptions {
     /// results; `jobs = 1` (the default) runs the same frontier/merge
     /// code path on a single worker.
     pub jobs: usize,
+    /// Use the prover-refined dependence relation for DPOR: run the
+    /// `semcc-refine` pruning pass over the explored types' dependency
+    /// graph and excuse statement pairs whose table conflict was proven
+    /// infeasible, at the statement shapes the proof covered. Shrinks
+    /// persistent sets and wakes sleep sets less often, so fewer
+    /// Mazurkiewicz representatives are executed — soundly, because a
+    /// pruned pair's events truly commute. Ignored (the base relation is
+    /// used) under [`ExploreOptions::injected_abort`]: the victim's
+    /// truncation + rollback invalidates the whole-program summaries the
+    /// prune proofs are about.
+    pub refine: bool,
 }
 
 impl Default for ExploreOptions {
@@ -121,6 +133,7 @@ impl Default for ExploreOptions {
             injected_abort: None,
             lock_timeout: Duration::ZERO,
             jobs: 1,
+            refine: false,
         }
     }
 }
@@ -175,9 +188,13 @@ pub struct ExploreResult {
 pub const MAX_DIVERGENT_EXAMPLES: usize = 8;
 
 impl ExploreResult {
-    /// No divergent schedule was found (and the exploration was complete).
+    /// No divergent schedule was found **and** the exploration was
+    /// complete. A truncated run proves nothing about the schedules it
+    /// never reached, so it is never clean — callers deciding verdicts or
+    /// exit codes must not mistake an exhausted budget for an exhausted
+    /// schedule space.
     pub fn clean(&self) -> bool {
-        self.divergent == 0
+        self.divergent == 0 && !self.truncated
     }
 
     /// Schedules neither executed nor blocked: pruned by DPOR (each
@@ -356,6 +373,125 @@ struct Ctx<'a> {
     stmt_fps: Vec<Vec<StmtFootprint>>,
     all_reads: Vec<BTreeSet<String>>,
     all_writes: Vec<BTreeSet<String>>,
+    /// Prover-refined dependence matrices ([`ExploreOptions::refine`]);
+    /// `None` means the base footprint-overlap relation applies.
+    refined: Option<Refined>,
+}
+
+/// Precomputed refined dependence, indexed by instance and event. Each
+/// matrix is the base token-overlap test with *excused* table tokens
+/// removed: a `tbl:T` conflict between two statements is excused when the
+/// refinement pass pruned the corresponding edge constituent between the
+/// two transaction types **and** both statements match the shape the
+/// prune proof covered (INSERT-only writer against SELECT-only reader for
+/// wr/rw constituents; INSERT-only against UPDATE/DELETE-only for ww).
+/// With no prunes every matrix reduces exactly to the base relation.
+struct Refined {
+    /// `[t][i][u][j]`: statements `i` of `t` and `j` of `u` stay dependent.
+    stmt_stmt: Vec<Vec<Vec<Vec<bool>>>>,
+    /// `[s][i][c]`: statement `i` of `s` is dependent on `c`'s commit.
+    stmt_commit: Vec<Vec<Vec<bool>>>,
+    /// `[b][c]`: `b`'s begin is dependent on `c`'s commit.
+    begin_commit: Vec<Vec<bool>>,
+    /// `[t][u]`: the two commits are dependent.
+    commit_commit: Vec<Vec<bool>>,
+}
+
+impl Refined {
+    /// Run the refinement pass over the explored types and lower its
+    /// program-pair prunes to event-pair matrices.
+    fn build(app: &App, specs: &[TxnSpec], stmt_fps: &[Vec<StmtFootprint>]) -> Refined {
+        let sub = sub_app(app, specs);
+        let report = semcc_refine::refine(&sub, &DepGraph::build(&sub));
+        let prunes: Vec<(String, String, String, String)> =
+            report.prunes.into_iter().map(|p| (p.from, p.to, p.kind, p.table)).collect();
+        let pruned = |from: &str, to: &str, kind: &str, table: &str| {
+            prunes.iter().any(|(f, t, k, tb)| f == from && t == to && k == kind && tb == table)
+        };
+        let k = specs.len();
+        let n: Vec<usize> = specs.iter().map(|s| s.program.body.len()).collect();
+        let name = |t: usize| specs[t].program.name.as_str();
+        let stmt = |t: usize, i: usize| &specs[t].program.body[i].stmt;
+        // writes(t,i) ∩ reads(u,j), minus excused table tokens.
+        let wr = |t: usize, i: usize, u: usize, j: usize| {
+            stmt_fps[t][i].writes.iter().any(|tok| {
+                if !stmt_fps[u][j].reads.contains(tok) {
+                    return false;
+                }
+                let Some(table) = tok.strip_prefix("tbl:") else {
+                    return true; // item tokens are never excused
+                };
+                let excused = (pruned(name(t), name(u), "wr", table)
+                    || pruned(name(u), name(t), "rw", table))
+                    && writes_table_insert_only(stmt(t, i), table)
+                    && reads_table_select_only(stmt(u, j), table);
+                !excused
+            })
+        };
+        // writes(t,i) ∩ writes(u,j), minus excused table tokens.
+        let ww = |t: usize, i: usize, u: usize, j: usize| {
+            stmt_fps[t][i].writes.iter().any(|tok| {
+                if !stmt_fps[u][j].writes.contains(tok) {
+                    return false;
+                }
+                let Some(table) = tok.strip_prefix("tbl:") else {
+                    return true;
+                };
+                let pair_pruned =
+                    pruned(name(t), name(u), "ww", table) || pruned(name(u), name(t), "ww", table);
+                let (si, sj) = (stmt(t, i), stmt(u, j));
+                let shapes = (writes_table_insert_only(si, table)
+                    && writes_table_region_only(sj, table))
+                    || (writes_table_region_only(si, table) && writes_table_insert_only(sj, table));
+                !(pair_pruned && shapes)
+            })
+        };
+        let stmt_stmt: Vec<Vec<Vec<Vec<bool>>>> = (0..k)
+            .map(|t| {
+                (0..n[t])
+                    .map(|i| {
+                        (0..k)
+                            .map(|u| {
+                                (0..n[u])
+                                    .map(|j| ww(t, i, u, j) || wr(t, i, u, j) || wr(u, j, t, i))
+                                    .collect()
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let stmt_commit: Vec<Vec<Vec<bool>>> = (0..k)
+            .map(|s| {
+                (0..n[s])
+                    .map(|i| {
+                        (0..k)
+                            .map(|c| {
+                                (0..n[c]).any(|ci| wr(c, ci, s, i) || ww(c, ci, s, i))
+                                    || (specs[c].level.long_read_locks()
+                                        && (0..n[c]).any(|ci| wr(s, i, c, ci)))
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let begin_commit: Vec<Vec<bool>> = (0..k)
+            .map(|b| {
+                (0..k)
+                    .map(|c| {
+                        specs[b].level.is_snapshot()
+                            && (0..n[c])
+                                .any(|ci| (0..n[b]).any(|j| wr(c, ci, b, j) || ww(c, ci, b, j)))
+                    })
+                    .collect()
+            })
+            .collect();
+        let commit_commit: Vec<Vec<bool>> = (0..k)
+            .map(|t| (0..k).map(|u| (0..n[t]).any(|i| (0..n[u]).any(|j| ww(t, i, u, j)))).collect())
+            .collect();
+        Refined { stmt_stmt, stmt_commit, begin_commit, commit_commit }
+    }
 }
 
 /// One DPOR tree node: a prefix the parent validated as executable, the
@@ -416,7 +552,15 @@ impl<'a> Ctx<'a> {
                 _ => s.program.body.len() + 2,
             })
             .collect();
-        Ctx { app, specs, opts, labels, n_events, stmt_fps, all_reads, all_writes }
+        // Refined dependence only applies to full (un-truncated) runs of
+        // every instance — an injected abort voids the program summaries
+        // the prune proofs quantify over.
+        let refined = if opts.refine && opts.injected_abort.is_none() {
+            Some(Refined::build(app, specs, &stmt_fps))
+        } else {
+            None
+        };
+        Ctx { app, specs, opts, labels, n_events, stmt_fps, all_reads, all_writes, refined }
     }
 
     /// A fresh worker-local engine. [`Engine::reset`] reproduces ids and
@@ -481,12 +625,16 @@ impl<'a> Ctx<'a> {
             (EvKind::Begin, EvKind::Stmt(_)) | (EvKind::Stmt(_), EvKind::Begin) => false,
             (EvKind::Begin, EvKind::Commit) => self.begin_commit_dep(t, u),
             (EvKind::Commit, EvKind::Begin) => self.begin_commit_dep(u, t),
-            (EvKind::Stmt(i), EvKind::Stmt(j)) => {
-                self.stmt_fps[t][i].conflicts(&self.stmt_fps[u][j])
-            }
+            (EvKind::Stmt(i), EvKind::Stmt(j)) => match &self.refined {
+                Some(r) => r.stmt_stmt[t][i][u][j],
+                None => self.stmt_fps[t][i].conflicts(&self.stmt_fps[u][j]),
+            },
             (EvKind::Stmt(i), EvKind::Commit) => self.stmt_commit_dep(t, i, u),
             (EvKind::Commit, EvKind::Stmt(j)) => self.stmt_commit_dep(u, j, t),
-            (EvKind::Commit, EvKind::Commit) => overlaps(&self.all_writes[t], &self.all_writes[u]),
+            (EvKind::Commit, EvKind::Commit) => match &self.refined {
+                Some(r) => r.commit_commit[t][u],
+                None => overlaps(&self.all_writes[t], &self.all_writes[u]),
+            },
             (EvKind::Abort, _) | (_, EvKind::Abort) => {
                 unreachable!("aborts are normalized to commits above")
             }
@@ -498,6 +646,9 @@ impl<'a> Ctx<'a> {
     /// transaction reads (snapshot contents) or writes (first-committer
     /// validation window). Non-snapshot begins observe nothing.
     fn begin_commit_dep(&self, b: usize, c: usize) -> bool {
+        if let Some(r) = &self.refined {
+            return r.begin_commit[b][c];
+        }
         self.specs[b].level.is_snapshot()
             && (overlaps(&self.all_writes[c], &self.all_reads[b])
                 || overlaps(&self.all_writes[c], &self.all_writes[b]))
@@ -508,6 +659,9 @@ impl<'a> Ctx<'a> {
     /// it is ordered against statements touching `c`'s write set — or
     /// writing into `c`'s read set when `c` held its read locks to commit.
     fn stmt_commit_dep(&self, s: usize, i: usize, c: usize) -> bool {
+        if let Some(r) = &self.refined {
+            return r.stmt_commit[s][i][c];
+        }
         let fp = &self.stmt_fps[s][i];
         overlaps(&self.all_writes[c], &fp.reads)
             || overlaps(&self.all_writes[c], &fp.writes)
@@ -1090,6 +1244,100 @@ mod tests {
             .expect("explore");
         assert!(r.truncated);
         assert!(r.explored + r.blocked <= 2);
+    }
+
+    /// Regression: a truncated run must never report itself clean, even
+    /// when the schedules it did reach all matched a serial order — the
+    /// unexplored remainder could hold the divergence.
+    #[test]
+    fn truncated_run_is_not_clean() {
+        let app = App::new().with_program(incr());
+        let ser = IsolationLevel::Serializable;
+        let specs: Vec<TxnSpec> =
+            specs_for(&app, &["Incr".into(), "Incr".into()], &[ser, ser]).expect("specs");
+        let r = explore(&app, &specs, &ExploreOptions { max_schedules: 1, ..Default::default() })
+            .expect("explore");
+        assert!(r.truncated);
+        assert_eq!(r.divergent, 0, "the single counted schedule is serial or blocked");
+        assert!(!r.clean(), "truncation must veto the clean verdict");
+
+        // Depth truncation takes the same veto path.
+        let r = explore(&app, &specs, &ExploreOptions { max_depth: Some(2), ..Default::default() })
+            .expect("explore");
+        assert!(r.truncated && !r.clean());
+
+        // And a complete divergence-free run still is clean.
+        let r = explore(&app, &specs, &ExploreOptions::default()).expect("explore");
+        assert!(!r.truncated && r.divergent == 0 && r.clean());
+    }
+
+    /// With nothing to prune (payroll has no INSERTs), the refined
+    /// dependence matrices must reproduce the base relation *exactly* —
+    /// every counter, example, and verdict bit-identical.
+    #[test]
+    fn refine_without_prunes_is_bit_identical() {
+        let app = semcc_workloads::payroll::app();
+        let names = vec!["Hours".to_string(), "Print_Records".to_string()];
+        for level in [IsolationLevel::ReadUncommitted, IsolationLevel::Serializable] {
+            let specs = specs_for(&app, &names, &[level, level]).expect("specs");
+            let base = explore(&app, &specs, &ExploreOptions::default()).expect("base");
+            let refined =
+                explore(&app, &specs, &ExploreOptions { refine: true, ..Default::default() })
+                    .expect("refined");
+            assert_eq!(format!("{base:?}"), format!("{refined:?}"), "level {level}");
+        }
+    }
+
+    /// On orders' New_Order × Delivery the prover deletes the wr/rw edge
+    /// constituents (the inserted order is due past `maximum_date`, outside
+    /// Delivery's region), so the refined explorer executes strictly fewer
+    /// schedules — with the same divergence verdict.
+    #[test]
+    fn refine_reduces_orders_new_order_delivery_schedules() {
+        let app = semcc_workloads::orders::app(false);
+        let names = vec!["New_Order".to_string(), "Delivery".to_string()];
+        let seed = ExploreOptions {
+            seed_cols: vec![("orders".into(), "deliv_date".into(), 1)],
+            ..Default::default()
+        };
+        for level in [IsolationLevel::ReadCommitted, IsolationLevel::Serializable] {
+            let specs = specs_for(&app, &names, &[level, level]).expect("specs");
+            let base = explore(&app, &specs, &seed).expect("base");
+            let refined = explore(&app, &specs, &ExploreOptions { refine: true, ..seed.clone() })
+                .expect("refined");
+            assert!(
+                refined.explored + refined.blocked < base.explored + base.blocked,
+                "refinement must shrink the explored space at {level}: \
+                 base {}+{}, refined {}+{}",
+                base.explored,
+                base.blocked,
+                refined.explored,
+                refined.blocked
+            );
+            assert_eq!(base.divergent > 0, refined.divergent > 0, "verdict must agree at {level}");
+            assert!(!base.truncated && !refined.truncated);
+        }
+    }
+
+    /// The refined relation is still jobs-invariant.
+    #[test]
+    fn refined_exploration_is_jobs_invariant() {
+        let app = semcc_workloads::orders::app(false);
+        let names = vec!["New_Order".to_string(), "Delivery".to_string()];
+        let specs = specs_for(
+            &app,
+            &names,
+            &[IsolationLevel::ReadCommitted, IsolationLevel::ReadCommitted],
+        )
+        .expect("specs");
+        let opts = ExploreOptions {
+            refine: true,
+            seed_cols: vec![("orders".into(), "deliv_date".into(), 1)],
+            ..Default::default()
+        };
+        let seq = explore(&app, &specs, &opts).expect("jobs=1");
+        let par = explore(&app, &specs, &ExploreOptions { jobs: 4, ..opts }).expect("jobs=4");
+        assert_eq!(format!("{seq:?}"), format!("{par:?}"));
     }
 
     /// The tentpole contract: any job count produces the *same* result,

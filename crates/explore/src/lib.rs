@@ -30,7 +30,8 @@ mod explore;
 mod spec;
 
 pub use diff::{
-    differential, differential_batch, differential_with_jobs, Differential, DifferentialVerdict,
+    differential, differential_batch, differential_refined_batch, differential_refined_with_jobs,
+    differential_with_jobs, Differential, DifferentialVerdict,
 };
 pub use explore::{
     explore, explore_sweep, explore_with_aborts, AbortCase, DivergentSchedule, ExploreOptions,

@@ -1,0 +1,37 @@
+//! Semantic refinement of the static serialization dependency graph.
+//!
+//! The SDG builder (`semcc_core::sdg`) classifies conflict edges from
+//! folded footprints and over-approximates wherever a region is unknown —
+//! most prominently for INSERT effects, whose written "region" is the
+//! single inserted row and not the whole table the builder assumes. This
+//! crate refines that graph with the prover:
+//!
+//! * [`refine`] re-examines every table constituent of every edge,
+//!   generates a *feasibility obligation* from the two sides' symbolic
+//!   summaries and declared preconditions, and deletes constituents whose
+//!   obligations are all refutable. Every prune carries a
+//!   [`semcc_cert::PruneCert`] with the full Fourier–Motzkin refutation
+//!   traces, replayable by `semcc-cert`'s independent kernel — the same
+//!   trusted-premise discipline as the analyzer's proof certificates (the
+//!   declared statement preconditions are the premises).
+//! * [`predict_deadlocks`] derives, per isolation-level vector, the lock
+//!   requests each level's discipline implies over the refined footprints
+//!   and reports potential two-transaction wait-for cycles as advisory
+//!   `SEMCC-W006` diagnostics.
+//! * The statement-shape helpers ([`writes_table_insert_only`] and
+//!   friends) let the schedule-space explorer consume prunes at statement
+//!   granularity when computing persistent sets.
+//!
+//! Refinement never weakens soundness: a constituent is deleted only when
+//! the prover *refutes* every way the two footprints could touch a common
+//! row, and the refutations themselves are machine-checked downstream.
+
+#![warn(missing_docs)]
+
+mod deadlock;
+mod prune;
+mod shapes;
+
+pub use deadlock::{predict_deadlocks, DeadlockAdvisory};
+pub use prune::{refine, refine_opts, RefineReport};
+pub use shapes::{reads_table_select_only, writes_table_insert_only, writes_table_region_only};

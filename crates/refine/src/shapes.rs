@@ -1,0 +1,51 @@
+//! Statement-shape predicates: how a single top-level statement touches a
+//! table. The prune certificates of [`crate::refine`] are proven over
+//! whole-program summaries; these helpers let a consumer (the explorer's
+//! persistent-set computation) apply a program-pair prune at statement
+//! granularity, by checking that the statement only touches the table in
+//! the shape the proof covered.
+
+use semcc_txn::stmt::Stmt;
+
+/// Whether every write `s` performs on `table` is an INSERT (no UPDATE or
+/// DELETE on it, in any branch or loop body). Vacuously true when the
+/// statement does not write the table at all.
+pub fn writes_table_insert_only(s: &Stmt, table: &str) -> bool {
+    walk(s, &mut |s| match s {
+        Stmt::Update { table: t, .. } | Stmt::Delete { table: t, .. } => t != table,
+        _ => true,
+    })
+}
+
+/// Whether every read `s` performs on `table` is a SELECT-family read.
+/// UPDATE and DELETE also read the rows their filters pick out, so their
+/// presence disqualifies the statement.
+pub fn reads_table_select_only(s: &Stmt, table: &str) -> bool {
+    walk(s, &mut |s| match s {
+        Stmt::Update { table: t, .. } | Stmt::Delete { table: t, .. } => t != table,
+        _ => true,
+    })
+}
+
+/// Whether every write `s` performs on `table` carries a region filter
+/// (UPDATE/DELETE only — no INSERT on it anywhere).
+pub fn writes_table_region_only(s: &Stmt, table: &str) -> bool {
+    walk(s, &mut |s| match s {
+        Stmt::Insert { table: t, .. } => t != table,
+        _ => true,
+    })
+}
+
+/// Depth-first check over a statement tree; `ok` must hold everywhere.
+fn walk(s: &Stmt, ok: &mut dyn FnMut(&Stmt) -> bool) -> bool {
+    if !ok(s) {
+        return false;
+    }
+    match s {
+        Stmt::If { then_branch, else_branch, .. } => {
+            then_branch.iter().chain(else_branch.iter()).all(|a| walk(&a.stmt, ok))
+        }
+        Stmt::While { body, .. } => body.iter().all(|a| walk(&a.stmt, ok)),
+        _ => true,
+    }
+}
