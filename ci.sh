@@ -139,6 +139,71 @@ jobs_match "$tmpdir/banking.json" \
     --txns Withdraw_sav,Withdraw_ch --levels SI,SI
 echo "   explore: byte-identical JSON at jobs 1 vs 8 (Examples 2 & 3 + sweep)"
 
+echo "== whole-mix synthesis (Figures 2-5, policy determinism, certificates) =="
+# The primary Pareto-minimal vector must project to the paper's per-type
+# assignments: Figure 2 (Mailing_List -> RU), Figure 3 (New_Order -> RC,
+# strict New_Order -> RC+FCW), Figure 4 (Delivery -> RR), Figure 5
+# (Audit -> SER).
+cargo run -q -p semcc-cli -- synth "$tmpdir/orders.json" > "$tmpdir/synth.orders.txt"
+for want in \
+    "Mailing_List: READ UNCOMMITTED" \
+    "Mailing_List_strict: READ COMMITTED" \
+    "New_Order: READ COMMITTED" \
+    "Delivery: REPEATABLE READ" \
+    "Audit: SERIALIZABLE"; do
+    if ! grep -qF "$want" "$tmpdir/synth.orders.txt"; then
+        echo "ci: synth orders missing \"$want\"" >&2
+        cat "$tmpdir/synth.orders.txt" >&2
+        exit 1
+    fi
+done
+cargo run -q -p semcc-cli -- synth "$tmpdir/orders-strict.json" \
+    > "$tmpdir/synth.orders-strict.txt"
+if ! grep -qF "New_Order_strict: READ COMMITTED+FCW" "$tmpdir/synth.orders-strict.txt"; then
+    echo "ci: synth orders-strict: New_Order_strict must assign RC+FCW" >&2
+    cat "$tmpdir/synth.orders-strict.txt" >&2
+    exit 1
+fi
+echo "   synth: Figures 2-5 per-type assignments reproduced"
+# The admission-policy artifact must be byte-identical across --jobs 1 /
+# --jobs 8 and across repeated runs, and the synthesis certificate's
+# predecessor refutations must replay in the independent checker.
+cargo run -q -p semcc-cli -- synth "$tmpdir/orders.json" --jobs 1 \
+    --out "$tmpdir/policy.1.json" --cert "$tmpdir/synth.orders.cert.json" > /dev/null
+cargo run -q -p semcc-cli -- synth "$tmpdir/orders.json" --jobs 8 \
+    --out "$tmpdir/policy.8.json" > /dev/null
+cargo run -q -p semcc-cli -- synth "$tmpdir/orders.json" --jobs 1 \
+    --out "$tmpdir/policy.1b.json" > /dev/null
+if ! cmp -s "$tmpdir/policy.1.json" "$tmpdir/policy.8.json"; then
+    echo "ci: policy.json differs between --jobs 1 and --jobs 8" >&2
+    diff "$tmpdir/policy.1.json" "$tmpdir/policy.8.json" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$tmpdir/policy.1.json" "$tmpdir/policy.1b.json"; then
+    echo "ci: policy.json differs between repeated runs" >&2
+    diff "$tmpdir/policy.1.json" "$tmpdir/policy.1b.json" >&2 || true
+    exit 1
+fi
+echo "   synth: policy.json byte-identical across --jobs 1/8 and repeated runs"
+cargo run -q -p semcc-cli -- verify-cert "$tmpdir/synth.orders.cert.json" > /dev/null
+# Banking's refutations are scalar: the certificate must carry FM
+# countermodels the independent checker re-evaluates (not just trusted
+# refutation traces).
+cargo run -q -p semcc-cli -- synth "$tmpdir/banking.json" \
+    --cert "$tmpdir/synth.banking.cert.json" > /dev/null
+bank_verify=$(cargo run -q -p semcc-cli -- verify-cert "$tmpdir/synth.banking.cert.json")
+echo "$bank_verify" | grep -q "certificate VERIFIED" || {
+    echo "ci: banking synthesis certificate failed verification" >&2
+    echo "$bank_verify" >&2
+    exit 1
+}
+if echo "$bank_verify" | grep -q " 0 synthesis countermodel"; then
+    echo "ci: banking synthesis certificate carries no countermodels" >&2
+    echo "$bank_verify" >&2
+    exit 1
+fi
+echo "   synth: certificates replay clean under verify-cert (countermodels checked)"
+
 echo "== fault-injection smoke (determinism + audited abort paths) =="
 # Two runs with the same seed must print bit-for-bit identical JSON
 # (including the fault-event trail), inject a nonzero number of faults,

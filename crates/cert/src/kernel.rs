@@ -459,6 +459,44 @@ fn replay_trace(constraints: &[KConstraint], trace: &FmTrace) -> Result<(), Stri
     }
 }
 
+/// Evaluate a linear term under an integer model. Variables absent from
+/// the model default to 0 — the model plus the zero-default is a *total*
+/// assignment, so the evaluation is still a complete check (the prover
+/// omits variables it eliminated by equality substitution). `None` only
+/// on overflow — an undecided evaluation, never a wrong one.
+fn eval_term(t: &KTerm, model: &BTreeMap<Var, i128>) -> Option<i128> {
+    let mut acc = t.constant;
+    for (v, c) in &t.coeffs {
+        let x = model.get(v).copied().unwrap_or(0);
+        acc = acc.checked_add(c.checked_mul(x)?)?;
+    }
+    Some(acc)
+}
+
+/// Whether the model (zero-defaulted to a total assignment) satisfies
+/// *every* literal of the branch. `Some(true)` only when each literal is
+/// a linearizable comparison whose constraints all evaluate under the
+/// model; `None` when the branch contains anything the evaluator cannot
+/// decide (`false`, string or boolean atoms, non-linear arithmetic,
+/// arithmetic overflow).
+pub(crate) fn branch_satisfied(lits: &[KLit], model: &BTreeMap<Var, i128>) -> Option<bool> {
+    for l in lits {
+        match l {
+            KLit::Cmp(op, a, b) => {
+                for c in comparison(*op, a, b)? {
+                    let val = eval_term(&c.term, model)?;
+                    let ok = if c.is_eq { val == 0 } else { val <= 0 };
+                    if !ok {
+                        return Some(false);
+                    }
+                }
+            }
+            KLit::Falsum | KLit::Str { .. } | KLit::Bool { .. } => return None,
+        }
+    }
+    Some(true)
+}
+
 /// Collect the names of every opaque atom occurring in a predicate
 /// (used to cross-check `Lemma`/`Footprint` step coverage).
 pub(crate) fn opaque_atom_names(p: &Pred, out: &mut Vec<String>) {

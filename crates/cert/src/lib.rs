@@ -28,6 +28,13 @@
 //!   prose arguments and are validated empirically by the runtime monitor
 //!   rather than logically by this checker.
 //!
+//! Synthesis certificates ([`MinimalVectorCert`]) follow the same split:
+//! a [`PredEvidence::Countermodel`] is fully re-verified (the checker
+//! rebuilds the violated obligation by substitution, expands it with its
+//! own kernel, and evaluates the recorded integer model against a
+//! branch), while [`PredEvidence::Trusted`] records a non-scalar failure
+//! (lock-footprint or table-region interference) as a trusted premise.
+//!
 //! The checker also cannot know whether the analyzer enumerated *all*
 //! obligations a theorem requires — it certifies that every *claimed*
 //! discharge is genuine, the classic translation-validation contract.
@@ -40,7 +47,7 @@ use semcc_json::{FromJson, Json, JsonError, ToJson};
 use semcc_logic::certtrace::UnsatProof;
 use semcc_logic::{Expr, Pred, Var};
 
-pub use verify::{verify, VerifyReport};
+pub use verify::{check_countermodel, verify, VerifyReport};
 
 /// One reasoning step discharging part of a non-interference obligation.
 #[derive(Clone, Debug, PartialEq)]
@@ -166,6 +173,76 @@ pub struct LemmaDecl {
     pub scope: String,
 }
 
+/// Evidence refuting one immediate-predecessor vector of a synthesized
+/// Pareto-minimal isolation-level vector.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(clippy::large_enum_variant)] // Countermodel is the common case; boxing would only tax it
+pub enum PredEvidence {
+    /// A concrete integer countermodel of the violated non-interference
+    /// obligation: an assignment satisfying
+    /// `P ∧ P' ∧ ¬P[assign, havoc←fresh]`. Fully re-verified — the
+    /// checker rebuilds the goal by substitution, expands it with its own
+    /// kernel, and evaluates the model against a branch.
+    Countermodel {
+        /// The protected assertion `P`.
+        assertion: Pred,
+        /// The interfering path's condition `P'`.
+        condition: Pred,
+        /// The path's simultaneous scalar assignment.
+        assign: Vec<(Var, Expr)>,
+        /// Havoced item → fresh rigid constant, in havoc-list order.
+        havoc_fresh: Vec<(Var, Var)>,
+        /// The violating integer assignment.
+        model: Vec<(Var, i64)>,
+    },
+    /// The failure was non-scalar (lock-footprint or table-region
+    /// interference the kernel cannot evaluate a model against);
+    /// accepted as a trusted premise like [`Step::TableRule`], with the
+    /// analyzer's reason recorded.
+    Trusted {
+        /// The analyzer's interference reason.
+        reason: String,
+    },
+}
+
+/// One refuted immediate predecessor of a Pareto-minimal level vector:
+/// lowering `txn` to `level` breaks the named pair lemma.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PredecessorCert {
+    /// Transaction type whose coordinate was lowered.
+    pub txn: String,
+    /// The lowered-to level (printed form).
+    pub level: String,
+    /// Victim of the failing pair lemma.
+    pub victim: String,
+    /// Interferer of the failing pair lemma.
+    pub interferer: String,
+    /// Level the victim runs at in the predecessor vector.
+    pub victim_level: String,
+    /// Whether the interferer's class is SNAPSHOT in the predecessor.
+    pub partner_snapshot: bool,
+    /// Description of the violated obligation.
+    pub what: String,
+    /// The refutation evidence.
+    pub evidence: PredEvidence,
+    /// Executable witness schedule compiled from the refutation
+    /// (replay provenance, not re-checked; empty when no replay ran).
+    pub schedule: Vec<String>,
+    /// Whether the witness replay exhibited the predicted anomaly
+    /// (`None` when no replay ran).
+    pub confirmed: Option<bool>,
+}
+
+/// A synthesized Pareto-minimal isolation-level vector with its
+/// optimality certificate: every immediate predecessor refuted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MinimalVectorCert {
+    /// `(transaction type, level)` per coordinate, in application order.
+    pub levels: Vec<(String, String)>,
+    /// One refutation per immediate predecessor, in coordinate order.
+    pub predecessors: Vec<PredecessorCert>,
+}
+
 /// A proof certificate for an application's analysis run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Certificate {
@@ -178,6 +255,9 @@ pub struct Certificate {
     /// Refinement prunes (empty for certificates produced without
     /// `--refine`; absent in pre-refinement certificate files).
     pub prunes: Vec<PruneCert>,
+    /// Synthesis optimality certificates (empty for certificates produced
+    /// without `synth`; absent in older certificate files).
+    pub synth: Vec<MinimalVectorCert>,
 }
 
 impl ToJson for Step {
@@ -331,6 +411,92 @@ impl FromJson for PruneCert {
     }
 }
 
+impl ToJson for PredEvidence {
+    fn to_json(&self) -> Json {
+        match self {
+            PredEvidence::Countermodel { assertion, condition, assign, havoc_fresh, model } => {
+                Json::tagged(
+                    "Countermodel",
+                    Json::obj([
+                        ("assertion", assertion.to_json()),
+                        ("condition", condition.to_json()),
+                        ("assign", assign.to_json()),
+                        ("havoc_fresh", havoc_fresh.to_json()),
+                        ("model", model.to_json()),
+                    ]),
+                )
+            }
+            PredEvidence::Trusted { reason } => Json::tagged("Trusted", Json::str(reason)),
+        }
+    }
+}
+
+impl FromJson for PredEvidence {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let (tag, p) = j.as_tagged()?;
+        match tag {
+            "Countermodel" => Ok(PredEvidence::Countermodel {
+                assertion: p.field("assertion")?,
+                condition: p.field("condition")?,
+                assign: p.field("assign")?,
+                havoc_fresh: p.field("havoc_fresh")?,
+                model: p.field("model")?,
+            }),
+            "Trusted" => Ok(PredEvidence::Trusted { reason: String::from_json(p)? }),
+            other => Err(JsonError::new(format!("unknown PredEvidence variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for PredecessorCert {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("txn", Json::str(&self.txn)),
+            ("level", Json::str(&self.level)),
+            ("victim", Json::str(&self.victim)),
+            ("interferer", Json::str(&self.interferer)),
+            ("victim_level", Json::str(&self.victim_level)),
+            ("partner_snapshot", self.partner_snapshot.to_json()),
+            ("what", Json::str(&self.what)),
+            ("evidence", self.evidence.to_json()),
+            ("schedule", self.schedule.to_json()),
+            ("confirmed", self.confirmed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PredecessorCert {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(PredecessorCert {
+            txn: j.field("txn")?,
+            level: j.field("level")?,
+            victim: j.field("victim")?,
+            interferer: j.field("interferer")?,
+            victim_level: j.field("victim_level")?,
+            partner_snapshot: j.field("partner_snapshot")?,
+            what: j.field("what")?,
+            evidence: j.field("evidence")?,
+            schedule: j.field("schedule")?,
+            confirmed: j.field("confirmed")?,
+        })
+    }
+}
+
+impl ToJson for MinimalVectorCert {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("levels", self.levels.to_json()),
+            ("predecessors", self.predecessors.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MinimalVectorCert {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(MinimalVectorCert { levels: j.field("levels")?, predecessors: j.field("predecessors")? })
+    }
+}
+
 impl ToJson for Certificate {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -338,6 +504,7 @@ impl ToJson for Certificate {
             ("lemmas", self.lemmas.to_json()),
             ("reports", self.reports.to_json()),
             ("prunes", self.prunes.to_json()),
+            ("synth", self.synth.to_json()),
         ])
     }
 }
@@ -349,6 +516,7 @@ impl FromJson for Certificate {
             lemmas: j.field("lemmas")?,
             reports: j.field("reports")?,
             prunes: j.opt_field("prunes")?.unwrap_or_default(),
+            synth: j.opt_field("synth")?.unwrap_or_default(),
         })
     }
 }

@@ -1,11 +1,11 @@
 //! Certificate verification.
 
 use crate::kernel;
-use crate::{Certificate, LemmaDecl, ObligationCert, PruneCert, Step};
+use crate::{Certificate, LemmaDecl, ObligationCert, PredEvidence, PruneCert, Step};
 use semcc_logic::certtrace::UnsatProof;
 use semcc_logic::subst::Subst;
 use semcc_logic::{Expr, Pred, Var};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Outcome of verifying a [`Certificate`].
 #[derive(Clone, Debug, Default)]
@@ -19,6 +19,13 @@ pub struct VerifyReport {
     pub trusted_steps: usize,
     /// Refinement-prune feasibility proofs fully replayed.
     pub prune_proofs: usize,
+    /// Synthesis predecessor countermodels fully re-validated (goal
+    /// rebuilt by substitution, model evaluated against the kernel's own
+    /// expansion).
+    pub countermodels: usize,
+    /// Synthesis predecessor refutations accepted as trusted premises
+    /// (non-scalar failures the kernel cannot evaluate a model against).
+    pub synth_trusted: usize,
     /// Verification errors (empty iff the certificate is valid).
     pub errors: Vec<String>,
 }
@@ -60,7 +67,83 @@ pub fn verify(cert: &Certificate) -> VerifyReport {
             report.errors.push(format!("{whre}: {err}"));
         }
     }
+    for (i, mv) in cert.synth.iter().enumerate() {
+        for (k, p) in mv.predecessors.iter().enumerate() {
+            let whre = format!("synth vector #{i} predecessor #{k} ({}↓{})", p.txn, p.level);
+            match &p.evidence {
+                PredEvidence::Countermodel { assertion, condition, assign, havoc_fresh, model } => {
+                    match check_countermodel(assertion, condition, assign, havoc_fresh, model) {
+                        Ok(()) => report.countermodels += 1,
+                        Err(e) => report.errors.push(format!("{whre}: {e}")),
+                    }
+                }
+                PredEvidence::Trusted { reason } => {
+                    if reason.is_empty() {
+                        report.errors.push(format!("{whre}: trusted evidence with no reason"));
+                    } else {
+                        report.synth_trusted += 1;
+                    }
+                }
+            }
+        }
+    }
     report
+}
+
+/// Re-validate a synthesis countermodel: the recorded integer assignment
+/// must genuinely violate the non-interference obligation. The goal
+/// `P ∧ P' ∧ ¬P[assign, havoc←fresh]` is rebuilt by substitution —
+/// exactly as the analyzer phrases its violation query — expanded with
+/// the kernel's own DNF, and the model is accepted only if it satisfies
+/// every literal of some branch through linear evaluation. Fresh
+/// constants are occurs-checked as in substitution proofs.
+pub fn check_countermodel(
+    assertion: &Pred,
+    condition: &Pred,
+    assign: &[(Var, Expr)],
+    havoc_fresh: &[(Var, Var)],
+    model: &[(Var, i64)],
+) -> Result<(), String> {
+    // Freshness: rigid, pairwise distinct, absent from everything the
+    // constants generalize over.
+    let mut forbidden: BTreeSet<Var> = assertion.vars().into_iter().collect();
+    forbidden.extend(condition.vars());
+    for (v, e) in assign {
+        forbidden.insert(v.clone());
+        forbidden.extend(e.vars());
+    }
+    let mut seen: BTreeSet<&Var> = BTreeSet::new();
+    for (_, f) in havoc_fresh {
+        if !f.is_rigid() {
+            return Err(format!("fresh constant `{f}` is not rigid"));
+        }
+        if forbidden.contains(f) {
+            return Err(format!("fresh constant `{f}` occurs in the obligation"));
+        }
+        if !seen.insert(f) {
+            return Err(format!("fresh constant `{f}` used twice"));
+        }
+    }
+    let mut s = Subst::new();
+    for (v, e) in assign {
+        s.insert(v.clone(), e.clone());
+    }
+    for (v, f) in havoc_fresh {
+        s.insert(v.clone(), Expr::Var(f.clone()));
+    }
+    let post = s.apply_pred(assertion);
+    let goal = Pred::and([assertion.clone(), condition.clone(), Pred::not(post)]);
+    let branches = kernel::dnf_branches(&goal, kernel::MAX_BRANCHES)
+        .ok_or("DNF expansion exceeded the branch budget")?;
+    let m: BTreeMap<Var, i128> = model.iter().map(|(v, x)| (v.clone(), i128::from(*x))).collect();
+    if m.len() != model.len() {
+        return Err("model binds a variable twice".into());
+    }
+    if branches.iter().any(|lits| kernel::branch_satisfied(lits, &m) == Some(true)) {
+        Ok(())
+    } else {
+        Err("model satisfies no arithmetic branch of the violated obligation".into())
+    }
 }
 
 /// Replay a refinement prune: each recorded obligation's refutation is

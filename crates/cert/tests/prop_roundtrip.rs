@@ -158,6 +158,7 @@ fn certificate(rng: &mut StdRng) -> Certificate {
             })
             .collect(),
         prunes: Vec::new(),
+        synth: Vec::new(),
     }
 }
 

@@ -66,6 +66,7 @@ fn main() -> ExitCode {
         Some("obligations") => cmd_obligations(&args[1..]),
         Some("certify") => cmd_certify(&args[1..]),
         Some("verify-cert") => cmd_verify_cert(&args[1..]),
+        Some("synth") => cmd_synth(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(Findings::Clean)
@@ -102,6 +103,8 @@ fn print_usage() {
     println!("  semcc obligations <app.json>");
     println!("  semcc certify <app.json> [--refine] [--out cert.json]");
     println!("  semcc verify-cert <cert.json>");
+    println!("  semcc synth <app.json> [--out policy.json] [--cert cert.json]");
+    println!("              [--no-witness] [--jobs N] [--json]");
     println!();
     println!("LEVELs: \"READ UNCOMMITTED\", \"READ COMMITTED\", \"READ COMMITTED+FCW\",");
     println!("        \"REPEATABLE READ\", \"SNAPSHOT\", \"SERIALIZABLE\"");
@@ -300,14 +303,18 @@ fn cmd_lint(args: &[String]) -> CmdResult {
         Some(list) => Some(parse_level_vector(&app, list)?.0),
     };
     let mut report = lint(&app, levels.as_ref());
+    // SEMCC-W006 deadlock advisories are static and cheap: predict them
+    // at the linted level vector unconditionally (the admission-policy
+    // artifact embeds the same advisories, so `lint --json` must expose
+    // them without requiring the refinement pass).
+    let level_map: BTreeMap<String, IsolationLevel> = report.levels.iter().cloned().collect();
+    let advisories = semcc_refine::predict_deadlocks(&app, &level_map);
     let refinement = if refine {
         let base = semcc_core::DepGraph::build(&app);
         let refined = semcc_refine::refine(&app, &base);
-        let level_map: BTreeMap<String, IsolationLevel> = report.levels.iter().cloned().collect();
-        let advisories = semcc_refine::predict_deadlocks(&app, &level_map);
         // The provenance edges reported downstream are the refined ones.
         report.edges = refined.graph.edges.clone();
-        Some((refined, advisories))
+        Some(refined)
     } else {
         None
     };
@@ -321,11 +328,17 @@ fn cmd_lint(args: &[String]) -> CmdResult {
     };
     if json_out {
         let mut json = lint_report_json(&report);
+        if let Json::Obj(fields) = &mut json {
+            fields.push((
+                "deadlocks".to_string(),
+                Json::Arr(advisories.iter().map(deadlock_json).collect()),
+            ));
+        }
         if let (Some(ws), Json::Obj(fields)) = (&witnesses, &mut json) {
             fields.push(("witnesses".to_string(), witnesses_json(ws)));
         }
-        if let (Some((refined, advisories)), Json::Obj(fields)) = (&refinement, &mut json) {
-            fields.push(("refine".to_string(), refine_json(refined, advisories)));
+        if let (Some(refined), Json::Obj(fields)) = (&refinement, &mut json) {
+            fields.push(("refine".to_string(), refine_json(refined, &advisories)));
         }
         println!("{}", json.to_pretty());
     } else {
@@ -333,8 +346,8 @@ fn cmd_lint(args: &[String]) -> CmdResult {
         if let Some(ws) = &witnesses {
             print_witnesses(ws);
         }
-        if let Some((refined, advisories)) = &refinement {
-            print_refinement(refined, advisories);
+        if let Some(refined) = &refinement {
+            print_refinement(refined, &advisories);
         }
     }
     if report.clean() {
@@ -1475,12 +1488,15 @@ fn cmd_verify_cert(args: &[String]) -> CmdResult {
     let report = semcc_cert::verify(&cert);
     println!(
         "{}: {} obligation(s), {} substitution proof(s) replayed, {} trusted premise(s), \
-         {} prune proof(s) replayed",
+         {} prune proof(s) replayed, {} synthesis countermodel(s) checked, \
+         {} trusted refutation trace(s)",
         cert.app,
         report.obligations,
         report.substitution_proofs,
         report.trusted_steps,
-        report.prune_proofs
+        report.prune_proofs,
+        report.countermodels,
+        report.synth_trusted
     );
     if report.is_valid() {
         println!("certificate VERIFIED (independent checker, no prover linked)");
@@ -1493,6 +1509,99 @@ fn cmd_verify_cert(args: &[String]) -> CmdResult {
         println!("{} verification error(s)", report.errors.len());
         Ok(Findings::Diagnostics)
     }
+}
+
+/// `semcc synth`: whole-mix isolation-level synthesis. Searches the
+/// lattice of per-type level vectors, prints the primary (ladder-only)
+/// Pareto-minimal assignment, and optionally writes the deterministic
+/// admission-policy artifact and the synthesis certificate.
+fn cmd_synth(args: &[String]) -> CmdResult {
+    let mut path: Option<&String> = None;
+    let mut out: Option<&String> = None;
+    let mut cert_out: Option<&String> = None;
+    let mut json_out = false;
+    let mut witnesses = true;
+    let mut jobs = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = Some(it.next().ok_or("--out needs a file path")?),
+            "--cert" => cert_out = Some(it.next().ok_or("--cert needs a file path")?),
+            "--json" => json_out = true,
+            "--no-witness" => witnesses = false,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a number")?;
+                jobs = v.parse().map_err(|_| format!("bad --jobs `{v}`"))?;
+            }
+            _ if path.is_none() => path = Some(a),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let path = path.ok_or(
+        "usage: semcc synth <app.json> [--out policy.json] [--cert cert.json] [--no-witness] \
+         [--jobs N] [--json]",
+    )?;
+    let app = load_app(path)?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("app")
+        .to_string();
+    let opts = semcc_synth::SynthOptions { jobs, witnesses, ..Default::default() };
+    let syn = semcc_synth::synthesize(&app, &opts)?;
+    let greedy = assign_levels(&app, &default_ladder());
+    let cert = semcc_synth::policy::synth_certificate(&app, &name, &syn);
+    let digest = semcc_synth::policy::certificate_digest(&cert);
+    let primary = syn.primary();
+    let level_map: BTreeMap<String, IsolationLevel> =
+        syn.txns.iter().cloned().zip(primary.levels.iter().cloned()).collect();
+    let advisories = semcc_refine::predict_deadlocks(&app, &level_map);
+    let policy = semcc_synth::policy_json(&name, &syn, &greedy, &advisories, &digest);
+    if let Some(cert_out) = cert_out {
+        std::fs::write(cert_out, semcc_json::to_string_pretty(&cert))
+            .map_err(|e| format!("writing {cert_out}: {e}"))?;
+    }
+    if let Some(out) = out {
+        std::fs::write(out, policy.to_pretty()).map_err(|e| format!("writing {out}: {e}"))?;
+    }
+    if json_out {
+        println!("{}", policy.to_pretty());
+        return Ok(Findings::Clean);
+    }
+    let s = &syn.stats;
+    println!("synthesized isolation policy for {name} ({} types, lattice {})", s.types, s.lattice);
+    println!();
+    let snapshot_ok = |t: &str| greedy.iter().any(|a| a.txn == t && a.snapshot_ok);
+    for (t, l) in syn.txns.iter().zip(&primary.levels) {
+        let snap = if snapshot_ok(t) { "  [snapshot ok]" } else { "" };
+        println!("{t}: {}{snap}", l.name());
+    }
+    println!();
+    let refuted: usize = syn.minimal.iter().map(|m| m.predecessors.len()).sum();
+    println!(
+        "{} Pareto-minimal safe vector(s), {} immediate predecessor(s) refuted",
+        syn.minimal.len(),
+        refuted
+    );
+    println!(
+        "search: visited {} of {} ({:.1}%), pruned-safe {}, pruned-unsafe {}, cache-complete {}",
+        s.visited,
+        s.lattice,
+        100.0 * s.visited as f64 / s.lattice as f64,
+        s.pruned_safe,
+        s.pruned_unsafe,
+        s.cache_complete
+    );
+    println!(
+        "pair lemmas: {} evaluated (naive sweep: {}), {} cache hit(s); \
+         prover: {} call(s), {} memo hit(s)",
+        s.pair_evals, s.naive_pair_evals, s.pair_hits, s.prover_calls, s.prover_cache_hits
+    );
+    for a in &advisories {
+        println!("{} {}", a.code, a.message);
+    }
+    println!("certificate digest {digest}");
+    Ok(Findings::Clean)
 }
 
 #[cfg(test)]
@@ -1629,7 +1738,46 @@ mod tests {
             assert!(cmd_analyze(std::slice::from_ref(&p)).is_err(), "{name}");
             assert!(cmd_certify(std::slice::from_ref(&p)).is_err(), "{name}");
             assert!(cmd_verify_cert(std::slice::from_ref(&p)).is_err(), "{name}");
+            assert!(cmd_synth(std::slice::from_ref(&p)).is_err(), "{name}");
         }
+    }
+
+    #[test]
+    fn synth_writes_a_deterministic_policy_and_verifiable_certificate() {
+        let app = tmp_app("synth_payroll.json", "payroll");
+        let dir = std::env::temp_dir().join("semcc_cli_test");
+        let policy1 = dir.join("synth_p1.json");
+        let policy2 = dir.join("synth_p2.json");
+        let cert = dir.join("synth_c.json");
+        let args = |out: &std::path::Path| {
+            vec![
+                app.clone(),
+                "--out".into(),
+                out.to_str().unwrap().to_string(),
+                "--cert".into(),
+                cert.to_str().unwrap().to_string(),
+            ]
+        };
+        assert_eq!(cmd_synth(&args(&policy1)), Ok(Findings::Clean));
+        let c1 = std::fs::read_to_string(&cert).expect("cert written");
+        assert_eq!(cmd_synth(&args(&policy2)), Ok(Findings::Clean));
+        let c2 = std::fs::read_to_string(&cert).expect("cert written");
+        // Repeated runs are byte-identical — artifact and certificate.
+        assert_eq!(
+            std::fs::read_to_string(&policy1).unwrap(),
+            std::fs::read_to_string(&policy2).unwrap()
+        );
+        assert_eq!(c1, c2);
+        // The artifact parses, names the app, and binds the certificate.
+        let policy: Json =
+            semcc_json::from_str(&std::fs::read_to_string(&policy1).unwrap()).expect("parses");
+        assert_eq!(policy.get("artifact").and_then(Json::as_str), Some("semcc-admission-policy"));
+        let digest =
+            policy.get("certificate_digest").and_then(Json::as_str).expect("digest present");
+        assert!(digest.starts_with("fnv1a:"), "{digest}");
+        // And the certificate passes the independent checker.
+        let parsed: semcc_cert::Certificate = semcc_json::from_str(&c1).expect("cert parses");
+        assert!(semcc_cert::verify(&parsed).is_valid());
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! The Section 5 procedure: choose the lowest safe isolation level.
 
 use crate::app::App;
-use crate::theorems::{check_at_level, LevelReport};
+use crate::interfere::Analyzer;
+use crate::theorems::{check_with, LevelReport};
 use semcc_engine::IsolationLevel;
+use semcc_txn::symexec::SymOptions;
 
 /// The analyzer's verdict for one transaction type.
 #[derive(Clone, Debug)]
@@ -17,6 +19,11 @@ pub struct Assignment {
     /// (Theorem 5) — reported separately, as the paper keeps SNAPSHOT
     /// outside the ANSI ladder.
     pub snapshot_ok: bool,
+    /// Prover queries this type's ladder walk answered from the shared
+    /// memo cache instead of re-proving (identical obligations recur
+    /// across levels — and across types, since the walk shares one
+    /// analyzer).
+    pub cache_hits: usize,
     /// The per-level reports that led to the decision (in ladder order, up
     /// to and including the assigned level, plus the SNAPSHOT report).
     pub reports: Vec<LevelReport>,
@@ -49,13 +56,18 @@ pub struct Assignment {
 /// assert_eq!(a.level, IsolationLevel::ReadUncommitted);
 /// ```
 pub fn assign_levels(app: &App, ladder: &[IsolationLevel]) -> Vec<Assignment> {
+    // One analyzer for the whole walk: identical obligations recur across
+    // ladder steps (and across types), so the memo cache answers them
+    // without re-proving. Each report still carries only its own deltas;
+    // the per-type `cache_hits` sums them.
+    let analyzer = Analyzer::new(app);
     app.programs
         .iter()
         .map(|p| {
             let mut reports = Vec::new();
             let mut assigned = *ladder.last().expect("non-empty ladder");
             for level in ladder {
-                let r = check_at_level(app, &p.name, *level);
+                let r = check_with(&analyzer, app, &p.name, *level, SymOptions::default());
                 let ok = r.ok;
                 reports.push(r);
                 if ok {
@@ -63,10 +75,17 @@ pub fn assign_levels(app: &App, ladder: &[IsolationLevel]) -> Vec<Assignment> {
                     break;
                 }
             }
-            let snap = check_at_level(app, &p.name, IsolationLevel::Snapshot);
+            let snap = check_with(
+                &analyzer,
+                app,
+                &p.name,
+                IsolationLevel::Snapshot,
+                SymOptions::default(),
+            );
             let snapshot_ok = snap.ok;
             reports.push(snap);
-            Assignment { txn: p.name.clone(), level: assigned, snapshot_ok, reports }
+            let cache_hits = reports.iter().map(|r| r.cache_hits).sum();
+            Assignment { txn: p.name.clone(), level: assigned, snapshot_ok, cache_hits, reports }
         })
         .collect()
 }

@@ -52,7 +52,13 @@ pub fn certify_app(app: &App, name: &str, opts: SymOptions) -> Result<Certificat
             });
         }
     }
-    Ok(Certificate { app: name.to_string(), lemmas, reports, prunes: Vec::new() })
+    Ok(Certificate {
+        app: name.to_string(),
+        lemmas,
+        reports,
+        prunes: Vec::new(),
+        synth: Vec::new(),
+    })
 }
 
 #[cfg(test)]

@@ -408,6 +408,31 @@ impl<'a> Analyzer<'a> {
         self.prover.model(&Pred::and([assertion.clone(), eff.condition.clone(), Pred::not(post)]))
     }
 
+    /// Like [`Analyzer::counterexample`], but with *caller-supplied* fresh
+    /// constants for the havocked items, so the violating goal — and hence
+    /// the model embedded in a synthesis certificate — is reproducible
+    /// byte-for-byte across runs (the global fresh-variable counter never
+    /// enters the construction). The caller is responsible for genuine
+    /// freshness; the certificate checker re-validates it independently.
+    pub fn violation_model(
+        &self,
+        assertion: &Pred,
+        condition: &Pred,
+        assign: &[(Var, Expr)],
+        havoc_fresh: &[(Var, Var)],
+    ) -> Option<Vec<(Var, i64)>> {
+        let mut s = Subst::new();
+        for (v, e) in assign {
+            s.insert(v.clone(), e.clone());
+        }
+        for (v, f) in havoc_fresh {
+            s.insert(v.clone(), Expr::Var(f.clone()));
+        }
+        let post = s.apply_pred(assertion);
+        self.prover_calls.set(self.prover_calls.get() + 1);
+        self.prover.model(&Pred::and([assertion.clone(), condition.clone(), Pred::not(post)]))
+    }
+
     /// Soundness refinement of Theorem 6's case 2: an UPDATE with filter
     /// `f` is blocked by the tuple locks of a SELECT with filter `g` only
     /// for rows *inside* `g`. It remains dangerous if it can move an

@@ -44,7 +44,8 @@ pub use sdg::{
     StmtFootprint,
 };
 pub use theorems::{
-    check_at_level, check_at_level_certified, check_with, check_with_singletons, LevelReport,
+    check_at_level, check_at_level_certified, check_pair_collect, check_pair_with, check_with,
+    check_with_singletons, FailedObligation, LevelReport,
 };
 pub use witness::{
     neutral_bindings, replay_witness, replay_witnesses, seed_neutral, Witness, WitnessOutcome,

@@ -127,6 +127,119 @@ fn skip_self(program: &Program, other: &Program, singletons: &BTreeSet<String>) 
     other.name == program.name && singletons.contains(&program.name)
 }
 
+/// One obligation that failed during a pair check, with enough structure
+/// to extract a scalar countermodel or compile an executable witness —
+/// the raw material of a synthesis refutation certificate.
+#[derive(Clone, Debug)]
+pub struct FailedObligation {
+    /// The protected assertion's description (e.g. `post(read #1 of T)`).
+    pub what: String,
+    /// The interfering effect's description.
+    pub eff_desc: String,
+    /// The protected assertion `P`.
+    pub assertion: Pred,
+    /// The interfering path summary (after any renaming/filtering the
+    /// theorem applied).
+    pub effect: PathSummary,
+    /// Lemma scope the preservation query ran at.
+    pub scope: LemmaScope,
+    /// The analyzer's reason for `MayInterfere`.
+    pub reason: String,
+}
+
+/// Obligations protecting `victim` at `level` against one concurrent
+/// instance of `interferer`, classed by the interferer's own level:
+/// `partner_snapshot = false` means the interferer runs somewhere on the
+/// ANSI ladder (its writes go through the lock manager), `true` means it
+/// runs under SNAPSHOT isolation (its write buffer is installed at commit
+/// without acquiring the victim's read or predicate locks — the
+/// "piercing" mixes the SI/2PL soundness suite found).
+///
+/// The theorems' obligation families are per-interferer, so the
+/// conjunction of `check_pair_with` over every interferer with
+/// `partner_snapshot = false` reproduces [`check_with`] exactly at every
+/// ladder level. Vs a SNAPSHOT partner the dispatch changes:
+///
+/// * RU / RC / RC+FCW keep Theorems 1–3 — statement- and unit-level
+///   visibility over-approximates commit-time buffer installation
+///   (soundly: an installed unit *is* a unit);
+/// * REPEATABLE READ and SERIALIZABLE fall back to Theorem 2's unit
+///   obligations: their long read locks and predicate locks cannot block
+///   an SI writer's commit-time install, and neither level validates its
+///   reads first-committer-wins. Note this makes the victim ladder
+///   non-monotone vs an SI partner — RC+FCW (weakened obligations) can
+///   pass where REPEATABLE READ (full Theorem 2 obligations) fails,
+///   because raising the victim *loses* FCW validation while the locks it
+///   gains are pierced;
+/// * a SNAPSHOT victim keeps its Theorem 5 obligations regardless of the
+///   partner's class (its snapshot reads are immune to when the partner's
+///   writes land, and its own first-committer-wins validation is
+///   victim-side).
+pub fn check_pair_with(
+    analyzer: &Analyzer<'_>,
+    app: &App,
+    victim: &str,
+    interferer: &str,
+    level: IsolationLevel,
+    partner_snapshot: bool,
+    opts: SymOptions,
+) -> LevelReport {
+    check_pair_collect(analyzer, app, victim, interferer, level, partner_snapshot, opts).0
+}
+
+/// Like [`check_pair_with`], but additionally return the structured
+/// failed obligations (certificate raw material).
+pub fn check_pair_collect(
+    analyzer: &Analyzer<'_>,
+    app: &App,
+    victim: &str,
+    interferer: &str,
+    level: IsolationLevel,
+    partner_snapshot: bool,
+    opts: SymOptions,
+) -> (LevelReport, Vec<FailedObligation>) {
+    let program =
+        app.program(victim).unwrap_or_else(|| panic!("unknown transaction type {victim}"));
+    let other =
+        app.program(interferer).unwrap_or_else(|| panic!("unknown transaction type {interferer}"));
+    let calls_before = analyzer.prover_calls();
+    let hits_before = analyzer.cache_hits();
+    let mut report = LevelReport {
+        txn: victim.to_string(),
+        level,
+        ok: true,
+        obligations: 0,
+        prover_calls: 0,
+        cache_hits: 0,
+        failures: Vec::new(),
+    };
+    let mut fails = Vec::new();
+    {
+        use IsolationLevel::*;
+        let f = Some(&mut fails);
+        match (level, partner_snapshot) {
+            (ReadUncommitted, _) => thm1_pair(app, program, other, analyzer, &mut report, f),
+            (ReadCommitted, _) => {
+                thm2_pair(app, program, other, analyzer, &mut report, false, opts, f)
+            }
+            (ReadCommittedFcw, _) => {
+                thm2_pair(app, program, other, analyzer, &mut report, true, opts, f)
+            }
+            (RepeatableRead, false) => {
+                thm4_6_pair(app, program, other, analyzer, &mut report, opts, f)
+            }
+            (RepeatableRead, true) | (Serializable, true) => {
+                thm2_pair(app, program, other, analyzer, &mut report, false, opts, f)
+            }
+            (Serializable, false) => { /* zero obligations */ }
+            (Snapshot, _) => thm5_pair(app, program, other, analyzer, &mut report, opts, f),
+        }
+    }
+    report.prover_calls = analyzer.prover_calls() - calls_before;
+    report.cache_hits = analyzer.cache_hits() - hits_before;
+    (report, fails)
+}
+
 /// Like [`check_at_level_opts`], but additionally emit a proof certificate
 /// for every discharged preservation query (the data [`semcc_cert::verify()`]
 /// re-validates independently). The second component is `Err` when a
@@ -154,11 +267,22 @@ fn check(
     writer: &str,
     scope: LemmaScope,
     eff_desc: &str,
+    fails: Option<&mut Vec<FailedObligation>>,
 ) {
     report.obligations += 1;
     if let Verdict::MayInterfere(reason) = analyzer.preserves(assertion, eff, writer, scope) {
         report.ok = false;
         report.failures.push(format!("{eff_desc} may interfere with {what}: {reason}"));
+        if let Some(fails) = fails {
+            fails.push(FailedObligation {
+                what: what.to_string(),
+                eff_desc: eff_desc.to_string(),
+                assertion: assertion.clone(),
+                effect: eff.clone(),
+                scope,
+                reason,
+            });
+        }
     }
 }
 
@@ -183,6 +307,23 @@ fn thm1(
     report: &mut LevelReport,
     singletons: &BTreeSet<String>,
 ) {
+    for other in &app.programs {
+        if skip_self(program, other, singletons) {
+            continue;
+        }
+        thm1_pair(app, program, other, analyzer, report, None);
+    }
+}
+
+/// Theorem 1's obligation family for one `(victim, interferer)` pair.
+fn thm1_pair(
+    app: &App,
+    program: &Program,
+    other: &Program,
+    analyzer: &Analyzer<'_>,
+    report: &mut LevelReport,
+    mut fails: Option<&mut Vec<FailedObligation>>,
+) {
     let mut assertions: Vec<(String, Pred)> =
         vec![(format!("I_{}", program.name), program.consistency.clone())];
     for (_, what, p) in read_posts(program) {
@@ -190,25 +331,21 @@ fn thm1(
     }
     assertions.push((format!("Q_{}", program.name), program.result.clone()));
 
-    for other in &app.programs {
-        if skip_self(program, other, singletons) {
-            continue;
-        }
-        let mut effects: Vec<StmtEffect> = forward_write_effects(other);
-        effects.extend(rollback_effects(other, &app.schemas));
-        for eff in &effects {
-            for (what, assertion) in &assertions {
-                check(
-                    analyzer,
-                    report,
-                    assertion,
-                    what,
-                    &eff.summary,
-                    &other.name,
-                    LemmaScope::Stmt,
-                    &eff.description,
-                );
-            }
+    let mut effects: Vec<StmtEffect> = forward_write_effects(other);
+    effects.extend(rollback_effects(other, &app.schemas));
+    for eff in &effects {
+        for (what, assertion) in &assertions {
+            check(
+                analyzer,
+                report,
+                assertion,
+                what,
+                &eff.summary,
+                &other.name,
+                LemmaScope::Stmt,
+                &eff.description,
+                fails.as_deref_mut(),
+            );
         }
     }
 }
@@ -225,6 +362,26 @@ fn thm2(
     fcw: bool,
     opts: SymOptions,
     singletons: &BTreeSet<String>,
+) {
+    for other in &app.programs {
+        if skip_self(program, other, singletons) {
+            continue;
+        }
+        thm2_pair(app, program, other, analyzer, report, fcw, opts, None);
+    }
+}
+
+/// Theorem 2/3's obligation family for one `(victim, interferer)` pair.
+#[allow(clippy::too_many_arguments)]
+fn thm2_pair(
+    app: &App,
+    program: &Program,
+    other: &Program,
+    analyzer: &Analyzer<'_>,
+    report: &mut LevelReport,
+    fcw: bool,
+    opts: SymOptions,
+    mut fails: Option<&mut Vec<FailedObligation>>,
 ) {
     let mut assertions: Vec<(String, Pred)> = Vec::new();
     let flat = program.all_stmts();
@@ -243,28 +400,24 @@ fn thm2(
     }
     assertions.push((format!("Q_{}", program.name), program.result.clone()));
 
-    for other in &app.programs {
-        if skip_self(program, other, singletons) {
+    for (pi, path) in summarize(other, opts).iter().enumerate() {
+        if path.is_read_only() {
             continue;
         }
-        for (pi, path) in summarize(other, opts).iter().enumerate() {
-            if path.is_read_only() {
-                continue;
-            }
-            let unit = rename_unit(path, "u$");
-            let desc = format!("{} (unit, path {pi})", other.name);
-            for (what, assertion) in &assertions {
-                check(
-                    analyzer,
-                    report,
-                    assertion,
-                    what,
-                    &unit,
-                    &other.name,
-                    LemmaScope::Unit,
-                    &desc,
-                );
-            }
+        let unit = rename_unit(path, "u$");
+        let desc = format!("{} (unit, path {pi})", other.name);
+        for (what, assertion) in &assertions {
+            check(
+                analyzer,
+                report,
+                assertion,
+                what,
+                &unit,
+                &other.name,
+                LemmaScope::Unit,
+                &desc,
+                fails.as_deref_mut(),
+            );
         }
     }
 }
@@ -338,6 +491,24 @@ fn thm4_6(
     opts: SymOptions,
     singletons: &BTreeSet<String>,
 ) {
+    for other in &app.programs {
+        if skip_self(program, other, singletons) {
+            continue;
+        }
+        thm4_6_pair(app, program, other, analyzer, report, opts, None);
+    }
+}
+
+/// Theorem 4/6's obligation family for one `(victim, interferer)` pair.
+fn thm4_6_pair(
+    _app: &App,
+    program: &Program,
+    other: &Program,
+    analyzer: &Analyzer<'_>,
+    report: &mut LevelReport,
+    opts: SymOptions,
+    mut fails: Option<&mut Vec<FailedObligation>>,
+) {
     let flat = program.all_stmts();
     let selects: Vec<(usize, &Stmt, Pred)> = flat
         .iter()
@@ -355,17 +526,24 @@ fn thm4_6(
         return;
     }
     let q = (format!("Q_{}", program.name), program.result.clone());
-    for other in &app.programs {
-        if skip_self(program, other, singletons) {
-            continue;
-        }
+    {
         for (pi, path) in summarize(other, opts).iter().enumerate() {
             if path.is_read_only() {
                 continue;
             }
             let unit = rename_unit(path, "u$");
             let desc = format!("{} (unit, path {pi})", other.name);
-            check(analyzer, report, &q.1, &q.0, &unit, &other.name, LemmaScope::Unit, &desc);
+            check(
+                analyzer,
+                report,
+                &q.1,
+                &q.0,
+                &unit,
+                &other.name,
+                LemmaScope::Unit,
+                &desc,
+                fails.as_deref_mut(),
+            );
             for (i, stmt, post) in &selects {
                 let what = format!("post(SELECT #{i} of {})", program.name);
                 report.obligations += 1;
@@ -427,6 +605,16 @@ fn thm4_6(
                     report.failures.push(format!(
                         "{desc} may interfere with {what} beyond tuple-lock protection: {reason}"
                     ));
+                    if let Some(fails) = fails.as_deref_mut() {
+                        fails.push(FailedObligation {
+                            what: what.clone(),
+                            eff_desc: format!("{desc} (tuple-lock-blocked effects removed)"),
+                            assertion: post.clone(),
+                            effect: blocked_removed.clone(),
+                            scope: LemmaScope::Unit,
+                            reason,
+                        });
+                    }
                 }
             }
         }
@@ -447,6 +635,24 @@ fn thm5(
     opts: SymOptions,
     singletons: &BTreeSet<String>,
 ) {
+    for other in &app.programs {
+        if skip_self(program, other, singletons) {
+            continue;
+        }
+        thm5_pair(app, program, other, analyzer, report, opts, None);
+    }
+}
+
+/// Theorem 5's obligation family for one `(victim, interferer)` pair.
+fn thm5_pair(
+    _app: &App,
+    program: &Program,
+    other: &Program,
+    analyzer: &Analyzer<'_>,
+    report: &mut LevelReport,
+    opts: SymOptions,
+    mut fails: Option<&mut Vec<FailedObligation>>,
+) {
     let paths_i = summarize(program, opts);
     let writing_i: Vec<&PathSummary> = paths_i.iter().filter(|p| !p.is_read_only()).collect();
     if writing_i.is_empty() {
@@ -456,41 +662,37 @@ fn thm5(
         (format!("read-step post of {}", program.name), program.snapshot_read_post.clone()),
         (format!("Q_{}", program.name), program.result.clone()),
     ];
-    for other in &app.programs {
-        if skip_self(program, other, singletons) {
+    for (qi, q) in summarize(other, opts).iter().enumerate() {
+        if q.is_read_only() {
             continue;
         }
-        for (qi, q) in summarize(other, opts).iter().enumerate() {
-            if q.is_read_only() {
-                continue;
-            }
-            let q_renamed = rename_unit(q, "u$");
-            // Condition 1: q's writes intersect the writes of EVERY writing
-            // path of T_i (then whenever both commit with effects, FCW
-            // aborts one).
-            let q_writes = q_renamed.written_items();
-            let all_intersect = writing_i.iter().all(|p| {
-                let pw = p.written_items();
-                q_writes.iter().any(|w| pw.contains(w))
-            });
-            report.obligations += 1;
-            if all_intersect {
-                continue;
-            }
-            // Condition 2.
-            let desc = format!("{} (unit, path {qi})", other.name);
-            for (what, assertion) in &assertions {
-                check(
-                    analyzer,
-                    report,
-                    assertion,
-                    what,
-                    &q_renamed,
-                    &other.name,
-                    LemmaScope::Unit,
-                    &desc,
-                );
-            }
+        let q_renamed = rename_unit(q, "u$");
+        // Condition 1: q's writes intersect the writes of EVERY writing
+        // path of T_i (then whenever both commit with effects, FCW
+        // aborts one).
+        let q_writes = q_renamed.written_items();
+        let all_intersect = writing_i.iter().all(|p| {
+            let pw = p.written_items();
+            q_writes.iter().any(|w| pw.contains(w))
+        });
+        report.obligations += 1;
+        if all_intersect {
+            continue;
+        }
+        // Condition 2.
+        let desc = format!("{} (unit, path {qi})", other.name);
+        for (what, assertion) in &assertions {
+            check(
+                analyzer,
+                report,
+                assertion,
+                what,
+                &q_renamed,
+                &other.name,
+                LemmaScope::Unit,
+                &desc,
+                fails.as_deref_mut(),
+            );
         }
     }
 }
@@ -651,6 +853,89 @@ mod tests {
         );
         assert_eq!(empty.ok, base.ok);
         assert_eq!(empty.obligations, base.obligations);
+    }
+
+    #[test]
+    fn pair_conjunction_reproduces_check_at_level() {
+        // The theorems' obligation families are per-interferer: at every
+        // level, conjoining base-class pair verdicts over all interferers
+        // must reproduce the whole-app check — same verdict, same
+        // obligation count.
+        let app = app();
+        for level in [
+            ReadUncommitted,
+            ReadCommitted,
+            ReadCommittedFcw,
+            RepeatableRead,
+            Serializable,
+            Snapshot,
+        ] {
+            for victim in ["Reader", "Incr"] {
+                let whole = check_at_level(&app, victim, level);
+                let analyzer = Analyzer::new(&app);
+                let mut ok = true;
+                let mut obligations = 0;
+                for other in &app.programs {
+                    let r = check_pair_with(
+                        &analyzer,
+                        &app,
+                        victim,
+                        &other.name,
+                        level,
+                        false,
+                        SymOptions::default(),
+                    );
+                    ok &= r.ok;
+                    obligations += r.obligations;
+                }
+                assert_eq!(ok, whole.ok, "{victim}@{level}");
+                assert_eq!(obligations, whole.obligations, "{victim}@{level}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_partner_pierces_lock_protection() {
+        // Vs a base-class partner SERIALIZABLE has zero obligations; vs an
+        // SI partner its predicate locks are pierced and it owes Theorem
+        // 2's unit obligations — which Incr's installed unit violates for
+        // the pinned reader.
+        let app = app();
+        let analyzer = Analyzer::new(&app);
+        let base = check_pair_with(
+            &analyzer,
+            &app,
+            "Reader",
+            "Incr",
+            Serializable,
+            false,
+            SymOptions::default(),
+        );
+        assert!(base.ok);
+        assert_eq!(base.obligations, 0);
+        let pierced = check_pair_with(
+            &analyzer,
+            &app,
+            "Reader",
+            "Incr",
+            Serializable,
+            true,
+            SymOptions::default(),
+        );
+        assert!(!pierced.ok, "Incr's installed unit invalidates the pinned read");
+        assert!(pierced.obligations > 0);
+        // The failed obligation carries certificate raw material.
+        let (_, fails) = check_pair_collect(
+            &analyzer,
+            &app,
+            "Reader",
+            "Incr",
+            Serializable,
+            true,
+            SymOptions::default(),
+        );
+        assert!(!fails.is_empty());
+        assert!(fails[0].what.contains("read"));
     }
 
     #[test]

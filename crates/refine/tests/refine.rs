@@ -9,8 +9,13 @@ use semcc_refine::{predict_deadlocks, refine};
 use std::collections::BTreeMap;
 
 fn verify_prunes(app_name: &str, prunes: Vec<semcc_cert::PruneCert>) -> VerifyReport {
-    let cert =
-        Certificate { app: app_name.to_string(), lemmas: Vec::new(), reports: Vec::new(), prunes };
+    let cert = Certificate {
+        app: app_name.to_string(),
+        lemmas: Vec::new(),
+        reports: Vec::new(),
+        prunes,
+        synth: Vec::new(),
+    };
     semcc_cert::verify(&cert)
 }
 

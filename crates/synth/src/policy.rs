@@ -1,0 +1,180 @@
+//! The admission-policy artifact and the synthesis certificate.
+//!
+//! `semcc synth --json` emits a deterministic `policy.json`: the per-type
+//! level assignment (the primary minimal vector), whether each type may
+//! run under SNAPSHOT, the `SEMCC-W006` deadlock advisories at the
+//! assigned vector, the search accounting, and an FNV-1a digest of the
+//! synthesis certificate binding the artifact to its proof. Byte
+//! determinism holds across repeated runs and across `--jobs` settings:
+//! every map iterated is a `BTreeMap`, every list is in fixed order, and
+//! nothing consults the clock or a random source.
+
+use crate::{ladder_only, Synthesis, SNAP};
+use semcc_cert::{Certificate, LemmaDecl, MinimalVectorCert, PredecessorCert};
+use semcc_core::{App, Assignment, LemmaScope};
+use semcc_json::{to_string_pretty, Json};
+use semcc_refine::DeadlockAdvisory;
+
+/// Package the synthesis into the certificate's `synth` section: one
+/// entry per minimal vector, one refutation per immediate predecessor.
+pub fn synth_certs(syn: &Synthesis) -> Vec<MinimalVectorCert> {
+    syn.minimal
+        .iter()
+        .map(|m| MinimalVectorCert {
+            levels: syn
+                .txns
+                .iter()
+                .zip(&m.levels)
+                .map(|(t, l)| (t.clone(), l.to_string()))
+                .collect(),
+            predecessors: m
+                .predecessors
+                .iter()
+                .map(|p| PredecessorCert {
+                    txn: p.victim.clone(),
+                    level: p.lowered_to.to_string(),
+                    victim: p.victim.clone(),
+                    interferer: p.interferer.clone(),
+                    victim_level: p.victim_level.to_string(),
+                    partner_snapshot: p.partner_snapshot,
+                    what: p.what.clone(),
+                    evidence: p.evidence.clone(),
+                    schedule: p.witness.as_ref().map(|w| w.schedule.clone()).unwrap_or_default(),
+                    confirmed: p.witness.as_ref().map(|w| w.confirmed()),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// A standalone certificate carrying only the synthesis section (plus
+/// the application's lemma declarations, so the checker can account the
+/// trust boundary the same way `certify` does).
+pub fn synth_certificate(app: &App, name: &str, syn: &Synthesis) -> Certificate {
+    let lemmas = app
+        .lemmas
+        .all()
+        .map(|(atom, txn, scope)| LemmaDecl {
+            atom: atom.clone(),
+            txn: txn.clone(),
+            scope: match scope {
+                LemmaScope::Unit => "Unit".to_string(),
+                LemmaScope::Stmt => "Stmt".to_string(),
+            },
+        })
+        .collect();
+    Certificate {
+        app: name.to_string(),
+        lemmas,
+        reports: Vec::new(),
+        prunes: Vec::new(),
+        synth: synth_certs(syn),
+    }
+}
+
+/// FNV-1a digest of a serialized artifact, as `fnv1a:<16 hex digits>`.
+pub fn policy_digest(serialized: &str) -> String {
+    format!("fnv1a:{:016x}", crate::fnv1a(serialized.as_bytes()))
+}
+
+/// Digest of a certificate's canonical (pretty) serialization.
+pub fn certificate_digest(cert: &Certificate) -> String {
+    policy_digest(&to_string_pretty(cert))
+}
+
+fn advisory_json(a: &DeadlockAdvisory) -> Json {
+    Json::obj([
+        ("code", Json::str(&a.code)),
+        ("a", Json::str(&a.a)),
+        ("b", Json::str(&a.b)),
+        ("level_a", Json::str(a.level_a.name())),
+        ("level_b", Json::str(a.level_b.name())),
+        ("chain", Json::Arr(a.chain.iter().map(Json::str).collect())),
+        ("message", Json::str(&a.message)),
+    ])
+}
+
+/// Build the admission-policy artifact. `assignments` is the greedy
+/// per-type walk (for `snapshot_ok` and cross-checking); `advisories`
+/// are the `SEMCC-W006` predictions at the primary vector.
+pub fn policy_json(
+    name: &str,
+    syn: &Synthesis,
+    assignments: &[Assignment],
+    advisories: &[DeadlockAdvisory],
+    cert_digest: &str,
+) -> Json {
+    let primary = syn.primary();
+    let snapshot_ok = |txn: &str| {
+        assignments.iter().find(|a| a.txn == txn).map(|a| a.snapshot_ok).unwrap_or(false)
+    };
+    let assigned: Vec<Json> = syn
+        .txns
+        .iter()
+        .zip(&primary.levels)
+        .map(|(t, l)| {
+            Json::obj([
+                ("txn", Json::str(t)),
+                ("level", Json::str(l.name())),
+                ("snapshot_ok", Json::Bool(snapshot_ok(t))),
+            ])
+        })
+        .collect();
+    let minimal: Vec<Json> = syn
+        .minimal
+        .iter()
+        .map(|m| {
+            Json::obj([
+                (
+                    "levels",
+                    Json::Arr(
+                        syn.txns
+                            .iter()
+                            .zip(&m.levels)
+                            .map(|(t, l)| Json::Arr(vec![Json::str(t), Json::str(l.name())]))
+                            .collect(),
+                    ),
+                ),
+                ("ladder_only", Json::Bool(ladder_only(&m.codes))),
+                (
+                    "snapshot_types",
+                    Json::Arr(
+                        syn.txns
+                            .iter()
+                            .zip(&m.codes)
+                            .filter(|(_, &c)| c == SNAP)
+                            .map(|(t, _)| Json::str(t))
+                            .collect(),
+                    ),
+                ),
+                ("refuted_predecessors", Json::Int(m.predecessors.len() as i64)),
+            ])
+        })
+        .collect();
+    let s = &syn.stats;
+    let search = Json::obj([
+        ("types", Json::Int(s.types as i64)),
+        ("lattice", Json::Int(s.lattice as i64)),
+        ("visited", Json::Int(s.visited as i64)),
+        ("cache_complete", Json::Int(s.cache_complete as i64)),
+        ("pruned_unsafe", Json::Int(s.pruned_unsafe as i64)),
+        ("pruned_safe", Json::Int(s.pruned_safe as i64)),
+        ("safe", Json::Int(s.safe as i64)),
+        ("pair_evals", Json::Int(s.pair_evals as i64)),
+        ("pair_hits", Json::Int(s.pair_hits as i64)),
+        // 6^MAX_TYPES · MAX_TYPES² < 2^31, so the cast is exact.
+        ("naive_pair_evals", Json::Int(s.naive_pair_evals as i64)),
+        ("prover_calls", Json::Int(s.prover_calls as i64)),
+        ("prover_cache_hits", Json::Int(s.prover_cache_hits as i64)),
+    ]);
+    Json::obj([
+        ("app", Json::str(name)),
+        ("artifact", Json::str("semcc-admission-policy")),
+        ("version", Json::Int(1)),
+        ("assignments", Json::Arr(assigned)),
+        ("minimal_vectors", Json::Arr(minimal)),
+        ("deadlock_advisories", Json::Arr(advisories.iter().map(advisory_json).collect())),
+        ("certificate_digest", Json::str(cert_digest)),
+        ("search", search),
+    ])
+}
