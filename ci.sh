@@ -69,6 +69,15 @@ explore_expect 1 "$tmpdir/banking.json" \
 explore_expect 0 "$tmpdir/banking.json" \
     --txns Withdraw_sav,Withdraw_ch --levels RR,RR
 echo "   banking Withdraw_sav/Withdraw_ch: DIVERGENT at SI, CLEAN at RR"
+# Seventh level: SSI's dangerous-structure abort kills every racy
+# interleaving, so the same pair that write-skews at SNAPSHOT is clean
+# at the all-SSI vector, and Example 2 stays clean too (the SSI
+# condition is vacuously safe; zero divergent schedules is its gate).
+explore_expect 0 "$tmpdir/banking.json" \
+    --txns Withdraw_sav,Withdraw_ch --levels SSI,SSI
+explore_expect 0 "$tmpdir/payroll.json" \
+    --txns Hours,Print_Records --levels SSI,SSI --seed emp.rate=10
+echo "   Examples 2 & 3 at SSI,SSI: CLEAN (dangerous-structure aborts)"
 
 echo "== edge refinement gate (--refine must not move any Example 2/3 verdict) =="
 # The prover-refined dependence relation only deletes proven-infeasible
@@ -96,6 +105,32 @@ lint_expect 1 "$tmpdir/banking.json" --refine
 lint_expect 0 "$tmpdir/orders.json"
 lint_expect 0 "$tmpdir/orders.json" --refine
 echo "   lint --refine: verdicts unchanged (banking diagnosed, orders clean)"
+# SSI lint: the all-SSI vector is vacuously clean; a sweep mixing SSI
+# with weaker partners must degrade the SSI types to SNAPSHOT
+# obligations (SI,SI,SSI,SSI diagnoses the write-skew pair) and be
+# verdict-stable: two runs of the same sweep print identical bytes.
+lint_expect 0 "$tmpdir/banking.json" --levels SSI,SSI,SSI,SSI
+ssi_sweep="SSI,SSI,SSI,SSI;SI,SI,SSI,SSI;RR,RR,SSI,SSI"
+rc=0
+cargo run -q -p semcc-cli -- lint "$tmpdir/banking.json" \
+    "--levels" "$ssi_sweep" > "$tmpdir/lint.ssi.1.txt" || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "ci: SSI lint sweep exited $rc, expected 1 (mixed vector diagnosed)" >&2
+    exit 1
+fi
+cargo run -q -p semcc-cli -- lint "$tmpdir/banking.json" \
+    "--levels" "$ssi_sweep" > "$tmpdir/lint.ssi.2.txt" || true
+if ! cmp -s "$tmpdir/lint.ssi.1.txt" "$tmpdir/lint.ssi.2.txt"; then
+    echo "ci: SSI lint sweep is not verdict-stable across runs" >&2
+    diff "$tmpdir/lint.ssi.1.txt" "$tmpdir/lint.ssi.2.txt" >&2 || true
+    exit 1
+fi
+if ! grep -q "at levels: SI,SI,SSI,SSI" "$tmpdir/lint.ssi.1.txt"; then
+    echo "ci: SSI lint sweep must attribute the skew to the mixed vector" >&2
+    cat "$tmpdir/lint.ssi.1.txt" >&2
+    exit 1
+fi
+echo "   lint --levels SSI sweep: all-SSI clean, mixed degraded, verdict-stable"
 # A refined certificate's pruning justifications replay in the
 # independent checker.
 cargo run -q -p semcc-cli -- certify "$tmpdir/orders.json" --refine \
@@ -137,7 +172,9 @@ jobs_match "$tmpdir/payroll.json" \
     --txns Hours,Print_Records "--levels" "RU,RU;RC,RC;SER,SER" --seed emp.rate=10
 jobs_match "$tmpdir/banking.json" \
     --txns Withdraw_sav,Withdraw_ch --levels SI,SI
-echo "   explore: byte-identical JSON at jobs 1 vs 8 (Examples 2 & 3 + sweep)"
+jobs_match "$tmpdir/banking.json" \
+    --txns Withdraw_sav,Withdraw_ch --levels SSI,SSI
+echo "   explore: byte-identical JSON at jobs 1 vs 8 (Examples 2 & 3 + sweep + SSI)"
 
 echo "== whole-mix synthesis (Figures 2-5, policy determinism, certificates) =="
 # The primary Pareto-minimal vector must project to the paper's per-type
@@ -185,6 +222,13 @@ if ! cmp -s "$tmpdir/policy.1.json" "$tmpdir/policy.1b.json"; then
     exit 1
 fi
 echo "   synth: policy.json byte-identical across --jobs 1/8 and repeated runs"
+# The lattice now includes the off-ladder SSI level: the deterministic
+# policy artifact must carry SSI minimal vectors (e.g. Delivery on SSI).
+if ! grep -q '"SSI"' "$tmpdir/policy.1.json"; then
+    echo "ci: policy.json carries no SSI vectors (SSI missing from the lattice)" >&2
+    exit 1
+fi
+echo "   synth: SSI present in the policy artifact's minimal vectors"
 cargo run -q -p semcc-cli -- verify-cert "$tmpdir/synth.orders.cert.json" > /dev/null
 # Banking's refutations are scalar: the certificate must carry FM
 # countermodels the independent checker re-evaluates (not just trusted
@@ -290,5 +334,9 @@ echo "   cargo doc: no warnings"
 echo "== fault-plan property suite (~200 seeded random plans, all levels) =="
 cargo test -q -p semcc-workloads --test faultsim_prop > /dev/null
 echo "   auditor: zero violations across the random-plan suite"
+
+echo "== SSI differential property suite (200-seed vacuity gate + mixed soundness) =="
+cargo test -q -p semcc-explore --test prop_ssi > /dev/null
+echo "   all-SSI: zero divergent schedules; mixed vectors: zero soundness violations"
 
 echo "ci: all green"

@@ -1,0 +1,235 @@
+//! SSI — write-skew incidence and abort economics at the seventh level.
+//!
+//! Part 1 (deterministic **Example 3 script**): both transactions read
+//! `(sav, ch) = (100, 100)` off their snapshots, each withdraws 150 from a
+//! different account — the combined-balance guard passes for both, so any
+//! level that lets both commit breaks `sav + ch >= 0`. The matrix shows
+//! per level whether the skew *occurs*, is *blocked* by long read locks,
+//! or is *aborted*, and for SSI which transaction died as the
+//! dangerous-structure pivot and at which key.
+//!
+//! Part 2 (stochastic banking mix with think time): contended
+//! withdraw/deposit runs per uniform level under the budgeted retry
+//! driver; the table reports commits, absorbed aborts by class
+//! (first-committer-wins, SSI pivot, deadlock, timeout), give-ups, the
+//! abort rate, the checker's write-skew count over the full history, and
+//! the balance auditor. SNAPSHOT is the contrast row: its history shows
+//! write skews that SSI's pivot aborts eliminate at the cost of a higher
+//! abort rate.
+//!
+//! ```text
+//! cargo run -p semcc-bench --release --bin table_ssi [--quick]
+//! ```
+
+use semcc_bench::{has_flag, row, rule, short};
+use semcc_checker::{AnomalyCounts, AnomalyKind};
+use semcc_engine::{audit_quiescent, Engine, EngineConfig, EngineError, IsolationLevel, Txn};
+use semcc_txn::interp::Stepper;
+use semcc_txn::program::with_pauses;
+use semcc_txn::{Bindings, Program};
+use semcc_workloads::{banking, run_mix_with_policy, AbortClass, MixSpec, RetryPolicy};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn engine() -> Arc<Engine> {
+    Arc::new(Engine::new(EngineConfig {
+        lock_timeout: Duration::from_millis(300),
+        record_history: true,
+        faults: None,
+    }))
+}
+
+fn blocked(e: &EngineError) -> bool {
+    matches!(e, EngineError::Lock(_))
+}
+
+// ---------------------------------------------------------------------
+// Part 1: Example 3, scripted, per level
+// ---------------------------------------------------------------------
+
+/// One scripted write-skew attempt; returns (outcome, detail).
+fn scripted_write_skew(level: IsolationLevel) -> (String, String) {
+    let e = engine();
+    e.create_item("sav", 100).expect("item");
+    e.create_item("ch", 100).expect("item");
+    let mut t1 = e.begin(level);
+    let mut t2 = e.begin(level);
+    let body = |t: &mut Txn, target: &str| -> Result<(), EngineError> {
+        let s = t.read("sav")?.as_int().expect("int");
+        let c = t.read("ch")?.as_int().expect("int");
+        if s + c >= 150 {
+            let cur = if target == "sav" { s } else { c };
+            t.write(target, cur - 150)?;
+        }
+        Ok(())
+    };
+    let r1 = body(&mut t1, "sav");
+    let r2 = body(&mut t2, "ch");
+    match (r1, r2) {
+        (Ok(()), Ok(())) => {
+            let c1 = t1.commit().is_ok();
+            let c2 = t2.commit().is_ok();
+            if c1 && c2 {
+                let sav = peek_int(&e, "sav");
+                let ch = peek_int(&e, "ch");
+                if sav + ch < 0 {
+                    ("OCCURS".into(), format!("both commit; sav + ch = {}", sav + ch))
+                } else {
+                    ("no (serialized)".into(), String::new())
+                }
+            } else {
+                ("no (commit aborted)".into(), String::new())
+            }
+        }
+        (r1, r2) => {
+            let err = r1.err().or(r2.err()).expect("one side failed");
+            let detail = match &err {
+                EngineError::Ssi(c) => {
+                    format!("txn {} is the pivot, killed at `{}`", c.pivot, c.key)
+                }
+                _ => String::new(),
+            };
+            let out = if blocked(&err) {
+                "no (blocked)".into()
+            } else if matches!(err, EngineError::Ssi(_)) {
+                "no (pivot aborted)".into()
+            } else {
+                "no (aborted)".into()
+            };
+            (out, detail)
+        }
+    }
+}
+
+fn peek_int(e: &Engine, name: &str) -> i64 {
+    e.peek_item(name).expect("peek").as_int().expect("int")
+}
+
+fn scripted_matrix() {
+    println!("== Example 3, scripted (reads see (100, 100); both withdraw 150) ==");
+    let widths = [10usize, 20, 36];
+    println!("{}", row(&["level".into(), "write skew".into(), "detail".into()], &widths));
+    println!("{}", rule(&widths));
+    for level in IsolationLevel::ALL {
+        let (outcome, detail) = scripted_write_skew(level);
+        println!("{}", row(&[short(level).to_string(), outcome, detail], &widths));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Part 2: stochastic banking skew mix under the budgeted retry driver
+// ---------------------------------------------------------------------
+
+const THINK_US: u64 = 200;
+const AMOUNT: i64 = 150;
+
+fn stochastic_runs(per_thread: usize) {
+    println!(
+        "\n== banking skew mix, 1 account at (100, 100), withdraw/deposit {AMOUNT}, \
+         {THINK_US}us think time =="
+    );
+    let widths = [8usize, 7, 6, 5, 5, 5, 7, 5, 7, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "level".into(),
+                "commit".into(),
+                "ssi".into(),
+                "fcw".into(),
+                "dl".into(),
+                "t/o".into(),
+                "gave_up".into(),
+                "skew".into(),
+                "abort%".into(),
+                "audit".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+
+    for level in IsolationLevel::ALL {
+        let e = engine();
+        banking::setup(&e, 1, 100);
+        // Opposite-account withdrawals form Example 3's dangerous
+        // structure; deposits refill the balances so the guard keeps
+        // passing and the race stays armed for the whole run.
+        let programs: Vec<Program> = [
+            banking::withdraw("sav", "ch"),
+            banking::withdraw("ch", "sav"),
+            banking::deposit("sav", "ch"),
+            banking::deposit("ch", "sav"),
+        ]
+        .iter()
+        .map(|p| with_pauses(p, THINK_US))
+        .collect();
+
+        let mut policy = RetryPolicy {
+            max_attempts: 30,
+            base_backoff: Duration::from_micros(20),
+            max_backoff: Duration::from_micros(500),
+            ..RetryPolicy::default()
+        };
+        policy.class_budgets.insert(AbortClass::Ssi, 25);
+
+        let spec = MixSpec { threads: 4, txns_per_thread: per_thread, seed: 0x551 };
+        let stats = run_mix_with_policy(spec, &policy, |worker, _rng| {
+            let program = &programs[worker % programs.len()];
+            let bindings = Bindings::new().set("i", 0).set("w", AMOUNT).set("d", AMOUNT);
+            let mut st = Stepper::begin(&e, program, level, &bindings);
+            let res = st.run_to_end().and_then(|()| st.commit().map(|_| ()));
+            if res.is_err() && !st.is_finished() {
+                let _ = st.abort();
+            }
+            res
+        });
+
+        let events = e.history().events();
+        let counts = AnomalyCounts::from_events(&events);
+        let by = |c: AbortClass| stats.aborts_by_class.get(&c).copied().unwrap_or(0);
+        let attempts = stats.committed + stats.aborts;
+        let abort_pct =
+            if attempts == 0 { 0.0 } else { 100.0 * stats.aborts as f64 / attempts as f64 };
+        // A leaked SIREAD lock or conflict flag after every transaction
+        // has finished is an engine bug at any level — hard-fail the
+        // harness rather than footnote it.
+        let leaks = audit_quiescent(&e).violations;
+        assert!(leaks.is_empty(), "quiescence violations at {level}: {leaks:?}");
+        let violations = banking::balance_violations(&e, 1).len();
+        println!(
+            "{}",
+            row(
+                &[
+                    short(level).to_string(),
+                    stats.committed.to_string(),
+                    by(AbortClass::Ssi).to_string(),
+                    by(AbortClass::Fcw).to_string(),
+                    by(AbortClass::Deadlock).to_string(),
+                    by(AbortClass::Timeout).to_string(),
+                    stats.gave_up.to_string(),
+                    counts.get(AnomalyKind::WriteSkew).to_string(),
+                    format!("{abort_pct:.1}"),
+                    if violations == 0 { "clean".into() } else { format!("{violations} BAD") },
+                ],
+                &widths
+            )
+        );
+    }
+    println!("  (skew = checker write-skew count over the full history;");
+    println!("   audit = final combined-balance constraint; engine quiescence —");
+    println!("   no leaked SIREAD locks or conflict flags — is asserted per run)");
+}
+
+fn main() {
+    let quick = has_flag("--quick");
+    let per_thread = if quick { 15 } else { 40 };
+    println!("SSI: dangerous-structure aborts vs write skew");
+    scripted_matrix();
+    stochastic_runs(per_thread);
+    println!("\nreading: SNAPSHOT admits Example 3's write skew (disjoint write sets defeat");
+    println!("first-committer-wins); SSI keeps snapshot reads but retains SIREAD locks past");
+    println!("commit and aborts any pivot with both in- and out- rw-antidependency edges,");
+    println!("so its history shows zero write skews — serializability bought with aborts,");
+    println!("visible above as the `ssi` abort class, not with blocking.");
+}

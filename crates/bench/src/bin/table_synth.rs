@@ -2,7 +2,7 @@
 //! vectors for the four paper workloads, plus the prover-call/pruning
 //! accounting behind the acceptance criterion (the monotone-pruned
 //! search must *visit* — spend fresh pair-lemma work on — under 50 % of
-//! the `6^n` lattice; in practice it is under 5 %).
+//! the `7^n` lattice; in practice it is under 5 %).
 //!
 //! For each workload the table reports:
 //!
@@ -13,7 +13,7 @@
 //! 2. the **search disposal**: visited / cache-complete / pruned-safe /
 //!    pruned-unsafe vector counts (they partition the lattice);
 //! 3. the **lemma economy**: distinct pairwise lemmas evaluated vs the
-//!    `6^n·n²` a naive per-vector sweep would discharge, plus the
+//!    `7^n·n²` a naive per-vector sweep would discharge, plus the
 //!    prover-call and memo-hit counts underneath.
 //!
 //! The run aborts if any workload's search visits ≥ 50 % of its lattice
@@ -38,7 +38,9 @@ const WIDTHS: [usize; 4] = [22, 44, 12, 12];
 
 fn main() {
     println!("whole-mix isolation-level synthesis (lattice search with monotone pruning)");
-    println!("vector order: RU < RC < RC+FCW < RR < SER on the ladder; SNAPSHOT off-ladder");
+    println!(
+        "vector order: RU < RC < RC+FCW < RR < SER on the ladder; SNAPSHOT and SSI off-ladder"
+    );
     println!();
 
     let workloads: Vec<(&str, App)> = vec![
@@ -63,7 +65,7 @@ fn main() {
 
         println!("== {title} ==");
         println!(
-            "{} types, lattice 6^{} = {}",
+            "{} types, lattice 7^{} = {}",
             syn.stats.types, syn.stats.types, syn.stats.lattice
         );
         println!();

@@ -34,6 +34,7 @@ pub fn short(level: IsolationLevel) -> &'static str {
         IsolationLevel::ReadCommittedFcw => "RC+FCW",
         IsolationLevel::RepeatableRead => "RR",
         IsolationLevel::Snapshot => "SNAP",
+        IsolationLevel::Ssi => "SSI",
         IsolationLevel::Serializable => "SER",
     }
 }

@@ -61,7 +61,10 @@ fn views(events: &[Event]) -> BTreeMap<TxnId, TxnView> {
                 v.pred_reads.push((ev.seq, table.clone(), format!("{pred}"), matched.clone()));
             }
             Op::Commit { ts } => v.commit_ts = Some(*ts),
-            Op::Begin | Op::Abort => {}
+            // SsiAbort is a prevention trace, not an access: the txn it
+            // belongs to never commits, so no detector consumes it here
+            // (the lint/audit layers report it as AnomalyKind::SsiAbort).
+            Op::Begin | Op::Abort | Op::SsiAbort { .. } => {}
         }
     }
     out

@@ -109,8 +109,9 @@ fn runtime_anomalies_are_statically_predicted() {
     for case in 0..48 {
         let n_types = rng.gen_range(2..5);
         let types: Vec<Vec<Op>> = (0..n_types).map(|_| gen_type(&mut rng)).collect();
-        let levels: Vec<IsolationLevel> =
-            (0..n_types).map(|_| IsolationLevel::ALL[rng.gen_range(0..6)]).collect();
+        let levels: Vec<IsolationLevel> = (0..n_types)
+            .map(|_| IsolationLevel::ALL[rng.gen_range(0..IsolationLevel::ALL.len())])
+            .collect();
 
         // Static side: footprint the types, predict exposure per type at
         // the level it will run at.

@@ -52,7 +52,8 @@ fn serial_executions_are_clean() {
     for case in 0..64 {
         let n_txns = rng.gen_range(1..6);
         let txns: Vec<Vec<Op>> = (0..n_txns).map(|_| gen_txn(&mut rng)).collect();
-        let levels: Vec<usize> = (0..6).map(|_| rng.gen_range(0..6)).collect();
+        let levels: Vec<usize> =
+            (0..6).map(|_| rng.gen_range(0..IsolationLevel::ALL.len())).collect();
 
         let e = Arc::new(Engine::new(EngineConfig {
             lock_timeout: Duration::from_millis(50),

@@ -107,8 +107,8 @@ fn print_usage() {
     println!("              [--no-witness] [--jobs N] [--json]");
     println!();
     println!("LEVELs: \"READ UNCOMMITTED\", \"READ COMMITTED\", \"READ COMMITTED+FCW\",");
-    println!("        \"REPEATABLE READ\", \"SNAPSHOT\", \"SERIALIZABLE\"");
-    println!("        (lint --levels also accepts RU, RC, RCFCW, RR, SI, SER,");
+    println!("        \"REPEATABLE READ\", \"SNAPSHOT\", \"SSI\", \"SERIALIZABLE\"");
+    println!("        (lint --levels also accepts RU, RC, RCFCW, RR, SI, SSI, SER,");
     println!("         one per transaction type in program order; `;` separates");
     println!("         level vectors in a sweep, deduplicating diagnostics)");
     println!();
@@ -213,6 +213,7 @@ fn parse_level(token: &str) -> Result<IsolationLevel, String> {
         "RCFCW" | "RC+FCW" => Ok(IsolationLevel::ReadCommittedFcw),
         "RR" => Ok(IsolationLevel::RepeatableRead),
         "SI" | "SNAPSHOT" => Ok(IsolationLevel::Snapshot),
+        "SSI" => Ok(IsolationLevel::Ssi),
         "SER" | "SERIALIZABLE" => Ok(IsolationLevel::Serializable),
         other => Err(format!("unknown isolation level `{other}`")),
     }
@@ -243,7 +244,8 @@ fn parse_level_vector(
     Ok((m, label.join(",")))
 }
 
-/// The short code of a level (`RU`, `RC`, `RCFCW`, `RR`, `SI`, `SER`).
+/// The short code of a level (`RU`, `RC`, `RCFCW`, `RR`, `SI`, `SSI`,
+/// `SER`).
 fn level_code(l: IsolationLevel) -> &'static str {
     match l {
         IsolationLevel::ReadUncommitted => "RU",
@@ -251,6 +253,7 @@ fn level_code(l: IsolationLevel) -> &'static str {
         IsolationLevel::ReadCommittedFcw => "RCFCW",
         IsolationLevel::RepeatableRead => "RR",
         IsolationLevel::Snapshot => "SI",
+        IsolationLevel::Ssi => "SSI",
         IsolationLevel::Serializable => "SER",
     }
 }
@@ -1702,6 +1705,8 @@ mod tests {
             ("RC+FCW", ReadCommittedFcw),
             ("RR", RepeatableRead),
             ("SI", Snapshot),
+            ("ssi", Ssi),
+            ("SSI", Ssi),
             ("SER", Serializable),
             ("SERIALIZABLE", Serializable),
             ("REPEATABLE READ", RepeatableRead),

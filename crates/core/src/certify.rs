@@ -8,13 +8,16 @@ use semcc_cert::{Certificate, LemmaDecl, TxnCert};
 use semcc_engine::IsolationLevel;
 use semcc_txn::symexec::SymOptions;
 
-/// The levels a certificate covers: the full ANSI ladder plus SNAPSHOT.
-pub const CERTIFIED_LEVELS: [IsolationLevel; 6] = [
+/// The levels a certificate covers: the full ANSI ladder plus SNAPSHOT
+/// and SSI (whose whole-app checks are vacuous but still recorded, so a
+/// certificate names every level the lattice can assign).
+pub const CERTIFIED_LEVELS: [IsolationLevel; 7] = [
     IsolationLevel::ReadUncommitted,
     IsolationLevel::ReadCommitted,
     IsolationLevel::ReadCommittedFcw,
     IsolationLevel::RepeatableRead,
     IsolationLevel::Snapshot,
+    IsolationLevel::Ssi,
     IsolationLevel::Serializable,
 ];
 

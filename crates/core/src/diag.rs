@@ -1,6 +1,8 @@
 //! Structured lint diagnostics over the static dependency graph.
 //!
-//! A [`Diagnostic`] carries a stable code (`SEMCC-W001` … `SEMCC-W005`),
+//! A [`Diagnostic`] carries a stable code (`SEMCC-W001` … `SEMCC-W005`,
+//! plus `SEMCC-W007` for SSI pivot aborts; `SEMCC-W006` belongs to the
+//! static deadlock advisories in `semcc-refine`),
 //! the offending statement pair, the provenance of the failed proof
 //! obligation (which theorem, which non-interference triple), and — where
 //! the refutation is linear-arithmetic — a concrete counterexample
@@ -37,6 +39,8 @@ pub fn code_for(kind: AnomalyKind) -> &'static str {
         AnomalyKind::LostUpdate => "SEMCC-W003",
         AnomalyKind::NonRepeatableRead => "SEMCC-W004",
         AnomalyKind::Phantom => "SEMCC-W005",
+        // W006 is taken by the static deadlock advisories.
+        AnomalyKind::SsiAbort => "SEMCC-W007",
     }
 }
 
@@ -205,7 +209,15 @@ pub fn lint_with_singletons(
         }
     } else {
         for (name, level) in &level_vec {
-            let report = check(name, *level);
+            // An SSI type is serializable only when every concurrent type
+            // is SSI-tracked too (dangerous-structure detection sees both
+            // sides of every rw-antidependency). Against an untracked
+            // partner its guarantees — and hence its obligations — are
+            // exactly SNAPSHOT's.
+            let degraded = *level == IsolationLevel::Ssi
+                && level_vec.iter().any(|(n, l)| n != name && !l.siread_locks());
+            let eff = if degraded { IsolationLevel::Snapshot } else { *level };
+            let report = check(name, eff);
             if report.ok {
                 continue;
             }
@@ -219,9 +231,9 @@ pub fn lint_with_singletons(
             if kinds.is_empty() {
                 // Theorem failed but no detector-level exposure predicted:
                 // still report the level's characteristic phenomenon.
-                kinds.push((level_default_kind(*level), None));
+                kinds.push((level_default_kind(eff), None));
             }
-            let counterexample = if level.is_snapshot() {
+            let counterexample = if eff.is_snapshot() {
                 snapshot_counterexample(app, &analyzer, program, opts).unwrap_or_default()
             } else {
                 unit_counterexample(app, &analyzer, program, opts).unwrap_or_default()
@@ -244,7 +256,13 @@ pub fn lint_with_singletons(
                     _ => read_stmt_refs(program),
                 };
                 let mut provenance =
-                    vec![format!("{} fails for {name} at {level}", theorem_name(*level))];
+                    vec![format!("{} fails for {name} at {level}", theorem_name(eff))];
+                if degraded {
+                    provenance.push(format!(
+                        "SSI degraded to SNAPSHOT obligations: a concurrent type is not \
+                         SSI-tracked, so dangerous-structure aborts cannot cover {name}"
+                    ));
+                }
                 provenance.extend(report.failures.iter().cloned());
                 diagnostics.push(Diagnostic {
                     code: code_for(kind).to_string(),
@@ -284,7 +302,9 @@ fn level_default_kind(level: IsolationLevel) -> AnomalyKind {
         IsolationLevel::ReadUncommitted => AnomalyKind::DirtyRead,
         IsolationLevel::ReadCommitted | IsolationLevel::ReadCommittedFcw => AnomalyKind::LostUpdate,
         IsolationLevel::RepeatableRead => AnomalyKind::Phantom,
-        IsolationLevel::Snapshot | IsolationLevel::Serializable => AnomalyKind::WriteSkew,
+        IsolationLevel::Snapshot | IsolationLevel::Ssi | IsolationLevel::Serializable => {
+            AnomalyKind::WriteSkew
+        }
     }
 }
 
@@ -295,6 +315,7 @@ fn theorem_name(level: IsolationLevel) -> &'static str {
         IsolationLevel::ReadCommittedFcw => "Theorem 3 (READ COMMITTED+FCW)",
         IsolationLevel::RepeatableRead => "Theorems 4/6 (REPEATABLE READ)",
         IsolationLevel::Snapshot => "Theorem 5 (SNAPSHOT)",
+        IsolationLevel::Ssi => "SSI (dangerous-structure aborts: no obligations)",
         IsolationLevel::Serializable => "SERIALIZABLE (no obligations)",
     }
 }

@@ -466,6 +466,31 @@ pub fn predict_exposures(
             }
         }
 
+        // Cross-item lost update: a committed read of `y` and a write of a
+        // *different* item `x`, with one concurrent type writing both. The
+        // stale read (rw anti-dependency) orders this type before the
+        // other, the surviving `x` overwrite (ww) orders it after — a
+        // cycle no serial execution shows. First-committer-wins validation
+        // aborts the second `x` writer; long read locks pin `y` against
+        // lock-based writers only (the same SI/2PL pierce as above).
+        if !l.fcw() {
+            'cross: for y in &t.read_items {
+                for u in writers_of(y) {
+                    if l.long_read_locks() && !level_of(&u.name).is_snapshot() {
+                        continue;
+                    }
+                    if let Some(x) =
+                        t.write_items.iter().find(|x| *x != y && u.write_items.contains(*x))
+                    {
+                        exposed.entry(LostUpdate).or_insert_with(|| {
+                            format!("reads `{y}` and writes `{x}` while {} writes both", u.name)
+                        });
+                        break 'cross;
+                    }
+                }
+            }
+        }
+
         // Non-repeatable read: two committed reads of one item straddling
         // another writer's commit. A snapshot read never observes a second
         // version; long read locks pin the version against lock-based
@@ -556,6 +581,13 @@ pub fn predict_exposures(
             };
             let lp = level_of(partner);
             if l.long_read_locks() && lp.long_read_locks() {
+                continue;
+            }
+            // SSI prevention needs *both* participants in the SSI registry:
+            // the rw edges of the dangerous structure are then marked and
+            // the pivot aborted before commit. One untracked side leaves
+            // the structure invisible — no exemption.
+            if l.siread_locks() && lp.siread_locks() {
                 continue;
             }
             let (reads, writes) = if d.a == t.name {

@@ -114,6 +114,15 @@ pub fn check_with_singletons(
             thm4_6(app, program, analyzer, &mut report, opts, singletons)
         }
         IsolationLevel::Snapshot => thm5(app, program, analyzer, &mut report, opts, singletons),
+        IsolationLevel::Ssi => {
+            // Serializable Snapshot Isolation: a single-level whole-app
+            // check means every concurrent transaction is SSI-tracked, and
+            // aborting every dangerous-structure pivot before commit keeps
+            // the execution serializable (Cahill et al.) — vacuously safe
+            // for any footprints, like SERIALIZABLE. Mixed-vector
+            // obligations live in `check_pair_collect`, where the partner's
+            // tracking class is explicit.
+        }
         IsolationLevel::Serializable => { /* always correct: zero obligations */ }
     }
     report.prover_calls = analyzer.prover_calls() - calls_before;
@@ -233,6 +242,17 @@ pub fn check_pair_collect(
             }
             (Serializable, false) => { /* zero obligations */ }
             (Snapshot, _) => thm5_pair(app, program, other, analyzer, &mut report, opts, f),
+            // SSI victim: rw-antidependency tracking only covers pairs
+            // where *both* sides hold SSI records, so `partner_snapshot`
+            // here means "the partner is SSI-tracked too" (callers pass
+            // `partner == Ssi`, NOT the snapshot-class test used for
+            // ladder victims). Tracked pair: every dangerous structure is
+            // aborted before commit — zero obligations. Untracked partner:
+            // SSI degrades to exactly SNAPSHOT (same reads, same FCW, plus
+            // aborts that only shrink the behavior set), so Theorem 5's
+            // obligations carry over verbatim.
+            (Ssi, true) => { /* both SSI-tracked: pivots abort, zero obligations */ }
+            (Ssi, false) => thm5_pair(app, program, other, analyzer, &mut report, opts, f),
         }
     }
     report.prover_calls = analyzer.prover_calls() - calls_before;

@@ -21,16 +21,22 @@ pub enum AnomalyKind {
     /// Two committed transactions with disjoint write sets each read a key
     /// the other wrote (an rw–rw cycle of length two).
     WriteSkew,
+    /// An SSI dangerous-structure abort fired: a pivot transaction held
+    /// both rw-antidependency flags and concurrency control killed it (or
+    /// its accessor) before the structure could commit. Not an anomaly
+    /// that *occurred* — the runtime trace of one that was prevented.
+    SsiAbort,
 }
 
 impl AnomalyKind {
     /// Every kind, in severity-neutral declaration order.
-    pub const ALL: [AnomalyKind; 5] = [
+    pub const ALL: [AnomalyKind; 6] = [
         AnomalyKind::DirtyRead,
         AnomalyKind::LostUpdate,
         AnomalyKind::NonRepeatableRead,
         AnomalyKind::Phantom,
         AnomalyKind::WriteSkew,
+        AnomalyKind::SsiAbort,
     ];
 }
 
@@ -42,6 +48,7 @@ impl fmt::Display for AnomalyKind {
             AnomalyKind::NonRepeatableRead => "non-repeatable read",
             AnomalyKind::Phantom => "phantom",
             AnomalyKind::WriteSkew => "write skew",
+            AnomalyKind::SsiAbort => "ssi pivot abort",
         };
         f.write_str(s)
     }

@@ -127,6 +127,23 @@ pub fn audit_post_abort(engine: &Engine, victim: TxnId) -> AuditReport {
         });
     }
 
+    // SSI residue: an aborted transaction must surrender its SIREAD locks
+    // and rw-antidependency flags entirely — only committed readers may
+    // persist in the registry.
+    rep.checks += 1;
+    if engine.oracle.ssi_tracked(victim) {
+        let (inc, outc) = engine.oracle.ssi_flags(victim).unwrap_or((false, false));
+        let sireads = engine.oracle.ssi_siread_count(victim);
+        rep.violations.push(AuditViolation {
+            txn: victim,
+            invariant: "ssi-leak",
+            detail: format!(
+                "oracle still tracks the victim's SSI record \
+                 ({sireads} siread(s), in={inc}, out={outc})"
+            ),
+        });
+    }
+
     rep
 }
 
@@ -180,6 +197,19 @@ pub fn audit_quiescent(engine: &Engine) -> AuditReport {
             txn: 0,
             invariant: "quiescent-snapshots",
             detail: format!("{snaps} snapshot(s) registered with no txn in flight"),
+        });
+    }
+
+    // With no SSI transaction in flight, GC must have drained the whole
+    // registry: committed SIREAD locks are only retained while some active
+    // snapshot could still form a dangerous structure with them.
+    rep.checks += 1;
+    let ssi = engine.oracle.ssi_record_count();
+    if ssi != 0 {
+        rep.violations.push(AuditViolation {
+            txn: 0,
+            invariant: "quiescent-ssi",
+            detail: format!("{ssi} SSI record(s) retained with no txn in flight"),
         });
     }
 

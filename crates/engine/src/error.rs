@@ -2,7 +2,7 @@
 
 use semcc_faults::FaultKind;
 use semcc_lock::LockError;
-use semcc_mvcc::FcwConflict;
+use semcc_mvcc::{CommitConflict, FcwConflict, SsiConflict};
 use semcc_storage::StorageError;
 use std::fmt;
 
@@ -19,6 +19,10 @@ pub enum EngineError {
     Storage(StorageError),
     /// First-committer-wins validation failed at commit.
     Fcw(FcwConflict),
+    /// SSI dangerous-structure abort: the transaction is (or touched) a
+    /// pivot carrying both rw-antidependency flags. A normal part of
+    /// concurrency control at SSI — retry the transaction.
+    Ssi(SsiConflict),
     /// The transaction has already committed or aborted.
     TxnFinished,
     /// A malformed request from a higher layer (unbound parameter, empty
@@ -34,7 +38,13 @@ impl EngineError {
     /// Whether the error means "this transaction was aborted by concurrency
     /// control and should be retried" (as opposed to a programming error).
     pub fn is_abort(&self) -> bool {
-        matches!(self, EngineError::Lock(_) | EngineError::Fcw(_) | EngineError::Injected(_))
+        matches!(
+            self,
+            EngineError::Lock(_)
+                | EngineError::Fcw(_)
+                | EngineError::Ssi(_)
+                | EngineError::Injected(_)
+        )
     }
 }
 
@@ -44,6 +54,7 @@ impl fmt::Display for EngineError {
             EngineError::Lock(e) => write!(f, "lock error: {e}"),
             EngineError::Storage(e) => write!(f, "storage error: {e}"),
             EngineError::Fcw(e) => write!(f, "commit validation failed: {e}"),
+            EngineError::Ssi(e) => write!(f, "ssi abort: {e}"),
             EngineError::TxnFinished => write!(f, "transaction already finished"),
             EngineError::Invalid(msg) => write!(f, "invalid request: {msg}"),
             EngineError::Injected(k) => write!(f, "injected fault: {k}"),
@@ -68,6 +79,21 @@ impl From<StorageError> for EngineError {
 impl From<FcwConflict> for EngineError {
     fn from(e: FcwConflict) -> Self {
         EngineError::Fcw(e)
+    }
+}
+
+impl From<SsiConflict> for EngineError {
+    fn from(e: SsiConflict) -> Self {
+        EngineError::Ssi(e)
+    }
+}
+
+impl From<CommitConflict> for EngineError {
+    fn from(e: CommitConflict) -> Self {
+        match e {
+            CommitConflict::Fcw(f) => EngineError::Fcw(f),
+            CommitConflict::Ssi(s) => EngineError::Ssi(s),
+        }
     }
 }
 

@@ -98,6 +98,16 @@ pub enum Op {
     },
     /// Abort (voluntary, deadlock victim, or FCW loser).
     Abort,
+    /// SSI dangerous-structure abort: this transaction died because
+    /// `pivot` carried both rw-antidependency flags (possibly itself).
+    /// Recorded just before the `Abort` entry so the trail names the
+    /// pivot.
+    SsiAbort {
+        /// The both-flags transaction of the dangerous structure.
+        pivot: TxnId,
+        /// The access that completed the structure.
+        key: String,
+    },
 }
 
 /// One history entry.

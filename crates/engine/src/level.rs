@@ -17,18 +17,24 @@ pub enum IsolationLevel {
     RepeatableRead,
     /// Multiversion snapshot isolation with first-committer-wins.
     Snapshot,
+    /// Serializable Snapshot Isolation (Cahill): SNAPSHOT plus SIREAD
+    /// locks retained past commit, per-transaction rw-antidependency
+    /// flags, and the dangerous-structure (pivot) abort. Off the ANSI
+    /// ladder, strictly dominating SNAPSHOT.
+    Ssi,
     /// Full serializability: REPEATABLE READ + read predicate locks.
     Serializable,
 }
 
 impl IsolationLevel {
     /// All levels, weakest first (the order the Section 5 procedure walks).
-    pub const ALL: [IsolationLevel; 6] = [
+    pub const ALL: [IsolationLevel; 7] = [
         IsolationLevel::ReadUncommitted,
         IsolationLevel::ReadCommitted,
         IsolationLevel::ReadCommittedFcw,
         IsolationLevel::RepeatableRead,
         IsolationLevel::Snapshot,
+        IsolationLevel::Ssi,
         IsolationLevel::Serializable,
     ];
 
@@ -45,12 +51,21 @@ impl IsolationLevel {
 
     /// Whether this level uses multiversion snapshot reads.
     pub fn is_snapshot(self) -> bool {
-        self == IsolationLevel::Snapshot
+        matches!(self, IsolationLevel::Snapshot | IsolationLevel::Ssi)
+    }
+
+    /// Whether this level adds SIREAD tracking and the dangerous-structure
+    /// abort on top of snapshot reads.
+    pub fn siread_locks(self) -> bool {
+        self == IsolationLevel::Ssi
     }
 
     /// Whether reads take any locks.
     pub fn read_locks(self) -> bool {
-        !matches!(self, IsolationLevel::ReadUncommitted | IsolationLevel::Snapshot)
+        !matches!(
+            self,
+            IsolationLevel::ReadUncommitted | IsolationLevel::Snapshot | IsolationLevel::Ssi
+        )
     }
 
     /// Whether read locks, when taken, are long duration.
@@ -65,7 +80,10 @@ impl IsolationLevel {
 
     /// Whether commit runs first-committer-wins validation.
     pub fn fcw(self) -> bool {
-        matches!(self, IsolationLevel::ReadCommittedFcw | IsolationLevel::Snapshot)
+        matches!(
+            self,
+            IsolationLevel::ReadCommittedFcw | IsolationLevel::Snapshot | IsolationLevel::Ssi
+        )
     }
 }
 
@@ -78,6 +96,7 @@ impl IsolationLevel {
             IsolationLevel::ReadCommittedFcw => "READ COMMITTED+FCW",
             IsolationLevel::RepeatableRead => "REPEATABLE READ",
             IsolationLevel::Snapshot => "SNAPSHOT",
+            IsolationLevel::Ssi => "SSI",
             IsolationLevel::Serializable => "SERIALIZABLE",
         }
     }
@@ -122,6 +141,14 @@ mod tests {
         assert!(Snapshot.fcw());
         assert!(ReadCommittedFcw.fcw());
         assert!(!Serializable.fcw());
+        assert!(Ssi.is_snapshot());
+        assert!(Ssi.siread_locks());
+        assert!(!Snapshot.siread_locks());
+        assert!(!Ssi.read_locks());
+        assert!(!Ssi.long_read_locks());
+        assert!(!Ssi.read_predicate_locks());
+        assert!(Ssi.fcw());
+        assert!(Snapshot < Ssi && Ssi < Serializable, "SSI dominates SNAPSHOT");
     }
 
     #[test]

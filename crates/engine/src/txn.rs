@@ -6,7 +6,7 @@ use crate::history::{Op, ReadSrc};
 use crate::level::IsolationLevel;
 use semcc_lock::{Mode, Target};
 use semcc_logic::row::RowPred;
-use semcc_mvcc::Key;
+use semcc_mvcc::{CommitConflict, Key, SsiConflict, SsiKey};
 use semcc_storage::eval::{empty_env, row_matches};
 use semcc_storage::{Row, RowId, Schema, StorageError, Ts, TxnId, Value};
 use std::collections::{BTreeMap, HashMap};
@@ -53,6 +53,9 @@ impl Txn {
         let id = engine.oracle.next_txn_id();
         let snapshot_ts =
             if level.is_snapshot() { Some(engine.oracle.begin_snapshot(id)) } else { None };
+        if level.siread_locks() {
+            engine.oracle.ssi_begin(id, snapshot_ts.expect("ssi txn has ts"));
+        }
         engine.history.record(id, level, Op::Begin);
         Txn {
             engine,
@@ -101,6 +104,36 @@ impl Txn {
         if !self.write_set.contains(&key) {
             self.write_set.push(key);
         }
+    }
+
+    /// Surface an SSI dangerous-structure conflict: record the pivot in the
+    /// history (so anomaly trails can name it) and convert to an engine
+    /// error. The caller's abort path then releases the SSI record.
+    fn ssi_fail(&self, e: SsiConflict) -> EngineError {
+        self.engine.history.record(
+            self.id,
+            self.level,
+            Op::SsiAbort { pivot: e.pivot, key: e.key.clone() },
+        );
+        EngineError::Ssi(e)
+    }
+
+    /// Register SIREAD locks for `keys` and run rw-antidependency marking.
+    /// No-op below SSI.
+    fn ssi_read(&self, keys: &[SsiKey]) -> Result<(), EngineError> {
+        if self.level.siread_locks() {
+            self.engine.oracle.ssi_on_read(self.id, keys).map_err(|e| self.ssi_fail(e))?;
+        }
+        Ok(())
+    }
+
+    /// Register SSI write intent for `keys` and run rw-antidependency
+    /// marking against concurrent SIREAD holders. No-op below SSI.
+    fn ssi_write(&self, keys: &[SsiKey]) -> Result<(), EngineError> {
+        if self.level.siread_locks() {
+            self.engine.oracle.ssi_on_write(self.id, keys).map_err(|e| self.ssi_fail(e))?;
+        }
+        Ok(())
     }
 
     /// Record the version timestamp observed by a read (RC-FCW). Using the
@@ -156,15 +189,17 @@ impl Txn {
                     _ => (c.read_committed().clone(), ReadSrc::Committed(c.latest_commit_ts())),
                 }
             }
-            IsolationLevel::Snapshot => {
+            IsolationLevel::Snapshot | IsolationLevel::Ssi => {
                 let ts = self.snapshot_ts.expect("snapshot txn has ts");
-                match self.buf_items.get(name) {
-                    Some(v) => (v.clone(), ReadSrc::Snapshot(ts)),
+                let v = match self.buf_items.get(name) {
+                    Some(v) => v.clone(),
                     None => {
                         let c = cell.lock();
-                        (c.read_at(ts)?.clone(), ReadSrc::Snapshot(ts))
+                        c.read_at(ts)?.clone()
                     }
-                }
+                };
+                self.ssi_read(&[SsiKey::Point(Key::item(name))])?;
+                (v, ReadSrc::Snapshot(ts))
             }
         };
         self.engine.history.record(
@@ -184,6 +219,7 @@ impl Txn {
             if !self.engine.store.has_item(name) {
                 return Err(StorageError::NoSuchItem(name.to_string()).into());
             }
+            self.ssi_write(&[SsiKey::Point(Key::item(name))])?;
             self.buf_items.insert(name.to_string(), value.clone());
         } else {
             let cell = self.engine.store.item(name)?;
@@ -230,6 +266,11 @@ impl Txn {
                 }
             };
             stored = current.map_or(floor, |c| c.max(floor));
+            // The implicit re-read is interference-exposed at SSI (it maxes
+            // against the snapshot, not the committed state), so register
+            // both sides of the read-modify-write.
+            self.ssi_read(&[SsiKey::Point(Key::item(name))])?;
+            self.ssi_write(&[SsiKey::Point(Key::item(name))])?;
             self.buf_items.insert(name.to_string(), Value::Int(stored));
         } else {
             let cell = self.engine.store.item(name)?;
@@ -317,20 +358,24 @@ impl Txn {
                     }
                 }
             }
-            IsolationLevel::Snapshot => {
+            IsolationLevel::Snapshot | IsolationLevel::Ssi => {
                 let ts = self.snapshot_ts.expect("snapshot txn has ts");
                 for (id, row) in self.overlay_scan(&t, table, ts) {
                     if row_matches(&schema, &row, pred, &empty_env) {
                         out.push((id, row));
                     }
                 }
+                // Table-granular SIREAD: covers the predicate, so a
+                // concurrent writer of *any* row in this table (including
+                // phantoms) raises an rw-antidependency.
+                self.ssi_read(&[SsiKey::Table(table.to_string())])?;
             }
         }
         if self.engine.history.is_enabled() {
             // Row-granular read provenance: which version each matched row
             // came from, mirroring the per-level disciplines above.
             let src_of = |id: RowId| match self.level {
-                IsolationLevel::Snapshot => {
+                IsolationLevel::Snapshot | IsolationLevel::Ssi => {
                     ReadSrc::Snapshot(self.snapshot_ts.expect("snapshot txn has ts"))
                 }
                 IsolationLevel::ReadUncommitted => match t.row_dirty_writer(id) {
@@ -402,6 +447,13 @@ impl Txn {
         }
         let id = if self.level.is_snapshot() {
             let id = t.reserve_row_id();
+            // Point + table write intent: table-granular intent is what
+            // collides with SIREAD holders whose predicate the new row
+            // would have matched (phantom prevention at SSI).
+            self.ssi_write(&[
+                SsiKey::Point(Key::row(table, id)),
+                SsiKey::Table(table.to_string()),
+            ])?;
             self.buf_rows.entry(table.to_string()).or_default().insert(id, Some(row.clone()));
             id
         } else {
@@ -444,6 +496,15 @@ impl Txn {
                 .into_iter()
                 .filter(|(_, row)| row_matches(&schema, row, pred, &empty_env))
                 .collect();
+            // The WHERE scan is a predicate read; the matched slots plus the
+            // table itself are the write footprint.
+            self.ssi_read(&[SsiKey::Table(table.to_string())])?;
+            if !targets.is_empty() {
+                let mut wkeys: Vec<SsiKey> =
+                    targets.iter().map(|(id, _)| SsiKey::Point(Key::row(table, *id))).collect();
+                wkeys.push(SsiKey::Table(table.to_string()));
+                self.ssi_write(&wkeys)?;
+            }
             for (id, row) in targets {
                 let new = f(&row);
                 self.buf_rows.entry(table.to_string()).or_default().insert(id, Some(new.clone()));
@@ -501,6 +562,15 @@ impl Txn {
                 .filter(|(_, row)| row_matches(&schema, row, pred, &empty_env))
                 .map(|(id, _)| id)
                 .collect();
+            // Same SSI footprint as update_where: predicate read plus
+            // point + table write intent.
+            self.ssi_read(&[SsiKey::Table(table.to_string())])?;
+            if !targets.is_empty() {
+                let mut wkeys: Vec<SsiKey> =
+                    targets.iter().map(|id| SsiKey::Point(Key::row(table, *id))).collect();
+                wkeys.push(SsiKey::Table(table.to_string()));
+                self.ssi_write(&wkeys)?;
+            }
             for id in targets {
                 self.buf_rows.entry(table.to_string()).or_default().insert(id, None);
                 self.note_write(Key::row(table, id));
@@ -553,7 +623,7 @@ impl Txn {
         let cell = self.engine.store.item(name).ok()?;
         match self.level {
             IsolationLevel::ReadUncommitted => Some(cell.lock().read_latest().clone()),
-            IsolationLevel::Snapshot => {
+            IsolationLevel::Snapshot | IsolationLevel::Ssi => {
                 if let Some(v) = self.buf_items.get(name) {
                     return Some(v.clone());
                 }
@@ -576,7 +646,7 @@ impl Txn {
         let t = self.engine.store.table(table).ok()?;
         Some(match self.level {
             IsolationLevel::ReadUncommitted => t.scan_latest(),
-            IsolationLevel::Snapshot => {
+            IsolationLevel::Snapshot | IsolationLevel::Ssi => {
                 let ts = self.snapshot_ts?;
                 let mut rows: BTreeMap<RowId, Row> = t.scan_at(ts).into_iter().collect();
                 if let Some(buf) = self.buf_rows.get(table) {
@@ -628,7 +698,7 @@ impl Txn {
             let checks: Vec<(Key, Ts)> = self.write_set.iter().map(|k| (k.clone(), snap)).collect();
             let buf_items = std::mem::take(&mut self.buf_items);
             let buf_rows = std::mem::take(&mut self.buf_rows);
-            let ts = engine.oracle.validate_and_commit_with(&checks, &self.write_set, |ts| {
+            let install = |ts: Ts| {
                 for (name, v) in &buf_items {
                     if let Ok(cell) = engine.store.item(name) {
                         cell.lock().install(ts, v.clone());
@@ -641,7 +711,21 @@ impl Txn {
                         }
                     }
                 }
-            })?;
+            };
+            let ts = if self.level.siread_locks() {
+                // SSI: the dangerous-structure precommit check runs inside
+                // the oracle's commit critical section, atomically with FCW
+                // validation and timestamp assignment.
+                engine
+                    .oracle
+                    .ssi_validate_and_commit_with(self.id, &checks, &self.write_set, install)
+                    .map_err(|e| match e {
+                        CommitConflict::Fcw(f) => EngineError::Fcw(f),
+                        CommitConflict::Ssi(s) => self.ssi_fail(s),
+                    })?
+            } else {
+                engine.oracle.validate_and_commit_with(&checks, &self.write_set, install)?
+            };
             engine.oracle.end_snapshot(self.id);
             engine.history.record(self.id, self.level, Op::Commit { ts });
             Ok(ts)
@@ -710,6 +794,11 @@ impl Txn {
         engine.locks.release_all(self.id);
         if self.level.is_snapshot() {
             engine.oracle.end_snapshot(self.id);
+        }
+        if self.level.siread_locks() {
+            // Aborted transactions surrender their SIREAD locks and conflict
+            // flags — only *committed* readers keep them.
+            engine.oracle.ssi_abort(self.id);
         }
         engine.history.record(self.id, self.level, Op::Abort);
         self.state = TxnState::Aborted;

@@ -467,9 +467,14 @@ impl Refined {
                     .map(|i| {
                         (0..k)
                             .map(|c| {
+                                // SIREAD locks order writes against the
+                                // holder's commit exactly like long read
+                                // locks (see `stmt_commit_dep`).
+                                let read_lockish = specs[c].level.long_read_locks()
+                                    || (specs[c].level.siread_locks()
+                                        && specs[s].level.siread_locks());
                                 (0..n[c]).any(|ci| wr(c, ci, s, i) || ww(c, ci, s, i))
-                                    || (specs[c].level.long_read_locks()
-                                        && (0..n[c]).any(|ci| wr(s, i, c, ci)))
+                                    || (read_lockish && (0..n[c]).any(|ci| wr(s, i, c, ci)))
                             })
                             .collect()
                     })
@@ -480,9 +485,16 @@ impl Refined {
             .map(|b| {
                 (0..k)
                     .map(|c| {
-                        specs[b].level.is_snapshot()
+                        (specs[b].level.is_snapshot()
                             && (0..n[c])
-                                .any(|ci| (0..n[b]).any(|j| wr(c, ci, b, j) || ww(c, ci, b, j)))
+                                .any(|ci| (0..n[b]).any(|j| wr(c, ci, b, j) || ww(c, ci, b, j))))
+                            // SSI concurrency classification: begin(b) vs
+                            // commit(c) order decides whether b's writes
+                            // mark c's SIREADs (see `begin_commit_dep`).
+                            || (specs[b].level.siread_locks()
+                                && specs[c].level.siread_locks()
+                                && (0..n[b])
+                                    .any(|j| (0..n[c]).any(|ci| wr(b, j, c, ci))))
                     })
                     .collect()
             })
@@ -644,28 +656,42 @@ impl<'a> Ctx<'a> {
     /// `begin(b)` vs `commit(c)`: the begin fixes a snapshot timestamp, so
     /// it is ordered against any commit writing something the SNAPSHOT
     /// transaction reads (snapshot contents) or writes (first-committer
-    /// validation window). Non-snapshot begins observe nothing.
+    /// validation window). Non-snapshot begins observe nothing. At SSI the
+    /// begin/commit order additionally decides whether `b` counts `c` as
+    /// *concurrent* for rw-antidependency marking, so when both are SSI it
+    /// is also ordered against commits of transactions whose SIREAD set
+    /// `b`'s writes intersect (begin-before-commit marks `c`'s out-edge;
+    /// commit-before-begin leaves no overlap and no edge).
     fn begin_commit_dep(&self, b: usize, c: usize) -> bool {
         if let Some(r) = &self.refined {
             return r.begin_commit[b][c];
         }
-        self.specs[b].level.is_snapshot()
+        (self.specs[b].level.is_snapshot()
             && (overlaps(&self.all_writes[c], &self.all_reads[b])
-                || overlaps(&self.all_writes[c], &self.all_writes[b]))
+                || overlaps(&self.all_writes[c], &self.all_writes[b])))
+            || (self.specs[b].level.siread_locks()
+                && self.specs[c].level.siread_locks()
+                && overlaps(&self.all_writes[b], &self.all_reads[c]))
     }
 
     /// `stmt(s, i)` vs `commit(c)`: the commit makes `c`'s writes durable
     /// and visible (and, under long read locks, releases read locks), so
     /// it is ordered against statements touching `c`'s write set — or
     /// writing into `c`'s read set when `c` held its read locks to commit.
+    /// SIREAD locks behave like long read locks here: a write into an SSI
+    /// transaction's read set lands differently on either side of that
+    /// transaction's commit (active pivot aborts at its own next action;
+    /// committed pivot kills the writer instead).
     fn stmt_commit_dep(&self, s: usize, i: usize, c: usize) -> bool {
         if let Some(r) = &self.refined {
             return r.stmt_commit[s][i][c];
         }
         let fp = &self.stmt_fps[s][i];
+        let read_lockish = self.specs[c].level.long_read_locks()
+            || (self.specs[c].level.siread_locks() && self.specs[s].level.siread_locks());
         overlaps(&self.all_writes[c], &fp.reads)
             || overlaps(&self.all_writes[c], &fp.writes)
-            || (self.specs[c].level.long_read_locks() && overlaps(&self.all_reads[c], &fp.writes))
+            || (read_lockish && overlaps(&self.all_reads[c], &fp.writes))
     }
 
     /// A singleton persistent set: a transaction whose next event is

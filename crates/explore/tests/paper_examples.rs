@@ -105,6 +105,82 @@ fn example3_banking_clean_at_repeatable_read_and_serializable() {
 }
 
 #[test]
+fn example3_banking_no_divergence_survives_at_ssi() {
+    // The same write-skew race that diverges at SNAPSHOT (above) is shut
+    // down at SSI: the dangerous-structure abort fires inside every racy
+    // interleaving, so each such prefix is Blocked, never Divergent.
+    let (app, specs, r) = explore_banking(IsolationLevel::Ssi);
+    assert_eq!(r.divergent, 0, "dangerous-structure aborts must kill every write skew: {r:?}");
+    assert!(r.blocked > 0, "the racy interleavings must be SSI-aborted: {r:?}");
+    assert_eq!(r.serial_errors, 0, "serial executions never overlap, so SSI never aborts them");
+    assert!(!r.truncated);
+    let d = differential(&app, &specs, &r);
+    assert!(d.static_safe, "the SSI condition is vacuously safe for any footprints");
+    assert_eq!(d.verdict, DifferentialVerdict::Agree);
+    assert!(d.sound(), "{d:?}");
+}
+
+#[test]
+fn example3_ssi_abort_trail_names_the_pivot() {
+    use semcc_engine::{Engine, EngineConfig, EngineError, Op};
+    use std::time::Duration;
+
+    // Drive Example 3's write skew directly through the engine at SSI:
+    // both withdrawals read (sav, chk) = (100, 100) off their snapshots,
+    // then write disjoint items. The second writer closes the
+    // rw-antidependency cycle and must die as the pivot, with the abort
+    // trail naming it.
+    let e = std::sync::Arc::new(Engine::new(EngineConfig {
+        lock_timeout: Duration::from_millis(100),
+        record_history: true,
+        faults: None,
+    }));
+    e.create_item("sav", 100).expect("seed sav");
+    e.create_item("chk", 100).expect("seed chk");
+
+    let mut t1 = e.begin(IsolationLevel::Ssi);
+    let mut t2 = e.begin(IsolationLevel::Ssi);
+    assert_eq!(t1.read("sav").unwrap().as_int(), Some(100));
+    assert_eq!(t1.read("chk").unwrap().as_int(), Some(100));
+    assert_eq!(t2.read("sav").unwrap().as_int(), Some(100));
+    assert_eq!(t2.read("chk").unwrap().as_int(), Some(100));
+    t1.write("sav", 100 - 140).expect("t1 withdraws against the combined balance");
+    let err = t2.write("chk", 100 - 140).expect_err("t2 closes the cycle and is the pivot");
+    let pivot = match &err {
+        EngineError::Ssi(c) => {
+            assert_eq!(c.pivot, t2.id(), "the pivot is the transaction with both conflict flags");
+            assert_eq!(c.txn, t2.id());
+            c.pivot
+        }
+        other => panic!("expected an SSI abort, got {other:?}"),
+    };
+    assert!(err.is_abort(), "SSI aborts are retryable aborts, not programming errors");
+    t2.abort();
+    t1.commit().expect("the surviving transaction commits");
+
+    // The anomaly trail records the dangerous structure before the abort.
+    let events = e.history().events();
+    let trail: Vec<_> = events
+        .iter()
+        .filter_map(|ev| match &ev.op {
+            Op::SsiAbort { pivot: p, key } => Some((ev.txn, *p, key.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(trail.len(), 1, "exactly one pivot abort: {trail:?}");
+    assert_eq!(trail[0].0, pivot, "the trail is recorded against the aborted transaction");
+    assert_eq!(trail[0].1, pivot, "the trail names the pivot");
+    assert_eq!(trail[0].2, "chk", "the trail names the key that closed the cycle");
+
+    // Nothing leaks: the aborted pivot left no SIREAD locks or conflict
+    // flags behind, and the survivor's record is gone after commit + GC.
+    let audit = semcc_engine::audit_post_abort(&e, pivot);
+    assert!(audit.violations.is_empty(), "{:?}", audit.violations);
+    let quiescent = semcc_engine::audit_quiescent(&e);
+    assert!(quiescent.violations.is_empty(), "{:?}", quiescent.violations);
+}
+
+#[test]
 fn dpor_prunes_at_least_2x_on_both_examples() {
     let (_, _, payroll) = explore_payroll(IsolationLevel::ReadUncommitted);
     assert!(

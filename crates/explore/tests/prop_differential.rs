@@ -105,8 +105,8 @@ fn static_safe_implies_no_divergence_at_mixed_levels() {
     let mut rng = StdRng::seed_from_u64(0xd1ff);
     for seed in 40..60u64 {
         let (app, _) = case(seed);
-        let l0 = IsolationLevel::ALL[rng.gen_range(0..6)];
-        let l1 = IsolationLevel::ALL[rng.gen_range(0..6)];
+        let l0 = IsolationLevel::ALL[rng.gen_range(0..IsolationLevel::ALL.len())];
+        let l1 = IsolationLevel::ALL[rng.gen_range(0..IsolationLevel::ALL.len())];
         let levels: BTreeMap<String, IsolationLevel> =
             [("T0".to_string(), l0), ("T1".to_string(), l1)].into();
         let safe = static_safe(&app, &levels);

@@ -79,7 +79,7 @@ fn refined_exploration_never_hides_a_divergence() {
         let names: Vec<String> =
             (0..k).map(|_| wl.names[rng.pick(wl.names.len())].to_string()).collect();
         let levels: Vec<IsolationLevel> =
-            (0..k).map(|_| IsolationLevel::ALL[rng.pick(6)]).collect();
+            (0..k).map(|_| IsolationLevel::ALL[rng.pick(IsolationLevel::ALL.len())]).collect();
         let specs = specs_for(&wl.app, &names, &levels).expect("specs");
         let opts = ExploreOptions {
             max_schedules: 1500,

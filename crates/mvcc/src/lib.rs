@@ -14,8 +14,10 @@
 
 pub mod key;
 pub mod oracle;
+pub mod ssi;
 
 pub use key::Key;
-pub use oracle::{FcwConflict, Oracle};
+pub use oracle::{CommitConflict, FcwConflict, Oracle};
+pub use ssi::{SsiConflict, SsiKey};
 
 pub use semcc_storage::{Ts, TxnId};

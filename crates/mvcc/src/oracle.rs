@@ -1,6 +1,7 @@
 //! The timestamp oracle and first-committer-wins commit log.
 
 use crate::key::Key;
+use crate::ssi::{SsiConflict, SsiKey, SsiState};
 use parking_lot::Mutex;
 use semcc_storage::{Ts, TxnId};
 use std::collections::{BTreeMap, HashMap};
@@ -32,6 +33,27 @@ impl fmt::Display for FcwConflict {
 
 impl std::error::Error for FcwConflict {}
 
+/// Why an SSI commit attempt was refused: the first-committer-wins
+/// validation lost, or the transaction is a dangerous-structure pivot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommitConflict {
+    /// First-committer-wins validation failed.
+    Fcw(FcwConflict),
+    /// The committing transaction carries both rw-antidependency flags.
+    Ssi(SsiConflict),
+}
+
+impl fmt::Display for CommitConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitConflict::Fcw(e) => e.fmt(f),
+            CommitConflict::Ssi(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CommitConflict {}
+
 #[derive(Default)]
 struct CommitLog {
     /// Last committed write timestamp per key.
@@ -47,6 +69,11 @@ pub struct Oracle {
     log: Mutex<CommitLog>,
     /// Active snapshots: snapshot ts per transaction (for the GC watermark).
     snapshots: Mutex<BTreeMap<TxnId, Ts>>,
+    /// SSI registry: SIREAD locks, write intents, and rw-antidependency
+    /// flags per tracked transaction. Lock order: `log` before `ssi`
+    /// (the commit critical section takes both); read/write marking takes
+    /// only `ssi`.
+    ssi: Mutex<SsiState>,
 }
 
 impl Default for Oracle {
@@ -64,6 +91,7 @@ impl Oracle {
             last_commit: AtomicU64::new(0),
             log: Mutex::new(CommitLog::default()),
             snapshots: Mutex::new(BTreeMap::new()),
+            ssi: Mutex::new(SsiState::default()),
         }
     }
 
@@ -114,6 +142,7 @@ impl Oracle {
         let mut log = self.log.lock();
         log.last_write.clear();
         self.snapshots.lock().clear();
+        self.ssi.lock().clear();
         self.next_txn.store(1, Ordering::Release);
         self.last_commit.store(0, Ordering::Release);
     }
@@ -186,6 +215,99 @@ impl Oracle {
     /// Number of commit-log entries (metrics/tests).
     pub fn log_len(&self) -> usize {
         self.log.lock().last_write.len()
+    }
+
+    // -- Serializable Snapshot Isolation ----------------------------------
+
+    /// Start SSI tracking for `txn`, whose snapshot was taken at
+    /// `snapshot_ts` (from [`Oracle::begin_snapshot`]).
+    pub fn ssi_begin(&self, txn: TxnId, snapshot_ts: Ts) {
+        self.ssi.lock().begin(txn, snapshot_ts);
+    }
+
+    /// Register SIREAD locks and mark rw-antidependencies for a read.
+    pub fn ssi_on_read(&self, txn: TxnId, keys: &[SsiKey]) -> Result<(), SsiConflict> {
+        self.ssi.lock().on_read(txn, keys)
+    }
+
+    /// Register write intents and mark rw-antidependencies for a write.
+    pub fn ssi_on_write(&self, txn: TxnId, keys: &[SsiKey]) -> Result<(), SsiConflict> {
+        self.ssi.lock().on_write(txn, keys)
+    }
+
+    /// Like [`Oracle::validate_and_commit_with`] but for an SSI
+    /// transaction: the dangerous-structure precommit check runs inside
+    /// the same critical section that validates first-committer-wins and
+    /// assigns the timestamp, so no concurrent marking can slip a pivot
+    /// past its commit. On success the record is stamped committed (its
+    /// SIREAD locks persist) and the registry is collected.
+    pub fn ssi_validate_and_commit_with(
+        &self,
+        txn: TxnId,
+        checks: &[(Key, Ts)],
+        writes: &[Key],
+        install: impl FnOnce(Ts),
+    ) -> Result<Ts, CommitConflict> {
+        let mut log = self.log.lock();
+        for (key, since) in checks {
+            if let Some(committed) = log.last_write.get(key) {
+                if committed > since {
+                    return Err(CommitConflict::Fcw(FcwConflict {
+                        key: key.clone(),
+                        committed_ts: *committed,
+                        since_ts: *since,
+                    }));
+                }
+            }
+        }
+        let mut ssi = self.ssi.lock();
+        ssi.precommit(txn).map_err(CommitConflict::Ssi)?;
+        let ts = self.last_commit.fetch_add(1, Ordering::AcqRel) + 1;
+        for key in writes {
+            log.last_write.insert(key.clone(), ts);
+        }
+        ssi.commit(txn, ts);
+        install(ts);
+        Ok(ts)
+    }
+
+    /// Drop an aborted SSI transaction's record (SIREAD locks, write
+    /// intents, and conflict flags all vanish with it) and collect.
+    pub fn ssi_abort(&self, txn: TxnId) {
+        self.ssi.lock().abort(txn);
+    }
+
+    /// Whether `txn` still has an SSI record at all (committed records
+    /// legitimately persist while concurrent SSI transactions live).
+    pub fn ssi_tracked(&self, txn: TxnId) -> bool {
+        self.ssi.lock().tracked(txn)
+    }
+
+    /// Whether `txn` has an *active* (uncommitted) SSI record — a
+    /// finished transaction must not (post-abort auditing).
+    pub fn ssi_active(&self, txn: TxnId) -> bool {
+        self.ssi.lock().is_active(txn)
+    }
+
+    /// The `(in_conflict, out_conflict)` flags of `txn`, if tracked.
+    pub fn ssi_flags(&self, txn: TxnId) -> Option<(bool, bool)> {
+        self.ssi.lock().flags(txn)
+    }
+
+    /// Number of SIREAD locks `txn` holds (0 when untracked).
+    pub fn ssi_siread_count(&self, txn: TxnId) -> usize {
+        self.ssi.lock().siread_count(txn)
+    }
+
+    /// Total SSI records (active + retained committed) — quiescent
+    /// engines must report 0.
+    pub fn ssi_record_count(&self) -> usize {
+        self.ssi.lock().record_count()
+    }
+
+    /// Active (uncommitted) SSI records.
+    pub fn ssi_active_count(&self) -> usize {
+        self.ssi.lock().active_count()
     }
 }
 

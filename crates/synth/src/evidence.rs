@@ -23,7 +23,7 @@
 //!    schedule is embedded in the certificate. Replays are independent,
 //!    so they fan out over `jobs` workers in deterministic order.
 
-use crate::{MinimalVector, PairCache, SynthOptions, DOMAIN, SNAP};
+use crate::{partner_bit, MinimalVector, PairCache, SynthOptions, DOMAIN, SNAP, SSI};
 use semcc_cert::{check_countermodel, PredEvidence};
 use semcc_core::theorems::FailedObligation;
 use semcc_core::witness::replay_witness;
@@ -40,14 +40,19 @@ pub struct Predecessor {
     pub coord: usize,
     /// The level the coordinate was lowered to.
     pub lowered_to: IsolationLevel,
-    /// Victim type of the failing pairwise lemma (always the lowered
-    /// type: all other pairs are shared with the safe minimal vector).
+    /// Victim type of the failing pairwise lemma. Usually the lowered
+    /// type; when an SSI coordinate drops to SNAPSHOT the victim can
+    /// instead be another SSI type that lost the tracked-partner vacuity
+    /// against it.
     pub victim: String,
     /// Interfering type of the failing pair.
     pub interferer: String,
-    /// Victim level the lemma ran at (= `lowered_to`).
+    /// Victim level the lemma ran at (`lowered_to` when the victim is the
+    /// lowered type, the victim's own vector level otherwise).
     pub victim_level: IsolationLevel,
-    /// Whether the interferer was classed as a SNAPSHOT partner.
+    /// The partner bit the lemma ran with ([`partner_bit`]): the
+    /// interferer is snapshot-class (non-SSI victim) or SSI-tracked
+    /// (SSI victim).
     pub partner_snapshot: bool,
     /// Failed obligation description.
     pub what: String,
@@ -64,7 +69,7 @@ pub struct Predecessor {
 /// compilation (the replay confirms or refutes the guess; the refutation
 /// itself rests on the countermodel, not on this heuristic).
 fn anomaly_for(code: u8, partner_snapshot: bool, relational: bool) -> AnomalyKind {
-    if code == SNAP {
+    if code >= SNAP {
         AnomalyKind::WriteSkew
     } else if code == 0 {
         AnomalyKind::DirtyRead
@@ -145,31 +150,37 @@ pub(crate) fn refute_predecessors(
         let mut predecessors = Vec::new();
         for (coord, &c) in codes.iter().enumerate() {
             if c == 0 || c == SNAP {
-                // READ UNCOMMITTED has no predecessor; SNAPSHOT is
-                // comparable only to itself.
+                // READ UNCOMMITTED has no predecessor; SNAPSHOT is the
+                // bottom of the off-ladder chain.
                 continue;
             }
             let mut pred = codes.clone();
-            pred[coord] = c - 1;
+            let lowered = if c == SSI { SNAP } else { c - 1 };
+            pred[coord] = lowered;
             debug_assert_eq!(safety.get(&pred), Some(&false), "predecessor of a minimal vector");
-            // Only pairs with the lowered coordinate as victim differ
-            // from the (safe) minimal vector, so the failing pair is
-            // among them; scan interferers in deterministic order.
-            let lowered = c - 1;
-            let interferer = (0..txns.len())
-                .find(|&j| !cache.get(coord, j, lowered, pred[j] == SNAP).ok)
-                .expect("an unsafe predecessor fails a pair with the lowered victim");
-            let partner_snapshot = pred[interferer] == SNAP;
-            let fails = cache.collect(coord, interferer, lowered, partner_snapshot);
+            // Pairs that differ from the (safe) minimal vector all
+            // involve the lowered coordinate: as victim (its own level
+            // dropped), or — when an SSI coordinate drops to SNAPSHOT —
+            // as interferer (every other SSI victim loses the
+            // tracked-partner vacuity against it). Scan both families in
+            // deterministic order.
+            let mut victim_pairs = (0..txns.len())
+                .map(|j| (coord, j, lowered))
+                .chain((0..txns.len()).filter(|&i| i != coord).map(|i| (i, coord, pred[i])));
+            let (victim, interferer, vcode) = victim_pairs
+                .find(|&(i, j, vc)| !cache.get(i, j, vc, partner_bit(vc, pred[j])).ok)
+                .expect("an unsafe predecessor fails a pair involving the lowered coordinate");
+            let partner_snapshot = partner_bit(vcode, pred[interferer]);
+            let fails = cache.collect(victim, interferer, vcode, partner_snapshot);
             let fo = fails.first().expect("a failed pair records at least one failed obligation");
             let (evidence, counterexample) = countermodel_evidence(cache, fo);
             if opts.witnesses {
-                let kind = anomaly_for(lowered, partner_snapshot, !fo.effect.effects.is_empty());
+                let kind = anomaly_for(vcode, partner_snapshot, !fo.effect.effects.is_empty());
                 let diag = Diagnostic {
                     code: code_for(kind).to_string(),
                     kind,
-                    level: DOMAIN[lowered as usize],
-                    txn: txns[coord].clone(),
+                    level: DOMAIN[vcode as usize],
+                    txn: txns[victim].clone(),
                     partner: Some(txns[interferer].clone()),
                     statements: Vec::new(),
                     provenance: vec![format!("synthesis predecessor refutation: {}", fo.what)],
@@ -196,9 +207,9 @@ pub(crate) fn refute_predecessors(
             predecessors.push(Predecessor {
                 coord,
                 lowered_to: DOMAIN[lowered as usize],
-                victim: txns[coord].clone(),
+                victim: txns[victim].clone(),
                 interferer: txns[interferer].clone(),
-                victim_level: DOMAIN[lowered as usize],
+                victim_level: DOMAIN[vcode as usize],
                 partner_snapshot,
                 what: fo.what.clone(),
                 reason: fo.reason.clone(),

@@ -5,8 +5,8 @@
 //! semantically correct, assuming every peer may run anywhere. This crate
 //! answers the whole-mix question: over the lattice of **isolation-level
 //! vectors** — one level per transaction type, drawn from the ANSI ladder
-//! RU → RC → RC+FCW → RR → SER plus the off-ladder SNAPSHOT point — which
-//! vectors make the *application* semantically correct, and which of those
+//! RU → RC → RC+FCW → RR → SER plus the off-ladder SNAPSHOT → SSI chain —
+//! which vectors make the *application* semantically correct, and which of those
 //! are Pareto-minimal (no coordinate can be lowered without breaking
 //! safety)?
 //!
@@ -15,11 +15,15 @@
 //! A vector `v` is safe iff every ordered pair `(i, j)` of types (including
 //! `i = j`) passes the pairwise interference lemma
 //! [`check_pair_collect`] for victim `i` at `v[i]` against interferer `j`
-//! classed by whether `v[j]` is SNAPSHOT. The theorems' obligation
-//! families are per-interferer, so this conjunction reproduces
+//! classed by its partner bit: for a non-SSI victim, whether `v[j]` is
+//! snapshot-class (SNAPSHOT or SSI); for an SSI victim, whether `v[j]` is
+//! *also* SSI (both tracked ⇒ dangerous-structure aborts make the pair
+//! vacuously safe; an untracked partner degrades the victim to SNAPSHOT
+//! obligations). The theorems' obligation families are per-interferer, so
+//! this conjunction reproduces
 //! [`check_with`](semcc_core::theorems::check_with) exactly — and it makes
-//! vector safety a function of at most `6·2·n²` pair lemmas rather than
-//! `6^n` monolithic checks.
+//! vector safety a function of at most `7·2·n²` pair lemmas rather than
+//! `7^n` monolithic checks.
 //!
 //! ## Monotonicity and pruning
 //!
@@ -57,29 +61,35 @@ pub mod policy;
 pub use evidence::Predecessor;
 pub use policy::{policy_digest, policy_json, synth_certs};
 
-/// The level domain, indexed by the vector codes `0..=5`. Codes `0..=4`
-/// form the ANSI ladder (chain order = code order); code [`SNAP`] is the
-/// off-ladder SNAPSHOT point, comparable only to itself.
-pub const DOMAIN: [IsolationLevel; 6] = [
+/// The level domain, indexed by the vector codes `0..=6`. Codes `0..=4`
+/// form the ANSI ladder (chain order = code order); codes [`SNAP`] and
+/// [`SSI`] form the off-ladder SNAPSHOT → SSI chain, incomparable to the
+/// ladder.
+pub const DOMAIN: [IsolationLevel; 7] = [
     IsolationLevel::ReadUncommitted,
     IsolationLevel::ReadCommitted,
     IsolationLevel::ReadCommittedFcw,
     IsolationLevel::RepeatableRead,
     IsolationLevel::Serializable,
     IsolationLevel::Snapshot,
+    IsolationLevel::Ssi,
 ];
 
 /// Vector code of SNAPSHOT (off the ladder).
 pub const SNAP: u8 = 5;
 
-/// The synthesizer enumerates `6^n` vectors; above this many types the
+/// Vector code of SSI — joins the lattice directly above [`SNAP`]
+/// (SNAPSHOT plus dangerous-structure aborts), still off the ANSI ladder.
+pub const SSI: u8 = 6;
+
+/// The synthesizer enumerates `7^n` vectors; above this many types the
 /// search is refused rather than silently truncated.
 pub const MAX_TYPES: usize = 7;
 
-/// Coordinate order: codes on the ladder compare by rank; SNAPSHOT is
-/// comparable only to itself.
+/// Coordinate order: codes on the ladder compare by rank; the off-ladder
+/// chain is SNAPSHOT ≤ SSI, incomparable to the ladder.
 fn le_code(a: u8, b: u8) -> bool {
-    a == b || (a != SNAP && b != SNAP && a <= b)
+    a == b || (a < SNAP && b < SNAP && a <= b) || (a == SNAP && b == SSI)
 }
 
 /// Pointwise partial order on vectors.
@@ -87,10 +97,10 @@ pub fn vec_le(a: &[u8], b: &[u8]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| le_code(*x, *y))
 }
 
-/// Whether the vector stays on the ANSI ladder (no SNAPSHOT coordinate) —
-/// the sublattice where up-set pruning is sound.
+/// Whether the vector stays on the ANSI ladder (no SNAPSHOT or SSI
+/// coordinate) — the sublattice where up-set pruning is sound.
 pub fn ladder_only(v: &[u8]) -> bool {
-    v.iter().all(|&c| c != SNAP)
+    v.iter().all(|&c| c < SNAP)
 }
 
 /// Search knobs.
@@ -141,7 +151,7 @@ enum Class {
 pub struct SearchStats {
     /// Transaction types (`n`).
     pub types: usize,
-    /// Lattice size `6^n`.
+    /// Lattice size `7^n`.
     pub lattice: usize,
     /// Vectors that needed fresh pair-lemma work.
     pub visited: usize,
@@ -157,7 +167,7 @@ pub struct SearchStats {
     pub pair_evals: usize,
     /// Pair-cache hits during classification.
     pub pair_hits: usize,
-    /// Pair lemmas a naive sweep would evaluate (`6^n · n²` victim/
+    /// Pair lemmas a naive sweep would evaluate (`7^n · n²` victim/
     /// interferer pairs, each from scratch).
     pub naive_pair_evals: u128,
     /// Prover queries actually issued (after the analyzer's memo cache).
@@ -204,10 +214,12 @@ impl Synthesis {
 }
 
 /// Memoized pairwise-lemma cache. Keys are `(victim footprint hash,
-/// interferer footprint hash, victim level code, partner-is-SNAPSHOT)` —
-/// the lemma's verdict depends on nothing else, so two types with
-/// identical footprints share entries. One shared [`Analyzer`] underneath
-/// additionally memoizes the individual prover queries across pairs.
+/// interferer footprint hash, victim level code, partner bit)` — the
+/// partner bit is [`partner_bit`]: snapshot-class partner for non-SSI
+/// victims, SSI-tracked partner for SSI victims. The lemma's verdict
+/// depends on nothing else, so two types with identical footprints share
+/// entries. One shared [`Analyzer`] underneath additionally memoizes the
+/// individual prover queries across pairs.
 pub struct PairCache<'a> {
     app: &'a App,
     analyzer: Analyzer<'a>,
@@ -310,6 +322,19 @@ impl<'a> PairCache<'a> {
     }
 }
 
+/// The partner-class bit for victim code `vic` against partner code
+/// `par`: a non-SSI victim cares whether the partner is snapshot-class
+/// (SNAPSHOT or SSI — both install at commit over a fixed snapshot); an
+/// SSI victim cares whether the partner is *also* SSI-tracked (only then
+/// do dangerous-structure aborts cover the pair).
+pub fn partner_bit(vic: u8, par: u8) -> bool {
+    if vic == SSI {
+        par == SSI
+    } else {
+        par >= SNAP
+    }
+}
+
 /// The ordered pair keys whose conjunction decides vector `v`, in the
 /// deterministic order the search consults them.
 fn pair_keys(v: &[u8]) -> Vec<(usize, usize, u8, bool)> {
@@ -317,17 +342,17 @@ fn pair_keys(v: &[u8]) -> Vec<(usize, usize, u8, bool)> {
     let mut out = Vec::with_capacity(n * n);
     for i in 0..n {
         for j in 0..n {
-            out.push((i, j, v[i], v[j] == SNAP));
+            out.push((i, j, v[i], partner_bit(v[i], v[j])));
         }
     }
     out
 }
 
-/// Advance the base-6 odometer (rightmost coordinate fastest); `false`
+/// Advance the base-7 odometer (rightmost coordinate fastest); `false`
 /// when the enumeration is exhausted.
 fn next_vector(v: &mut [u8]) -> bool {
     for c in v.iter_mut().rev() {
-        if *c < 5 {
+        if *c < SSI {
             *c += 1;
             return true;
         }
@@ -336,14 +361,22 @@ fn next_vector(v: &mut [u8]) -> bool {
     false
 }
 
-/// Ladder-rank sum (SNAPSHOT coordinates contribute their own rank class
-/// and never compare across patterns, so any fixed value works; use 3 —
-/// between RC+FCW and RR — purely for stable ordering).
+/// Ladder-rank sum (off-ladder coordinates contribute their own rank
+/// class and never compare against ladder codes, so any order-preserving
+/// values work; use 3 for SNAPSHOT and 4 for SSI — SNAPSHOT < SSI must
+/// hold so dominators sort before their up-sets — purely for stable
+/// ordering).
 fn rank_sum(v: &[u8]) -> usize {
-    v.iter().map(|&c| if c == SNAP { 3 } else { c as usize }).sum()
+    v.iter()
+        .map(|&c| match c {
+            SNAP => 3,
+            SSI => 4,
+            _ => c as usize,
+        })
+        .sum()
 }
 
-/// Run the whole-mix synthesis: enumerate the `6^n` lattice bottom-up
+/// Run the whole-mix synthesis: enumerate the `7^n` lattice bottom-up
 /// with monotone pruning, extract the Pareto-minimal safe vectors, and
 /// refute every immediate predecessor of each (see [`evidence`]).
 pub fn synthesize(app: &App, opts: &SynthOptions) -> Result<Synthesis, String> {
@@ -353,12 +386,12 @@ pub fn synthesize(app: &App, opts: &SynthOptions) -> Result<Synthesis, String> {
     }
     if n > MAX_TYPES {
         return Err(format!(
-            "{n} transaction types yields a 6^{n} lattice; the synthesizer caps at {MAX_TYPES}"
+            "{n} transaction types yields a 7^{n} lattice; the synthesizer caps at {MAX_TYPES}"
         ));
     }
     let txns: Vec<String> = app.programs.iter().map(|p| p.name.clone()).collect();
     let mut cache = PairCache::new(app, opts.sym);
-    let lattice = 6usize.pow(n as u32);
+    let lattice = 7usize.pow(n as u32);
 
     let mut stats = SearchStats {
         types: n,
@@ -414,14 +447,16 @@ pub fn synthesize(app: &App, opts: &SynthOptions) -> Result<Synthesis, String> {
         }
     }
 
-    // Pareto minima, per snapshot pattern (patterns are incomparable, so
-    // minima of different patterns never dominate one another). Within a
-    // pattern, scanning by ascending rank sum guarantees every dominator
-    // candidate is already kept when its up-set is scanned.
+    // Pareto minima, per off-ladder pattern (a coordinate is either on
+    // the ANSI ladder or on the SNAPSHOT → SSI chain; the two chains are
+    // incomparable, so minima of different patterns never dominate one
+    // another). Within a pattern, scanning by ascending rank sum
+    // guarantees every dominator candidate is already kept when its
+    // up-set is scanned.
     let mut groups: BTreeMap<Vec<bool>, Vec<Vec<u8>>> = BTreeMap::new();
     for (vec, &ok) in &safety {
         if ok {
-            let pattern: Vec<bool> = vec.iter().map(|&c| c == SNAP).collect();
+            let pattern: Vec<bool> = vec.iter().map(|&c| c >= SNAP).collect();
             groups.entry(pattern).or_default().push(vec.clone());
         }
     }

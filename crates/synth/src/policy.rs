@@ -9,7 +9,7 @@
 //! every map iterated is a `BTreeMap`, every list is in fixed order, and
 //! nothing consults the clock or a random source.
 
-use crate::{ladder_only, Synthesis, SNAP};
+use crate::{ladder_only, Synthesis, SNAP, SSI};
 use semcc_cert::{Certificate, LemmaDecl, MinimalVectorCert, PredecessorCert};
 use semcc_core::{App, Assignment, LemmaScope};
 use semcc_json::{to_string_pretty, Json};
@@ -147,6 +147,17 @@ pub fn policy_json(
                             .collect(),
                     ),
                 ),
+                (
+                    "ssi_types",
+                    Json::Arr(
+                        syn.txns
+                            .iter()
+                            .zip(&m.codes)
+                            .filter(|(_, &c)| c == SSI)
+                            .map(|(t, _)| Json::str(t))
+                            .collect(),
+                    ),
+                ),
                 ("refuted_predecessors", Json::Int(m.predecessors.len() as i64)),
             ])
         })
@@ -162,7 +173,7 @@ pub fn policy_json(
         ("safe", Json::Int(s.safe as i64)),
         ("pair_evals", Json::Int(s.pair_evals as i64)),
         ("pair_hits", Json::Int(s.pair_hits as i64)),
-        // 6^MAX_TYPES · MAX_TYPES² < 2^31, so the cast is exact.
+        // 7^MAX_TYPES · MAX_TYPES² < 2^31, so the cast is exact.
         ("naive_pair_evals", Json::Int(s.naive_pair_evals as i64)),
         ("prover_calls", Json::Int(s.prover_calls as i64)),
         ("prover_cache_hits", Json::Int(s.prover_cache_hits as i64)),

@@ -47,20 +47,45 @@ fn writer() -> semcc_txn::Program {
 }
 
 #[test]
-fn code_order_is_the_ladder_plus_isolated_snapshot() {
-    // Chain: 0 ≤ 1 ≤ … ≤ 4; SNAPSHOT comparable only to itself.
+fn code_order_is_the_ladder_plus_snapshot_ssi_chain() {
+    // Chain: 0 ≤ 1 ≤ … ≤ 4; the off-ladder chain SNAPSHOT ≤ SSI is
+    // incomparable to the ladder.
     for a in 0..5u8 {
         for b in 0..5u8 {
             assert_eq!(le_code(a, b), a <= b);
         }
-        assert!(!le_code(a, SNAP));
-        assert!(!le_code(SNAP, a));
+        for off in [SNAP, SSI] {
+            assert!(!le_code(a, off));
+            assert!(!le_code(off, a));
+        }
     }
     assert!(le_code(SNAP, SNAP));
+    assert!(le_code(SSI, SSI));
+    assert!(le_code(SNAP, SSI));
+    assert!(!le_code(SSI, SNAP));
     // Pointwise on vectors; reflexive, antisymmetric on a sample.
     assert!(vec_le(&[0, 3], &[2, 3]));
     assert!(!vec_le(&[0, SNAP], &[2, 4]));
     assert!(vec_le(&[0, SNAP], &[2, SNAP]));
+    assert!(vec_le(&[0, SNAP], &[2, SSI]));
+    assert!(!vec_le(&[0, SSI], &[2, SNAP]));
+}
+
+#[test]
+fn partner_bit_distinguishes_tracked_partners_for_ssi_victims() {
+    // Non-SSI victims class SNAPSHOT and SSI partners alike.
+    for vic in 0..=SNAP {
+        for par in 0..5u8 {
+            assert!(!partner_bit(vic, par));
+        }
+        assert!(partner_bit(vic, SNAP));
+        assert!(partner_bit(vic, SSI));
+    }
+    // An SSI victim's bit is "partner is SSI-tracked too".
+    for par in 0..=SNAP {
+        assert!(!partner_bit(SSI, par));
+    }
+    assert!(partner_bit(SSI, SSI));
 }
 
 #[test]
@@ -73,7 +98,7 @@ fn odometer_enumerates_the_whole_lattice_once() {
             break;
         }
     }
-    assert_eq!(seen.len(), 6usize.pow(3));
+    assert_eq!(seen.len(), 7usize.pow(3));
 }
 
 #[test]
@@ -103,10 +128,10 @@ fn single_reader_is_minimal_at_read_uncommitted() {
     // Counts partition the lattice.
     let s = &syn.stats;
     assert_eq!(s.visited + s.cache_complete + s.pruned_unsafe + s.pruned_safe, s.lattice);
-    assert_eq!(s.lattice, 6);
-    // All six levels are safe for a pure reader; minima are RU and the
-    // (incomparable) SNAPSHOT point.
-    assert_eq!(s.safe, 6);
+    assert_eq!(s.lattice, 7);
+    // All seven levels are safe for a pure reader; minima are RU and the
+    // bottom of the off-ladder chain, SNAPSHOT (SSI dominates it).
+    assert_eq!(s.safe, 7);
     let minima: Vec<Vec<u8>> = syn.minimal.iter().map(|m| m.codes.clone()).collect();
     assert_eq!(minima, vec![vec![0], vec![SNAP]]);
     // Bottom element has no predecessor to refute.

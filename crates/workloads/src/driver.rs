@@ -30,14 +30,21 @@ pub enum AbortClass {
     Timeout,
     /// First-committer-wins validation loser.
     Fcw,
+    /// SSI dangerous-structure (pivot) abort.
+    Ssi,
     /// Deterministic injected fault (fault-injection harness).
     Injected,
 }
 
 impl AbortClass {
     /// All classes, in a stable order.
-    pub const ALL: [AbortClass; 4] =
-        [AbortClass::Deadlock, AbortClass::Timeout, AbortClass::Fcw, AbortClass::Injected];
+    pub const ALL: [AbortClass; 5] = [
+        AbortClass::Deadlock,
+        AbortClass::Timeout,
+        AbortClass::Fcw,
+        AbortClass::Ssi,
+        AbortClass::Injected,
+    ];
 
     /// Stable lowercase name (reports, JSON).
     pub fn name(self) -> &'static str {
@@ -45,6 +52,7 @@ impl AbortClass {
             AbortClass::Deadlock => "deadlock",
             AbortClass::Timeout => "timeout",
             AbortClass::Fcw => "fcw",
+            AbortClass::Ssi => "ssi",
             AbortClass::Injected => "injected",
         }
     }
@@ -55,6 +63,7 @@ impl AbortClass {
             EngineError::Lock(semcc_lock::LockError::Deadlock { .. }) => Some(AbortClass::Deadlock),
             EngineError::Lock(semcc_lock::LockError::Timeout { .. }) => Some(AbortClass::Timeout),
             EngineError::Fcw(_) => Some(AbortClass::Fcw),
+            EngineError::Ssi(_) => Some(AbortClass::Ssi),
             EngineError::Injected(FaultKind::LockTimeout) => Some(AbortClass::Timeout),
             EngineError::Injected(FaultKind::LockDeadlock) => Some(AbortClass::Deadlock),
             EngineError::Injected(FaultKind::FcwConflict) => Some(AbortClass::Fcw),
@@ -481,6 +490,12 @@ mod tests {
             Some(AbortClass::Injected)
         );
         assert_eq!(AbortClass::classify(&EngineError::TxnFinished), None);
+        let ssi = EngineError::Ssi(semcc_mvcc::SsiConflict {
+            txn: 1,
+            pivot: 1,
+            key: "commit".to_string(),
+        });
+        assert_eq!(AbortClass::classify(&ssi), Some(AbortClass::Ssi));
         for c in AbortClass::ALL {
             assert!(!c.name().is_empty());
         }

@@ -1,5 +1,5 @@
 //! Seeded property suite for the fault-injection harness: random small
-//! programs × random fault plans × all six isolation levels, and the
+//! programs × random fault plans × all seven isolation levels, and the
 //! abort-path auditor must find **zero** violations in every run.
 //!
 //! This is the executable form of the robustness contract: no matter where
@@ -82,7 +82,7 @@ fn gen_plan(rng: &mut StdRng) -> FaultPlan {
 fn auditor_finds_no_violation_on_random_programs_and_fault_plans() {
     let mut injected_total = 0u64;
     for iter in 0..204u64 {
-        let level = IsolationLevel::ALL[(iter % 6) as usize];
+        let level = IsolationLevel::ALL[(iter as usize) % IsolationLevel::ALL.len()];
         let mut rng = StdRng::seed_from_u64(0xFA_0175 ^ iter);
         let app = App::new()
             .with_program(gen_program("T0", &mut rng))
