@@ -290,6 +290,71 @@ if ! cmp -s "$tmpdir/fsweep.1.json" "$tmpdir/fsweep.8.json"; then
 fi
 echo "   faultsim --seeds 4: byte-identical JSON at jobs 1 vs 8"
 
+echo "== durable crash recovery (WAL + recovery-audited fault harness) =="
+# Durable mode: every injected crash snapshots the surviving WAL prefix,
+# replays it onto a fresh engine, and requires bit-for-bit equality with
+# the committed-prefix reference. Two runs must print identical JSON.
+cargo run -q -p semcc-cli -- faultsim "$tmpdir/payroll.json" --seed 42 --durable --json \
+    > "$tmpdir/durable.1.json"
+cargo run -q -p semcc-cli -- faultsim "$tmpdir/payroll.json" --seed 42 --durable --json \
+    > "$tmpdir/durable.2.json"
+if ! cmp -s "$tmpdir/durable.1.json" "$tmpdir/durable.2.json"; then
+    echo "ci: faultsim --durable --seed 42 is not deterministic" >&2
+    diff "$tmpdir/durable.1.json" "$tmpdir/durable.2.json" >&2 || true
+    exit 1
+fi
+if ! grep -q '"clean": true' "$tmpdir/durable.1.json"; then
+    echo "ci: faultsim --durable --seed 42 reported recovery violations" >&2
+    exit 1
+fi
+if grep -q '"recoveries_audited": 0,' "$tmpdir/durable.1.json"; then
+    echo "ci: faultsim --durable --seed 42 audited no recoveries (vacuous run)" >&2
+    exit 1
+fi
+echo "   faultsim --durable seed 42: DETERMINISTIC, recoveries audited, CLEAN"
+
+# Torn-tail at every commit: the crash rips the final log record, so every
+# driven transaction's recovery must roll it back cleanly.
+cargo run -q -p semcc-cli -- faultsim "$tmpdir/payroll.json" --seed 42 --durable \
+    --mix torn-tail=1.0 --json > "$tmpdir/torn.json"
+if ! grep -q '"clean": true' "$tmpdir/torn.json"; then
+    echo "ci: faultsim --durable --mix torn-tail=1.0 reported violations" >&2
+    exit 1
+fi
+if ! grep -q '"torn-tail"' "$tmpdir/torn.json"; then
+    echo "ci: faultsim --mix torn-tail=1.0 fired no torn-tail crash" >&2
+    exit 1
+fi
+echo "   torn-tail=1.0: every commit's torn log tail recovered CLEAN"
+
+# Payroll crash sweep at every isolation level: durable recovery is a
+# per-level contract (snapshot installs, locking promotes, SSI pivots all
+# feed the same log).
+for lvl in RU RC RC+FCW RR SI SSI SER; do
+    if ! cargo run -q -p semcc-cli -- faultsim "$tmpdir/payroll.json" \
+        --seed 42 --durable --levels "$lvl" --json > "$tmpdir/durable.lvl.json"; then
+        echo "ci: faultsim --durable --levels $lvl exited nonzero" >&2
+        exit 1
+    fi
+    if ! grep -q '"clean": true' "$tmpdir/durable.lvl.json"; then
+        echo "ci: faultsim --durable --levels $lvl reported violations" >&2
+        exit 1
+    fi
+done
+echo "   payroll crash sweep: recovery CLEAN at all 7 levels"
+
+# The durable seed sweep must stay byte-identical at any worker count.
+cargo run -q -p semcc-cli -- faultsim "$tmpdir/payroll.json" \
+    --seed 42 --seeds 4 --durable --jobs 1 --json > "$tmpdir/dsweep.1.json"
+cargo run -q -p semcc-cli -- faultsim "$tmpdir/payroll.json" \
+    --seed 42 --seeds 4 --durable --jobs 8 --json > "$tmpdir/dsweep.8.json"
+if ! cmp -s "$tmpdir/dsweep.1.json" "$tmpdir/dsweep.8.json"; then
+    echo "ci: durable faultsim --seeds 4 differs between --jobs 1 and --jobs 8" >&2
+    diff "$tmpdir/dsweep.1.json" "$tmpdir/dsweep.8.json" >&2 || true
+    exit 1
+fi
+echo "   durable sweep --seeds 4: byte-identical JSON at jobs 1 vs 8"
+
 echo "== orders dynamic validation x25 (Imax flake regression gate) =="
 # Before the WriteItemMax fix this test flaked ~3/25 (two concurrent
 # New_Orders at RC clobbering maximum_date backwards); require 25/25.

@@ -70,6 +70,7 @@ fn engine() -> Arc<Engine> {
         lock_timeout: Duration::from_secs(1),
         record_history: false,
         faults: None,
+        wal: None,
     }))
 }
 

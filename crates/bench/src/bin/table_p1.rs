@@ -22,6 +22,7 @@ fn engine() -> Arc<Engine> {
         lock_timeout: Duration::from_millis(500),
         record_history: false,
         faults: None,
+        wal: None,
     }))
 }
 

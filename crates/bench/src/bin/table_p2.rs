@@ -35,6 +35,7 @@ fn engine() -> Arc<Engine> {
         lock_timeout: Duration::from_millis(300),
         record_history: true,
         faults: None,
+        wal: None,
     }))
 }
 

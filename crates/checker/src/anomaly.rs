@@ -216,6 +216,7 @@ mod tests {
             lock_timeout: Duration::from_millis(300),
             record_history: true,
             faults: None,
+            wal: None,
         }))
     }
 

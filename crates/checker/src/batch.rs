@@ -64,6 +64,7 @@ mod tests {
             lock_timeout: Duration::from_millis(50),
             record_history: true,
             faults: None,
+            wal: None,
         }))
     }
 

@@ -71,6 +71,7 @@ mod tests {
             lock_timeout: Duration::from_millis(200),
             record_history: true,
             faults: None,
+            wal: None,
         }));
         e.create_item("x", 0).expect("item");
         let mut w = e.begin(IsolationLevel::ReadCommitted);

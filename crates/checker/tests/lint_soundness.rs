@@ -129,6 +129,7 @@ fn runtime_anomalies_are_statically_predicted() {
             lock_timeout: Duration::from_millis(50),
             record_history: true,
             faults: None,
+            wal: None,
         }));
         for n in ITEMS {
             e.create_item(n, 0).expect("item");

@@ -59,6 +59,7 @@ fn serial_executions_are_clean() {
             lock_timeout: Duration::from_millis(50),
             record_history: true,
             faults: None,
+            wal: None,
         }));
         for n in ITEMS {
             e.create_item(n, 0).expect("item");
@@ -85,6 +86,7 @@ fn concurrent_serializable_runs_are_clean() {
             lock_timeout: Duration::from_millis(50),
             record_history: true,
             faults: None,
+            wal: None,
         }));
         for n in ITEMS {
             e.create_item(n, 0).expect("item");

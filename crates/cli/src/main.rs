@@ -98,7 +98,8 @@ fn print_usage() {
     println!("                [--lock-timeout-ms N] [--jobs N] [--json]");
     println!("  semcc faultsim <app.json> [--seed N] [--seeds N] [--jobs N] [--txns N]");
     println!("                 [--levels L1[,L2,...]] [--mix CLASS=P,...]");
-    println!("                 [--lock-timeout-ms N] [--max-attempts N] [--json]");
+    println!("                 [--lock-timeout-ms N] [--max-attempts N]");
+    println!("                 [--durable] [--wal-flush-every N] [--json]");
     println!("  semcc verify <app.json>");
     println!("  semcc obligations <app.json>");
     println!("  semcc certify <app.json> [--refine] [--out cert.json]");
@@ -849,7 +850,7 @@ fn cmd_faultsim(args: &[String]) -> CmdResult {
             "--mix" => {
                 let list = it.next().ok_or(
                     "--mix needs CLASS=P,... (classes: lock-timeout, deadlock, fcw, \
-                     abort-stmt, crash-before, crash-after)",
+                     abort-stmt, crash-before, crash-after, crash-mid-txn, torn-tail)",
                 )?;
                 let mut mix = FaultMix::default();
                 for tok in list.split(',') {
@@ -872,6 +873,15 @@ fn cmd_faultsim(args: &[String]) -> CmdResult {
                 opts.policy.max_attempts =
                     v.parse().map_err(|_| format!("bad --max-attempts `{v}`"))?;
             }
+            "--durable" => opts.durable = true,
+            "--wal-flush-every" => {
+                let v = it.next().ok_or("--wal-flush-every needs a record count")?;
+                opts.wal_flush_every =
+                    v.parse().map_err(|_| format!("bad --wal-flush-every `{v}`"))?;
+                if opts.wal_flush_every == 0 {
+                    return Err("--wal-flush-every needs at least 1".into());
+                }
+            }
             "--json" => json_out = true,
             _ if path.is_none() => path = Some(a),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -880,7 +890,7 @@ fn cmd_faultsim(args: &[String]) -> CmdResult {
     let path = path.ok_or(
         "usage: semcc faultsim <app.json> [--seed N] [--seeds N] [--jobs N] [--txns N] \
          [--levels L1[,L2,...]] [--mix CLASS=P,...] [--lock-timeout-ms N] [--max-attempts N] \
-         [--json]",
+         [--durable] [--wal-flush-every N] [--json]",
     )?;
     let app = load_app(path)?;
 
@@ -934,6 +944,14 @@ fn print_faultsim(r: &FaultSimReport) {
         println!("    {kind:<19} {n}");
     }
     println!("  audit checks          {}", r.audit_checks);
+    if r.recoveries_audited > 0 {
+        println!("  recoveries audited    {}", r.recoveries_audited);
+        for (kind, n) in &r.crashes_by_class {
+            println!("    {kind:<19} {n}");
+        }
+        println!("  wal records redone    {}", r.recovery_redo);
+        println!("  loser records undone  {}", r.recovery_undone);
+    }
     if !r.recovery_latencies_us.is_empty() {
         let mut lats = r.recovery_latencies_us.clone();
         lats.sort_unstable();
@@ -1001,6 +1019,18 @@ fn faultsim_json(r: &FaultSimReport) -> Json {
             ),
         ),
         ("audit_checks", Json::Int(r.audit_checks as i64)),
+        ("recoveries_audited", Json::Int(r.recoveries_audited as i64)),
+        (
+            "crashes_by_class",
+            Json::obj(
+                r.crashes_by_class
+                    .iter()
+                    .map(|(k, n)| (k.to_string(), Json::Int(*n as i64)))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        ("recovery_redo", Json::Int(r.recovery_redo as i64)),
+        ("recovery_undone", Json::Int(r.recovery_undone as i64)),
         ("violations", Json::Arr(r.violations.iter().map(|v| Json::str(v.clone())).collect())),
         ("clean", Json::Bool(r.clean())),
     ])

@@ -213,6 +213,7 @@ fn attempt(
         lock_timeout: Duration::from_millis(100),
         record_history: true,
         faults: None,
+        wal: None,
     }));
     let initial_state =
         match seed(&engine, app, &[victim, interferer], &diag.counterexample, strategy) {

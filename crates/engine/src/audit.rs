@@ -224,6 +224,21 @@ pub fn audit_quiescent(engine: &Engine) -> AuditReport {
 ///
 /// Requires `live` to have been built with `record_history: true`.
 pub fn audit_committed_replay(live: &Engine, fresh: &Engine) -> AuditReport {
+    let mut rep = replay_committed(live, fresh, None);
+    rep.merge(compare_committed(live, fresh, "committed-prefix replay"));
+    rep
+}
+
+/// Replay the committed write effects recorded in `live`'s history onto
+/// `fresh`. With a `winners` filter, only those transactions' effects are
+/// applied — the recovery audit's committed-prefix reference, where a
+/// transaction that committed live may still be a crash loser because its
+/// commit record did not survive the durable prefix.
+fn replay_committed(
+    live: &Engine,
+    fresh: &Engine,
+    winners: Option<&BTreeMap<TxnId, Ts>>,
+) -> AuditReport {
     let mut rep = AuditReport::default();
     let events = live.history.events();
 
@@ -231,7 +246,9 @@ pub fn audit_committed_replay(live: &Engine, fresh: &Engine) -> AuditReport {
     let mut commit_ts: BTreeMap<TxnId, Ts> = BTreeMap::new();
     for e in &events {
         if let Op::Commit { ts } = &e.op {
-            commit_ts.insert(e.txn, *ts);
+            if winners.is_none_or(|w| w.contains_key(&e.txn)) {
+                commit_ts.insert(e.txn, *ts);
+            }
         }
     }
 
@@ -275,50 +292,163 @@ pub fn audit_committed_replay(live: &Engine, fresh: &Engine) -> AuditReport {
         }
     }
 
-    // Compare committed states.
+    rep
+}
+
+/// Compare the committed states of two engines (item sets and values,
+/// table sets and rows). `what` names the right-hand side in violations.
+fn compare_committed(live: &Engine, other: &Engine, what: &str) -> AuditReport {
+    let mut rep = AuditReport::default();
     rep.checks += 1;
-    let (live_items, fresh_items) = (live.store.item_names(), fresh.store.item_names());
-    if live_items != fresh_items {
+    let (live_items, other_items) = (live.store.item_names(), other.store.item_names());
+    if live_items != other_items {
         rep.violations.push(AuditViolation {
             txn: 0,
             invariant: "replay-item-set",
-            detail: format!("item sets differ: live {live_items:?} vs replay {fresh_items:?}"),
+            detail: format!("item sets differ: live {live_items:?} vs {what} {other_items:?}"),
         });
     }
     for name in &live_items {
         rep.checks += 1;
         let a = live.store.peek_committed(name).ok();
-        let b = fresh.store.peek_committed(name).ok();
+        let b = other.store.peek_committed(name).ok();
         if a != b {
             rep.violations.push(AuditViolation {
                 txn: 0,
                 invariant: "replay-item",
-                detail: format!("item `{name}`: live {a:?} vs committed-prefix replay {b:?}"),
+                detail: format!("item `{name}`: live {a:?} vs {what} {b:?}"),
             });
         }
     }
-    let (live_tables, fresh_tables) = (live.store.table_names(), fresh.store.table_names());
-    if live_tables != fresh_tables {
+    let (live_tables, other_tables) = (live.store.table_names(), other.store.table_names());
+    if live_tables != other_tables {
         rep.violations.push(AuditViolation {
             txn: 0,
             invariant: "replay-table-set",
-            detail: format!("table sets differ: live {live_tables:?} vs replay {fresh_tables:?}"),
+            detail: format!("table sets differ: live {live_tables:?} vs {what} {other_tables:?}"),
         });
     }
     for table in &live_tables {
         rep.checks += 1;
         let a = live.store.table(table).map(|t| t.scan_committed()).unwrap_or_default();
-        let b = fresh.store.table(table).map(|t| t.scan_committed()).unwrap_or_default();
+        let b = other.store.table(table).map(|t| t.scan_committed()).unwrap_or_default();
         if a != b {
             rep.violations.push(AuditViolation {
                 txn: 0,
                 invariant: "replay-table",
-                detail: format!("table `{table}`: live {a:?} vs committed-prefix replay {b:?}"),
+                detail: format!("table `{table}`: live {a:?} vs {what} {b:?}"),
             });
         }
     }
-
     rep
+}
+
+/// A canonical, deterministic rendering of an engine's committed state:
+/// every item's latest value *and commit timestamp*, every table's
+/// committed rows *and per-row commit timestamps*. Two engines with equal
+/// digests are bit-for-bit equal as far as committed state goes.
+pub fn committed_digest(engine: &Engine) -> String {
+    let mut out = String::new();
+    for name in engine.store.item_names() {
+        if let Ok(cell) = engine.store.item(&name) {
+            let c = cell.lock();
+            out.push_str(&format!(
+                "item {name}={:?}@{}\n",
+                c.read_committed(),
+                c.latest_commit_ts()
+            ));
+        }
+    }
+    for table in engine.store.table_names() {
+        if let Ok(t) = engine.store.table(&table) {
+            for (id, row) in t.scan_committed() {
+                let ts = t.row_commit_ts(id).unwrap_or(0);
+                out.push_str(&format!("row {table}[{id}]={row:?}@{ts}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Result of a recovery audit: the report plus the recovery stats (absent
+/// when the log failed to replay at all).
+pub struct RecoveryAudit {
+    /// Check/violation tally.
+    pub report: AuditReport,
+    /// What recovery did, when it ran.
+    pub stats: Option<crate::recover::RecoveryStats>,
+}
+
+/// The durability half of the audit: recover a fresh engine from
+/// `wal_bytes` (a crash's surviving log prefix) and require it to be
+/// **bit-for-bit equal** — values *and* commit timestamps — to the
+/// committed-prefix reference built by replaying, onto `fresh`, only the
+/// transactions whose `Commit` record survives the prefix. Also asserts
+/// the recovered engine is quiescent (no dirty residue, no locks, no
+/// snapshots) and that every loser undo matched its logged before-image.
+///
+/// `live` must record history; `fresh` must be seeded with the identical
+/// initial state (same ids, same timestamp-0 values) as `live` was.
+pub fn audit_recovery(live: &Engine, fresh: &Engine, wal_bytes: &[u8]) -> RecoveryAudit {
+    let mut rep = AuditReport::default();
+    rep.checks += 1;
+    let rec = match crate::recover::recover(wal_bytes) {
+        Ok(r) => r,
+        Err(e) => {
+            rep.violations.push(AuditViolation {
+                txn: 0,
+                invariant: "recovery-replay",
+                detail: format!("WAL replay failed: {e}"),
+            });
+            return RecoveryAudit { report: rep, stats: None };
+        }
+    };
+
+    rep.checks += 1;
+    if rec.stats.undo_mismatches != 0 {
+        rep.violations.push(AuditViolation {
+            txn: 0,
+            invariant: "recovery-undo",
+            detail: format!(
+                "{} undo validation(s) diverged from the logged before-image",
+                rec.stats.undo_mismatches
+            ),
+        });
+    }
+
+    // Build the committed-prefix reference: only WAL winners replay.
+    rep.merge(replay_committed(live, fresh, Some(&rec.stats.winners)));
+
+    // Bit-for-bit: values and commit timestamps, items and rows.
+    rep.checks += 1;
+    let recovered = committed_digest(&rec.engine);
+    let reference = committed_digest(fresh);
+    if recovered != reference {
+        let diff: Vec<String> = {
+            let a: Vec<&str> = recovered.lines().collect();
+            let b: Vec<&str> = reference.lines().collect();
+            a.iter()
+                .filter(|l| !b.contains(l))
+                .map(|l| format!("recovered only: {l}"))
+                .chain(b.iter().filter(|l| !a.contains(l)).map(|l| format!("reference only: {l}")))
+                .take(6)
+                .collect()
+        };
+        rep.violations.push(AuditViolation {
+            txn: 0,
+            invariant: "recovery-divergence",
+            detail: format!(
+                "recovered state differs from committed-prefix reference: {}",
+                diff.join("; ")
+            ),
+        });
+    }
+
+    // The recovered engine must come up quiescent — recovery leaves no
+    // dirty residue, no locks, no snapshots.
+    rep.merge(audit_quiescent(&rec.engine));
+
+    RecoveryAudit { report: rep, stats: Some(rec.stats) }
 }
 
 #[cfg(test)]

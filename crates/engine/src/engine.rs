@@ -7,6 +7,7 @@ use semcc_faults::FaultInjector;
 use semcc_lock::manager::LockConfig;
 use semcc_lock::LockManager;
 use semcc_mvcc::Oracle;
+use semcc_storage::wal::{Wal, WalRecord};
 use semcc_storage::{Schema, StorageError, Store, Value};
 use std::sync::Arc;
 use std::time::Duration;
@@ -22,11 +23,21 @@ pub struct EngineConfig {
     /// acquisitions and commit validation (and, via [`Engine::faults`], by
     /// client-side harnesses at statement and commit boundaries).
     pub faults: Option<Arc<FaultInjector>>,
+    /// Optional write-ahead log. When present, every setup action, dirty
+    /// write, commit, and abort appends a record, and crash snapshots
+    /// captured by the fault harness can be replayed through
+    /// [`crate::recover::recover`].
+    pub wal: Option<Arc<Wal>>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { lock_timeout: Duration::from_secs(5), record_history: true, faults: None }
+        EngineConfig {
+            lock_timeout: Duration::from_secs(5),
+            record_history: true,
+            faults: None,
+            wal: None,
+        }
     }
 }
 
@@ -53,6 +64,7 @@ pub struct Engine {
     pub(crate) oracle: Arc<Oracle>,
     pub(crate) history: Arc<History>,
     pub(crate) faults: Option<Arc<FaultInjector>>,
+    pub(crate) wal: Option<Arc<Wal>>,
 }
 
 impl Default for Engine {
@@ -74,6 +86,7 @@ impl Engine {
             oracle: Arc::new(Oracle::new()),
             history: Arc::new(history),
             faults: config.faults,
+            wal: config.wal,
         }
     }
 
@@ -83,17 +96,36 @@ impl Engine {
         name: impl Into<String>,
         v: impl Into<Value>,
     ) -> Result<(), StorageError> {
-        self.store.create_item(name, v.into())
+        let name = name.into();
+        let v = v.into();
+        self.store.create_item(name.clone(), v.clone())?;
+        if let Some(wal) = &self.wal {
+            let lsn = wal.append(WalRecord::CreateItem { name: name.clone(), initial: v });
+            if let Ok(cell) = self.store.item(&name) {
+                cell.lock().stamp_lsn(lsn);
+            }
+        }
+        Ok(())
     }
 
     /// Create a table.
     pub fn create_table(&self, schema: Schema) -> Result<(), StorageError> {
-        self.store.create_table(schema).map(|_| ())
+        self.store.create_table(schema.clone())?;
+        if let Some(wal) = &self.wal {
+            wal.append(WalRecord::CreateTable { schema });
+        }
+        Ok(())
     }
 
     /// Bulk-load a committed row (timestamp 0 — initial state).
     pub fn load_row(&self, table: &str, row: Vec<Value>) -> Result<u64, StorageError> {
-        self.store.table(table)?.load_row(0, row)
+        let t = self.store.table(table)?;
+        let id = t.load_row(0, row.clone())?;
+        if let Some(wal) = &self.wal {
+            let lsn = wal.append(WalRecord::LoadRow { table: table.to_string(), id, row });
+            t.stamp_row_lsn(id, lsn);
+        }
+        Ok(id)
     }
 
     /// Begin a transaction at the given isolation level.
@@ -127,6 +159,12 @@ impl Engine {
     /// commit validation.
     pub fn faults(&self) -> Option<&Arc<FaultInjector>> {
         self.faults.as_ref()
+    }
+
+    /// The configured write-ahead log, if any. Harnesses use it to flush
+    /// at barriers, capture crash snapshots, and feed recovery audits.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
     }
 
     /// Deterministic state reset: drop all data, locks, history, and

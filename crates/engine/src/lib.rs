@@ -28,15 +28,21 @@ pub mod engine;
 pub mod error;
 pub mod history;
 pub mod level;
+pub mod recover;
 pub mod txn;
 
 pub use anomaly::AnomalyKind;
-pub use audit::{audit_committed_replay, audit_post_abort, audit_quiescent, AuditReport};
+pub use audit::{
+    audit_committed_replay, audit_post_abort, audit_quiescent, audit_recovery, committed_digest,
+    AuditReport, RecoveryAudit,
+};
 pub use engine::{Engine, EngineConfig};
 pub use error::EngineError;
 pub use history::{Event, History, Op, ReadSrc};
 pub use level::IsolationLevel;
+pub use recover::{recover, Recovered, RecoveryStats};
 pub use txn::Txn;
 
 pub use semcc_faults::{FaultEvent, FaultInjector, FaultKind, FaultMix, FaultPlan};
+pub use semcc_storage::wal::{CrashSnapshot, Lsn, Wal, WalPolicy, WalRecord};
 pub use semcc_storage::{Row, RowId, Ts, TxnId, Value};

@@ -8,6 +8,7 @@ use semcc_lock::{Mode, Target};
 use semcc_logic::row::RowPred;
 use semcc_mvcc::{CommitConflict, Key, SsiConflict, SsiKey};
 use semcc_storage::eval::{empty_env, row_matches};
+use semcc_storage::wal::WalRecord;
 use semcc_storage::{Row, RowId, Schema, StorageError, Ts, TxnId, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -57,6 +58,9 @@ impl Txn {
             engine.oracle.ssi_begin(id, snapshot_ts.expect("ssi txn has ts"));
         }
         engine.history.record(id, level, Op::Begin);
+        if let Some(wal) = &engine.wal {
+            wal.append(WalRecord::Begin { txn: id });
+        }
         Txn {
             engine,
             id,
@@ -224,7 +228,23 @@ impl Txn {
         } else {
             let cell = self.engine.store.item(name)?;
             self.engine.locks.acquire(self.id, Target::item(name), Mode::X)?;
-            cell.lock().write_dirty(self.id, value.clone())?;
+            {
+                let mut c = cell.lock();
+                let before = match c.dirty_writer() {
+                    Some(w) if w == self.id => c.read_latest().clone(),
+                    _ => c.read_committed().clone(),
+                };
+                c.write_dirty(self.id, value.clone())?;
+                if let Some(wal) = &self.engine.wal {
+                    let lsn = wal.append(WalRecord::ItemWrite {
+                        txn: self.id,
+                        name: name.to_string(),
+                        before,
+                        after: value.clone(),
+                    });
+                    c.stamp_lsn(lsn);
+                }
+            }
             if !self.dirty_items.iter().any(|n| n == name) {
                 self.dirty_items.push(name.to_string());
             }
@@ -277,12 +297,21 @@ impl Txn {
             self.engine.locks.acquire(self.id, Target::item(name), Mode::X)?;
             {
                 let mut c = cell.lock();
-                let current = match c.dirty_writer() {
-                    Some(w) if w == self.id => c.read_latest().as_int(),
-                    _ => c.read_committed().as_int(),
+                let before = match c.dirty_writer() {
+                    Some(w) if w == self.id => c.read_latest().clone(),
+                    _ => c.read_committed().clone(),
                 };
-                stored = current.map_or(floor, |c| c.max(floor));
+                stored = before.as_int().map_or(floor, |c| c.max(floor));
                 c.write_dirty(self.id, Value::Int(stored))?;
+                if let Some(wal) = &self.engine.wal {
+                    let lsn = wal.append(WalRecord::ItemWrite {
+                        txn: self.id,
+                        name: name.to_string(),
+                        before,
+                        after: Value::Int(stored),
+                    });
+                    c.stamp_lsn(lsn);
+                }
             }
             if !self.dirty_items.iter().any(|n| n == name) {
                 self.dirty_items.push(name.to_string());
@@ -460,6 +489,15 @@ impl Txn {
             let point = point_pred(&t.schema, &row);
             self.engine.locks.acquire(self.id, Target::pred(table, point), Mode::X)?;
             let id = t.insert_dirty(self.id, row.clone())?;
+            if let Some(wal) = &self.engine.wal {
+                let lsn = wal.append(WalRecord::RowInsert {
+                    txn: self.id,
+                    table: table.to_string(),
+                    id,
+                    row: row.clone(),
+                });
+                t.stamp_row_lsn(id, lsn);
+            }
             // Undo entry first: if the row-lock acquisition fails (an
             // injected timeout — a fresh slot never conflicts naturally),
             // the abort path must still discard the dirty version.
@@ -532,6 +570,16 @@ impl Txn {
                 }
                 let new = f(&row);
                 t.update_dirty(self.id, id, new.clone())?;
+                if let Some(wal) = &self.engine.wal {
+                    let lsn = wal.append(WalRecord::RowUpdate {
+                        txn: self.id,
+                        table: table.to_string(),
+                        id,
+                        before: Some(row.clone()),
+                        after: new.clone(),
+                    });
+                    t.stamp_row_lsn(id, lsn);
+                }
                 if !self.dirty_rows.contains(&(table.to_string(), id)) {
                     self.dirty_rows.push((table.to_string(), id));
                 }
@@ -596,6 +644,15 @@ impl Txn {
                     continue;
                 }
                 t.delete_dirty(self.id, id)?;
+                if let Some(wal) = &self.engine.wal {
+                    let lsn = wal.append(WalRecord::RowDelete {
+                        txn: self.id,
+                        table: table.to_string(),
+                        id,
+                        before: Some(row.clone()),
+                    });
+                    t.stamp_row_lsn(id, lsn);
+                }
                 if !self.dirty_rows.contains(&(table.to_string(), id)) {
                     self.dirty_rows.push((table.to_string(), id));
                 }
@@ -698,18 +755,44 @@ impl Txn {
             let checks: Vec<(Key, Ts)> = self.write_set.iter().map(|k| (k.clone(), snap)).collect();
             let buf_items = std::mem::take(&mut self.buf_items);
             let buf_rows = std::mem::take(&mut self.buf_rows);
+            let id = self.id;
+            // WAL ordering: the install records and the Commit record are
+            // appended inside the oracle's commit critical section, so no
+            // other transaction's records can interleave between them —
+            // recovery replays the install group atomically at the Commit.
             let install = |ts: Ts| {
                 for (name, v) in &buf_items {
                     if let Ok(cell) = engine.store.item(name) {
-                        cell.lock().install(ts, v.clone());
+                        let mut c = cell.lock();
+                        c.install(ts, v.clone());
+                        if let Some(wal) = &engine.wal {
+                            let lsn = wal.append(WalRecord::ItemInstall {
+                                txn: id,
+                                name: name.clone(),
+                                value: v.clone(),
+                            });
+                            c.stamp_lsn(lsn);
+                        }
                     }
                 }
                 for (table, rows) in &buf_rows {
                     if let Ok(t) = engine.store.table(table) {
-                        for (id, state) in rows {
-                            let _ = t.install(ts, *id, state.clone());
+                        for (rid, state) in rows {
+                            let _ = t.install(ts, *rid, state.clone());
+                            if let Some(wal) = &engine.wal {
+                                let lsn = wal.append(WalRecord::RowInstall {
+                                    txn: id,
+                                    table: table.clone(),
+                                    id: *rid,
+                                    row: state.clone(),
+                                });
+                                t.stamp_row_lsn(*rid, lsn);
+                            }
                         }
                     }
+                }
+                if let Some(wal) = &engine.wal {
+                    wal.append_commit(id, ts);
                 }
             };
             let ts = if self.level.siread_locks() {
@@ -742,14 +825,23 @@ impl Txn {
             let dirty_rows = std::mem::take(&mut self.dirty_rows);
             let id = self.id;
             let res = engine.oracle.validate_and_commit_with(&checks, &self.write_set, |ts| {
+                // Commit record first, inside the critical section and with
+                // this transaction's X locks still held: every ItemWrite/Row*
+                // record of the transaction already precedes it, and no
+                // competing writer can slip a record in between.
+                let commit_lsn =
+                    engine.wal.as_ref().map(|wal| wal.append_commit(id, ts)).unwrap_or(0);
                 for name in &dirty_items {
                     if let Ok(cell) = engine.store.item(name) {
-                        cell.lock().promote(id, ts);
+                        let mut c = cell.lock();
+                        c.promote(id, ts);
+                        c.stamp_lsn(commit_lsn);
                     }
                 }
                 for (table, rid) in &dirty_rows {
                     if let Ok(t) = engine.store.table(table) {
                         t.promote_row(id, *rid, ts);
+                        t.stamp_row_lsn(*rid, commit_lsn);
                     }
                 }
             });
@@ -779,14 +871,27 @@ impl Txn {
 
     fn finish_abort(&mut self) {
         let engine = self.engine.clone();
+        // Abort record before releasing any lock: until release_all below,
+        // no competing writer can append a record for the items/rows this
+        // transaction dirtied, so recovery sees the rollback at the same
+        // log position the live engine performed it.
+        let abort_lsn =
+            engine.wal.as_ref().map(|wal| wal.append(WalRecord::Abort { txn: self.id }));
         for name in std::mem::take(&mut self.dirty_items) {
             if let Ok(cell) = engine.store.item(&name) {
-                cell.lock().discard(self.id);
+                let mut c = cell.lock();
+                c.discard(self.id);
+                if let Some(lsn) = abort_lsn {
+                    c.stamp_lsn(lsn);
+                }
             }
         }
         for (table, id) in std::mem::take(&mut self.dirty_rows) {
             if let Ok(t) = engine.store.table(&table) {
                 t.discard_row(self.id, id);
+                if let Some(lsn) = abort_lsn {
+                    t.stamp_row_lsn(id, lsn);
+                }
             }
         }
         self.buf_items.clear();

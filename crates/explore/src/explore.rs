@@ -586,6 +586,7 @@ impl<'a> Ctx<'a> {
             lock_timeout: self.opts.lock_timeout,
             record_history: true,
             faults: None,
+            wal: None,
         }))
     }
 

@@ -134,6 +134,7 @@ fn example3_ssi_abort_trail_names_the_pivot() {
         lock_timeout: Duration::from_millis(100),
         record_history: true,
         faults: None,
+        wal: None,
     }));
     e.create_item("sav", 100).expect("seed sav");
     e.create_item("chk", 100).expect("seed chk");

@@ -46,17 +46,27 @@ pub enum FaultKind {
     /// Client crash after the engine durably committed: the commit stands
     /// but the client never observes the acknowledgement.
     CrashAfterCommit,
+    /// Process crash right after a top-level statement completed, mid
+    /// transaction: the live engine rolls back; durably, the WAL is
+    /// truncated at the crash point and recovery must undo the loser.
+    CrashMidTxn,
+    /// Crash that tears the final WAL record mid-bytes: the commit itself
+    /// succeeded live, but the durable image ends in a torn frame and
+    /// recovery must fall back to the last whole record.
+    TornTail,
 }
 
 impl FaultKind {
     /// All kinds, in a stable order.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::LockTimeout,
         FaultKind::LockDeadlock,
         FaultKind::FcwConflict,
         FaultKind::AbortAfterStmt,
         FaultKind::CrashBeforeCommit,
         FaultKind::CrashAfterCommit,
+        FaultKind::CrashMidTxn,
+        FaultKind::TornTail,
     ];
 
     /// Stable lowercase name (used in JSON trails and CLI `--mix`).
@@ -68,6 +78,8 @@ impl FaultKind {
             FaultKind::AbortAfterStmt => "abort-stmt",
             FaultKind::CrashBeforeCommit => "crash-before",
             FaultKind::CrashAfterCommit => "crash-after",
+            FaultKind::CrashMidTxn => "crash-mid-txn",
+            FaultKind::TornTail => "torn-tail",
         }
     }
 }
@@ -109,6 +121,10 @@ pub struct FaultMix {
     pub crash_before: f64,
     /// P(crash after durable commit) per client commit request.
     pub crash_after: f64,
+    /// P(process crash) per completed top-level statement (mid-txn).
+    pub crash_mid: f64,
+    /// P(torn final WAL record) per client commit request.
+    pub torn_tail: f64,
 }
 
 impl FaultMix {
@@ -121,6 +137,8 @@ impl FaultMix {
             abort_stmt: p,
             crash_before: p,
             crash_after: p,
+            crash_mid: p,
+            torn_tail: p,
         }
     }
 
@@ -132,6 +150,8 @@ impl FaultMix {
             && self.abort_stmt == 0.0
             && self.crash_before == 0.0
             && self.crash_after == 0.0
+            && self.crash_mid == 0.0
+            && self.torn_tail == 0.0
     }
 
     /// Set a rate by its [`FaultKind::name`]; rejects unknown names and
@@ -147,9 +167,11 @@ impl FaultMix {
             "abort-stmt" => self.abort_stmt = p,
             "crash-before" => self.crash_before = p,
             "crash-after" => self.crash_after = p,
+            "crash-mid-txn" => self.crash_mid = p,
+            "torn-tail" => self.torn_tail = p,
             other => {
                 return Err(format!(
-                    "unknown fault class `{other}` (have: lock-timeout, deadlock, fcw, abort-stmt, crash-before, crash-after)"
+                    "unknown fault class `{other}` (have: lock-timeout, deadlock, fcw, abort-stmt, crash-before, crash-after, crash-mid-txn, torn-tail)"
                 ))
             }
         }
@@ -168,8 +190,11 @@ impl FaultMix {
 /// - `fcw_faults: n` — the run's `n`-th commit validation fails with an
 ///   injected first-committer-wins conflict.
 /// - `crash_faults: (n, kind)` — the run's `n`-th client commit request
-///   crashes `CrashBeforeCommit` (rolled back) or `CrashAfterCommit`
-///   (commit stands, acknowledgement lost).
+///   crashes `CrashBeforeCommit` (rolled back), `CrashAfterCommit`
+///   (commit stands, acknowledgement lost), or `TornTail` (commit stands
+///   live but the durable log image ends in a torn record).
+/// - `crash_mid_txn: (txn, k)` — the process crashes right after `txn`'s
+///   `k`-th top-level statement completes (1-based).
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
     /// Seed for the probabilistic mix decisions.
@@ -182,6 +207,8 @@ pub struct FaultPlan {
     pub fcw_faults: Vec<u64>,
     /// Scripted commit-point crashes by client-commit ordinal (1-based).
     pub crash_faults: Vec<(u64, FaultKind)>,
+    /// Scripted mid-transaction crashes: `(txn, statements-executed)`.
+    pub crash_mid_txn: Vec<(TxnId, usize)>,
     /// Probabilistic faults layered on top of the script.
     pub mix: FaultMix,
 }
@@ -198,6 +225,7 @@ const SITE_ACQUIRE: u64 = 0x01;
 const SITE_COMMIT_VALIDATE: u64 = 0x02;
 const SITE_CLIENT_COMMIT: u64 = 0x03;
 const SITE_STMT: u64 = 0x04;
+const SITE_STMT_CRASH: u64 = 0x05;
 
 /// splitmix64 finalizer — the same generator the vendored `rand` uses.
 fn splitmix64(mut x: u64) -> u64 {
@@ -318,14 +346,22 @@ impl FaultInjector {
         let n = self.client_commits.fetch_add(1, Ordering::SeqCst) + 1;
         let scripted =
             self.plan.crash_faults.iter().find(|(ord, _)| *ord == n).map(|(_, k)| *k).filter(|k| {
-                matches!(k, FaultKind::CrashBeforeCommit | FaultKind::CrashAfterCommit)
+                matches!(
+                    k,
+                    FaultKind::CrashBeforeCommit
+                        | FaultKind::CrashAfterCommit
+                        | FaultKind::TornTail
+                )
             });
         let kind = scripted.or_else(|| {
             let r = roll(self.plan.seed, SITE_CLIENT_COMMIT, n, txn);
-            if r < self.plan.mix.crash_before {
+            let mix = &self.plan.mix;
+            if r < mix.crash_before {
                 Some(FaultKind::CrashBeforeCommit)
-            } else if r < self.plan.mix.crash_before + self.plan.mix.crash_after {
+            } else if r < mix.crash_before + mix.crash_after {
                 Some(FaultKind::CrashAfterCommit)
+            } else if r < mix.crash_before + mix.crash_after + mix.torn_tail {
+                Some(FaultKind::TornTail)
             } else {
                 None
             }
@@ -348,6 +384,23 @@ impl FaultInjector {
             || roll(self.plan.seed, SITE_STMT, txn, executed as u64) < self.plan.mix.abort_stmt;
         if fire {
             self.record(txn, FaultKind::AbortAfterStmt, executed as u64);
+        }
+        fire
+    }
+
+    /// Consult the injector after `txn` completed its `executed`-th
+    /// top-level statement: should the *process* crash here, mid
+    /// transaction? Deterministic per `(txn, executed)`, on an
+    /// independent hash stream from [`FaultInjector::on_stmt`].
+    pub fn on_stmt_crash(&self, txn: TxnId, executed: usize) -> bool {
+        if !self.is_armed() {
+            return false;
+        }
+        let fire = self.plan.crash_mid_txn.iter().any(|&(t, k)| t == txn && k == executed)
+            || roll(self.plan.seed, SITE_STMT_CRASH, txn, executed as u64)
+                < self.plan.mix.crash_mid;
+        if fire {
+            self.record(txn, FaultKind::CrashMidTxn, executed as u64);
         }
         fire
     }
@@ -483,7 +536,55 @@ mod tests {
         let mut m = FaultMix::default();
         m.set("fcw", 0.5).unwrap();
         assert_eq!(m.fcw_conflict, 0.5);
+        m.set("crash-mid-txn", 0.25).unwrap();
+        assert_eq!(m.crash_mid, 0.25);
+        m.set("torn-tail", 0.125).unwrap();
+        assert_eq!(m.torn_tail, 0.125);
         assert!(m.set("bogus", 0.1).is_err());
         assert!(m.set("fcw", 1.5).is_err());
+    }
+
+    #[test]
+    fn every_kind_name_roundtrips_through_set() {
+        for k in FaultKind::ALL {
+            let mut m = FaultMix::default();
+            m.set(k.name(), 0.5).unwrap_or_else(|e| panic!("{e}"));
+            assert!(!m.is_zero(), "set({}) must change the mix", k.name());
+        }
+    }
+
+    #[test]
+    fn scripted_crash_mid_txn_fires_at_exact_statement() {
+        let inj =
+            FaultInjector::new(FaultPlan { crash_mid_txn: vec![(5, 2)], ..FaultPlan::default() });
+        assert!(!inj.on_stmt_crash(5, 1));
+        assert!(inj.on_stmt_crash(5, 2));
+        assert!(!inj.on_stmt_crash(6, 2));
+        let ev = inj.events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].kind, FaultKind::CrashMidTxn);
+    }
+
+    #[test]
+    fn scripted_torn_tail_at_client_commit() {
+        let inj = FaultInjector::new(FaultPlan {
+            crash_faults: vec![(1, FaultKind::TornTail)],
+            ..FaultPlan::default()
+        });
+        assert_eq!(inj.on_client_commit(9), Some(FaultKind::TornTail));
+        assert_eq!(inj.on_client_commit(9), None);
+    }
+
+    #[test]
+    fn torn_tail_mix_rate_fires() {
+        let mut mix = FaultMix::default();
+        mix.set("torn-tail", 1.0).unwrap();
+        let inj = FaultInjector::new(FaultPlan::from_mix(3, mix));
+        assert_eq!(inj.on_client_commit(1), Some(FaultKind::TornTail));
+        let mut mix = FaultMix::default();
+        mix.set("crash-mid-txn", 1.0).unwrap();
+        let inj = FaultInjector::new(FaultPlan::from_mix(3, mix));
+        assert!(inj.on_stmt_crash(1, 1));
+        assert!(!inj.on_stmt(1, 1), "crash stream must not leak into abort-stmt");
     }
 }

@@ -147,6 +147,19 @@ impl Oracle {
         self.last_commit.store(0, Ordering::Release);
     }
 
+    /// Advance the commit clock to at least `ts` (recovery: the WAL's
+    /// newest commit timestamp must be re-reserved so post-recovery
+    /// commits stay monotone).
+    pub fn advance_to(&self, ts: Ts) {
+        self.last_commit.fetch_max(ts, Ordering::AcqRel);
+    }
+
+    /// Advance the txn-id allocator past `id` (recovery: replayed
+    /// transaction ids must never be re-issued).
+    pub fn advance_txn_past(&self, id: TxnId) {
+        self.next_txn.fetch_max(id + 1, Ordering::AcqRel);
+    }
+
     /// The GC watermark: no active snapshot reads below this timestamp.
     pub fn watermark(&self) -> Ts {
         let snaps = self.snapshots.lock();

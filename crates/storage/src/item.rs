@@ -8,6 +8,7 @@
 
 use crate::error::StorageError;
 use crate::value::Value;
+use crate::wal::Lsn;
 use crate::{Ts, TxnId};
 
 /// One committed version.
@@ -20,18 +21,42 @@ pub struct Version {
 }
 
 /// A versioned cell for one conventional item.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct ItemCell {
     /// Committed versions in increasing timestamp order (never empty).
     committed: Vec<Version>,
     /// In-place uncommitted write, if any.
     dirty: Option<(TxnId, Value)>,
+    /// LSN of the newest WAL record touching this cell (0 = never logged).
+    lsn: Lsn,
 }
+
+/// Equality compares logical content only; the WAL bookkeeping LSN is
+/// excluded so a recovered cell equals its reference regardless of log
+/// position.
+impl PartialEq for ItemCell {
+    fn eq(&self, other: &Self) -> bool {
+        self.committed == other.committed && self.dirty == other.dirty
+    }
+}
+
+impl Eq for ItemCell {}
 
 impl ItemCell {
     /// A cell whose initial value was installed at timestamp 0.
     pub fn new(initial: Value) -> Self {
-        ItemCell { committed: vec![Version { ts: 0, value: initial }], dirty: None }
+        ItemCell { committed: vec![Version { ts: 0, value: initial }], dirty: None, lsn: 0 }
+    }
+
+    /// LSN of the newest WAL record that touched this cell.
+    pub fn lsn(&self) -> Lsn {
+        self.lsn
+    }
+
+    /// Stamp the cell with the LSN of the WAL record describing the
+    /// mutation just performed (monotone; older stamps never regress it).
+    pub fn stamp_lsn(&mut self, lsn: Lsn) {
+        self.lsn = self.lsn.max(lsn);
     }
 
     /// Newest value *including* any uncommitted dirty write — the READ
@@ -188,6 +213,17 @@ mod tests {
         let mut c = ItemCell::new(Value::Int(0));
         c.write_dirty(3, Value::Int(33)).expect("write");
         assert_eq!(c.read_at(100).expect("visible"), &Value::Int(0));
+    }
+
+    #[test]
+    fn lsn_stamp_is_monotone_and_outside_equality() {
+        let mut a = ItemCell::new(Value::Int(0));
+        let b = ItemCell::new(Value::Int(0));
+        a.stamp_lsn(9);
+        a.stamp_lsn(4); // older stamp must not regress
+        assert_eq!(a.lsn(), 9);
+        assert_eq!(b.lsn(), 0);
+        assert_eq!(a, b, "LSN bookkeeping must not affect logical equality");
     }
 
     #[test]

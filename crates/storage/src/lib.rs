@@ -20,6 +20,7 @@ pub mod schema;
 pub mod store;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use error::StorageError;
 pub use item::ItemCell;
@@ -27,6 +28,7 @@ pub use schema::Schema;
 pub use store::Store;
 pub use table::{Row, RowCell, RowId, Table};
 pub use value::Value;
+pub use wal::{CrashSnapshot, Lsn, Wal, WalPolicy, WalRecord};
 
 /// Transaction identifier (assigned by the engine).
 pub type TxnId = u64;

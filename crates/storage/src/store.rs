@@ -94,6 +94,26 @@ impl Store {
         Ok(self.item(name)?.lock().read_committed().clone())
     }
 
+    /// LSN stamped on an item's cell (recovery diagnostics).
+    pub fn item_lsn(&self, name: &str) -> Result<crate::wal::Lsn, StorageError> {
+        Ok(self.item(name)?.lock().lsn())
+    }
+
+    /// Highest LSN stamped anywhere in the store — the durability
+    /// high-water mark a checkpoint would have to cover.
+    pub fn max_lsn(&self) -> crate::wal::Lsn {
+        let mut max = 0;
+        for cell in self.items.read().values() {
+            max = max.max(cell.lock().lsn());
+        }
+        for table in self.tables.read().values() {
+            for (id, _) in table.scan_latest() {
+                max = max.max(table.row_lsn(id).unwrap_or(0));
+            }
+        }
+        max
+    }
+
     /// Convenience: discard a transaction's dirty write on one item.
     pub fn discard_item(&self, txn: TxnId, name: &str) -> Result<(), StorageError> {
         self.item(name)?.lock().discard(txn);

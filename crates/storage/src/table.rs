@@ -10,6 +10,7 @@
 use crate::error::StorageError;
 use crate::schema::Schema;
 use crate::value::Value;
+use crate::wal::Lsn;
 use crate::{Ts, TxnId};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -28,9 +29,16 @@ pub struct RowCell {
     committed: Vec<(Ts, Option<Row>)>,
     /// Uncommitted in-place change, if any. `None` payload = dirty delete.
     dirty: Option<(TxnId, Option<Row>)>,
+    /// LSN of the newest WAL record touching this slot (0 = never logged).
+    lsn: Lsn,
 }
 
 impl RowCell {
+    /// LSN of the newest WAL record that touched this slot.
+    pub fn lsn(&self) -> Lsn {
+        self.lsn
+    }
+
     /// Newest state including dirty (READ UNCOMMITTED view).
     pub fn read_latest(&self) -> Option<&Row> {
         match &self.dirty {
@@ -136,20 +144,49 @@ impl Table {
 
     /// Insert a committed row directly at timestamp `ts` (bulk loading).
     pub fn load_row(&self, ts: Ts, row: Row) -> Result<RowId, StorageError> {
-        self.check_arity(&row)?;
         let id = self.next_row.fetch_add(1, Ordering::Relaxed);
-        let cell = RowCell { committed: vec![(ts, Some(row))], dirty: None };
-        self.rows.lock().insert(id, cell);
+        self.load_row_at(id, ts, row)?;
         Ok(id)
+    }
+
+    /// Bulk-load a committed row into a *specific* slot (recovery replay
+    /// of a logged `LoadRow`). Bumps the allocator past `id`.
+    pub fn load_row_at(&self, id: RowId, ts: Ts, row: Row) -> Result<(), StorageError> {
+        self.check_arity(&row)?;
+        self.next_row.fetch_max(id + 1, Ordering::Relaxed);
+        let cell = RowCell { committed: vec![(ts, Some(row))], dirty: None, lsn: 0 };
+        self.rows.lock().insert(id, cell);
+        Ok(())
     }
 
     /// Insert an uncommitted row (dirty birth) for `txn`.
     pub fn insert_dirty(&self, txn: TxnId, row: Row) -> Result<RowId, StorageError> {
-        self.check_arity(&row)?;
         let id = self.next_row.fetch_add(1, Ordering::Relaxed);
-        let cell = RowCell { committed: Vec::new(), dirty: Some((txn, Some(row))) };
-        self.rows.lock().insert(id, cell);
+        self.insert_dirty_at(txn, id, row)?;
         Ok(id)
+    }
+
+    /// Insert an uncommitted row into a *specific* slot (recovery replay
+    /// of a logged `RowInsert`). Bumps the allocator past `id`.
+    pub fn insert_dirty_at(&self, txn: TxnId, id: RowId, row: Row) -> Result<(), StorageError> {
+        self.check_arity(&row)?;
+        self.next_row.fetch_max(id + 1, Ordering::Relaxed);
+        let cell = RowCell { committed: Vec::new(), dirty: Some((txn, Some(row))), lsn: 0 };
+        self.rows.lock().insert(id, cell);
+        Ok(())
+    }
+
+    /// Stamp slot `id` with the LSN of the WAL record describing the
+    /// mutation just performed. No-op on a missing slot.
+    pub fn stamp_row_lsn(&self, id: RowId, lsn: Lsn) {
+        if let Some(cell) = self.rows.lock().get_mut(&id) {
+            cell.lsn = cell.lsn.max(lsn);
+        }
+    }
+
+    /// LSN stamped on slot `id`, if the slot exists.
+    pub fn row_lsn(&self, id: RowId) -> Option<Lsn> {
+        self.rows.lock().get(&id).map(|c| c.lsn)
     }
 
     /// Replace the row in slot `id` with a dirty version for `txn`.
@@ -401,6 +438,20 @@ mod tests {
         assert_eq!(t.scan_at(8).len(), 0);
         t.install(12, id, None).expect("install delete");
         assert_eq!(t.scan_committed().len(), 0);
+    }
+
+    #[test]
+    fn at_slot_inserts_bump_allocator_and_stamp_lsns() {
+        let t = orders();
+        t.load_row_at(7, 1, row(1, "a", 10, false)).expect("load at");
+        t.insert_dirty_at(2, 9, row(2, "b", 11, false)).expect("insert at");
+        t.stamp_row_lsn(9, 42);
+        t.stamp_row_lsn(9, 5); // older stamp must not regress
+        assert_eq!(t.row_lsn(9), Some(42));
+        assert_eq!(t.row_lsn(7), Some(0));
+        // fresh allocation must not collide with the replayed ids
+        let id = t.insert_dirty(3, row(3, "c", 12, false)).expect("insert");
+        assert_eq!(id, 10);
     }
 
     #[test]

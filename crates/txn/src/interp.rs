@@ -297,6 +297,16 @@ pub fn run_program_observed(
                 if inj.on_stmt(txn.id(), i + 1) {
                     return Err(EngineError::Injected(FaultKind::AbortAfterStmt));
                 }
+                // Client crash mid-transaction: snapshot the surviving log
+                // *before* the rollback below runs, so no Abort record
+                // reaches it — recovery must undo the loser from the log
+                // alone.
+                if inj.on_stmt_crash(txn.id(), i + 1) {
+                    if let Some(wal) = txn.engine_ref().wal() {
+                        wal.mark_crash(FaultKind::CrashMidTxn.name(), false);
+                    }
+                    return Err(EngineError::Injected(FaultKind::CrashMidTxn));
+                }
             }
             observer(
                 &txn,
@@ -407,6 +417,23 @@ impl<'p> Stepper<'p> {
             self.txn.take().expect("txn present: borrowed above").abort();
             return Err(EngineError::Injected(FaultKind::AbortAfterStmt));
         }
+        // Client crash mid-transaction: the process dies between
+        // statements. The crash snapshot is taken *before* the rollback
+        // below, so the surviving log carries the loser's dirty records but
+        // no Abort record — recovery must undo it from before-images alone.
+        let crash = self
+            .txn
+            .as_ref()
+            .and_then(|t| t.engine_ref().faults().map(|inj| inj.on_stmt_crash(self.id, self.idx)))
+            .unwrap_or(false);
+        if crash {
+            let txn = self.txn.take().expect("txn present: borrowed above");
+            if let Some(wal) = txn.engine_ref().wal() {
+                wal.mark_crash(FaultKind::CrashMidTxn.name(), false);
+            }
+            txn.abort();
+            return Err(EngineError::Injected(FaultKind::CrashMidTxn));
+        }
         Ok(true)
     }
 
@@ -440,16 +467,42 @@ impl<'p> Stepper<'p> {
     /// *crash-before-commit* rolls the transaction back and surfaces as an
     /// [`EngineError::Injected`] abort; *crash-after-commit* lets the
     /// engine commit durably (the returned timestamp stands — harnesses
-    /// treat the acknowledgement as lost and audit durability).
+    /// treat the acknowledgement as lost and audit durability);
+    /// *torn-tail* also commits, but the crash snapshot rips the final log
+    /// record mid-frame, so recovery sees the transaction as a loser (the
+    /// disk lost the commit the engine acknowledged — exactly the case the
+    /// recovery audit's winner filter models).
+    ///
+    /// Each crash kind snapshots the engine's write-ahead log (when one is
+    /// configured) at the semantically right instant: before the rollback
+    /// for crash-before (no Abort record survives), after the durable
+    /// commit for crash-after and torn-tail.
     pub fn commit(&mut self) -> Result<Ts, EngineError> {
         let txn = self.txn.take().ok_or(EngineError::TxnFinished)?;
-        if let Some(inj) = txn.engine_ref().faults() {
-            if inj.on_client_commit(self.id) == Some(FaultKind::CrashBeforeCommit) {
-                txn.abort();
-                return Err(EngineError::Injected(FaultKind::CrashBeforeCommit));
+        let engine = txn.engine_ref().clone();
+        let kind = engine.faults().and_then(|inj| inj.on_client_commit(self.id));
+        if kind == Some(FaultKind::CrashBeforeCommit) {
+            if let Some(wal) = engine.wal() {
+                wal.mark_crash(FaultKind::CrashBeforeCommit.name(), false);
             }
+            txn.abort();
+            return Err(EngineError::Injected(FaultKind::CrashBeforeCommit));
         }
-        txn.commit()
+        let ts = txn.commit()?;
+        match kind {
+            Some(FaultKind::CrashAfterCommit) => {
+                if let Some(wal) = engine.wal() {
+                    wal.mark_crash(FaultKind::CrashAfterCommit.name(), false);
+                }
+            }
+            Some(FaultKind::TornTail) => {
+                if let Some(wal) = engine.wal() {
+                    wal.mark_crash(FaultKind::TornTail.name(), true);
+                }
+            }
+            _ => {}
+        }
+        Ok(ts)
     }
 
     /// Abort the transaction. Aborting an already finished stepper is

@@ -144,6 +144,9 @@ pub struct RunStats {
     pub aborts_by_class: BTreeMap<AbortClass, u64>,
     /// Given-up transactions by the class of their *last* abort.
     pub gave_up_by_class: BTreeMap<AbortClass, u64>,
+    /// Crash-recovery audits performed on behalf of this run (populated
+    /// by durable fault-simulation harnesses; plain drivers leave it 0).
+    pub recoveries_audited: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Per-transaction latencies in microseconds (committed only).
@@ -339,6 +342,7 @@ where
         gave_up_by_class: gave_up_class.into_inner().expect("poisoned"),
         elapsed: start.elapsed(),
         latencies_us: latencies.into_inner().expect("poisoned"),
+        ..RunStats::default()
     }
 }
 
@@ -356,6 +360,7 @@ mod tests {
             lock_timeout: Duration::from_millis(300),
             record_history: false,
             faults: None,
+            wal: None,
         }));
         banking::setup(&e, 4, 1000);
         let programs = banking::app().programs;
@@ -509,6 +514,7 @@ mod tests {
                 lock_timeout: Duration::from_millis(300),
                 record_history: false,
                 faults: None,
+                wal: None,
             }));
             banking::setup(&e, 2, 500);
             let programs = banking::app().programs;

@@ -23,8 +23,9 @@ use crate::driver::{AbortClass, RetryPolicy};
 use semcc_core::compens::rollback_effects;
 use semcc_core::{neutral_bindings, seed_neutral, App};
 use semcc_engine::{
-    audit_committed_replay, audit_post_abort, audit_quiescent, Engine, EngineConfig, FaultEvent,
-    FaultInjector, FaultMix, FaultPlan, IsolationLevel, Op, TxnId,
+    audit_committed_replay, audit_post_abort, audit_quiescent, audit_recovery, CrashSnapshot,
+    Engine, EngineConfig, FaultEvent, FaultInjector, FaultMix, FaultPlan, IsolationLevel, Op,
+    TxnId, Wal, WalPolicy,
 };
 use semcc_txn::interp::Stepper;
 use semcc_txn::Program;
@@ -51,6 +52,15 @@ pub struct FaultSimOptions {
     pub lock_timeout: Duration,
     /// Retry/backoff policy absorbing the injected aborts.
     pub policy: RetryPolicy,
+    /// Durable mode: attach a write-ahead log to the engine, snapshot it at
+    /// every injected crash, and audit crash recovery (replay the surviving
+    /// log prefix onto a fresh engine, require bit-for-bit equality with
+    /// the committed-prefix reference).
+    pub durable: bool,
+    /// WAL group-flush policy: flush the log to its durable prefix every
+    /// this-many records (commits always force a flush). Only meaningful
+    /// with `durable`.
+    pub wal_flush_every: usize,
 }
 
 impl Default for FaultSimOptions {
@@ -68,6 +78,8 @@ impl Default for FaultSimOptions {
                 abort_stmt: 0.05,
                 crash_before: 0.03,
                 crash_after: 0.03,
+                crash_mid: 0.02,
+                torn_tail: 0.02,
             },
             plan: FaultPlan::default(),
             lock_timeout: Duration::from_millis(50),
@@ -76,6 +88,8 @@ impl Default for FaultSimOptions {
                 max_backoff: Duration::from_micros(500),
                 ..RetryPolicy::default()
             },
+            durable: false,
+            wal_flush_every: 1,
         }
     }
 }
@@ -105,6 +119,15 @@ pub struct FaultSimReport {
     pub events: Vec<FaultEvent>,
     /// Individual auditor checks performed.
     pub audit_checks: u64,
+    /// Crash-recovery audits performed (durable mode: one per injected
+    /// crash of any class).
+    pub recoveries_audited: u64,
+    /// Injected crashes by class name (durable mode).
+    pub crashes_by_class: BTreeMap<&'static str, u64>,
+    /// WAL records redone across all recovery audits (durable mode).
+    pub recovery_redo: u64,
+    /// Loser records undone across all recovery audits (durable mode).
+    pub recovery_undone: u64,
     /// Auditor violations (empty = the robustness contract holds).
     pub violations: Vec<String>,
     /// Latencies (µs) of committed transactions that absorbed ≥ 1 abort —
@@ -167,6 +190,37 @@ fn attempt(
     (id, res)
 }
 
+/// Audit one crash snapshot: recover the surviving WAL prefix onto a fresh
+/// engine and require bit-for-bit equality with a winner-filtered
+/// committed-prefix replay onto an identically seeded reference engine.
+fn audit_crash(
+    snap: &CrashSnapshot,
+    engine: &Arc<Engine>,
+    app: &App,
+    programs: &[&Program],
+    opts: &FaultSimOptions,
+    report: &mut FaultSimReport,
+) -> Result<(), String> {
+    *report.crashes_by_class.entry(snap.kind).or_insert(0) += 1;
+    let reference = Arc::new(Engine::new(EngineConfig {
+        lock_timeout: opts.lock_timeout,
+        record_history: false,
+        faults: None,
+        wal: None,
+    }));
+    seed_neutral(&reference, app, programs)
+        .map_err(|e| format!("recovery reference seeding failed: {e}"))?;
+    let audit = audit_recovery(engine, &reference, &snap.bytes);
+    report.audit_checks += audit.report.checks;
+    report.violations.extend(audit.report.violations.iter().map(|v| v.to_string()));
+    report.recoveries_audited += 1;
+    if let Some(stats) = &audit.stats {
+        report.recovery_redo += stats.redo_applied;
+        report.recovery_undone += stats.undone;
+    }
+    Ok(())
+}
+
 /// Run the fault simulation over `app`'s programs.
 pub fn simulate(app: &App, opts: &FaultSimOptions) -> Result<FaultSimReport, String> {
     let programs: Vec<&Program> = app.programs.iter().collect();
@@ -180,10 +234,14 @@ pub fn simulate(app: &App, opts: &FaultSimOptions) -> Result<FaultSimReport, Str
     plan.seed = opts.seed;
     plan.mix = opts.mix;
     let injector = Arc::new(FaultInjector::new(plan));
+    let wal = opts
+        .durable
+        .then(|| Arc::new(Wal::new(WalPolicy { flush_every: opts.wal_flush_every.max(1) })));
     let engine = Arc::new(Engine::new(EngineConfig {
         lock_timeout: opts.lock_timeout,
         record_history: true,
         faults: Some(injector.clone()),
+        wal: wal.clone(),
     }));
 
     // Seed with the injector disarmed so setup cannot be aborted and
@@ -193,6 +251,11 @@ pub fn simulate(app: &App, opts: &FaultSimOptions) -> Result<FaultSimReport, Str
     seed_neutral(&engine, app, &programs).map_err(|e| format!("seeding failed: {e}"))?;
     engine.history().clear();
     injector.set_armed(true);
+    // Setup records must survive every crash: flush them past the
+    // group-flush boundary before any fault can fire.
+    if let Some(w) = &wal {
+        w.flush();
+    }
 
     let start = Instant::now();
     let mut report = FaultSimReport { seed: opts.seed, txns: opts.txns, ..Default::default() };
@@ -208,6 +271,14 @@ pub fn simulate(app: &App, opts: &FaultSimOptions) -> Result<FaultSimReport, Str
         loop {
             tries += 1;
             let (id, res) = attempt(&engine, programs[pi], levels[pi], &bindings[pi]);
+            // Durable mode: every crash the attempt injected left a
+            // snapshot of the surviving log — audit recovery from each one
+            // before driving anything else.
+            if let Some(w) = &wal {
+                for snap in w.take_crash_snapshots() {
+                    audit_crash(&snap, &engine, app, &programs, opts, &mut report)?;
+                }
+            }
             match res {
                 Ok(()) => {
                     report.committed += 1;
@@ -254,6 +325,7 @@ pub fn simulate(app: &App, opts: &FaultSimOptions) -> Result<FaultSimReport, Str
         lock_timeout: opts.lock_timeout,
         record_history: false,
         faults: None,
+        wal: None,
     }));
     seed_neutral(&fresh, app, &programs).map_err(|e| format!("replay seeding failed: {e}"))?;
     let rep = audit_committed_replay(&engine, &fresh);
@@ -384,6 +456,96 @@ mod tests {
         assert_eq!(r.events[0].kind, FaultKind::AbortAfterStmt);
         assert!(r.aborts >= 1);
         assert_eq!(r.committed, 6, "the retry absorbed the abort");
+    }
+
+    #[test]
+    fn durable_run_is_deterministic_and_recovery_clean() {
+        let app = payroll::app();
+        let opts =
+            FaultSimOptions { seed: 42, txns: 60, durable: true, ..FaultSimOptions::default() };
+        let a = simulate(&app, &opts).expect("run a");
+        let b = simulate(&app, &opts).expect("run b");
+        assert!(a.clean(), "recovery violations: {:?}", a.violations);
+        assert!(a.recoveries_audited > 0, "default mix over 60 txns must crash");
+        assert_eq!(
+            a.recoveries_audited,
+            a.crashes_by_class.values().sum::<u64>(),
+            "every crash snapshot is audited exactly once"
+        );
+        assert!(a.recovery_redo > 0, "recovery replays committed work");
+        assert!(
+            format!("{:?}", strip_wallclock(&a)) == format!("{:?}", strip_wallclock(&b)),
+            "durable runs (including recovery counters) are bit-for-bit deterministic"
+        );
+    }
+
+    #[test]
+    fn scripted_crashes_cover_every_class_and_recover_cleanly() {
+        let app = payroll::app();
+        let opts = FaultSimOptions {
+            seed: 9,
+            txns: 6,
+            durable: true,
+            mix: FaultMix::default(),
+            // Seeding is disarmed, so the first driven txn gets id 2 and
+            // the first client-commit ordinal is 1: ordinal 1 dies before
+            // commit (retry absorbs it), ordinal 2 dies after its durable
+            // commit, ordinal 3 tears the final log record; txn 5 (the
+            // third driven program's first attempt) crashes mid-txn after
+            // its first statement.
+            plan: FaultPlan {
+                crash_faults: vec![
+                    (1, FaultKind::CrashBeforeCommit),
+                    (2, FaultKind::CrashAfterCommit),
+                    (3, FaultKind::TornTail),
+                ],
+                crash_mid_txn: vec![(5, 1)],
+                ..FaultPlan::default()
+            },
+            ..FaultSimOptions::default()
+        };
+        let r = simulate(&app, &opts).expect("run");
+        assert!(r.clean(), "{:?}", r.violations);
+        assert_eq!(r.recoveries_audited, 4);
+        let classes: Vec<&str> = r.crashes_by_class.keys().copied().collect();
+        assert_eq!(classes, vec!["crash-after", "crash-before", "crash-mid-txn", "torn-tail"]);
+        assert!(r.crashes_by_class.values().all(|&n| n == 1));
+        assert_eq!(r.committed, 6, "retries absorbed both aborting crash classes");
+    }
+
+    #[test]
+    fn durable_sweep_is_jobs_invariant() {
+        let app = payroll::app();
+        let base = FaultSimOptions { txns: 12, durable: true, ..FaultSimOptions::default() };
+        let seeds = [1u64, 2, 3, 4];
+        let seq = simulate_sweep(&app, &base, &seeds, 1).expect("jobs=1");
+        let par = simulate_sweep(&app, &base, &seeds, 8).expect("jobs=8");
+        for (a, b) in seq.iter().zip(&par) {
+            assert!(a.clean(), "seed {}: {:?}", a.seed, a.violations);
+            assert_eq!(
+                format!("{:?}", strip_wallclock(a)),
+                format!("{:?}", strip_wallclock(b)),
+                "seed {} diverged between job counts",
+                a.seed
+            );
+        }
+    }
+
+    #[test]
+    fn group_flush_policy_still_recovers_cleanly() {
+        let app = payroll::app();
+        for flush_every in [1usize, 8, 64] {
+            let opts = FaultSimOptions {
+                seed: 42,
+                txns: 40,
+                durable: true,
+                wal_flush_every: flush_every,
+                ..FaultSimOptions::default()
+            };
+            let r = simulate(&app, &opts).expect("run");
+            assert!(r.clean(), "flush_every={flush_every}: {:?}", r.violations);
+            assert!(r.recoveries_audited > 0);
+        }
     }
 
     #[test]

@@ -536,6 +536,7 @@ mod tests {
             lock_timeout: Duration::from_millis(300),
             record_history: false,
             faults: None,
+            wal: None,
         }))
     }
 

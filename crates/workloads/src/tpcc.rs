@@ -534,6 +534,7 @@ mod tests {
             lock_timeout: Duration::from_millis(500),
             record_history: false,
             faults: None,
+            wal: None,
         }))
     }
 

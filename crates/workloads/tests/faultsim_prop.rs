@@ -64,6 +64,8 @@ fn gen_mix(rng: &mut StdRng) -> FaultMix {
         abort_stmt: p(),
         crash_before: p(),
         crash_after: p(),
+        crash_mid: p(),
+        torn_tail: p(),
     }
 }
 

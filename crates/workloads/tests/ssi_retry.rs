@@ -28,6 +28,7 @@ fn concurrent_write_skew_mix_at_ssi_absorbs_pivot_aborts_cleanly() {
         lock_timeout: Duration::from_millis(300),
         record_history: false,
         faults: None,
+        wal: None,
     }));
     // One account, both balances large: every withdrawal guard passes, so
     // each committed withdrawal removes exactly `W` — conservation below

@@ -21,6 +21,7 @@ fn engine() -> Arc<Engine> {
         lock_timeout: Duration::from_millis(200),
         record_history: true,
         faults: None,
+        wal: None,
     }))
 }
 

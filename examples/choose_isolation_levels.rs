@@ -41,6 +41,7 @@ fn main() {
         lock_timeout: Duration::from_millis(500),
         record_history: false,
         faults: None,
+        wal: None,
     }));
     orders::setup(&engine, 15);
     let programs = app.programs.clone();

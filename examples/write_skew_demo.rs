@@ -45,6 +45,7 @@ fn main() {
         lock_timeout: Duration::from_millis(300),
         record_history: true,
         faults: None,
+        wal: None,
     }));
     banking::setup(&e, 1, 100);
 
@@ -78,6 +79,7 @@ fn main() {
         lock_timeout: Duration::from_millis(200),
         record_history: false,
         faults: None,
+        wal: None,
     }));
     banking::setup(&e, 1, 100);
     let mut t1 = e.begin(IsolationLevel::Serializable);

@@ -18,6 +18,7 @@ fn engine(record: bool) -> Arc<Engine> {
         lock_timeout: Duration::from_millis(500),
         record_history: record,
         faults: None,
+        wal: None,
     }))
 }
 
