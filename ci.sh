@@ -248,6 +248,70 @@ if echo "$bank_verify" | grep -q " 0 synthesis countermodel"; then
 fi
 echo "   synth: certificates replay clean under verify-cert (countermodels checked)"
 
+echo "== serve (policy-gated server: digest refusal, deterministic bench, panic drill) =="
+# A synthesized policy admits the server; validation mode exits 0 and
+# prints the admission table.
+cargo run -q -p semcc-cli -- synth "$tmpdir/banking.json" \
+    --out "$tmpdir/banking.policy.json" > /dev/null
+cargo run -q -p semcc-cli -- serve --policy "$tmpdir/banking.policy.json" \
+    > "$tmpdir/serve.validate.txt"
+grep -q "admission policy verified" "$tmpdir/serve.validate.txt" || {
+    echo "ci: serve validation did not verify the policy" >&2
+    cat "$tmpdir/serve.validate.txt" >&2
+    exit 1
+}
+# Two same-seed bench runs must print byte-identical JSON, commit
+# nonzero work, and audit clean.
+cargo run -q -p semcc-cli -- serve --bench --policy "$tmpdir/banking.policy.json" \
+    --workers 4 --txns 25 --seed 7 --scale 4 --json > "$tmpdir/serve.1.json"
+cargo run -q -p semcc-cli -- serve --bench --policy "$tmpdir/banking.policy.json" \
+    --workers 4 --txns 25 --seed 7 --scale 4 --json > "$tmpdir/serve.2.json"
+if ! cmp -s "$tmpdir/serve.1.json" "$tmpdir/serve.2.json"; then
+    echo "ci: serve --bench --seed 7 is not deterministic" >&2
+    diff "$tmpdir/serve.1.json" "$tmpdir/serve.2.json" >&2 || true
+    exit 1
+fi
+if grep -q '"committed": 0,' "$tmpdir/serve.1.json"; then
+    echo "ci: serve --bench committed no transactions (vacuous run)" >&2
+    exit 1
+fi
+grep -q '"invariant_violations": 0,' "$tmpdir/serve.1.json" || {
+    echo "ci: serve --bench reported invariant violations" >&2
+    cat "$tmpdir/serve.1.json" >&2
+    exit 1
+}
+grep -q '"quiescent": true' "$tmpdir/serve.1.json" || {
+    echo "ci: serve --bench left the engine non-quiescent" >&2
+    exit 1
+}
+echo "   serve --bench seed 7: DETERMINISTIC, nonzero commits, audits CLEAN"
+# A tampered artifact (one flipped digest nibble) must be refused with
+# exit 2 — the server never starts on an unproven policy.
+sed 's/fnv1a:0/fnv1a:f/' "$tmpdir/banking.policy.json" \
+    > "$tmpdir/banking.policy.tampered.json"
+rc=0
+cargo run -q -p semcc-cli -- serve --policy "$tmpdir/banking.policy.tampered.json" \
+    > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "ci: serve accepted a tampered policy (exit $rc, expected 2)" >&2
+    exit 1
+fi
+echo "   serve: tampered policy digest REFUSED (exit 2)"
+# The panic drill: deterministically injected worker panics must be
+# contained — the run completes, reports them, and still audits clean.
+cargo run -q -p semcc-cli -- serve --bench --policy "$tmpdir/banking.policy.json" \
+    --inject-panics --workers 4 --txns 25 --seed 7 --scale 4 --json \
+    > "$tmpdir/serve.panic.json" 2> /dev/null
+if grep -q '"panics": 0,' "$tmpdir/serve.panic.json"; then
+    echo "ci: serve --inject-panics fired no panics (vacuous drill)" >&2
+    exit 1
+fi
+grep -q '"quiescent": true' "$tmpdir/serve.panic.json" || {
+    echo "ci: panicked submissions leaked locks or live transactions" >&2
+    exit 1
+}
+echo "   serve --inject-panics: panics contained, engine quiescent"
+
 echo "== fault-injection smoke (determinism + audited abort paths) =="
 # Two runs with the same seed must print bit-for-bit identical JSON
 # (including the fault-event trail), inject a nonzero number of faults,
@@ -390,6 +454,13 @@ if [ "${1:-}" != "--fast" ]; then
         exit 1
     fi
     echo "   table_refine: precision assertions hold, byte-identical at jobs 1 vs 4"
+
+    echo "== table_serve (serve throughput rows + in-binary determinism asserts) =="
+    # The binary asserts per row: same-seed JSON byte-identity, nonzero
+    # commits, zero invariant violations, quiescence.
+    cargo run -q --release -p semcc-bench --bin table_serve -- --quick \
+        > "$tmpdir/table_serve.txt"
+    echo "   table_serve: all rows committed, audited clean, deterministic"
 fi
 
 echo "== rustdoc (warnings are errors) =="

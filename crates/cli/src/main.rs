@@ -67,6 +67,7 @@ fn main() -> ExitCode {
         Some("certify") => cmd_certify(&args[1..]),
         Some("verify-cert") => cmd_verify_cert(&args[1..]),
         Some("synth") => cmd_synth(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(Findings::Clean)
@@ -106,6 +107,10 @@ fn print_usage() {
     println!("  semcc verify-cert <cert.json>");
     println!("  semcc synth <app.json> [--out policy.json] [--cert cert.json]");
     println!("              [--no-witness] [--jobs N] [--json]");
+    println!("  semcc serve --policy policy.json [--policy more.json]... [--bench]");
+    println!("              [--mix banking|orders|payroll|mixed] [--workers N] [--txns N]");
+    println!("              [--seed N] [--scale N] [--lock-timeout-ms N] [--max-attempts N]");
+    println!("              [--single-lock] [--inject-panics] [--json]");
     println!();
     println!("LEVELs: \"READ UNCOMMITTED\", \"READ COMMITTED\", \"READ COMMITTED+FCW\",");
     println!("        \"REPEATABLE READ\", \"SNAPSHOT\", \"SSI\", \"SERIALIZABLE\"");
@@ -1635,6 +1640,101 @@ fn cmd_synth(args: &[String]) -> CmdResult {
     }
     println!("certificate digest {digest}");
     Ok(Findings::Clean)
+}
+
+fn cmd_serve(args: &[String]) -> CmdResult {
+    use semcc_serve::{bench, AdmissionPolicy, Mix};
+    let usage = "usage: semcc serve --policy policy.json [--policy more.json]... [--bench] \
+                 [--mix banking|orders|payroll|mixed] [--workers N] [--txns N] [--seed N] \
+                 [--scale N] [--lock-timeout-ms N] [--max-attempts N] [--single-lock] \
+                 [--inject-panics] [--json]";
+    let mut policies: Vec<String> = Vec::new();
+    let mut run_bench = false;
+    let mut json_out = false;
+    let mut cfg = bench::BenchConfig::default();
+    let mut mix_flag: Option<Mix> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str| -> Result<u64, String> {
+            let v = it.next().ok_or(format!("{flag} needs a number"))?;
+            v.parse().map_err(|_| format!("bad {flag} `{v}`"))
+        };
+        match a.as_str() {
+            "--policy" => {
+                policies.push(it.next().ok_or("--policy needs a file path")?.clone());
+            }
+            "--bench" => run_bench = true,
+            "--json" => json_out = true,
+            "--single-lock" => cfg.single_lock = true,
+            "--inject-panics" => cfg.inject_panics = true,
+            "--mix" => {
+                let v = it.next().ok_or("--mix needs a value")?;
+                mix_flag = Some(
+                    Mix::parse(v)
+                        .ok_or(format!("bad --mix `{v}` (banking|orders|payroll|mixed)"))?,
+                );
+            }
+            "--workers" => cfg.workers = num("--workers")?.max(1) as usize,
+            "--txns" => cfg.txns_per_worker = num("--txns")? as usize,
+            "--seed" => cfg.seed = num("--seed")?,
+            "--scale" => cfg.scale = num("--scale")?.max(2) as usize,
+            "--lock-timeout-ms" => {
+                cfg.lock_timeout = Duration::from_millis(num("--lock-timeout-ms")?.max(1))
+            }
+            "--max-attempts" => cfg.max_attempts = num("--max-attempts")?.max(1) as usize,
+            other => return Err(format!("unexpected argument `{other}`\n{usage}")),
+        }
+    }
+    if policies.is_empty() {
+        return Err(usage.to_string());
+    }
+    // Digest verification happens at load; a tampered artifact is a hard
+    // error (exit 2) — the server must not start without a proof-backed
+    // level assignment.
+    let policy = AdmissionPolicy::load_all(policies.iter().map(String::as_str))
+        .map_err(|e| e.to_string())?;
+    let mix = match mix_flag.or_else(|| Mix::infer(&policy)) {
+        Some(m) => m,
+        None => {
+            return Err(format!(
+                "the loaded policy covers none of the known mixes; its types are: {}",
+                policy.types().collect::<Vec<_>>().join(", ")
+            ))
+        }
+    };
+    cfg.mix = mix;
+    if !run_bench {
+        // Validation mode: print the admission table and exit.
+        println!(
+            "admission policy verified ({} artifact(s), {} type(s)):",
+            policy.sources().len(),
+            policy.len()
+        );
+        for s in policy.sources() {
+            println!("  source {} {}", s.app, s.digest);
+        }
+        for t in policy.types() {
+            let tp = policy.type_policy(t).expect("listed type");
+            println!(
+                "  {t}: {}{}",
+                tp.level.name(),
+                if tp.snapshot_ok { "  [snapshot ok]" } else { "" }
+            );
+        }
+        println!("traffic mix: {} (no wire protocol yet; use --bench to drive load)", mix.name());
+        return Ok(Findings::Clean);
+    }
+    let report = bench::run(policy, &cfg).map_err(|e| e.to_string())?;
+    if json_out {
+        println!("{}", bench::json_report(&cfg, &report).to_pretty());
+    } else {
+        print!("{}", bench::human_report(&cfg, &report));
+    }
+    if report.violations.is_empty() && report.quiescent {
+        Ok(Findings::Clean)
+    } else {
+        Ok(Findings::Diagnostics)
+    }
 }
 
 #[cfg(test)]

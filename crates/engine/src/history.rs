@@ -11,6 +11,7 @@ use parking_lot::Mutex;
 use semcc_logic::row::RowPred;
 use semcc_mvcc::Key;
 use semcc_storage::{Row, RowId, Ts, TxnId, Value};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Where a read's value came from.
@@ -123,15 +124,33 @@ pub struct Event {
     pub op: Op,
 }
 
+#[derive(Default)]
+struct Inner {
+    /// Retained events, oldest first. Bounded by `cap` when set.
+    events: VecDeque<Event>,
+    /// Sequence number the next recorded event receives. Equals the count
+    /// of events ever recorded, including any that were dropped.
+    next_seq: u64,
+    /// Events evicted by the ring-buffer bound.
+    dropped: u64,
+}
+
 /// A shared, append-only schedule recording.
+///
+/// By default the buffer is unbounded (checkers need complete histories).
+/// Long-running servers use [`History::bounded`], which keeps only the
+/// newest `cap` events and counts what it evicted — memory stays flat no
+/// matter how many transactions run.
 #[derive(Default)]
 pub struct History {
     enabled: AtomicBool,
-    events: Mutex<Vec<Event>>,
+    inner: Mutex<Inner>,
+    /// Maximum retained events; `None` = unbounded.
+    cap: Option<usize>,
 }
 
 impl History {
-    /// A history with recording initially enabled.
+    /// A history with recording initially enabled and no bound.
     pub fn new() -> Self {
         let h = History::default();
         h.enabled.store(true, Ordering::Relaxed);
@@ -142,6 +161,21 @@ impl History {
     /// flag check) — used by throughput benchmarks.
     pub fn disabled() -> Self {
         History::default()
+    }
+
+    /// A recording history that retains at most `cap` events (clamped to
+    /// ≥ 1), evicting the oldest and counting them in
+    /// [`History::dropped`]. Sequence numbers keep counting past evicted
+    /// events, so retained entries still show their true append order.
+    pub fn bounded(cap: usize) -> Self {
+        let h = History { cap: Some(cap.max(1)), ..History::default() };
+        h.enabled.store(true, Ordering::Relaxed);
+        h
+    }
+
+    /// The configured retention bound, if any.
+    pub fn cap(&self) -> Option<usize> {
+        self.cap
     }
 
     /// Toggle recording.
@@ -159,29 +193,45 @@ impl History {
         if !self.is_enabled() {
             return;
         }
-        let mut ev = self.events.lock();
-        let seq = ev.len() as u64;
-        ev.push(Event { seq, txn, level, op });
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.events.push_back(Event { seq, txn, level, op });
+        if let Some(cap) = self.cap {
+            while inner.events.len() > cap {
+                inner.events.pop_front();
+                inner.dropped += 1;
+            }
+        }
     }
 
-    /// Snapshot of all events so far.
+    /// Snapshot of all retained events, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().clone()
+        self.inner.lock().events.iter().cloned().collect()
     }
 
-    /// Number of recorded events.
+    /// Number of retained events.
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.inner.lock().events.len()
     }
 
-    /// Whether the history is empty.
+    /// Events evicted by the retention bound (0 when unbounded).
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Whether the history retains no events.
     pub fn is_empty(&self) -> bool {
-        self.events.lock().is_empty()
+        self.inner.lock().events.is_empty()
     }
 
-    /// Drop all recorded events (between benchmark phases).
+    /// Drop all recorded events and reset the sequence and drop counters
+    /// (between benchmark phases; keeps deterministic replays identical).
     pub fn clear(&self) {
-        self.events.lock().clear();
+        let mut inner = self.inner.lock();
+        inner.events.clear();
+        inner.next_seq = 0;
+        inner.dropped = 0;
     }
 }
 
@@ -222,5 +272,40 @@ mod tests {
         h.record(1, IsolationLevel::Snapshot, Op::Begin);
         h.clear();
         assert!(h.is_empty());
+        assert_eq!(h.dropped(), 0);
+        // Sequence numbers restart so replays after clear are identical.
+        h.record(1, IsolationLevel::Snapshot, Op::Begin);
+        assert_eq!(h.events()[0].seq, 0);
+    }
+
+    #[test]
+    fn bounded_history_evicts_oldest_and_counts_drops() {
+        let h = History::bounded(4);
+        assert_eq!(h.cap(), Some(4));
+        for i in 0..10 {
+            h.record(i, IsolationLevel::ReadCommitted, Op::Begin);
+        }
+        assert_eq!(h.len(), 4, "retention bound holds");
+        assert_eq!(h.dropped(), 6);
+        let ev = h.events();
+        // The newest 4 events survive with their true sequence numbers.
+        assert_eq!(ev.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        assert_eq!(ev.iter().map(|e| e.txn).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        h.clear();
+        assert_eq!((h.len(), h.dropped()), (0, 0));
+    }
+
+    #[test]
+    fn bounded_history_memory_is_flat_across_100k_events() {
+        // The regression this guards: with `record_history: true` a
+        // long-running server leaked an unbounded Vec. A bounded history
+        // must retain exactly `cap` events no matter how many are recorded.
+        let h = History::bounded(256);
+        for i in 0..100_000u64 {
+            h.record(i, IsolationLevel::Serializable, Op::Commit { ts: i });
+        }
+        assert_eq!(h.len(), 256, "retained set never exceeds the cap");
+        assert_eq!(h.dropped(), 100_000 - 256);
+        assert_eq!(h.events().last().map(|e| e.seq), Some(99_999));
     }
 }

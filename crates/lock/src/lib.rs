@@ -20,4 +20,4 @@ pub mod error;
 pub mod manager;
 
 pub use error::LockError;
-pub use manager::{LockManager, Mode, Target};
+pub use manager::{LockConfig, LockManager, LockStats, Mode, Target};

@@ -1,4 +1,15 @@
-//! The lock table: grants, FIFO waiters, deadlock detection.
+//! The lock table: sharded grants, FIFO waiters, deadlock detection.
+//!
+//! The table is split into `LockConfig::shards` independent shards, each
+//! with its own mutex and condvar. Targets route to shards by key hash —
+//! items by name, rows by `(table, id)`, predicate locks by table — chosen
+//! so that any two *conflictable* targets always land in the same shard
+//! (conflicts never cross target variants, rows only conflict on equal
+//! `(table, id)`, and predicates only conflict on the same table). Disjoint
+//! keys therefore never contend on a shared mutex. Request sequence numbers
+//! come from one global atomic, preserving FIFO fairness per key, and
+//! deadlock detection merges a snapshot of every shard so waits-for cycles
+//! that span shards are still found.
 
 use crate::error::LockError;
 use parking_lot::{Condvar, Mutex};
@@ -6,6 +17,7 @@ use semcc_faults::{FaultInjector, FaultKind};
 use semcc_logic::prover::{Prover, Sat};
 use semcc_logic::row::RowPred;
 use semcc_logic::Pred;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -84,7 +96,17 @@ struct Waiter {
 struct State {
     grants: Vec<Grant>,
     waiters: Vec<Waiter>,
-    next_seq: u64,
+}
+
+struct Shard {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard { state: Mutex::new(State::default()), cv: Condvar::new() }
+    }
 }
 
 /// Configuration for the lock manager.
@@ -97,20 +119,38 @@ pub struct LockConfig {
     /// fires, the request fails with a spurious timeout or deadlock
     /// without touching the lock table.
     pub injector: Option<Arc<FaultInjector>>,
+    /// Number of lock-table shards (clamped to ≥ 1). 1 reproduces the
+    /// historical single-mutex table; servers use a power of two so
+    /// disjoint-key transactions never contend on one global lock.
+    pub shards: usize,
 }
 
 impl Default for LockConfig {
     fn default() -> Self {
-        LockConfig { wait_timeout: Duration::from_secs(5), injector: None }
+        LockConfig { wait_timeout: Duration::from_secs(5), injector: None, shards: 1 }
     }
+}
+
+/// Contention counters, cumulative since construction or [`LockManager::clear`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Acquisitions that could not be granted immediately and had to queue.
+    pub waits: u64,
+    /// Waits that ended in a timeout abort.
+    pub timeouts: u64,
+    /// Waits refused because they would have closed a waits-for cycle.
+    pub deadlocks: u64,
 }
 
 /// The lock manager. One instance is shared by all engine threads.
 pub struct LockManager {
-    state: Mutex<State>,
-    cv: Condvar,
+    shards: Vec<Shard>,
+    next_seq: AtomicU64,
     prover: Prover,
     config: LockConfig,
+    waits: AtomicU64,
+    timeouts: AtomicU64,
+    deadlocks: AtomicU64,
 }
 
 impl Default for LockManager {
@@ -119,15 +159,64 @@ impl Default for LockManager {
     }
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+fn fnv1a_step(mut h: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 impl LockManager {
     /// Build a lock manager with the given configuration.
     pub fn new(config: LockConfig) -> Self {
+        let n = config.shards.max(1);
         LockManager {
-            state: Mutex::new(State::default()),
-            cv: Condvar::new(),
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            next_seq: AtomicU64::new(0),
             prover: Prover::new(),
             config,
+            waits: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            deadlocks: AtomicU64::new(0),
         }
+    }
+
+    /// Number of shards the table was built with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Cumulative contention counters.
+    pub fn stats(&self) -> LockStats {
+        LockStats {
+            waits: self.waits.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            deadlocks: self.deadlocks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The shard a target routes to. Two targets that can conflict always
+    /// hash identically: items by name, rows by `(table, id)`, predicates
+    /// by table alone (any two predicates on one table may intersect).
+    fn shard_index(&self, target: &Target) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        let h = match target {
+            Target::Item(name) => fnv1a_step(fnv1a_step(FNV_OFFSET, b"i"), name.as_bytes()),
+            Target::Row(table, id) => fnv1a_step(
+                fnv1a_step(fnv1a_step(FNV_OFFSET, b"r"), table.as_bytes()),
+                &id.to_le_bytes(),
+            ),
+            Target::Pred { table, .. } => {
+                fnv1a_step(fnv1a_step(FNV_OFFSET, b"p"), table.as_bytes())
+            }
+        };
+        (h % self.shards.len() as u64) as usize
     }
 
     /// Drop every grant and waiter, returning the manager to its freshly
@@ -135,9 +224,15 @@ impl LockManager {
     /// used by the engine's deterministic replay reset. Parked waiters (if
     /// any) are woken so they re-evaluate and fail fast.
     pub fn clear(&self) {
-        let mut state = self.state.lock();
-        *state = State::default();
-        self.cv.notify_all();
+        for shard in &self.shards {
+            let mut state = shard.state.lock();
+            *state = State::default();
+            shard.cv.notify_all();
+        }
+        self.next_seq.store(0, Ordering::Release);
+        self.waits.store(0, Ordering::Relaxed);
+        self.timeouts.store(0, Ordering::Relaxed);
+        self.deadlocks.store(0, Ordering::Relaxed);
     }
 
     /// Whether two (txn, target, mode) requests conflict.
@@ -161,6 +256,22 @@ impl LockManager {
         }
     }
 
+    /// A merged copy of every shard's grants and waiters, for deadlock
+    /// detection (waits-for cycles may span shards). Shards are visited in
+    /// index order without nesting their locks, so this never deadlocks
+    /// with concurrent acquires; the caller's own waiter is already
+    /// registered before snapshotting, which guarantees the *last* member
+    /// of any cycle to queue observes the whole cycle.
+    fn snapshot(&self) -> State {
+        let mut merged = State::default();
+        for shard in &self.shards {
+            let state = shard.state.lock();
+            merged.grants.extend(state.grants.iter().cloned());
+            merged.waiters.extend(state.waiters.iter().cloned());
+        }
+        merged
+    }
+
     /// Acquire a lock, blocking if necessary.
     pub fn acquire(&self, txn: u64, target: Target, mode: Mode) -> Result<(), LockError> {
         // Fault injection: every acquisition request is an opportunity for
@@ -175,7 +286,8 @@ impl LockManager {
                 _ => {}
             }
         }
-        let mut state = self.state.lock();
+        let shard = &self.shards[self.shard_index(&target)];
+        let mut state = shard.state.lock();
 
         // Reentrancy / upgrade bookkeeping.
         if let Some(g) = state.grants.iter_mut().find(|g| g.txn == txn && g.target == target) {
@@ -187,35 +299,49 @@ impl LockManager {
             // treated as an X request whose own S grant is ignored.
         }
 
-        let seq = state.next_seq;
-        state.next_seq += 1;
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let waiter = Waiter { seq, txn, target: target.clone(), mode };
 
         if !self.grantable(&state, &waiter) {
-            // Deadlock check before sleeping: would this wait close a cycle?
-            if let Some(cycle) = self.find_cycle(&state, &waiter) {
+            self.waits.fetch_add(1, Ordering::Relaxed);
+            // Register the waiter, then check for a cycle against a merged
+            // snapshot of all shards (the wait edge may close a cycle whose
+            // other edges live elsewhere). The waiter must be visible
+            // before the snapshot so concurrent requesters see it too.
+            state.waiters.push(waiter.clone());
+            drop(state);
+            let snap = self.snapshot();
+            if let Some(cycle) = self.find_cycle(&snap, &waiter) {
+                let mut state = shard.state.lock();
+                state.waiters.retain(|w| w.seq != seq);
+                drop(state);
+                shard.cv.notify_all();
+                self.deadlocks.fetch_add(1, Ordering::Relaxed);
                 return Err(LockError::Deadlock { victim: txn, cycle });
             }
-            state.waiters.push(waiter.clone());
+            state = shard.state.lock();
             let deadline = Instant::now() + self.config.wait_timeout;
             loop {
-                if self.cv.wait_until(&mut state, deadline).timed_out() {
-                    state.waiters.retain(|w| w.seq != seq);
-                    self.cv.notify_all();
-                    return Err(LockError::Timeout { txn });
-                }
                 if self.grantable(&state, &waiter) {
                     state.waiters.retain(|w| w.seq != seq);
                     break;
+                }
+                if shard.cv.wait_until(&mut state, deadline).timed_out() {
+                    state.waiters.retain(|w| w.seq != seq);
+                    drop(state);
+                    shard.cv.notify_all();
+                    self.timeouts.fetch_add(1, Ordering::Relaxed);
+                    return Err(LockError::Timeout { txn });
                 }
             }
         }
 
         self.install_grant(&mut state, txn, target, mode);
+        drop(state);
         // Granting may unblock fairness-ordered waiters behind us only when
         // locks are *released*, but an upgrade consumed a waiter slot —
         // conservatively wake everyone to re-check.
-        self.cv.notify_all();
+        shard.cv.notify_all();
         Ok(())
     }
 
@@ -232,6 +358,7 @@ impl LockManager {
     /// A request is grantable when it conflicts with no *other* transaction's
     /// grant and no earlier-queued conflicting waiter of another transaction
     /// (FIFO fairness; prevents reader streams from starving writers).
+    /// `w` itself may or may not be present in `state.waiters`.
     fn grantable(&self, state: &State, w: &Waiter) -> bool {
         for g in &state.grants {
             if g.txn != w.txn && self.conflicts(&w.target, w.mode, &g.target, g.mode) {
@@ -270,9 +397,9 @@ impl LockManager {
         out
     }
 
-    /// DFS over the waits-for graph starting from a hypothetical new waiter.
-    /// Returns the cycle (as txn ids, starting with the requester) if adding
-    /// this wait would close one.
+    /// DFS over the waits-for graph starting from a (just-registered) new
+    /// waiter. Returns the cycle (as txn ids, starting with the requester)
+    /// if this wait closes one.
     fn find_cycle(&self, state: &State, new_waiter: &Waiter) -> Option<Vec<u64>> {
         let start = new_waiter.txn;
         let mut stack = vec![(start, self.blockers(state, new_waiter))];
@@ -310,7 +437,8 @@ impl LockManager {
     /// Release one unit of a (short-duration) lock held by `txn` on `target`.
     /// When the reentrancy count reaches zero the grant is removed.
     pub fn release(&self, txn: u64, target: &Target) {
-        let mut state = self.state.lock();
+        let shard = &self.shards[self.shard_index(target)];
+        let mut state = shard.state.lock();
         if let Some(pos) = state.grants.iter().position(|g| g.txn == txn && &g.target == target) {
             let g = &mut state.grants[pos];
             g.count -= 1;
@@ -318,36 +446,50 @@ impl LockManager {
                 state.grants.remove(pos);
             }
         }
-        self.cv.notify_all();
+        drop(state);
+        shard.cv.notify_all();
     }
 
     /// Release every lock held by `txn` (commit/abort).
     pub fn release_all(&self, txn: u64) {
-        let mut state = self.state.lock();
-        state.grants.retain(|g| g.txn != txn);
-        state.waiters.retain(|w| w.txn != txn);
-        self.cv.notify_all();
+        for shard in &self.shards {
+            let mut state = shard.state.lock();
+            let before = state.grants.len() + state.waiters.len();
+            state.grants.retain(|g| g.txn != txn);
+            state.waiters.retain(|w| w.txn != txn);
+            let changed = before != state.grants.len() + state.waiters.len();
+            drop(state);
+            if changed || self.shards.len() == 1 {
+                shard.cv.notify_all();
+            }
+        }
     }
 
     /// Number of grants currently held by `txn` (tests/metrics).
     pub fn held_by(&self, txn: u64) -> usize {
-        self.state.lock().grants.iter().filter(|g| g.txn == txn).count()
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().grants.iter().filter(|g| g.txn == txn).count())
+            .sum()
     }
 
     /// Total grants (tests/metrics).
     pub fn total_grants(&self) -> usize {
-        self.state.lock().grants.len()
+        self.shards.iter().map(|s| s.state.lock().grants.len()).sum()
     }
 
     /// Number of queued waiters owned by `txn` (post-abort auditing: a
     /// finished transaction must have none).
     pub fn waiting_by(&self, txn: u64) -> usize {
-        self.state.lock().waiters.iter().filter(|w| w.txn == txn).count()
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().waiters.iter().filter(|w| w.txn == txn).count())
+            .sum()
     }
 
     /// Total queued waiters (tests/metrics).
     pub fn total_waiters(&self) -> usize {
-        self.state.lock().waiters.len()
+        self.shards.iter().map(|s| s.state.lock().waiters.len()).sum()
     }
 }
 
@@ -360,6 +502,14 @@ mod tests {
     fn mgr() -> Arc<LockManager> {
         Arc::new(LockManager::new(LockConfig {
             wait_timeout: Duration::from_millis(300),
+            ..LockConfig::default()
+        }))
+    }
+
+    fn sharded(n: usize) -> Arc<LockManager> {
+        Arc::new(LockManager::new(LockConfig {
+            wait_timeout: Duration::from_millis(300),
+            shards: n,
             ..LockConfig::default()
         }))
     }
@@ -545,5 +695,83 @@ mod tests {
             h.join().expect("join");
         }
         assert_eq!(*counter.lock(), 400);
+    }
+
+    // ---- sharded-mode tests ---------------------------------------------
+
+    #[test]
+    fn sharded_routes_conflicting_targets_to_one_shard() {
+        // Conflict semantics must be identical at any shard count: the same
+        // item, row, or table-predicate always lands in one shard.
+        for shards in [2, 8, 32] {
+            let m = sharded(shards);
+            assert_eq!(m.shard_count(), shards);
+            m.acquire(1, Target::item("x"), Mode::X).expect("x");
+            assert!(matches!(
+                m.acquire(2, Target::item("x"), Mode::X),
+                Err(LockError::Timeout { txn: 2 })
+            ));
+            m.acquire(3, Target::row("t", 7), Mode::X).expect("row");
+            assert!(m.acquire(4, Target::row("t", 7), Mode::X).is_err());
+            m.acquire(5, Target::pred("t", RowPred::field_eq_int("a", 1)), Mode::X).expect("pred");
+            assert!(m
+                .acquire(6, Target::pred("t", RowPred::field_eq_int("a", 1)), Mode::X)
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn sharded_disjoint_keys_grant_concurrently() {
+        // 8 threads on 8 distinct items through a 32-shard table: nothing
+        // blocks, every grant and release succeeds.
+        let m = sharded(32);
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                let item = format!("k{t}");
+                for i in 0..200u64 {
+                    let txn = t * 10_000 + i;
+                    m.acquire(txn, Target::item(&item), Mode::X).expect("disjoint acquire");
+                    m.release_all(txn);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("join");
+        }
+        assert_eq!(m.total_grants(), 0);
+        assert_eq!(m.stats().timeouts, 0, "disjoint keys must never time out");
+        assert_eq!(m.stats().deadlocks, 0);
+    }
+
+    #[test]
+    fn sharded_cross_shard_deadlock_detected() {
+        // The two lock targets will usually live in different shards; the
+        // waits-for cycle must still be found via the merged snapshot.
+        let m = sharded(16);
+        m.acquire(1, Target::item("alpha"), Mode::X).expect("t1 alpha");
+        m.acquire(2, Target::item("beta"), Mode::X).expect("t2 beta");
+        let m2 = m.clone();
+        let h = std::thread::spawn(move || m2.acquire(1, Target::item("beta"), Mode::X));
+        std::thread::sleep(Duration::from_millis(50));
+        let r = m.acquire(2, Target::item("alpha"), Mode::X);
+        assert!(matches!(r, Err(LockError::Deadlock { victim: 2, .. })), "got {r:?}");
+        assert!(m.stats().deadlocks >= 1);
+        m.release_all(2);
+        h.join().expect("join").expect("t1 proceeds");
+    }
+
+    #[test]
+    fn stats_count_waits_and_timeouts() {
+        let m = mgr();
+        assert_eq!(m.stats(), LockStats::default());
+        m.acquire(1, Target::item("x"), Mode::X).expect("x");
+        assert_eq!(m.stats().waits, 0, "uncontended grant is not a wait");
+        assert!(m.acquire(2, Target::item("x"), Mode::X).is_err());
+        let s = m.stats();
+        assert_eq!((s.waits, s.timeouts), (1, 1));
+        m.clear();
+        assert_eq!(m.stats(), LockStats::default());
     }
 }

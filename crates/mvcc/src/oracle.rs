@@ -74,6 +74,10 @@ pub struct Oracle {
     /// (the commit critical section takes both); read/write marking takes
     /// only `ssi`.
     ssi: Mutex<SsiState>,
+    /// Successful commits through the validation critical section.
+    commits: AtomicU64,
+    /// First-committer-wins validation losses.
+    fcw_failures: AtomicU64,
 }
 
 impl Default for Oracle {
@@ -92,7 +96,21 @@ impl Oracle {
             log: Mutex::new(CommitLog::default()),
             snapshots: Mutex::new(BTreeMap::new()),
             ssi: Mutex::new(SsiState::default()),
+            commits: AtomicU64::new(0),
+            fcw_failures: AtomicU64::new(0),
         }
+    }
+
+    /// Successful commits since construction or [`Oracle::reset`]
+    /// (server metrics).
+    pub fn commit_count(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// First-committer-wins validation losses since construction or
+    /// [`Oracle::reset`] (server metrics).
+    pub fn fcw_failure_count(&self) -> u64 {
+        self.fcw_failures.load(Ordering::Relaxed)
     }
 
     /// Allocate a transaction id.
@@ -145,6 +163,8 @@ impl Oracle {
         self.ssi.lock().clear();
         self.next_txn.store(1, Ordering::Release);
         self.last_commit.store(0, Ordering::Release);
+        self.commits.store(0, Ordering::Relaxed);
+        self.fcw_failures.store(0, Ordering::Relaxed);
     }
 
     /// Advance the commit clock to at least `ts` (recovery: the WAL's
@@ -196,6 +216,7 @@ impl Oracle {
         for (key, since) in checks {
             if let Some(committed) = log.last_write.get(key) {
                 if committed > since {
+                    self.fcw_failures.fetch_add(1, Ordering::Relaxed);
                     return Err(FcwConflict {
                         key: key.clone(),
                         committed_ts: *committed,
@@ -208,6 +229,7 @@ impl Oracle {
         for key in writes {
             log.last_write.insert(key.clone(), ts);
         }
+        self.commits.fetch_add(1, Ordering::Relaxed);
         install(ts);
         Ok(ts)
     }
@@ -265,6 +287,7 @@ impl Oracle {
         for (key, since) in checks {
             if let Some(committed) = log.last_write.get(key) {
                 if committed > since {
+                    self.fcw_failures.fetch_add(1, Ordering::Relaxed);
                     return Err(CommitConflict::Fcw(FcwConflict {
                         key: key.clone(),
                         committed_ts: *committed,
@@ -280,6 +303,7 @@ impl Oracle {
             log.last_write.insert(key.clone(), ts);
         }
         ssi.commit(txn, ts);
+        self.commits.fetch_add(1, Ordering::Relaxed);
         install(ts);
         Ok(ts)
     }
@@ -419,6 +443,17 @@ mod tests {
         assert_eq!(o.log_len(), 1);
         // b's entry must still doom an old snapshot
         assert!(o.validate_and_commit(&[(Key::item("b"), 1)], &[]).is_err());
+    }
+
+    #[test]
+    fn commit_and_fcw_counters_track_outcomes() {
+        let o = Oracle::new();
+        let snap = o.current_ts();
+        o.commit(&[Key::item("x")]);
+        assert!(o.validate_and_commit(&[(Key::item("x"), snap)], &[Key::item("x")]).is_err());
+        assert_eq!((o.commit_count(), o.fcw_failure_count()), (1, 1));
+        o.reset();
+        assert_eq!((o.commit_count(), o.fcw_failure_count()), (0, 0));
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! `semcc-serve` — the policy-driven concurrent transaction service
+//! (ROADMAP item 1's deployment endpoint).
+//!
+//! The paper's Section-5 procedure assigns each transaction *type* the
+//! cheapest isolation level at which it is provably safe; `semcc synth`
+//! emits that assignment as a sealed `policy.json` artifact. This crate
+//! is the artifact's consumer: a [`Server`] that
+//!
+//! 1. **verifies** the artifact's self-digest and refuses to start on a
+//!    mismatch (a tampered policy has no proof behind it),
+//! 2. **registers** typed transaction programs, rejecting any program
+//!    the policy does not cover and any submission naming an unknown
+//!    type, and
+//! 3. **runs** each submission at its type's assigned level over a
+//!    sharded engine — 32 lock-table shards and 32 store stripes by
+//!    default, so transactions on disjoint keys never contend on a
+//!    global mutex and the MVCC oracle's commit section is the only
+//!    serial point.
+//!
+//! [`bench`](mod@bench) adds the closed-loop driver behind `semcc serve --bench`:
+//! a deterministic transaction stream (pure function of the seed) over a
+//! `semcc-par` worker pool, with invariant audits and a
+//! sharded-vs-single-lock contention ablation.
+
+pub mod bench;
+pub mod policy;
+pub mod server;
+pub mod workload;
+
+pub use bench::{human_report, json_report, BenchConfig, BenchReport};
+pub use policy::{AdmissionPolicy, PolicyError, PolicySource, TypePolicy};
+pub use server::{ServeConfig, ServeError, Server, SubmitError, Submitted, TypeStats};
+pub use workload::Mix;

@@ -1,0 +1,215 @@
+//! Traffic mixes for the closed-loop bench: the three paper applications
+//! (banking, orders, payroll), individually or combined, with per-type
+//! binding generators, invariant audits, and the abort-class legality
+//! table the smoke tests check server stats against.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use semcc_engine::{Engine, IsolationLevel};
+use semcc_txn::{Bindings, Program};
+use semcc_workloads::driver::AbortClass;
+use semcc_workloads::{banking, orders, payroll};
+use std::sync::Arc;
+
+/// Which applications the bench drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mix {
+    /// Figure 1 banking (4 types).
+    Banking,
+    /// Section 6 order processing (5 types).
+    Orders,
+    /// Example 2 payroll (3 types).
+    Payroll,
+    /// All three applications at once (12 types).
+    Mixed,
+}
+
+impl Mix {
+    /// All mixes, in a stable order.
+    pub const ALL: [Mix; 4] = [Mix::Banking, Mix::Orders, Mix::Payroll, Mix::Mixed];
+
+    /// Stable lowercase name (flags, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mix::Banking => "banking",
+            Mix::Orders => "orders",
+            Mix::Payroll => "payroll",
+            Mix::Mixed => "mixed",
+        }
+    }
+
+    /// Parse a `--mix` flag value.
+    pub fn parse(s: &str) -> Option<Mix> {
+        Mix::ALL.into_iter().find(|m| m.name() == s)
+    }
+
+    /// The programs this mix submits.
+    pub fn programs(self) -> Vec<Program> {
+        match self {
+            Mix::Banking => banking::app().programs,
+            Mix::Orders => orders::app(false).programs,
+            Mix::Payroll => payroll::app().programs,
+            Mix::Mixed => {
+                let mut all = banking::app().programs;
+                all.extend(orders::app(false).programs);
+                all.extend(payroll::app().programs);
+                all
+            }
+        }
+    }
+
+    /// The largest mix whose every program is covered by `policy` —
+    /// how `semcc serve` infers the traffic when `--mix` is absent.
+    pub fn infer(policy: &crate::policy::AdmissionPolicy) -> Option<Mix> {
+        [Mix::Mixed, Mix::Banking, Mix::Orders, Mix::Payroll]
+            .into_iter()
+            .find(|m| m.programs().iter().all(|p| policy.level_of(&p.name).is_some()))
+    }
+}
+
+/// Seed the initial data for a mix. `scale` sizes every application:
+/// `scale` bank accounts (1000 in each balance), `scale` delivery days,
+/// `scale` employees.
+pub fn setup(engine: &Engine, mix: Mix, scale: usize) {
+    let scale = scale.max(2);
+    match mix {
+        Mix::Banking => banking::setup(engine, scale, 1_000),
+        Mix::Orders => orders::setup(engine, scale as i64),
+        Mix::Payroll => payroll::setup(engine, scale),
+        Mix::Mixed => {
+            banking::setup(engine, scale, 1_000);
+            orders::setup(engine, scale as i64);
+            payroll::setup(engine, scale);
+        }
+    }
+}
+
+/// Generate plausible bindings for one program of any mix. Draw counts
+/// may depend on concurrent engine state (the orders generators peek
+/// committed data), so callers that need deterministic *issue* streams
+/// must pick types from a separate RNG.
+pub fn bindings_for(
+    engine: &Arc<Engine>,
+    program: &Program,
+    scale: usize,
+    rng: &mut StdRng,
+) -> Bindings {
+    let scale = scale.max(2);
+    match program.name.as_str() {
+        "Withdraw_sav" | "Withdraw_ch" => Bindings::new()
+            .set("i", rng.gen_range(0..scale) as i64)
+            .set("w", rng.gen_range(1..50) as i64),
+        "Deposit_sav" | "Deposit_ch" => Bindings::new()
+            .set("i", rng.gen_range(0..scale) as i64)
+            .set("d", rng.gen_range(1..50) as i64),
+        "Hours" => Bindings::new()
+            .set("emp", format!("emp{}", rng.gen_range(0..scale)))
+            .set("h", rng.gen_range(1..9) as i64),
+        "Print_Records" => Bindings::new().set("emp", format!("emp{}", rng.gen_range(0..scale))),
+        "Payroll_Report" => Bindings::new(),
+        _ => orders::bindings_for(program, rng, engine),
+    }
+}
+
+/// Audit every invariant the mix's applications declare; returns
+/// human-readable violation descriptions (empty = clean).
+pub fn invariant_violations(engine: &Engine, mix: Mix, scale: usize) -> Vec<String> {
+    let scale = scale.max(2);
+    let mut out = Vec::new();
+    let banking_part = |out: &mut Vec<String>| {
+        out.extend(
+            banking::balance_violations(engine, scale)
+                .into_iter()
+                .map(|i| format!("banking I_bal: account {i} has negative combined balance")),
+        );
+    };
+    let orders_part = |out: &mut Vec<String>| {
+        out.extend(
+            orders::integrity_violations(engine, false).into_iter().map(|v| format!("orders {v}")),
+        );
+    };
+    let payroll_part = |out: &mut Vec<String>| {
+        out.extend(
+            payroll::isal_violations(engine)
+                .into_iter()
+                .map(|e| format!("payroll I_sal: employee {e} has rate*hrs != sal")),
+        );
+    };
+    match mix {
+        Mix::Banking => banking_part(&mut out),
+        Mix::Orders => orders_part(&mut out),
+        Mix::Payroll => payroll_part(&mut out),
+        Mix::Mixed => {
+            banking_part(&mut out);
+            orders_part(&mut out);
+            payroll_part(&mut out);
+        }
+    }
+    out
+}
+
+/// Whether an abort class can legitimately occur for a transaction
+/// running at `level` (no fault injector configured):
+///
+/// * [`AbortClass::Deadlock`] / [`AbortClass::Timeout`] — every level:
+///   writes take locks everywhere, so lock waits and cycles are always
+///   possible.
+/// * [`AbortClass::Fcw`] — only levels that run first-committer-wins
+///   validation ([`IsolationLevel::fcw`]).
+/// * [`AbortClass::Ssi`] — only SSI's dangerous-structure check.
+/// * [`AbortClass::Injected`] — never (the server wires no injector).
+pub fn class_is_legal(level: IsolationLevel, class: AbortClass) -> bool {
+    match class {
+        AbortClass::Deadlock | AbortClass::Timeout => true,
+        AbortClass::Fcw => level.fcw(),
+        AbortClass::Ssi => level == IsolationLevel::Ssi,
+        AbortClass::Injected => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcc_engine::EngineConfig;
+
+    #[test]
+    fn mix_roundtrips_and_programs_are_disjoint() {
+        for m in Mix::ALL {
+            assert_eq!(Mix::parse(m.name()), Some(m));
+        }
+        assert_eq!(Mix::parse("tpcc"), None);
+        let mixed = Mix::Mixed.programs();
+        assert_eq!(mixed.len(), 4 + 5 + 3);
+        let mut names: Vec<_> = mixed.iter().map(|p| p.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 12, "type names must stay disjoint across the apps");
+    }
+
+    #[test]
+    fn mixed_setup_is_clean_and_bindings_cover_every_type() {
+        let e = Arc::new(Engine::new(EngineConfig::default()));
+        setup(&e, Mix::Mixed, 3);
+        assert!(invariant_violations(&e, Mix::Mixed, 3).is_empty());
+        let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(7);
+        for p in Mix::Mixed.programs() {
+            // Must not panic for any registered type.
+            let _ = bindings_for(&e, &p, 3, &mut rng);
+        }
+    }
+
+    #[test]
+    fn abort_class_legality_follows_level_flags() {
+        use IsolationLevel::*;
+        assert!(class_is_legal(ReadUncommitted, AbortClass::Deadlock));
+        assert!(class_is_legal(Serializable, AbortClass::Timeout));
+        assert!(class_is_legal(Snapshot, AbortClass::Fcw));
+        assert!(class_is_legal(ReadCommittedFcw, AbortClass::Fcw));
+        assert!(!class_is_legal(RepeatableRead, AbortClass::Fcw));
+        assert!(class_is_legal(Ssi, AbortClass::Ssi));
+        assert!(!class_is_legal(Snapshot, AbortClass::Ssi));
+        for l in IsolationLevel::ALL {
+            assert!(!class_is_legal(l, AbortClass::Injected));
+        }
+    }
+}

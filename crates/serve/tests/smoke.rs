@@ -1,0 +1,183 @@
+//! Seeded multi-threaded smoke-property test for the sharded server
+//! (ISSUE 10 satellite): drive mixed traffic at the *synthesized*
+//! policy's levels across worker threads, then check
+//!
+//! 1. **conservation** — the bank's total money moved by exactly the sum
+//!    of the applied deltas reported by committed outcomes (withdraws
+//!    apply only when the read balances covered the amount, per the
+//!    program's guard);
+//! 2. **integrity** — every application invariant audits clean, and the
+//!    engine is quiescent (no grants, no live transactions);
+//! 3. **legality** — each type's observed abort classes are possible at
+//!    its assigned level (e.g. an FCW abort on a REPEATABLE READ type
+//!    would mean the policy was not actually enforced).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semcc_core::assign::{assign_levels, default_ladder};
+use semcc_core::App;
+use semcc_engine::audit::audit_quiescent;
+use semcc_engine::IsolationLevel;
+use semcc_serve::workload::{self, Mix};
+use semcc_serve::{AdmissionPolicy, ServeConfig, Server, SubmitError};
+use semcc_workloads::banking;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Synthesize an app's admission policy in-process — the same pipeline
+/// `semcc synth --out policy.json` runs, minus the file round trip.
+fn synth_policy(app: &App, name: &str) -> AdmissionPolicy {
+    let opts = semcc_synth::SynthOptions { jobs: 1, witnesses: false, ..Default::default() };
+    let syn = semcc_synth::synthesize(app, &opts).expect("synthesize");
+    let greedy = assign_levels(app, &default_ladder());
+    let cert = semcc_synth::policy::synth_certificate(app, name, &syn);
+    let digest = semcc_synth::policy::certificate_digest(&cert);
+    let primary = syn.primary();
+    let level_map: BTreeMap<String, IsolationLevel> =
+        syn.txns.iter().cloned().zip(primary.levels.iter().cloned()).collect();
+    let advisories = semcc_refine::predict_deadlocks(app, &level_map);
+    let json = semcc_synth::policy_json(name, &syn, &greedy, &advisories, &digest);
+    AdmissionPolicy::from_json(&json, name).expect("fresh artifact verifies")
+}
+
+fn mixed_policy() -> AdmissionPolicy {
+    synth_policy(&banking::app(), "banking")
+        .merge(synth_policy(&semcc_workloads::orders::app(false), "orders"))
+        .expect("disjoint")
+        .merge(synth_policy(&semcc_workloads::payroll::app(), "payroll"))
+        .expect("disjoint")
+}
+
+#[test]
+fn sharded_server_holds_invariants_under_mixed_load() {
+    const THREADS: usize = 4;
+    const TXNS_PER_THREAD: usize = 50;
+    const SCALE: usize = 4;
+    const SEED: u64 = 20_260_807;
+
+    let policy = mixed_policy();
+    let server =
+        Server::start(policy, Mix::Mixed.programs(), ServeConfig::default()).expect("server");
+    workload::setup(server.engine(), Mix::Mixed, SCALE);
+    let initial_money = banking::total_money(server.engine(), SCALE);
+
+    let types: Vec<String> = server.types().into_iter().map(String::from).collect();
+    let money_delta = AtomicI64::new(0);
+    let committed = AtomicU64::new(0);
+    let gave_up = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let server = &server;
+            let types = &types;
+            let money_delta = &money_delta;
+            let committed = &committed;
+            let gave_up = &gave_up;
+            scope.spawn(move || {
+                // Separate pick and binding streams: binding draw counts
+                // can depend on concurrent engine state (orders peeks),
+                // and must not skew which types this thread issues.
+                let mut pick_rng = StdRng::seed_from_u64(SEED ^ t as u64);
+                let mut bind_rng = StdRng::seed_from_u64(SEED.rotate_left(32) ^ t as u64);
+                for req in 0..TXNS_PER_THREAD {
+                    let name = &types[pick_rng.gen_range(0..types.len())];
+                    let program = server.program(name).expect("registered");
+                    let b = workload::bindings_for(server.engine(), program, SCALE, &mut bind_rng);
+                    let salt = (t as u64) << 32 | req as u64;
+                    match server.submit(name, &b, salt) {
+                        Ok(done) => {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                            let local =
+                                |k: &str| done.outcome.locals.get(k).and_then(|v| v.as_int());
+                            let param =
+                                |k: &str| b.get(k).and_then(|v| v.as_int()).expect("int param");
+                            // Applied money deltas, per the program guards.
+                            let delta = match name.as_str() {
+                                "Withdraw_sav" | "Withdraw_ch" => {
+                                    let read_total = local("Sav").expect("Sav local")
+                                        + local("Ch").expect("Ch local");
+                                    if read_total >= param("w") {
+                                        -param("w")
+                                    } else {
+                                        0
+                                    }
+                                }
+                                "Deposit_sav" | "Deposit_ch" => param("d"),
+                                _ => 0,
+                            };
+                            money_delta.fetch_add(delta, Ordering::Relaxed);
+                        }
+                        Err(SubmitError::GaveUp { .. }) => {
+                            gave_up.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("smoke traffic must never hit `{name}` error: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let issued = (THREADS * TXNS_PER_THREAD) as u64;
+    assert_eq!(committed.load(Ordering::Relaxed) + gave_up.load(Ordering::Relaxed), issued);
+    assert!(committed.load(Ordering::Relaxed) > 0, "smoke run must commit work");
+
+    // 1. Conservation: the bank moved by exactly the applied deltas.
+    let final_money = banking::total_money(server.engine(), SCALE);
+    assert_eq!(
+        final_money,
+        initial_money + money_delta.load(Ordering::Relaxed),
+        "bank total must equal initial plus every applied withdraw/deposit delta"
+    );
+
+    // 2. Integrity + quiescence.
+    let violations = workload::invariant_violations(server.engine(), Mix::Mixed, SCALE);
+    assert!(violations.is_empty(), "invariant violations: {violations:?}");
+    let audit = audit_quiescent(server.engine());
+    assert!(audit.clean(), "post-run quiescence audit failed: {audit:?}");
+
+    // 3. Per-type abort classes legal at the type's assigned level.
+    for (name, stats) in server.stats() {
+        let level = server.level_of(&name).expect("registered type");
+        for (class, n) in &stats.aborts_by_class {
+            assert!(*n > 0);
+            assert!(
+                workload::class_is_legal(level, *class),
+                "type `{name}` at {level} observed illegal abort class {}",
+                class.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn server_refuses_tampered_policy_and_unknown_types() {
+    // End-to-end with a *real* synthesized artifact: re-serialize, flip
+    // an assignment, and the digest gate must refuse it.
+    let app = banking::app();
+    let opts = semcc_synth::SynthOptions { jobs: 1, witnesses: false, ..Default::default() };
+    let syn = semcc_synth::synthesize(&app, &opts).expect("synthesize");
+    let greedy = assign_levels(&app, &default_ladder());
+    let cert = semcc_synth::policy::synth_certificate(&app, "banking", &syn);
+    let digest = semcc_synth::policy::certificate_digest(&cert);
+    let primary = syn.primary();
+    let level_map: BTreeMap<String, IsolationLevel> =
+        syn.txns.iter().cloned().zip(primary.levels.iter().cloned()).collect();
+    let advisories = semcc_refine::predict_deadlocks(&app, &level_map);
+    let artifact = semcc_synth::policy_json("banking", &syn, &greedy, &advisories, &digest);
+
+    let tampered = artifact.to_pretty().replace("\"REPEATABLE READ\"", "\"READ UNCOMMITTED\"");
+    assert_ne!(tampered, artifact.to_pretty(), "the downgrade must hit an assignment");
+    let parsed = semcc_json::from_str_value(&tampered).expect("still valid JSON");
+    let err = AdmissionPolicy::from_json(&parsed, "tampered").expect_err("digest gate");
+    assert!(matches!(err, semcc_serve::PolicyError::Digest { .. }), "got: {err}");
+
+    // And with the genuine artifact, a type outside the policy is
+    // rejected at submit time.
+    let policy = AdmissionPolicy::from_json(&artifact, "banking").expect("genuine verifies");
+    let server =
+        Server::start(policy, banking::app().programs, ServeConfig::default()).expect("server");
+    let err = server
+        .submit("New_Order", &semcc_txn::Bindings::new(), 0)
+        .expect_err("orders type is not admitted by a banking policy");
+    assert!(matches!(err, SubmitError::UnknownType(_)), "got: {err}");
+}

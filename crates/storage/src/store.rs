@@ -11,28 +11,73 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 /// The shared database: items plus tables.
 ///
-/// The maps are guarded by `RwLock` (read-mostly after setup); each item
-/// cell has its own mutex so concurrent access to distinct items does not
-/// serialize. Higher-level isolation is the engine's job — the store only
-/// guarantees physical consistency.
-#[derive(Default)]
+/// The name→cell maps are striped by key hash (one `RwLock` per stripe,
+/// read-mostly after setup) so concurrent lookups of disjoint items never
+/// contend on one global lock; each item cell has its own mutex so access
+/// to distinct items does not serialize either. Tables created through a
+/// striped store stripe their row maps the same way. Higher-level
+/// isolation is the engine's job — the store only guarantees physical
+/// consistency.
 pub struct Store {
-    items: RwLock<HashMap<String, Arc<Mutex<ItemCell>>>>,
-    tables: RwLock<HashMap<String, Arc<Table>>>,
+    item_stripes: Vec<RwLock<HashMap<String, Arc<Mutex<ItemCell>>>>>,
+    table_stripes: Vec<RwLock<HashMap<String, Arc<Table>>>>,
+    /// Row-map stripe count handed to tables created through this store.
+    row_stripes: usize,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Store::with_stripes(1)
+    }
 }
 
 impl Store {
-    /// An empty store.
+    /// An empty store with a single stripe (the historical layout).
     pub fn new() -> Self {
         Store::default()
+    }
+
+    /// An empty store with `n` stripes per namespace map (clamped to ≥ 1).
+    /// Tables created through it stripe their row maps `n` ways too.
+    pub fn with_stripes(n: usize) -> Self {
+        let n = n.max(1);
+        Store {
+            item_stripes: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            table_stripes: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            row_stripes: n,
+        }
+    }
+
+    /// Number of stripes the store was built with.
+    pub fn stripe_count(&self) -> usize {
+        self.item_stripes.len()
+    }
+
+    fn stripe_of(&self, name: &str) -> usize {
+        if self.item_stripes.len() == 1 {
+            return 0;
+        }
+        (fnv1a(name.as_bytes()) % self.item_stripes.len() as u64) as usize
     }
 
     /// Create a conventional item with an initial (timestamp-0) value.
     pub fn create_item(&self, name: impl Into<String>, initial: Value) -> Result<(), StorageError> {
         let name = name.into();
-        let mut items = self.items.write();
+        let mut items = self.item_stripes[self.stripe_of(&name)].write();
         if items.contains_key(&name) {
             return Err(StorageError::AlreadyExists(name));
         }
@@ -42,7 +87,7 @@ impl Store {
 
     /// Fetch the cell for an item.
     pub fn item(&self, name: &str) -> Result<Arc<Mutex<ItemCell>>, StorageError> {
-        self.items
+        self.item_stripes[self.stripe_of(name)]
             .read()
             .get(name)
             .cloned()
@@ -51,31 +96,34 @@ impl Store {
 
     /// Whether an item exists.
     pub fn has_item(&self, name: &str) -> bool {
-        self.items.read().contains_key(name)
+        self.item_stripes[self.stripe_of(name)].read().contains_key(name)
     }
 
     /// Names of all items (sorted; for checkers and audits).
     pub fn item_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.items.read().keys().cloned().collect();
+        let mut names: Vec<String> = Vec::new();
+        for stripe in &self.item_stripes {
+            names.extend(stripe.read().keys().cloned());
+        }
         names.sort();
         names
     }
 
     /// Create a table.
     pub fn create_table(&self, schema: Schema) -> Result<Arc<Table>, StorageError> {
-        let mut tables = self.tables.write();
-        if tables.contains_key(&schema.name) {
-            return Err(StorageError::AlreadyExists(schema.name));
-        }
         let name = schema.name.clone();
-        let table = Arc::new(Table::new(schema));
+        let mut tables = self.table_stripes[self.stripe_of(&name)].write();
+        if tables.contains_key(&name) {
+            return Err(StorageError::AlreadyExists(name));
+        }
+        let table = Arc::new(Table::with_stripes(schema, self.row_stripes));
         tables.insert(name, table.clone());
         Ok(table)
     }
 
     /// Fetch a table.
     pub fn table(&self, name: &str) -> Result<Arc<Table>, StorageError> {
-        self.tables
+        self.table_stripes[self.stripe_of(name)]
             .read()
             .get(name)
             .cloned()
@@ -84,7 +132,10 @@ impl Store {
 
     /// Names of all tables (sorted).
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        let mut names: Vec<String> = Vec::new();
+        for stripe in &self.table_stripes {
+            names.extend(stripe.read().keys().cloned());
+        }
         names.sort();
         names
     }
@@ -103,12 +154,16 @@ impl Store {
     /// high-water mark a checkpoint would have to cover.
     pub fn max_lsn(&self) -> crate::wal::Lsn {
         let mut max = 0;
-        for cell in self.items.read().values() {
-            max = max.max(cell.lock().lsn());
+        for stripe in &self.item_stripes {
+            for cell in stripe.read().values() {
+                max = max.max(cell.lock().lsn());
+            }
         }
-        for table in self.tables.read().values() {
-            for (id, _) in table.scan_latest() {
-                max = max.max(table.row_lsn(id).unwrap_or(0));
+        for stripe in &self.table_stripes {
+            for table in stripe.read().values() {
+                for (id, _) in table.scan_latest() {
+                    max = max.max(table.row_lsn(id).unwrap_or(0));
+                }
             }
         }
         max
@@ -131,17 +186,25 @@ impl Store {
     /// reset) re-seed initial state afterwards; any outstanding references
     /// to old cells keep them alive but detached from the namespace.
     pub fn clear(&self) {
-        self.items.write().clear();
-        self.tables.write().clear();
+        for stripe in &self.item_stripes {
+            stripe.write().clear();
+        }
+        for stripe in &self.table_stripes {
+            stripe.write().clear();
+        }
     }
 
     /// Garbage-collect all version chains below the watermark.
     pub fn gc(&self, watermark: Ts) {
-        for cell in self.items.read().values() {
-            cell.lock().gc(watermark);
+        for stripe in &self.item_stripes {
+            for cell in stripe.read().values() {
+                cell.lock().gc(watermark);
+            }
         }
-        for table in self.tables.read().values() {
-            table.gc(watermark);
+        for stripe in &self.table_stripes {
+            for table in stripe.read().values() {
+                table.gc(watermark);
+            }
         }
     }
 }
@@ -204,5 +267,29 @@ mod tests {
         s.create_item("b", Value::Int(0)).expect("create");
         s.create_item("a", Value::Int(0)).expect("create");
         assert_eq!(s.item_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn striped_store_behaves_like_single_stripe() {
+        let s = Store::with_stripes(16);
+        assert_eq!(s.stripe_count(), 16);
+        for i in 0..64 {
+            s.create_item(format!("it{i}"), Value::Int(i)).expect("create");
+        }
+        assert!(matches!(s.create_item("it7", Value::Int(0)), Err(StorageError::AlreadyExists(_))));
+        assert_eq!(s.item_names().len(), 64);
+        assert!(s.item_names().windows(2).all(|w| w[0] < w[1]), "sorted across stripes");
+        assert_eq!(s.peek_committed("it63").expect("peek"), Value::Int(63));
+        for i in 0..8 {
+            let schema = Schema::new(format!("t{i}"), &["a"], &["a"]);
+            s.create_table(schema).expect("table");
+        }
+        assert_eq!(s.table_names().len(), 8);
+        let t = s.table("t3").expect("table");
+        t.load_row(0, vec![Value::Int(1)]).expect("load");
+        assert_eq!(t.committed_len(), 1);
+        s.clear();
+        assert!(s.item_names().is_empty());
+        assert!(s.table_names().is_empty());
     }
 }

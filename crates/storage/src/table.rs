@@ -117,18 +117,53 @@ impl RowCell {
 }
 
 /// A relational table.
+///
+/// The row map is split into stripes keyed by `row-id mod stripes` (ids
+/// are allocated sequentially, so consecutive inserts round-robin across
+/// stripes). Each slot-addressed operation locks only its stripe; scans
+/// visit stripes in order and re-sort by id, preserving the id-ascending
+/// result order of the historical single-map layout.
 #[derive(Debug)]
 pub struct Table {
     /// The table's schema.
     pub schema: Schema,
-    rows: Mutex<BTreeMap<RowId, RowCell>>,
+    stripes: Vec<Mutex<BTreeMap<RowId, RowCell>>>,
     next_row: AtomicU64,
 }
 
 impl Table {
-    /// An empty table with the given schema.
+    /// An empty table with the given schema and a single stripe (the
+    /// historical layout).
     pub fn new(schema: Schema) -> Self {
-        Table { schema, rows: Mutex::new(BTreeMap::new()), next_row: AtomicU64::new(1) }
+        Table::with_stripes(schema, 1)
+    }
+
+    /// An empty table whose row map is split into `n` stripes (clamped to
+    /// ≥ 1).
+    pub fn with_stripes(schema: Schema, n: usize) -> Self {
+        let n = n.max(1);
+        Table {
+            schema,
+            stripes: (0..n).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            next_row: AtomicU64::new(1),
+        }
+    }
+
+    fn rows(&self, id: RowId) -> &Mutex<BTreeMap<RowId, RowCell>> {
+        &self.stripes[(id % self.stripes.len() as u64) as usize]
+    }
+
+    /// Collect `(id, f(cell))` across every stripe, sorted by id — the
+    /// scan order the single-map layout produced for free.
+    fn collect_rows<T>(&self, f: impl Fn(&RowId, &RowCell) -> Option<T>) -> Vec<(RowId, T)> {
+        let mut out = Vec::new();
+        for stripe in &self.stripes {
+            out.extend(stripe.lock().iter().filter_map(|(id, cell)| f(id, cell).map(|v| (*id, v))));
+        }
+        if self.stripes.len() > 1 {
+            out.sort_by_key(|(id, _)| *id);
+        }
+        out
     }
 
     fn check_arity(&self, row: &Row) -> Result<(), StorageError> {
@@ -155,7 +190,7 @@ impl Table {
         self.check_arity(&row)?;
         self.next_row.fetch_max(id + 1, Ordering::Relaxed);
         let cell = RowCell { committed: vec![(ts, Some(row))], dirty: None, lsn: 0 };
-        self.rows.lock().insert(id, cell);
+        self.rows(id).lock().insert(id, cell);
         Ok(())
     }
 
@@ -172,34 +207,34 @@ impl Table {
         self.check_arity(&row)?;
         self.next_row.fetch_max(id + 1, Ordering::Relaxed);
         let cell = RowCell { committed: Vec::new(), dirty: Some((txn, Some(row))), lsn: 0 };
-        self.rows.lock().insert(id, cell);
+        self.rows(id).lock().insert(id, cell);
         Ok(())
     }
 
     /// Stamp slot `id` with the LSN of the WAL record describing the
     /// mutation just performed. No-op on a missing slot.
     pub fn stamp_row_lsn(&self, id: RowId, lsn: Lsn) {
-        if let Some(cell) = self.rows.lock().get_mut(&id) {
+        if let Some(cell) = self.rows(id).lock().get_mut(&id) {
             cell.lsn = cell.lsn.max(lsn);
         }
     }
 
     /// LSN stamped on slot `id`, if the slot exists.
     pub fn row_lsn(&self, id: RowId) -> Option<Lsn> {
-        self.rows.lock().get(&id).map(|c| c.lsn)
+        self.rows(id).lock().get(&id).map(|c| c.lsn)
     }
 
     /// Replace the row in slot `id` with a dirty version for `txn`.
     pub fn update_dirty(&self, txn: TxnId, id: RowId, row: Row) -> Result<(), StorageError> {
         self.check_arity(&row)?;
-        let mut rows = self.rows.lock();
+        let mut rows = self.rows(id).lock();
         let cell = rows.get_mut(&id).ok_or(StorageError::NoVisibleVersion)?;
         cell.write_dirty(txn, Some(row))
     }
 
     /// Mark slot `id` dirty-deleted for `txn`.
     pub fn delete_dirty(&self, txn: TxnId, id: RowId) -> Result<(), StorageError> {
-        let mut rows = self.rows.lock();
+        let mut rows = self.rows(id).lock();
         let cell = rows.get_mut(&id).ok_or(StorageError::NoVisibleVersion)?;
         cell.write_dirty(txn, None)
     }
@@ -210,7 +245,7 @@ impl Table {
         if let Some(r) = &row {
             self.check_arity(r)?;
         }
-        let mut rows = self.rows.lock();
+        let mut rows = self.rows(id).lock();
         let cell = rows.entry(id).or_default();
         cell.committed.push((ts, row));
         Ok(())
@@ -223,14 +258,14 @@ impl Table {
 
     /// Promote `txn`'s dirty changes on `id` (commit).
     pub fn promote_row(&self, txn: TxnId, id: RowId, ts: Ts) {
-        if let Some(cell) = self.rows.lock().get_mut(&id) {
+        if let Some(cell) = self.rows(id).lock().get_mut(&id) {
             cell.promote(txn, ts);
         }
     }
 
     /// Discard `txn`'s dirty changes on `id` (abort).
     pub fn discard_row(&self, txn: TxnId, id: RowId) {
-        let mut rows = self.rows.lock();
+        let mut rows = self.rows(id).lock();
         if let Some(cell) = rows.get_mut(&id) {
             cell.discard(txn);
             // A slot that never committed anything can be dropped eagerly.
@@ -242,42 +277,30 @@ impl Table {
 
     /// Scan visible rows, newest-including-dirty (READ UNCOMMITTED view).
     pub fn scan_latest(&self) -> Vec<(RowId, Row)> {
-        self.rows
-            .lock()
-            .iter()
-            .filter_map(|(id, cell)| cell.read_latest().map(|r| (*id, r.clone())))
-            .collect()
+        self.collect_rows(|_, cell| cell.read_latest().cloned())
     }
 
     /// Scan newest committed rows.
     pub fn scan_committed(&self) -> Vec<(RowId, Row)> {
-        self.rows
-            .lock()
-            .iter()
-            .filter_map(|(id, cell)| cell.read_committed().map(|r| (*id, r.clone())))
-            .collect()
+        self.collect_rows(|_, cell| cell.read_committed().cloned())
     }
 
     /// Scan rows as transaction `txn` sees them under a locking level:
     /// its own dirty changes overlay the newest committed state; other
     /// transactions' dirty changes are invisible.
     pub fn scan_visible(&self, txn: TxnId) -> Vec<(RowId, Row)> {
-        self.rows
-            .lock()
-            .iter()
-            .filter_map(|(id, cell)| {
-                let row = match cell.dirty_writer() {
-                    Some(w) if w == txn => cell.read_latest(),
-                    _ => cell.read_committed(),
-                };
-                row.map(|r| (*id, r.clone()))
-            })
-            .collect()
+        self.collect_rows(|_, cell| {
+            match cell.dirty_writer() {
+                Some(w) if w == txn => cell.read_latest(),
+                _ => cell.read_committed(),
+            }
+            .cloned()
+        })
     }
 
     /// Read one slot as transaction `txn` sees it under a locking level.
     pub fn read_row_visible(&self, txn: TxnId, id: RowId) -> Option<Row> {
-        let rows = self.rows.lock();
+        let rows = self.rows(id).lock();
         let cell = rows.get(&id)?;
         match cell.dirty_writer() {
             Some(w) if w == txn => cell.read_latest().cloned(),
@@ -287,59 +310,59 @@ impl Table {
 
     /// Scan rows visible at snapshot `ts`.
     pub fn scan_at(&self, ts: Ts) -> Vec<(RowId, Row)> {
-        self.rows
-            .lock()
-            .iter()
-            .filter_map(|(id, cell)| cell.read_at(ts).map(|r| (*id, r.clone())))
-            .collect()
+        self.collect_rows(|_, cell| cell.read_at(ts).cloned())
     }
 
     /// Read one slot under the chosen visibility.
     pub fn read_row_committed(&self, id: RowId) -> Option<Row> {
-        self.rows.lock().get(&id).and_then(|c| c.read_committed().cloned())
+        self.rows(id).lock().get(&id).and_then(|c| c.read_committed().cloned())
     }
 
     /// Read one slot at snapshot `ts`.
     pub fn read_row_at(&self, id: RowId, ts: Ts) -> Option<Row> {
-        self.rows.lock().get(&id).and_then(|c| c.read_at(ts).cloned())
+        self.rows(id).lock().get(&id).and_then(|c| c.read_at(ts).cloned())
     }
 
     /// Read one slot including dirty state.
     pub fn read_row_latest(&self, id: RowId) -> Option<Row> {
-        self.rows.lock().get(&id).and_then(|c| c.read_latest().cloned())
+        self.rows(id).lock().get(&id).and_then(|c| c.read_latest().cloned())
     }
 
     /// Latest commit timestamp of a slot (None if never committed).
     pub fn row_commit_ts(&self, id: RowId) -> Option<Ts> {
-        self.rows.lock().get(&id).and_then(|c| c.latest_commit_ts())
+        self.rows(id).lock().get(&id).and_then(|c| c.latest_commit_ts())
     }
 
     /// The uncommitted writer of a slot, if any.
     pub fn row_dirty_writer(&self, id: RowId) -> Option<TxnId> {
-        self.rows.lock().get(&id).and_then(|c| c.dirty_writer())
+        self.rows(id).lock().get(&id).and_then(|c| c.dirty_writer())
     }
 
     /// Every row slot with an uncommitted version, with its writer
     /// (post-abort auditing: an aborted writer must own none).
     pub fn dirty_rows(&self) -> Vec<(RowId, TxnId)> {
-        self.rows.lock().iter().filter_map(|(id, c)| c.dirty_writer().map(|w| (*id, w))).collect()
+        self.collect_rows(|_, c| c.dirty_writer())
     }
 
     /// Garbage-collect versions below the watermark and drop dead slots.
     pub fn gc(&self, watermark: Ts) {
-        let mut rows = self.rows.lock();
-        rows.retain(|_, cell| {
-            if cell.is_garbage(watermark) {
-                return false;
-            }
-            cell.gc(watermark);
-            true
-        });
+        for stripe in &self.stripes {
+            stripe.lock().retain(|_, cell| {
+                if cell.is_garbage(watermark) {
+                    return false;
+                }
+                cell.gc(watermark);
+                true
+            });
+        }
     }
 
     /// Number of live (committed-visible) rows — for tests and metrics.
     pub fn committed_len(&self) -> usize {
-        self.rows.lock().values().filter(|c| c.read_committed().is_some()).count()
+        self.stripes
+            .iter()
+            .map(|s| s.lock().values().filter(|c| c.read_committed().is_some()).count())
+            .sum()
     }
 }
 
@@ -452,6 +475,25 @@ mod tests {
         // fresh allocation must not collide with the replayed ids
         let id = t.insert_dirty(3, row(3, "c", 12, false)).expect("insert");
         assert_eq!(id, 10);
+    }
+
+    #[test]
+    fn striped_table_scans_stay_id_ordered() {
+        let t = Table::with_stripes(
+            Schema::new("orders", &["order_info", "cust", "date", "done"], &["order_info"]),
+            4,
+        );
+        for i in 0..16 {
+            t.load_row(1, row(i, "c", i, false)).expect("load");
+        }
+        let ids: Vec<RowId> = t.scan_committed().iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, (1..=16).collect::<Vec<_>>(), "merge across stripes is id-ascending");
+        assert_eq!(t.committed_len(), 16);
+        t.update_dirty(9, 3, row(3, "c", 3, true)).expect("update");
+        assert_eq!(t.dirty_rows(), vec![(3, 9)]);
+        t.discard_row(9, 3);
+        t.gc(10);
+        assert_eq!(t.committed_len(), 16, "live rows survive gc");
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Concurrent load driver shared by the P1/P2 benchmark harnesses.
 
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use semcc_engine::{EngineError, FaultKind};
 use std::collections::BTreeMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// What to run: `threads` workers each issuing `txns_per_thread`
@@ -147,6 +148,11 @@ pub struct RunStats {
     /// Crash-recovery audits performed on behalf of this run (populated
     /// by durable fault-simulation harnesses; plain drivers leave it 0).
     pub recoveries_audited: u64,
+    /// Operations whose closure panicked mid-flight. Each panic is caught
+    /// per-attempt: the worker continues with its next transaction and the
+    /// run still reports every other worker's results (the lock guarding
+    /// shared stats is a `parking_lot::Mutex`, which does not poison).
+    pub panics: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Per-transaction latencies in microseconds (committed only).
@@ -204,6 +210,11 @@ impl RunStats {
 /// Run a mix. The closure receives `(worker-id, rng)` and performs one
 /// transaction, returning the number of aborts absorbed (from
 /// `run_with_retries`) or a terminal error.
+///
+/// A closure that *panics* is caught per-operation: the panicking
+/// transaction is counted in [`RunStats::panics`] and the worker moves on,
+/// so one buggy op no longer cascades into every other worker (the old
+/// `std::sync::Mutex` poisoned and panicked the whole run).
 pub fn run_mix<F>(spec: MixSpec, op: F) -> RunStats
 where
     F: Fn(usize, &mut StdRng) -> Result<usize, EngineError> + Sync,
@@ -211,6 +222,7 @@ where
     let committed = AtomicU64::new(0);
     let aborts = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
+    let panics = AtomicU64::new(0);
     let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -219,25 +231,29 @@ where
             let committed = &committed;
             let aborts = &aborts;
             let failed = &failed;
+            let panics = &panics;
             let latencies = &latencies;
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(t as u64));
                 let mut local_lat = Vec::with_capacity(spec.txns_per_thread);
                 for _ in 0..spec.txns_per_thread {
                     let t0 = Instant::now();
-                    match op(t, &mut rng) {
-                        Ok(absorbed) => {
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| op(t, &mut rng))) {
+                        Err(_) => {
+                            panics.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(Ok(absorbed)) => {
                             committed.fetch_add(1, Ordering::Relaxed);
                             aborts.fetch_add(absorbed as u64, Ordering::Relaxed);
                             local_lat.push(t0.elapsed().as_micros() as u64);
                         }
-                        Err(e) if e.is_abort() => {
+                        Ok(Err(e)) if e.is_abort() => {
                             failed.fetch_add(1, Ordering::Relaxed);
                         }
-                        Err(e) => panic!("workload programming error: {e}"),
+                        Ok(Err(e)) => panic!("workload programming error: {e}"),
                     }
                 }
-                latencies.lock().expect("poisoned").extend(local_lat);
+                latencies.lock().extend(local_lat);
             });
         }
     });
@@ -249,8 +265,9 @@ where
         // The closure owns its retry loop here, so a returned abort *is*
         // a given-up transaction.
         gave_up: failed,
+        panics: panics.into_inner(),
         elapsed: start.elapsed(),
-        latencies_us: latencies.into_inner().expect("poisoned"),
+        latencies_us: latencies.into_inner(),
         ..RunStats::default()
     }
 }
@@ -270,6 +287,7 @@ where
     let committed = AtomicU64::new(0);
     let aborts = AtomicU64::new(0);
     let gave_up = AtomicU64::new(0);
+    let panics = AtomicU64::new(0);
     let by_class: Mutex<BTreeMap<AbortClass, u64>> = Mutex::new(BTreeMap::new());
     let gave_up_class: Mutex<BTreeMap<AbortClass, u64>> = Mutex::new(BTreeMap::new());
     let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
@@ -280,6 +298,7 @@ where
             let committed = &committed;
             let aborts = &aborts;
             let gave_up = &gave_up;
+            let panics = &panics;
             let by_class = &by_class;
             let gave_up_class = &gave_up_class;
             let latencies = &latencies;
@@ -292,18 +311,27 @@ where
                     let mut attempt = 0usize;
                     loop {
                         attempt += 1;
-                        match op(t, &mut rng) {
-                            Ok(()) => {
+                        let outcome =
+                            std::panic::catch_unwind(AssertUnwindSafe(|| op(t, &mut rng)));
+                        match outcome {
+                            Err(_) => {
+                                // A panicking attempt ends this transaction
+                                // (nothing to classify or retry) but never
+                                // the worker or the run.
+                                panics.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Ok(Ok(())) => {
                                 committed.fetch_add(1, Ordering::Relaxed);
                                 local_lat.push(t0.elapsed().as_micros() as u64);
                                 break;
                             }
-                            Err(e) => {
+                            Ok(Err(e)) => {
                                 let Some(class) = AbortClass::classify(&e) else {
                                     panic!("workload programming error: {e}");
                                 };
                                 aborts.fetch_add(1, Ordering::Relaxed);
-                                *by_class.lock().expect("poisoned").entry(class).or_insert(0) += 1;
+                                *by_class.lock().entry(class).or_insert(0) += 1;
                                 let spent = class_spent.entry(class).or_insert(0);
                                 *spent += 1;
                                 let budget_hit = policy
@@ -312,11 +340,7 @@ where
                                     .is_some_and(|budget| *spent > *budget);
                                 if attempt >= policy.max_attempts || budget_hit {
                                     gave_up.fetch_add(1, Ordering::Relaxed);
-                                    *gave_up_class
-                                        .lock()
-                                        .expect("poisoned")
-                                        .entry(class)
-                                        .or_insert(0) += 1;
+                                    *gave_up_class.lock().entry(class).or_insert(0) += 1;
                                     break;
                                 }
                                 let salt = (t as u64) << 32 | txn_no as u64;
@@ -328,7 +352,7 @@ where
                         }
                     }
                 }
-                latencies.lock().expect("poisoned").extend(local_lat);
+                latencies.lock().extend(local_lat);
             });
         }
     });
@@ -338,10 +362,11 @@ where
         aborts: aborts.into_inner(),
         failed: gave_up,
         gave_up,
-        aborts_by_class: by_class.into_inner().expect("poisoned"),
-        gave_up_by_class: gave_up_class.into_inner().expect("poisoned"),
+        aborts_by_class: by_class.into_inner(),
+        gave_up_by_class: gave_up_class.into_inner(),
+        panics: panics.into_inner(),
         elapsed: start.elapsed(),
-        latencies_us: latencies.into_inner().expect("poisoned"),
+        latencies_us: latencies.into_inner(),
         ..RunStats::default()
     }
 }
@@ -373,6 +398,48 @@ mod tests {
         assert!(banking::balance_violations(&e, 4).is_empty());
         assert_eq!(stats.latencies_us.len() as u64, stats.committed);
         assert!(stats.p99_us() >= stats.p50_us());
+    }
+
+    #[test]
+    fn panicking_op_does_not_cascade_into_other_workers() {
+        // Regression: a panicking worker closure used to poison the shared
+        // `std::sync::Mutex`, panicking every other worker and the stats
+        // collection with it. Now the panic is caught per-op, counted, and
+        // every other worker's commits and latencies are still reported.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let stats = run_mix(MixSpec { threads: 4, txns_per_thread: 10, seed: 1 }, |t, _| {
+            if t == 2 {
+                panic!("injected workload bug");
+            }
+            Ok(0)
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(stats.panics, 10, "every panicking op is counted");
+        assert_eq!(stats.committed, 30, "the other three workers all finish");
+        assert_eq!(stats.latencies_us.len(), 30, "their latencies survive");
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn policy_driver_survives_panicking_attempt() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let policy = RetryPolicy { base_backoff: Duration::ZERO, ..RetryPolicy::default() };
+        let stats = run_mix_with_policy(
+            MixSpec { threads: 2, txns_per_thread: 5, seed: 1 },
+            &policy,
+            |t, _| {
+                if t == 0 {
+                    panic!("injected workload bug");
+                }
+                Ok(())
+            },
+        );
+        std::panic::set_hook(hook);
+        assert_eq!(stats.panics, 5, "one panic per transaction, no retries of a panic");
+        assert_eq!(stats.committed, 5, "the healthy worker commits everything");
+        assert_eq!(stats.gave_up, 0);
     }
 
     #[test]
